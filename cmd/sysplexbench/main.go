@@ -1,0 +1,466 @@
+// Command sysplexbench regenerates the paper's figures and derived
+// experiments as human-readable tables.
+//
+// Usage:
+//
+//	sysplexbench -exp all            # everything
+//	sysplexbench -exp fig3           # one experiment
+//	sysplexbench -exp fig3 -systems 16 -simtime 5s
+//
+// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sysplex"
+	"sysplex/internal/cf"
+	"sysplex/internal/racf"
+	"sysplex/internal/scalemodel"
+	"sysplex/internal/vclock"
+)
+
+var (
+	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,all")
+	systemsFlag = flag.Int("systems", 32, "max sysplex members for fig3")
+	simtimeFlag = flag.Duration("simtime", 5*time.Second, "DES measurement window")
+	seedFlag    = flag.Int64("seed", 1996, "DES seed")
+)
+
+func main() {
+	flag.Parse()
+	run := map[string]func() error{
+		"fig1":  fig1,
+		"fig2":  fig2,
+		"fig3":  fig3,
+		"fig4":  fig4,
+		"ds":    ds,
+		"avail": avail,
+		"grow":  grow,
+		"query": query,
+		"false": falseContention,
+		"ext":   extensions,
+	}
+	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext"}
+	want := strings.Split(*expFlag, ",")
+	if *expFlag == "all" {
+		want = order
+	}
+	for _, name := range want {
+		fn, ok := run[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s ====\n", strings.ToUpper(name))
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func desParams() scalemodel.Params {
+	p := scalemodel.DefaultParams()
+	p.SimTime = *simtimeFlag
+	p.Seed = *seedFlag
+	return p
+}
+
+func bankPrograms(p *sysplex.Sysplex) {
+	p.RegisterProgram("DEPOSIT", 1, func(tx *sysplex.Tx, input []byte) ([]byte, error) {
+		key := string(input)
+		v, _, err := tx.Get("ACCT", key)
+		if err != nil {
+			return nil, err
+		}
+		var n int
+		fmt.Sscanf(string(v), "%d", &n)
+		if err := tx.Put("ACCT", key, []byte(fmt.Sprintf("%d", n+1))); err != nil {
+			return nil, err
+		}
+		return []byte(fmt.Sprintf("%d", n+1)), nil
+	})
+	p.RegisterProgram("BALANCE", 1, func(tx *sysplex.Tx, input []byte) ([]byte, error) {
+		v, ok, err := tx.Get("ACCT", string(input))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return []byte("0"), nil
+		}
+		return v, nil
+	})
+}
+
+// fig1 builds the Figure 1 system model and reports its inventory.
+func fig1() error {
+	cfg := sysplex.DefaultConfig("PLEX1", 0)
+	cfg.Background = false
+	cfg.Systems = []sysplex.SystemConfig{
+		{Name: "CMOS1", CPUs: 1}, {Name: "CMOS2", CPUs: 4},
+		{Name: "ES9000", CPUs: 10, MIPSPerCPU: 45},
+	}
+	p, err := sysplex.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Stop()
+	fmt.Println("Figure 1 'System Model' — constructed configuration:")
+	fmt.Printf("  sysplex %-8s systems=%v (heterogeneous, 1-10 way)\n", p.Name(), p.ActiveSystems())
+	fmt.Printf("  shared volumes: %v (4 channel paths per system)\n", p.Farm().Volumes())
+	fmt.Printf("  coupling facility structures: %v\n", p.Facility().StructureNames())
+	s1, _ := p.System("CMOS1")
+	s2, _ := p.System("ES9000")
+	a, b := s1.TOD().Stamp(), s2.TOD().Stamp()
+	fmt.Printf("  sysplex timer: cross-system stamps strictly ordered: %v < %v : %v\n",
+		a.UnixNano(), b.UnixNano(), a.Before(b))
+	vol, _ := p.Farm().Volume("SYSP01")
+	vol.VaryPath("CMOS1", 0, false)
+	_, err = vol.Read("CMOS1", 0)
+	fmt.Printf("  path failover after losing 1 of 4 paths: I/O ok = %v\n", err == nil)
+	return nil
+}
+
+// fig2 exercises the Figure 2 data-sharing architecture and reports
+// operation counts/latencies.
+func fig2() error {
+	cfg := sysplex.DefaultConfig("PLEX1", 2)
+	cfg.Background = false
+	p, err := sysplex.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Stop()
+	bankPrograms(p)
+	// Both systems update the same 16 accounts in alternating rounds:
+	// 100% inter-system read/write sharing.
+	for i := 0; i < 500; i++ {
+		sys := "SYS1"
+		if (i/16)%2 == 1 {
+			sys = "SYS2"
+		}
+		if _, err := p.Submit(sys, "DEPOSIT", []byte(fmt.Sprintf("acct%d", i%16))); err != nil {
+			return err
+		}
+	}
+	fmt.Println("Figure 2 'Data-Sharing Architecture' — 500 txs alternating between 2 systems, 16 shared accounts:")
+	for _, st := range p.Stats() {
+		fmt.Printf("  %-5s locks=%d fast-grants=%d contentions=%d false=%d negotiations=%d\n",
+			st.System, st.Locks.Locks, st.Locks.FastGrants, st.Locks.Contentions,
+			st.Locks.FalseContentions, st.Locks.Negotiations)
+	}
+	s1, _ := p.System("SYS1")
+	s2, _ := p.System("SYS2")
+	fmt.Printf("  buffer pools: SYS1 %+v\n", s1.Engine().PoolStats())
+	fmt.Printf("                SYS2 %+v\n", s2.Engine().PoolStats())
+	m := p.Facility().Metrics()
+	fmt.Printf("  CF cross-invalidates: %d, cache hits: %d, misses: %d\n",
+		m.Counter("cf.cache.xi").Value(), m.Counter("cf.cache.hit").Value(), m.Counter("cf.cache.miss").Value())
+	fmt.Printf("  CF command latency: %s\n", m.Histogram("cf.cmd.latency").Snapshot())
+	return nil
+}
+
+// fig3 prints the scalability curves and the §4 claims.
+func fig3() error {
+	params := desParams()
+	fmt.Printf("Figure 3 'Parallel Sysplex Scalability' — DES, %v window, seed %d\n", params.SimTime, params.Seed)
+	fmt.Printf("%6s %10s %10s %10s\n", "CPUs", "IDEAL", "TCMP", "SYSPLEX")
+	for _, pt := range scalemodel.Figure3(*systemsFlag, params) {
+		fmt.Printf("%6d %10.2f %10.2f %10.2f\n", pt.CPUs, pt.Ideal, pt.TCMP, pt.Sysplex)
+	}
+	claims := scalemodel.Claims(params)
+	fmt.Printf("\n§4 claims (paper → measured):\n")
+	fmt.Printf("  1→2 system data-sharing cost:   <18%%  → %.1f%%\n", 100*claims.DataSharingCost)
+	fmt.Printf("  incremental cost per system:    <0.5%% → %.2f%% (worst step, 3..32)\n", 100*claims.MaxIncrementalCost)
+	fmt.Printf("  effective capacity at 32 systems: near-linear → %.1f%% of ideal\n", 100*claims.Effective32)
+	return nil
+}
+
+// fig4 runs the full software stack and prints the distribution.
+func fig4() error {
+	cfg := sysplex.DefaultConfig("PLEX1", 4)
+	p, err := sysplex.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Stop()
+	bankPrograms(p)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("acct%d", i%64))); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("Figure 4 'Software Structure' — %d user transactions via generic logon (single image):\n", n)
+	fmt.Printf("%6s %10s %10s %10s %10s %10s\n", "SYSTEM", "SUBMITTED", "LOCAL", "ROUTED-IN", "COMMITS", "UTIL")
+	for _, st := range p.Stats() {
+		fmt.Printf("%6s %10d %10d %10d %10d %9.0f%%\n",
+			st.System, st.Region.Submitted, st.Region.LocalRuns, st.Region.RoutedIn, st.DB.Commits, 100*st.Util)
+	}
+	sessions, _ := p.Network().Sessions(sysplex.GenericCICS)
+	fmt.Printf("  residual bound sessions by system: %v\n", sessions)
+	return nil
+}
+
+// ds prints the data-sharing vs partitioning skew comparison.
+func ds() error {
+	params := desParams()
+	const m = 4
+	fmt.Printf("§2.3 data sharing vs data partitioning — %d systems, DES (%v window)\n", m, params.SimTime)
+	fmt.Printf("%12s %6s %12s %12s %10s %10s %14s\n",
+		"MODE", "SKEW", "OFFERED-TPS", "ACHIEVED", "RESP(ms)", "P99(ms)", "UTIL[min,max]")
+	for _, skew := range []float64{0.25, 0.40, 0.60, 0.80} {
+		offered := 0.7 * m * 1000 / params.BaseServiceMS
+		for _, mode := range []string{"sharing", "partitioned"} {
+			r := scalemodel.MeasureSkew(mode, m, skew, offered, params)
+			fmt.Printf("%12s %6.2f %12.0f %12.0f %10.2f %10.2f   [%4.0f%%,%4.0f%%]\n",
+				r.Mode, r.Skew, r.OfferedTPS, r.Throughput, r.MeanRespMS, r.P99RespMS,
+				100*r.UtilMin, 100*r.UtilMax)
+		}
+	}
+	return nil
+}
+
+// avail runs the failover experiment on the functional stack.
+func avail() error {
+	cfg := sysplex.DefaultConfig("PLEX1", 3)
+	p, err := sysplex.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Stop()
+	bankPrograms(p)
+
+	var stop, attempts, failures atomic.Int64
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		w := w
+		go func() {
+			for i := 0; stop.Load() == 0; i++ {
+				attempts.Add(1)
+				if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("u%d-%d", w, i%8))); err != nil {
+					failures.Add(1)
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	time.Sleep(300 * time.Millisecond)
+	kill := time.Now()
+	p.KillSystem("SYS2")
+	for !p.XCF().IsFailed("SYS2") {
+		time.Sleep(time.Millisecond)
+	}
+	detected := time.Since(kill)
+	for len(p.RecoveryReports()) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	recovered := time.Since(kill)
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(1)
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	att, fail := attempts.Load(), failures.Load()
+	fmt.Println("§2.5 continuous availability — kill 1 of 3 systems under load:")
+	fmt.Printf("  failure detected (heartbeat) in %v, peer recovery complete in %v\n", detected.Round(time.Millisecond), recovered.Round(time.Millisecond))
+	for _, rep := range p.RecoveryReports() {
+		fmt.Printf("  recovery: failed=%s redo=%d retained-locks-freed=%d\n", rep.FailedSystem, rep.RedoApplied, rep.LocksFreed)
+	}
+	e, _ := p.ARM().Element("DB2.SYS2")
+	fmt.Printf("  ARM restarted DB2.SYS2 on %s (restart group with CICS.SYS2)\n", e.System)
+	fmt.Printf("  availability across the event: %.2f%% (%d/%d transactions)\n",
+		100*(1-float64(fail)/float64(att)), att-fail, att)
+	return nil
+}
+
+// grow adds a system to a loaded sysplex and shows the ramp.
+func grow() error {
+	cfg := sysplex.DefaultConfig("PLEX1", 2)
+	p, err := sysplex.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Stop()
+	bankPrograms(p)
+	var stop, failures atomic.Int64
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		w := w
+		go func() {
+			for i := 0; stop.Load() == 0; i++ {
+				if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("g%d-%d", w, i%8))); err != nil {
+					failures.Add(1)
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	time.Sleep(250 * time.Millisecond)
+	before := snapshotSubmitted(p)
+	if _, err := p.AddSystem(sysplex.SystemConfig{Name: "SYS3", CPUs: 1}); err != nil {
+		return err
+	}
+	time.Sleep(500 * time.Millisecond)
+	stop.Store(1)
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	after := snapshotSubmitted(p)
+	fmt.Println("§2.4 granular growth — SYS3 introduced into a running 2-system sysplex:")
+	fmt.Printf("%6s %18s %18s\n", "SYSTEM", "TX BEFORE ADD", "TX AFTER ADD")
+	for _, sys := range p.ActiveSystems() {
+		fmt.Printf("%6s %18d %18d\n", sys, before[sys], after[sys]-before[sys])
+	}
+	fmt.Printf("  failures during growth: %d (non-disruptive), data repartitioned: 0 keys\n", failures.Load())
+	return nil
+}
+
+func snapshotSubmitted(p *sysplex.Sysplex) map[string]int64 {
+	out := map[string]int64{}
+	for _, st := range p.Stats() {
+		out[st.System] = st.Region.Submitted
+	}
+	return out
+}
+
+// query demonstrates decision-support sub-query splitting.
+func query() error {
+	cfg := sysplex.DefaultConfig("PLEX1", 4)
+	cfg.Background = false
+	p, err := sysplex.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Stop()
+	bankPrograms(p)
+	const rows = 500
+	for i := 0; i < rows; i++ {
+		if _, err := p.Submit("SYS1", "DEPOSIT", []byte(fmt.Sprintf("row%05d", i))); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	res, err := p.ParallelQuery("ACCT", "sum", "row")
+	if err != nil {
+		return err
+	}
+	par := time.Since(start)
+	s1, _ := p.System("SYS1")
+	start = time.Now()
+	serial, err := s1.Region().ParallelQuery([]string{"SYS1"}, "ACCT", "sum", "row")
+	if err != nil {
+		return err
+	}
+	ser := time.Since(start)
+	fmt.Println("§2.3 decision support — complex query split into sub-queries:")
+	fmt.Printf("  serial (1 system):    count=%d sum=%d in %v\n", serial.Count, serial.Sum, ser)
+	fmt.Printf("  parallel (%d parts):   count=%d sum=%d in %v\n", res.Parts, res.Count, res.Sum, par)
+	fmt.Printf("  identical answers: %v\n", res.Count == serial.Count && res.Sum == serial.Sum)
+	return nil
+}
+
+// falseContention sweeps the lock table size.
+func falseContention() error {
+	fmt.Println("§3.3.1 false lock contention vs lock table size (48 resources held by SYS1, 5000 probes by SYS2):")
+	fmt.Printf("%10s %16s\n", "ENTRIES", "FALSE-CONTENTION")
+	for _, entries := range []int{32, 64, 256, 1024, 4096, 16384} {
+		fac := cf.New("CF01", vclock.Real())
+		ls, err := fac.AllocateLockStructure("IRLM", entries)
+		if err != nil {
+			return err
+		}
+		ls.Connect("SYS1")
+		ls.Connect("SYS2")
+		for i := 0; i < 48; i++ {
+			ls.Obtain(ls.HashResource(fmt.Sprintf("HELD.%d", i)), "SYS1", cf.Exclusive)
+		}
+		falseHits := 0
+		const probes = 5000
+		for i := 0; i < probes; i++ {
+			e := ls.HashResource(fmt.Sprintf("PROBE.%d", i))
+			r, err := ls.Obtain(e, "SYS2", cf.Exclusive)
+			if err != nil {
+				return err
+			}
+			if r.Granted {
+				ls.Release(e, "SYS2", cf.Exclusive)
+			} else {
+				falseHits++
+			}
+		}
+		fmt.Printf("%10d %15.2f%%\n", entries, 100*float64(falseHits)/probes)
+	}
+	return nil
+}
+
+// extensions demonstrates the DESIGN.md §7 features: CF structure
+// rebuild under live state, the JES2-style shared job queue with
+// failure takeover, and the RACF-style sysplex-coherent security cache.
+func extensions() error {
+	cfg := sysplex.DefaultConfig("PLEX1", 3)
+	p, err := sysplex.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Stop()
+	bankPrograms(p)
+
+	// -- JES2-style batch over the CF list structure --
+	p.RegisterJobClass("REPORT", func(payload []byte) ([]byte, error) {
+		return append([]byte("ok:"), payload...), nil
+	})
+	var ids []string
+	for i := 0; i < 12; i++ {
+		id, err := p.SubmitJob("REPORT", []byte(fmt.Sprintf("part%d", i)))
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	ranOn := map[string]int{}
+	for _, id := range ids {
+		job, err := p.WaitJob(id, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		ranOn[job.RanOn]++
+	}
+	fmt.Printf("JES2-style shared queue: 12 jobs executed by %v\n", ranOn)
+
+	// -- RACF-style sysplex-wide security --
+	s1, _ := p.System("SYS1")
+	s3, _ := p.System("SYS3")
+	s1.Security().Define(racf.Profile{
+		Resource: "PAYROLL", UACC: racf.None,
+		Permits: map[string]racf.Access{"ALICE": racf.Update},
+	})
+	ok1, _ := s3.Security().Check("ALICE", "PAYROLL", racf.Update)
+	s3.Security().Permit("PAYROLL", "ALICE", racf.None)
+	ok2, _ := s1.Security().Check("ALICE", "PAYROLL", racf.Read)
+	fmt.Printf("RACF-style security: grant visible on SYS3=%v; revoke on SYS3 effective on SYS1 instantly (allowed=%v)\n", ok1, ok2)
+
+	// -- CF structure rebuild under live state --
+	for i := 0; i < 20; i++ {
+		p.SubmitViaLogon("DEPOSIT", []byte("rebuildkey"))
+	}
+	oldName := p.Facility().Name()
+	start := time.Now()
+	if err := p.RebuildCouplingFacility(); err != nil {
+		return err
+	}
+	out, err := p.SubmitViaLogon("BALANCE", []byte("rebuildkey"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CF structure rebuild: %s → %s in %v; data intact (balance=%s), old CF retired\n",
+		oldName, p.Facility().Name(), time.Since(start).Round(time.Millisecond), out)
+	return nil
+}

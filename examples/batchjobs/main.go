@@ -1,0 +1,84 @@
+// Batchjobs: the JES2-style shared job queue (§3.3.3 list-structure
+// workload distribution). Jobs are submitted once to a sysplex-wide
+// queue; whichever system has capacity claims each job via an atomic
+// list pop, driven by CF list-transition notifications. A job orphaned
+// by a system failure is requeued and finished by a survivor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"sysplex"
+)
+
+func main() {
+	plex, err := sysplex.New(sysplex.DefaultConfig("PLEX1", 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plex.Stop()
+
+	plex.RegisterJobClass("SORT", func(payload []byte) ([]byte, error) {
+		fields := strings.Fields(string(payload))
+		for i := 1; i < len(fields); i++ {
+			for j := i; j > 0 && fields[j-1] > fields[j]; j-- {
+				fields[j-1], fields[j] = fields[j], fields[j-1]
+			}
+		}
+		return []byte(strings.Join(fields, " ")), nil
+	})
+
+	// Submit a batch of jobs to the shared queue.
+	inputs := []string{
+		"zebra apple mango",
+		"delta charlie bravo alpha",
+		"s390 mvs cics db2 ims vtam",
+		"parallel sysplex coupling facility",
+	}
+	var ids []string
+	for _, in := range inputs {
+		id, err := plex.SubmitJob("SORT", []byte(in))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	// Collect results: any member may have executed each job.
+	ranOn := map[string]int{}
+	for i, id := range ids {
+		job, err := plex.WaitJob(id, 10*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on %-5s: %q -> %q\n", id, job.RanOn, inputs[i], job.Output)
+		ranOn[job.RanOn]++
+	}
+	fmt.Printf("\njobs by system: %v\n", ranOn)
+
+	// Failure takeover: kill SYS1 mid-stream; its claimed jobs are
+	// requeued by failure processing and finished by survivors.
+	fmt.Println("\nsubmitting 50 more jobs while killing SYS1 mid-stream...")
+	var moreIDs []string
+	for i := 0; i < 25; i++ {
+		id, _ := plex.SubmitJob("SORT", []byte(fmt.Sprintf("j%d c b a", i)))
+		moreIDs = append(moreIDs, id)
+	}
+	plex.KillSystem("SYS1")
+	for i := 25; i < 50; i++ {
+		id, _ := plex.SubmitJob("SORT", []byte(fmt.Sprintf("j%d c b a", i)))
+		moreIDs = append(moreIDs, id)
+	}
+	survivors := map[string]int{}
+	for _, id := range moreIDs {
+		job, err := plex.WaitJob(id, 15*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		survivors[job.RanOn]++
+	}
+	fmt.Printf("all 50 completed; executed by: %v (SYS1 orphans were requeued)\n", survivors)
+}

@@ -1,0 +1,3 @@
+module sysplex
+
+go 1.22

@@ -1,0 +1,406 @@
+// Package arm implements the MVS Automatic Restart Manager (§2.5): a
+// restart service that is aware of the state of every registered
+// element on every system (state lives in the ARM couple data set), is
+// tied into XCF heartbeat-driven failure detection, asks WLM for a
+// restart target based on current utilization, and honours restart
+// groups (affinity of related elements), restart levels (sequencing),
+// restart thresholds, and subsequent failures during recovery.
+package arm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sysplex/internal/cds"
+	"sysplex/internal/xcf"
+)
+
+// Errors returned by ARM operations.
+var (
+	ErrUnknownElement = errors.New("arm: element not registered")
+	ErrExists         = errors.New("arm: element already registered")
+	ErrNoTarget       = errors.New("arm: no eligible restart target")
+	ErrThreshold      = errors.New("arm: restart threshold exhausted")
+	ErrNoRestarter    = errors.New("arm: no restarter bound for system")
+)
+
+// ElementPolicy controls how one element is restarted.
+type ElementPolicy struct {
+	// RestartGroup names related elements that must restart on the same
+	// system ("affinity of related processes").
+	RestartGroup string `json:"group,omitempty"`
+	// Level sequences restarts: lower levels restart first.
+	Level int `json:"level"`
+	// MaxRestarts bounds total restarts (0 = unlimited).
+	MaxRestarts int `json:"max_restarts"`
+	// CrossSystem makes the element eligible for restart on a peer
+	// system after a system failure.
+	CrossSystem bool `json:"cross_system"`
+}
+
+// ElementState is an element's life-cycle state.
+type ElementState int
+
+// Element states.
+const (
+	StateRunning ElementState = iota + 1
+	StateFailed
+	StateRestarting
+)
+
+// String names the state.
+func (s ElementState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateFailed:
+		return "failed"
+	case StateRestarting:
+		return "restarting"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Element is a registered restartable unit (a subsystem instance).
+type Element struct {
+	Name     string        `json:"name"`
+	System   string        `json:"system"`
+	Policy   ElementPolicy `json:"policy"`
+	State    ElementState  `json:"state"`
+	Restarts int           `json:"restarts"`
+}
+
+// Restarter restarts a named element on the local system, returning an
+// error if the restart fails. Subsystem integrations register one per
+// system.
+type Restarter func(element Element) error
+
+// RestartEvent describes one completed restart.
+type RestartEvent struct {
+	Element string
+	From    string
+	To      string
+	InPlace bool
+}
+
+// Manager is the sysplex ARM instance.
+type Manager struct {
+	plex    *xcf.Sysplex
+	store   *cds.Store
+	pick    func(exclude map[string]bool) (string, error)
+	updater string // system used for couple data set writes
+
+	mu         sync.Mutex
+	elements   map[string]*Element
+	restarters map[string]Restarter
+	onRestart  []func(RestartEvent)
+}
+
+// New creates the ARM manager. pick selects a restart target given an
+// exclusion set (wired to WLM; nil picks the least loaded by name
+// order among active systems). store may be nil (state then lives only
+// in memory).
+func New(plex *xcf.Sysplex, store *cds.Store, pick func(exclude map[string]bool) (string, error)) *Manager {
+	m := &Manager{
+		plex:       plex,
+		store:      store,
+		pick:       pick,
+		elements:   make(map[string]*Element),
+		restarters: make(map[string]Restarter),
+	}
+	if m.pick == nil {
+		m.pick = m.defaultPick
+	}
+	plex.OnSystemFailed(func(sys string) { m.RestartForSystem(sys) })
+	return m
+}
+
+func (m *Manager) defaultPick(exclude map[string]bool) (string, error) {
+	for _, s := range m.plex.ActiveSystems() {
+		if !exclude[s] {
+			return s, nil
+		}
+	}
+	return "", ErrNoTarget
+}
+
+// OnRestart registers a callback for completed restarts.
+func (m *Manager) OnRestart(fn func(RestartEvent)) {
+	m.mu.Lock()
+	m.onRestart = append(m.onRestart, fn)
+	m.mu.Unlock()
+}
+
+// BindRestarter installs the restart function for a system.
+func (m *Manager) BindRestarter(sys string, fn Restarter) {
+	m.mu.Lock()
+	m.restarters[sys] = fn
+	m.mu.Unlock()
+}
+
+// Register adds an element running on sys.
+func (m *Manager) Register(name, sys string, policy ElementPolicy) error {
+	m.mu.Lock()
+	if _, ok := m.elements[name]; ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	e := &Element{Name: name, System: sys, Policy: policy, State: StateRunning}
+	m.elements[name] = e
+	snapshot := *e
+	m.mu.Unlock()
+	return m.persist(snapshot)
+}
+
+// Deregister removes an element (normal shutdown; no restart).
+func (m *Manager) Deregister(name string) error {
+	m.mu.Lock()
+	_, ok := m.elements[name]
+	delete(m.elements, name)
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownElement, name)
+	}
+	if m.store != nil {
+		return m.store.Update(m.updaterSys(), func(v *cds.View) error {
+			v.Delete("arm.element." + name)
+			return nil
+		})
+	}
+	return nil
+}
+
+// Element returns a snapshot of a registered element.
+func (m *Manager) Element(name string) (Element, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.elements[name]
+	if !ok {
+		return Element{}, fmt.Errorf("%w: %q", ErrUnknownElement, name)
+	}
+	return *e, nil
+}
+
+// Elements lists all registered elements sorted by name.
+func (m *Manager) Elements() []Element {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Element, 0, len(m.elements))
+	for _, e := range m.elements {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ElementFailed reports the abnormal termination of one element (the
+// process died; its system is healthy). ARM restarts it in place,
+// subject to the restart threshold.
+func (m *Manager) ElementFailed(name string) error {
+	m.mu.Lock()
+	e, ok := m.elements[name]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownElement, name)
+	}
+	if e.Policy.MaxRestarts > 0 && e.Restarts >= e.Policy.MaxRestarts {
+		e.State = StateFailed
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q after %d restarts", ErrThreshold, name, e.Restarts)
+	}
+	e.State = StateRestarting
+	sys := e.System
+	elem := *e
+	fn := m.restarters[sys]
+	m.mu.Unlock()
+	if fn == nil {
+		return fmt.Errorf("%w: %q", ErrNoRestarter, sys)
+	}
+	if err := fn(elem); err != nil {
+		m.mu.Lock()
+		e.State = StateFailed
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Lock()
+	e.State = StateRunning
+	e.Restarts++
+	snapshot := *e
+	cbs := append([]func(RestartEvent){}, m.onRestart...)
+	m.mu.Unlock()
+	m.persist(snapshot)
+	for _, cb := range cbs {
+		cb(RestartEvent{Element: name, From: sys, To: sys, InPlace: true})
+	}
+	return nil
+}
+
+// RestartForSystem performs cross-system restart for every eligible
+// element that was running on the failed system. Elements are grouped
+// by restart group (each group lands on a single target system chosen
+// via WLM) and sequenced by level within the group. It returns the
+// events performed.
+func (m *Manager) RestartForSystem(failedSys string) []RestartEvent {
+	m.mu.Lock()
+	groups := map[string][]*Element{}
+	for _, e := range m.elements {
+		if e.System != failedSys || e.State != StateRunning {
+			continue
+		}
+		if !e.Policy.CrossSystem {
+			e.State = StateFailed
+			continue
+		}
+		key := e.Policy.RestartGroup
+		if key == "" {
+			key = "\x00solo\x00" + e.Name // ungrouped: restart independently
+		}
+		e.State = StateRestarting
+		groups[key] = append(groups[key], e)
+	}
+	groupNames := make([]string, 0, len(groups))
+	for g := range groups {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+	m.mu.Unlock()
+
+	var events []RestartEvent
+	for _, g := range groupNames {
+		members := groups[g]
+		// Sequencing: lower level first; stable by name.
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].Policy.Level != members[j].Policy.Level {
+				return members[i].Policy.Level < members[j].Policy.Level
+			}
+			return members[i].Name < members[j].Name
+		})
+		events = append(events, m.restartGroup(failedSys, members)...)
+	}
+	return events
+}
+
+// restartGroup restarts one restart group onto a single target,
+// retrying on another system if the chosen target fails mid-restart
+// ("recovery when subsequent failures occur").
+func (m *Manager) restartGroup(failedSys string, members []*Element) []RestartEvent {
+	exclude := map[string]bool{failedSys: true}
+	var events []RestartEvent
+	for attempt := 0; attempt < xcf.MaxSystems; attempt++ {
+		target, err := m.pick(exclude)
+		if err != nil || target == "" {
+			break
+		}
+		m.mu.Lock()
+		fn := m.restarters[target]
+		m.mu.Unlock()
+		if fn == nil || m.plex.State(target) != xcf.StateActive {
+			exclude[target] = true
+			continue
+		}
+		ok := true
+		for _, e := range members {
+			m.mu.Lock()
+			if e.Policy.MaxRestarts > 0 && e.Restarts >= e.Policy.MaxRestarts {
+				e.State = StateFailed
+				m.mu.Unlock()
+				continue
+			}
+			elem := *e
+			m.mu.Unlock()
+			if err := fn(elem); err != nil {
+				// Target failed during recovery; try the next system for
+				// the whole group.
+				exclude[target] = true
+				ok = false
+				break
+			}
+			m.mu.Lock()
+			from := e.System
+			e.System = target
+			e.State = StateRunning
+			e.Restarts++
+			snapshot := *e
+			cbs := append([]func(RestartEvent){}, m.onRestart...)
+			m.mu.Unlock()
+			m.persist(snapshot)
+			ev := RestartEvent{Element: e.Name, From: from, To: target}
+			events = append(events, ev)
+			for _, cb := range cbs {
+				cb(ev)
+			}
+		}
+		if ok {
+			return events
+		}
+	}
+	// No target worked: mark the group failed.
+	m.mu.Lock()
+	for _, e := range members {
+		if e.State == StateRestarting {
+			e.State = StateFailed
+		}
+	}
+	m.mu.Unlock()
+	return events
+}
+
+// persist writes an element record to the ARM couple data set.
+func (m *Manager) persist(e Element) error {
+	if m.store == nil {
+		return nil
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	return m.store.Update(m.updaterSys(), func(v *cds.View) error {
+		return v.Set("arm.element."+e.Name, raw)
+	})
+}
+
+// updaterSys picks an active system identity for CDS I/O.
+func (m *Manager) updaterSys() string {
+	if act := m.plex.ActiveSystems(); len(act) > 0 {
+		return act[0]
+	}
+	return "ARM"
+}
+
+// LoadState restores element state from the couple data set (ARM
+// address space restart).
+func (m *Manager) LoadState() error {
+	if m.store == nil {
+		return nil
+	}
+	sys := m.updaterSys()
+	keys, err := m.store.Keys(sys)
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		const prefix = "arm.element."
+		if len(k) <= len(prefix) || k[:len(prefix)] != prefix {
+			continue
+		}
+		raw, ok, err := m.store.Read(sys, k)
+		if err != nil || !ok {
+			continue
+		}
+		var e Element
+		if err := json.Unmarshal(raw, &e); err != nil {
+			continue
+		}
+		m.mu.Lock()
+		if _, exists := m.elements[e.Name]; !exists {
+			cp := e
+			m.elements[e.Name] = &cp
+		}
+		m.mu.Unlock()
+	}
+	return nil
+}

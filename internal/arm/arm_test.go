@@ -1,0 +1,291 @@
+package arm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sysplex/internal/cds"
+	"sysplex/internal/dasd"
+	"sysplex/internal/vclock"
+	"sysplex/internal/xcf"
+)
+
+type fixture struct {
+	plex  *xcf.Sysplex
+	store *cds.Store
+	arm   *Manager
+
+	mu       sync.Mutex
+	restarts map[string][]string // system -> restarted element names
+	failSys  map[string]bool     // systems whose restarter errors
+}
+
+func newFixture(t *testing.T, systems ...string) *fixture {
+	t.Helper()
+	farm := dasd.NewFarm(vclock.Real())
+	farm.AddVolume("V", 256, 1)
+	pri, _ := farm.Allocate("V", "ARM.CDS", 128)
+	store, _ := cds.New("ARM", vclock.Real(), pri, nil, cds.Options{})
+	plex := xcf.NewSysplex("PLEX1", vclock.Real(), nil, farm, xcf.Options{})
+	fx := &fixture{
+		plex:     plex,
+		store:    store,
+		restarts: map[string][]string{},
+		failSys:  map[string]bool{},
+	}
+	fx.arm = New(plex, store, nil)
+	for _, s := range systems {
+		if _, err := plex.Join(s); err != nil {
+			t.Fatal(err)
+		}
+		sys := s
+		fx.arm.BindRestarter(sys, func(e Element) error {
+			fx.mu.Lock()
+			defer fx.mu.Unlock()
+			if fx.failSys[sys] {
+				return errors.New("restart failed")
+			}
+			fx.restarts[sys] = append(fx.restarts[sys], e.Name)
+			return nil
+		})
+	}
+	return fx
+}
+
+func (fx *fixture) restartedOn(sys string) []string {
+	fx.mu.Lock()
+	defer fx.mu.Unlock()
+	return append([]string(nil), fx.restarts[sys]...)
+}
+
+func TestRegisterAndQuery(t *testing.T) {
+	fx := newFixture(t, "SYS1", "SYS2")
+	if err := fx.arm.Register("DB2A", "SYS1", ElementPolicy{CrossSystem: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.arm.Register("DB2A", "SYS1", ElementPolicy{}); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+	e, err := fx.arm.Element("DB2A")
+	if err != nil || e.System != "SYS1" || e.State != StateRunning {
+		t.Fatalf("e = %+v err=%v", e, err)
+	}
+	if _, err := fx.arm.Element("NOPE"); !errors.Is(err, ErrUnknownElement) {
+		t.Fatalf("err = %v", err)
+	}
+	if all := fx.arm.Elements(); len(all) != 1 || all[0].Name != "DB2A" {
+		t.Fatalf("elements = %v", all)
+	}
+	if err := fx.arm.Deregister("DB2A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.arm.Deregister("DB2A"); !errors.Is(err, ErrUnknownElement) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInPlaceRestart(t *testing.T) {
+	fx := newFixture(t, "SYS1")
+	fx.arm.Register("CICSA", "SYS1", ElementPolicy{MaxRestarts: 2})
+	var events []RestartEvent
+	fx.arm.OnRestart(func(ev RestartEvent) { events = append(events, ev) })
+	if err := fx.arm.ElementFailed("CICSA"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fx.restartedOn("SYS1"); len(got) != 1 || got[0] != "CICSA" {
+		t.Fatalf("restarts = %v", got)
+	}
+	if len(events) != 1 || !events[0].InPlace || events[0].To != "SYS1" {
+		t.Fatalf("events = %+v", events)
+	}
+	e, _ := fx.arm.Element("CICSA")
+	if e.Restarts != 1 || e.State != StateRunning {
+		t.Fatalf("e = %+v", e)
+	}
+}
+
+func TestRestartThreshold(t *testing.T) {
+	fx := newFixture(t, "SYS1")
+	fx.arm.Register("LOOPY", "SYS1", ElementPolicy{MaxRestarts: 2})
+	for i := 0; i < 2; i++ {
+		if err := fx.arm.ElementFailed("LOOPY"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := fx.arm.ElementFailed("LOOPY")
+	if !errors.Is(err, ErrThreshold) {
+		t.Fatalf("err = %v", err)
+	}
+	e, _ := fx.arm.Element("LOOPY")
+	if e.State != StateFailed {
+		t.Fatalf("state = %v", e.State)
+	}
+}
+
+func TestCrossSystemRestartOnSystemFailure(t *testing.T) {
+	fx := newFixture(t, "SYS1", "SYS2", "SYS3")
+	fx.arm.Register("DB2A", "SYS1", ElementPolicy{CrossSystem: true})
+	fx.arm.Register("LOCAL", "SYS1", ElementPolicy{CrossSystem: false})
+	// Failure detection triggers ARM automatically via the XCF hook.
+	fx.plex.PartitionNow("SYS1")
+	waitRestart(t, fx, "DB2A")
+	e, _ := fx.arm.Element("DB2A")
+	if e.System == "SYS1" || e.State != StateRunning || e.Restarts != 1 {
+		t.Fatalf("e = %+v", e)
+	}
+	// Non-cross-system element stays down.
+	le, _ := fx.arm.Element("LOCAL")
+	if le.State != StateFailed {
+		t.Fatalf("LOCAL = %+v", le)
+	}
+}
+
+func TestRestartGroupAffinity(t *testing.T) {
+	fx := newFixture(t, "SYS1", "SYS2", "SYS3")
+	pol := ElementPolicy{CrossSystem: true, RestartGroup: "PAYROLL"}
+	fx.arm.Register("DB", "SYS1", pol)
+	fx.arm.Register("APP", "SYS1", pol)
+	fx.arm.Register("OTHER", "SYS1", ElementPolicy{CrossSystem: true})
+	events := fx.arm.RestartForSystem("SYS1")
+	if len(events) != 3 {
+		t.Fatalf("events = %+v", events)
+	}
+	db, _ := fx.arm.Element("DB")
+	app, _ := fx.arm.Element("APP")
+	if db.System != app.System {
+		t.Fatalf("restart group split: DB on %s, APP on %s", db.System, app.System)
+	}
+}
+
+func TestRestartLevelSequencing(t *testing.T) {
+	fx := newFixture(t, "SYS1", "SYS2")
+	g := "GRP"
+	fx.arm.Register("APP2", "SYS1", ElementPolicy{CrossSystem: true, RestartGroup: g, Level: 2})
+	fx.arm.Register("DB1", "SYS1", ElementPolicy{CrossSystem: true, RestartGroup: g, Level: 1})
+	fx.arm.Register("FE3", "SYS1", ElementPolicy{CrossSystem: true, RestartGroup: g, Level: 3})
+	fx.arm.RestartForSystem("SYS1")
+	got := fx.restartedOn("SYS2")
+	want := []string{"DB1", "APP2", "FE3"}
+	if len(got) != 3 {
+		t.Fatalf("restarts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubsequentFailureFallsBack(t *testing.T) {
+	fx := newFixture(t, "SYS1", "SYS2", "SYS3")
+	fx.arm.Register("DB2A", "SYS1", ElementPolicy{CrossSystem: true})
+	// SYS2 (the default first pick) fails all restarts; ARM must fall
+	// back to SYS3.
+	fx.mu.Lock()
+	fx.failSys["SYS2"] = true
+	fx.mu.Unlock()
+	events := fx.arm.RestartForSystem("SYS1")
+	if len(events) != 1 || events[0].To != "SYS3" {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestNoTargetMarksFailed(t *testing.T) {
+	fx := newFixture(t, "SYS1")
+	fx.arm.Register("DB2A", "SYS1", ElementPolicy{CrossSystem: true})
+	events := fx.arm.RestartForSystem("SYS1")
+	if len(events) != 0 {
+		t.Fatalf("events = %+v", events)
+	}
+	e, _ := fx.arm.Element("DB2A")
+	if e.State != StateFailed {
+		t.Fatalf("state = %v", e.State)
+	}
+}
+
+func TestWLMPickIsUsed(t *testing.T) {
+	farm := dasd.NewFarm(vclock.Real())
+	farm.AddVolume("V", 64, 1)
+	plex := xcf.NewSysplex("P", vclock.Real(), nil, farm, xcf.Options{})
+	picked := ""
+	m := New(plex, nil, func(exclude map[string]bool) (string, error) {
+		picked = "SYS9"
+		return "SYS9", nil
+	})
+	plex.Join("SYS1")
+	plex.Join("SYS9")
+	restarted := false
+	m.BindRestarter("SYS9", func(e Element) error { restarted = true; return nil })
+	m.Register("E", "SYS1", ElementPolicy{CrossSystem: true})
+	m.RestartForSystem("SYS1")
+	if picked != "SYS9" || !restarted {
+		t.Fatalf("picked=%q restarted=%v", picked, restarted)
+	}
+}
+
+func TestStatePersistsAcrossARMRestart(t *testing.T) {
+	fx := newFixture(t, "SYS1", "SYS2")
+	fx.arm.Register("DB2A", "SYS1", ElementPolicy{CrossSystem: true, RestartGroup: "G"})
+	// A new ARM instance over the same couple data set sees the element.
+	arm2 := New(fx.plex, fx.store, nil)
+	if err := arm2.LoadState(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := arm2.Element("DB2A")
+	if err != nil || e.System != "SYS1" || e.Policy.RestartGroup != "G" {
+		t.Fatalf("e = %+v err=%v", e, err)
+	}
+}
+
+func TestRestarterMissing(t *testing.T) {
+	fx := newFixture(t, "SYS1")
+	fx.arm.Register("X", "SYSZ", ElementPolicy{})
+	if err := fx.arm.ElementFailed("X"); !errors.Is(err, ErrNoRestarter) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := fx.arm.ElementFailed("GHOST"); !errors.Is(err, ErrUnknownElement) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestElementStateString(t *testing.T) {
+	if StateRunning.String() != "running" || StateFailed.String() != "failed" ||
+		StateRestarting.String() != "restarting" || ElementState(9).String() == "" {
+		t.Fatal("state strings")
+	}
+}
+
+func waitRestart(t *testing.T, fx *fixture, element string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if e, err := fx.arm.Element(element); err == nil && e.State == StateRunning && e.Restarts > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("element %s never restarted", element)
+}
+
+func TestGroupsRestartIndependently(t *testing.T) {
+	fx := newFixture(t, "SYS1", "SYS2", "SYS3")
+	fx.arm.Register("A1", "SYS1", ElementPolicy{CrossSystem: true, RestartGroup: "GA"})
+	fx.arm.Register("B1", "SYS1", ElementPolicy{CrossSystem: true, RestartGroup: "GB"})
+	events := fx.arm.RestartForSystem("SYS1")
+	if len(events) != 2 {
+		t.Fatalf("events = %v", events)
+	}
+	sysOf := map[string]string{}
+	for _, ev := range events {
+		sysOf[ev.Element] = ev.To
+	}
+	for _, el := range []string{"A1", "B1"} {
+		if sysOf[el] == "" || sysOf[el] == "SYS1" {
+			t.Fatalf("element %s restarted on %q", el, sysOf[el])
+		}
+	}
+	_ = fmt.Sprint()
+}

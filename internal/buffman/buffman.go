@@ -1,0 +1,312 @@
+// Package buffman implements a DB2-style group buffer pool manager on
+// top of the CF cache structure (§3.3.2). Each system's Pool keeps a
+// local buffer pool whose per-frame validity is tracked in the local
+// bit vector the CF flips on cross-invalidation:
+//
+//   - a page read first tests the local validity bit (a CPU-local
+//     operation, no CF access); only an invalid or absent frame goes to
+//     the CF to re-register, where it may be refreshed at high speed
+//     from the global cache instead of DASD;
+//   - a page update is written through to the CF (store-in: the commit
+//     does not wait for DASD), which cross-invalidates all other
+//     registered copies before returning;
+//   - changed pages are lazily cast out to DASD by whichever system
+//     runs castout.
+package buffman
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sysplex/internal/cf"
+)
+
+// Errors returned by the pool.
+var (
+	ErrPoolClosed = errors.New("buffman: pool closed")
+	ErrNoFrames   = errors.New("buffman: no evictable frame")
+)
+
+// PageReader fetches a page image from DASD.
+type PageReader func(name string) ([]byte, error)
+
+// PageWriter writes a page image to DASD (castout).
+type PageWriter func(name string, data []byte) error
+
+// Stats counts pool activity.
+type Stats struct {
+	LocalHits   int64 // validity bit test succeeded, no CF access
+	GlobalHits  int64 // refreshed from the CF global cache
+	DasdReads   int64 // had to go to disk
+	Writes      int64 // pages written through to the CF
+	Evictions   int64
+	Castouts    int64
+	Invalidated int64 // local frames found invalidated by peers
+}
+
+// Pool is one system's local buffer pool connected to a group buffer
+// pool (CF cache structure).
+type Pool struct {
+	sys    string
+	cs     *cf.CacheStructure
+	vec    *cf.BitVector
+	read   PageReader
+	write  PageWriter
+	frames []frame
+	byName map[string]int
+
+	mu     sync.Mutex
+	tick   int64
+	stats  Stats
+	closed bool
+}
+
+type frame struct {
+	name    string
+	data    []byte
+	lastUse int64
+	used    bool
+}
+
+// NewPool creates a pool with n local frames, connects it to the cache
+// structure, and registers the local bit vector with the CF.
+func NewPool(sys string, cs *cf.CacheStructure, n int, read PageReader, write PageWriter) (*Pool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("buffman: pool needs > 0 frames")
+	}
+	p := &Pool{
+		sys:    sys,
+		cs:     cs,
+		vec:    cf.NewBitVector(n),
+		read:   read,
+		write:  write,
+		frames: make([]frame, n),
+		byName: make(map[string]int),
+	}
+	if err := cs.Connect(sys, p.vec); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// System returns the owning system name.
+func (p *Pool) System() string { return p.sys }
+
+// structure returns the current cache structure under the lock so a
+// concurrent Rebind is observed atomically.
+func (p *Pool) structure() *cf.CacheStructure {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cs
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close detaches the pool from the group buffer pool.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+}
+
+// GetPage returns the current image of a page. The caller must hold a
+// lock covering the page (the buffer manager provides coherency, not
+// serialization — exactly the division of labour in Figure 2).
+func (p *Pool) GetPage(name string) ([]byte, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if idx, ok := p.byName[name]; ok {
+		// Local coherency check: the bit-vector test, no CF involvement.
+		if p.vec.Test(idx) {
+			p.stats.LocalHits++
+			data := append([]byte(nil), p.frames[idx].data...)
+			p.frames[idx].lastUse = p.bumpTick()
+			p.mu.Unlock()
+			return data, nil
+		}
+		// Peer invalidated our copy: re-register with the CF.
+		p.stats.Invalidated++
+		p.mu.Unlock()
+		return p.refresh(name, idx)
+	}
+	idx, err := p.allocFrameLocked(name)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.mu.Unlock()
+	return p.refresh(name, idx)
+}
+
+// refresh re-registers interest and fills the frame from the global
+// cache or DASD.
+func (p *Pool) refresh(name string, idx int) ([]byte, error) {
+	cs := p.structure()
+	res, err := cs.ReadAndRegister(p.sys, name, idx)
+	if err != nil {
+		return nil, err
+	}
+	var data []byte
+	if res.Hit {
+		data = res.Data
+		p.mu.Lock()
+		p.stats.GlobalHits++
+		p.mu.Unlock()
+	} else {
+		data, err = p.read(name)
+		if err != nil {
+			cs.Unregister(p.sys, name)
+			return nil, err
+		}
+		p.mu.Lock()
+		p.stats.DasdReads++
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.frames[idx] = frame{name: name, data: append([]byte(nil), data...), lastUse: p.bumpTick(), used: true}
+	p.byName[name] = idx
+	p.mu.Unlock()
+	return append([]byte(nil), data...), nil
+}
+
+// WritePage commits a new page image: the local frame is updated and
+// the image is written through to the group buffer pool, which
+// cross-invalidates every other system's copy before returning. The
+// caller must hold an exclusive lock on the page.
+func (p *Pool) WritePage(name string, data []byte) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	idx, ok := p.byName[name]
+	if !ok {
+		var err error
+		idx, err = p.allocFrameLocked(name)
+		if err != nil {
+			p.mu.Unlock()
+			return err
+		}
+		p.byName[name] = idx
+	}
+	p.frames[idx] = frame{name: name, data: append([]byte(nil), data...), lastUse: p.bumpTick(), used: true}
+	p.stats.Writes++
+	p.mu.Unlock()
+	return p.structure().WriteAndInvalidate(p.sys, name, data, true, true, idx)
+}
+
+// CastoutOnce casts out up to max changed pages (all if max <= 0) from
+// the group buffer pool to DASD. Any system may run castout.
+func (p *Pool) CastoutOnce(max int) (int, error) {
+	cs := p.structure()
+	names := cs.ChangedBlocks()
+	n := 0
+	for _, name := range names {
+		if max > 0 && n >= max {
+			break
+		}
+		data, ver, err := cs.CastoutBegin(p.sys, name)
+		if err != nil {
+			continue // raced with another castout owner
+		}
+		if err := p.write(name, data); err != nil {
+			cs.CastoutEnd(p.sys, name, ver-1) // keep changed
+			return n, err
+		}
+		if err := cs.CastoutEnd(p.sys, name, ver); err != nil {
+			return n, err
+		}
+		n++
+	}
+	p.mu.Lock()
+	p.stats.Castouts += int64(n)
+	p.mu.Unlock()
+	return n, nil
+}
+
+// Rebind moves the pool onto a new cache structure (CF structure
+// rebuild). Local frames are discarded — registrations do not exist in
+// the new structure — so subsequent reads re-register and refill from
+// DASD. The caller must cast out all changed pages from the old
+// structure first (planned rebuild), or accept re-reading stale DASD
+// images (unplanned CF loss; see DESIGN.md on CF duplexing).
+func (p *Pool) Rebind(cs *cf.CacheStructure) error {
+	if err := cs.Connect(p.sys, p.vec); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		p.frames[i] = frame{}
+	}
+	p.byName = make(map[string]int)
+	p.vec.ClearAll()
+	p.cs = cs
+	return nil
+}
+
+// Invalidate drops the local frame for a page (local cache management;
+// peers are unaffected).
+func (p *Pool) Invalidate(name string) {
+	p.mu.Lock()
+	idx, ok := p.byName[name]
+	if ok {
+		delete(p.byName, name)
+		p.frames[idx] = frame{}
+		p.vec.Clear(idx)
+	}
+	cs := p.cs
+	p.mu.Unlock()
+	if ok {
+		cs.Unregister(p.sys, name)
+	}
+}
+
+// allocFrameLocked finds a free frame or evicts the least recently used
+// one. Caller holds p.mu; the frame index is reserved for the caller.
+func (p *Pool) allocFrameLocked(name string) (int, error) {
+	// Free frame?
+	for i := range p.frames {
+		if !p.frames[i].used {
+			p.frames[i] = frame{name: name, lastUse: p.bumpTick(), used: true}
+			p.byName[name] = i
+			return i, nil
+		}
+	}
+	// Evict LRU.
+	victim := -1
+	var oldest int64
+	for i := range p.frames {
+		if victim == -1 || p.frames[i].lastUse < oldest {
+			victim = i
+			oldest = p.frames[i].lastUse
+		}
+	}
+	if victim == -1 {
+		return 0, ErrNoFrames
+	}
+	old := p.frames[victim].name
+	delete(p.byName, old)
+	p.frames[victim] = frame{name: name, lastUse: p.bumpTick(), used: true}
+	p.byName[name] = victim
+	p.vec.Clear(victim)
+	p.stats.Evictions++
+	// The CF never calls back into the pool (it flips vector bits
+	// directly), so its mutex is a leaf and this nested call is safe.
+	p.cs.Unregister(p.sys, old)
+	return victim, nil
+}
+
+func (p *Pool) bumpTick() int64 {
+	p.tick++
+	return p.tick
+}

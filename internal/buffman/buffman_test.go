@@ -1,0 +1,336 @@
+package buffman
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"sysplex/internal/cf"
+	"sysplex/internal/vclock"
+)
+
+// fakeDASD is a shared page backing store with access counters.
+type fakeDASD struct {
+	mu     sync.Mutex
+	pages  map[string][]byte
+	reads  int
+	writes int
+}
+
+func newFakeDASD() *fakeDASD { return &fakeDASD{pages: map[string][]byte{}} }
+
+func (d *fakeDASD) reader() PageReader {
+	return func(name string) ([]byte, error) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.reads++
+		return append([]byte(nil), d.pages[name]...), nil
+	}
+}
+
+func (d *fakeDASD) writer() PageWriter {
+	return func(name string, data []byte) error {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.writes++
+		d.pages[name] = append([]byte(nil), data...)
+		return nil
+	}
+}
+
+func (d *fakeDASD) get(name string) []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte(nil), d.pages[name]...)
+}
+
+type bmFixture struct {
+	fac   *cf.Facility
+	cs    *cf.CacheStructure
+	dasd  *fakeDASD
+	pools map[string]*Pool
+}
+
+func newBMFixture(t *testing.T, frames int, systems ...string) *bmFixture {
+	t.Helper()
+	fac := cf.New("CF01", vclock.Real())
+	cs, err := fac.AllocateCacheStructure("GBP0", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &bmFixture{fac: fac, cs: cs, dasd: newFakeDASD(), pools: map[string]*Pool{}}
+	for _, s := range systems {
+		p, err := NewPool(s, cs, frames, fx.dasd.reader(), fx.dasd.writer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx.pools[s] = p
+	}
+	return fx
+}
+
+func TestReadMissThenLocalHit(t *testing.T) {
+	fx := newBMFixture(t, 8, "SYS1")
+	fx.dasd.pages["P1"] = []byte("on disk")
+	p := fx.pools["SYS1"]
+	got, err := p.GetPage("P1")
+	if err != nil || !bytes.Equal(got, []byte("on disk")) {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+	// Second read: pure local hit, no CF or DASD access.
+	p.GetPage("P1")
+	st := p.Stats()
+	if st.DasdReads != 1 || st.LocalHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if fx.dasd.reads != 1 {
+		t.Fatalf("dasd reads = %d", fx.dasd.reads)
+	}
+}
+
+func TestWriteInvalidatesPeerAndRefreshesFromGlobalCache(t *testing.T) {
+	fx := newBMFixture(t, 8, "SYS1", "SYS2")
+	fx.dasd.pages["P"] = []byte("v0")
+	p1, p2 := fx.pools["SYS1"], fx.pools["SYS2"]
+	p1.GetPage("P")
+	p2.GetPage("P")
+
+	// SYS2 commits an update.
+	if err := p2.WritePage("P", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// SYS1's next read detects the invalid bit and refreshes from the
+	// CF global cache — not from DASD.
+	before := fx.dasd.reads
+	got, err := p1.GetPage("P")
+	if err != nil || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+	st := p1.Stats()
+	if st.Invalidated != 1 || st.GlobalHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if fx.dasd.reads != before {
+		t.Fatal("refresh went to DASD instead of the global cache")
+	}
+	// The writer's own copy stays valid: local hit.
+	p2.GetPage("P")
+	if st := p2.Stats(); st.LocalHits != 1 {
+		t.Fatalf("writer stats = %+v", st)
+	}
+}
+
+func TestStoreInCommitDoesNotTouchDASD(t *testing.T) {
+	fx := newBMFixture(t, 8, "SYS1")
+	p := fx.pools["SYS1"]
+	if err := p.WritePage("P", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if fx.dasd.writes != 0 {
+		t.Fatal("commit wrote to DASD; store-in semantics violated")
+	}
+	// The data is nonetheless durable in the group buffer pool.
+	if got := fx.dasd.get("P"); len(got) != 0 {
+		t.Fatal("DASD mysteriously updated")
+	}
+}
+
+func TestCastoutWritesDASDAndClearsChanged(t *testing.T) {
+	fx := newBMFixture(t, 8, "SYS1", "SYS2")
+	p1 := fx.pools["SYS1"]
+	p1.WritePage("A", []byte("a1"))
+	p1.WritePage("B", []byte("b1"))
+	// Castout can run on a different system than the writer.
+	n, err := fx.pools["SYS2"].CastoutOnce(0)
+	if err != nil || n != 2 {
+		t.Fatalf("castout n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(fx.dasd.get("A"), []byte("a1")) || !bytes.Equal(fx.dasd.get("B"), []byte("b1")) {
+		t.Fatal("castout data wrong on DASD")
+	}
+	if len(fx.cs.ChangedBlocks()) != 0 {
+		t.Fatal("blocks still marked changed")
+	}
+	// Nothing left: another castout is a no-op.
+	if n, _ := fx.pools["SYS2"].CastoutOnce(0); n != 0 {
+		t.Fatalf("second castout n=%d", n)
+	}
+}
+
+func TestCastoutMaxLimit(t *testing.T) {
+	fx := newBMFixture(t, 8, "SYS1")
+	p := fx.pools["SYS1"]
+	for i := 0; i < 5; i++ {
+		p.WritePage(fmt.Sprintf("P%d", i), []byte("x"))
+	}
+	n, err := p.CastoutOnce(2)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if got := len(fx.cs.ChangedBlocks()); got != 3 {
+		t.Fatalf("remaining changed = %d", got)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	fx := newBMFixture(t, 2, "SYS1")
+	fx.dasd.pages["A"] = []byte("a")
+	fx.dasd.pages["B"] = []byte("b")
+	fx.dasd.pages["C"] = []byte("c")
+	p := fx.pools["SYS1"]
+	p.GetPage("A")
+	p.GetPage("B")
+	p.GetPage("A") // A is now more recent than B
+	p.GetPage("C") // evicts B
+	st := p.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// B is gone from the directory registration of SYS1.
+	regs := fx.cs.Registered("B")
+	if len(regs) != 0 {
+		t.Fatalf("B still registered by %v", regs)
+	}
+	// A survived: local hit.
+	before := p.Stats().LocalHits
+	p.GetPage("A")
+	if p.Stats().LocalHits != before+1 {
+		t.Fatal("A was evicted instead of B")
+	}
+}
+
+func TestInvalidateDropsLocalOnly(t *testing.T) {
+	fx := newBMFixture(t, 4, "SYS1", "SYS2")
+	fx.dasd.pages["P"] = []byte("v")
+	fx.pools["SYS1"].GetPage("P")
+	fx.pools["SYS2"].GetPage("P")
+	fx.pools["SYS1"].Invalidate("P")
+	if regs := fx.cs.Registered("P"); len(regs) != 1 || regs[0] != "SYS2" {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+func TestClosedPool(t *testing.T) {
+	fx := newBMFixture(t, 4, "SYS1")
+	p := fx.pools["SYS1"]
+	p.Close()
+	if _, err := p.GetPage("P"); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := p.WritePage("P", nil); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDasdReadErrorPropagates(t *testing.T) {
+	fac := cf.New("CF", vclock.Real())
+	cs, _ := fac.AllocateCacheStructure("C", 16)
+	boom := errors.New("io error")
+	p, err := NewPool("SYS1", cs, 4,
+		func(string) ([]byte, error) { return nil, boom },
+		func(string, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.GetPage("P"); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed read did not leave a registration behind.
+	if regs := cs.Registered("P"); len(regs) != 0 {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	fac := cf.New("CF", vclock.Real())
+	cs, _ := fac.AllocateCacheStructure("C", 16)
+	if _, err := NewPool("S", cs, 0, nil, nil); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+}
+
+// Property: with random interleaved writes and reads across three
+// systems, every read observes the value of the most recent write to
+// that page (single-writer-at-a-time discipline, as the lock manager
+// would enforce).
+func TestCoherentReadsProperty(t *testing.T) {
+	systems := []string{"SYS1", "SYS2", "SYS3"}
+	type op struct {
+		Sys   uint8
+		Page  uint8
+		Write bool
+		Val   uint16
+	}
+	f := func(ops []op) bool {
+		fx := newBMFixture(t, 4, systems...)
+		latest := map[string][]byte{}
+		for _, o := range ops {
+			sys := systems[int(o.Sys)%len(systems)]
+			page := fmt.Sprintf("P%d", o.Page%6)
+			pool := fx.pools[sys]
+			if o.Write {
+				val := []byte(fmt.Sprintf("%d", o.Val))
+				if err := pool.WritePage(page, val); err != nil {
+					return false
+				}
+				latest[page] = val
+			} else {
+				got, err := pool.GetPage(page)
+				if err != nil {
+					return false
+				}
+				want := latest[page]
+				if want == nil {
+					want = []byte{}
+				}
+				if !bytes.Equal(got, want) && !(len(got) == 0 && len(want) == 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebindStartsCleanOnNewStructure(t *testing.T) {
+	fx := newBMFixture(t, 8, "SYS1", "SYS2")
+	fx.dasd.pages["P"] = []byte("v0")
+	p1, p2 := fx.pools["SYS1"], fx.pools["SYS2"]
+	p1.GetPage("P")
+	p2.WritePage("P", []byte("v1"))
+	// Planned rebuild: drain changed pages first, then rebind both.
+	if _, err := p1.CastoutOnce(0); err != nil {
+		t.Fatal(err)
+	}
+	fac2 := cf.New("CF02", vclock.Real())
+	cs2, _ := fac2.AllocateCacheStructure("GBP0", 256)
+	if err := p1.Rebind(cs2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Rebind(cs2); err != nil {
+		t.Fatal(err)
+	}
+	fx.cs = cs2
+	// Reads refill from DASD (which has the cast-out v1) and coherency
+	// works on the new structure.
+	got, err := p1.GetPage("P")
+	if err != nil || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+	if err := p2.WritePage("P", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = p1.GetPage("P")
+	if err != nil || !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("coherency broken after rebind: %q err=%v", got, err)
+	}
+	if regs := cs2.Registered("P"); len(regs) != 2 {
+		t.Fatalf("registered = %v", regs)
+	}
+}

@@ -1,0 +1,361 @@
+package cf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CacheStructure is a CF cache-model structure (§3.3.2): a global
+// buffer directory tracking multi-system interest in named data blocks,
+// with an optional global data cache serving as a second-level cache
+// between local processor memory and DASD.
+//
+// Connectors register local-buffer interest per block; a writer's
+// WriteAndInvalidate atomically stores the new version, clears the
+// validity bit of every *other* registered connector via its local bit
+// vector (no target-side software), deregisters them, and returns only
+// when all invalidation signals have completed — CPU-synchronously to
+// the updating system.
+type CacheStructure struct {
+	facility *Facility
+	name     string
+
+	mu         sync.Mutex
+	maxEntries int
+	directory  map[string]*cacheEntry
+	conns      map[string]*cacheConn
+}
+
+type cacheConn struct {
+	vector *BitVector
+}
+
+type cacheEntry struct {
+	name       string
+	registered map[string]int // connector -> local vector index
+	data       []byte         // nil when directory-only
+	changed    bool           // needs castout to DASD
+	castoutBy  string         // connector holding the castout lock
+	version    uint64
+}
+
+// AllocateCacheStructure allocates a cache structure with a directory
+// capacity of maxEntries blocks.
+func (f *Facility) AllocateCacheStructure(name string, maxEntries int) (*CacheStructure, error) {
+	if maxEntries <= 0 {
+		return nil, fmt.Errorf("%w: cache needs > 0 directory entries", ErrBadArgument)
+	}
+	s := &CacheStructure{
+		facility:   f,
+		name:       name,
+		maxEntries: maxEntries,
+		directory:  make(map[string]*cacheEntry),
+		conns:      make(map[string]*cacheConn),
+	}
+	if err := f.allocate(name, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// CacheStructure returns the named cache structure.
+func (f *Facility) CacheStructure(name string) (*CacheStructure, error) {
+	s, err := f.lookup(name, CacheModel)
+	if err != nil {
+		return nil, err
+	}
+	return s.(*CacheStructure), nil
+}
+
+func (s *CacheStructure) model() Model          { return CacheModel }
+func (s *CacheStructure) structureName() string { return s.name }
+
+// Name returns the structure name.
+func (s *CacheStructure) Name() string { return s.name }
+
+// Connect attaches a connector with its local bit vector. MVS allocates
+// the vector on behalf of the buffer manager at connect time (§3.3.2);
+// here the caller passes it in and the CF keeps the reference it will
+// flip bits through.
+func (s *CacheStructure) Connect(conn string, vector *BitVector) error {
+	if _, err := s.facility.begin(); err != nil {
+		return err
+	}
+	if vector == nil {
+		return fmt.Errorf("%w: nil vector", ErrBadArgument)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[conn] = &cacheConn{vector: vector}
+	return nil
+}
+
+func (s *CacheStructure) disconnect(conn string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeConnLocked(conn)
+}
+
+func (s *CacheStructure) failConnector(conn string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeConnLocked(conn)
+}
+
+func (s *CacheStructure) purgeConnLocked(conn string) {
+	delete(s.conns, conn)
+	for _, e := range s.directory {
+		delete(e.registered, conn)
+		if e.castoutBy == conn {
+			e.castoutBy = "" // castout lock released; data still changed
+		}
+	}
+}
+
+// ReadResult is the outcome of ReadAndRegister.
+type ReadResult struct {
+	// Data is the current block image when globally cached (a "local
+	// buffer refresh" hit), else nil and the caller reads DASD.
+	Data []byte
+	// Hit reports whether Data came from the global cache.
+	Hit bool
+	// Version is the directory version of the block at registration.
+	Version uint64
+}
+
+// ReadAndRegister registers conn's interest in block name, associating
+// local vector index vecIdx with it, sets the validity bit, and returns
+// the globally cached data if present.
+func (s *CacheStructure) ReadAndRegister(conn, name string, vecIdx int) (ReadResult, error) {
+	start, err := s.facility.begin()
+	if err != nil {
+		return ReadResult{}, err
+	}
+	defer s.facility.charge("cache.read", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.conns[conn]
+	if !ok {
+		return ReadResult{}, fmt.Errorf("%w: %q", ErrNotConnected, conn)
+	}
+	e, err := s.entryLocked(name)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	e.registered[conn] = vecIdx
+	c.vector.Set(vecIdx)
+	res := ReadResult{Version: e.version}
+	if e.data != nil {
+		res.Data = append([]byte(nil), e.data...)
+		res.Hit = true
+		s.facility.reg.Counter("cf.cache.hit").Inc()
+	} else {
+		s.facility.reg.Counter("cf.cache.miss").Inc()
+	}
+	return res, nil
+}
+
+// WriteAndInvalidate stores a new version of block name (cache=true
+// keeps the data in the global cache; changed=true marks it pending
+// castout), cross-invalidates every other registered connector, and
+// re-registers the writer at vecIdx with its validity bit set.
+func (s *CacheStructure) WriteAndInvalidate(conn, name string, data []byte, cache, changed bool, vecIdx int) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("cache.write", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.conns[conn]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotConnected, conn)
+	}
+	e, err := s.entryLocked(name)
+	if err != nil {
+		return err
+	}
+	// Cross-invalidate signals go in parallel to only the systems with
+	// registered interest; each flips the target's validity bit with no
+	// target-side processing. Completion of all signals is observed
+	// before this command returns.
+	for other, idx := range e.registered {
+		if other == conn {
+			continue
+		}
+		if oc, ok := s.conns[other]; ok {
+			oc.vector.Clear(idx)
+			s.facility.reg.Counter("cf.cache.xi").Inc()
+		}
+		delete(e.registered, other)
+	}
+	if cache {
+		e.data = append([]byte(nil), data...)
+	} else {
+		e.data = nil
+	}
+	if changed {
+		e.changed = true
+	}
+	e.version++
+	e.registered[conn] = vecIdx
+	c.vector.Set(vecIdx)
+	return nil
+}
+
+// Unregister removes conn's interest in block name (local buffer
+// reclaimed). The connector clears its own vector bit.
+func (s *CacheStructure) Unregister(conn, name string) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("cache.unregister", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.directory[name]
+	if e == nil {
+		return nil
+	}
+	if idx, ok := e.registered[conn]; ok {
+		delete(e.registered, conn)
+		if c := s.conns[conn]; c != nil {
+			c.vector.Clear(idx)
+		}
+	}
+	return nil
+}
+
+// CastoutBegin claims the castout lock for a changed block and returns
+// its data. The caller writes it to DASD and then calls CastoutEnd.
+func (s *CacheStructure) CastoutBegin(conn, name string) ([]byte, uint64, error) {
+	start, err := s.facility.begin()
+	if err != nil {
+		return nil, 0, err
+	}
+	defer s.facility.charge("cache.castoutbegin", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.conns[conn]; !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotConnected, conn)
+	}
+	e := s.directory[name]
+	if e == nil || !e.changed || e.data == nil {
+		return nil, 0, fmt.Errorf("%w: %q not changed in cache", ErrEntryNotFound, name)
+	}
+	if e.castoutBy != "" && e.castoutBy != conn {
+		return nil, 0, fmt.Errorf("%w: castout of %q by %s", ErrLockHeld, name, e.castoutBy)
+	}
+	e.castoutBy = conn
+	return append([]byte(nil), e.data...), e.version, nil
+}
+
+// CastoutEnd completes a castout: if the block version is unchanged
+// since CastoutBegin the changed state is cleared. The castout lock is
+// released either way.
+func (s *CacheStructure) CastoutEnd(conn, name string, version uint64) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("cache.castoutend", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.directory[name]
+	if e == nil {
+		return nil
+	}
+	if e.castoutBy == conn {
+		e.castoutBy = ""
+		if e.version == version {
+			e.changed = false
+		}
+	}
+	return nil
+}
+
+// ChangedBlocks lists blocks pending castout, sorted (the castout
+// owner scans this).
+func (s *CacheStructure) ChangedBlocks() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for n, e := range s.directory {
+		if e.changed {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registered reports the connectors registered for block name.
+func (s *CacheStructure) Registered(name string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.directory[name]
+	if e == nil {
+		return nil
+	}
+	out := make([]string, 0, len(e.registered))
+	for c := range e.registered {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version returns the directory version of a block (0 if unknown).
+func (s *CacheStructure) Version(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.directory[name]; e != nil {
+		return e.version
+	}
+	return 0
+}
+
+// entryLocked finds or creates a directory entry, reclaiming clean
+// unregistered entries when the directory is full.
+func (s *CacheStructure) entryLocked(name string) (*cacheEntry, error) {
+	if e, ok := s.directory[name]; ok {
+		return e, nil
+	}
+	if len(s.directory) >= s.maxEntries {
+		if !s.reclaimLocked() {
+			return nil, fmt.Errorf("%w: %d entries", ErrCacheFull, s.maxEntries)
+		}
+	}
+	e := &cacheEntry{name: name, registered: make(map[string]int)}
+	s.directory[name] = e
+	return e, nil
+}
+
+// reclaimLocked evicts one clean, unregistered entry (deterministically
+// the lexicographically smallest, so tests are stable).
+func (s *CacheStructure) reclaimLocked() bool {
+	var victim string
+	for n, e := range s.directory {
+		if e.changed || len(e.registered) > 0 || e.castoutBy != "" {
+			continue
+		}
+		if victim == "" || n < victim {
+			victim = n
+		}
+	}
+	if victim == "" {
+		return false
+	}
+	delete(s.directory, victim)
+	s.facility.reg.Counter("cf.cache.reclaim").Inc()
+	return true
+}
+
+// storageBytes estimates the structure's footprint: directory entries
+// plus the data-element budget.
+func (s *CacheStructure) storageBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.maxEntries) * 4352 // directory entry + one 4K data element
+}

@@ -1,0 +1,310 @@
+package cf
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"sysplex/internal/vclock"
+)
+
+type cacheFixture struct {
+	fac  *Facility
+	cs   *CacheStructure
+	vecs map[string]*BitVector
+}
+
+func newCacheStruct(t *testing.T, maxEntries int) *cacheFixture {
+	t.Helper()
+	fac := New("CF01", vclock.Real())
+	cs, err := fac.AllocateCacheStructure("GBP0", maxEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &cacheFixture{fac: fac, cs: cs, vecs: map[string]*BitVector{}}
+	for _, c := range []string{"SYS1", "SYS2", "SYS3"} {
+		v := NewBitVector(64)
+		fx.vecs[c] = v
+		if err := cs.Connect(c, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fx
+}
+
+func TestRegisterAndValidityBit(t *testing.T) {
+	fx := newCacheStruct(t, 32)
+	res, err := fx.cs.ReadAndRegister("SYS1", "PAGE.1", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Fatal("unexpected global cache hit")
+	}
+	if !fx.vecs["SYS1"].Test(5) {
+		t.Fatal("validity bit not set on registration")
+	}
+	regs := fx.cs.Registered("PAGE.1")
+	if len(regs) != 1 || regs[0] != "SYS1" {
+		t.Fatalf("registered = %v", regs)
+	}
+}
+
+func TestCrossInvalidateFlipsOnlyInterestedBits(t *testing.T) {
+	fx := newCacheStruct(t, 32)
+	fx.cs.ReadAndRegister("SYS1", "PAGE.1", 1)
+	fx.cs.ReadAndRegister("SYS2", "PAGE.1", 2)
+	fx.cs.ReadAndRegister("SYS3", "PAGE.2", 3) // interest in a different page
+
+	// SYS2 updates PAGE.1.
+	if err := fx.cs.WriteAndInvalidate("SYS2", "PAGE.1", []byte("v2"), true, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	if fx.vecs["SYS1"].Test(1) {
+		t.Fatal("SYS1's copy not invalidated")
+	}
+	if !fx.vecs["SYS2"].Test(2) {
+		t.Fatal("writer's own validity lost")
+	}
+	if !fx.vecs["SYS3"].Test(3) {
+		t.Fatal("uninterested system got invalidated (not selective)")
+	}
+	if n := fx.fac.Metrics().Counter("cf.cache.xi").Value(); n != 1 {
+		t.Fatalf("xi signals = %d, want 1 (parallel, selective)", n)
+	}
+	// Invalidated systems are deregistered.
+	regs := fx.cs.Registered("PAGE.1")
+	if len(regs) != 1 || regs[0] != "SYS2" {
+		t.Fatalf("registered after XI = %v", regs)
+	}
+}
+
+func TestGlobalCacheRefresh(t *testing.T) {
+	fx := newCacheStruct(t, 32)
+	fx.cs.ReadAndRegister("SYS1", "PAGE.9", 1)
+	fx.cs.WriteAndInvalidate("SYS1", "PAGE.9", []byte("fresh"), true, true, 1)
+	// SYS2's local read: registration returns the current copy from the
+	// global cache — the "high-speed local buffer refresh" path.
+	res, err := fx.cs.ReadAndRegister("SYS2", "PAGE.9", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hit || !bytes.Equal(res.Data, []byte("fresh")) {
+		t.Fatalf("res = %+v", res)
+	}
+	if !fx.vecs["SYS2"].Test(7) {
+		t.Fatal("refresh did not set validity")
+	}
+}
+
+func TestDirectoryOnlyWrite(t *testing.T) {
+	fx := newCacheStruct(t, 32)
+	fx.cs.ReadAndRegister("SYS1", "P", 1)
+	// cache=false: directory tracks coherency but data is not cached.
+	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("x"), false, false, 1)
+	res, _ := fx.cs.ReadAndRegister("SYS2", "P", 2)
+	if res.Hit {
+		t.Fatal("directory-only write should not hit")
+	}
+}
+
+func TestVersionAdvancesOnWrite(t *testing.T) {
+	fx := newCacheStruct(t, 32)
+	fx.cs.ReadAndRegister("SYS1", "P", 1)
+	v0 := fx.cs.Version("P")
+	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("a"), true, true, 1)
+	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("b"), true, true, 1)
+	if got := fx.cs.Version("P"); got != v0+2 {
+		t.Fatalf("version = %d, want %d", got, v0+2)
+	}
+	if fx.cs.Version("UNKNOWN") != 0 {
+		t.Fatal("unknown block version != 0")
+	}
+}
+
+func TestCastoutProtocol(t *testing.T) {
+	fx := newCacheStruct(t, 32)
+	fx.cs.ReadAndRegister("SYS1", "P", 1)
+	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("dirty"), true, true, 1)
+	changed := fx.cs.ChangedBlocks()
+	if len(changed) != 1 || changed[0] != "P" {
+		t.Fatalf("changed = %v", changed)
+	}
+	data, ver, err := fx.cs.CastoutBegin("SYS2", "P")
+	if err != nil || !bytes.Equal(data, []byte("dirty")) {
+		t.Fatalf("castout begin: %q err=%v", data, err)
+	}
+	// A second castout owner is locked out.
+	if _, _, err := fx.cs.CastoutBegin("SYS3", "P"); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := fx.cs.CastoutEnd("SYS2", "P", ver); err != nil {
+		t.Fatal(err)
+	}
+	if len(fx.cs.ChangedBlocks()) != 0 {
+		t.Fatal("still changed after castout")
+	}
+}
+
+func TestCastoutRacingWriteStaysChanged(t *testing.T) {
+	fx := newCacheStruct(t, 32)
+	fx.cs.ReadAndRegister("SYS1", "P", 1)
+	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("v1"), true, true, 1)
+	_, ver, _ := fx.cs.CastoutBegin("SYS2", "P")
+	// A new version lands while the castout I/O is in flight.
+	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("v2"), true, true, 1)
+	fx.cs.CastoutEnd("SYS2", "P", ver)
+	if len(fx.cs.ChangedBlocks()) != 1 {
+		t.Fatal("raced castout must leave block changed")
+	}
+}
+
+func TestCastoutBeginOnCleanBlockFails(t *testing.T) {
+	fx := newCacheStruct(t, 32)
+	fx.cs.ReadAndRegister("SYS1", "P", 1)
+	if _, _, err := fx.cs.CastoutBegin("SYS1", "P"); !errors.Is(err, ErrEntryNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnregisterClearsBit(t *testing.T) {
+	fx := newCacheStruct(t, 32)
+	fx.cs.ReadAndRegister("SYS1", "P", 4)
+	if err := fx.cs.Unregister("SYS1", "P"); err != nil {
+		t.Fatal(err)
+	}
+	if fx.vecs["SYS1"].Test(4) {
+		t.Fatal("bit still set after unregister")
+	}
+	if len(fx.cs.Registered("P")) != 0 {
+		t.Fatal("still registered")
+	}
+	// Unregister of unknown block is a no-op.
+	if err := fx.cs.Unregister("SYS1", "NOPE"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryReclaim(t *testing.T) {
+	fx := newCacheStruct(t, 2)
+	fx.cs.ReadAndRegister("SYS1", "A", 1)
+	fx.cs.ReadAndRegister("SYS1", "B", 2)
+	fx.cs.Unregister("SYS1", "A") // A becomes clean + unregistered
+	// Third entry forces reclaim of A.
+	if _, err := fx.cs.ReadAndRegister("SYS1", "C", 3); err != nil {
+		t.Fatal(err)
+	}
+	if n := fx.fac.Metrics().Counter("cf.cache.reclaim").Value(); n != 1 {
+		t.Fatalf("reclaims = %d", n)
+	}
+	// Now B (registered) and C (registered): no reclaim candidate left.
+	if _, err := fx.cs.ReadAndRegister("SYS1", "D", 4); !errors.Is(err, ErrCacheFull) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFailConnectorPurgesRegistrations(t *testing.T) {
+	fx := newCacheStruct(t, 32)
+	fx.cs.ReadAndRegister("SYS1", "P", 1)
+	fx.cs.ReadAndRegister("SYS2", "P", 2)
+	fx.fac.FailConnector("SYS1")
+	regs := fx.cs.Registered("P")
+	if len(regs) != 1 || regs[0] != "SYS2" {
+		t.Fatalf("registered = %v", regs)
+	}
+	// Writes no longer send XI to the dead system.
+	if err := fx.cs.WriteAndInvalidate("SYS2", "P", []byte("x"), true, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.cs.ReadAndRegister("SYS1", "P", 1); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("dead connector accepted: %v", err)
+	}
+}
+
+func TestFailedCastoutOwnerReleasesLock(t *testing.T) {
+	fx := newCacheStruct(t, 32)
+	fx.cs.ReadAndRegister("SYS1", "P", 1)
+	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("d"), true, true, 1)
+	fx.cs.CastoutBegin("SYS2", "P")
+	fx.fac.FailConnector("SYS2")
+	// Another system can take over the castout.
+	if _, _, err := fx.cs.CastoutBegin("SYS3", "P"); err != nil {
+		t.Fatalf("castout takeover failed: %v", err)
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	fx := newCacheStruct(t, 8)
+	if err := fx.cs.Connect("SYS9", nil); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("nil vector accepted: %v", err)
+	}
+	if _, err := fx.cs.ReadAndRegister("GHOST", "P", 0); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := fx.cs.WriteAndInvalidate("GHOST", "P", nil, true, true, 0); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property (the coherency invariant of §3.3.2): after any sequence of
+// registered reads and writes by multiple systems, a system whose
+// validity bit tests true holds the latest version.
+func TestCoherencyProperty(t *testing.T) {
+	conns := []string{"SYS1", "SYS2", "SYS3"}
+	type op struct {
+		Conn  uint8
+		Write bool
+		Val   uint16
+	}
+	f := func(ops []op) bool {
+		fac := New("CF", vclock.Real())
+		cs, _ := fac.AllocateCacheStructure("C", 16)
+		vecs := map[string]*BitVector{}
+		local := map[string][]byte{} // each system's local buffer content
+		for _, c := range conns {
+			v := NewBitVector(8)
+			vecs[c] = v
+			cs.Connect(c, v)
+		}
+		var latest []byte
+		written := false
+		for _, o := range ops {
+			conn := conns[int(o.Conn)%len(conns)]
+			if o.Write {
+				val := []byte(fmt.Sprintf("v%d", o.Val))
+				if err := cs.WriteAndInvalidate(conn, "P", val, true, true, 0); err != nil {
+					return false
+				}
+				local[conn] = val
+				latest = val
+				written = true
+			} else {
+				res, err := cs.ReadAndRegister(conn, "P", 0)
+				if err != nil {
+					return false
+				}
+				if res.Hit {
+					local[conn] = res.Data
+				} else if written {
+					return false // data was cached globally, must hit
+				} else {
+					local[conn] = nil
+				}
+			}
+			// Invariant: valid bit ⇒ local copy is the latest version.
+			for _, c := range conns {
+				if vecs[c].Test(0) && written && local[c] != nil {
+					if !bytes.Equal(local[c], latest) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

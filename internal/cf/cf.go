@@ -1,0 +1,288 @@
+// Package cf emulates the S/390 Coupling Facility (§3.3): a shared
+// memory server attached to every system over high-speed coupling
+// links, whose storage is partitioned into structures subscribing to
+// one of three behaviour models — lock, cache, and list.
+//
+// The architectural contract reproduced here:
+//
+//   - Commands complete CPU-synchronously in the no-contention case
+//     (plain in-process calls; per-command latency is injectable so
+//     experiments can model the microsecond-class link round trip).
+//   - Cache cross-invalidation and list transition signalling are
+//     delivered by the CF flipping bits in *system-owned* bit vectors
+//     with no interrupt and no software involvement on the target;
+//     targets observe state with a local vector-test operation (the
+//     paper's "new S/390 cpu instructions").
+//   - Structures are named, typed at allocation, and may persist across
+//     connector failure (retained lock record data supports peer
+//     recovery).
+//
+// Multiple facilities can be configured for availability; package-level
+// helpers support rebuilding structures into an alternate CF.
+package cf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sysplex/internal/metrics"
+	"sysplex/internal/vclock"
+)
+
+// Errors returned by facility and structure commands.
+var (
+	ErrCFDown        = errors.New("cf: facility failed")
+	ErrNoStructure   = errors.New("cf: no such structure")
+	ErrWrongModel    = errors.New("cf: structure has a different model")
+	ErrExists        = errors.New("cf: structure already allocated")
+	ErrStorage       = errors.New("cf: insufficient facility storage")
+	ErrNotConnected  = errors.New("cf: connector not connected to structure")
+	ErrLockHeld      = errors.New("cf: serializing lock entry held")
+	ErrEntryNotFound = errors.New("cf: list entry not found")
+	ErrListFull      = errors.New("cf: list structure entry limit reached")
+	ErrCacheFull     = errors.New("cf: cache structure directory full")
+	ErrBadArgument   = errors.New("cf: bad argument")
+)
+
+// Model identifies the behaviour model a structure was allocated with.
+type Model int
+
+// The three CF structure models of §3.3.
+const (
+	LockModel Model = iota + 1
+	CacheModel
+	ListModel
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case LockModel:
+		return "lock"
+	case CacheModel:
+		return "cache"
+	case ListModel:
+		return "list"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// Facility is one Coupling Facility.
+type Facility struct {
+	name  string
+	clock vclock.Clock
+	reg   *metrics.Registry
+
+	mu         sync.Mutex
+	structures map[string]structure
+	broken     bool
+	totalBytes int64 // 0 = unconstrained
+	usedBytes  int64
+
+	// syncLatency is charged on every command to model the coupling
+	// link round trip (zero by default: functional tests run at full
+	// speed; experiments inject microsecond values).
+	syncLatency time.Duration
+}
+
+type structure interface {
+	model() Model
+	disconnect(conn string)
+	failConnector(conn string)
+	structureName() string
+	storageBytes() int64
+}
+
+// New returns a facility with unconstrained storage.
+func New(name string, clock vclock.Clock) *Facility {
+	return NewWithStorage(name, clock, 0)
+}
+
+// NewWithStorage returns a facility whose structure allocations are
+// bounded by totalBytes of CF storage (§3.3: "the CF storage resources
+// can be dynamically partitioned and allocated into CF structures").
+// totalBytes <= 0 means unconstrained.
+func NewWithStorage(name string, clock vclock.Clock, totalBytes int64) *Facility {
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	return &Facility{
+		name:       name,
+		clock:      clock,
+		reg:        metrics.NewRegistry(),
+		structures: make(map[string]structure),
+		totalBytes: totalBytes,
+	}
+}
+
+// Storage reports (total, used) structure storage in bytes. Total is 0
+// when unconstrained.
+func (f *Facility) Storage() (total, used int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.totalBytes, f.usedBytes
+}
+
+// Name returns the facility name.
+func (f *Facility) Name() string { return f.name }
+
+// Metrics exposes the facility's instrumentation.
+func (f *Facility) Metrics() *metrics.Registry { return f.reg }
+
+// SetSyncLatency injects a per-command service time (coupling link +
+// CF processor). Zero disables.
+func (f *Facility) SetSyncLatency(d time.Duration) {
+	f.mu.Lock()
+	f.syncLatency = d
+	f.mu.Unlock()
+}
+
+// Fail marks the whole facility down: every subsequent command returns
+// ErrCFDown. Used to drive structure-rebuild scenarios.
+func (f *Facility) Fail() {
+	f.mu.Lock()
+	f.broken = true
+	f.mu.Unlock()
+}
+
+// Failed reports whether the facility is down.
+func (f *Facility) Failed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.broken
+}
+
+// charge models the synchronous command cost and records metrics. It is
+// called by every structure command with the facility healthy-checked.
+func (f *Facility) charge(kind string, start time.Time) {
+	f.reg.Counter("cf.cmd." + kind).Inc()
+	f.reg.Histogram("cf.cmd.latency").Observe(f.clock.Since(start))
+}
+
+// begin performs the down-check and latency charge shared by commands.
+func (f *Facility) begin() (time.Time, error) {
+	f.mu.Lock()
+	lat := f.syncLatency
+	down := f.broken
+	f.mu.Unlock()
+	if down {
+		return time.Time{}, ErrCFDown
+	}
+	start := f.clock.Now()
+	if lat > 0 {
+		f.clock.Sleep(lat)
+	}
+	return start, nil
+}
+
+// StructureNames lists allocated structures, sorted.
+func (f *Facility) StructureNames() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.structures))
+	for n := range f.structures {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Deallocate frees a structure.
+func (f *Facility) Deallocate(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.broken {
+		return ErrCFDown
+	}
+	s, ok := f.structures[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoStructure, name)
+	}
+	delete(f.structures, name)
+	f.usedBytes -= s.storageBytes()
+	return nil
+}
+
+// DisconnectAll detaches conn from every structure in the facility
+// (normal connector shutdown: interest is cleanly removed).
+func (f *Facility) DisconnectAll(conn string) {
+	f.mu.Lock()
+	structs := make([]structure, 0, len(f.structures))
+	for _, s := range f.structures {
+		structs = append(structs, s)
+	}
+	f.mu.Unlock()
+	for _, s := range structs {
+		s.disconnect(conn)
+	}
+}
+
+// FailConnector marks conn abnormally terminated in every structure:
+// cache registrations are purged, list monitors dropped, and lock
+// interest cleared — but persistent lock records are *retained* for
+// peer recovery, as §3.3.1 requires.
+func (f *Facility) FailConnector(conn string) {
+	f.mu.Lock()
+	structs := make([]structure, 0, len(f.structures))
+	for _, s := range f.structures {
+		structs = append(structs, s)
+	}
+	f.mu.Unlock()
+	for _, s := range structs {
+		s.failConnector(conn)
+	}
+}
+
+func (f *Facility) allocate(name string, s structure) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.broken {
+		return ErrCFDown
+	}
+	if _, ok := f.structures[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	need := s.storageBytes()
+	if f.totalBytes > 0 && f.usedBytes+need > f.totalBytes {
+		return fmt.Errorf("%w: %q needs %d bytes, %d of %d free",
+			ErrStorage, name, need, f.totalBytes-f.usedBytes, f.totalBytes)
+	}
+	f.usedBytes += need
+	f.structures[name] = s
+	return nil
+}
+
+func (f *Facility) lookup(name string, m Model) (structure, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.broken {
+		return nil, ErrCFDown
+	}
+	s, ok := f.structures[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoStructure, name)
+	}
+	if s.model() != m {
+		return nil, fmt.Errorf("%w: %q is %s, not %s", ErrWrongModel, name, s.model(), m)
+	}
+	return s, nil
+}
+
+// AsyncResult carries the completion of an asynchronously executed
+// command (§3.3: commands can be executed synchronously or
+// asynchronously).
+type AsyncResult struct {
+	Err error
+}
+
+// Async runs fn off the caller's "CPU", delivering completion on the
+// returned channel. This models asynchronous CF command execution.
+func Async(fn func() error) <-chan AsyncResult {
+	ch := make(chan AsyncResult, 1)
+	go func() { ch <- AsyncResult{Err: fn()} }()
+	return ch
+}

@@ -1,0 +1,509 @@
+package cf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Order controls where a list entry is queued (§3.3.3: LIFO/FIFO order
+// or collating sequence by key under program control).
+type Order int
+
+// Queueing disciplines.
+const (
+	FIFO Order = iota
+	LIFO
+	Keyed
+)
+
+// ListEntry is one entry in a list structure. Entries are created when
+// first written and may carry a data block and an adjunct area — the
+// architecture's small control area beside the data element, written
+// with SetAdjunct and returned by reads.
+type ListEntry struct {
+	ID      string
+	Key     string
+	Data    []byte
+	Adjunct string
+	List    int
+}
+
+// clone returns a defensive copy.
+func (e ListEntry) clone() ListEntry {
+	e.Data = append([]byte(nil), e.Data...)
+	return e
+}
+
+// Cond expresses the serialized-list conditional execution protocol: a
+// mainline command executes only if the given lock entry is not held
+// (or is held by the requester). Recovery sets the lock to quiesce
+// mainline activity without every request having to acquire it.
+type Cond struct {
+	// Use enables the condition.
+	Use bool
+	// LockIndex selects the lock entry within the structure.
+	LockIndex int
+}
+
+// ListStructure is a CF list-model structure: a program-specified
+// number of list headers, dynamically created entries, optional lock
+// entries for conditional execution, and list-transition monitoring.
+type ListStructure struct {
+	facility *Facility
+	name     string
+
+	mu         sync.Mutex
+	lists      [][]*ListEntry
+	byID       map[string]*ListEntry
+	locks      []string // lock entries: holder connector or ""
+	maxEntries int
+	conns      map[string]*listConn
+	monitors   map[int]map[string]int // list -> conn -> vector index
+}
+
+type listConn struct {
+	vector *BitVector // list-transition notification vector
+}
+
+// AllocateListStructure allocates a list structure with nLists headers,
+// nLocks lock entries, and an entry capacity.
+func (f *Facility) AllocateListStructure(name string, nLists, nLocks, maxEntries int) (*ListStructure, error) {
+	if nLists <= 0 || nLocks < 0 || maxEntries <= 0 {
+		return nil, fmt.Errorf("%w: list structure shape", ErrBadArgument)
+	}
+	s := &ListStructure{
+		facility:   f,
+		name:       name,
+		lists:      make([][]*ListEntry, nLists),
+		byID:       make(map[string]*ListEntry),
+		locks:      make([]string, nLocks),
+		maxEntries: maxEntries,
+		conns:      make(map[string]*listConn),
+		monitors:   make(map[int]map[string]int),
+	}
+	if err := f.allocate(name, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ListStructure returns the named list structure.
+func (f *Facility) ListStructure(name string) (*ListStructure, error) {
+	s, err := f.lookup(name, ListModel)
+	if err != nil {
+		return nil, err
+	}
+	return s.(*ListStructure), nil
+}
+
+func (s *ListStructure) model() Model          { return ListModel }
+func (s *ListStructure) structureName() string { return s.name }
+
+// Name returns the structure name.
+func (s *ListStructure) Name() string { return s.name }
+
+// Lists returns the number of list headers.
+func (s *ListStructure) Lists() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.lists)
+}
+
+// Connect attaches a connector with its notification vector (may be
+// nil if the connector never monitors lists).
+func (s *ListStructure) Connect(conn string, vector *BitVector) error {
+	if _, err := s.facility.begin(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[conn] = &listConn{vector: vector}
+	return nil
+}
+
+func (s *ListStructure) disconnect(conn string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeConnLocked(conn)
+}
+
+func (s *ListStructure) failConnector(conn string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeConnLocked(conn)
+	// Entries written by the connector remain: list structures hold
+	// shared state (e.g. generic resource registrations) that peers
+	// clean up with their own protocol.
+}
+
+func (s *ListStructure) purgeConnLocked(conn string) {
+	delete(s.conns, conn)
+	for l, m := range s.monitors {
+		delete(m, conn)
+		if len(m) == 0 {
+			delete(s.monitors, l)
+		}
+	}
+	for i, holder := range s.locks {
+		if holder == conn {
+			s.locks[i] = ""
+		}
+	}
+}
+
+// SetLock acquires lock entry idx for conn; it fails with ErrLockHeld
+// if another connector holds it.
+func (s *ListStructure) SetLock(idx int, conn string) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("list.setlock", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.connCheckLocked(conn); err != nil {
+		return err
+	}
+	if idx < 0 || idx >= len(s.locks) {
+		return fmt.Errorf("%w: lock entry %d", ErrBadArgument, idx)
+	}
+	if s.locks[idx] != "" && s.locks[idx] != conn {
+		return fmt.Errorf("%w: by %s", ErrLockHeld, s.locks[idx])
+	}
+	s.locks[idx] = conn
+	return nil
+}
+
+// ReleaseLock releases lock entry idx if held by conn.
+func (s *ListStructure) ReleaseLock(idx int, conn string) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("list.releaselock", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx < 0 || idx >= len(s.locks) {
+		return fmt.Errorf("%w: lock entry %d", ErrBadArgument, idx)
+	}
+	if s.locks[idx] == conn {
+		s.locks[idx] = ""
+	}
+	return nil
+}
+
+// LockHolder returns the holder of lock entry idx ("" if free).
+func (s *ListStructure) LockHolder(idx int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx < 0 || idx >= len(s.locks) {
+		return ""
+	}
+	return s.locks[idx]
+}
+
+// Write creates or updates entry id on the given list. Creation onto an
+// empty list fires the list-transition signal to registered monitors.
+func (s *ListStructure) Write(conn string, list int, id, key string, data []byte, order Order, cond Cond) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("list.write", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.preambleLocked(conn, list, cond); err != nil {
+		return err
+	}
+	if e, ok := s.byID[id]; ok {
+		e.Data = append([]byte(nil), data...)
+		e.Key = key
+		return nil
+	}
+	if len(s.byID) >= s.maxEntries {
+		return fmt.Errorf("%w (%d)", ErrListFull, s.maxEntries)
+	}
+	e := &ListEntry{ID: id, Key: key, Data: append([]byte(nil), data...), List: list}
+	wasEmpty := len(s.lists[list]) == 0
+	s.insertLocked(e, list, order)
+	s.byID[id] = e
+	if wasEmpty {
+		s.signalTransitionLocked(list)
+	}
+	return nil
+}
+
+// Read returns a copy of entry id.
+func (s *ListStructure) Read(conn, id string, cond Cond) (ListEntry, error) {
+	start, err := s.facility.begin()
+	if err != nil {
+		return ListEntry{}, err
+	}
+	defer s.facility.charge("list.read", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.preambleLocked(conn, 0, cond); err != nil {
+		return ListEntry{}, err
+	}
+	e, ok := s.byID[id]
+	if !ok {
+		return ListEntry{}, fmt.Errorf("%w: %q", ErrEntryNotFound, id)
+	}
+	return e.clone(), nil
+}
+
+// ReadFirst returns (without removing) the head entry of a list.
+func (s *ListStructure) ReadFirst(conn string, list int, cond Cond) (ListEntry, error) {
+	start, err := s.facility.begin()
+	if err != nil {
+		return ListEntry{}, err
+	}
+	defer s.facility.charge("list.readfirst", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.preambleLocked(conn, list, cond); err != nil {
+		return ListEntry{}, err
+	}
+	if len(s.lists[list]) == 0 {
+		return ListEntry{}, fmt.Errorf("%w: list %d empty", ErrEntryNotFound, list)
+	}
+	return s.lists[list][0].clone(), nil
+}
+
+// Pop atomically removes and returns the head entry of a list —
+// multi-system queue consumption without explicit serialization.
+func (s *ListStructure) Pop(conn string, list int, cond Cond) (ListEntry, error) {
+	start, err := s.facility.begin()
+	if err != nil {
+		return ListEntry{}, err
+	}
+	defer s.facility.charge("list.pop", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.preambleLocked(conn, list, cond); err != nil {
+		return ListEntry{}, err
+	}
+	if len(s.lists[list]) == 0 {
+		return ListEntry{}, fmt.Errorf("%w: list %d empty", ErrEntryNotFound, list)
+	}
+	e := s.lists[list][0]
+	s.lists[list] = s.lists[list][1:]
+	delete(s.byID, e.ID)
+	return e.clone(), nil
+}
+
+// Delete removes entry id.
+func (s *ListStructure) Delete(conn, id string, cond Cond) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("list.delete", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.preambleLocked(conn, 0, cond); err != nil {
+		return err
+	}
+	e, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrEntryNotFound, id)
+	}
+	s.removeFromListLocked(e)
+	delete(s.byID, id)
+	return nil
+}
+
+// Move atomically moves entry id to another list, with no window in
+// which the entry is absent from both lists or present on both.
+func (s *ListStructure) Move(conn, id string, toList int, order Order, cond Cond) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("list.move", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.preambleLocked(conn, toList, cond); err != nil {
+		return err
+	}
+	e, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrEntryNotFound, id)
+	}
+	s.removeFromListLocked(e)
+	wasEmpty := len(s.lists[toList]) == 0
+	s.insertLocked(e, toList, order)
+	if wasEmpty {
+		s.signalTransitionLocked(toList)
+	}
+	return nil
+}
+
+// SetAdjunct updates an entry's adjunct area in place (atomically, like
+// every list command).
+func (s *ListStructure) SetAdjunct(conn, id, adjunct string, cond Cond) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("list.adjunct", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.preambleLocked(conn, 0, cond); err != nil {
+		return err
+	}
+	e, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrEntryNotFound, id)
+	}
+	e.Adjunct = adjunct
+	return nil
+}
+
+// Len returns the number of entries on a list.
+func (s *ListStructure) Len(list int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if list < 0 || list >= len(s.lists) {
+		return 0
+	}
+	return len(s.lists[list])
+}
+
+// Entries returns copies of the entries on a list in queue order.
+func (s *ListStructure) Entries(list int) []ListEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if list < 0 || list >= len(s.lists) {
+		return nil
+	}
+	out := make([]ListEntry, 0, len(s.lists[list]))
+	for _, e := range s.lists[list] {
+		out = append(out, e.clone())
+	}
+	return out
+}
+
+// TotalEntries returns the number of entries in the structure.
+func (s *ListStructure) TotalEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+// Monitor registers conn's interest in empty→non-empty transitions of
+// a list; the CF will set bit vecIdx in the connector's notification
+// vector. If the list is already non-empty the bit is set immediately.
+func (s *ListStructure) Monitor(conn string, list int, vecIdx int) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("list.monitor", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.conns[conn]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotConnected, conn)
+	}
+	if c.vector == nil {
+		return fmt.Errorf("%w: connector %q has no notification vector", ErrBadArgument, conn)
+	}
+	if list < 0 || list >= len(s.lists) {
+		return fmt.Errorf("%w: list %d", ErrBadArgument, list)
+	}
+	m := s.monitors[list]
+	if m == nil {
+		m = make(map[string]int)
+		s.monitors[list] = m
+	}
+	m[conn] = vecIdx
+	if len(s.lists[list]) > 0 {
+		c.vector.Set(vecIdx)
+	}
+	return nil
+}
+
+// Unmonitor removes conn's transition monitoring of a list.
+func (s *ListStructure) Unmonitor(conn string, list int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.monitors[list]; m != nil {
+		delete(m, conn)
+		if len(m) == 0 {
+			delete(s.monitors, list)
+		}
+	}
+}
+
+func (s *ListStructure) signalTransitionLocked(list int) {
+	for conn, idx := range s.monitors[list] {
+		if c := s.conns[conn]; c != nil && c.vector != nil {
+			// As with cross-invalidation, the signal is a bit flip in the
+			// target's vector; the target polls it, no interrupt occurs.
+			c.vector.Set(idx)
+			s.facility.reg.Counter("cf.list.transition").Inc()
+		}
+	}
+}
+
+func (s *ListStructure) insertLocked(e *ListEntry, list int, order Order) {
+	e.List = list
+	switch order {
+	case LIFO:
+		s.lists[list] = append([]*ListEntry{e}, s.lists[list]...)
+	case Keyed:
+		l := s.lists[list]
+		pos := sort.Search(len(l), func(i int) bool { return l[i].Key > e.Key })
+		l = append(l, nil)
+		copy(l[pos+1:], l[pos:])
+		l[pos] = e
+		s.lists[list] = l
+	default: // FIFO
+		s.lists[list] = append(s.lists[list], e)
+	}
+}
+
+func (s *ListStructure) removeFromListLocked(e *ListEntry) {
+	l := s.lists[e.List]
+	for i, x := range l {
+		if x == e {
+			s.lists[e.List] = append(l[:i], l[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *ListStructure) preambleLocked(conn string, list int, cond Cond) error {
+	if err := s.connCheckLocked(conn); err != nil {
+		return err
+	}
+	if list < 0 || list >= len(s.lists) {
+		return fmt.Errorf("%w: list %d of %d", ErrBadArgument, list, len(s.lists))
+	}
+	if cond.Use {
+		if cond.LockIndex < 0 || cond.LockIndex >= len(s.locks) {
+			return fmt.Errorf("%w: lock entry %d", ErrBadArgument, cond.LockIndex)
+		}
+		if h := s.locks[cond.LockIndex]; h != "" && h != conn {
+			return fmt.Errorf("%w: by %s", ErrLockHeld, h)
+		}
+	}
+	return nil
+}
+
+func (s *ListStructure) connCheckLocked(conn string) error {
+	if _, ok := s.conns[conn]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotConnected, conn)
+	}
+	return nil
+}
+
+// storageBytes estimates the structure's footprint: list headers, lock
+// entries, and the entry budget (entry controls + data element).
+func (s *ListStructure) storageBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.lists))*64 + int64(len(s.locks))*16 + int64(s.maxEntries)*512
+}

@@ -1,0 +1,460 @@
+package cf
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// LockMode is the interest level recorded in a lock table entry.
+type LockMode int
+
+// Lock modes.
+const (
+	Share LockMode = iota + 1
+	Exclusive
+)
+
+// String names the mode.
+func (m LockMode) String() string {
+	switch m {
+	case Share:
+		return "share"
+	case Exclusive:
+		return "exclusive"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ObtainResult is the outcome of a lock-table obtain command.
+type ObtainResult struct {
+	// Granted reports CPU-synchronous grant (the common, contention-free
+	// case, completing in microseconds per §3.3.1).
+	Granted bool
+	// Holders identifies the connectors holding incompatible interest
+	// when Granted is false, enabling *selective* cross-system lock
+	// negotiation rather than broadcast.
+	Holders []string
+}
+
+// LockRecord is persistent lock information recorded in the structure
+// so that peer systems can recover ("retain") locks held by a failed
+// system (§3.3.1).
+type LockRecord struct {
+	Connector string
+	Resource  string
+	Mode      LockMode
+}
+
+// LockStructure is a CF lock-model structure: a program-specified
+// number of lock table entries, each tracking per-connector share and
+// exclusive interest, plus a record-data area for persistent locks.
+type LockStructure struct {
+	facility *Facility
+	name     string
+
+	mu      sync.Mutex
+	entries []lockEntry
+	conns   map[string]bool
+	// records holds persistent lock records keyed by connector.
+	records map[string]map[string]LockRecord // conn -> resource -> record
+	// retained marks connectors that failed; their records survive for
+	// peer recovery until explicitly deleted.
+	retained map[string]bool
+}
+
+type lockEntry struct {
+	exclOwner  string         // connector with exclusive interest ("" none)
+	exclCount  int            // resources it holds exclusively on this entry
+	shared     map[string]int // connector -> count of share interests
+	forcedExcl map[string]int // software-managed exclusive interest per connector
+}
+
+// exclInterestLocked reports whether any connector other than conn has
+// exclusive interest (fast-path owner or software-managed).
+func (e *lockEntry) otherExclLocked(conn string) []string {
+	var holders []string
+	if e.exclOwner != "" && e.exclOwner != conn {
+		holders = append(holders, e.exclOwner)
+	}
+	for c, n := range e.forcedExcl {
+		if c != conn && n > 0 {
+			holders = append(holders, c)
+		}
+	}
+	return holders
+}
+
+// AllocateLockStructure allocates a lock structure with n lock table
+// entries.
+func (f *Facility) AllocateLockStructure(name string, n int) (*LockStructure, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: lock table needs > 0 entries", ErrBadArgument)
+	}
+	s := &LockStructure{
+		facility: f,
+		name:     name,
+		entries:  make([]lockEntry, n),
+		conns:    make(map[string]bool),
+		records:  make(map[string]map[string]LockRecord),
+		retained: make(map[string]bool),
+	}
+	if err := f.allocate(name, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LockStructure returns the named lock structure.
+func (f *Facility) LockStructure(name string) (*LockStructure, error) {
+	s, err := f.lookup(name, LockModel)
+	if err != nil {
+		return nil, err
+	}
+	return s.(*LockStructure), nil
+}
+
+func (s *LockStructure) model() Model          { return LockModel }
+func (s *LockStructure) structureName() string { return s.name }
+
+// Name returns the structure name.
+func (s *LockStructure) Name() string { return s.name }
+
+// Entries returns the lock table size.
+func (s *LockStructure) Entries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Connect attaches a connector (a system's lock manager instance).
+func (s *LockStructure) Connect(conn string) error {
+	if _, err := s.facility.begin(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[conn] = true
+	delete(s.retained, conn) // reconnect after recovery
+	return nil
+}
+
+func (s *LockStructure) disconnect(conn string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+	s.cleanupInterestLocked(conn)
+	delete(s.records, conn) // normal shutdown: nothing to retain
+}
+
+func (s *LockStructure) failConnector(conn string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.conns[conn] {
+		return
+	}
+	delete(s.conns, conn)
+	s.cleanupInterestLocked(conn)
+	if len(s.records[conn]) > 0 {
+		s.retained[conn] = true // persistent records retained for recovery
+	}
+}
+
+func (s *LockStructure) cleanupInterestLocked(conn string) {
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.exclOwner == conn {
+			e.exclOwner = ""
+			e.exclCount = 0
+		}
+		delete(e.shared, conn)
+		delete(e.forcedExcl, conn)
+	}
+}
+
+// HashResource maps a software lock resource name to a lock table
+// entry, the "software-hashing" of §3.3.1.
+func (s *LockStructure) HashResource(resource string) int {
+	h := fnv.New64a()
+	h.Write([]byte(resource))
+	return int(h.Sum64() % uint64(s.Entries()))
+}
+
+// Obtain records interest of the given mode on lock table entry idx for
+// conn. In the compatible case the request is granted synchronously;
+// otherwise the connectors holding incompatible interest are returned
+// for selective negotiation.
+func (s *LockStructure) Obtain(idx int, conn string, mode LockMode) (ObtainResult, error) {
+	start, err := s.facility.begin()
+	if err != nil {
+		return ObtainResult{}, err
+	}
+	defer s.facility.charge("lock.obtain", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkLocked(idx, conn); err != nil {
+		return ObtainResult{}, err
+	}
+	e := &s.entries[idx]
+	switch mode {
+	case Share:
+		holders := e.otherExclLocked(conn)
+		if len(holders) == 0 {
+			if e.shared == nil {
+				e.shared = make(map[string]int)
+			}
+			e.shared[conn]++
+			return ObtainResult{Granted: true}, nil
+		}
+		sort.Strings(holders)
+		return ObtainResult{Holders: dedup(holders)}, nil
+	case Exclusive:
+		holders := e.otherExclLocked(conn)
+		for c, n := range e.shared {
+			if c != conn && n > 0 {
+				holders = append(holders, c)
+			}
+		}
+		if len(holders) == 0 {
+			if e.exclOwner == "" {
+				e.exclOwner = conn
+			}
+			if e.exclOwner == conn {
+				e.exclCount++
+			} else {
+				if e.forcedExcl == nil {
+					e.forcedExcl = make(map[string]int)
+				}
+				e.forcedExcl[conn]++
+			}
+			return ObtainResult{Granted: true}, nil
+		}
+		sort.Strings(holders)
+		return ObtainResult{Holders: dedup(holders)}, nil
+	default:
+		return ObtainResult{}, fmt.Errorf("%w: mode %v", ErrBadArgument, mode)
+	}
+}
+
+// ForceObtain records interest regardless of entry compatibility. It is
+// issued after software negotiation determines the conflict was false
+// (different resources hashing to the same entry) or after the holder
+// granted compatibility at the resource level; from then on the entry
+// is software-managed, exactly the exception path §3.3.1 describes.
+func (s *LockStructure) ForceObtain(idx int, conn string, mode LockMode) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("lock.force", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkLocked(idx, conn); err != nil {
+		return err
+	}
+	e := &s.entries[idx]
+	switch mode {
+	case Share:
+		if e.shared == nil {
+			e.shared = make(map[string]int)
+		}
+		e.shared[conn]++
+	case Exclusive:
+		// Record the connector's exclusive interest on the (now
+		// software-managed) entry without disturbing the fast-path
+		// owner slot.
+		if e.exclOwner == conn {
+			e.exclCount++
+			break
+		}
+		if e.forcedExcl == nil {
+			e.forcedExcl = make(map[string]int)
+		}
+		e.forcedExcl[conn]++
+	default:
+		return fmt.Errorf("%w: mode %v", ErrBadArgument, mode)
+	}
+	return nil
+}
+
+// Release drops one unit of interest of the given mode for conn.
+func (s *LockStructure) Release(idx int, conn string, mode LockMode) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("lock.release", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkLocked(idx, conn); err != nil {
+		return err
+	}
+	e := &s.entries[idx]
+	switch mode {
+	case Share:
+		if e.shared[conn] > 0 {
+			e.shared[conn]--
+			if e.shared[conn] == 0 {
+				delete(e.shared, conn)
+			}
+		}
+	case Exclusive:
+		if e.exclOwner == conn && e.exclCount > 0 {
+			e.exclCount--
+			if e.exclCount == 0 {
+				e.exclOwner = ""
+			}
+		} else if e.forcedExcl[conn] > 0 {
+			e.forcedExcl[conn]--
+			if e.forcedExcl[conn] == 0 {
+				delete(e.forcedExcl, conn)
+			}
+		}
+	default:
+		return fmt.Errorf("%w: mode %v", ErrBadArgument, mode)
+	}
+	return nil
+}
+
+// Interest reports conn's recorded interest counts on entry idx
+// (share, exclusive), for diagnostics and tests.
+func (s *LockStructure) Interest(idx int, conn string) (share, excl int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx < 0 || idx >= len(s.entries) {
+		return 0, 0, fmt.Errorf("%w: entry %d", ErrBadArgument, idx)
+	}
+	e := &s.entries[idx]
+	share = e.shared[conn]
+	if e.exclOwner == conn {
+		excl = e.exclCount
+	}
+	excl += e.forcedExcl[conn]
+	return share, excl, nil
+}
+
+// SetRecord stores a persistent lock record for conn (recording of
+// persistent lock information "to enable fast lock recovery in the
+// event of an MVS system failure while holding lock resources").
+func (s *LockStructure) SetRecord(conn, resource string, mode LockMode) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("lock.setrecord", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.conns[conn] {
+		return fmt.Errorf("%w: %q", ErrNotConnected, conn)
+	}
+	m := s.records[conn]
+	if m == nil {
+		m = make(map[string]LockRecord)
+		s.records[conn] = m
+	}
+	m[resource] = LockRecord{Connector: conn, Resource: resource, Mode: mode}
+	return nil
+}
+
+// DeleteRecord removes a persistent lock record (lock released, or
+// recovery for that resource complete).
+func (s *LockStructure) DeleteRecord(conn, resource string) error {
+	start, err := s.facility.begin()
+	if err != nil {
+		return err
+	}
+	defer s.facility.charge("lock.delrecord", start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.records[conn]
+	delete(m, resource)
+	if len(m) == 0 {
+		delete(s.records, conn)
+		delete(s.retained, conn)
+	}
+	return nil
+}
+
+// Records returns the persistent lock records for conn (a peer reads a
+// failed connector's records to perform lock recovery), sorted by
+// resource.
+func (s *LockStructure) Records(conn string) ([]LockRecord, error) {
+	if _, err := s.facility.begin(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.records[conn]
+	out := make([]LockRecord, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource < out[j].Resource })
+	return out, nil
+}
+
+// AdoptRetained installs another structure's retained records for a
+// failed connector during a structure rebuild, so recovery protection
+// survives the move to a new coupling facility.
+func (s *LockStructure) AdoptRetained(conn string, recs []LockRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.records[conn]
+	if m == nil {
+		m = make(map[string]LockRecord)
+		s.records[conn] = m
+	}
+	for _, r := range recs {
+		m[r.Resource] = LockRecord{Connector: conn, Resource: r.Resource, Mode: r.Mode}
+	}
+	if !s.conns[conn] {
+		s.retained[conn] = true
+	}
+}
+
+// RetainedConnectors lists failed connectors with retained records.
+func (s *LockStructure) RetainedConnectors() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.retained))
+	for c := range s.retained {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *LockStructure) checkLocked(idx int, conn string) error {
+	if idx < 0 || idx >= len(s.entries) {
+		return fmt.Errorf("%w: entry %d of %d", ErrBadArgument, idx, len(s.entries))
+	}
+	if !s.conns[conn] {
+		return fmt.Errorf("%w: %q", ErrNotConnected, conn)
+	}
+	return nil
+}
+
+func dedup(in []string) []string {
+	out := in[:0]
+	var last string
+	for i, v := range in {
+		if i == 0 || v != last {
+			out = append(out, v)
+		}
+		last = v
+	}
+	return out
+}
+
+// storageBytes estimates the structure's CF storage footprint: each
+// lock table entry is a word of interest bits plus record-data budget.
+func (s *LockStructure) storageBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.entries)) * 64
+}

@@ -1,0 +1,311 @@
+package cf
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sysplex/internal/vclock"
+)
+
+func newLockStruct(t *testing.T, entries int) (*Facility, *LockStructure) {
+	t.Helper()
+	f := New("CF01", vclock.Real())
+	ls, err := f.AllocateLockStructure("IRLM", entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"SYS1", "SYS2", "SYS3"} {
+		if err := ls.Connect(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, ls
+}
+
+func TestObtainShareCompatible(t *testing.T) {
+	_, ls := newLockStruct(t, 16)
+	r1, err := ls.Obtain(5, "SYS1", Share)
+	if err != nil || !r1.Granted {
+		t.Fatalf("r1 = %+v err=%v", r1, err)
+	}
+	r2, err := ls.Obtain(5, "SYS2", Share)
+	if err != nil || !r2.Granted {
+		t.Fatalf("share+share should grant: %+v err=%v", r2, err)
+	}
+}
+
+func TestObtainExclusiveConflicts(t *testing.T) {
+	_, ls := newLockStruct(t, 16)
+	if r, _ := ls.Obtain(5, "SYS1", Exclusive); !r.Granted {
+		t.Fatal("first exclusive should grant")
+	}
+	// Exclusive vs exclusive: contention names the holder.
+	r, err := ls.Obtain(5, "SYS2", Exclusive)
+	if err != nil || r.Granted {
+		t.Fatalf("r = %+v err=%v", r, err)
+	}
+	if len(r.Holders) != 1 || r.Holders[0] != "SYS1" {
+		t.Fatalf("holders = %v", r.Holders)
+	}
+	// Share vs exclusive: contention.
+	r, _ = ls.Obtain(5, "SYS2", Share)
+	if r.Granted || len(r.Holders) != 1 || r.Holders[0] != "SYS1" {
+		t.Fatalf("share r = %+v", r)
+	}
+	// Same connector re-obtains freely (different resources on the same
+	// entry from one system are locally serialized).
+	if r, _ := ls.Obtain(5, "SYS1", Exclusive); !r.Granted {
+		t.Fatal("holder re-obtain should grant")
+	}
+	if r, _ := ls.Obtain(5, "SYS1", Share); !r.Granted {
+		t.Fatal("holder share should grant")
+	}
+}
+
+func TestExclusiveBlockedByOtherShare(t *testing.T) {
+	_, ls := newLockStruct(t, 16)
+	ls.Obtain(2, "SYS1", Share)
+	ls.Obtain(2, "SYS3", Share)
+	r, _ := ls.Obtain(2, "SYS2", Exclusive)
+	if r.Granted {
+		t.Fatal("exclusive should conflict with other shares")
+	}
+	if len(r.Holders) != 2 || r.Holders[0] != "SYS1" || r.Holders[1] != "SYS3" {
+		t.Fatalf("holders = %v", r.Holders)
+	}
+}
+
+func TestReleaseRestoresGrantability(t *testing.T) {
+	_, ls := newLockStruct(t, 16)
+	ls.Obtain(7, "SYS1", Exclusive)
+	ls.Obtain(7, "SYS1", Exclusive) // two resources on the entry
+	if err := ls.Release(7, "SYS1", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// One exclusive interest remains.
+	if r, _ := ls.Obtain(7, "SYS2", Share); r.Granted {
+		t.Fatal("still exclusive, share must conflict")
+	}
+	ls.Release(7, "SYS1", Exclusive)
+	if r, _ := ls.Obtain(7, "SYS2", Share); !r.Granted {
+		t.Fatal("entry free, share must grant")
+	}
+}
+
+func TestForceObtainAfterNegotiation(t *testing.T) {
+	_, ls := newLockStruct(t, 16)
+	ls.Obtain(4, "SYS1", Exclusive)
+	r, _ := ls.Obtain(4, "SYS2", Exclusive)
+	if r.Granted {
+		t.Fatal("expected contention")
+	}
+	// Software negotiation found the conflict false (different resources
+	// hash to entry 4): the requester force-obtains.
+	if err := ls.ForceObtain(4, "SYS2", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Both releases must leave the entry clean.
+	ls.Release(4, "SYS1", Exclusive)
+	ls.Release(4, "SYS2", Exclusive)
+	if r, _ := ls.Obtain(4, "SYS3", Exclusive); !r.Granted {
+		t.Fatal("entry not clean after force-obtain releases")
+	}
+}
+
+func TestHashResourceStableAndInRange(t *testing.T) {
+	_, ls := newLockStruct(t, 37)
+	seen := map[int]bool{}
+	for _, r := range []string{"DB.T1.ROW5", "DB.T1.ROW6", "DB.T2.ROW5", "Q#4711", ""} {
+		h1 := ls.HashResource(r)
+		h2 := ls.HashResource(r)
+		if h1 != h2 {
+			t.Fatalf("hash of %q not stable", r)
+		}
+		if h1 < 0 || h1 >= 37 {
+			t.Fatalf("hash of %q out of range: %d", r, h1)
+		}
+		seen[h1] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("suspiciously degenerate hashing")
+	}
+}
+
+func TestPersistentRecordsAndRetention(t *testing.T) {
+	f, ls := newLockStruct(t, 16)
+	if err := ls.SetRecord("SYS1", "DB.T1.ROW5", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	ls.SetRecord("SYS1", "DB.T1.ROW9", Share)
+	ls.Obtain(1, "SYS1", Exclusive)
+
+	// Abnormal termination of SYS1.
+	f.FailConnector("SYS1")
+
+	// Entry interest is gone: others can lock immediately...
+	if r, _ := ls.Obtain(1, "SYS2", Exclusive); !r.Granted {
+		t.Fatal("failed connector's entry interest not cleared")
+	}
+	// ...but the records are retained for peer recovery.
+	ret := ls.RetainedConnectors()
+	if len(ret) != 1 || ret[0] != "SYS1" {
+		t.Fatalf("retained = %v", ret)
+	}
+	recs, err := ls.Records("SYS1")
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("records = %v err=%v", recs, err)
+	}
+	if recs[0].Resource != "DB.T1.ROW5" || recs[0].Mode != Exclusive {
+		t.Fatalf("rec0 = %+v", recs[0])
+	}
+	// Peer completes recovery and deletes the records.
+	ls.DeleteRecord("SYS1", "DB.T1.ROW5")
+	ls.DeleteRecord("SYS1", "DB.T1.ROW9")
+	if len(ls.RetainedConnectors()) != 0 {
+		t.Fatal("retention not cleared after recovery")
+	}
+}
+
+func TestNormalDisconnectDropsRecords(t *testing.T) {
+	_, ls := newLockStruct(t, 16)
+	ls.SetRecord("SYS1", "R", Exclusive)
+	ls.disconnect("SYS1")
+	if len(ls.RetainedConnectors()) != 0 {
+		t.Fatal("normal shutdown should not retain records")
+	}
+	recs, _ := ls.Records("SYS1")
+	if len(recs) != 0 {
+		t.Fatalf("records = %v", recs)
+	}
+}
+
+func TestNotConnectedRejected(t *testing.T) {
+	_, ls := newLockStruct(t, 16)
+	if _, err := ls.Obtain(0, "GHOST", Share); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ls.SetRecord("GHOST", "R", Share); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadEntryIndex(t *testing.T) {
+	_, ls := newLockStruct(t, 4)
+	if _, err := ls.Obtain(4, "SYS1", Share); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ls.Obtain(-1, "SYS1", Share); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := ls.Interest(9, "SYS1"); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadMode(t *testing.T) {
+	_, ls := newLockStruct(t, 4)
+	if _, err := ls.Obtain(0, "SYS1", LockMode(9)); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ls.Release(0, "SYS1", LockMode(9)); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ls.ForceObtain(0, "SYS1", LockMode(9)); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReconnectClearsRetention(t *testing.T) {
+	f, ls := newLockStruct(t, 8)
+	ls.SetRecord("SYS1", "R", Exclusive)
+	f.FailConnector("SYS1")
+	if len(ls.RetainedConnectors()) != 1 {
+		t.Fatal("not retained")
+	}
+	// SYS1 restarts and reconnects (it will recover its own records).
+	ls.Connect("SYS1")
+	if len(ls.RetainedConnectors()) != 0 {
+		t.Fatal("retention survived reconnect")
+	}
+	recs, _ := ls.Records("SYS1")
+	if len(recs) != 1 {
+		t.Fatal("own records lost on reconnect")
+	}
+}
+
+// Property: grant decisions match a reference compatibility oracle when
+// only fast-path Obtain/Release are used.
+func TestLockCompatibilityProperty(t *testing.T) {
+	conns := []string{"SYS1", "SYS2", "SYS3"}
+	type op struct {
+		Conn    uint8
+		Entry   uint8
+		Mode    bool // true = exclusive
+		Release bool
+	}
+	f := func(ops []op) bool {
+		fac := New("CF", vclock.Real())
+		ls, _ := fac.AllocateLockStructure("L", 8)
+		for _, c := range conns {
+			ls.Connect(c)
+		}
+		type key struct {
+			entry int
+			conn  string
+		}
+		share := map[key]int{}
+		excl := map[key]int{}
+		for _, o := range ops {
+			conn := conns[int(o.Conn)%len(conns)]
+			entry := int(o.Entry) % 8
+			mode := Share
+			if o.Mode {
+				mode = Exclusive
+			}
+			k := key{entry, conn}
+			if o.Release {
+				if mode == Share && share[k] > 0 {
+					share[k]--
+				}
+				if mode == Exclusive && excl[k] > 0 {
+					excl[k]--
+				}
+				ls.Release(entry, conn, mode)
+				continue
+			}
+			res, err := ls.Obtain(entry, conn, mode)
+			if err != nil {
+				return false
+			}
+			// Oracle: grant iff compatible with other connectors' state.
+			compatible := true
+			for _, other := range conns {
+				if other == conn {
+					continue
+				}
+				ok := key{entry, other}
+				if excl[ok] > 0 {
+					compatible = false
+				}
+				if mode == Exclusive && share[ok] > 0 {
+					compatible = false
+				}
+			}
+			if res.Granted != compatible {
+				return false
+			}
+			if res.Granted {
+				if mode == Share {
+					share[k]++
+				} else {
+					excl[k]++
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

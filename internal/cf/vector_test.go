@@ -1,0 +1,140 @@
+package cf
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitVectorBasics(t *testing.T) {
+	v := NewBitVector(130) // spans three words
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if v.Test(i) {
+			t.Fatalf("bit %d set initially", i)
+		}
+		v.Set(i)
+		if !v.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if v.Count() != 4 {
+		t.Fatalf("Count = %d", v.Count())
+	}
+	v.Clear(64)
+	if v.Test(64) {
+		t.Fatal("bit 64 still set")
+	}
+	v.ClearAll()
+	if v.Count() != 0 {
+		t.Fatalf("Count after ClearAll = %d", v.Count())
+	}
+}
+
+func TestBitVectorOutOfRangeSafe(t *testing.T) {
+	v := NewBitVector(8)
+	v.Set(-1)
+	v.Set(8)
+	v.Clear(100)
+	if v.Test(-1) || v.Test(8) {
+		t.Fatal("out of range Test returned true")
+	}
+	if v.Count() != 0 {
+		t.Fatal("out of range ops mutated vector")
+	}
+}
+
+func TestBitVectorZeroSize(t *testing.T) {
+	v := NewBitVector(0)
+	if v.Len() < 1 {
+		t.Fatal("zero-size vector unusable")
+	}
+}
+
+func TestBitVectorConcurrentDistinctBits(t *testing.T) {
+	v := NewBitVector(512)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := g * 64; i < (g+1)*64; i++ {
+				v.Set(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if v.Count() != 512 {
+		t.Fatalf("Count = %d, want 512 (lost updates)", v.Count())
+	}
+}
+
+func TestBitVectorConcurrentSameWord(t *testing.T) {
+	// Setters and clearers on different bits of the same word must not
+	// clobber each other (this is why Set/Clear use CAS).
+	v := NewBitVector(64)
+	var wg sync.WaitGroup
+	for bit := 0; bit < 32; bit++ {
+		bit := bit
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v.Set(bit)
+			}
+		}()
+	}
+	for bit := 32; bit < 64; bit++ {
+		bit := bit
+		v.Set(bit)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v.Clear(bit)
+			}
+		}()
+	}
+	wg.Wait()
+	for bit := 0; bit < 32; bit++ {
+		if !v.Test(bit) {
+			t.Fatalf("bit %d lost", bit)
+		}
+	}
+	for bit := 32; bit < 64; bit++ {
+		if v.Test(bit) {
+			t.Fatalf("bit %d not cleared", bit)
+		}
+	}
+}
+
+// Property: Set then Test is true; Clear then Test is false, for any
+// in-range index sequence.
+func TestBitVectorSetClearProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		v := NewBitVector(256)
+		state := make(map[int]bool)
+		for _, o := range ops {
+			idx := int(o & 0xff)
+			if o < 0 {
+				v.Clear(idx)
+				state[idx] = false
+			} else {
+				v.Set(idx)
+				state[idx] = true
+			}
+		}
+		for idx, want := range state {
+			if v.Test(idx) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,456 @@
+// Package dasd emulates the S/390 shared direct-access storage substrate
+// of Figure 1: volumes fully connected to every system over multiple
+// channel paths with automatic path failover, hardware RESERVE/RELEASE
+// serialization, and per-system I/O fencing (used by the sysplex
+// failure-management path to isolate sick systems from shared data, as
+// described in §3.2 of the paper).
+//
+// Latency is injectable per device so discrete-event experiments can
+// model millisecond-class I/O while functional tests run at full speed.
+package dasd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sysplex/internal/metrics"
+	"sysplex/internal/vclock"
+)
+
+// Errors returned by device I/O.
+var (
+	ErrBroken      = errors.New("dasd: device failed")
+	ErrFenced      = errors.New("dasd: system is fenced from device")
+	ErrNoPaths     = errors.New("dasd: no online channel paths to device")
+	ErrReserved    = errors.New("dasd: device reserved by another system")
+	ErrBadBlock    = errors.New("dasd: block number out of range")
+	ErrNoSuchVol   = errors.New("dasd: no such volume")
+	ErrExists      = errors.New("dasd: dataset already exists")
+	ErrNoSpace     = errors.New("dasd: volume out of space")
+	ErrNoDataset   = errors.New("dasd: no such dataset")
+	ErrShortRecord = errors.New("dasd: record larger than block size")
+)
+
+// BlockSize is the emulated physical block size (a 4K CKD-ish page).
+const BlockSize = 4096
+
+// Farm is the collection of shared volumes visible to every system in
+// the sysplex, together with the dataset catalog.
+type Farm struct {
+	mu      sync.Mutex
+	clock   vclock.Clock
+	volumes map[string]*Volume
+	catalog map[string]*Dataset // dataset name -> dataset
+	metrics *metrics.Registry
+}
+
+// NewFarm returns an empty Farm using the given clock for I/O latency.
+func NewFarm(clock vclock.Clock) *Farm {
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	return &Farm{
+		clock:   clock,
+		volumes: make(map[string]*Volume),
+		catalog: make(map[string]*Dataset),
+		metrics: metrics.NewRegistry(),
+	}
+}
+
+// Metrics exposes the farm's instrumentation registry.
+func (f *Farm) Metrics() *metrics.Registry { return f.metrics }
+
+// AddVolume creates a volume with the given serial and capacity in
+// blocks. Each system referenced later gets pathsPerSystem channel paths.
+func (f *Farm) AddVolume(volser string, blocks, pathsPerSystem int) (*Volume, error) {
+	if blocks <= 0 || pathsPerSystem <= 0 {
+		return nil, fmt.Errorf("dasd: volume %q needs positive blocks and paths", volser)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.volumes[volser]; ok {
+		return nil, fmt.Errorf("dasd: volume %q already exists", volser)
+	}
+	v := &Volume{
+		farm:        f,
+		volser:      volser,
+		data:        make([][]byte, blocks),
+		nPaths:      pathsPerSystem,
+		paths:       make(map[string][]bool),
+		pathIO:      make(map[string][]int64),
+		fenced:      make(map[string]bool),
+		nextExtent:  0,
+		readLatency: 0,
+	}
+	f.volumes[volser] = v
+	return v, nil
+}
+
+// Volume returns the named volume.
+func (f *Farm) Volume(volser string) (*Volume, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.volumes[volser]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchVol, volser)
+	}
+	return v, nil
+}
+
+// Volumes returns the volume serials in the farm.
+func (f *Farm) Volumes() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.volumes))
+	for k := range f.volumes {
+		out = append(out, k)
+	}
+	return out
+}
+
+// FenceSystem fences sys from every volume in the farm; all subsequent
+// I/O from sys fails with ErrFenced. This is the I/O isolation step of
+// fail-stop system partitioning.
+func (f *Farm) FenceSystem(sys string) {
+	f.mu.Lock()
+	vols := make([]*Volume, 0, len(f.volumes))
+	for _, v := range f.volumes {
+		vols = append(vols, v)
+	}
+	f.mu.Unlock()
+	for _, v := range vols {
+		v.Fence(sys)
+	}
+}
+
+// UnfenceSystem lifts a farm-wide fence (system re-IPL).
+func (f *Farm) UnfenceSystem(sys string) {
+	f.mu.Lock()
+	vols := make([]*Volume, 0, len(f.volumes))
+	for _, v := range f.volumes {
+		vols = append(vols, v)
+	}
+	f.mu.Unlock()
+	for _, v := range vols {
+		v.Unfence(sys)
+	}
+}
+
+// Allocate creates a dataset of nblocks contiguous blocks on the named
+// volume and registers it in the catalog.
+func (f *Farm) Allocate(volser, name string, nblocks int) (*Dataset, error) {
+	v, err := f.Volume(volser)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.catalog[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	v.mu.Lock()
+	if v.nextExtent+nblocks > len(v.data) {
+		v.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q allocating %q", ErrNoSpace, volser, name)
+	}
+	first := v.nextExtent
+	v.nextExtent += nblocks
+	v.mu.Unlock()
+	ds := &Dataset{vol: v, name: name, first: first, blocks: nblocks}
+	f.catalog[name] = ds
+	return ds, nil
+}
+
+// Dataset looks up a cataloged dataset by name.
+func (f *Farm) Dataset(name string) (*Dataset, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ds, ok := f.catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoDataset, name)
+	}
+	return ds, nil
+}
+
+// Volume is one shared DASD volume.
+type Volume struct {
+	farm   *Farm
+	volser string
+
+	mu         sync.Mutex
+	data       [][]byte
+	nextExtent int
+
+	nPaths int
+	paths  map[string][]bool  // system -> per-path online flag (lazily all-online)
+	pathIO map[string][]int64 // system -> per-path I/O count
+
+	fenced   map[string]bool
+	reserved string // system holding hardware reserve ("" = none)
+	broken   bool   // device hard failure: every operation errors
+
+	readLatency  time.Duration
+	writeLatency time.Duration
+}
+
+// Volser returns the volume serial.
+func (v *Volume) Volser() string { return v.volser }
+
+// Blocks returns the volume capacity in blocks.
+func (v *Volume) Blocks() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.data)
+}
+
+// SetLatency configures simulated read/write latency applied per I/O.
+func (v *Volume) SetLatency(read, write time.Duration) {
+	v.mu.Lock()
+	v.readLatency, v.writeLatency = read, write
+	v.mu.Unlock()
+}
+
+// Fence blocks all future I/O from sys.
+func (v *Volume) Fence(sys string) {
+	v.mu.Lock()
+	v.fenced[sys] = true
+	// A fenced system also loses any hardware reserve it held, so
+	// surviving systems are not deadlocked behind a dead holder.
+	if v.reserved == sys {
+		v.reserved = ""
+	}
+	v.mu.Unlock()
+}
+
+// Unfence restores I/O access for sys.
+func (v *Volume) Unfence(sys string) {
+	v.mu.Lock()
+	delete(v.fenced, sys)
+	v.mu.Unlock()
+}
+
+// Fenced reports whether sys is fenced from this volume.
+func (v *Volume) Fenced(sys string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.fenced[sys]
+}
+
+// Reserve obtains the hardware reserve for sys. It fails with
+// ErrReserved if another system holds it (callers implement retry and
+// holder-timeout policy; see package cds).
+func (v *Volume) Reserve(sys string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.broken {
+		return ErrBroken
+	}
+	if v.fenced[sys] {
+		return ErrFenced
+	}
+	if v.reserved != "" && v.reserved != sys {
+		return fmt.Errorf("%w (holder %s)", ErrReserved, v.reserved)
+	}
+	v.reserved = sys
+	return nil
+}
+
+// Release drops the hardware reserve if held by sys.
+func (v *Volume) Release(sys string) {
+	v.mu.Lock()
+	if v.reserved == sys {
+		v.reserved = ""
+	}
+	v.mu.Unlock()
+}
+
+// BreakReserve forcibly clears a reserve held by holder (the timeout
+// path for faulty processors). It is a no-op if holder no longer holds.
+func (v *Volume) BreakReserve(holder string) {
+	v.mu.Lock()
+	if v.reserved == holder {
+		v.reserved = ""
+	}
+	v.mu.Unlock()
+}
+
+// SetBroken marks the device hard-failed (true) or repaired (false).
+// A failing device drops any reserve it was holding.
+func (v *Volume) SetBroken(broken bool) {
+	v.mu.Lock()
+	v.broken = broken
+	if broken {
+		v.reserved = ""
+	}
+	v.mu.Unlock()
+}
+
+// Broken reports whether the device is hard-failed.
+func (v *Volume) Broken() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.broken
+}
+
+// ReserveHolder returns the current reserve holder ("" if none).
+func (v *Volume) ReserveHolder() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.reserved
+}
+
+// VaryPath sets path idx for sys online or offline.
+func (v *Volume) VaryPath(sys string, idx int, online bool) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	p := v.pathsLocked(sys)
+	if idx < 0 || idx >= len(p) {
+		return fmt.Errorf("dasd: path %d out of range for %s", idx, sys)
+	}
+	p[idx] = online
+	return nil
+}
+
+// OnlinePaths reports the number of online paths from sys.
+func (v *Volume) OnlinePaths(sys string) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, on := range v.pathsLocked(sys) {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// PathIO returns a copy of the per-path I/O counts for sys.
+func (v *Volume) PathIO(sys string) []int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	src := v.pathIO[sys]
+	out := make([]int64, len(src))
+	copy(out, src)
+	return out
+}
+
+func (v *Volume) pathsLocked(sys string) []bool {
+	p, ok := v.paths[sys]
+	if !ok {
+		p = make([]bool, v.nPaths)
+		for i := range p {
+			p[i] = true
+		}
+		v.paths[sys] = p
+		v.pathIO[sys] = make([]int64, v.nPaths)
+	}
+	return p
+}
+
+// selectPath picks the first online path (automatic reconfiguration:
+// offline paths are skipped transparently) and charges the I/O to it.
+func (v *Volume) selectPath(sys string) (int, error) {
+	if v.broken {
+		return -1, ErrBroken
+	}
+	if v.fenced[sys] {
+		return -1, ErrFenced
+	}
+	if v.reserved != "" && v.reserved != sys {
+		return -1, fmt.Errorf("%w (holder %s)", ErrReserved, v.reserved)
+	}
+	for i, on := range v.pathsLocked(sys) {
+		if on {
+			v.pathIO[sys][i]++
+			return i, nil
+		}
+	}
+	return -1, ErrNoPaths
+}
+
+// Read reads block number blk on behalf of sys. The returned slice is a
+// copy. A never-written block reads as zeros.
+func (v *Volume) Read(sys string, blk int) ([]byte, error) {
+	v.mu.Lock()
+	if blk < 0 || blk >= len(v.data) {
+		v.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d on %s", ErrBadBlock, blk, v.volser)
+	}
+	if _, err := v.selectPath(sys); err != nil {
+		v.mu.Unlock()
+		return nil, err
+	}
+	lat := v.readLatency
+	src := v.data[blk]
+	out := make([]byte, BlockSize)
+	copy(out, src)
+	v.mu.Unlock()
+	v.farm.metrics.Counter("dasd.read").Inc()
+	if lat > 0 {
+		v.farm.clock.Sleep(lat)
+	}
+	return out, nil
+}
+
+// Write writes block number blk on behalf of sys. Data longer than
+// BlockSize is rejected; shorter data is zero-padded.
+func (v *Volume) Write(sys string, blk int, data []byte) error {
+	if len(data) > BlockSize {
+		return ErrShortRecord
+	}
+	v.mu.Lock()
+	if blk < 0 || blk >= len(v.data) {
+		v.mu.Unlock()
+		return fmt.Errorf("%w: %d on %s", ErrBadBlock, blk, v.volser)
+	}
+	if _, err := v.selectPath(sys); err != nil {
+		v.mu.Unlock()
+		return err
+	}
+	lat := v.writeLatency
+	buf := make([]byte, BlockSize)
+	copy(buf, data)
+	v.data[blk] = buf
+	v.mu.Unlock()
+	v.farm.metrics.Counter("dasd.write").Inc()
+	if lat > 0 {
+		v.farm.clock.Sleep(lat)
+	}
+	return nil
+}
+
+// Dataset is a named contiguous extent of blocks on one volume, the
+// unit used for couple data sets, table spaces, and logs.
+type Dataset struct {
+	vol    *Volume
+	name   string
+	first  int
+	blocks int
+}
+
+// Name returns the dataset name.
+func (d *Dataset) Name() string { return d.name }
+
+// Blocks returns the dataset size in blocks.
+func (d *Dataset) Blocks() int { return d.blocks }
+
+// Volume returns the owning volume.
+func (d *Dataset) Volume() *Volume { return d.vol }
+
+// Read reads relative block blk of the dataset for sys.
+func (d *Dataset) Read(sys string, blk int) ([]byte, error) {
+	if blk < 0 || blk >= d.blocks {
+		return nil, fmt.Errorf("%w: %d in dataset %s", ErrBadBlock, blk, d.name)
+	}
+	return d.vol.Read(sys, d.first+blk)
+}
+
+// Write writes relative block blk of the dataset for sys.
+func (d *Dataset) Write(sys string, blk int, data []byte) error {
+	if blk < 0 || blk >= d.blocks {
+		return fmt.Errorf("%w: %d in dataset %s", ErrBadBlock, blk, d.name)
+	}
+	return d.vol.Write(sys, d.first+blk, data)
+}

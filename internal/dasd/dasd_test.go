@@ -1,0 +1,324 @@
+package dasd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sysplex/internal/vclock"
+)
+
+func newTestFarm(t *testing.T) (*Farm, *Volume) {
+	t.Helper()
+	f := NewFarm(vclock.Real())
+	v, err := f.AddVolume("SYSP01", 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, v
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	_, v := newTestFarm(t)
+	payload := []byte("parallel sysplex shared data")
+	if err := v.Write("SYS1", 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Read("SYS2", 7) // another system sees the same data
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatalf("round trip mismatch: %q", got[:len(payload)])
+	}
+}
+
+func TestUnwrittenBlockReadsZeros(t *testing.T) {
+	_, v := newTestFarm(t)
+	got, err := v.Read("SYS1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+	if len(got) != BlockSize {
+		t.Fatalf("block size = %d", len(got))
+	}
+}
+
+func TestDefensiveCopy(t *testing.T) {
+	_, v := newTestFarm(t)
+	data := []byte("abc")
+	if err := v.Write("SYS1", 1, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X' // mutating caller's buffer must not affect the volume
+	got, _ := v.Read("SYS1", 1)
+	if got[0] != 'a' {
+		t.Fatal("write did not copy data")
+	}
+	got[1] = 'Y' // mutating a read buffer must not affect the volume
+	again, _ := v.Read("SYS1", 1)
+	if again[1] != 'b' {
+		t.Fatal("read did not copy data")
+	}
+}
+
+func TestBadBlockNumbers(t *testing.T) {
+	_, v := newTestFarm(t)
+	if _, err := v.Read("SYS1", -1); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := v.Write("SYS1", 128, nil); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOversizeWriteRejected(t *testing.T) {
+	_, v := newTestFarm(t)
+	if err := v.Write("SYS1", 0, make([]byte, BlockSize+1)); !errors.Is(err, ErrShortRecord) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFencing(t *testing.T) {
+	f, v := newTestFarm(t)
+	f.FenceSystem("SYS2")
+	if _, err := v.Read("SYS2", 0); !errors.Is(err, ErrFenced) {
+		t.Fatalf("read err = %v", err)
+	}
+	if err := v.Write("SYS2", 0, nil); !errors.Is(err, ErrFenced) {
+		t.Fatalf("write err = %v", err)
+	}
+	// Other systems unaffected.
+	if _, err := v.Read("SYS1", 0); err != nil {
+		t.Fatalf("SYS1 read err = %v", err)
+	}
+	f.UnfenceSystem("SYS2")
+	if _, err := v.Read("SYS2", 0); err != nil {
+		t.Fatalf("after unfence: %v", err)
+	}
+}
+
+func TestFenceReleasesReserve(t *testing.T) {
+	_, v := newTestFarm(t)
+	if err := v.Reserve("SYS1"); err != nil {
+		t.Fatal(err)
+	}
+	v.Fence("SYS1")
+	if h := v.ReserveHolder(); h != "" {
+		t.Fatalf("reserve holder after fence = %q", h)
+	}
+	if err := v.Reserve("SYS2"); err != nil {
+		t.Fatalf("survivor cannot reserve: %v", err)
+	}
+}
+
+func TestReserveRelease(t *testing.T) {
+	_, v := newTestFarm(t)
+	if err := v.Reserve("SYS1"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-reserve by the holder is idempotent.
+	if err := v.Reserve("SYS1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Reserve("SYS2"); !errors.Is(err, ErrReserved) {
+		t.Fatalf("err = %v", err)
+	}
+	// Reserved device rejects other systems' I/O.
+	if _, err := v.Read("SYS2", 0); !errors.Is(err, ErrReserved) {
+		t.Fatalf("read err = %v", err)
+	}
+	if _, err := v.Read("SYS1", 0); err != nil {
+		t.Fatalf("holder read err = %v", err)
+	}
+	v.Release("SYS2") // non-holder release is a no-op
+	if v.ReserveHolder() != "SYS1" {
+		t.Fatal("non-holder release cleared reserve")
+	}
+	v.Release("SYS1")
+	if err := v.Reserve("SYS2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakReserve(t *testing.T) {
+	_, v := newTestFarm(t)
+	v.Reserve("SYS1")
+	v.BreakReserve("SYSX") // wrong holder: no-op
+	if v.ReserveHolder() != "SYS1" {
+		t.Fatal("break with wrong holder cleared reserve")
+	}
+	v.BreakReserve("SYS1")
+	if v.ReserveHolder() != "" {
+		t.Fatal("break did not clear reserve")
+	}
+}
+
+func TestPathFailover(t *testing.T) {
+	_, v := newTestFarm(t)
+	if n := v.OnlinePaths("SYS1"); n != 4 {
+		t.Fatalf("online paths = %d, want 4", n)
+	}
+	// Take down path 0; I/O must transparently use path 1.
+	if err := v.VaryPath("SYS1", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Read("SYS1", 0); err != nil {
+		t.Fatalf("read after path loss: %v", err)
+	}
+	io := v.PathIO("SYS1")
+	if io[0] != 0 || io[1] != 1 {
+		t.Fatalf("path IO = %v, want I/O on path 1", io)
+	}
+	// All paths down: I/O fails.
+	for i := 1; i < 4; i++ {
+		v.VaryPath("SYS1", i, false)
+	}
+	if _, err := v.Read("SYS1", 0); !errors.Is(err, ErrNoPaths) {
+		t.Fatalf("err = %v", err)
+	}
+	// Restore one path.
+	v.VaryPath("SYS1", 2, true)
+	if _, err := v.Read("SYS1", 0); err != nil {
+		t.Fatalf("read after restore: %v", err)
+	}
+	if err := v.VaryPath("SYS1", 99, false); err == nil {
+		t.Fatal("bad path index accepted")
+	}
+}
+
+func TestDatasetAllocation(t *testing.T) {
+	f, _ := newTestFarm(t)
+	ds1, err := f.Allocate("SYSP01", "SYS1.CDS", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := f.Allocate("SYSP01", "SYS1.LOG", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extents must not overlap: a write to ds1 is invisible in ds2.
+	if err := ds1.Write("SYS1", 0, []byte("cds")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds2.Read("SYS1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("dataset extents overlap")
+	}
+	// Catalog lookup.
+	if _, err := f.Dataset("SYS1.CDS"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Dataset("NOPE"); !errors.Is(err, ErrNoDataset) {
+		t.Fatalf("err = %v", err)
+	}
+	// Duplicate name rejected.
+	if _, err := f.Allocate("SYSP01", "SYS1.CDS", 1); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+	// Out of space.
+	if _, err := f.Allocate("SYSP01", "BIG", 1000); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v", err)
+	}
+	// Relative block bounds.
+	if _, err := ds1.Read("SYS1", 16); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("err = %v", err)
+	}
+	if ds1.Blocks() != 16 || ds1.Name() != "SYS1.CDS" || ds1.Volume() == nil {
+		t.Fatal("dataset accessors wrong")
+	}
+}
+
+func TestVolumeLookupAndList(t *testing.T) {
+	f, _ := newTestFarm(t)
+	if _, err := f.Volume("SYSP01"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Volume("MISSING"); !errors.Is(err, ErrNoSuchVol) {
+		t.Fatalf("err = %v", err)
+	}
+	if vols := f.Volumes(); len(vols) != 1 || vols[0] != "SYSP01" {
+		t.Fatalf("Volumes = %v", vols)
+	}
+	if _, err := f.AddVolume("SYSP01", 10, 1); err == nil {
+		t.Fatal("duplicate volser accepted")
+	}
+	if _, err := f.AddVolume("BAD", 0, 1); err == nil {
+		t.Fatal("zero-block volume accepted")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	fc := vclock.NewFake(time.Unix(0, 0))
+	f := NewFarm(fc)
+	v, _ := f.AddVolume("V", 4, 1)
+	v.SetLatency(5*time.Millisecond, 0)
+	done := make(chan struct{})
+	go func() {
+		v.Read("SYS1", 0)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("read returned before latency elapsed")
+	case <-time.After(10 * time.Millisecond):
+	}
+	fc.Advance(5 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("read never completed")
+	}
+}
+
+func TestIOCounters(t *testing.T) {
+	f, v := newTestFarm(t)
+	v.Write("SYS1", 0, []byte("x"))
+	v.Read("SYS1", 0)
+	v.Read("SYS1", 0)
+	if n := f.Metrics().Counter("dasd.read").Value(); n != 2 {
+		t.Fatalf("reads = %d", n)
+	}
+	if n := f.Metrics().Counter("dasd.write").Value(); n != 1 {
+		t.Fatalf("writes = %d", n)
+	}
+}
+
+// Property: for any sequence of writes, the last write to each block wins.
+func TestLastWriterWinsProperty(t *testing.T) {
+	type op struct {
+		Blk  uint8
+		Data [8]byte
+	}
+	f := func(ops []op) bool {
+		_, v := newTestFarm(t)
+		last := map[int][8]byte{}
+		for _, o := range ops {
+			blk := int(o.Blk) % 128
+			if err := v.Write("SYS1", blk, o.Data[:]); err != nil {
+				return false
+			}
+			last[blk] = o.Data
+		}
+		for blk, want := range last {
+			got, err := v.Read("SYS1", blk)
+			if err != nil || !bytes.Equal(got[:8], want[:]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package db
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"sysplex/internal/dasd"
+)
+
+// ErrPageFull is returned when a record no longer fits its page.
+var ErrPageFull = errors.New("db: page full")
+
+// pageImage is the decoded form of a data page: a sorted set of
+// key/value records. The on-disk (and in-CF) encoding is:
+//
+//	count uint16, then per record: klen uint16, key, vlen uint16, value
+type pageImage struct {
+	records map[string][]byte
+}
+
+func newPageImage() *pageImage { return &pageImage{records: map[string][]byte{}} }
+
+func decodePage(raw []byte) (*pageImage, error) {
+	p := newPageImage()
+	if len(raw) < 2 {
+		return p, nil
+	}
+	n := int(binary.BigEndian.Uint16(raw[0:2]))
+	off := 2
+	for i := 0; i < n; i++ {
+		if off+2 > len(raw) {
+			return nil, fmt.Errorf("db: truncated page at record %d", i)
+		}
+		klen := int(binary.BigEndian.Uint16(raw[off : off+2]))
+		off += 2
+		if off+klen+2 > len(raw) {
+			return nil, fmt.Errorf("db: truncated key at record %d", i)
+		}
+		key := string(raw[off : off+klen])
+		off += klen
+		vlen := int(binary.BigEndian.Uint16(raw[off : off+2]))
+		off += 2
+		if off+vlen > len(raw) {
+			return nil, fmt.Errorf("db: truncated value at record %d", i)
+		}
+		val := append([]byte(nil), raw[off:off+vlen]...)
+		off += vlen
+		p.records[key] = val
+	}
+	return p, nil
+}
+
+func (p *pageImage) encode() ([]byte, error) {
+	keys := make([]string, 0, len(p.records))
+	for k := range p.records {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := make([]byte, 2, 256)
+	binary.BigEndian.PutUint16(buf[0:2], uint16(len(keys)))
+	for _, k := range keys {
+		v := p.records[k]
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(k)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, k...)
+		binary.BigEndian.PutUint16(l[:], uint16(len(v)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, v...)
+	}
+	if len(buf) > dasd.BlockSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrPageFull, len(buf))
+	}
+	return buf, nil
+}
+
+// get returns a copy of the record value.
+func (p *pageImage) get(key string) ([]byte, bool) {
+	v, ok := p.records[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+func (p *pageImage) set(key string, val []byte) {
+	p.records[key] = append([]byte(nil), val...)
+}
+
+func (p *pageImage) delete(key string) { delete(p.records, key) }
+
+// keys returns the page's keys, sorted.
+func (p *pageImage) keys() []string {
+	out := make([]string, 0, len(p.records))
+	for k := range p.records {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pageOf maps a key to a page number within a table of n pages.
+func pageOf(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// pageName builds the global block name used with the group buffer
+// pool ("T.<table>.<page>").
+func pageName(table string, page int) string {
+	return fmt.Sprintf("T.%s.%d", table, page)
+}

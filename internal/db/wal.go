@@ -1,0 +1,160 @@
+package db
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sysplex/internal/dasd"
+)
+
+// Log record kinds.
+const (
+	recUpdate = "update"
+	recCommit = "commit"
+	recEnd    = "end" // all of the transaction's page changes are applied
+)
+
+// ErrLogFull is returned when the log dataset is exhausted.
+var ErrLogFull = errors.New("db: log dataset full")
+
+// LogRecord is one write-ahead-log entry. Update records carry both the
+// before image (undo) and after image (redo) of a record-level change.
+type LogRecord struct {
+	LSN    int64  `json:"lsn"`
+	Tx     string `json:"tx"`
+	Kind   string `json:"kind"`
+	Table  string `json:"table,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Before []byte `json:"before,omitempty"`
+	After  []byte `json:"after,omitempty"`
+	Delete bool   `json:"delete,omitempty"`
+}
+
+// wal is a per-system write-ahead log on a shared DASD dataset, so that
+// after a system failure any peer can read it for recovery. One record
+// is stored per block; records are appended in LSN order.
+type wal struct {
+	mu      sync.Mutex
+	sys     string
+	ds      *dasd.Dataset
+	nextLSN int64
+	nextBlk int
+}
+
+// openWAL opens (and scans to the end of) a log dataset.
+func openWAL(sys string, ds *dasd.Dataset) (*wal, error) {
+	w := &wal{sys: sys, ds: ds}
+	recs, err := readLogRecords(sys, ds)
+	if err != nil {
+		return nil, err
+	}
+	w.nextBlk = len(recs)
+	if n := len(recs); n > 0 {
+		w.nextLSN = recs[n-1].LSN + 1
+	}
+	return w, nil
+}
+
+// Append writes records to the log and forces them to DASD before
+// returning (write-ahead discipline: the force happens before any page
+// change is externalized). When the dataset fills, the log is
+// checkpointed: records belonging to fully applied (ENDed)
+// transactions are discarded — their changes are externalized in the
+// group buffer pool and will never be needed for redo — and the
+// remainder is compacted to the front.
+func (w *wal) Append(recs ...*LogRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, r := range recs {
+		if w.nextBlk >= w.ds.Blocks() {
+			if err := w.compactLocked(); err != nil {
+				return err
+			}
+		}
+		if w.nextBlk >= w.ds.Blocks() {
+			return fmt.Errorf("%w: %s", ErrLogFull, w.ds.Name())
+		}
+		r.LSN = w.nextLSN
+		w.nextLSN++
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if len(raw) > dasd.BlockSize {
+			return fmt.Errorf("db: log record too large (%d bytes)", len(raw))
+		}
+		if err := w.ds.Write(w.sys, w.nextBlk, raw); err != nil {
+			return err
+		}
+		w.nextBlk++
+	}
+	return nil
+}
+
+// compactLocked performs the checkpoint: live records (those of
+// transactions without an END record) move to the front; the rest of
+// the dataset is zeroed so readers see the new end of log.
+func (w *wal) compactLocked() error {
+	recs, err := readLogRecords(w.sys, w.ds)
+	if err != nil {
+		return err
+	}
+	ended := map[string]bool{}
+	for _, r := range recs {
+		if r.Kind == recEnd {
+			ended[r.Tx] = true
+		}
+	}
+	var live []LogRecord
+	for _, r := range recs {
+		if !ended[r.Tx] {
+			live = append(live, r)
+		}
+	}
+	if len(live) >= w.ds.Blocks() {
+		return fmt.Errorf("%w: %s (%d live records)", ErrLogFull, w.ds.Name(), len(live))
+	}
+	for i, r := range live {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if err := w.ds.Write(w.sys, i, raw); err != nil {
+			return err
+		}
+	}
+	for blk := len(live); blk < w.nextBlk; blk++ {
+		if err := w.ds.Write(w.sys, blk, nil); err != nil {
+			return err
+		}
+	}
+	w.nextBlk = len(live)
+	return nil
+}
+
+// readLogRecords reads every record of a log dataset on behalf of
+// reader (any system: logs live on shared DASD).
+func readLogRecords(reader string, ds *dasd.Dataset) ([]LogRecord, error) {
+	var out []LogRecord
+	for blk := 0; blk < ds.Blocks(); blk++ {
+		raw, err := ds.Read(reader, blk)
+		if err != nil {
+			return nil, err
+		}
+		if raw[0] == 0 { // unwritten block terminates the log
+			break
+		}
+		end := len(raw)
+		for end > 0 && raw[end-1] == 0 {
+			end--
+		}
+		var rec LogRecord
+		if err := json.Unmarshal(raw[:end], &rec); err != nil {
+			return nil, fmt.Errorf("db: corrupt log record in %s block %d: %v", ds.Name(), blk, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

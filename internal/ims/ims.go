@@ -1,0 +1,289 @@
+// Package ims implements a hierarchical database manager in the mould
+// of IMS/DB (§5.2, Figure 4): segments arranged in a parent/child
+// hierarchy and manipulated through DL/I-style calls (GU get-unique,
+// ISRT insert, REPL replace, DLET delete-with-cascade, plus child
+// browsing). It layers on the same data-sharing engine as the
+// relational stand-in, so every IMS database is fully shared across the
+// sysplex with CF-backed locking and buffer coherency underneath —
+// exactly how IMS/DB rides IRLM and the CF in the paper.
+package ims
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sysplex/internal/db"
+)
+
+// Errors returned by DL/I calls.
+var (
+	ErrNoSegType    = errors.New("ims: segment type not in hierarchy")
+	ErrBadPath      = errors.New("ims: key path does not match segment level")
+	ErrNoParent     = errors.New("ims: parent segment does not exist")
+	ErrNotFound     = errors.New("ims: segment not found")
+	ErrDuplicate    = errors.New("ims: segment already exists")
+	ErrKeySeparator = errors.New("ims: segment keys must not contain '|'")
+)
+
+// SegmentType declares one level of the hierarchy.
+type SegmentType struct {
+	Name   string
+	Parent string // "" for the root type
+}
+
+// Hierarchy is an IMS database definition (a DBD).
+type Hierarchy struct {
+	Name     string
+	Segments []SegmentType
+}
+
+// level returns the depth of a segment type (root = 1) and whether the
+// type exists.
+func (h Hierarchy) level(seg string) (int, bool) {
+	depth := 0
+	cur := seg
+	for i := 0; i <= len(h.Segments); i++ {
+		st, ok := h.typeOf(cur)
+		if !ok {
+			return 0, false
+		}
+		depth++
+		if st.Parent == "" {
+			return depth, true
+		}
+		cur = st.Parent
+	}
+	return 0, false // cycle
+}
+
+func (h Hierarchy) typeOf(seg string) (SegmentType, bool) {
+	for _, st := range h.Segments {
+		if st.Name == seg {
+			return st, true
+		}
+	}
+	return SegmentType{}, false
+}
+
+// children returns the child segment types of seg, sorted.
+func (h Hierarchy) children(seg string) []string {
+	var out []string
+	for _, st := range h.Segments {
+		if st.Parent == seg {
+			out = append(out, st.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Database is one hierarchical database, shared sysplex-wide.
+type Database struct {
+	eng *db.Engine
+	h   Hierarchy
+}
+
+// Open attaches (creating on first use) the hierarchical database on a
+// data-sharing engine. pages sizes the backing table.
+func Open(eng *db.Engine, h Hierarchy, pages int) (*Database, error) {
+	if h.Name == "" || len(h.Segments) == 0 {
+		return nil, errors.New("ims: hierarchy needs a name and segments")
+	}
+	roots := 0
+	for _, st := range h.Segments {
+		if st.Parent == "" {
+			roots++
+		} else if _, ok := h.typeOf(st.Parent); !ok {
+			return nil, fmt.Errorf("%w: parent %q of %q", ErrNoSegType, st.Parent, st.Name)
+		}
+		if _, ok := h.level(st.Name); !ok {
+			return nil, fmt.Errorf("ims: segment %q has a cyclic ancestry", st.Name)
+		}
+	}
+	if roots != 1 {
+		return nil, fmt.Errorf("ims: hierarchy needs exactly one root, has %d", roots)
+	}
+	if err := eng.OpenTable("IMS."+h.Name, pages); err != nil {
+		return nil, err
+	}
+	return &Database{eng: eng, h: h}, nil
+}
+
+// Hierarchy returns the database definition.
+func (d *Database) Hierarchy() Hierarchy { return d.h }
+
+func (d *Database) table() string { return "IMS." + d.h.Name }
+
+// recordKey builds the stored key: "SEG|rootkey|...|leafkey". The
+// segment name prefix keeps sibling types of equal depth distinct.
+func (d *Database) recordKey(seg string, path []string) (string, error) {
+	lvl, ok := d.h.level(seg)
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoSegType, seg)
+	}
+	if len(path) != lvl {
+		return "", fmt.Errorf("%w: %q needs %d keys, got %d", ErrBadPath, seg, lvl, len(path))
+	}
+	for _, k := range path {
+		if strings.Contains(k, "|") {
+			return "", ErrKeySeparator
+		}
+	}
+	return seg + "|" + strings.Join(path, "|"), nil
+}
+
+// parentOf returns the parent segment type and key path.
+func (d *Database) parentOf(seg string, path []string) (string, []string, bool) {
+	st, _ := d.h.typeOf(seg)
+	if st.Parent == "" {
+		return "", nil, false
+	}
+	return st.Parent, path[:len(path)-1], true
+}
+
+// ISRT inserts a segment occurrence. Parents must exist; duplicates are
+// rejected. DL/I: ISRT.
+func (d *Database) ISRT(tx *db.Tx, seg string, path []string, data []byte) error {
+	key, err := d.recordKey(seg, path)
+	if err != nil {
+		return err
+	}
+	if p, ppath, ok := d.parentOf(seg, path); ok {
+		pkey, err := d.recordKey(p, ppath)
+		if err != nil {
+			return err
+		}
+		if _, exists, err := tx.Get(d.table(), pkey); err != nil {
+			return err
+		} else if !exists {
+			return fmt.Errorf("%w: %s %v", ErrNoParent, p, ppath)
+		}
+	}
+	if _, exists, err := tx.Get(d.table(), key); err != nil {
+		return err
+	} else if exists {
+		return fmt.Errorf("%w: %s %v", ErrDuplicate, seg, path)
+	}
+	return tx.Put(d.table(), key, data)
+}
+
+// GU retrieves a segment occurrence directly by its full key path.
+// DL/I: Get Unique.
+func (d *Database) GU(tx *db.Tx, seg string, path []string) ([]byte, error) {
+	key, err := d.recordKey(seg, path)
+	if err != nil {
+		return nil, err
+	}
+	v, ok, err := tx.Get(d.table(), key)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s %v", ErrNotFound, seg, path)
+	}
+	return v, nil
+}
+
+// REPL replaces an existing segment's data. DL/I: REPL.
+func (d *Database) REPL(tx *db.Tx, seg string, path []string, data []byte) error {
+	key, err := d.recordKey(seg, path)
+	if err != nil {
+		return err
+	}
+	if _, ok, err := tx.Get(d.table(), key); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("%w: %s %v", ErrNotFound, seg, path)
+	}
+	return tx.Put(d.table(), key, data)
+}
+
+// DLET deletes a segment occurrence and, hierarchically, all of its
+// descendants. DL/I: DLET (delete propagates down the hierarchy).
+func (d *Database) DLET(tx *db.Tx, seg string, path []string) error {
+	key, err := d.recordKey(seg, path)
+	if err != nil {
+		return err
+	}
+	if _, ok, err := tx.Get(d.table(), key); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("%w: %s %v", ErrNotFound, seg, path)
+	}
+	if err := d.deleteSubtree(tx, seg, path); err != nil {
+		return err
+	}
+	return tx.Delete(d.table(), key)
+}
+
+func (d *Database) deleteSubtree(tx *db.Tx, seg string, path []string) error {
+	for _, child := range d.h.children(seg) {
+		keys, err := d.childKeys(child, path)
+		if err != nil {
+			return err
+		}
+		for _, ck := range keys {
+			if err := d.deleteSubtree(tx, child, append(append([]string{}, path...), ck)); err != nil {
+				return err
+			}
+			rk, err := d.recordKey(child, append(append([]string{}, path...), ck))
+			if err != nil {
+				return err
+			}
+			if err := tx.Delete(d.table(), rk); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Children lists the key values of childSeg occurrences under the given
+// parent path, in key order. DL/I: GN within parent, the sequential
+// retrieval used to walk twin chains.
+func (d *Database) Children(childSeg string, parentPath []string) ([]string, error) {
+	st, ok := d.h.typeOf(childSeg)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSegType, childSeg)
+	}
+	plvl, _ := d.h.level(st.Parent)
+	if st.Parent == "" || len(parentPath) != plvl {
+		return nil, fmt.Errorf("%w: parent of %q", ErrBadPath, childSeg)
+	}
+	return d.childKeys(childSeg, parentPath)
+}
+
+// childKeys scans for direct children of a parent path.
+func (d *Database) childKeys(childSeg string, parentPath []string) ([]string, error) {
+	prefix := childSeg + "|" + strings.Join(parentPath, "|") + "|"
+	if len(parentPath) == 0 {
+		prefix = childSeg + "|"
+	}
+	var keys []string
+	owner := "IMS.GN." + d.h.Name
+	err := d.eng.RangeScan(owner, d.table(), prefix, prefix+"\xff", func(k string, v []byte) bool {
+		rest := strings.TrimPrefix(k, prefix)
+		if !strings.Contains(rest, "|") { // direct child, not a grandchild
+			keys = append(keys, rest)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Roots lists the root segment keys in the database.
+func (d *Database) Roots() ([]string, error) {
+	root := ""
+	for _, st := range d.h.Segments {
+		if st.Parent == "" {
+			root = st.Name
+		}
+	}
+	return d.childKeys(root, nil)
+}

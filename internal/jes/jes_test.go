@@ -1,0 +1,235 @@
+package jes
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"sysplex/internal/cf"
+	"sysplex/internal/vclock"
+)
+
+type fixture struct {
+	fac   *cf.Facility
+	ls    *cf.ListStructure
+	q     *Queue
+	execs map[string]*Executor
+}
+
+func newFixture(t *testing.T, systems ...string) *fixture {
+	t.Helper()
+	fac := cf.New("CF01", vclock.Real())
+	ls, err := fac.AllocateListStructure("JES2CKPT", numLists, 1, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQueue(ls, "JES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{fac: fac, ls: ls, q: q, execs: map[string]*Executor{}}
+	for _, s := range systems {
+		e, err := NewExecutor(ls, s, vclock.Real())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Register("ECHO", func(payload []byte) ([]byte, error) {
+			return append([]byte("echo:"), payload...), nil
+		})
+		e.Register("FAIL", func(payload []byte) ([]byte, error) {
+			return nil, errors.New("job blew up")
+		})
+		fx.execs[s] = e
+	}
+	return fx
+}
+
+func TestSubmitExecuteResult(t *testing.T) {
+	fx := newFixture(t, "SYS1")
+	id, err := fx.q.Submit("ECHO", []byte("hello"), "USER1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx.q.Pending() != 1 {
+		t.Fatalf("pending = %d", fx.q.Pending())
+	}
+	// The submit fired the transition signal (bit set, no interrupt).
+	if !fx.execs["SYS1"].vec.Test(0) {
+		t.Fatal("transition bit not set")
+	}
+	if n := fx.execs["SYS1"].DrainOnce(); n != 1 {
+		t.Fatalf("drained %d", n)
+	}
+	job, err := fx.q.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(job.Output) != "echo:hello" || job.RanOn != "SYS1" || job.SubmittedBy != "USER1" {
+		t.Fatalf("job = %+v", job)
+	}
+	if fx.q.Pending() != 0 || fx.q.Active() != 0 || fx.q.Done() != 1 {
+		t.Fatalf("queues = %d/%d/%d", fx.q.Pending(), fx.q.Active(), fx.q.Done())
+	}
+}
+
+func TestJobErrorCaptured(t *testing.T) {
+	fx := newFixture(t, "SYS1")
+	id, _ := fx.q.Submit("FAIL", nil, "U")
+	fx.execs["SYS1"].DrainOnce()
+	job, err := fx.q.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Error != "job blew up" {
+		t.Fatalf("job = %+v", job)
+	}
+}
+
+func TestNoHandler(t *testing.T) {
+	fx := newFixture(t, "SYS1")
+	id, _ := fx.q.Submit("UNKNOWN", nil, "U")
+	fx.execs["SYS1"].DrainOnce()
+	job, _ := fx.q.Result(id)
+	if !strings.Contains(job.Error, "no handler") {
+		t.Fatalf("job = %+v", job)
+	}
+}
+
+func TestResultStates(t *testing.T) {
+	fx := newFixture(t, "SYS1")
+	if _, err := fx.q.Result("JOB999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	id, _ := fx.q.Submit("ECHO", nil, "U")
+	if _, err := fx.q.Result(id); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWorkDistributionAcrossSystems(t *testing.T) {
+	fx := newFixture(t, "SYS1", "SYS2", "SYS3")
+	for _, e := range fx.execs {
+		e.Start(500 * time.Microsecond)
+		defer e.Stop()
+	}
+	const jobs = 60
+	ids := make([]string, jobs)
+	for i := range ids {
+		id, err := fx.q.Submit("ECHO", []byte(fmt.Sprintf("j%d", i)), "U")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for fx.q.Done() < jobs && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if fx.q.Done() != jobs {
+		t.Fatalf("done = %d of %d", fx.q.Done(), jobs)
+	}
+	// Every job ran exactly once and results are retrievable.
+	total := int64(0)
+	for _, e := range fx.execs {
+		total += e.Executed()
+	}
+	if total != jobs {
+		t.Fatalf("total executed = %d (double execution or loss)", total)
+	}
+	for _, id := range ids {
+		if _, err := fx.q.Result(id); err != nil {
+			t.Fatalf("result %s: %v", id, err)
+		}
+	}
+}
+
+func TestNoDoubleExecutionUnderContention(t *testing.T) {
+	fx := newFixture(t, "SYS1", "SYS2")
+	const jobs = 40
+	for i := 0; i < jobs; i++ {
+		fx.q.Submit("ECHO", nil, "U")
+	}
+	done := make(chan int, 2)
+	for _, e := range fx.execs {
+		e := e
+		go func() { done <- e.DrainOnce() }()
+	}
+	n := <-done + <-done
+	if n != jobs {
+		t.Fatalf("executed %d, want %d", n, jobs)
+	}
+}
+
+func TestRequeueOrphansAfterSystemFailure(t *testing.T) {
+	fx := newFixture(t, "SYS1", "SYS2")
+	// Install a handler that "crashes" the system mid-job: it claims the
+	// job (checkpointed on the active queue) and never completes.
+	claimed := make(chan string, 1)
+	fx.execs["SYS1"].Register("STUCK", func(payload []byte) ([]byte, error) {
+		claimed <- string(payload)
+		select {} // never returns: the system is dead
+	})
+	id, _ := fx.q.Submit("STUCK", []byte("x"), "U")
+	go fx.execs["SYS1"].DrainOnce()
+	<-claimed
+	// Wait for the claim checkpoint to land on the active queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for fx.q.Active() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if fx.q.Active() != 1 {
+		t.Fatalf("active = %d", fx.q.Active())
+	}
+	// Peer performs checkpoint takeover.
+	requeued, err := fx.q.RequeueOrphans("SYS1")
+	if err != nil || len(requeued) != 1 || requeued[0] != id {
+		t.Fatalf("requeued = %v err=%v", requeued, err)
+	}
+	// SYS2 can now run it (with a working handler).
+	fx.execs["SYS2"].Register("STUCK", func(payload []byte) ([]byte, error) {
+		return []byte("recovered"), nil
+	})
+	fx.execs["SYS2"].DrainOnce()
+	job, err := fx.q.Result(id)
+	if err != nil || string(job.Output) != "recovered" || job.RanOn != "SYS2" {
+		t.Fatalf("job = %+v err=%v", job, err)
+	}
+}
+
+func TestRequeueOrphansOnlyTouchesFailedSystem(t *testing.T) {
+	fx := newFixture(t, "SYS1")
+	fx.q.Submit("ECHO", nil, "U")
+	fx.execs["SYS1"].DrainOnce()
+	requeued, err := fx.q.RequeueOrphans("SYS9")
+	if err != nil || len(requeued) != 0 {
+		t.Fatalf("requeued = %v err=%v", requeued, err)
+	}
+}
+
+func TestQueueValidation(t *testing.T) {
+	fac := cf.New("CF", vclock.Real())
+	small, _ := fac.AllocateListStructure("SMALL", 1, 0, 10)
+	if _, err := NewQueue(small, "JES"); err == nil {
+		t.Fatal("undersized structure accepted")
+	}
+}
+
+func TestBackgroundNotificationFlow(t *testing.T) {
+	fx := newFixture(t, "SYS1")
+	fx.execs["SYS1"].Start(200 * time.Microsecond)
+	defer fx.execs["SYS1"].Stop()
+	id, _ := fx.q.Submit("ECHO", []byte("bg"), "U")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if job, err := fx.q.Result(id); err == nil {
+			if string(job.Output) != "echo:bg" {
+				t.Fatalf("job = %+v", job)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("job never completed via background notification")
+}

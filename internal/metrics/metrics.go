@@ -1,0 +1,349 @@
+// Package metrics provides the lightweight instrumentation primitives
+// used across the sysplex emulation: counters, gauges, rate meters and
+// latency histograms. All types are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; negative deltas are ignored).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records observations into geometric latency buckets and
+// tracks exact count/sum/min/max. The default bucket layout spans
+// 100ns..100s with 10 buckets per decade, which comfortably covers both
+// microsecond CF operations and millisecond DASD I/O.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, seconds
+	counts []int64   // len(bounds)+1, last = overflow
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns a Histogram with the default bucket layout.
+func NewHistogram() *Histogram {
+	var bounds []float64
+	// 10 buckets per decade from 1e-7s (100ns) to 1e2s (100s).
+	for e := -7; e < 2; e++ {
+		decade := math.Pow(10, float64(e))
+		for i := 1; i <= 10; i++ {
+			bounds = append(bounds, decade*math.Pow(10, float64(i)/10))
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]int64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records a duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveSeconds(d.Seconds()) }
+
+// ObserveSeconds records an observation expressed in seconds.
+func (h *Histogram) ObserveSeconds(s float64) {
+	if s < 0 || math.IsNaN(s) {
+		return
+	}
+	h.mu.Lock()
+	idx := sort.SearchFloat64s(h.bounds, s)
+	h.counts[idx]++
+	h.count++
+	h.sum += s
+	if s < h.min {
+		h.min = s
+	}
+	if s > h.max {
+		h.max = s
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observation in seconds (0 if empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Sum returns the sum of observations in seconds.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Min returns the smallest observation in seconds (0 if empty).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation in seconds (0 if empty).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an estimate of quantile q in [0,1] as seconds,
+// interpolated within the containing bucket. Returns 0 if empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		prev := cum
+		cum += float64(c)
+		if cum >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - prev) / float64(c)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return h.clamp(lo + frac*(hi-lo))
+		}
+	}
+	return h.max
+}
+
+// clamp bounds a quantile estimate to the observed [min, max] range so
+// bucket interpolation never reports a value outside the data.
+func (h *Histogram) clamp(v float64) float64 {
+	if v > h.max {
+		return h.max
+	}
+	if v < h.min {
+		return h.min
+	}
+	return v
+}
+
+// Snapshot is a point-in-time summary of a Histogram.
+type Snapshot struct {
+	Count          int64
+	Mean, Min, Max float64
+	P50, P90, P95  float64
+	P99            float64
+	Sum            float64
+}
+
+// Snapshot returns a consistent summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Sum:   h.Sum(),
+	}
+}
+
+// String renders the snapshot compactly for logs.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+		s.Count, secs(s.Mean), secs(s.P50), secs(s.P95), secs(s.P99), secs(s.Max))
+}
+
+func secs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// Meter measures an event rate over its whole lifetime.
+type Meter struct {
+	mu    sync.Mutex
+	n     int64
+	start time.Time
+	now   func() time.Time
+}
+
+// NewMeter returns a Meter using now as its time source (pass
+// clock.Now from a vclock.Clock for determinism).
+func NewMeter(now func() time.Time) *Meter {
+	return &Meter{start: now(), now: now}
+}
+
+// Mark records n events.
+func (m *Meter) Mark(n int64) {
+	m.mu.Lock()
+	m.n += n
+	m.mu.Unlock()
+}
+
+// Count returns events recorded so far.
+func (m *Meter) Count() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// Rate returns events per second since creation (0 if no time elapsed).
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el := m.now().Sub(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.n) / el
+}
+
+// Registry is a named collection of metrics, used to expose per-system
+// and per-subsystem instrument sets.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// CounterNames returns the sorted names of all counters.
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns the sorted names of all histograms.
+func (r *Registry) HistogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.histograms))
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

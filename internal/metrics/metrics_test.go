@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value = %d, want 7", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	wantMean := (1 + 10 + 100) * 1e-6 / 3
+	if got := h.Mean(); math.Abs(got-wantMean) > 1e-12 {
+		t.Fatalf("Mean = %g, want %g", got, wantMean)
+	}
+	if got := h.Min(); math.Abs(got-1e-6) > 1e-12 {
+		t.Fatalf("Min = %g", got)
+	}
+	if got := h.Max(); math.Abs(got-1e-4) > 1e-12 {
+		t.Fatalf("Max = %g", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramIgnoresNegativeAndNaN(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveSeconds(-1)
+	h.ObserveSeconds(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", h.Count())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1000 observations uniform on (0, 1ms].
+	for i := 1; i <= 1000; i++ {
+		h.ObserveSeconds(float64(i) * 1e-6)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 300e-6 || p50 > 700e-6 {
+		t.Fatalf("p50 = %g, want ~500µs", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900e-6 || p99 > 1100e-6 {
+		t.Fatalf("p99 = %g, want ~990µs", p99)
+	}
+	if q0 := h.Quantile(-1); q0 < 0 {
+		t.Fatalf("clamped quantile negative: %g", q0)
+	}
+	if q1 := h.Quantile(2); q1 > h.Max()+1e-9 {
+		t.Fatalf("clamped quantile above max: %g", q1)
+	}
+}
+
+func TestHistogramSnapshotString(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("snapshot count = %d", s.Count)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: quantile is monotonic in q and bounded by [0, max].
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(obs []uint32, qa, qb uint8) bool {
+		h := NewHistogram()
+		for _, o := range obs {
+			h.ObserveSeconds(float64(o%1_000_000) * 1e-9)
+		}
+		a := float64(qa%101) / 100
+		b := float64(qb%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		va, vb := h.Quantile(a), h.Quantile(b)
+		return va <= vb+1e-12 && va >= 0 && vb <= h.Max()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean is bounded by [min, max].
+func TestHistogramMeanBoundedProperty(t *testing.T) {
+	f := func(obs []uint32) bool {
+		if len(obs) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, o := range obs {
+			h.ObserveSeconds(float64(o) * 1e-9)
+		}
+		m := h.Mean()
+		return m >= h.Min()-1e-15 && m <= h.Max()+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	now := time.Unix(0, 0)
+	m := NewMeter(func() time.Time { return now })
+	m.Mark(10)
+	if m.Rate() != 0 {
+		t.Fatalf("rate with zero elapsed = %g, want 0", m.Rate())
+	}
+	now = now.Add(2 * time.Second)
+	if got := m.Rate(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("Rate = %g, want 5", got)
+	}
+	if m.Count() != 10 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("tx.commit")
+	c2 := r.Counter("tx.commit")
+	if c1 != c2 {
+		t.Fatal("Counter not idempotent")
+	}
+	c1.Inc()
+	if r.Counter("tx.commit").Value() != 1 {
+		t.Fatal("lost count")
+	}
+	r.Gauge("g").Set(3)
+	if r.Gauge("g").Value() != 3 {
+		t.Fatal("gauge mismatch")
+	}
+	r.Histogram("h").Observe(time.Millisecond)
+	if r.Histogram("h").Count() != 1 {
+		t.Fatal("histogram mismatch")
+	}
+	if names := r.CounterNames(); len(names) != 1 || names[0] != "tx.commit" {
+		t.Fatalf("CounterNames = %v", names)
+	}
+	if names := r.HistogramNames(); len(names) != 1 || names[0] != "h" {
+		t.Fatalf("HistogramNames = %v", names)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 4000 {
+		t.Fatalf("c = %d", r.Counter("c").Value())
+	}
+	if r.Histogram("h").Count() != 4000 {
+		t.Fatalf("h = %d", r.Histogram("h").Count())
+	}
+}

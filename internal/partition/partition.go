@@ -1,0 +1,316 @@
+// Package partition implements the data-partitioning ("shared nothing")
+// baseline the paper contrasts with data sharing (§2.3): the database
+// is divided among the nodes, each node has sole responsibility for its
+// partition, transactions are routed by data-to-system affinity, and
+// access to data owned by another node requires message passing
+// (function shipping) to the owner — whose processor does the work.
+//
+// The package exists so experiments can demonstrate the paper's
+// arguments quantitatively: skewed workloads saturate partition owners
+// while peers idle, and adding a node forces a repartition that moves
+// data, unlike the sysplex's non-disruptive growth (§2.4).
+package partition
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"sysplex/internal/vclock"
+	"sysplex/internal/xcf"
+)
+
+// Errors returned by nodes.
+var (
+	ErrNoNodes  = errors.New("partition: cluster has no nodes")
+	ErrNotFound = errors.New("partition: key not found")
+	ErrTimeout  = errors.New("partition: remote call timed out")
+)
+
+const service = "shnp"
+
+// Stats counts one node's activity.
+type Stats struct {
+	LocalOps  int64 // operations on keys this node owns
+	RemoteOps int64 // operations function-shipped to another owner
+	ServedOps int64 // operations executed here for other nodes
+	KeysMoved int64 // keys moved into this node by repartitioning
+}
+
+// Cluster is a shared-nothing cluster.
+type Cluster struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	order []string // sorted node names: the partition map
+	clock vclock.Clock
+}
+
+// NewCluster creates an empty cluster.
+func NewCluster(clock vclock.Clock) *Cluster {
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	return &Cluster{nodes: make(map[string]*Node), clock: clock}
+}
+
+// Owner returns the node owning a key under the current partition map.
+func (c *Cluster) Owner(key string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ownerLocked(key)
+}
+
+func (c *Cluster) ownerLocked(key string) (string, error) {
+	if len(c.order) == 0 {
+		return "", ErrNoNodes
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.order[int(h.Sum32()%uint32(len(c.order)))], nil
+}
+
+// Nodes lists node names, sorted.
+func (c *Cluster) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// AddNode joins a system to the cluster and repartitions: every key
+// whose owner changes under the new partition map is physically moved.
+// It returns the number of keys moved — the §2.4 cost that the
+// data-sharing sysplex avoids entirely.
+func (c *Cluster) AddNode(system *xcf.System) (*Node, int, error) {
+	n := &Node{cluster: c, sys: system, store: make(map[string][]byte)}
+	system.BindService(service, n.handleMessage)
+
+	c.mu.Lock()
+	if _, ok := c.nodes[system.Name()]; ok {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("partition: node %q already in cluster", system.Name())
+	}
+	c.nodes[system.Name()] = n
+	c.order = append(c.order, system.Name())
+	sort.Strings(c.order)
+	nodes := make([]*Node, 0, len(c.nodes))
+	for _, nd := range c.nodes {
+		nodes = append(nodes, nd)
+	}
+	c.mu.Unlock()
+
+	// Repartition: every node surrenders keys it no longer owns.
+	moved := 0
+	for _, nd := range nodes {
+		moved += c.redistribute(nd)
+	}
+	return n, moved, nil
+}
+
+// redistribute moves misplaced keys from a node to their new owners.
+func (c *Cluster) redistribute(from *Node) int {
+	from.mu.Lock()
+	var misplaced []string
+	for k := range from.store {
+		owner, err := c.Owner(k)
+		if err == nil && owner != from.sys.Name() {
+			misplaced = append(misplaced, k)
+		}
+	}
+	moves := make(map[string][]byte, len(misplaced))
+	for _, k := range misplaced {
+		moves[k] = from.store[k]
+		delete(from.store, k)
+	}
+	from.mu.Unlock()
+
+	for k, v := range moves {
+		owner, err := c.Owner(k)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		target := c.nodes[owner]
+		c.mu.Unlock()
+		if target != nil {
+			target.mu.Lock()
+			target.store[k] = v
+			target.stats.KeysMoved++
+			target.mu.Unlock()
+		}
+	}
+	return len(moves)
+}
+
+// Node is one shared-nothing cluster member.
+type Node struct {
+	cluster *Cluster
+	sys     *xcf.System
+
+	mu      sync.Mutex
+	store   map[string][]byte
+	stats   Stats
+	pending map[uint64]chan wireResp
+	nextReq uint64
+}
+
+// Name returns the node's system name.
+func (n *Node) Name() string { return n.sys.Name() }
+
+// Stats snapshots the node counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Get reads a key: locally when owned here, otherwise function-shipped
+// to the owner.
+func (n *Node) Get(key string) ([]byte, error) {
+	owner, err := n.cluster.Owner(key)
+	if err != nil {
+		return nil, err
+	}
+	if owner == n.Name() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.stats.LocalOps++
+		v, ok := n.store[key]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return append([]byte(nil), v...), nil
+	}
+	n.bump(func(s *Stats) { s.RemoteOps++ })
+	resp, err := n.call(owner, wireMsg{Kind: "get", Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if resp.errText != "" {
+		return nil, errors.New(resp.errText)
+	}
+	return resp.value, nil
+}
+
+// Put writes a key: locally when owned here, otherwise shipped.
+func (n *Node) Put(key string, value []byte) error {
+	owner, err := n.cluster.Owner(key)
+	if err != nil {
+		return err
+	}
+	if owner == n.Name() {
+		n.mu.Lock()
+		n.stats.LocalOps++
+		n.store[key] = append([]byte(nil), value...)
+		n.mu.Unlock()
+		return nil
+	}
+	n.bump(func(s *Stats) { s.RemoteOps++ })
+	resp, err := n.call(owner, wireMsg{Kind: "put", Key: key, Value: value})
+	if err != nil {
+		return err
+	}
+	if resp.errText != "" {
+		return errors.New(resp.errText)
+	}
+	return nil
+}
+
+// Keys returns the number of keys stored locally.
+func (n *Node) Keys() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.store)
+}
+
+func (n *Node) bump(fn func(*Stats)) {
+	n.mu.Lock()
+	fn(&n.stats)
+	n.mu.Unlock()
+}
+
+type wireMsg struct {
+	Kind  string `json:"kind"`
+	Req   uint64 `json:"req"`
+	Key   string `json:"key,omitempty"`
+	Value []byte `json:"value,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+type wireResp struct {
+	value   []byte
+	errText string
+}
+
+func (n *Node) call(target string, msg wireMsg) (wireResp, error) {
+	n.mu.Lock()
+	if n.pending == nil {
+		n.pending = make(map[uint64]chan wireResp)
+	}
+	n.nextReq++
+	msg.Req = n.nextReq
+	ch := make(chan wireResp, 1)
+	n.pending[msg.Req] = ch
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.pending, msg.Req)
+		n.mu.Unlock()
+	}()
+	raw, err := json.Marshal(msg)
+	if err != nil {
+		return wireResp{}, err
+	}
+	if err := n.sys.Send(target, service, raw); err != nil {
+		return wireResp{}, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-n.cluster.clock.After(5 * time.Second):
+		return wireResp{}, fmt.Errorf("%w: %s", ErrTimeout, target)
+	}
+}
+
+func (n *Node) handleMessage(from string, payload []byte) {
+	var msg wireMsg
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return
+	}
+	switch msg.Kind {
+	case "get":
+		n.mu.Lock()
+		n.stats.ServedOps++
+		v, ok := n.store[msg.Key]
+		n.mu.Unlock()
+		resp := wireMsg{Kind: "resp", Req: msg.Req, Value: v}
+		if !ok {
+			resp.Error = ErrNotFound.Error() + ": " + msg.Key
+		}
+		n.reply(from, resp)
+	case "put":
+		n.mu.Lock()
+		n.stats.ServedOps++
+		n.store[msg.Key] = append([]byte(nil), msg.Value...)
+		n.mu.Unlock()
+		n.reply(from, wireMsg{Kind: "resp", Req: msg.Req})
+	case "resp":
+		n.mu.Lock()
+		ch := n.pending[msg.Req]
+		n.mu.Unlock()
+		if ch != nil {
+			ch <- wireResp{value: msg.Value, errText: msg.Error}
+		}
+	}
+}
+
+func (n *Node) reply(to string, msg wireMsg) {
+	raw, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	n.sys.Send(to, service, raw)
+}

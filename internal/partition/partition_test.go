@@ -1,0 +1,205 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sysplex/internal/vclock"
+	"sysplex/internal/xcf"
+)
+
+type fixture struct {
+	plex    *xcf.Sysplex
+	cluster *Cluster
+	nodes   map[string]*Node
+}
+
+func newFixture(t *testing.T, systems ...string) *fixture {
+	t.Helper()
+	plex := xcf.NewSysplex("SNPLEX", vclock.Real(), nil, nil, xcf.Options{})
+	fx := &fixture{plex: plex, cluster: NewCluster(vclock.Real()), nodes: map[string]*Node{}}
+	for _, s := range systems {
+		sys, err := plex.Join(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _, err := fx.cluster.AddNode(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx.nodes[s] = n
+	}
+	return fx
+}
+
+func TestOwnerStableAndBalanced(t *testing.T) {
+	fx := newFixture(t, "SYS1", "SYS2", "SYS3")
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		owner, err := fx.cluster.Owner(fmt.Sprintf("key%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[owner]++
+	}
+	for sys, c := range counts {
+		if c < 600 || c > 1400 {
+			t.Fatalf("partition skew: %s owns %d of 3000", sys, c)
+		}
+	}
+	// Stability.
+	o1, _ := fx.cluster.Owner("fixed")
+	o2, _ := fx.cluster.Owner("fixed")
+	if o1 != o2 {
+		t.Fatal("owner not stable")
+	}
+}
+
+func TestLocalAndRemoteOps(t *testing.T) {
+	fx := newFixture(t, "SYS1", "SYS2")
+	n1 := fx.nodes["SYS1"]
+	// Find keys owned by each node.
+	var k1, k2 string
+	for i := 0; k1 == "" || k2 == ""; i++ {
+		k := fmt.Sprintf("key%d", i)
+		owner, _ := fx.cluster.Owner(k)
+		if owner == "SYS1" && k1 == "" {
+			k1 = k
+		}
+		if owner == "SYS2" && k2 == "" {
+			k2 = k
+		}
+	}
+	// Local put/get on own partition.
+	if err := n1.Put(k1, []byte("local")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := n1.Get(k1)
+	if err != nil || string(v) != "local" {
+		t.Fatalf("v=%q err=%v", v, err)
+	}
+	// Remote access: function shipping to the owner.
+	if err := n1.Put(k2, []byte("remote")); err != nil {
+		t.Fatal(err)
+	}
+	v, err = n1.Get(k2)
+	if err != nil || string(v) != "remote" {
+		t.Fatalf("v=%q err=%v", v, err)
+	}
+	st1 := n1.Stats()
+	if st1.LocalOps != 2 || st1.RemoteOps != 2 {
+		t.Fatalf("SYS1 stats = %+v", st1)
+	}
+	// The owner's CPU did the shipped work.
+	st2 := fx.nodes["SYS2"].Stats()
+	if st2.ServedOps != 2 {
+		t.Fatalf("SYS2 stats = %+v", st2)
+	}
+	// Data actually lives on the owner.
+	if fx.nodes["SYS2"].Keys() != 1 || n1.Keys() != 1 {
+		t.Fatalf("keys: SYS1=%d SYS2=%d", n1.Keys(), fx.nodes["SYS2"].Keys())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	fx := newFixture(t, "SYS1")
+	if _, err := fx.nodes["SYS1"].Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyCluster(t *testing.T) {
+	c := NewCluster(vclock.Real())
+	if _, err := c.Owner("k"); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddNodeRepartitionsData(t *testing.T) {
+	plex := xcf.NewSysplex("SNPLEX", vclock.Real(), nil, nil, xcf.Options{})
+	cluster := NewCluster(vclock.Real())
+	s1, _ := plex.Join("SYS1")
+	n1, moved, err := cluster.AddNode(s1)
+	if err != nil || moved != 0 {
+		t.Fatalf("moved=%d err=%v", moved, err)
+	}
+	// Load 1000 keys into the single-node cluster.
+	for i := 0; i < 1000; i++ {
+		if err := n1.Put(fmt.Sprintf("key%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Growth requires repartitioning: a large fraction of keys moves.
+	s2, _ := plex.Join("SYS2")
+	n2, moved, err := cluster.AddNode(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved < 300 {
+		t.Fatalf("moved = %d, expected a large migration", moved)
+	}
+	if n1.Keys()+n2.Keys() != 1000 {
+		t.Fatalf("keys lost: %d + %d", n1.Keys(), n2.Keys())
+	}
+	// All keys remain reachable from any node.
+	for i := 0; i < 1000; i += 97 {
+		if _, err := n1.Get(fmt.Sprintf("key%d", i)); err != nil {
+			t.Fatalf("key%d unreachable: %v", i, err)
+		}
+	}
+	// A third node moves more data again.
+	s3, _ := plex.Join("SYS3")
+	_, moved3, err := cluster.AddNode(s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved3 == 0 {
+		t.Fatal("third node joined without any data movement?")
+	}
+	if got := cluster.Nodes(); len(got) != 3 {
+		t.Fatalf("nodes = %v", got)
+	}
+}
+
+func TestDuplicateNodeRejected(t *testing.T) {
+	plex := xcf.NewSysplex("SNPLEX", vclock.Real(), nil, nil, xcf.Options{})
+	cluster := NewCluster(vclock.Real())
+	s1, _ := plex.Join("SYS1")
+	cluster.AddNode(s1)
+	if _, _, err := cluster.AddNode(s1); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestSkewConcentratesOnOwner(t *testing.T) {
+	// The §2.3 argument: under skew, the partition owner saturates.
+	fx := newFixture(t, "SYS1", "SYS2", "SYS3")
+	hotKey := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("hot%d", i)
+		if owner, _ := fx.cluster.Owner(k); owner == "SYS2" {
+			hotKey = k
+			break
+		}
+	}
+	fx.nodes["SYS2"].Put(hotKey, []byte("x"))
+	// All three nodes hammer the hot key.
+	for _, n := range fx.nodes {
+		for i := 0; i < 50; i++ {
+			if _, err := n.Get(hotKey); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st2 := fx.nodes["SYS2"].Stats()
+	// SYS2 executed its own 50 plus served 100 shipped ops (+1 put).
+	if st2.LocalOps != 51 || st2.ServedOps != 100 {
+		t.Fatalf("owner stats = %+v", st2)
+	}
+	for _, other := range []string{"SYS1", "SYS3"} {
+		if st := fx.nodes[other].Stats(); st.ServedOps != 0 {
+			t.Fatalf("%s served %d ops for a key it does not own", other, st.ServedOps)
+		}
+	}
+}

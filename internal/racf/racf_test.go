@@ -1,0 +1,190 @@
+package racf
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sysplex/internal/cds"
+	"sysplex/internal/cf"
+	"sysplex/internal/dasd"
+	"sysplex/internal/vclock"
+)
+
+type fixture struct {
+	fac  *cf.Facility
+	cs   *cf.CacheStructure
+	st   *cds.Store
+	mgrs map[string]*Manager
+}
+
+func newFixture(t *testing.T, slots int, systems ...string) *fixture {
+	t.Helper()
+	farm := dasd.NewFarm(vclock.Real())
+	farm.AddVolume("V", 512, 1)
+	pri, _ := farm.Allocate("V", "RACF.DB", 256)
+	st, err := cds.New("RACFDB", vclock.Real(), pri, nil, cds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac := cf.New("CF01", vclock.Real())
+	cs, err := fac.AllocateCacheStructure("IRRXCF00", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{fac: fac, cs: cs, st: st, mgrs: map[string]*Manager{}}
+	for _, s := range systems {
+		m, err := New(s, cs, st, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx.mgrs[s] = m
+	}
+	return fx
+}
+
+func TestDefineAndCheck(t *testing.T) {
+	fx := newFixture(t, 16, "SYS1")
+	m := fx.mgrs["SYS1"]
+	if err := m.Define(Profile{
+		Resource: "PAYROLL.DATA",
+		UACC:     None,
+		Permits:  map[string]Access{"ALICE": Update, "BOB": Read},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		user string
+		want Access
+		ok   bool
+	}{
+		{"ALICE", Update, true},
+		{"ALICE", Alter, false},
+		{"BOB", Read, true},
+		{"BOB", Update, false},
+		{"EVE", Read, false}, // falls to UACC None
+	}
+	for _, c := range cases {
+		got, err := m.Check(c.user, "PAYROLL.DATA", c.want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.ok {
+			t.Fatalf("Check(%s, %v) = %v, want %v", c.user, c.want, got, c.ok)
+		}
+	}
+	if st := m.Stats(); st.Denied != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUACCFallback(t *testing.T) {
+	fx := newFixture(t, 16, "SYS1")
+	m := fx.mgrs["SYS1"]
+	m.Define(Profile{Resource: "PUBLIC.DOC", UACC: Read})
+	if ok, _ := m.Check("ANYONE", "PUBLIC.DOC", Read); !ok {
+		t.Fatal("UACC read denied")
+	}
+	if ok, _ := m.Check("ANYONE", "PUBLIC.DOC", Update); ok {
+		t.Fatal("UACC update allowed")
+	}
+}
+
+func TestNoProfile(t *testing.T) {
+	fx := newFixture(t, 16, "SYS1")
+	if _, err := fx.mgrs["SYS1"].Check("U", "UNDEFINED", Read); !errors.Is(err, ErrNoProfile) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLocalCacheHitPath(t *testing.T) {
+	fx := newFixture(t, 16, "SYS1")
+	m := fx.mgrs["SYS1"]
+	m.Define(Profile{Resource: "R", UACC: Read})
+	for i := 0; i < 10; i++ {
+		if ok, err := m.Check("U", "R", Read); err != nil || !ok {
+			t.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+	st := m.Stats()
+	// Define primed the local cache; all 10 checks are local hits.
+	if st.LocalHits != 10 || st.DbReads != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRevocationTakesEffectSysplexWideImmediately(t *testing.T) {
+	fx := newFixture(t, 16, "SYS1", "SYS2", "SYS3")
+	admin := fx.mgrs["SYS1"]
+	admin.Define(Profile{Resource: "SECRET", UACC: None, Permits: map[string]Access{"MALLORY": Read}})
+
+	// Every system warms its local cache with the permissive profile.
+	for _, m := range fx.mgrs {
+		if ok, err := m.Check("MALLORY", "SECRET", Read); err != nil || !ok {
+			t.Fatalf("warmup: ok=%v err=%v", ok, err)
+		}
+	}
+	// Revoke on SYS1.
+	if err := admin.Permit("SECRET", "MALLORY", None); err != nil {
+		t.Fatal(err)
+	}
+	// Effective immediately on all systems — cross-invalidation, not
+	// timeouts.
+	for name, m := range fx.mgrs {
+		if ok, _ := m.Check("MALLORY", "SECRET", Read); ok {
+			t.Fatalf("%s still allows revoked access", name)
+		}
+	}
+	// And the refresh came from the CF cache, not the database.
+	for name, m := range fx.mgrs {
+		if name == "SYS1" {
+			continue
+		}
+		st := m.Stats()
+		if st.GlobalHits < 1 {
+			t.Fatalf("%s stats = %+v, expected CF refresh", name, st)
+		}
+	}
+}
+
+func TestProfilePersistsInSharedDatabase(t *testing.T) {
+	fx := newFixture(t, 16, "SYS1")
+	fx.mgrs["SYS1"].Define(Profile{Resource: "R", UACC: Read})
+	// A brand-new manager (e.g. after IPL) with a cold CF cache entry...
+	fx.fac.Deallocate("IRRXCF00")
+	cs2, _ := fx.fac.AllocateCacheStructure("IRRXCF00", 64)
+	m2, err := New("SYS9", cs2, fx.st, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...reads the profile from the shared database.
+	ok, err := m2.Check("ANY", "R", Read)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if st := m2.Stats(); st.DbReads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSlotEviction(t *testing.T) {
+	fx := newFixture(t, 4, "SYS1")
+	m := fx.mgrs["SYS1"]
+	for i := 0; i < 8; i++ {
+		m.Define(Profile{Resource: fmt.Sprintf("R%d", i), UACC: Read})
+	}
+	// All 8 profiles remain checkable despite only 4 local slots.
+	for i := 0; i < 8; i++ {
+		ok, err := m.Check("U", fmt.Sprintf("R%d", i), Read)
+		if err != nil || !ok {
+			t.Fatalf("R%d: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	if None.String() != "NONE" || Read.String() != "READ" ||
+		Update.String() != "UPDATE" || Alter.String() != "ALTER" || Access(9).String() == "" {
+		t.Fatal("access strings")
+	}
+}

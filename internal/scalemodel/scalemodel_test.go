@@ -1,0 +1,175 @@
+package scalemodel
+
+import (
+	"testing"
+	"time"
+)
+
+func testParams() Params {
+	p := DefaultParams()
+	p.SimTime = 3 * time.Second
+	return p
+}
+
+func TestTCMPEffectiveShape(t *testing.T) {
+	p := DefaultParams()
+	if TCMPEffective(0, p) != 0 {
+		t.Fatal("0 engines should have 0 capacity")
+	}
+	if TCMPEffective(1, p) != 1 {
+		t.Fatalf("1 engine = %g", TCMPEffective(1, p))
+	}
+	// Monotone increase with diminishing increments over product range.
+	prev, prevIncr := 1.0, 1.0
+	for n := 2; n <= 10; n++ {
+		e := TCMPEffective(n, p)
+		if e <= prev {
+			t.Fatalf("TCMP capacity not increasing at %d engines: %g <= %g", n, e, prev)
+		}
+		incr := e - prev
+		if incr >= prevIncr {
+			t.Fatalf("TCMP increment not diminishing at %d: %g >= %g", n, incr, prevIncr)
+		}
+		prev, prevIncr = e, incr
+	}
+	// Far beyond the product limit the curve flattens hard (< 60% of
+	// ideal by 16 engines).
+	if e := TCMPEffective(16, p); e > 0.6*16 {
+		t.Fatalf("TCMP(16) = %g, want strong flattening", e)
+	}
+}
+
+func TestSingleSystemBaseline(t *testing.T) {
+	r := MeasureSysplex(1, testParams())
+	// One engine, no data sharing: effective capacity ≈ 1.
+	if r.EffectiveCap < 0.9 || r.EffectiveCap > 1.05 {
+		t.Fatalf("1-system effective capacity = %g, want ≈1", r.EffectiveCap)
+	}
+	if r.CPUUtil < 0.9 {
+		t.Fatalf("saturation drive failed: util = %g", r.CPUUtil)
+	}
+	if r.CFUtil != 0 {
+		t.Fatalf("single system used the CF: %g", r.CFUtil)
+	}
+}
+
+func TestDataSharingCostWithinPaperBound(t *testing.T) {
+	c := Claims(testParams())
+	if c.DataSharingCost <= 0 {
+		t.Fatalf("data sharing should cost something: %g", c.DataSharingCost)
+	}
+	if c.DataSharingCost >= 0.18 {
+		t.Fatalf("1→2 data-sharing cost = %.1f%%, paper bound is <18%%", 100*c.DataSharingCost)
+	}
+}
+
+func TestIncrementalCostWithinPaperBound(t *testing.T) {
+	c := Claims(testParams())
+	if c.MaxIncrementalCost >= 0.005 {
+		t.Fatalf("worst incremental cost = %.3f%%, paper bound is <0.5%%", 100*c.MaxIncrementalCost)
+	}
+	// Near-linear out to 32 systems.
+	if c.Effective32 < 0.8 {
+		t.Fatalf("32-system efficiency = %g, want near-linear (>0.8)", c.Effective32)
+	}
+}
+
+func TestFigure3CurvesOrdering(t *testing.T) {
+	p := testParams()
+	points := Figure3(8, p)
+	if len(points) != 8 {
+		t.Fatalf("points = %d", len(points))
+	}
+	crossover := -1
+	for i, pt := range points {
+		if pt.Ideal != float64(pt.CPUs) {
+			t.Fatalf("ideal wrong at %d", pt.CPUs)
+		}
+		if pt.Sysplex > pt.Ideal+0.05 {
+			t.Fatalf("sysplex above ideal at %d cpus: %g", pt.CPUs, pt.Sysplex)
+		}
+		if crossover == -1 && pt.Sysplex > pt.TCMP {
+			crossover = i
+		}
+	}
+	// The figure's shape: TCMP wins at small engine counts ("maximum
+	// effective throughput at relatively small numbers of engines"),
+	// then the sysplex overtakes and stays ahead.
+	if crossover <= 0 {
+		t.Fatalf("crossover at index %d; TCMP should win initially, sysplex later", crossover)
+	}
+	for i := crossover; i < len(points); i++ {
+		if points[i].Sysplex <= points[i].TCMP {
+			t.Fatalf("sysplex fell back below TCMP at %d cpus", points[i].CPUs)
+		}
+	}
+	// Sysplex curve is increasing.
+	for i := 1; i < len(points); i++ {
+		if points[i].Sysplex <= points[i-1].Sysplex {
+			t.Fatalf("sysplex curve not increasing at %d", points[i].CPUs)
+		}
+	}
+}
+
+func TestMeasurementDeterminism(t *testing.T) {
+	p := testParams()
+	a := MeasureSysplex(4, p)
+	b := MeasureSysplex(4, p)
+	if a.Throughput != b.Throughput {
+		t.Fatalf("non-deterministic: %g vs %g", a.Throughput, b.Throughput)
+	}
+}
+
+func TestSkewShowsDataSharingAdvantage(t *testing.T) {
+	p := testParams()
+	const m = 4
+	// Capacity per system ≈ 1000/BaseServiceMS; offer 70% of aggregate,
+	// with 60% of transactions hitting one partition.
+	offered := 0.7 * float64(m) * 1000 / p.BaseServiceMS
+	shared := MeasureSkew("sharing", m, 0.6, offered, p)
+	part := MeasureSkew("partitioned", m, 0.6, offered, p)
+
+	// Data sharing absorbs the skew: throughput ≈ offered.
+	if shared.Throughput < 0.95*offered {
+		t.Fatalf("sharing throughput = %g of %g offered", shared.Throughput, offered)
+	}
+	// The partitioned owner saturates: significant loss of completions
+	// within the window and far worse response times.
+	if part.Throughput >= 0.95*offered {
+		t.Fatalf("partitioned throughput = %g, expected saturation below offered %g", part.Throughput, offered)
+	}
+	if part.MeanRespMS < 4*shared.MeanRespMS {
+		t.Fatalf("partitioned mean resp %.2fms vs shared %.2fms: expected blowup", part.MeanRespMS, shared.MeanRespMS)
+	}
+	// Utilization imbalance: partitioned hot node pegged, others idle.
+	if part.UtilMax < 0.95 || part.UtilMin > 0.5 {
+		t.Fatalf("partitioned utils = [%g, %g], expected imbalance", part.UtilMin, part.UtilMax)
+	}
+	if shared.UtilMax-shared.UtilMin > 0.15 {
+		t.Fatalf("sharing utils = [%g, %g], expected balance", shared.UtilMin, shared.UtilMax)
+	}
+}
+
+func TestUniformLoadParity(t *testing.T) {
+	// Without skew and at moderate load, both designs deliver the
+	// offered throughput — the paper's argument is about dynamics, not
+	// steady uniform load.
+	p := testParams()
+	const m = 4
+	offered := 0.6 * float64(m) * 1000 / p.BaseServiceMS
+	shared := MeasureSkew("sharing", m, 1.0/float64(m), offered, p)
+	part := MeasureSkew("partitioned", m, 1.0/float64(m), offered, p)
+	if part.Throughput < 0.95*offered || shared.Throughput < 0.95*offered {
+		t.Fatalf("parity broken: shared=%g partitioned=%g offered=%g",
+			shared.Throughput, part.Throughput, offered)
+	}
+}
+
+func TestMeasureSysplexPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MeasureSysplex(0, testParams())
+}

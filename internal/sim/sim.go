@@ -1,0 +1,291 @@
+// Package sim is a deterministic discrete-event simulation kernel. It
+// stands in for the hardware performance testbed used by the paper's
+// scalability studies (S/390 9672 systems, [8,9]): the Figure 3 curves
+// and the §4 overhead measurements are *measured* on workloads executed
+// by this kernel rather than asserted analytically.
+//
+// The kernel is callback-based: events are closures scheduled at virtual
+// times, executed in (time, insertion) order by a single goroutine, so a
+// simulation with a fixed seed is exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Engine runs a single simulation. It is not safe for concurrent use;
+// all event callbacks run on the caller's goroutine inside Run.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    int64
+	rng    *rand.Rand
+	halted bool
+}
+
+// NewEngine returns an Engine with a deterministic RNG seeded by seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand exposes the engine's deterministic RNG.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule queues fn to run after delay of virtual time. A negative
+// delay is treated as zero. Events at equal times run in insertion order.
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt queues fn at absolute virtual time at (clamped to now).
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) {
+	e.Schedule(at-e.now, fn)
+}
+
+// Halt stops the run loop after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events until the queue is empty, the horizon is passed,
+// or Halt is called. Events scheduled exactly at the horizon still run.
+// It returns the number of events executed.
+func (e *Engine) Run(horizon time.Duration) int {
+	e.halted = false
+	n := 0
+	for len(e.events) > 0 && !e.halted {
+		ev := e.events[0]
+		if ev.at > horizon {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Exp draws an exponentially distributed duration with the given mean.
+func (e *Engine) Exp(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(e.rng.ExpFloat64() * float64(mean))
+}
+
+// Uniform draws uniformly from [lo, hi).
+func (e *Engine) Uniform(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(e.rng.Int63n(int64(hi-lo)))
+}
+
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Server is a multi-server FCFS queueing station (c identical servers,
+// one shared queue), used to model CPU complexes, CF processors, and
+// DASD devices. All methods must be called from within engine events.
+type Server struct {
+	eng      *Engine
+	name     string
+	capacity int
+	busy     int
+	queue    []job
+
+	// statistics
+	busyTime     time.Duration // integral of busy servers over time
+	queueTime    time.Duration // integral of queue length over time
+	lastChange   time.Duration
+	completions  int64
+	totalService time.Duration
+	totalWait    time.Duration
+}
+
+type job struct {
+	service  time.Duration
+	done     func()
+	enqueued time.Duration
+}
+
+// NewServer creates a station with the given number of servers.
+func NewServer(eng *Engine, name string, capacity int) *Server {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: server %q capacity %d < 1", name, capacity))
+	}
+	return &Server{eng: eng, name: name, capacity: capacity}
+}
+
+// Name returns the server's name.
+func (s *Server) Name() string { return s.name }
+
+// Visit enqueues a job needing the given service time; done (optional)
+// runs at completion.
+func (s *Server) Visit(service time.Duration, done func()) {
+	s.accumulate()
+	if s.busy < s.capacity {
+		s.busy++
+		s.start(job{service: service, done: done, enqueued: s.eng.now})
+		return
+	}
+	s.queue = append(s.queue, job{service: service, done: done, enqueued: s.eng.now})
+}
+
+func (s *Server) start(j job) {
+	s.totalWait += s.eng.now - j.enqueued
+	s.eng.Schedule(j.service, func() {
+		s.accumulate()
+		s.completions++
+		s.totalService += j.service
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			s.start(next)
+		} else {
+			s.busy--
+		}
+		if j.done != nil {
+			j.done()
+		}
+	})
+}
+
+func (s *Server) accumulate() {
+	dt := s.eng.now - s.lastChange
+	s.busyTime += time.Duration(int64(dt) * int64(s.busy))
+	s.queueTime += time.Duration(int64(dt) * int64(len(s.queue)))
+	s.lastChange = s.eng.now
+}
+
+// Utilization returns mean busy fraction per server since time zero.
+func (s *Server) Utilization() float64 {
+	s.accumulate()
+	if s.eng.now == 0 {
+		return 0
+	}
+	return float64(s.busyTime) / (float64(s.eng.now) * float64(s.capacity))
+}
+
+// MeanQueueLength returns the time-averaged queue length.
+func (s *Server) MeanQueueLength() float64 {
+	s.accumulate()
+	if s.eng.now == 0 {
+		return 0
+	}
+	return float64(s.queueTime) / float64(s.eng.now)
+}
+
+// Completions returns the number of finished jobs.
+func (s *Server) Completions() int64 { return s.completions }
+
+// MeanWait returns the average time a job spent queued before service.
+func (s *Server) MeanWait() time.Duration {
+	if s.completions == 0 {
+		return 0
+	}
+	return s.totalWait / time.Duration(s.completions)
+}
+
+// QueueLen returns the instantaneous queue length.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Busy returns the number of busy servers.
+func (s *Server) Busy() int { return s.busy }
+
+// Tally accumulates scalar observations (completion counts, response
+// times in seconds, etc.) for simulation outputs.
+type Tally struct {
+	n          int64
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one observation.
+func (t *Tally) Add(v float64) {
+	if t.n == 0 {
+		t.min, t.max = v, v
+	} else {
+		if v < t.min {
+			t.min = v
+		}
+		if v > t.max {
+			t.max = v
+		}
+	}
+	t.n++
+	t.sum += v
+	t.sumSq += v * v
+}
+
+// N returns the observation count.
+func (t *Tally) N() int64 { return t.n }
+
+// Mean returns the sample mean (0 if empty).
+func (t *Tally) Mean() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.sum / float64(t.n)
+}
+
+// Sum returns the sum of observations.
+func (t *Tally) Sum() float64 { return t.sum }
+
+// Min returns the smallest observation (0 if empty).
+func (t *Tally) Min() float64 { return t.min }
+
+// Max returns the largest observation (0 if empty).
+func (t *Tally) Max() float64 { return t.max }
+
+// StdDev returns the sample standard deviation (0 if n < 2).
+func (t *Tally) StdDev() float64 {
+	if t.n < 2 {
+		return 0
+	}
+	mean := t.Mean()
+	v := (t.sumSq - float64(t.n)*mean*mean) / float64(t.n-1)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}

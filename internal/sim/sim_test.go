@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.Run(time.Minute)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if e.Now() != time.Minute {
+		t.Fatalf("Now = %v, want horizon", e.Now())
+	}
+}
+
+func TestEqualTimeInsertionOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run(2 * time.Second)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("insertion order broken: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(time.Second, func() {
+		e.Schedule(-5*time.Second, func() { fired = true })
+	})
+	e.Run(time.Second)
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestHorizonStopsRun(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(time.Second, func() { ran++ })
+	e.Schedule(3*time.Second, func() { ran++ })
+	n := e.Run(2 * time.Second)
+	if n != 1 || ran != 1 {
+		t.Fatalf("n=%d ran=%d, want 1,1", n, ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	// Resume past the horizon.
+	e.Run(4 * time.Second)
+	if ran != 2 {
+		t.Fatalf("ran = %d after resume", ran)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(time.Second, func() { ran++; e.Halt() })
+	e.Schedule(2*time.Second, func() { ran++ })
+	e.Run(time.Hour)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (halted)", ran)
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Duration
+	e.ScheduleAt(5*time.Second, func() { at = e.Now() })
+	e.Run(time.Minute)
+	if at != 5*time.Second {
+		t.Fatalf("fired at %v", at)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []time.Duration {
+		e := NewEngine(42)
+		var times []time.Duration
+		var gen func()
+		gen = func() {
+			times = append(times, e.Now())
+			if len(times) < 100 {
+				e.Schedule(e.Exp(time.Millisecond), gen)
+			}
+		}
+		e.Schedule(0, gen)
+		e.Run(time.Hour)
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	e := NewEngine(7)
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += e.Exp(time.Millisecond)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-float64(time.Millisecond)) > 0.05*float64(time.Millisecond) {
+		t.Fatalf("exp mean = %v, want ~1ms", time.Duration(mean))
+	}
+	if e.Exp(0) != 0 || e.Exp(-time.Second) != 0 {
+		t.Fatal("non-positive mean should give 0")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	e := NewEngine(7)
+	for i := 0; i < 1000; i++ {
+		v := e.Uniform(time.Millisecond, 2*time.Millisecond)
+		if v < time.Millisecond || v >= 2*time.Millisecond {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+	}
+	if e.Uniform(time.Second, time.Second) != time.Second {
+		t.Fatal("degenerate range")
+	}
+}
+
+func TestServerSingleJob(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, "cpu", 1)
+	var doneAt time.Duration
+	e.Schedule(0, func() { s.Visit(3*time.Second, func() { doneAt = e.Now() }) })
+	e.Run(10 * time.Second)
+	if doneAt != 3*time.Second {
+		t.Fatalf("done at %v", doneAt)
+	}
+	if s.Completions() != 1 {
+		t.Fatalf("completions = %d", s.Completions())
+	}
+	if u := s.Utilization(); math.Abs(u-0.3) > 1e-9 {
+		t.Fatalf("utilization = %g, want 0.3", u)
+	}
+}
+
+func TestServerFCFSQueueing(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, "cpu", 1)
+	var done []int
+	e.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			i := i
+			s.Visit(time.Second, func() { done = append(done, i) })
+		}
+	})
+	e.Run(10 * time.Second)
+	for i := range done {
+		if done[i] != i {
+			t.Fatalf("FCFS violated: %v", done)
+		}
+	}
+	// Jobs finish at 1s, 2s, 3s → mean wait = (0+1+2)/3 s.
+	if mw := s.MeanWait(); mw != time.Second {
+		t.Fatalf("mean wait = %v, want 1s", mw)
+	}
+}
+
+func TestServerMultiServerParallelism(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, "cpu", 2)
+	var last time.Duration
+	e.Schedule(0, func() {
+		for i := 0; i < 4; i++ {
+			s.Visit(time.Second, func() { last = e.Now() })
+		}
+	})
+	e.Run(10 * time.Second)
+	if last != 2*time.Second {
+		t.Fatalf("4 jobs on 2 servers finished at %v, want 2s", last)
+	}
+}
+
+func TestServerQueueStats(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, "d", 1)
+	e.Schedule(0, func() {
+		s.Visit(4*time.Second, nil)
+		s.Visit(time.Second, nil)
+	})
+	e.Run(4 * time.Second)
+	// One job queued for 4s out of 4s elapsed → mean queue length 1.
+	if q := s.MeanQueueLength(); math.Abs(q-1.0) > 1e-9 {
+		t.Fatalf("mean queue length = %g, want 1", q)
+	}
+}
+
+func TestServerPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for capacity 0")
+		}
+	}()
+	NewServer(NewEngine(1), "bad", 0)
+}
+
+func TestMM1AgainstTheory(t *testing.T) {
+	// M/M/1 with λ=0.5/ms, μ=1/ms → ρ=0.5, mean wait in queue = ρ/(μ-λ) = 1ms.
+	e := NewEngine(99)
+	s := NewServer(e, "mm1", 1)
+	var arrive func()
+	arrive = func() {
+		s.Visit(e.Exp(time.Millisecond), nil)
+		e.Schedule(e.Exp(2*time.Millisecond), arrive)
+	}
+	e.Schedule(0, arrive)
+	e.Run(200 * time.Second)
+	if u := s.Utilization(); math.Abs(u-0.5) > 0.05 {
+		t.Fatalf("utilization = %g, want ~0.5", u)
+	}
+	mw := float64(s.MeanWait()) / float64(time.Millisecond)
+	if math.Abs(mw-1.0) > 0.25 {
+		t.Fatalf("mean wait = %gms, want ~1ms (M/M/1)", mw)
+	}
+}
+
+func TestTally(t *testing.T) {
+	var ta Tally
+	for _, v := range []float64{1, 2, 3, 4} {
+		ta.Add(v)
+	}
+	if ta.N() != 4 || ta.Mean() != 2.5 || ta.Min() != 1 || ta.Max() != 4 {
+		t.Fatalf("tally = %+v", ta)
+	}
+	want := math.Sqrt((1.5*1.5 + 0.5*0.5 + 0.5*0.5 + 1.5*1.5) / 3)
+	if math.Abs(ta.StdDev()-want) > 1e-12 {
+		t.Fatalf("stddev = %g, want %g", ta.StdDev(), want)
+	}
+	var empty Tally
+	if empty.Mean() != 0 || empty.StdDev() != 0 {
+		t.Fatal("empty tally should report zeros")
+	}
+}
+
+// Property: events always execute in nondecreasing time order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(3)
+		var times []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Microsecond, func() {
+				times = append(times, e.Now())
+			})
+		}
+		e.Run(time.Hour)
+		return sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single-server station completes all jobs and total busy
+// time equals total service time when all jobs fit the horizon.
+func TestServerConservationProperty(t *testing.T) {
+	f := func(svc []uint8) bool {
+		e := NewEngine(5)
+		s := NewServer(e, "c", 1)
+		var total time.Duration
+		e.Schedule(0, func() {
+			for _, v := range svc {
+				d := time.Duration(v) * time.Microsecond
+				total += d
+				s.Visit(d, nil)
+			}
+		})
+		e.Run(time.Hour)
+		if s.Completions() != int64(len(svc)) {
+			return false
+		}
+		s.accumulate()
+		return s.busyTime == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

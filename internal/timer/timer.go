@@ -1,0 +1,114 @@
+// Package timer emulates the Sysplex Timer of Figure 1: a common time
+// reference so that timestamps obtained on different systems are
+// mutually consistent (§3.1). Database log merging and lock recovery
+// depend on this ordering guarantee.
+//
+// Stamp values issued by one Timer are strictly increasing no matter
+// which system requests them, mirroring the architecture's guarantee
+// that two STCK values observed in causal order never tie or invert.
+package timer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sysplex/internal/vclock"
+)
+
+// Timer is the shared sysplex time reference.
+type Timer struct {
+	mu    sync.Mutex
+	clock vclock.Clock
+	last  time.Time
+}
+
+// New returns a Timer reading from clock.
+func New(clock vclock.Clock) *Timer {
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	return &Timer{clock: clock}
+}
+
+// Stamp returns the next sysplex timestamp. Successive calls from any
+// mix of systems return strictly increasing values.
+func (t *Timer) Stamp() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock.Now()
+	if !now.After(t.last) {
+		now = t.last.Add(time.Nanosecond)
+	}
+	t.last = now
+	return now
+}
+
+// Now returns the current sysplex time without consuming a stamp.
+func (t *Timer) Now() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.last.After(t.clock.Now()) {
+		return t.last
+	}
+	return t.clock.Now()
+}
+
+// LocalTOD models one system's local time-of-day clock, steered to the
+// sysplex timer. Drift can be injected for tests; Sync snaps the local
+// clock back to the common reference, and Stamp never violates the
+// sysplex-wide ordering because it consults the shared Timer.
+type LocalTOD struct {
+	mu     sync.Mutex
+	sys    string
+	timer  *Timer
+	offset time.Duration // injected drift, visible via SkewedNow only
+}
+
+// NewLocalTOD returns the local TOD clock for system sys.
+func NewLocalTOD(sys string, timer *Timer) *LocalTOD {
+	return &LocalTOD{sys: sys, timer: timer}
+}
+
+// System returns the owning system name.
+func (l *LocalTOD) System() string { return l.sys }
+
+// Stamp returns a sysplex-consistent timestamp for this system.
+func (l *LocalTOD) Stamp() time.Time { return l.timer.Stamp() }
+
+// InjectDrift adds artificial drift to the local oscillator.
+func (l *LocalTOD) InjectDrift(d time.Duration) {
+	l.mu.Lock()
+	l.offset += d
+	l.mu.Unlock()
+}
+
+// SkewedNow returns the unsteered local reading (reference + drift);
+// only diagnostics look at this, never the data path.
+func (l *LocalTOD) SkewedNow() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.timer.Now().Add(l.offset)
+}
+
+// Skew returns the current injected drift.
+func (l *LocalTOD) Skew() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.offset
+}
+
+// Sync steers the local oscillator back to the sysplex reference,
+// returning the correction applied.
+func (l *LocalTOD) Sync() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	corr := -l.offset
+	l.offset = 0
+	return corr
+}
+
+// String identifies the clock for logs.
+func (l *LocalTOD) String() string {
+	return fmt.Sprintf("TOD(%s skew=%v)", l.sys, l.Skew())
+}

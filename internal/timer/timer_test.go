@@ -1,0 +1,151 @@
+package timer
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sysplex/internal/vclock"
+)
+
+var t0 = time.Date(1996, 4, 15, 0, 0, 0, 0, time.UTC)
+
+func TestStampStrictlyIncreasing(t *testing.T) {
+	fc := vclock.NewFake(t0)
+	tm := New(fc)
+	prev := tm.Stamp()
+	for i := 0; i < 1000; i++ {
+		// The fake clock does not move, yet stamps must still increase.
+		s := tm.Stamp()
+		if !s.After(prev) {
+			t.Fatalf("stamp %v not after %v", s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestStampFollowsClock(t *testing.T) {
+	fc := vclock.NewFake(t0)
+	tm := New(fc)
+	tm.Stamp()
+	fc.Advance(time.Hour)
+	s := tm.Stamp()
+	if s.Before(t0.Add(time.Hour)) {
+		t.Fatalf("stamp %v did not follow clock", s)
+	}
+}
+
+func TestCrossSystemOrdering(t *testing.T) {
+	// Two systems taking stamps concurrently never observe ties, and the
+	// merged sequence is strictly sorted — the property log merge needs.
+	tm := New(vclock.Real())
+	const perSys = 2000
+	var wg sync.WaitGroup
+	results := make([][]time.Time, 4)
+	for s := 0; s < 4; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]time.Time, perSys)
+			for i := range out {
+				out[i] = tm.Stamp()
+			}
+			results[s] = out
+		}()
+	}
+	wg.Wait()
+	var all []time.Time
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Before(all[j]) })
+	for i := 1; i < len(all); i++ {
+		if !all[i].After(all[i-1]) {
+			t.Fatalf("duplicate sysplex timestamp at %d: %v", i, all[i])
+		}
+	}
+}
+
+func TestNowDoesNotConsume(t *testing.T) {
+	fc := vclock.NewFake(t0)
+	tm := New(fc)
+	n1 := tm.Now()
+	n2 := tm.Now()
+	if !n1.Equal(n2) {
+		t.Fatal("Now consumed a stamp")
+	}
+	s := tm.Stamp()
+	if !s.After(n1) && !s.Equal(n1) {
+		t.Fatalf("stamp %v before Now %v", s, n1)
+	}
+	// Now never runs behind the last issued stamp.
+	if tm.Now().Before(s) {
+		t.Fatal("Now ran behind last stamp")
+	}
+}
+
+func TestLocalTODDriftAndSync(t *testing.T) {
+	fc := vclock.NewFake(t0)
+	tm := New(fc)
+	l := NewLocalTOD("SYS1", tm)
+	l.InjectDrift(3 * time.Second)
+	l.InjectDrift(-1 * time.Second)
+	if l.Skew() != 2*time.Second {
+		t.Fatalf("skew = %v", l.Skew())
+	}
+	if got := l.SkewedNow(); !got.Equal(tm.Now().Add(2 * time.Second)) {
+		t.Fatalf("SkewedNow = %v", got)
+	}
+	if corr := l.Sync(); corr != -2*time.Second {
+		t.Fatalf("correction = %v", corr)
+	}
+	if l.Skew() != 0 {
+		t.Fatal("skew not cleared")
+	}
+	if l.System() != "SYS1" || l.String() == "" {
+		t.Fatal("identity accessors broken")
+	}
+}
+
+func TestDriftedSystemStampsStillOrdered(t *testing.T) {
+	// Even a badly drifted system gets correct stamps from the shared
+	// timer: consistency does not depend on local oscillators.
+	fc := vclock.NewFake(t0)
+	tm := New(fc)
+	a := NewLocalTOD("SYS1", tm)
+	b := NewLocalTOD("SYS2", tm)
+	b.InjectDrift(-time.Hour)
+	s1 := a.Stamp()
+	s2 := b.Stamp()
+	s3 := a.Stamp()
+	if !s2.After(s1) || !s3.After(s2) {
+		t.Fatalf("stamps not ordered: %v %v %v", s1, s2, s3)
+	}
+}
+
+// Property: for any interleaving of Advance and Stamp, stamps are
+// strictly increasing.
+func TestStampMonotoneProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		fc := vclock.NewFake(t0)
+		tm := New(fc)
+		prev := tm.Stamp()
+		for _, s := range steps {
+			if s%2 == 0 {
+				fc.Advance(time.Duration(s) * time.Microsecond)
+			}
+			st := tm.Stamp()
+			if !st.After(prev) {
+				return false
+			}
+			prev = st
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

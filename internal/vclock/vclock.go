@@ -1,0 +1,218 @@
+// Package vclock provides a clock abstraction so every timing-sensitive
+// component in the sysplex (heartbeats, failure detection, castout,
+// policy intervals) can run against either the real wall clock or a
+// manually advanced fake clock in tests.
+//
+// The fake clock is deterministic: timers fire only when Advance crosses
+// their deadline, and all timers due at or before the new time fire in
+// deadline order before Advance returns.
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the interface consumed by sysplex components.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// After returns a channel that delivers the fire time once d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+	// NewTicker returns a ticker driven by this clock.
+	NewTicker(d time.Duration) Ticker
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Ticker mirrors the subset of time.Ticker the sysplex uses.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Real returns a Clock backed by the machine's wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+
+func (realClock) NewTicker(d time.Duration) Ticker {
+	return realTicker{t: time.NewTicker(d)}
+}
+
+type realTicker struct{ t *time.Ticker }
+
+func (rt realTicker) C() <-chan time.Time { return rt.t.C }
+func (rt realTicker) Stop()               { rt.t.Stop() }
+
+// Fake is a manually advanced Clock for deterministic tests.
+// The zero value is not usable; call NewFake.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers timerHeap
+	seq    int64
+}
+
+// NewFake returns a Fake clock initialized to start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now returns the fake clock's current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since returns the elapsed fake time since t.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// After returns a channel that fires when the fake clock is advanced to
+// or past now+d. A non-positive d fires on the next Advance (or
+// immediately if the deadline is already due).
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := f.now.Add(d)
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.addTimer(&fakeTimer{deadline: deadline, ch: ch, oneShot: true})
+	return ch
+}
+
+// Sleep blocks until the clock has been advanced by at least d.
+// It must not be called from the goroutine that calls Advance.
+func (f *Fake) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-f.After(d)
+}
+
+// NewTicker returns a Ticker that fires each time Advance crosses a
+// multiple of d from the time of creation.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("vclock: non-positive ticker interval")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{deadline: f.now.Add(d), period: d, ch: make(chan time.Time, 64), clock: f}
+	f.addTimer(t)
+	return t
+}
+
+// Advance moves the fake clock forward by d, firing every timer whose
+// deadline falls within the window in deadline order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for len(f.timers) > 0 && !f.timers[0].deadline.After(target) {
+		t := heap.Pop(&f.timers).(*fakeTimer)
+		if t.stopped {
+			continue
+		}
+		f.now = t.deadline
+		select {
+		case t.ch <- t.deadline:
+		default: // slow consumer: drop the tick, as time.Ticker does
+		}
+		if t.period > 0 {
+			t.deadline = t.deadline.Add(t.period)
+			f.addTimer(t)
+		}
+	}
+	f.now = target
+	f.mu.Unlock()
+}
+
+// AdvanceTo moves the clock to t (no-op if t is not after Now).
+func (f *Fake) AdvanceTo(t time.Time) {
+	d := t.Sub(f.Now())
+	if d > 0 {
+		f.Advance(d)
+	}
+}
+
+// PendingTimers reports how many live timers are waiting (tickers count
+// once). Useful for test assertions.
+func (f *Fake) PendingTimers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, t := range f.timers {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+func (f *Fake) addTimer(t *fakeTimer) {
+	f.seq++
+	t.seq = f.seq
+	heap.Push(&f.timers, t)
+}
+
+type fakeTimer struct {
+	deadline time.Time
+	period   time.Duration
+	ch       chan time.Time
+	clock    *Fake
+	oneShot  bool
+	stopped  bool
+	seq      int64
+	idx      int
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() {
+	if t.clock == nil {
+		return
+	}
+	t.clock.mu.Lock()
+	t.stopped = true
+	t.clock.mu.Unlock()
+}
+
+type timerHeap []*fakeTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*fakeTimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,232 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(1996, 4, 15, 0, 0, 0, 0, time.UTC) // IPPS'96 week
+
+func TestFakeNowAdvance(t *testing.T) {
+	c := NewFake(t0)
+	if !c.Now().Equal(t0) {
+		t.Fatalf("Now = %v, want %v", c.Now(), t0)
+	}
+	c.Advance(3 * time.Second)
+	if got, want := c.Now(), t0.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestFakeAfterFiresAtDeadline(t *testing.T) {
+	c := NewFake(t0)
+	ch := c.After(10 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("fired before advance")
+	default:
+	}
+	c.Advance(9 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("fired before deadline")
+	default:
+	}
+	c.Advance(1 * time.Millisecond)
+	select {
+	case ft := <-ch:
+		if want := t0.Add(10 * time.Millisecond); !ft.Equal(want) {
+			t.Fatalf("fire time = %v, want %v", ft, want)
+		}
+	default:
+		t.Fatal("did not fire at deadline")
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	c := NewFake(t0)
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-c.After(-time.Second):
+	default:
+		t.Fatal("After(<0) did not fire immediately")
+	}
+}
+
+func TestFakeTimersFireInDeadlineOrder(t *testing.T) {
+	c := NewFake(t0)
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		wg.Add(1)
+		go func(i int, ch <-chan time.Time) {
+			defer wg.Done()
+			<-ch
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, c.After(d))
+	}
+	// Fire one at a time so goroutine scheduling cannot reorder appends.
+	for i := 1; i <= 3; i++ {
+		c.Advance(10 * time.Millisecond)
+		n := i
+		waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(order) >= n })
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFakeTicker(t *testing.T) {
+	c := NewFake(t0)
+	tk := c.NewTicker(5 * time.Millisecond)
+	defer tk.Stop()
+	c.Advance(17 * time.Millisecond)
+	var fires []time.Time
+	for {
+		select {
+		case ft := <-tk.C():
+			fires = append(fires, ft)
+			continue
+		default:
+		}
+		break
+	}
+	if len(fires) != 3 {
+		t.Fatalf("got %d ticks, want 3", len(fires))
+	}
+	for i, ft := range fires {
+		want := t0.Add(time.Duration(i+1) * 5 * time.Millisecond)
+		if !ft.Equal(want) {
+			t.Fatalf("tick %d at %v, want %v", i, ft, want)
+		}
+	}
+}
+
+func TestFakeTickerStop(t *testing.T) {
+	c := NewFake(t0)
+	tk := c.NewTicker(time.Millisecond)
+	tk.Stop()
+	c.Advance(10 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestFakeAdvanceTo(t *testing.T) {
+	c := NewFake(t0)
+	c.AdvanceTo(t0.Add(time.Hour))
+	if got := c.Now(); !got.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("Now = %v", got)
+	}
+	c.AdvanceTo(t0) // in the past: no-op
+	if got := c.Now(); !got.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("clock went backwards to %v", got)
+	}
+}
+
+func TestFakeSince(t *testing.T) {
+	c := NewFake(t0)
+	mark := c.Now()
+	c.Advance(42 * time.Second)
+	if got := c.Since(mark); got != 42*time.Second {
+		t.Fatalf("Since = %v, want 42s", got)
+	}
+}
+
+func TestFakePendingTimers(t *testing.T) {
+	c := NewFake(t0)
+	if n := c.PendingTimers(); n != 0 {
+		t.Fatalf("pending = %d, want 0", n)
+	}
+	c.After(time.Second)
+	tk := c.NewTicker(time.Second)
+	if n := c.PendingTimers(); n != 2 {
+		t.Fatalf("pending = %d, want 2", n)
+	}
+	tk.Stop()
+	if n := c.PendingTimers(); n != 1 {
+		t.Fatalf("pending = %d, want 1 after stop", n)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := Real()
+	before := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(before) <= 0 {
+		t.Fatal("real clock did not advance")
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("real ticker never fired")
+	}
+}
+
+// Property: clock never goes backwards across any sequence of Advance calls.
+func TestFakeMonotonicProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewFake(t0)
+		prev := c.Now()
+		for _, s := range steps {
+			c.Advance(time.Duration(s) * time.Microsecond)
+			now := c.Now()
+			if now.Before(prev) {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total advanced time equals the sum of steps.
+func TestFakeAdvanceSumProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewFake(t0)
+		var total time.Duration
+		for _, s := range steps {
+			d := time.Duration(s) * time.Microsecond
+			total += d
+			c.Advance(d)
+		}
+		return c.Now().Equal(t0.Add(total))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal("condition never became true")
+}

@@ -1,0 +1,306 @@
+// Package vtam implements VTAM Generic Resources (§5.3): the single
+// network image for the sysplex. Subsystem instances (e.g. every CICS
+// region) register under one generic name in a CF list structure; user
+// logons to the generic name are resolved to a specific instance using
+// WLM routing weights and current session counts, so "users can simply
+// logon to CICS without having to specify or be cognizant of which
+// system their session will be dynamically bound to".
+package vtam
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"sysplex/internal/cf"
+)
+
+// Errors returned by the network.
+var (
+	ErrNoInstances = errors.New("vtam: no instances registered for generic name")
+	ErrNoSession   = errors.New("vtam: no such session")
+)
+
+// Network is the sysplex's SNA network image. All systems share one
+// Network backed by one CF list structure (ISTGENERIC).
+type Network struct {
+	ls   *cf.ListStructure
+	conn string // the VTAM connector identity used at the CF
+
+	mu       sync.Mutex
+	sessions map[string]Session
+	nextSess uint64
+	rr       uint64                    // round-robin cursor for tied logon scores
+	weights  func() map[string]float64 // WLM advice (may be nil)
+	// shadow mirrors the registrations written to the list structure so
+	// the network image can be rebuilt into another CF.
+	shadow map[string]Instance // entryID -> instance
+}
+
+// Instance is one registered application instance.
+type Instance struct {
+	Generic  string `json:"generic"`
+	Member   string `json:"member"`
+	System   string `json:"system"`
+	Sessions int    `json:"sessions"`
+}
+
+// Session is a bound user session.
+type Session struct {
+	ID      string
+	Generic string
+	Member  string
+	System  string
+}
+
+// New creates the network image over a CF list structure. weights, if
+// non-nil, supplies WLM routing weights by system name.
+func New(ls *cf.ListStructure, weights func() map[string]float64) (*Network, error) {
+	n := &Network{
+		ls:       ls,
+		conn:     "VTAM",
+		sessions: make(map[string]Session),
+		weights:  weights,
+		shadow:   make(map[string]Instance),
+	}
+	if err := ls.Connect(n.conn, nil); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// structure returns the current list structure under the lock, so a
+// concurrent Rebind is observed atomically.
+func (n *Network) structure() *cf.ListStructure {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ls
+}
+
+func (n *Network) listOf(ls *cf.ListStructure, generic string) int {
+	h := fnv.New32a()
+	h.Write([]byte(generic))
+	return int(h.Sum32() % uint32(ls.Lists()))
+}
+
+func entryID(generic, member string) string { return "GR." + generic + "." + member }
+
+// Register adds an instance under a generic name.
+func (n *Network) Register(generic, member, system string) error {
+	inst := Instance{Generic: generic, Member: member, System: system}
+	if err := n.writeInstance(inst); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.shadow[entryID(generic, member)] = inst
+	n.mu.Unlock()
+	return nil
+}
+
+func (n *Network) writeInstance(inst Instance) error {
+	raw, err := json.Marshal(inst)
+	if err != nil {
+		return err
+	}
+	ls := n.structure()
+	return ls.Write(n.conn, n.listOf(ls, inst.Generic), entryID(inst.Generic, inst.Member), inst.Generic, raw, cf.Keyed, cf.Cond{})
+}
+
+// Deregister removes an instance (planned shutdown).
+func (n *Network) Deregister(generic, member string) error {
+	n.mu.Lock()
+	delete(n.shadow, entryID(generic, member))
+	n.mu.Unlock()
+	err := n.structure().Delete(n.conn, entryID(generic, member), cf.Cond{})
+	if errors.Is(err, cf.ErrEntryNotFound) {
+		return nil
+	}
+	return err
+}
+
+// Instances lists the instances registered under a generic name.
+func (n *Network) Instances(generic string) ([]Instance, error) {
+	var out []Instance
+	ls := n.structure()
+	for _, e := range ls.Entries(n.listOf(ls, generic)) {
+		if e.Key != generic {
+			continue
+		}
+		var inst Instance
+		if err := json.Unmarshal(e.Data, &inst); err != nil {
+			continue
+		}
+		out = append(out, inst)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Member < out[j].Member })
+	return out, nil
+}
+
+// Logon resolves a generic name to an instance and binds a session.
+// Selection balances WLM weight against current session counts: the
+// instance with the smallest sessions/weight ratio wins.
+func (n *Network) Logon(generic string) (Session, error) {
+	instances, err := n.Instances(generic)
+	if err != nil {
+		return Session{}, err
+	}
+	if len(instances) == 0 {
+		return Session{}, fmt.Errorf("%w: %q", ErrNoInstances, generic)
+	}
+	var w map[string]float64
+	if n.weights != nil {
+		w = n.weights()
+	}
+	bestScore := score(instances[0], w)
+	for i := 1; i < len(instances); i++ {
+		if s := score(instances[i], w); s < bestScore {
+			bestScore = s
+		}
+	}
+	// Rotate among (near-)tied instances so equally attractive members
+	// share logons instead of the alphabetically first taking them all.
+	var ties []int
+	for i := range instances {
+		if score(instances[i], w) <= bestScore*1.05 {
+			ties = append(ties, i)
+		}
+	}
+	n.mu.Lock()
+	n.rr++
+	best := ties[int(n.rr)%len(ties)]
+	n.mu.Unlock()
+	chosen := instances[best]
+	chosen.Sessions++
+	if err := n.writeInstance(chosen); err != nil {
+		return Session{}, err
+	}
+	n.mu.Lock()
+	n.shadow[entryID(generic, chosen.Member)] = chosen
+	n.nextSess++
+	sess := Session{
+		ID:      fmt.Sprintf("S%06d", n.nextSess),
+		Generic: generic,
+		Member:  chosen.Member,
+		System:  chosen.System,
+	}
+	n.sessions[sess.ID] = sess
+	n.mu.Unlock()
+	return sess, nil
+}
+
+// score orders instances: fewer sessions per unit of WLM weight is
+// better. Unknown systems get a tiny weight so they are used last.
+func score(inst Instance, weights map[string]float64) float64 {
+	w := 1.0
+	if weights != nil {
+		if v, ok := weights[inst.System]; ok {
+			w = v
+		} else {
+			w = 0.001
+		}
+	}
+	if w <= 0 {
+		w = 0.001
+	}
+	return (float64(inst.Sessions) + 1) / w
+}
+
+// Logoff unbinds a session and decrements the instance session count.
+func (n *Network) Logoff(sessionID string) error {
+	n.mu.Lock()
+	sess, ok := n.sessions[sessionID]
+	if ok {
+		delete(n.sessions, sessionID)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSession, sessionID)
+	}
+	e, err := n.structure().Read(n.conn, entryID(sess.Generic, sess.Member), cf.Cond{})
+	if err != nil {
+		return nil // instance gone (failed system cleanup)
+	}
+	var inst Instance
+	if err := json.Unmarshal(e.Data, &inst); err != nil {
+		return err
+	}
+	if inst.Sessions > 0 {
+		inst.Sessions--
+	}
+	n.mu.Lock()
+	n.shadow[entryID(inst.Generic, inst.Member)] = inst
+	n.mu.Unlock()
+	return n.writeInstance(inst)
+}
+
+// Sessions reports the number of bound sessions per system for a
+// generic name (from the shared registrations).
+func (n *Network) Sessions(generic string) (map[string]int, error) {
+	instances, err := n.Instances(generic)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int{}
+	for _, inst := range instances {
+		out[inst.System] += inst.Sessions
+	}
+	return out, nil
+}
+
+// CleanupSystem removes all registrations of instances that lived on a
+// failed system and drops their bound sessions; wire it to
+// xcf.Sysplex.OnSystemFailed. Subsequent logons bind to survivors.
+func (n *Network) CleanupSystem(sys string) {
+	// Remove registrations across all lists.
+	ls := n.structure()
+	for list := 0; list < ls.Lists(); list++ {
+		for _, e := range ls.Entries(list) {
+			var inst Instance
+			if err := json.Unmarshal(e.Data, &inst); err != nil {
+				continue
+			}
+			if inst.System == sys {
+				ls.Delete(n.conn, e.ID, cf.Cond{})
+			}
+		}
+	}
+	n.mu.Lock()
+	for id, s := range n.sessions {
+		if s.System == sys {
+			delete(n.sessions, id)
+		}
+	}
+	for id, inst := range n.shadow {
+		if inst.System == sys {
+			delete(n.shadow, id)
+		}
+	}
+	n.mu.Unlock()
+}
+
+// Rebind rebuilds the network image in a new list structure (CF
+// structure rebuild): the VTAM connector re-attaches and re-creates
+// every registration, including current session counts, from its local
+// shadow.
+func (n *Network) Rebind(ls *cf.ListStructure) error {
+	if err := ls.Connect(n.conn, nil); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.ls = ls
+	insts := make([]Instance, 0, len(n.shadow))
+	for _, inst := range n.shadow {
+		insts = append(insts, inst)
+	}
+	n.mu.Unlock()
+	sort.Slice(insts, func(i, j int) bool { return insts[i].Member < insts[j].Member })
+	for _, inst := range insts {
+		if err := n.writeInstance(inst); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package vtam
+
+import (
+	"errors"
+	"testing"
+
+	"sysplex/internal/cf"
+	"sysplex/internal/vclock"
+)
+
+func newNetwork(t *testing.T, weights func() map[string]float64) *Network {
+	t.Helper()
+	fac := cf.New("CF01", vclock.Real())
+	ls, err := fac.AllocateListStructure("ISTGENERIC", 8, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(ls, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRegisterAndInstances(t *testing.T) {
+	n := newNetwork(t, nil)
+	n.Register("CICS", "CICSA", "SYS1")
+	n.Register("CICS", "CICSB", "SYS2")
+	n.Register("IMS", "IMSA", "SYS1")
+	got, err := n.Instances("CICS")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("instances = %v err=%v", got, err)
+	}
+	if got[0].Member != "CICSA" || got[1].Member != "CICSB" {
+		t.Fatalf("instances = %v", got)
+	}
+	other, _ := n.Instances("IMS")
+	if len(other) != 1 || other[0].Member != "IMSA" {
+		t.Fatalf("IMS instances = %v", other)
+	}
+}
+
+func TestLogonBalancesSessions(t *testing.T) {
+	n := newNetwork(t, nil)
+	n.Register("CICS", "CICSA", "SYS1")
+	n.Register("CICS", "CICSB", "SYS2")
+	// Users just log on to "CICS"; binds spread across instances.
+	for i := 0; i < 10; i++ {
+		if _, err := n.Logon("CICS"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sessions, err := n.Sessions("CICS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sessions["SYS1"] != 5 || sessions["SYS2"] != 5 {
+		t.Fatalf("sessions = %v, want even split", sessions)
+	}
+}
+
+func TestLogonHonoursWLMWeights(t *testing.T) {
+	n := newNetwork(t, func() map[string]float64 {
+		return map[string]float64{"SYS1": 0.75, "SYS2": 0.25}
+	})
+	n.Register("CICS", "CICSA", "SYS1")
+	n.Register("CICS", "CICSB", "SYS2")
+	for i := 0; i < 12; i++ {
+		if _, err := n.Logon("CICS"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sessions, _ := n.Sessions("CICS")
+	if sessions["SYS1"] <= sessions["SYS2"] {
+		t.Fatalf("sessions = %v, want SYS1 favoured 3:1", sessions)
+	}
+	if sessions["SYS1"]+sessions["SYS2"] != 12 {
+		t.Fatalf("sessions = %v", sessions)
+	}
+}
+
+func TestLogonNoInstances(t *testing.T) {
+	n := newNetwork(t, nil)
+	if _, err := n.Logon("GHOST"); !errors.Is(err, ErrNoInstances) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLogoffDecrements(t *testing.T) {
+	n := newNetwork(t, nil)
+	n.Register("CICS", "CICSA", "SYS1")
+	s, err := n.Logon("CICS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Logoff(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	sessions, _ := n.Sessions("CICS")
+	if sessions["SYS1"] != 0 {
+		t.Fatalf("sessions = %v", sessions)
+	}
+	if err := n.Logoff(s.ID); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("double logoff err = %v", err)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	n := newNetwork(t, nil)
+	n.Register("CICS", "CICSA", "SYS1")
+	if err := n.Deregister("CICS", "CICSA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Deregister("CICS", "CICSA"); err != nil {
+		t.Fatal("second deregister should be a no-op")
+	}
+	if _, err := n.Logon("CICS"); !errors.Is(err, ErrNoInstances) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCleanupSystemRebindsToSurvivors(t *testing.T) {
+	n := newNetwork(t, nil)
+	n.Register("CICS", "CICSA", "SYS1")
+	n.Register("CICS", "CICSB", "SYS2")
+	s1, _ := n.Logon("CICS")
+	s2, _ := n.Logon("CICS")
+	// SYS1 fails: its registrations and sessions vanish; new logons all
+	// land on SYS2 — continuous availability from the user's seat.
+	n.CleanupSystem("SYS1")
+	insts, _ := n.Instances("CICS")
+	if len(insts) != 1 || insts[0].System != "SYS2" {
+		t.Fatalf("instances = %v", insts)
+	}
+	for i := 0; i < 3; i++ {
+		s, err := n.Logon("CICS")
+		if err != nil || s.System != "SYS2" {
+			t.Fatalf("s = %+v err=%v", s, err)
+		}
+	}
+	// Logoff of a session bound to the dead system is tolerated.
+	for _, s := range []Session{s1, s2} {
+		n.Logoff(s.ID)
+	}
+}
+
+func TestSessionsCountPerSystem(t *testing.T) {
+	n := newNetwork(t, nil)
+	n.Register("DB2", "DB2A", "SYS1")
+	n.Register("DB2", "DB2B", "SYS1") // two instances on one system
+	n.Register("DB2", "DB2C", "SYS2")
+	for i := 0; i < 9; i++ {
+		n.Logon("DB2")
+	}
+	sessions, _ := n.Sessions("DB2")
+	if sessions["SYS1"]+sessions["SYS2"] != 9 {
+		t.Fatalf("sessions = %v", sessions)
+	}
+	if sessions["SYS1"] < sessions["SYS2"] {
+		t.Fatalf("sessions = %v: two instances should attract more binds", sessions)
+	}
+}
+
+func TestRebindRecreatesNetworkImage(t *testing.T) {
+	n := newNetwork(t, nil)
+	n.Register("CICS", "CICSA", "SYS1")
+	n.Register("CICS", "CICSB", "SYS2")
+	n.Register("IMS", "IMSA", "SYS3")
+	for i := 0; i < 4; i++ {
+		if _, err := n.Logon("CICS"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rebuild the list structure into a fresh facility.
+	fac2 := cf.New("CF02", vclock.Real())
+	ls2, err := fac2.AllocateListStructure("ISTGENERIC", 8, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Rebind(ls2); err != nil {
+		t.Fatal(err)
+	}
+	// All registrations and session counts survive.
+	insts, _ := n.Instances("CICS")
+	if len(insts) != 2 {
+		t.Fatalf("instances = %v", insts)
+	}
+	sessions, _ := n.Sessions("CICS")
+	if sessions["SYS1"]+sessions["SYS2"] != 4 {
+		t.Fatalf("sessions = %v", sessions)
+	}
+	ims, _ := n.Instances("IMS")
+	if len(ims) != 1 {
+		t.Fatalf("IMS instances = %v", ims)
+	}
+	// New logons work against the new structure.
+	if _, err := n.Logon("CICS"); err != nil {
+		t.Fatal(err)
+	}
+}

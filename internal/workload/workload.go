@@ -1,0 +1,132 @@
+// Package workload provides generators and drivers for the functional
+// experiments: OLTP key distributions (uniform and hot-spot skewed, the
+// §2.3 "real commercial workloads are not so well-behaved" case) and a
+// concurrent closed-loop driver that measures success rates and
+// latencies against any submit function.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sysplex/internal/metrics"
+)
+
+// KeyDist generates record keys.
+type KeyDist interface {
+	// Next draws a key using the supplied RNG.
+	Next(r *rand.Rand) string
+}
+
+// Uniform draws uniformly from N keys.
+type Uniform struct {
+	N      int
+	Prefix string
+}
+
+// Next implements KeyDist.
+func (u Uniform) Next(r *rand.Rand) string {
+	return fmt.Sprintf("%s%06d", u.Prefix, r.Intn(u.N))
+}
+
+// HotSpot sends HotFraction of accesses to HotKeys keys and the rest
+// uniformly over N (the skewed demand that defeats data partitioning).
+type HotSpot struct {
+	N           int
+	HotKeys     int
+	HotFraction float64
+	Prefix      string
+}
+
+// Next implements KeyDist.
+func (h HotSpot) Next(r *rand.Rand) string {
+	if h.HotKeys > 0 && r.Float64() < h.HotFraction {
+		return fmt.Sprintf("%sHOT%04d", h.Prefix, r.Intn(h.HotKeys))
+	}
+	return fmt.Sprintf("%s%06d", h.Prefix, r.Intn(h.N))
+}
+
+// Results summarize a drive.
+type Results struct {
+	Attempts  int64
+	Successes int64
+	Failures  int64
+	Elapsed   time.Duration
+	Latency   metrics.Snapshot
+	// FailureWindows counts failures observed while ExpectErrors was
+	// signalled (e.g. during an induced outage).
+	ExpectedFailures int64
+}
+
+// Throughput returns successful operations per second.
+func (r Results) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Successes) / r.Elapsed.Seconds()
+}
+
+// Availability returns the success fraction.
+func (r Results) Availability() float64 {
+	if r.Attempts == 0 {
+		return 1
+	}
+	return float64(r.Successes) / float64(r.Attempts)
+}
+
+// Driver runs a closed-loop workload with a fixed worker population.
+type Driver struct {
+	// Workers is the concurrent client population (default 4).
+	Workers int
+	// Op performs one operation; worker is the worker index and seq the
+	// worker-local sequence number.
+	Op func(worker, seq int, r *rand.Rand) error
+	// Seed fixes per-worker RNGs (worker i uses Seed+i).
+	Seed int64
+	// ThinkTime pauses between operations (default 0).
+	ThinkTime time.Duration
+}
+
+// Run drives the workload for the given wall-clock duration.
+func (d *Driver) Run(duration time.Duration) Results {
+	workers := d.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	hist := metrics.NewHistogram()
+	var mu sync.Mutex
+	res := Results{}
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(d.Seed + int64(w)))
+			for seq := 0; time.Now().Before(deadline); seq++ {
+				start := time.Now()
+				err := d.Op(w, seq, rng)
+				lat := time.Since(start)
+				mu.Lock()
+				res.Attempts++
+				if err != nil {
+					res.Failures++
+				} else {
+					res.Successes++
+					hist.Observe(lat)
+				}
+				mu.Unlock()
+				if d.ThinkTime > 0 {
+					time.Sleep(d.ThinkTime)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = duration
+	res.Latency = hist.Snapshot()
+	return res
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUniformKeysInRange(t *testing.T) {
+	u := Uniform{N: 100, Prefix: "K"}
+	r := rand.New(rand.NewSource(1))
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		k := u.Next(r)
+		if !strings.HasPrefix(k, "K") {
+			t.Fatalf("key %q missing prefix", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("only %d distinct keys from 100", len(seen))
+	}
+}
+
+func TestHotSpotSkew(t *testing.T) {
+	h := HotSpot{N: 10000, HotKeys: 4, HotFraction: 0.7, Prefix: "A"}
+	r := rand.New(rand.NewSource(2))
+	hot := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if strings.Contains(h.Next(r), "HOT") {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.65 || frac > 0.75 {
+		t.Fatalf("hot fraction = %g, want ~0.7", frac)
+	}
+}
+
+func TestHotSpotNoHotKeys(t *testing.T) {
+	h := HotSpot{N: 100, HotKeys: 0, HotFraction: 0.9}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		if strings.Contains(h.Next(r), "HOT") {
+			t.Fatal("hot key generated with HotKeys=0")
+		}
+	}
+}
+
+func TestDriverCountsAndLatency(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	d := Driver{
+		Workers: 3,
+		Op: func(worker, seq int, r *rand.Rand) error {
+			mu.Lock()
+			calls++
+			n := calls
+			mu.Unlock()
+			if n%5 == 0 {
+				return errors.New("boom")
+			}
+			return nil
+		},
+	}
+	res := d.Run(50 * time.Millisecond)
+	if res.Attempts == 0 || res.Attempts != res.Successes+res.Failures {
+		t.Fatalf("results = %+v", res)
+	}
+	if res.Failures == 0 {
+		t.Fatal("injected failures not counted")
+	}
+	if res.Latency.Count != res.Successes {
+		t.Fatalf("latency count %d != successes %d", res.Latency.Count, res.Successes)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+	av := res.Availability()
+	if av <= 0 || av >= 1 {
+		t.Fatalf("availability = %g", av)
+	}
+}
+
+func TestDriverWorkerSeeding(t *testing.T) {
+	var mu sync.Mutex
+	byWorker := map[int]int{}
+	d := Driver{
+		Workers: 4,
+		Op: func(worker, seq int, r *rand.Rand) error {
+			mu.Lock()
+			byWorker[worker]++
+			mu.Unlock()
+			return nil
+		},
+	}
+	d.Run(200 * time.Millisecond)
+	if len(byWorker) < 2 {
+		t.Fatalf("workers seen = %v, want concurrency", byWorker)
+	}
+}
+
+func TestDriverThinkTime(t *testing.T) {
+	d := Driver{
+		Workers:   1,
+		ThinkTime: 10 * time.Millisecond,
+		Op:        func(int, int, *rand.Rand) error { return nil },
+	}
+	res := d.Run(55 * time.Millisecond)
+	// ~5-6 ops fit in 55ms with 10ms think time.
+	if res.Attempts > 15 {
+		t.Fatalf("think time ignored: %d attempts", res.Attempts)
+	}
+}
+
+func TestEmptyResults(t *testing.T) {
+	var r Results
+	if r.Availability() != 1 {
+		t.Fatal("empty availability should be 1")
+	}
+	if r.Throughput() != 0 {
+		t.Fatal("empty throughput should be 0")
+	}
+}
+
+// Property: uniform keys always parse back into [0, N).
+func TestUniformRangeProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		N := int(n)%500 + 1
+		u := Uniform{N: N}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			var v int
+			if _, err := parseInt(u.Next(r), &v); err != nil {
+				return false
+			}
+			if v < 0 || v >= N {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func parseInt(s string, v *int) (int, error) {
+	var n int
+	var err error
+	for _, c := range s {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	*v = n
+	return n, err
+}

@@ -1,0 +1,423 @@
+package xcf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sysplex/internal/cds"
+	"sysplex/internal/dasd"
+	"sysplex/internal/vclock"
+)
+
+var t0 = time.Date(1996, 4, 15, 0, 0, 0, 0, time.UTC)
+
+type fixture struct {
+	plex  *Sysplex
+	farm  *dasd.Farm
+	clock *vclock.Fake
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	clock := vclock.NewFake(t0)
+	farm := dasd.NewFarm(vclock.Real())
+	if _, err := farm.AddVolume("CPLX01", 256, 2); err != nil {
+		t.Fatal(err)
+	}
+	pri, err := farm.Allocate("CPLX01", "SYS1.XCF.CDS", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plexStore, err := cds.New("SYSPLEX", vclock.Real(), pri, nil, cds.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plex := NewSysplex("PLEX1", clock, plexStore, farm, Options{
+		HeartbeatInterval:        10 * time.Millisecond,
+		FailureDetectionInterval: 40 * time.Millisecond,
+	})
+	plexStore2 := plexStore
+	_ = plexStore2
+	return &fixture{plex: plex, farm: farm, clock: clock}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestJoinAndState(t *testing.T) {
+	fx := newFixture(t)
+	s1, err := fx.plex.Join("SYS1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Name() != "SYS1" {
+		t.Fatalf("name = %q", s1.Name())
+	}
+	if st := fx.plex.State("SYS1"); st != StateActive {
+		t.Fatalf("state = %v", st)
+	}
+	if _, err := fx.plex.Join("SYS1"); !errors.Is(err, ErrSystemExists) {
+		t.Fatalf("dup join err = %v", err)
+	}
+	if got := fx.plex.ActiveSystems(); len(got) != 1 || got[0] != "SYS1" {
+		t.Fatalf("active = %v", got)
+	}
+	if fx.plex.State("NOPE") != 0 {
+		t.Fatal("unknown system has a state")
+	}
+}
+
+func TestSysplexLimit32(t *testing.T) {
+	fx := newFixture(t)
+	for i := 0; i < MaxSystems; i++ {
+		if _, err := fx.plex.Join(fmt.Sprintf("SYS%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fx.plex.Join("SYS33"); !errors.Is(err, ErrSysplexFull) {
+		t.Fatalf("err = %v", err)
+	}
+	// A planned removal frees a slot.
+	fx.plex.System("SYS00").Leave()
+	if _, err := fx.plex.Join("SYS33"); err != nil {
+		t.Fatalf("join after leave: %v", err)
+	}
+}
+
+func TestHeartbeatMonitorPartition(t *testing.T) {
+	fx := newFixture(t)
+	s1, _ := fx.plex.Join("SYS1")
+	s2, _ := fx.plex.Join("SYS2")
+
+	// Both heartbeat; nothing is stale.
+	s1.Heartbeat()
+	s2.Heartbeat()
+	stale, err := fx.plex.MonitorOnce("SYS1")
+	if err != nil || len(stale) != 0 {
+		t.Fatalf("stale = %v err=%v", stale, err)
+	}
+
+	// SYS2 dies silently. After the failure detection interval the
+	// monitor partitions it out.
+	s2.Kill()
+	fx.clock.Advance(30 * time.Millisecond)
+	s1.Heartbeat()
+	if stale, _ = fx.plex.MonitorOnce("SYS1"); len(stale) != 0 {
+		t.Fatalf("partitioned too early: %v", stale)
+	}
+	fx.clock.Advance(20 * time.Millisecond) // now > 40ms since SYS2's last beat
+	stale, err = fx.plex.MonitorOnce("SYS1")
+	if err != nil || len(stale) != 1 || stale[0] != "SYS2" {
+		t.Fatalf("stale = %v err=%v", stale, err)
+	}
+	if fx.plex.State("SYS2") != StateFailed {
+		t.Fatalf("state = %v", fx.plex.State("SYS2"))
+	}
+	if !fx.plex.IsFailed("SYS2") {
+		t.Fatal("IsFailed = false")
+	}
+	// Fail-stop: SYS2 is fenced from shared DASD.
+	vol, _ := fx.farm.Volume("CPLX01")
+	if !vol.Fenced("SYS2") {
+		t.Fatal("failed system not fenced from I/O")
+	}
+	// Idempotent: another monitor pass finds nothing.
+	if stale, _ = fx.plex.MonitorOnce("SYS1"); len(stale) != 0 {
+		t.Fatalf("re-partitioned: %v", stale)
+	}
+}
+
+func TestFailedSystemHeartbeatRejected(t *testing.T) {
+	fx := newFixture(t)
+	s1, _ := fx.plex.Join("SYS1")
+	fx.plex.Join("SYS2")
+	fx.plex.PartitionNow("SYS1")
+	if err := s1.Heartbeat(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRejoinAfterFailure(t *testing.T) {
+	fx := newFixture(t)
+	fx.plex.Join("SYS1")
+	fx.plex.Join("SYS2")
+	fx.plex.PartitionNow("SYS2")
+	vol, _ := fx.farm.Volume("CPLX01")
+	if !vol.Fenced("SYS2") {
+		t.Fatal("not fenced")
+	}
+	// Re-IPL: join again lifts the fence.
+	if _, err := fx.plex.Join("SYS2"); err != nil {
+		t.Fatal(err)
+	}
+	if vol.Fenced("SYS2") {
+		t.Fatal("fence not lifted on rejoin")
+	}
+	if fx.plex.State("SYS2") != StateActive {
+		t.Fatal("not active after rejoin")
+	}
+}
+
+func TestGroupJoinLeaveEvents(t *testing.T) {
+	fx := newFixture(t)
+	s1, _ := fx.plex.Join("SYS1")
+	s2, _ := fx.plex.Join("SYS2")
+
+	var mu sync.Mutex
+	var events []Event
+	m1, err := s1.JoinGroup("DB2GRP", "DB2A", GroupCallbacks{
+		OnEvent: func(ev Event) { mu.Lock(); events = append(events, ev); mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s2.JoinGroup("DB2GRP", "DB2B", GroupCallbacks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "join event", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(events) >= 1
+	})
+	mu.Lock()
+	if events[0].Kind != MemberJoined || events[0].Member.Member != "DB2B" {
+		t.Fatalf("event = %+v", events[0])
+	}
+	mu.Unlock()
+
+	ids := m1.Members()
+	if len(ids) != 2 || ids[0].Member != "DB2A" || ids[1].Member != "DB2B" {
+		t.Fatalf("members = %v", ids)
+	}
+	if ids[1].System != "SYS2" {
+		t.Fatalf("member system = %v", ids[1])
+	}
+
+	m2.Leave()
+	waitFor(t, "leave event", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(events) >= 2
+	})
+	mu.Lock()
+	if events[1].Kind != MemberLeft || events[1].Member.Member != "DB2B" {
+		t.Fatalf("event = %+v", events[1])
+	}
+	mu.Unlock()
+	if len(m1.Members()) != 1 {
+		t.Fatal("member not removed")
+	}
+	// Duplicate member name rejected.
+	if _, err := s1.JoinGroup("DB2GRP", "DB2A", GroupCallbacks{}); !errors.Is(err, ErrMemberExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemberFailedEventOnPartition(t *testing.T) {
+	fx := newFixture(t)
+	s1, _ := fx.plex.Join("SYS1")
+	s2, _ := fx.plex.Join("SYS2")
+	var mu sync.Mutex
+	var got []Event
+	s1.JoinGroup("G", "A", GroupCallbacks{
+		OnEvent: func(ev Event) { mu.Lock(); got = append(got, ev); mu.Unlock() },
+	})
+	s2.JoinGroup("G", "B", GroupCallbacks{})
+	waitFor(t, "join", func() bool { mu.Lock(); defer mu.Unlock(); return len(got) >= 1 })
+
+	fx.plex.PartitionNow("SYS2")
+	waitFor(t, "failed event", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 2 && got[len(got)-1].Kind == MemberFailed
+	})
+	mu.Lock()
+	last := got[len(got)-1]
+	mu.Unlock()
+	if last.Member.Member != "B" || last.Member.System != "SYS2" {
+		t.Fatalf("failed member = %+v", last.Member)
+	}
+}
+
+func TestSystemMessaging(t *testing.T) {
+	fx := newFixture(t)
+	s1, _ := fx.plex.Join("SYS1")
+	s2, _ := fx.plex.Join("SYS2")
+	var mu sync.Mutex
+	var got []string
+	s2.BindService("irlm", func(from string, payload []byte) {
+		mu.Lock()
+		got = append(got, from+":"+string(payload))
+		mu.Unlock()
+	})
+	for i := 0; i < 5; i++ {
+		if err := s1.Send("SYS2", "irlm", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "messages", func() bool { mu.Lock(); defer mu.Unlock(); return len(got) == 5 })
+	mu.Lock()
+	defer mu.Unlock()
+	for i, g := range got {
+		if g != fmt.Sprintf("SYS1:m%d", i) {
+			t.Fatalf("ordering broken: %v", got)
+		}
+	}
+}
+
+func TestSendToDeadSystem(t *testing.T) {
+	fx := newFixture(t)
+	s1, _ := fx.plex.Join("SYS1")
+	fx.plex.Join("SYS2")
+	fx.plex.PartitionNow("SYS2")
+	if err := s1.Send("SYS2", "svc", nil); !errors.Is(err, ErrSystemDown) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s1.Send("GHOST", "svc", nil); !errors.Is(err, ErrSystemDown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemberMessagingAndBroadcast(t *testing.T) {
+	fx := newFixture(t)
+	s1, _ := fx.plex.Join("SYS1")
+	s2, _ := fx.plex.Join("SYS2")
+	s3, _ := fx.plex.Join("SYS3")
+	var mu sync.Mutex
+	recv := map[string][]string{}
+	mk := func(s *System, name string) *Member {
+		m, err := s.JoinGroup("G", name, GroupCallbacks{
+			OnMessage: func(from MemberID, payload []byte) {
+				mu.Lock()
+				recv[name] = append(recv[name], from.Member+":"+string(payload))
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b, c := mk(s1, "A"), mk(s2, "B"), mk(s3, "C")
+	_ = c
+	if err := a.Send("B", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "p2p", func() bool { mu.Lock(); defer mu.Unlock(); return len(recv["B"]) == 1 })
+	mu.Lock()
+	if recv["B"][0] != "A:hello" {
+		t.Fatalf("recv = %v", recv["B"])
+	}
+	mu.Unlock()
+	if err := a.Send("NOPE", nil); !errors.Is(err, ErrNoSuchMember) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := b.Broadcast([]byte("all")); n != 2 {
+		t.Fatalf("broadcast reached %d", n)
+	}
+	waitFor(t, "broadcast", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(recv["A"]) == 1 && len(recv["C"]) == 1
+	})
+}
+
+func TestOnSystemFailedCallback(t *testing.T) {
+	fx := newFixture(t)
+	fx.plex.Join("SYS1")
+	fx.plex.Join("SYS2")
+	var mu sync.Mutex
+	var failed []string
+	fx.plex.OnSystemFailed(func(sys string) {
+		mu.Lock()
+		failed = append(failed, sys)
+		mu.Unlock()
+	})
+	fx.plex.PartitionNow("SYS2")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(failed) != 1 || failed[0] != "SYS2" {
+		t.Fatalf("failed = %v", failed)
+	}
+}
+
+func TestPlannedLeaveDoesNotFence(t *testing.T) {
+	fx := newFixture(t)
+	fx.plex.Join("SYS1")
+	s2, _ := fx.plex.Join("SYS2")
+	s2.Leave()
+	if fx.plex.State("SYS2") != StateLeft {
+		t.Fatalf("state = %v", fx.plex.State("SYS2"))
+	}
+	vol, _ := fx.farm.Volume("CPLX01")
+	if vol.Fenced("SYS2") {
+		t.Fatal("planned removal must not fence")
+	}
+	if fx.plex.IsFailed("SYS2") {
+		t.Fatal("left != failed")
+	}
+}
+
+func TestBackgroundDetection(t *testing.T) {
+	// End-to-end with real clock: heartbeats run in the background and a
+	// killed system is detected and partitioned automatically.
+	farm := dasd.NewFarm(vclock.Real())
+	farm.AddVolume("V", 256, 1)
+	pri, _ := farm.Allocate("V", "CDS", 128)
+	store, _ := cds.New("S", vclock.Real(), pri, nil, cds.Options{})
+	plex := NewSysplex("PLEX1", vclock.Real(), store, farm, Options{
+		HeartbeatInterval:        5 * time.Millisecond,
+		FailureDetectionInterval: 25 * time.Millisecond,
+	})
+	s1, _ := plex.Join("SYS1")
+	s2, _ := plex.Join("SYS2")
+	stop1 := s1.StartBackground()
+	defer stop1()
+	stop2 := s2.StartBackground()
+	s2.Kill()
+	stop2()
+	waitFor(t, "automatic partition", func() bool { return plex.IsFailed("SYS2") })
+}
+
+func TestStateAndEventStrings(t *testing.T) {
+	if StateActive.String() != "active" || StateLeft.String() != "left" || StateFailed.String() != "failed" {
+		t.Fatal("state strings")
+	}
+	if SystemState(9).String() == "" || EventKind(9).String() == "" {
+		t.Fatal("unknown strings empty")
+	}
+	if MemberJoined.String() != "joined" || MemberLeft.String() != "left" || MemberFailed.String() != "failed" {
+		t.Fatal("event strings")
+	}
+	id := MemberID{Group: "G", Member: "M", System: "S"}
+	if id.String() != "G/M@S" {
+		t.Fatalf("id = %s", id)
+	}
+}
+
+func TestStatusEncoding(t *testing.T) {
+	now := time.Unix(123, 456)
+	ts, state := parseStatus(encodeStatus(now, "active"))
+	if !ts.Equal(now) || state != "active" {
+		t.Fatalf("roundtrip = %v %q", ts, state)
+	}
+	if _, state := parseStatus([]byte("garbage")); state != "" {
+		t.Fatal("garbage accepted")
+	}
+	if _, state := parseStatus([]byte("active notanumber")); state != "" {
+		t.Fatal("bad timestamp accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package sysplex
+
+// Integration tests for the JES2-style shared job queue riding the CF
+// list structure (§3.3.3 workload-distribution queueing + §5.1 JES2 as
+// a base exploiter).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBatchJobsDistributeAcrossSystems(t *testing.T) {
+	cfg := DefaultConfig("PLEX1", 3)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	p.RegisterJobClass("REPORT", func(payload []byte) ([]byte, error) {
+		return append([]byte("report:"), payload...), nil
+	})
+
+	const jobs = 30
+	ids := make([]string, jobs)
+	for i := range ids {
+		id, err := p.SubmitJob("REPORT", []byte(fmt.Sprintf("month-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	ranOn := map[string]int{}
+	for i, id := range ids {
+		job, err := p.WaitJob(id, 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("report:month-%d", i); string(job.Output) != want {
+			t.Fatalf("job %s output = %q, want %q", id, job.Output, want)
+		}
+		ranOn[job.RanOn]++
+	}
+	if len(ranOn) < 2 {
+		t.Fatalf("jobs ran on %v, want distribution across systems", ranOn)
+	}
+}
+
+func TestBatchJobSurvivesSystemFailure(t *testing.T) {
+	cfg := DefaultConfig("PLEX1", 2)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	// A job class that hangs forever on SYS1 (simulating death mid-job)
+	// but completes instantly on SYS2.
+	p.RegisterJobClass("FRAGILE", func(payload []byte) ([]byte, error) {
+		return []byte("done"), nil
+	})
+	s1, _ := p.System("SYS1")
+	claimed := make(chan struct{}, 4)
+	s1.jesExec.Register("FRAGILE", func(payload []byte) ([]byte, error) {
+		claimed <- struct{}{}
+		select {} // wedged: SYS1 is about to die
+	})
+
+	// Stop SYS2's executor so SYS1 claims the job first.
+	s2, _ := p.System("SYS2")
+	s2.jesExec.Stop()
+
+	id, err := p.SubmitJob("FRAGILE", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-claimed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("SYS1 never claimed the job")
+	}
+	// Wait for the claim checkpoint, then kill SYS1: XCF failure
+	// processing requeues the orphaned job.
+	waitFor(t, "claim checkpoint", func() bool { return p.JES().Active() == 1 })
+	p.PartitionSystem("SYS1")
+	waitFor(t, "orphan requeued", func() bool { return p.JES().Pending() == 1 && p.JES().Active() == 0 })
+
+	// Restart SYS2's executor; it picks the job up.
+	s2.jesExec.Start(time.Millisecond)
+	job, err := p.WaitJob(id, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(job.Output) != "done" || job.RanOn != "SYS2" {
+		t.Fatalf("job = %+v", job)
+	}
+}
+
+func TestBatchQueueSurvivesCFRebuild(t *testing.T) {
+	cfg := DefaultConfig("PLEX1", 2)
+	cfg.Background = false
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	p.RegisterJobClass("J", func(payload []byte) ([]byte, error) {
+		return []byte(strings.ToUpper(string(payload))), nil
+	})
+	// Queue jobs, complete one, leave two pending, then rebuild the CF.
+	idDone, _ := p.SubmitJob("J", []byte("first"))
+	s1, _ := p.System("SYS1")
+	s1.jesExec.DrainOnce()
+	idA, _ := p.SubmitJob("J", []byte("second"))
+	idB, _ := p.SubmitJob("J", []byte("third"))
+
+	if err := p.RebuildCouplingFacility(); err != nil {
+		t.Fatal(err)
+	}
+	// Completed result survived the rebuild.
+	job, err := p.JobResult(idDone)
+	if err != nil || string(job.Output) != "FIRST" {
+		t.Fatalf("job = %+v err=%v", job, err)
+	}
+	// Pending jobs survived and run on the new structure.
+	s2, _ := p.System("SYS2")
+	s2.jesExec.DrainOnce()
+	for _, id := range []string{idA, idB} {
+		job, err := p.JobResult(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if job.RanOn != "SYS2" {
+			t.Fatalf("job = %+v", job)
+		}
+	}
+}

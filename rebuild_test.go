@@ -1,0 +1,198 @@
+package sysplex
+
+// Tests for the CF structure rebuild extension (DESIGN.md §7): moving
+// all structures to an alternate coupling facility while the sysplex
+// keeps serving work.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRebuildCouplingFacilityPreservesService(t *testing.T) {
+	cfg := DefaultConfig("PLEX1", 3)
+	cfg.Background = false
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	registerBankPrograms(p)
+
+	// Establish shared state and warm caches on all systems.
+	for i := 0; i < 30; i++ {
+		if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("rb%d", i%6))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldFac := p.Facility()
+
+	if err := p.RebuildCouplingFacility(); err != nil {
+		t.Fatal(err)
+	}
+	newFac := p.Facility()
+	if newFac == oldFac {
+		t.Fatal("facility did not change")
+	}
+	if newFac.Name() == oldFac.Name() {
+		t.Fatal("facility name did not change")
+	}
+	// The old CF can now fail without any impact.
+	oldFac.Fail()
+
+	// All data is intact and all paths work: reads, writes, generic
+	// logon, cross-system coherency.
+	for i := 0; i < 6; i++ {
+		out, err := p.SubmitViaLogon("BALANCE", []byte(fmt.Sprintf("rb%d", i)))
+		if err != nil {
+			t.Fatalf("balance after rebuild: %v", err)
+		}
+		if string(out) != "5" {
+			t.Fatalf("rb%d = %s, want 5", i, out)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("rb%d", i%6))); err != nil {
+			t.Fatalf("deposit after rebuild: %v", err)
+		}
+	}
+	out, _ := p.SubmitViaLogon("BALANCE", []byte("rb0"))
+	if string(out) != "10" {
+		t.Fatalf("rb0 = %s, want 10", out)
+	}
+}
+
+func TestRebuildUnderLoad(t *testing.T) {
+	cfg := DefaultConfig("PLEX1", 3)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	registerBankPrograms(p)
+
+	var stop atomic.Bool
+	var failures atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; !stop.Load(); i++ {
+			if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("load%d", i%8))); err != nil {
+				failures.Add(1)
+			}
+		}
+	}()
+	time.Sleep(80 * time.Millisecond)
+	if err := p.RebuildCouplingFacility(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	stop.Store(true)
+	<-done
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d transactions failed across the rebuild", f)
+	}
+}
+
+func TestRebuildPreservesHeldLocks(t *testing.T) {
+	cfg := DefaultConfig("PLEX1", 2)
+	cfg.Background = false
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	s1, _ := p.System("SYS1")
+	s2, _ := p.System("SYS2")
+	// SYS1 holds an exclusive lock across the rebuild.
+	if err := s1.Locks().Lock("TX1", "CRITICAL", Exclusive, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RebuildCouplingFacility(); err != nil {
+		t.Fatal(err)
+	}
+	// The lock is still enforced against other systems in the NEW
+	// structure.
+	if err := s2.Locks().Lock("TX2", "CRITICAL", Exclusive, 60*time.Millisecond); err == nil {
+		t.Fatal("exclusive lock lost across rebuild")
+	}
+	// And releasable.
+	if err := s1.Locks().Unlock("TX1", "CRITICAL"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Locks().Lock("TX2", "CRITICAL", Exclusive, time.Second); err != nil {
+		t.Fatalf("lock after release: %v", err)
+	}
+}
+
+func TestRebuildAfterFailureRecoveryCompletes(t *testing.T) {
+	// A system dies, ARM-driven recovery frees its retained locks, and a
+	// subsequent CF rebuild leaves the sysplex fully serviceable on the
+	// new facility.
+	cfg := DefaultConfig("PLEX1", 3)
+	cfg.Background = false
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	registerBankPrograms(p)
+
+	s1, _ := p.System("SYS1")
+	s3, _ := p.System("SYS3")
+	if err := s1.Locks().Lock("TX1", "PROTECTED", Exclusive, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.PartitionSystem("SYS1")
+	if err := p.RebuildCouplingFacility(); err != nil {
+		t.Fatal(err)
+	}
+	// ARM recovery released the failed system's retained locks; after
+	// the rebuild the resource is obtainable on the new structure.
+	if err := s3.Locks().Lock("TX9", "PROTECTED", Exclusive, time.Second); err != nil {
+		t.Fatalf("lock after failure + rebuild: %v", err)
+	}
+	if _, err := p.SubmitViaLogon("DEPOSIT", []byte("post")); err != nil {
+		t.Fatalf("service after failure + rebuild: %v", err)
+	}
+}
+
+func TestRebuildTwice(t *testing.T) {
+	cfg := DefaultConfig("PLEX1", 2)
+	cfg.Background = false
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	registerBankPrograms(p)
+	p.Submit("SYS1", "DEPOSIT", []byte("x"))
+	if err := p.RebuildCouplingFacility(); err != nil {
+		t.Fatal(err)
+	}
+	first := p.Facility().Name()
+	if err := p.RebuildCouplingFacility(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Facility().Name() == first {
+		t.Fatal("second rebuild did not advance the facility")
+	}
+	out, err := p.Submit("SYS2", "BALANCE", []byte("x"))
+	if err != nil || string(out) != "1" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+}
+
+func TestRebuildAfterStop(t *testing.T) {
+	p, err := New(DefaultConfig("PLEX1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	if err := p.RebuildCouplingFacility(); err != ErrStopped {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,940 @@
+// Package sysplex is a from-scratch Go reproduction of the IBM S/390
+// Parallel Sysplex architecture described in Nick, Chung & Bowen,
+// "Overview of IBM System/390 Parallel Sysplex — A Commercial Parallel
+// Processing System" (IPPS 1996).
+//
+// A Sysplex assembles every subsystem the paper describes: shared DASD
+// with multi-path I/O and fencing, duplexed couple data sets, the
+// sysplex timer, a Coupling Facility with lock/cache/list structures,
+// XCF group and signalling services with heartbeat-driven fail-stop,
+// WLM goal-driven workload management, ARM cross-system restart, an
+// IRLM-style global lock manager, a data-sharing database manager with
+// group buffer pools and peer recovery, a CICS-style transaction
+// manager with dynamic routing, and VTAM generic resources for a
+// single network image.
+//
+//	cfg := sysplex.DefaultConfig("PLEX1", 4)
+//	plex, _ := sysplex.New(cfg)
+//	defer plex.Stop()
+//	plex.RegisterProgram("HELLO", 1, func(tx *db.Tx, in []byte) ([]byte, error) {
+//	    return []byte("world"), nil
+//	})
+//	out, _ := plex.SubmitViaLogon("HELLO", nil)
+package sysplex
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sysplex/internal/arm"
+	"sysplex/internal/cds"
+	"sysplex/internal/cf"
+	"sysplex/internal/dasd"
+	"sysplex/internal/db"
+	"sysplex/internal/jes"
+	"sysplex/internal/lockmgr"
+	"sysplex/internal/racf"
+	"sysplex/internal/timer"
+	"sysplex/internal/txmgr"
+	"sysplex/internal/vclock"
+	"sysplex/internal/vtam"
+	"sysplex/internal/wlm"
+	"sysplex/internal/xcf"
+)
+
+// Program is application logic run under a database transaction; it is
+// registered identically on every system ("applications unchanged").
+type Program = txmgr.Program
+
+// Tx re-exports the database transaction handle used by programs.
+type Tx = db.Tx
+
+// Lock modes, re-exported for direct lock-manager use.
+const (
+	Share     = lockmgr.Share
+	Exclusive = lockmgr.Exclusive
+)
+
+// Errors returned by the façade.
+var (
+	ErrNoSystem = errors.New("sysplex: no such system")
+	ErrStopped  = errors.New("sysplex: sysplex stopped")
+)
+
+// GenericCICS is the generic resource name user logons resolve.
+const GenericCICS = "CICS"
+
+// TableConfig describes one shared table.
+type TableConfig struct {
+	Name  string
+	Pages int
+}
+
+// SystemConfig describes one member system.
+type SystemConfig struct {
+	Name string
+	// CPUs is the TCMP width (1..10).
+	CPUs int
+	// MIPSPerCPU scales WLM capacity (default 60, a mid-90s CMOS
+	// engine).
+	MIPSPerCPU float64
+}
+
+// Config describes a whole sysplex.
+type Config struct {
+	Name    string
+	Systems []SystemConfig
+	// Tables are opened on every system.
+	Tables []TableConfig
+	// DatabaseName scopes structures and datasets (default "DBP1").
+	DatabaseName string
+	// VolumeBlocks sizes the shared volume (default 16384).
+	VolumeBlocks int
+	// LockTableEntries sizes the CF lock structure (default 4096).
+	LockTableEntries int
+	// PoolFrames per system local buffer pool (default 256).
+	PoolFrames int
+	// LogBlocks per system (default 1024).
+	LogBlocks int
+	// LockTimeout for database locks (default 5s).
+	LockTimeout time.Duration
+	// HeartbeatInterval / FailureDetectionInterval drive XCF status
+	// monitoring (defaults 10ms / 150ms — fast detection for
+	// experiments while tolerating couple-data-set serialization
+	// bursts; production z/OS defaults are seconds).
+	HeartbeatInterval        time.Duration
+	FailureDetectionInterval time.Duration
+	// Background starts heartbeat/monitor/WLM-exchange/castout loops
+	// for each system (default true via DefaultConfig).
+	Background bool
+	// Policy is the WLM service definition.
+	Policy wlm.Policy
+}
+
+// DefaultConfig returns a ready-to-run configuration with n systems
+// (SYS1..SYSn), one table, and background services enabled.
+func DefaultConfig(name string, n int) Config {
+	cfg := Config{
+		Name:       name,
+		Background: true,
+		Tables:     []TableConfig{{Name: "ACCT", Pages: 64}},
+		Policy: wlm.Policy{Name: "STANDARD", Goals: []wlm.Goal{
+			{Class: txmgr.ServiceClass, Importance: 1, AvgResponse: 100 * time.Millisecond},
+		}},
+	}
+	for i := 1; i <= n; i++ {
+		cfg.Systems = append(cfg.Systems, SystemConfig{Name: fmt.Sprintf("SYS%d", i), CPUs: 1})
+	}
+	return cfg
+}
+
+// System bundles one member's subsystem instances.
+type System struct {
+	name    string
+	xsys    *xcf.System
+	tod     *timer.LocalTOD
+	locks   *lockmgr.Manager
+	engine  *db.Engine
+	wlm     *wlm.Manager
+	region  *txmgr.Region
+	jesExec *jes.Executor
+	sec     *racf.Manager
+
+	stopBg []func()
+}
+
+// Security exposes the RACF-style security manager.
+func (s *System) Security() *racf.Manager { return s.sec }
+
+// Name returns the system name.
+func (s *System) Name() string { return s.name }
+
+// Region exposes the CICS-style transaction manager.
+func (s *System) Region() *txmgr.Region { return s.region }
+
+// Engine exposes the database manager instance.
+func (s *System) Engine() *db.Engine { return s.engine }
+
+// Locks exposes the lock manager.
+func (s *System) Locks() *lockmgr.Manager { return s.locks }
+
+// WLM exposes the workload manager.
+func (s *System) WLM() *wlm.Manager { return s.wlm }
+
+// TOD exposes the system's sysplex-steered clock.
+func (s *System) TOD() *timer.LocalTOD { return s.tod }
+
+// Sysplex is a running parallel sysplex.
+type Sysplex struct {
+	cfg    Config
+	clock  vclock.Clock
+	farm   *dasd.Farm
+	timer  *timer.Timer
+	store  *cds.Store
+	plex   *xcf.Sysplex
+	fac    *cf.Facility
+	lockS  *cf.LockStructure
+	net    *vtam.Network
+	arm    *arm.Manager
+	det    *lockmgr.Detector
+	jesQ   *jes.Queue
+	racfDB *cds.Store
+
+	mu       sync.Mutex
+	systems  map[string]*System
+	programs map[string]programSpec
+	jobs     map[string]jes.Handler
+	stopped  bool
+	recovery []db.RecoveryReport
+	rebuilds int
+}
+
+type programSpec struct {
+	service float64
+	fn      Program
+}
+
+// New builds and starts a sysplex.
+func New(cfg Config) (*Sysplex, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("sysplex: name required")
+	}
+	if cfg.DatabaseName == "" {
+		cfg.DatabaseName = "DBP1"
+	}
+	if cfg.VolumeBlocks == 0 {
+		// Room for 32 systems' logs plus table spaces and couple data
+		// sets (blocks are lazily materialized, so this is cheap).
+		cfg.VolumeBlocks = 65536
+	}
+	if cfg.LockTableEntries == 0 {
+		cfg.LockTableEntries = 4096
+	}
+	if cfg.PoolFrames == 0 {
+		cfg.PoolFrames = 256
+	}
+	if cfg.LogBlocks == 0 {
+		cfg.LogBlocks = 1024
+	}
+	if cfg.LockTimeout == 0 {
+		cfg.LockTimeout = 5 * time.Second
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 10 * time.Millisecond
+	}
+	if cfg.FailureDetectionInterval == 0 {
+		cfg.FailureDetectionInterval = 15 * cfg.HeartbeatInterval
+	}
+	clock := vclock.Real()
+	p := &Sysplex{
+		cfg:      cfg,
+		clock:    clock,
+		farm:     dasd.NewFarm(clock),
+		timer:    timer.New(clock),
+		systems:  make(map[string]*System),
+		programs: make(map[string]programSpec),
+		jobs:     make(map[string]jes.Handler),
+	}
+
+	// Shared DASD (Figure 1: disks fully connected to all processors).
+	// Couple data sets live on dedicated volumes — standard practice,
+	// because CDS serialization uses hardware reserves that block other
+	// systems' I/O to the whole device.
+	if _, err := p.farm.AddVolume("SYSP01", cfg.VolumeBlocks, 4); err != nil {
+		return nil, err
+	}
+	if _, err := p.farm.AddVolume("SYSP02", cfg.VolumeBlocks, 4); err != nil {
+		return nil, err
+	}
+	if _, err := p.farm.AddVolume("CPLEX1", 512, 4); err != nil {
+		return nil, err
+	}
+	if _, err := p.farm.AddVolume("CPLEX2", 512, 4); err != nil {
+		return nil, err
+	}
+	// Duplexed sysplex couple data set across the dedicated volumes.
+	pri, err := p.farm.Allocate("CPLEX1", "SYS1.XCF.CDS01", 256)
+	if err != nil {
+		return nil, err
+	}
+	alt, err := p.farm.Allocate("CPLEX2", "SYS1.XCF.CDS02", 256)
+	if err != nil {
+		return nil, err
+	}
+	// XCF context first, so the CDS can break reserves of failed systems.
+	p.store, err = cds.New(cfg.Name+".CDS", clock, pri, alt, cds.Options{
+		StaleHolder: func(sys string) bool { return p.plex != nil && p.plex.IsFailed(sys) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.plex = xcf.NewSysplex(cfg.Name, clock, p.store, p.farm, xcf.Options{
+		HeartbeatInterval:        cfg.HeartbeatInterval,
+		FailureDetectionInterval: cfg.FailureDetectionInterval,
+	})
+
+	// Coupling facility and its structures (Figure 2).
+	p.fac = cf.New("CF01", clock)
+	p.lockS, err = p.fac.AllocateLockStructure("IRLM."+cfg.DatabaseName, cfg.LockTableEntries)
+	if err != nil {
+		return nil, err
+	}
+	grList, err := p.fac.AllocateListStructure("ISTGENERIC", 16, 1, 4096)
+	if err != nil {
+		return nil, err
+	}
+	p.net, err = vtam.New(grList, p.routeWeights)
+	if err != nil {
+		return nil, err
+	}
+	// JES2-style shared job queue checkpoint (§5.1 base exploiter).
+	jesList, err := p.fac.AllocateListStructure("JES2CKPT", 3, 1, 8192)
+	if err != nil {
+		return nil, err
+	}
+	p.jesQ, err = jes.NewQueue(jesList, "JES")
+	if err != nil {
+		return nil, err
+	}
+	// RACF-style shared security: database on a dedicated volume (its
+	// serialization must not contend with the XCF couple data set) and
+	// a CF cache structure for sysplex-wide profile coherency.
+	if _, err := p.farm.AddVolume("RACF01", 512, 4); err != nil {
+		return nil, err
+	}
+	racfDS, err := p.farm.Allocate("RACF01", "SYS1.RACF.DB", 256)
+	if err != nil {
+		return nil, err
+	}
+	p.racfDB, err = cds.New("RACFDB", clock, racfDS, nil, cds.Options{
+		StaleHolder: func(sys string) bool { return p.plex != nil && p.plex.IsFailed(sys) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.fac.AllocateCacheStructure("IRRXCF00", 1024); err != nil {
+		return nil, err
+	}
+
+	// Failure wiring, ordered: (1) CF connector cleanup + network
+	// cleanup, then (2) ARM-driven cross-system restart & DB recovery.
+	p.plex.OnSystemFailed(func(sys string) {
+		p.Facility().FailConnector(sys)
+		p.net.CleanupSystem(sys)
+		p.jesQ.RequeueOrphans(sys)
+	})
+	p.arm = arm.New(p.plex, nil, p.pickRestartTarget)
+	p.det = lockmgr.NewDetector(p.lockManagers)
+
+	for _, sc := range cfg.Systems {
+		if _, err := p.AddSystem(sc); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// routeWeights supplies WLM weights to VTAM generic resources.
+func (p *Sysplex) routeWeights() map[string]float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.systems {
+		if p.plex.State(s.name) == xcf.StateActive {
+			return s.wlm.RouteWeights()
+		}
+	}
+	return nil
+}
+
+// pickRestartTarget asks WLM for the best restart system.
+func (p *Sysplex) pickRestartTarget(exclude map[string]bool) (string, error) {
+	p.mu.Lock()
+	var mgr *wlm.Manager
+	for _, s := range p.systems {
+		if !exclude[s.name] && p.plex.State(s.name) == xcf.StateActive {
+			mgr = s.wlm
+			break
+		}
+	}
+	p.mu.Unlock()
+	if mgr == nil {
+		return "", arm.ErrNoTarget
+	}
+	avail := mgr.AvailableCapacity()
+	best, bestAvail := "", -1.0
+	names := make([]string, 0, len(avail))
+	for n := range avail {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if exclude[n] || p.plex.State(n) != xcf.StateActive {
+			continue
+		}
+		if avail[n] > bestAvail {
+			best, bestAvail = n, avail[n]
+		}
+	}
+	if best == "" {
+		return "", arm.ErrNoTarget
+	}
+	return best, nil
+}
+
+func (p *Sysplex) lockManagers() []*lockmgr.Manager {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*lockmgr.Manager, 0, len(p.systems))
+	for _, s := range p.systems {
+		if p.plex.State(s.name) == xcf.StateActive {
+			out = append(out, s.locks)
+		}
+	}
+	return out
+}
+
+// AddSystem introduces a new system into the running sysplex —
+// non-disruptively, per §2.4: existing systems keep executing and the
+// newcomer becomes a full participant in workload balancing.
+func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return nil, ErrStopped
+	}
+	p.mu.Unlock()
+	if sc.CPUs <= 0 {
+		sc.CPUs = 1
+	}
+	if sc.CPUs > 10 {
+		return nil, fmt.Errorf("sysplex: %q: a system is a 1-10 way TCMP", sc.Name)
+	}
+	if sc.MIPSPerCPU == 0 {
+		sc.MIPSPerCPU = 60
+	}
+	xsys, err := p.plex.Join(sc.Name)
+	if err != nil {
+		return nil, err
+	}
+	// Heartbeats must flow from the moment of joining: building the
+	// subsystem stack below can take longer than the failure detection
+	// interval on a loaded host, and a silent newcomer would be
+	// partitioned right back out.
+	var stopXCF func()
+	built := false
+	if p.cfg.Background {
+		stopXCF = xsys.StartBackground()
+		defer func() {
+			if !built {
+				stopXCF()
+				xsys.Leave()
+			}
+		}()
+	}
+	p.mu.Lock()
+	lockS, fac := p.lockS, p.fac
+	p.mu.Unlock()
+	locks, err := lockmgr.New(xsys, lockS, p.clock)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := db.Open(db.Config{
+		Name: p.cfg.DatabaseName, System: sc.Name, Farm: p.farm, Volume: "SYSP01",
+		Facility: fac, Locks: locks, Clock: p.clock,
+		PoolFrames: p.cfg.PoolFrames, LogBlocks: p.cfg.LogBlocks,
+		LockTimeout: p.cfg.LockTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, tc := range p.cfg.Tables {
+		if err := engine.OpenTable(tc.Name, tc.Pages); err != nil {
+			return nil, err
+		}
+	}
+	wm, err := wlm.New(xsys, float64(sc.CPUs)*sc.MIPSPerCPU, p.cfg.Policy, p.clock)
+	if err != nil {
+		return nil, err
+	}
+	region := txmgr.New(xsys, engine, wm, p.clock, txmgr.Options{})
+	jesList, err := fac.ListStructure("JES2CKPT")
+	if err != nil {
+		return nil, err
+	}
+	jesExec, err := jes.NewExecutor(jesList, sc.Name, p.clock)
+	if err != nil {
+		return nil, err
+	}
+	secCache, err := fac.CacheStructure("IRRXCF00")
+	if err != nil {
+		return nil, err
+	}
+	sec, err := racf.New(sc.Name, secCache, p.racfDB, 256)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		name:    sc.Name,
+		xsys:    xsys,
+		tod:     timer.NewLocalTOD(sc.Name, p.timer),
+		locks:   locks,
+		engine:  engine,
+		wlm:     wm,
+		region:  region,
+		jesExec: jesExec,
+		sec:     sec,
+	}
+
+	// Register already-known programs and job classes on the newcomer.
+	p.mu.Lock()
+	for name, spec := range p.programs {
+		region.RegisterProgram(name, spec.service, spec.fn)
+	}
+	for class, h := range p.jobs {
+		jesExec.Register(class, h)
+	}
+	p.systems[sc.Name] = s
+	p.mu.Unlock()
+
+	// Single network image: the region appears under the generic name.
+	if err := p.net.Register(GenericCICS, "CICS."+sc.Name, sc.Name); err != nil {
+		return nil, err
+	}
+	// ARM elements: the database instance restarts cross-system (its
+	// restarter performs peer recovery on the target), the region
+	// restarts with it in the same restart group.
+	dbElem := "DB2." + sc.Name
+	cicsElem := "CICS." + sc.Name
+	group := "GRP." + sc.Name
+	p.arm.Register(dbElem, sc.Name, arm.ElementPolicy{CrossSystem: true, RestartGroup: group, Level: 1})
+	p.arm.Register(cicsElem, sc.Name, arm.ElementPolicy{CrossSystem: true, RestartGroup: group, Level: 2})
+	p.bindRestarter(sc.Name)
+
+	built = true
+	if p.cfg.Background {
+		s.stopBg = append(s.stopBg, stopXCF)
+		p.startBackground(s)
+	}
+	return s, nil
+}
+
+// bindRestarter installs ARM restart processing on a target system:
+// restarting a failed database element means performing peer recovery
+// for its system's in-flight work.
+func (p *Sysplex) bindRestarter(target string) {
+	p.arm.BindRestarter(target, func(e arm.Element) error {
+		p.mu.Lock()
+		s := p.systems[target]
+		p.mu.Unlock()
+		if s == nil {
+			return fmt.Errorf("sysplex: restarter: no subsystems on %s", target)
+		}
+		var failedSys string
+		fmt.Sscanf(e.Name, "DB2.%s", &failedSys)
+		if failedSys != "" && failedSys != target {
+			rep, err := s.engine.RecoverPeer(failedSys)
+			if err != nil {
+				return err
+			}
+			p.mu.Lock()
+			p.recovery = append(p.recovery, rep)
+			p.mu.Unlock()
+		}
+		return nil
+	})
+}
+
+// startBackground launches the non-XCF background services (XCF
+// heartbeats were already started at join time by AddSystem).
+func (p *Sysplex) startBackground(s *System) {
+	s.jesExec.Start(2 * time.Millisecond)
+	s.stopBg = append(s.stopBg, s.jesExec.Stop)
+
+	exchange := p.clock.NewTicker(20 * time.Millisecond)
+	castout := p.clock.NewTicker(50 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-exchange.C():
+				if p.plex.State(s.name) == xcf.StateActive {
+					s.wlm.ExchangeOnce()
+				}
+			case <-castout.C():
+				if p.plex.State(s.name) == xcf.StateActive {
+					s.engine.CastoutOnce(64)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	s.stopBg = append(s.stopBg, func() {
+		once.Do(func() {
+			exchange.Stop()
+			castout.Stop()
+			close(done)
+		})
+	})
+}
+
+// Name returns the sysplex name.
+func (p *Sysplex) Name() string { return p.cfg.Name }
+
+// Farm exposes the shared DASD farm.
+func (p *Sysplex) Farm() *dasd.Farm { return p.farm }
+
+// Facility exposes the (current) coupling facility.
+func (p *Sysplex) Facility() *cf.Facility {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fac
+}
+
+// RebuildCouplingFacility performs a planned structure rebuild into a
+// fresh coupling facility (the availability mechanism behind "multiple
+// CF's can be connected": structures move to an alternate CF for
+// maintenance or after a CF failure). The sequence is the classic
+// user-managed rebuild:
+//
+//  1. changed pages are cast out of the group buffer pool to DASD,
+//  2. same-named structures are allocated in the new facility,
+//  3. every connector re-populates its interest (lock managers re-obtain
+//     held locks and persistent records; buffer pools reconnect with
+//     cleared local caches; the network image rewrites registrations),
+//  4. the sysplex switches over; the old facility can then be retired.
+//
+// Transactions keep flowing before and after; a brief quiesce of new
+// commits is the caller's choice (not enforced here — the rebuild takes
+// the database write path's locks as needed).
+func (p *Sysplex) RebuildCouplingFacility() error {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return ErrStopped
+	}
+	p.rebuilds++
+	newName := fmt.Sprintf("CF%02d", p.rebuilds+1)
+	systems := make([]*System, 0, len(p.systems))
+	for _, s := range p.systems {
+		if p.plex.State(s.name) == xcf.StateActive {
+			systems = append(systems, s)
+		}
+	}
+	sort.Slice(systems, func(i, j int) bool { return systems[i].name < systems[j].name })
+	p.mu.Unlock()
+
+	// 1. Drain the group buffer pool to DASD.
+	for _, s := range systems {
+		if _, err := s.engine.CastoutOnce(0); err != nil {
+			return fmt.Errorf("sysplex: rebuild castout on %s: %v", s.name, err)
+		}
+	}
+
+	// 2. Allocate structures in the new facility.
+	newFac := cf.New(newName, p.clock)
+	newLockS, err := newFac.AllocateLockStructure("IRLM."+p.cfg.DatabaseName, p.cfg.LockTableEntries)
+	if err != nil {
+		return err
+	}
+	newGBP, err := newFac.AllocateCacheStructure("GBP."+p.cfg.DatabaseName, 4096)
+	if err != nil {
+		return err
+	}
+	newList, err := newFac.AllocateListStructure("ISTGENERIC", 16, 1, 4096)
+	if err != nil {
+		return err
+	}
+	newJES, err := newFac.AllocateListStructure("JES2CKPT", 3, 1, 8192)
+	if err != nil {
+		return err
+	}
+	newSec, err := newFac.AllocateCacheStructure("IRRXCF00", 1024)
+	if err != nil {
+		return err
+	}
+
+	// 3. Re-populate connector state.
+	for _, s := range systems {
+		if err := s.locks.Rebind(newLockS); err != nil {
+			return fmt.Errorf("sysplex: lock rebind on %s: %v", s.name, err)
+		}
+		if err := s.engine.RebindCache(newGBP); err != nil {
+			return fmt.Errorf("sysplex: cache rebind on %s: %v", s.name, err)
+		}
+		if err := s.jesExec.Rebind(newJES); err != nil {
+			return fmt.Errorf("sysplex: jes rebind on %s: %v", s.name, err)
+		}
+		if err := s.sec.Rebind(newSec); err != nil {
+			return fmt.Errorf("sysplex: security rebind on %s: %v", s.name, err)
+		}
+	}
+	if err := p.net.Rebind(newList); err != nil {
+		return fmt.Errorf("sysplex: network rebind: %v", err)
+	}
+	if err := p.jesQ.Rebind(newJES); err != nil {
+		return fmt.Errorf("sysplex: jes queue rebind: %v", err)
+	}
+
+	// 4. Switch over.
+	p.mu.Lock()
+	p.fac = newFac
+	p.lockS = newLockS
+	p.mu.Unlock()
+	return nil
+}
+
+// XCF exposes the base sysplex services.
+func (p *Sysplex) XCF() *xcf.Sysplex { return p.plex }
+
+// ARM exposes the automatic restart manager.
+func (p *Sysplex) ARM() *arm.Manager { return p.arm }
+
+// Network exposes the VTAM generic resource image.
+func (p *Sysplex) Network() *vtam.Network { return p.net }
+
+// Timer exposes the sysplex timer.
+func (p *Sysplex) Timer() *timer.Timer { return p.timer }
+
+// CoupleDataSet exposes the sysplex couple data set.
+func (p *Sysplex) CoupleDataSet() *cds.Store { return p.store }
+
+// DeadlockDetector exposes the sysplex-wide lock deadlock detector.
+func (p *Sysplex) DeadlockDetector() *lockmgr.Detector { return p.det }
+
+// System returns a member by name.
+func (p *Sysplex) System(name string) (*System, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.systems[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSystem, name)
+	}
+	return s, nil
+}
+
+// ActiveSystems lists active member names, sorted.
+func (p *Sysplex) ActiveSystems() []string { return p.plex.ActiveSystems() }
+
+// RecoveryReports returns the peer-recovery reports performed so far.
+func (p *Sysplex) RecoveryReports() []db.RecoveryReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]db.RecoveryReport(nil), p.recovery...)
+}
+
+// RegisterProgram installs application logic on every system, present
+// and future.
+func (p *Sysplex) RegisterProgram(name string, serviceMIPSsec float64, fn Program) {
+	p.mu.Lock()
+	p.programs[name] = programSpec{service: serviceMIPSsec, fn: fn}
+	systems := make([]*System, 0, len(p.systems))
+	for _, s := range p.systems {
+		systems = append(systems, s)
+	}
+	p.mu.Unlock()
+	for _, s := range systems {
+		s.region.RegisterProgram(name, serviceMIPSsec, fn)
+	}
+}
+
+// RegisterJobClass installs batch job logic on every system's JES
+// executor, present and future.
+func (p *Sysplex) RegisterJobClass(class string, h jes.Handler) {
+	p.mu.Lock()
+	p.jobs[class] = h
+	systems := make([]*System, 0, len(p.systems))
+	for _, s := range p.systems {
+		systems = append(systems, s)
+	}
+	p.mu.Unlock()
+	for _, s := range systems {
+		s.jesExec.Register(class, h)
+	}
+}
+
+// SubmitJob places a batch job on the shared JES queue; any system may
+// run it.
+func (p *Sysplex) SubmitJob(class string, payload []byte) (string, error) {
+	return p.jesQ.Submit(class, payload, "USER")
+}
+
+// JobResult fetches a completed job.
+func (p *Sysplex) JobResult(id string) (jes.Job, error) { return p.jesQ.Result(id) }
+
+// WaitJob polls for a job's completion up to timeout.
+func (p *Sysplex) WaitJob(id string, timeout time.Duration) (jes.Job, error) {
+	deadline := p.clock.Now().Add(timeout)
+	for {
+		job, err := p.jesQ.Result(id)
+		if err == nil {
+			return job, nil
+		}
+		if !errors.Is(err, jes.ErrNotDone) && !errors.Is(err, jes.ErrNotFound) {
+			return jes.Job{}, err
+		}
+		if !p.clock.Now().Before(deadline) {
+			return jes.Job{}, fmt.Errorf("sysplex: job %s: timeout", id)
+		}
+		p.clock.Sleep(time.Millisecond)
+	}
+}
+
+// JES exposes the shared job queue.
+func (p *Sysplex) JES() *jes.Queue { return p.jesQ }
+
+// Submit runs a transaction entering at the named system (it may still
+// be dynamically routed elsewhere).
+func (p *Sysplex) Submit(system, program string, input []byte) ([]byte, error) {
+	s, err := p.System(system)
+	if err != nil {
+		return nil, err
+	}
+	return s.region.Submit(program, input)
+}
+
+// SubmitViaLogon resolves the generic resource name to an instance
+// (the user "just logs on to CICS") and submits there. A bind that
+// races with a system leaving or failing is re-driven onto a survivor,
+// as VTAM does for session binds.
+func (p *Sysplex) SubmitViaLogon(program string, input []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		sess, err := p.net.Logon(GenericCICS)
+		if err != nil {
+			return nil, err
+		}
+		out, err := p.Submit(sess.System, program, input)
+		p.net.Logoff(sess.ID)
+		if err == nil {
+			return out, nil
+		}
+		if errors.Is(err, ErrNoSystem) || errors.Is(err, xcf.ErrSystemDown) {
+			lastErr = err // stale bind: re-drive the logon
+			continue
+		}
+		return nil, err
+	}
+	return nil, lastErr
+}
+
+// ParallelQuery fans a table scan across all active systems (§2.3
+// decision support) and aggregates the sub-query answers.
+func (p *Sysplex) ParallelQuery(table, op, prefix string) (txmgr.QueryResult, error) {
+	active := p.ActiveSystems()
+	if len(active) == 0 {
+		return txmgr.QueryResult{}, ErrStopped
+	}
+	s, err := p.System(active[0])
+	if err != nil {
+		return txmgr.QueryResult{}, err
+	}
+	return s.region.ParallelQuery(active, table, op, prefix)
+}
+
+// KillSystem simulates abrupt loss of a system: it stops cold, and the
+// surviving systems' heartbeat monitoring detects, partitions, fences,
+// and recovers it (background mode), exactly the §2.5 scenario.
+func (p *Sysplex) KillSystem(name string) error {
+	s, err := p.System(name)
+	if err != nil {
+		return err
+	}
+	for _, stop := range s.stopBg {
+		stop()
+	}
+	s.xsys.Kill()
+	return nil
+}
+
+// PartitionSystem forces immediate partition (deterministic variant of
+// KillSystem for tests and demos without waiting for detection).
+func (p *Sysplex) PartitionSystem(name string) error {
+	s, err := p.System(name)
+	if err != nil {
+		return err
+	}
+	for _, stop := range s.stopBg {
+		stop()
+	}
+	s.xsys.Kill()
+	p.plex.PartitionNow(name)
+	return nil
+}
+
+// RemoveSystem performs a planned removal (§2.5 planned outage): the
+// system leaves gracefully, its network presence is withdrawn, and no
+// fencing or recovery is needed.
+func (p *Sysplex) RemoveSystem(name string) error {
+	s, err := p.System(name)
+	if err != nil {
+		return err
+	}
+	for _, stop := range s.stopBg {
+		stop()
+	}
+	p.net.Deregister(GenericCICS, "CICS."+name)
+	p.arm.Deregister("DB2." + name)
+	p.arm.Deregister("CICS." + name)
+	s.xsys.Leave()
+	p.mu.Lock()
+	delete(p.systems, name)
+	p.mu.Unlock()
+	return nil
+}
+
+// Stop shuts the sysplex down.
+func (p *Sysplex) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	systems := make([]*System, 0, len(p.systems))
+	for _, s := range p.systems {
+		systems = append(systems, s)
+	}
+	p.mu.Unlock()
+	for _, s := range systems {
+		for _, stop := range s.stopBg {
+			stop()
+		}
+		s.locks.Shutdown()
+	}
+}
+
+// SystemStats is a per-system activity snapshot.
+type SystemStats struct {
+	System string
+	Region txmgr.Stats
+	DB     db.Stats
+	Locks  lockmgr.Stats
+	Util   float64
+}
+
+// Stats snapshots every active system.
+func (p *Sysplex) Stats() []SystemStats {
+	p.mu.Lock()
+	systems := make([]*System, 0, len(p.systems))
+	for _, s := range p.systems {
+		systems = append(systems, s)
+	}
+	p.mu.Unlock()
+	sort.Slice(systems, func(i, j int) bool { return systems[i].name < systems[j].name })
+	out := make([]SystemStats, 0, len(systems))
+	for _, s := range systems {
+		out = append(out, SystemStats{
+			System: s.name,
+			Region: s.region.Stats(),
+			DB:     s.engine.Stats(),
+			Locks:  s.locks.Stats(),
+			Util:   s.wlm.Utilization(),
+		})
+	}
+	return out
+}
