@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race check demo bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The CF and CFRM packages are the concurrency-heavy core (duplexed
+# command mirroring, in-line failover); always run them under the race
+# detector.
+race:
+	$(GO) test -race ./internal/cf/... ./internal/cfrm/...
+
+check: build vet test race
+
+demo:
+	$(GO) run ./cmd/sysplexdemo
+
+bench:
+	$(GO) run ./cmd/sysplexbench -exp all

@@ -1,0 +1,195 @@
+package sysplex
+
+// Acceptance tests for CFRM structure duplexing (DESIGN.md §7): an
+// unplanned coupling-facility failure under live transaction load.
+// With duplexing enabled no transaction may observe the failure and no
+// committed update may be lost; in simplex mode transactions fail
+// cleanly with ErrCFDown and a rebuild restores service from the
+// surviving structure image, again with zero committed-update loss.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sysplex/internal/cf"
+	"sysplex/internal/cfrm"
+)
+
+// runDepositLoad drives nWorkers concurrent DEPOSIT streams, each on
+// its own account key, kills the primary CF roughly mid-stream, and
+// returns per-key success counts plus every error the workers saw.
+func runDepositLoad(t *testing.T, p *Sysplex, nWorkers, nOps int) (success map[string]int64, errs []error) {
+	t.Helper()
+	counts := make([]atomic.Int64, nWorkers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("acct%02d", w)
+			<-start
+			for i := 0; i < nOps; i++ {
+				if _, err := p.SubmitViaLogon("DEPOSIT", []byte(key)); err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("worker %d op %d: %w", w, i, err))
+					mu.Unlock()
+					continue
+				}
+				counts[w].Add(1)
+			}
+		}(w)
+	}
+	close(start)
+	// Let the load ramp up, then yank the primary CF out from under it.
+	time.Sleep(5 * time.Millisecond)
+	p.Facility().Fail()
+	wg.Wait()
+	success = make(map[string]int64, nWorkers)
+	for w := 0; w < nWorkers; w++ {
+		success[fmt.Sprintf("acct%02d", w)] = counts[w].Load()
+	}
+	return success, errs
+}
+
+// checkBalances verifies that every account's balance equals exactly
+// the number of deposits that reported success: nothing committed was
+// lost, and nothing reported as failed actually landed.
+func checkBalances(t *testing.T, p *Sysplex, success map[string]int64) {
+	t.Helper()
+	for key, want := range success {
+		out, err := p.SubmitViaLogon("BALANCE", []byte(key))
+		if err != nil {
+			t.Fatalf("BALANCE %s: %v", key, err)
+		}
+		var got int64
+		fmt.Sscanf(string(out), "%d", &got)
+		if got != want {
+			t.Errorf("%s = %d, want %d (committed updates lost or phantom)", key, got, want)
+		}
+	}
+}
+
+func TestUnplannedCFFailureDuplexed(t *testing.T) {
+	cfg := DefaultConfig("PLEX1", 3)
+	cfg.Background = false
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	registerBankPrograms(p)
+	if got := p.CFRM().Status().State; got != "duplexed" {
+		t.Fatalf("initial state = %s, want duplexed", got)
+	}
+	oldPrimary := p.Facility().Name()
+
+	success, errs := runDepositLoad(t, p, 8, 150)
+	// Duplexing promises transparent failover: not one transaction may
+	// have observed the CF failure.
+	for _, e := range errs {
+		t.Errorf("transaction failed during duplexed CF loss: %v", e)
+	}
+	for key, n := range success {
+		if n != 150 {
+			t.Fatalf("%s: %d/150 deposits succeeded", key, n)
+		}
+	}
+
+	// CFRM failed over in-line and, in the background, re-duplexed into
+	// a fresh candidate.
+	if err := p.CFRM().WaitDuplexed(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := p.CFRM().Status()
+	if st.Failovers < 1 {
+		t.Fatalf("failovers = %d, want >= 1", st.Failovers)
+	}
+	if st.Primary == oldPrimary {
+		t.Fatalf("primary still %s after failure", oldPrimary)
+	}
+	if len(st.Failed) != 1 || st.Failed[0] != oldPrimary {
+		t.Fatalf("failed facilities = %v, want [%s]", st.Failed, oldPrimary)
+	}
+	// The new secondary carries every structure the sysplex allocated.
+	names := p.CFRM().Secondary().StructureNames()
+	for _, want := range []string{"IRLM.DBP1", "GBP.DBP1", "ISTGENERIC", "JES2CKPT", "IRRXCF00"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("structure %s missing from new secondary %s (has %v)",
+				want, p.CFRM().Secondary().Name(), names)
+		}
+	}
+
+	checkBalances(t, p, success)
+
+	// Service continues at full function on the re-duplexed pair.
+	for i := 0; i < 20; i++ {
+		if _, err := p.SubmitViaLogon("DEPOSIT", []byte("post")); err != nil {
+			t.Fatalf("post-failover deposit: %v", err)
+		}
+	}
+	out, _ := p.SubmitViaLogon("BALANCE", []byte("post"))
+	if string(out) != "20" {
+		t.Fatalf("post = %s, want 20", out)
+	}
+}
+
+func TestUnplannedCFFailureSimplex(t *testing.T) {
+	cfg := DefaultConfig("PLEX1", 3)
+	cfg.Background = false
+	cfg.CF.Mode = cfrm.ModeSimplex
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	registerBankPrograms(p)
+	if got := p.CFRM().Status().State; got != "simplex" {
+		t.Fatalf("initial state = %s, want simplex", got)
+	}
+
+	success, errs := runDepositLoad(t, p, 8, 150)
+	// Without a secondary the failure is service-affecting: workers
+	// must have seen errors, and every error must be the clean CF-down
+	// indication — never a hang, panic, or silent wrong answer.
+	if len(errs) == 0 {
+		t.Fatal("no transaction observed the CF failure in simplex mode")
+	}
+	for _, e := range errs {
+		// Routed submits flatten the error chain through the CTC ship
+		// layer, so match structurally where possible and textually
+		// otherwise.
+		if !errors.Is(e, cf.ErrCFDown) && !strings.Contains(e.Error(), cf.ErrCFDown.Error()) {
+			t.Fatalf("unexpected failure kind during CF loss: %v", e)
+		}
+	}
+	// A direct submit on a local system surfaces the typed error.
+	if _, err := p.Submit("SYS1", "DEPOSIT", []byte("probe")); err == nil {
+		t.Fatal("submit succeeded against a dead simplex CF")
+	}
+
+	// Rebuild restores service from the structure image (standing in
+	// for connector-held rebuild data), with zero committed loss.
+	if err := p.RebuildCouplingFacility(); err != nil {
+		t.Fatal(err)
+	}
+	checkBalances(t, p, success)
+	for i := 0; i < 20; i++ {
+		if _, err := p.SubmitViaLogon("DEPOSIT", []byte("post")); err != nil {
+			t.Fatalf("post-rebuild deposit: %v", err)
+		}
+	}
+}

@@ -7,7 +7,7 @@
 //	sysplexbench -exp fig3           # one experiment
 //	sysplexbench -exp fig3 -systems 16 -simtime 5s
 //
-// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext
+// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill
 package main
 
 import (
@@ -20,13 +20,14 @@ import (
 
 	"sysplex"
 	"sysplex/internal/cf"
+	"sysplex/internal/cfrm"
 	"sysplex/internal/racf"
 	"sysplex/internal/scalemodel"
 	"sysplex/internal/vclock"
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,all")
+	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,all")
 	systemsFlag = flag.Int("systems", 32, "max sysplex members for fig3")
 	simtimeFlag = flag.Duration("simtime", 5*time.Second, "DES measurement window")
 	seedFlag    = flag.Int64("seed", 1996, "DES seed")
@@ -35,18 +36,20 @@ var (
 func main() {
 	flag.Parse()
 	run := map[string]func() error{
-		"fig1":  fig1,
-		"fig2":  fig2,
-		"fig3":  fig3,
-		"fig4":  fig4,
-		"ds":    ds,
-		"avail": avail,
-		"grow":  grow,
-		"query": query,
-		"false": falseContention,
-		"ext":   extensions,
+		"fig1":   fig1,
+		"fig2":   fig2,
+		"fig3":   fig3,
+		"fig4":   fig4,
+		"ds":     ds,
+		"avail":  avail,
+		"grow":   grow,
+		"query":  query,
+		"false":  falseContention,
+		"ext":    extensions,
+		"duplex": duplexCost,
+		"cfkill": cfKill,
 	}
-	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext"}
+	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill"}
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		want = order
@@ -462,5 +465,140 @@ func extensions() error {
 	}
 	fmt.Printf("CF structure rebuild: %s → %s in %v; data intact (balance=%s), old CF retired\n",
 		oldName, p.Facility().Name(), time.Since(start).Round(time.Millisecond), out)
+	return nil
+}
+
+// duplexCost measures the per-command cost of structure duplexing:
+// the same lock-command stream against a simplex CFRM policy and a
+// duplexed one, with an injected per-command CF access latency so the
+// mirrored write to the secondary is visible in the totals.
+func duplexCost() error {
+	fmt.Println("CFRM duplexing cost — lock obtain/release pairs, simplex vs duplexed:")
+	fmt.Printf("%10s %10s %8s %12s %10s %14s\n", "MODE", "CF-LAT", "PAIRS", "ELAPSED", "NS/PAIR", "MIRRORED-CMDS")
+	for _, lat := range []time.Duration{0, 2 * time.Microsecond} {
+		var base time.Duration
+		ops := 20000
+		if lat > 0 {
+			// Injected per-command CF access latency is slept for real;
+			// keep the op count low so the mode finishes quickly.
+			ops = 500
+		}
+		for _, mode := range []cfrm.Mode{cfrm.ModeSimplex, cfrm.ModeDuplexed} {
+			m, err := cfrm.New(cfrm.Policy{Mode: mode, SyncLatency: lat}, nil)
+			if err != nil {
+				return err
+			}
+			ls, err := m.Front().AllocateLockStructure("IRLM", 1024)
+			if err != nil {
+				return err
+			}
+			if err := ls.Connect("SYS1"); err != nil {
+				return err
+			}
+			start := time.Now()
+			for i := 0; i < ops; i++ {
+				e := i % 1024
+				if _, err := ls.Obtain(e, "SYS1", cf.Exclusive); err != nil {
+					return err
+				}
+				if err := ls.Release(e, "SYS1", cf.Exclusive); err != nil {
+					return err
+				}
+			}
+			elapsed := time.Since(start)
+			mirrored := m.Metrics().Histogram("cfrm.duplex.fanout").Snapshot().Count
+			label := "simplex"
+			if mode == cfrm.ModeDuplexed {
+				label = "duplexed"
+			}
+			fmt.Printf("%10s %10v %8d %12v %10d %14d\n",
+				label, lat, ops, elapsed.Round(time.Millisecond), elapsed.Nanoseconds()/int64(ops), mirrored)
+			if mode == cfrm.ModeSimplex {
+				base = elapsed
+			} else if base > 0 {
+				fmt.Printf("  duplexing overhead at CF latency %v: %.1f%% (every mutating command is written to both facilities)\n",
+					lat, 100*(float64(elapsed)/float64(base)-1))
+			}
+		}
+	}
+	return nil
+}
+
+// cfKill measures the service blackout when the primary coupling
+// facility is killed under full-stack transaction load: with structure
+// duplexing CFRM fails over in-line (zero blackout, zero failed
+// transactions); in simplex mode service is down until an operator
+// rebuild moves the structures to a fresh facility.
+func cfKill() error {
+	fmt.Println("CF failure blackout — kill the primary CF under load, duplexed vs simplex:")
+	fmt.Printf("%10s %8s %8s %14s %12s %10s %9s\n",
+		"MODE", "TX-OK", "TX-FAIL", "AVAILABILITY", "BLACKOUT", "FAILOVERS", "RETRIED")
+	for _, mode := range []cfrm.Mode{cfrm.ModeDuplexed, cfrm.ModeSimplex} {
+		cfg := sysplex.DefaultConfig("PLEX1", 3)
+		cfg.CF.Mode = mode
+		p, err := sysplex.New(cfg)
+		if err != nil {
+			return err
+		}
+		bankPrograms(p)
+
+		var stop, ok, fail, lastFailNS atomic.Int64
+		done := make(chan struct{})
+		for w := 0; w < 4; w++ {
+			w := w
+			go func() {
+				for i := 0; stop.Load() == 0; i++ {
+					if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("k%d-%d", w, i%8))); err != nil {
+						fail.Add(1)
+						lastFailNS.Store(time.Now().UnixNano())
+					} else {
+						ok.Add(1)
+					}
+				}
+				done <- struct{}{}
+			}()
+		}
+		time.Sleep(200 * time.Millisecond)
+		kill := time.Now()
+		p.Facility().Fail()
+		if mode == cfrm.ModeSimplex {
+			// Simplex: service stays down until the operator rebuilds.
+			time.Sleep(100 * time.Millisecond)
+			if err := p.RebuildCouplingFacility(); err != nil {
+				return err
+			}
+		} else {
+			// The next CF command from the load trips the in-line
+			// failover; wait for it, then for re-duplex to complete.
+			for p.CFRM().Status().Failovers == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			if err := p.CFRM().WaitDuplexed(10 * time.Second); err != nil {
+				return err
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+		stop.Store(1)
+		for w := 0; w < 4; w++ {
+			<-done
+		}
+		blackout := time.Duration(0)
+		if last := lastFailNS.Load(); last > kill.UnixNano() {
+			blackout = time.Duration(last - kill.UnixNano())
+		}
+		st := p.CFRM().Status()
+		label := "duplexed"
+		if mode == cfrm.ModeSimplex {
+			label = "simplex"
+		}
+		total := ok.Load() + fail.Load()
+		fmt.Printf("%10s %8d %8d %13.2f%% %12v %10d %9d\n",
+			label, ok.Load(), fail.Load(), 100*float64(ok.Load())/float64(total),
+			blackout.Round(time.Millisecond), st.Failovers, st.Retried)
+		if mode == cfrm.ModeDuplexed {
+			fmt.Printf("  re-duplexed into %s after failover (state=%s)\n", st.Secondary, st.State)
+		}
+		p.Stop()
+	}
 	return nil
 }

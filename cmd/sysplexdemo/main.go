@@ -87,6 +87,24 @@ func run() error {
 	time.Sleep(300 * time.Millisecond)
 	printStats(plex, "after failure (work redistributed)")
 
+	fmt.Println("\n» Killing the primary coupling facility (structures are duplexed)...")
+	cst := plex.CFRM().Status()
+	fmt.Printf("  CFRM policy: primary=%s secondary=%s state=%s\n", cst.Primary, cst.Secondary, cst.State)
+	plex.Facility().Fail()
+	// The next CF command from the load trips the in-line failover;
+	// wait for it, then for the background re-duplex to finish.
+	for plex.CFRM().Status().Failovers == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := plex.CFRM().WaitDuplexed(10 * time.Second); err != nil {
+		return err
+	}
+	cst = plex.CFRM().Status()
+	fmt.Printf("  in-line failover to %s (%d commands transparently retried); re-duplexed into %s.\n",
+		cst.Primary, cst.Retried, cst.Secondary)
+	time.Sleep(200 * time.Millisecond)
+	printStats(plex, "after CF failure (duplex failover)")
+
 	fmt.Println("\n» Growing the sysplex: introducing SYS4 non-disruptively...")
 	if _, err := plex.AddSystem(sysplex.SystemConfig{Name: "SYS4", CPUs: 2}); err != nil {
 		return err
@@ -99,7 +117,7 @@ func run() error {
 		<-done
 	}
 	total := ok.Load() + fail.Load()
-	fmt.Printf("\n» Done: %d transactions, %.2f%% availability across one system failure and one growth event.\n",
+	fmt.Printf("\n» Done: %d transactions, %.2f%% availability across one system failure, one CF failure, and one growth event.\n",
 		total, 100*float64(ok.Load())/float64(total))
 	return nil
 }
@@ -111,4 +129,9 @@ func printStats(plex *sysplex.Sysplex, label string) {
 		fmt.Printf("  %6s %10d %8d %9d %8d\n",
 			st.System, st.Region.Submitted, st.Region.LocalRuns, st.Region.RoutedIn, st.DB.Commits)
 	}
+	cst := plex.CFRM().Status()
+	m := plex.CFRM().Metrics()
+	fmt.Printf("  CFRM: %s/%s state=%s failovers=%d retried=%d reduplexes=%d mirrored-cmds=%d\n",
+		cst.Primary, cst.Secondary, cst.State, cst.Failovers, cst.Retried, cst.Reduplexes,
+		m.Histogram("cfrm.duplex.fanout").Snapshot().Count)
 }

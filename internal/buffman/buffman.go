@@ -49,7 +49,7 @@ type Stats struct {
 // pool (CF cache structure).
 type Pool struct {
 	sys    string
-	cs     *cf.CacheStructure
+	cs     cf.Cache
 	vec    *cf.BitVector
 	read   PageReader
 	write  PageWriter
@@ -71,7 +71,7 @@ type frame struct {
 
 // NewPool creates a pool with n local frames, connects it to the cache
 // structure, and registers the local bit vector with the CF.
-func NewPool(sys string, cs *cf.CacheStructure, n int, read PageReader, write PageWriter) (*Pool, error) {
+func NewPool(sys string, cs cf.Cache, n int, read PageReader, write PageWriter) (*Pool, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("buffman: pool needs > 0 frames")
 	}
@@ -95,7 +95,7 @@ func (p *Pool) System() string { return p.sys }
 
 // structure returns the current cache structure under the lock so a
 // concurrent Rebind is observed atomically.
-func (p *Pool) structure() *cf.CacheStructure {
+func (p *Pool) structure() cf.Cache {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.cs
@@ -239,7 +239,7 @@ func (p *Pool) CastoutOnce(max int) (int, error) {
 // DASD. The caller must cast out all changed pages from the old
 // structure first (planned rebuild), or accept re-reading stale DASD
 // images (unplanned CF loss; see DESIGN.md on CF duplexing).
-func (p *Pool) Rebind(cs *cf.CacheStructure) error {
+func (p *Pool) Rebind(cs cf.Cache) error {
 	if err := cs.Connect(p.sys, p.vec); err != nil {
 		return err
 	}

@@ -49,7 +49,7 @@ func (d *fakeDASD) get(name string) []byte {
 
 type bmFixture struct {
 	fac   *cf.Facility
-	cs    *cf.CacheStructure
+	cs    cf.Cache
 	dasd  *fakeDASD
 	pools map[string]*Pool
 }

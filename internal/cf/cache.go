@@ -42,7 +42,7 @@ type cacheEntry struct {
 
 // AllocateCacheStructure allocates a cache structure with a directory
 // capacity of maxEntries blocks.
-func (f *Facility) AllocateCacheStructure(name string, maxEntries int) (*CacheStructure, error) {
+func (f *Facility) AllocateCacheStructure(name string, maxEntries int) (Cache, error) {
 	if maxEntries <= 0 {
 		return nil, fmt.Errorf("%w: cache needs > 0 directory entries", ErrBadArgument)
 	}
@@ -60,7 +60,7 @@ func (f *Facility) AllocateCacheStructure(name string, maxEntries int) (*CacheSt
 }
 
 // CacheStructure returns the named cache structure.
-func (f *Facility) CacheStructure(name string) (*CacheStructure, error) {
+func (f *Facility) CacheStructure(name string) (Cache, error) {
 	s, err := f.lookup(name, CacheModel)
 	if err != nil {
 		return nil, err
@@ -70,6 +70,46 @@ func (f *Facility) CacheStructure(name string) (*CacheStructure, error) {
 
 func (s *CacheStructure) model() Model          { return CacheModel }
 func (s *CacheStructure) structureName() string { return s.name }
+func (s *CacheStructure) fac() *Facility        { return s.facility }
+
+// cloneInto re-allocates the cache structure in dst with a deep copy of
+// the directory. Connector bit vectors are shared with the source: both
+// replicas of a duplexed pair flip validity bits in the same
+// system-owned vectors.
+func (s *CacheStructure) cloneInto(dst *Facility) (structure, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := &CacheStructure{
+		facility:   dst,
+		name:       s.name,
+		maxEntries: s.maxEntries,
+		directory:  make(map[string]*cacheEntry, len(s.directory)),
+		conns:      make(map[string]*cacheConn, len(s.conns)),
+	}
+	for c, cc := range s.conns {
+		n.conns[c] = &cacheConn{vector: cc.vector}
+	}
+	for name, e := range s.directory {
+		ne := &cacheEntry{
+			name:       e.name,
+			registered: make(map[string]int, len(e.registered)),
+			changed:    e.changed,
+			castoutBy:  e.castoutBy,
+			version:    e.version,
+		}
+		for c, idx := range e.registered {
+			ne.registered[c] = idx
+		}
+		if e.data != nil {
+			ne.data = append([]byte(nil), e.data...)
+		}
+		n.directory[name] = ne
+	}
+	if err := dst.allocate(s.name, n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
 
 // Name returns the structure name.
 func (s *CacheStructure) Name() string { return s.name }

@@ -12,7 +12,7 @@ import (
 
 type cacheFixture struct {
 	fac  *Facility
-	cs   *CacheStructure
+	cs   Cache
 	vecs map[string]*BitVector
 }
 

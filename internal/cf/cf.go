@@ -47,6 +47,83 @@ var (
 	ErrBadArgument   = errors.New("cf: bad argument")
 )
 
+// Lock is the command set of a lock-model structure (§3.3.1). It is
+// satisfied by both a plain *LockStructure and the *DuplexedLock front,
+// so exploiters are indifferent to whether the structure is simplex or
+// duplexed across two facilities.
+type Lock interface {
+	Name() string
+	Entries() int
+	Connect(conn string) error
+	HashResource(resource string) int
+	Obtain(idx int, conn string, mode LockMode) (ObtainResult, error)
+	ForceObtain(idx int, conn string, mode LockMode) error
+	Release(idx int, conn string, mode LockMode) error
+	Interest(idx int, conn string) (share, excl int, err error)
+	SetRecord(conn, resource string, mode LockMode) error
+	DeleteRecord(conn, resource string) error
+	Records(conn string) ([]LockRecord, error)
+	AdoptRetained(conn string, recs []LockRecord)
+	RetainedConnectors() []string
+}
+
+// Cache is the command set of a cache-model structure (§3.3.2),
+// satisfied by *CacheStructure and *DuplexedCache.
+type Cache interface {
+	Name() string
+	Connect(conn string, vector *BitVector) error
+	ReadAndRegister(conn, name string, vecIdx int) (ReadResult, error)
+	WriteAndInvalidate(conn, name string, data []byte, cache, changed bool, vecIdx int) error
+	Unregister(conn, name string) error
+	CastoutBegin(conn, name string) ([]byte, uint64, error)
+	CastoutEnd(conn, name string, version uint64) error
+	ChangedBlocks() []string
+	Registered(name string) []string
+	Version(name string) uint64
+}
+
+// List is the command set of a list-model structure (§3.3.3),
+// satisfied by *ListStructure and *DuplexedList.
+type List interface {
+	Name() string
+	Lists() int
+	Connect(conn string, vector *BitVector) error
+	SetLock(idx int, conn string) error
+	ReleaseLock(idx int, conn string) error
+	LockHolder(idx int) string
+	Write(conn string, list int, id, key string, data []byte, order Order, cond Cond) error
+	Read(conn, id string, cond Cond) (ListEntry, error)
+	ReadFirst(conn string, list int, cond Cond) (ListEntry, error)
+	Pop(conn string, list int, cond Cond) (ListEntry, error)
+	Delete(conn, id string, cond Cond) error
+	Move(conn, id string, toList int, order Order, cond Cond) error
+	SetAdjunct(conn, id, adjunct string, cond Cond) error
+	Len(list int) int
+	Entries(list int) []ListEntry
+	TotalEntries() int
+	Monitor(conn string, list int, vecIdx int) error
+	Unmonitor(conn string, list int)
+}
+
+// Front is the facility-shaped command surface shared by a simplex
+// *Facility and the *Duplexed primary/secondary pair. Exploiters and
+// the sysplex façade allocate and locate structures through a Front
+// without knowing whether commands are mirrored.
+type Front interface {
+	Name() string
+	Metrics() *metrics.Registry
+	StructureNames() []string
+	SetSyncLatency(d time.Duration)
+	FailConnector(conn string)
+	DisconnectAll(conn string)
+	AllocateLockStructure(name string, entries int) (Lock, error)
+	AllocateCacheStructure(name string, maxEntries int) (Cache, error)
+	AllocateListStructure(name string, nLists, nLocks, maxEntries int) (List, error)
+	LockStructure(name string) (Lock, error)
+	CacheStructure(name string) (Cache, error)
+	ListStructure(name string) (List, error)
+}
+
 // Model identifies the behaviour model a structure was allocated with.
 type Model int
 
@@ -87,6 +164,10 @@ type Facility struct {
 	// link round trip (zero by default: functional tests run at full
 	// speed; experiments inject microsecond values).
 	syncLatency time.Duration
+
+	// failAfter > 0 arms failure injection: the facility breaks after
+	// that many more commands have begun (see FailAfter).
+	failAfter int
 }
 
 type structure interface {
@@ -95,6 +176,13 @@ type structure interface {
 	failConnector(conn string)
 	structureName() string
 	storageBytes() int64
+	fac() *Facility
+	// cloneInto re-allocates the structure, with a deep copy of its
+	// current state, inside dst. System-owned bit vectors are shared
+	// between source and clone: the CF flips bits in vectors owned by
+	// the *systems*, so both replicas of a duplexed pair signal through
+	// the same vectors. Used to establish duplexing and to rebuild.
+	cloneInto(dst *Facility) (structure, error)
 }
 
 // New returns a facility with unconstrained storage.
@@ -149,6 +237,16 @@ func (f *Facility) Fail() {
 	f.mu.Unlock()
 }
 
+// FailAfter arms failure injection: the facility fails (as by Fail)
+// after n more commands have begun, letting tests and benches kill a CF
+// at a deterministic point inside a command stream rather than from an
+// external timer. n <= 0 disarms.
+func (f *Facility) FailAfter(n int) {
+	f.mu.Lock()
+	f.failAfter = n
+	f.mu.Unlock()
+}
+
 // Failed reports whether the facility is down.
 func (f *Facility) Failed() bool {
 	f.mu.Lock()
@@ -168,6 +266,14 @@ func (f *Facility) begin() (time.Time, error) {
 	f.mu.Lock()
 	lat := f.syncLatency
 	down := f.broken
+	if !down && f.failAfter > 0 {
+		f.failAfter--
+		if f.failAfter == 0 {
+			// This command still completes; the next one finds the
+			// facility broken.
+			f.broken = true
+		}
+	}
 	f.mu.Unlock()
 	if down {
 		return time.Time{}, ErrCFDown
@@ -254,6 +360,17 @@ func (f *Facility) allocate(name string, s structure) error {
 	f.usedBytes += need
 	f.structures[name] = s
 	return nil
+}
+
+// structureByName returns the structure regardless of the facility's
+// broken state. The duplexing front and rebuild machinery use it: a
+// structure's in-memory image survives the facility failing, standing
+// in for the connector-held state a real user-managed rebuild would
+// re-populate from.
+func (f *Facility) structureByName(name string) structure {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.structures[name]
 }
 
 func (f *Facility) lookup(name string, m Model) (structure, error) {

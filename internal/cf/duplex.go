@@ -1,0 +1,1001 @@
+package cf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sysplex/internal/metrics"
+	"sysplex/internal/vclock"
+)
+
+// DuplexEventKind classifies duplexing state transitions reported by a
+// Duplexed front to its owner (normally the CFRM manager).
+type DuplexEventKind int
+
+// Duplexing transitions.
+const (
+	// EventFailover: the primary failed and the secondary was promoted
+	// in-line; the pair is now simplex on the survivor.
+	EventFailover DuplexEventKind = iota
+	// EventDuplexBroken: the secondary was lost (facility failure or
+	// replica divergence); the pair is now simplex on the primary.
+	EventDuplexBroken
+	// EventDuplexEstablished: a new secondary holds a synchronized copy
+	// of every structure; commands are mirrored again.
+	EventDuplexEstablished
+)
+
+// String names the event kind.
+func (k DuplexEventKind) String() string {
+	switch k {
+	case EventFailover:
+		return "failover"
+	case EventDuplexBroken:
+		return "duplex-broken"
+	case EventDuplexEstablished:
+		return "duplex-established"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// DuplexEvent is one duplexing state transition. Facility is the
+// facility lost (failover, broken) or gained (established).
+type DuplexEvent struct {
+	Kind     DuplexEventKind
+	Facility string
+}
+
+// Duplexed is a Facility-shaped command front over a primary/secondary
+// facility pair, modeling system-managed structure duplexing:
+//
+//   - Every mutating command is applied to the primary and mirrored to
+//     the secondary under a per-structure mutex, so both replicas see
+//     the identical command sequence. Read commands go to the primary
+//     only.
+//   - The primary's results are the command's results; a secondary
+//     outcome mismatch (divergence) or secondary failure breaks
+//     duplexing and the pair degrades to simplex on the primary.
+//   - A primary failure observed by any command triggers in-line
+//     failover: the secondary is promoted and the command retries
+//     transparently, so exploiters never see ErrCFDown while a
+//     synchronized secondary exists.
+//
+// A Duplexed with no secondary behaves exactly like its primary
+// facility. Re-establishing duplexing into a fresh facility (Reduplex)
+// and retiring a healthy primary (SwitchPrimary, for planned rebuild)
+// are driven by the CFRM manager.
+type Duplexed struct {
+	clock vclock.Clock
+	reg   *metrics.Registry
+
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast when syncing clears
+	primary   *Facility
+	secondary *Facility // nil when simplex
+	syncing   bool      // Reduplex copy in progress
+	gen       uint64    // bumped on every primary/secondary change
+	pairs     map[string]*pair
+	onEvent   func(DuplexEvent)
+}
+
+// pair tracks one structure's replica handles. Its mutex serializes
+// all commands against the structure so both replicas apply the same
+// ordered sequence; handles are refreshed lazily when the pair
+// generation falls behind the front's.
+type pair struct {
+	d    *Duplexed
+	name string
+
+	mu  sync.Mutex
+	gen uint64
+	pri structure
+	sec structure // nil when not mirrored
+}
+
+// NewDuplexed returns a front over primary (required) and secondary
+// (nil for simplex). Metrics are recorded into reg (a private registry
+// is created when nil).
+func NewDuplexed(clock vclock.Clock, reg *metrics.Registry, primary, secondary *Facility) *Duplexed {
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	d := &Duplexed{
+		clock:     clock,
+		reg:       reg,
+		primary:   primary,
+		secondary: secondary,
+		pairs:     make(map[string]*pair),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// OnEvent installs the duplexing transition callback. It may be invoked
+// from inside a command (in-line failover) — handlers must not issue
+// commands against this front synchronously.
+func (d *Duplexed) OnEvent(fn func(DuplexEvent)) {
+	d.mu.Lock()
+	d.onEvent = fn
+	d.mu.Unlock()
+}
+
+// Name identifies the pair, e.g. "CF01+CF02" when duplexed, "CF01" when
+// simplex.
+func (d *Duplexed) Name() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.secondary != nil {
+		return d.primary.Name() + "+" + d.secondary.Name()
+	}
+	return d.primary.Name()
+}
+
+// Metrics exposes the front's duplexing instrumentation (cfrm.*
+// counters; per-facility cf.* counters live on the facilities).
+func (d *Duplexed) Metrics() *metrics.Registry { return d.reg }
+
+// Primary returns the current primary facility.
+func (d *Duplexed) Primary() *Facility {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.primary
+}
+
+// Secondary returns the current secondary facility (nil when simplex).
+func (d *Duplexed) Secondary() *Facility {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.secondary
+}
+
+// State reports "duplexed", "syncing", or "simplex".
+func (d *Duplexed) State() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case d.syncing:
+		return "syncing"
+	case d.secondary != nil:
+		return "duplexed"
+	default:
+		return "simplex"
+	}
+}
+
+// StructureNames lists structures allocated through the front, sorted.
+func (d *Duplexed) StructureNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.pairs))
+	for n := range d.pairs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetSyncLatency injects per-command service time on both current
+// facilities (the duplex fan-out then costs two charged commands per
+// mutating request, as real duplexing does).
+func (d *Duplexed) SetSyncLatency(lat time.Duration) {
+	d.mu.Lock()
+	pri, sec := d.primary, d.secondary
+	d.mu.Unlock()
+	pri.SetSyncLatency(lat)
+	if sec != nil {
+		sec.SetSyncLatency(lat)
+	}
+}
+
+// FailConnector marks conn abnormally terminated in every structure of
+// both replicas, serialized with in-flight commands per structure so the
+// replicas purge at the same point in the command sequence.
+func (d *Duplexed) FailConnector(conn string) {
+	d.eachPair(func(pri, sec structure) {
+		pri.failConnector(conn)
+		if sec != nil {
+			sec.failConnector(conn)
+		}
+	})
+}
+
+// DisconnectAll detaches conn cleanly from every structure of both
+// replicas.
+func (d *Duplexed) DisconnectAll(conn string) {
+	d.eachPair(func(pri, sec structure) {
+		pri.disconnect(conn)
+		if sec != nil {
+			sec.disconnect(conn)
+		}
+	})
+}
+
+func (d *Duplexed) eachPair(fn func(pri, sec structure)) {
+	d.mu.Lock()
+	ps := make([]*pair, 0, len(d.pairs))
+	for _, p := range d.pairs {
+		ps = append(ps, p)
+	}
+	d.mu.Unlock()
+	for _, p := range ps {
+		p.mu.Lock()
+		if pri, sec, err := p.handles(); err == nil {
+			fn(pri, sec)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// AllocateLockStructure allocates a lock structure on the primary and,
+// when duplexed, the secondary.
+func (d *Duplexed) AllocateLockStructure(name string, entries int) (Lock, error) {
+	err := d.allocate(name, func(f *Facility) error {
+		_, err := f.AllocateLockStructure(name, entries)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DuplexedLock{d: d, name: name}, nil
+}
+
+// AllocateCacheStructure allocates a cache structure on both replicas.
+func (d *Duplexed) AllocateCacheStructure(name string, maxEntries int) (Cache, error) {
+	err := d.allocate(name, func(f *Facility) error {
+		_, err := f.AllocateCacheStructure(name, maxEntries)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DuplexedCache{d: d, name: name}, nil
+}
+
+// AllocateListStructure allocates a list structure on both replicas.
+func (d *Duplexed) AllocateListStructure(name string, nLists, nLocks, maxEntries int) (List, error) {
+	err := d.allocate(name, func(f *Facility) error {
+		_, err := f.AllocateListStructure(name, nLists, nLocks, maxEntries)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DuplexedList{d: d, name: name}, nil
+}
+
+// allocate performs a paired structure allocation. d.mu is held across
+// both facility allocations (facility calls never re-enter the front),
+// so an allocation can never race a Reduplex and miss the new secondary.
+func (d *Duplexed) allocate(name string, alloc func(*Facility) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.syncing {
+		d.cond.Wait()
+	}
+	if _, ok := d.pairs[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if err := alloc(d.primary); err != nil {
+		return err
+	}
+	if d.secondary != nil {
+		if err := alloc(d.secondary); err != nil {
+			d.primary.Deallocate(name)
+			return err
+		}
+	}
+	// gen-1 forces a handle lookup on first use.
+	d.pairs[name] = &pair{d: d, name: name, gen: d.gen - 1}
+	return nil
+}
+
+// LockStructure returns the named lock structure's duplexed front.
+func (d *Duplexed) LockStructure(name string) (Lock, error) {
+	if err := d.checkModel(name, LockModel); err != nil {
+		return nil, err
+	}
+	return &DuplexedLock{d: d, name: name}, nil
+}
+
+// CacheStructure returns the named cache structure's duplexed front.
+func (d *Duplexed) CacheStructure(name string) (Cache, error) {
+	if err := d.checkModel(name, CacheModel); err != nil {
+		return nil, err
+	}
+	return &DuplexedCache{d: d, name: name}, nil
+}
+
+// ListStructure returns the named list structure's duplexed front.
+func (d *Duplexed) ListStructure(name string) (List, error) {
+	if err := d.checkModel(name, ListModel); err != nil {
+		return nil, err
+	}
+	return &DuplexedList{d: d, name: name}, nil
+}
+
+func (d *Duplexed) checkModel(name string, m Model) error {
+	d.mu.Lock()
+	_, ok := d.pairs[name]
+	pri := d.primary
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoStructure, name)
+	}
+	s := pri.structureByName(name)
+	if s == nil {
+		return fmt.Errorf("%w: %q", ErrNoStructure, name)
+	}
+	if s.model() != m {
+		return fmt.Errorf("%w: %q is %s, not %s", ErrWrongModel, name, s.model(), m)
+	}
+	return nil
+}
+
+func (d *Duplexed) pair(name string) *pair {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pairs[name]
+}
+
+// handles returns current replica handles, refreshing them after a
+// facility-level transition. Caller holds p.mu. Lock order: p.mu then
+// d.mu then (inside structureByName) the facility mutex.
+func (p *pair) handles() (pri, sec structure, err error) {
+	d := p.d
+	d.mu.Lock()
+	if p.gen != d.gen {
+		p.pri = d.primary.structureByName(p.name)
+		p.sec = nil
+		if d.secondary != nil {
+			p.sec = d.secondary.structureByName(p.name)
+		}
+		p.gen = d.gen
+	}
+	pri, sec = p.pri, p.sec
+	d.mu.Unlock()
+	if pri == nil {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoStructure, p.name)
+	}
+	return pri, sec, nil
+}
+
+// run executes one structure command. apply is invoked against the
+// primary replica (primary=true; its results are the command's results)
+// and, for mutating commands, mirrored to the secondary. A primary
+// ErrCFDown triggers in-line failover and a transparent retry.
+func (d *Duplexed) run(name string, mutating bool, apply func(s structure, primary bool) error) error {
+	p := d.pair(name)
+	if p == nil {
+		return fmt.Errorf("%w: %q", ErrNoStructure, name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		pri, sec, err := p.handles()
+		if err != nil {
+			return err
+		}
+		start := d.clock.Now()
+		err = apply(pri, true)
+		if errors.Is(err, ErrCFDown) {
+			if !d.failover(pri.fac()) {
+				return err
+			}
+			d.reg.Counter("cfrm.cmd.retried").Inc()
+			continue
+		}
+		if mutating && sec != nil {
+			serr := apply(sec, false)
+			if !sameOutcome(err, serr) {
+				d.breakDuplex(sec.fac())
+			}
+			d.reg.Histogram("cfrm.duplex.fanout").Observe(d.clock.Since(start))
+		}
+		return err
+	}
+}
+
+// sameOutcome reports whether primary and secondary completed a
+// mirrored command identically (both clean, or the same error).
+func sameOutcome(perr, serr error) bool {
+	if (perr == nil) != (serr == nil) {
+		return false
+	}
+	return perr == nil || perr.Error() == serr.Error()
+}
+
+// failover promotes the secondary after the primary (seen) failed.
+// Returns true when the caller should retry: either this call promoted
+// the secondary, or another command already failed the pair over.
+func (d *Duplexed) failover(seen *Facility) bool {
+	d.mu.Lock()
+	if d.primary != seen {
+		// A concurrent command already completed the failover.
+		d.mu.Unlock()
+		return true
+	}
+	if d.secondary == nil || d.syncing {
+		// No synchronized secondary to promote: the outage surfaces.
+		d.mu.Unlock()
+		return false
+	}
+	lost := d.primary.Name()
+	d.primary, d.secondary = d.secondary, nil
+	d.gen++
+	cb := d.onEvent
+	d.mu.Unlock()
+	d.reg.Counter("cfrm.failover.count").Inc()
+	if cb != nil {
+		cb(DuplexEvent{Kind: EventFailover, Facility: lost})
+	}
+	return true
+}
+
+// breakDuplex drops the secondary (sec) after it failed or diverged;
+// the pair continues simplex on the primary.
+func (d *Duplexed) breakDuplex(sec *Facility) {
+	d.mu.Lock()
+	if d.secondary != sec {
+		d.mu.Unlock()
+		return
+	}
+	lost := sec.Name()
+	d.secondary = nil
+	d.gen++
+	cb := d.onEvent
+	d.mu.Unlock()
+	d.reg.Counter("cfrm.duplex.broken").Inc()
+	if cb != nil {
+		cb(DuplexEvent{Kind: EventDuplexBroken, Facility: lost})
+	}
+}
+
+// TryFailover fails over if the current primary is down and a
+// synchronized secondary exists (the proactive path driven by CF health
+// monitoring, as opposed to in-line discovery by a command).
+func (d *Duplexed) TryFailover() bool {
+	d.mu.Lock()
+	pri := d.primary
+	d.mu.Unlock()
+	if !pri.Failed() {
+		return false
+	}
+	return d.failover(pri)
+}
+
+// DropSecondary breaks duplexing if sec is the current secondary (the
+// proactive path for a monitored secondary failure).
+func (d *Duplexed) DropSecondary(sec *Facility) {
+	d.breakDuplex(sec)
+}
+
+// Reduplex establishes newFac as the secondary by copying every
+// structure into it. Per structure, the copy and the start of mirroring
+// happen under the structure's command mutex, so no mutation can slip
+// between them. The switchover is all-or-nothing: on any error the
+// primary stays current, newFac is discarded, and no structure is left
+// half-mirrored.
+func (d *Duplexed) Reduplex(newFac *Facility) error {
+	d.mu.Lock()
+	if d.syncing {
+		d.mu.Unlock()
+		return errors.New("cf: duplexing establishment already in progress")
+	}
+	if d.secondary != nil {
+		d.mu.Unlock()
+		return errors.New("cf: already duplexed")
+	}
+	if newFac == nil || newFac == d.primary {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: bad re-duplex target", ErrBadArgument)
+	}
+	d.syncing = true
+	ps := make([]*pair, 0, len(d.pairs))
+	for _, p := range d.pairs {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].name < ps[j].name })
+	d.mu.Unlock()
+
+	for _, p := range ps {
+		p.mu.Lock()
+		pri, _, err := p.handles()
+		if err == nil {
+			var clone structure
+			clone, err = pri.cloneInto(newFac)
+			if err == nil {
+				// Mirroring of this structure starts now; commands on
+				// other structures still run simplex until their copy.
+				p.sec = clone
+			}
+		}
+		p.mu.Unlock()
+		if err != nil {
+			d.abortSync(newFac)
+			return fmt.Errorf("cf: re-duplex into %s: %w", newFac.Name(), err)
+		}
+	}
+
+	d.mu.Lock()
+	d.secondary = newFac
+	d.syncing = false
+	d.gen++
+	cb := d.onEvent
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	if cb != nil {
+		cb(DuplexEvent{Kind: EventDuplexEstablished, Facility: newFac.Name()})
+	}
+	return nil
+}
+
+// abortSync undoes a failed Reduplex: clears any pair already mirroring
+// into the abandoned target and releases waiters.
+func (d *Duplexed) abortSync(newFac *Facility) {
+	d.mu.Lock()
+	ps := make([]*pair, 0, len(d.pairs))
+	for _, p := range d.pairs {
+		ps = append(ps, p)
+	}
+	d.syncing = false
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	for _, p := range ps {
+		p.mu.Lock()
+		if p.sec != nil && p.sec.fac() == newFac {
+			p.sec = nil
+		}
+		p.mu.Unlock()
+	}
+}
+
+// SwitchPrimary promotes the secondary to primary and returns the
+// retired (still healthy) old primary — the planned-rebuild move. It
+// fails when the pair is not duplexed.
+func (d *Duplexed) SwitchPrimary() (*Facility, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.syncing {
+		return nil, errors.New("cf: duplexing establishment in progress")
+	}
+	if d.secondary == nil {
+		return nil, errors.New("cf: not duplexed")
+	}
+	old := d.primary
+	d.primary, d.secondary = d.secondary, nil
+	d.gen++
+	return old, nil
+}
+
+// ---------------------------------------------------------------------
+// Structure fronts. Each wraps one pair and dispatches through run():
+// mutating commands are mirrored, reads go to the primary. Methods with
+// no error return read the primary replica's in-memory state directly
+// (these are diagnostics that do not issue CF commands).
+// ---------------------------------------------------------------------
+
+// DuplexedLock is the Lock front over a duplexed lock structure pair.
+type DuplexedLock struct {
+	d    *Duplexed
+	name string
+}
+
+func (l *DuplexedLock) primary() *LockStructure {
+	p := l.d.pair(l.name)
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pri, _, err := p.handles()
+	if err != nil {
+		return nil
+	}
+	return pri.(*LockStructure)
+}
+
+// Name returns the structure name.
+func (l *DuplexedLock) Name() string { return l.name }
+
+// Entries returns the lock table size.
+func (l *DuplexedLock) Entries() int {
+	if s := l.primary(); s != nil {
+		return s.Entries()
+	}
+	return 0
+}
+
+// HashResource maps a resource name to a lock table entry; identical
+// table sizes on both replicas give identical hashing.
+func (l *DuplexedLock) HashResource(resource string) int {
+	if s := l.primary(); s != nil {
+		return s.HashResource(resource)
+	}
+	return 0
+}
+
+// Connect attaches a connector to both replicas.
+func (l *DuplexedLock) Connect(conn string) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*LockStructure).Connect(conn)
+	})
+}
+
+// Obtain records lock interest on both replicas; the primary's grant
+// decision is returned.
+func (l *DuplexedLock) Obtain(idx int, conn string, mode LockMode) (ObtainResult, error) {
+	var out ObtainResult
+	err := l.d.run(l.name, true, func(s structure, primary bool) error {
+		r, err := s.(*LockStructure).Obtain(idx, conn, mode)
+		if primary {
+			out = r
+		}
+		return err
+	})
+	return out, err
+}
+
+// ForceObtain records interest unconditionally on both replicas.
+func (l *DuplexedLock) ForceObtain(idx int, conn string, mode LockMode) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*LockStructure).ForceObtain(idx, conn, mode)
+	})
+}
+
+// Release drops interest on both replicas.
+func (l *DuplexedLock) Release(idx int, conn string, mode LockMode) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*LockStructure).Release(idx, conn, mode)
+	})
+}
+
+// Interest reports conn's interest counts from the primary.
+func (l *DuplexedLock) Interest(idx int, conn string) (share, excl int, err error) {
+	s := l.primary()
+	if s == nil {
+		return 0, 0, fmt.Errorf("%w: %q", ErrNoStructure, l.name)
+	}
+	return s.Interest(idx, conn)
+}
+
+// SetRecord stores a persistent lock record on both replicas.
+func (l *DuplexedLock) SetRecord(conn, resource string, mode LockMode) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*LockStructure).SetRecord(conn, resource, mode)
+	})
+}
+
+// DeleteRecord removes a persistent lock record from both replicas.
+func (l *DuplexedLock) DeleteRecord(conn, resource string) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*LockStructure).DeleteRecord(conn, resource)
+	})
+}
+
+// Records reads conn's persistent lock records from the primary.
+func (l *DuplexedLock) Records(conn string) ([]LockRecord, error) {
+	var out []LockRecord
+	err := l.d.run(l.name, false, func(s structure, primary bool) error {
+		r, err := s.(*LockStructure).Records(conn)
+		if primary {
+			out = r
+		}
+		return err
+	})
+	return out, err
+}
+
+// AdoptRetained installs retained records on both replicas.
+func (l *DuplexedLock) AdoptRetained(conn string, recs []LockRecord) {
+	l.d.run(l.name, true, func(s structure, primary bool) error {
+		s.(*LockStructure).AdoptRetained(conn, recs)
+		return nil
+	})
+}
+
+// RetainedConnectors lists failed connectors with retained records.
+func (l *DuplexedLock) RetainedConnectors() []string {
+	if s := l.primary(); s != nil {
+		return s.RetainedConnectors()
+	}
+	return nil
+}
+
+// DuplexedCache is the Cache front over a duplexed cache structure pair.
+type DuplexedCache struct {
+	d    *Duplexed
+	name string
+}
+
+func (c *DuplexedCache) primary() *CacheStructure {
+	p := c.d.pair(c.name)
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pri, _, err := p.handles()
+	if err != nil {
+		return nil
+	}
+	return pri.(*CacheStructure)
+}
+
+// Name returns the structure name.
+func (c *DuplexedCache) Name() string { return c.name }
+
+// Connect attaches a connector (and its validity vector) to both
+// replicas. The vector is shared: either replica's cross-invalidation
+// flips the same system-owned bits.
+func (c *DuplexedCache) Connect(conn string, vector *BitVector) error {
+	return c.d.run(c.name, true, func(s structure, primary bool) error {
+		return s.(*CacheStructure).Connect(conn, vector)
+	})
+}
+
+// ReadAndRegister registers interest on both replicas (registration
+// mutates the directory) and returns the primary's data.
+func (c *DuplexedCache) ReadAndRegister(conn, name string, vecIdx int) (ReadResult, error) {
+	var out ReadResult
+	err := c.d.run(c.name, true, func(s structure, primary bool) error {
+		r, err := s.(*CacheStructure).ReadAndRegister(conn, name, vecIdx)
+		if primary {
+			out = r
+		}
+		return err
+	})
+	return out, err
+}
+
+// WriteAndInvalidate stores the new block version on both replicas.
+// Cross-invalidation bits flip once per target either way, because the
+// replicas share the connectors' validity vectors.
+func (c *DuplexedCache) WriteAndInvalidate(conn, name string, data []byte, cache, changed bool, vecIdx int) error {
+	return c.d.run(c.name, true, func(s structure, primary bool) error {
+		return s.(*CacheStructure).WriteAndInvalidate(conn, name, data, cache, changed, vecIdx)
+	})
+}
+
+// Unregister removes interest on both replicas.
+func (c *DuplexedCache) Unregister(conn, name string) error {
+	return c.d.run(c.name, true, func(s structure, primary bool) error {
+		return s.(*CacheStructure).Unregister(conn, name)
+	})
+}
+
+// CastoutBegin claims the castout lock on both replicas and returns the
+// primary's data and version.
+func (c *DuplexedCache) CastoutBegin(conn, name string) ([]byte, uint64, error) {
+	var (
+		data []byte
+		ver  uint64
+	)
+	err := c.d.run(c.name, true, func(s structure, primary bool) error {
+		d, v, err := s.(*CacheStructure).CastoutBegin(conn, name)
+		if primary {
+			data, ver = d, v
+		}
+		return err
+	})
+	return data, ver, err
+}
+
+// CastoutEnd completes the castout on both replicas.
+func (c *DuplexedCache) CastoutEnd(conn, name string, version uint64) error {
+	return c.d.run(c.name, true, func(s structure, primary bool) error {
+		return s.(*CacheStructure).CastoutEnd(conn, name, version)
+	})
+}
+
+// ChangedBlocks lists blocks pending castout on the primary.
+func (c *DuplexedCache) ChangedBlocks() []string {
+	if s := c.primary(); s != nil {
+		return s.ChangedBlocks()
+	}
+	return nil
+}
+
+// Registered reports the primary's registered connectors for a block.
+func (c *DuplexedCache) Registered(name string) []string {
+	if s := c.primary(); s != nil {
+		return s.Registered(name)
+	}
+	return nil
+}
+
+// Version returns the primary's directory version of a block.
+func (c *DuplexedCache) Version(name string) uint64 {
+	if s := c.primary(); s != nil {
+		return s.Version(name)
+	}
+	return 0
+}
+
+// DuplexedList is the List front over a duplexed list structure pair.
+type DuplexedList struct {
+	d    *Duplexed
+	name string
+}
+
+func (l *DuplexedList) primaryS() *ListStructure {
+	p := l.d.pair(l.name)
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pri, _, err := p.handles()
+	if err != nil {
+		return nil
+	}
+	return pri.(*ListStructure)
+}
+
+// Name returns the structure name.
+func (l *DuplexedList) Name() string { return l.name }
+
+// Lists returns the number of list headers.
+func (l *DuplexedList) Lists() int {
+	if s := l.primaryS(); s != nil {
+		return s.Lists()
+	}
+	return 0
+}
+
+// Connect attaches a connector (and its notification vector, shared by
+// both replicas) to the pair.
+func (l *DuplexedList) Connect(conn string, vector *BitVector) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*ListStructure).Connect(conn, vector)
+	})
+}
+
+// SetLock acquires a lock entry on both replicas.
+func (l *DuplexedList) SetLock(idx int, conn string) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*ListStructure).SetLock(idx, conn)
+	})
+}
+
+// ReleaseLock releases a lock entry on both replicas.
+func (l *DuplexedList) ReleaseLock(idx int, conn string) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*ListStructure).ReleaseLock(idx, conn)
+	})
+}
+
+// LockHolder reports the primary's holder of a lock entry.
+func (l *DuplexedList) LockHolder(idx int) string {
+	if s := l.primaryS(); s != nil {
+		return s.LockHolder(idx)
+	}
+	return ""
+}
+
+// Write creates or updates an entry on both replicas.
+func (l *DuplexedList) Write(conn string, list int, id, key string, data []byte, order Order, cond Cond) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*ListStructure).Write(conn, list, id, key, data, order, cond)
+	})
+}
+
+// Read returns a copy of an entry from the primary.
+func (l *DuplexedList) Read(conn, id string, cond Cond) (ListEntry, error) {
+	var out ListEntry
+	err := l.d.run(l.name, false, func(s structure, primary bool) error {
+		e, err := s.(*ListStructure).Read(conn, id, cond)
+		if primary {
+			out = e
+		}
+		return err
+	})
+	return out, err
+}
+
+// ReadFirst returns the head entry of a list from the primary.
+func (l *DuplexedList) ReadFirst(conn string, list int, cond Cond) (ListEntry, error) {
+	var out ListEntry
+	err := l.d.run(l.name, false, func(s structure, primary bool) error {
+		e, err := s.(*ListStructure).ReadFirst(conn, list, cond)
+		if primary {
+			out = e
+		}
+		return err
+	})
+	return out, err
+}
+
+// Pop removes and returns the head entry on both replicas; the
+// primary's entry is returned.
+func (l *DuplexedList) Pop(conn string, list int, cond Cond) (ListEntry, error) {
+	var out ListEntry
+	err := l.d.run(l.name, true, func(s structure, primary bool) error {
+		e, err := s.(*ListStructure).Pop(conn, list, cond)
+		if primary {
+			out = e
+		}
+		return err
+	})
+	return out, err
+}
+
+// Delete removes an entry from both replicas.
+func (l *DuplexedList) Delete(conn, id string, cond Cond) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*ListStructure).Delete(conn, id, cond)
+	})
+}
+
+// Move moves an entry between lists on both replicas.
+func (l *DuplexedList) Move(conn, id string, toList int, order Order, cond Cond) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*ListStructure).Move(conn, id, toList, order, cond)
+	})
+}
+
+// SetAdjunct updates an entry's adjunct area on both replicas.
+func (l *DuplexedList) SetAdjunct(conn, id, adjunct string, cond Cond) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*ListStructure).SetAdjunct(conn, id, adjunct, cond)
+	})
+}
+
+// Len returns the primary's entry count for a list.
+func (l *DuplexedList) Len(list int) int {
+	if s := l.primaryS(); s != nil {
+		return s.Len(list)
+	}
+	return 0
+}
+
+// Entries returns copies of the primary's entries on a list.
+func (l *DuplexedList) Entries(list int) []ListEntry {
+	if s := l.primaryS(); s != nil {
+		return s.Entries(list)
+	}
+	return nil
+}
+
+// TotalEntries returns the primary's structure-wide entry count.
+func (l *DuplexedList) TotalEntries() int {
+	if s := l.primaryS(); s != nil {
+		return s.TotalEntries()
+	}
+	return 0
+}
+
+// Monitor registers list-transition monitoring on both replicas (the
+// shared notification vector means the bit flips once per transition on
+// whichever replica signals first — signals are idempotent bit sets).
+func (l *DuplexedList) Monitor(conn string, list int, vecIdx int) error {
+	return l.d.run(l.name, true, func(s structure, primary bool) error {
+		return s.(*ListStructure).Monitor(conn, list, vecIdx)
+	})
+}
+
+// Unmonitor removes monitoring from both replicas.
+func (l *DuplexedList) Unmonitor(conn string, list int) {
+	l.d.run(l.name, true, func(s structure, primary bool) error {
+		s.(*ListStructure).Unmonitor(conn, list)
+		return nil
+	})
+}
+
+// Interface conformance.
+var (
+	_ Front = (*Facility)(nil)
+	_ Front = (*Duplexed)(nil)
+	_ Lock  = (*LockStructure)(nil)
+	_ Lock  = (*DuplexedLock)(nil)
+	_ Cache = (*CacheStructure)(nil)
+	_ Cache = (*DuplexedCache)(nil)
+	_ List  = (*ListStructure)(nil)
+	_ List  = (*DuplexedList)(nil)
+)

@@ -68,7 +68,7 @@ type listConn struct {
 
 // AllocateListStructure allocates a list structure with nLists headers,
 // nLocks lock entries, and an entry capacity.
-func (f *Facility) AllocateListStructure(name string, nLists, nLocks, maxEntries int) (*ListStructure, error) {
+func (f *Facility) AllocateListStructure(name string, nLists, nLocks, maxEntries int) (List, error) {
 	if nLists <= 0 || nLocks < 0 || maxEntries <= 0 {
 		return nil, fmt.Errorf("%w: list structure shape", ErrBadArgument)
 	}
@@ -89,7 +89,7 @@ func (f *Facility) AllocateListStructure(name string, nLists, nLocks, maxEntries
 }
 
 // ListStructure returns the named list structure.
-func (f *Facility) ListStructure(name string) (*ListStructure, error) {
+func (f *Facility) ListStructure(name string) (List, error) {
 	s, err := f.lookup(name, ListModel)
 	if err != nil {
 		return nil, err
@@ -99,6 +99,48 @@ func (f *Facility) ListStructure(name string) (*ListStructure, error) {
 
 func (s *ListStructure) model() Model          { return ListModel }
 func (s *ListStructure) structureName() string { return s.name }
+func (s *ListStructure) fac() *Facility        { return s.facility }
+
+// cloneInto re-allocates the list structure in dst with a deep copy of
+// every list, entry, lock entry, and monitor registration. Notification
+// vectors are shared with the source connectors.
+func (s *ListStructure) cloneInto(dst *Facility) (structure, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := &ListStructure{
+		facility:   dst,
+		name:       s.name,
+		lists:      make([][]*ListEntry, len(s.lists)),
+		byID:       make(map[string]*ListEntry, len(s.byID)),
+		locks:      append([]string(nil), s.locks...),
+		maxEntries: s.maxEntries,
+		conns:      make(map[string]*listConn, len(s.conns)),
+		monitors:   make(map[int]map[string]int, len(s.monitors)),
+	}
+	for c, lc := range s.conns {
+		n.conns[c] = &listConn{vector: lc.vector}
+	}
+	for i, l := range s.lists {
+		nl := make([]*ListEntry, len(l))
+		for j, e := range l {
+			ne := e.clone()
+			nl[j] = &ne
+			n.byID[ne.ID] = &ne
+		}
+		n.lists[i] = nl
+	}
+	for l, m := range s.monitors {
+		nm := make(map[string]int, len(m))
+		for c, idx := range m {
+			nm[c] = idx
+		}
+		n.monitors[l] = nm
+	}
+	if err := dst.allocate(s.name, n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
 
 // Name returns the structure name.
 func (s *ListStructure) Name() string { return s.name }

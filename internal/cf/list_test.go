@@ -11,7 +11,7 @@ import (
 
 type listFixture struct {
 	fac  *Facility
-	ls   *ListStructure
+	ls   List
 	vecs map[string]*BitVector
 }
 

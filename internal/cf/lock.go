@@ -89,7 +89,7 @@ func (e *lockEntry) otherExclLocked(conn string) []string {
 
 // AllocateLockStructure allocates a lock structure with n lock table
 // entries.
-func (f *Facility) AllocateLockStructure(name string, n int) (*LockStructure, error) {
+func (f *Facility) AllocateLockStructure(name string, n int) (Lock, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: lock table needs > 0 entries", ErrBadArgument)
 	}
@@ -108,7 +108,7 @@ func (f *Facility) AllocateLockStructure(name string, n int) (*LockStructure, er
 }
 
 // LockStructure returns the named lock structure.
-func (f *Facility) LockStructure(name string) (*LockStructure, error) {
+func (f *Facility) LockStructure(name string) (Lock, error) {
 	s, err := f.lookup(name, LockModel)
 	if err != nil {
 		return nil, err
@@ -118,6 +118,56 @@ func (f *Facility) LockStructure(name string) (*LockStructure, error) {
 
 func (s *LockStructure) model() Model          { return LockModel }
 func (s *LockStructure) structureName() string { return s.name }
+func (s *LockStructure) fac() *Facility        { return s.facility }
+
+// cloneInto re-allocates the lock structure in dst with a deep copy of
+// its entries, connectors, records, and retained state.
+func (s *LockStructure) cloneInto(dst *Facility) (structure, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := &LockStructure{
+		facility: dst,
+		name:     s.name,
+		entries:  make([]lockEntry, len(s.entries)),
+		conns:    make(map[string]bool, len(s.conns)),
+		records:  make(map[string]map[string]LockRecord, len(s.records)),
+		retained: make(map[string]bool, len(s.retained)),
+	}
+	for i := range s.entries {
+		e := &s.entries[i]
+		ne := lockEntry{exclOwner: e.exclOwner, exclCount: e.exclCount}
+		if len(e.shared) > 0 {
+			ne.shared = make(map[string]int, len(e.shared))
+			for c, v := range e.shared {
+				ne.shared[c] = v
+			}
+		}
+		if len(e.forcedExcl) > 0 {
+			ne.forcedExcl = make(map[string]int, len(e.forcedExcl))
+			for c, v := range e.forcedExcl {
+				ne.forcedExcl[c] = v
+			}
+		}
+		n.entries[i] = ne
+	}
+	for c := range s.conns {
+		n.conns[c] = true
+	}
+	for c, m := range s.records {
+		nm := make(map[string]LockRecord, len(m))
+		for r, rec := range m {
+			nm[r] = rec
+		}
+		n.records[c] = nm
+	}
+	for c := range s.retained {
+		n.retained[c] = true
+	}
+	if err := dst.allocate(s.name, n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
 
 // Name returns the structure name.
 func (s *LockStructure) Name() string { return s.name }

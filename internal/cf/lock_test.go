@@ -8,7 +8,7 @@ import (
 	"sysplex/internal/vclock"
 )
 
-func newLockStruct(t *testing.T, entries int) (*Facility, *LockStructure) {
+func newLockStruct(t *testing.T, entries int) (*Facility, Lock) {
 	t.Helper()
 	f := New("CF01", vclock.Real())
 	ls, err := f.AllocateLockStructure("IRLM", entries)
@@ -170,7 +170,7 @@ func TestPersistentRecordsAndRetention(t *testing.T) {
 func TestNormalDisconnectDropsRecords(t *testing.T) {
 	_, ls := newLockStruct(t, 16)
 	ls.SetRecord("SYS1", "R", Exclusive)
-	ls.disconnect("SYS1")
+	ls.(*LockStructure).disconnect("SYS1")
 	if len(ls.RetainedConnectors()) != 0 {
 		t.Fatal("normal shutdown should not retain records")
 	}

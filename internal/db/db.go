@@ -47,7 +47,7 @@ type Config struct {
 	// Volume names the volume for table spaces and logs.
 	Volume string
 	// Facility is the coupling facility holding the group buffer pool.
-	Facility *cf.Facility
+	Facility cf.Front
 	// Locks is this system's lock manager.
 	Locks *lockmgr.Manager
 	// Clock defaults to the real clock.
@@ -78,7 +78,7 @@ type Engine struct {
 	sys     string
 	farm    *dasd.Farm
 	volume  string
-	fac     *cf.Facility
+	fac     cf.Front
 	locks   *lockmgr.Manager
 	clock   vclock.Clock
 	pool    *buffman.Pool
@@ -265,7 +265,7 @@ func (e *Engine) CastoutOnce(max int) (int, error) { return e.pool.CastoutOnce(m
 
 // RebindCache moves the engine's buffer pool onto a rebuilt group
 // buffer pool structure. Cast out all changed pages first.
-func (e *Engine) RebindCache(cs *cf.CacheStructure) error { return e.pool.Rebind(cs) }
+func (e *Engine) RebindCache(cs cf.Cache) error { return e.pool.Rebind(cs) }
 
 // InvalidateLocal drops the local buffer for one page of a table, so
 // the next access must consult the CF (used by cache ablations and

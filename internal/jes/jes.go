@@ -56,13 +56,13 @@ type Queue struct {
 	conn string
 
 	mu     sync.Mutex
-	ls     *cf.ListStructure
+	ls     cf.List
 	nextID uint64
 }
 
 // structure returns the current list structure under the lock so a
 // concurrent Rebind is observed atomically.
-func (q *Queue) structure() *cf.ListStructure {
+func (q *Queue) structure() cf.List {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.ls
@@ -72,7 +72,7 @@ func (q *Queue) structure() *cf.ListStructure {
 // structure rebuild): all queued, active, and completed entries are
 // copied over. The old structure must still be readable (planned
 // rebuild).
-func (q *Queue) Rebind(newLS *cf.ListStructure) error {
+func (q *Queue) Rebind(newLS cf.List) error {
 	if newLS.Lists() < numLists {
 		return fmt.Errorf("jes: structure needs >= %d lists", numLists)
 	}
@@ -96,7 +96,7 @@ func (q *Queue) Rebind(newLS *cf.ListStructure) error {
 // NewQueue creates the queue over a list structure with at least three
 // lists. The conn identity is used for CF commands issued on behalf of
 // the submitting side.
-func NewQueue(ls *cf.ListStructure, conn string) (*Queue, error) {
+func NewQueue(ls cf.List, conn string) (*Queue, error) {
 	if ls.Lists() < numLists {
 		return nil, fmt.Errorf("jes: structure needs >= %d lists", numLists)
 	}
@@ -190,7 +190,7 @@ type Executor struct {
 	vec   *cf.BitVector
 
 	mu       sync.Mutex
-	ls       *cf.ListStructure
+	ls       cf.List
 	handlers map[string]Handler
 	executed int64
 	stopped  bool
@@ -199,7 +199,7 @@ type Executor struct {
 
 // NewExecutor attaches an executor for system sys to the queue's
 // structure and registers transition monitoring of the input list.
-func NewExecutor(ls *cf.ListStructure, sys string, clock vclock.Clock) (*Executor, error) {
+func NewExecutor(ls cf.List, sys string, clock vclock.Clock) (*Executor, error) {
 	if clock == nil {
 		clock = vclock.Real()
 	}
@@ -221,7 +221,7 @@ func NewExecutor(ls *cf.ListStructure, sys string, clock vclock.Clock) (*Executo
 }
 
 // structure returns the current list structure under the lock.
-func (e *Executor) structure() *cf.ListStructure {
+func (e *Executor) structure() cf.List {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.ls
@@ -229,7 +229,7 @@ func (e *Executor) structure() *cf.ListStructure {
 
 // Rebind moves the executor onto a rebuilt structure: reconnect and
 // re-register transition monitoring.
-func (e *Executor) Rebind(newLS *cf.ListStructure) error {
+func (e *Executor) Rebind(newLS cf.List) error {
 	if err := newLS.Connect(e.sys, e.vec); err != nil {
 		return err
 	}

@@ -13,7 +13,7 @@ import (
 
 type fixture struct {
 	fac   *cf.Facility
-	ls    *cf.ListStructure
+	ls    cf.List
 	q     *Queue
 	execs map[string]*Executor
 }

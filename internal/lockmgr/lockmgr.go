@@ -65,7 +65,7 @@ type Stats struct {
 type Manager struct {
 	sysName string
 	system  *xcf.System
-	ls      *cf.LockStructure
+	ls      cf.Lock
 	clock   vclock.Clock
 	reg     *metrics.Registry
 
@@ -97,7 +97,7 @@ type waiter struct {
 
 // New creates the lock manager for a system, connects it to the CF lock
 // structure and binds its negotiation service.
-func New(system *xcf.System, ls *cf.LockStructure, clock vclock.Clock) (*Manager, error) {
+func New(system *xcf.System, ls cf.Lock, clock vclock.Clock) (*Manager, error) {
 	if clock == nil {
 		clock = vclock.Real()
 	}
@@ -122,7 +122,7 @@ func (m *Manager) System() string { return m.sysName }
 
 // structure returns the current lock structure under the lock so a
 // concurrent Rebind is observed atomically.
-func (m *Manager) structure() *cf.LockStructure {
+func (m *Manager) structure() cf.Lock {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.ls
@@ -442,7 +442,7 @@ func (m *Manager) retainedConflict(resourceName string, mode cf.LockMode) (strin
 // records of failed systems it can still read from the old structure.
 // All managers of a structure must rebind before normal operation
 // resumes; the caller orchestrates that (see the sysplex façade).
-func (m *Manager) Rebind(newLS *cf.LockStructure) error {
+func (m *Manager) Rebind(newLS cf.Lock) error {
 	if err := newLS.Connect(m.sysName); err != nil {
 		return err
 	}

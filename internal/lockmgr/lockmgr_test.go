@@ -23,7 +23,7 @@ type harness struct {
 type Sysplexish struct {
 	plex  *xcf.Sysplex
 	fac   *cf.Facility
-	ls    *cf.LockStructure
+	ls    cf.Lock
 	mgrs  map[string]*Manager
 	order []string
 }

@@ -82,7 +82,7 @@ type Manager struct {
 	store *cds.Store
 
 	mu    sync.Mutex
-	cs    *cf.CacheStructure
+	cs    cf.Cache
 	slots map[string]int // resource -> vector index
 	byIdx []string       // vector index -> resource
 	next  int
@@ -92,7 +92,7 @@ type Manager struct {
 
 // New attaches a security manager for system sys to the shared profile
 // cache structure and database. slots bounds the local cache size.
-func New(sys string, cs *cf.CacheStructure, store *cds.Store, slots int) (*Manager, error) {
+func New(sys string, cs cf.Cache, store *cds.Store, slots int) (*Manager, error) {
 	if slots <= 0 {
 		slots = 256
 	}
@@ -116,7 +116,7 @@ func (m *Manager) System() string { return m.sys }
 
 // structure returns the current cache structure under the lock so a
 // concurrent Rebind is observed atomically.
-func (m *Manager) structure() *cf.CacheStructure {
+func (m *Manager) structure() cf.Cache {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.cs
@@ -125,7 +125,7 @@ func (m *Manager) structure() *cf.CacheStructure {
 // Rebind moves the manager onto a rebuilt profile cache structure: the
 // connector re-attaches with a cleared local cache; subsequent checks
 // refill from the shared database (profiles are fully persistent).
-func (m *Manager) Rebind(cs *cf.CacheStructure) error {
+func (m *Manager) Rebind(cs cf.Cache) error {
 	if err := cs.Connect(m.sys, m.vec); err != nil {
 		return err
 	}

@@ -13,7 +13,7 @@ import (
 
 type fixture struct {
 	fac  *cf.Facility
-	cs   *cf.CacheStructure
+	cs   cf.Cache
 	st   *cds.Store
 	mgrs map[string]*Manager
 }

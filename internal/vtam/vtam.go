@@ -27,7 +27,7 @@ var (
 // Network is the sysplex's SNA network image. All systems share one
 // Network backed by one CF list structure (ISTGENERIC).
 type Network struct {
-	ls   *cf.ListStructure
+	ls   cf.List
 	conn string // the VTAM connector identity used at the CF
 
 	mu       sync.Mutex
@@ -58,7 +58,7 @@ type Session struct {
 
 // New creates the network image over a CF list structure. weights, if
 // non-nil, supplies WLM routing weights by system name.
-func New(ls *cf.ListStructure, weights func() map[string]float64) (*Network, error) {
+func New(ls cf.List, weights func() map[string]float64) (*Network, error) {
 	n := &Network{
 		ls:       ls,
 		conn:     "VTAM",
@@ -74,13 +74,13 @@ func New(ls *cf.ListStructure, weights func() map[string]float64) (*Network, err
 
 // structure returns the current list structure under the lock, so a
 // concurrent Rebind is observed atomically.
-func (n *Network) structure() *cf.ListStructure {
+func (n *Network) structure() cf.List {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.ls
 }
 
-func (n *Network) listOf(ls *cf.ListStructure, generic string) int {
+func (n *Network) listOf(ls cf.List, generic string) int {
 	h := fnv.New32a()
 	h.Write([]byte(generic))
 	return int(h.Sum32() % uint32(ls.Lists()))
@@ -285,7 +285,7 @@ func (n *Network) CleanupSystem(sys string) {
 // structure rebuild): the VTAM connector re-attaches and re-creates
 // every registration, including current session counts, from its local
 // shadow.
-func (n *Network) Rebind(ls *cf.ListStructure) error {
+func (n *Network) Rebind(ls cf.List) error {
 	if err := ls.Connect(n.conn, nil); err != nil {
 		return err
 	}

@@ -32,6 +32,7 @@ import (
 	"sysplex/internal/arm"
 	"sysplex/internal/cds"
 	"sysplex/internal/cf"
+	"sysplex/internal/cfrm"
 	"sysplex/internal/dasd"
 	"sysplex/internal/db"
 	"sysplex/internal/jes"
@@ -110,6 +111,11 @@ type Config struct {
 	// Background starts heartbeat/monitor/WLM-exchange/castout loops
 	// for each system (default true via DefaultConfig).
 	Background bool
+	// CF is the CFRM policy governing the coupling-facility fleet:
+	// candidate preference list, structure duplexing mode, injected
+	// command latency. The zero value runs structures duplexed across
+	// CF01/CF02 with CF03 as the re-duplex candidate.
+	CF cfrm.Policy
 	// Policy is the WLM service definition.
 	Policy wlm.Policy
 }
@@ -175,8 +181,9 @@ type Sysplex struct {
 	timer  *timer.Timer
 	store  *cds.Store
 	plex   *xcf.Sysplex
-	fac    *cf.Facility
-	lockS  *cf.LockStructure
+	cfres  *cfrm.Manager
+	front  cf.Front
+	lockS  cf.Lock
 	net    *vtam.Network
 	arm    *arm.Manager
 	det    *lockmgr.Detector
@@ -189,7 +196,7 @@ type Sysplex struct {
 	jobs     map[string]jes.Handler
 	stopped  bool
 	recovery []db.RecoveryReport
-	rebuilds int
+	stopCF   func()
 }
 
 type programSpec struct {
@@ -276,13 +283,18 @@ func New(cfg Config) (*Sysplex, error) {
 		FailureDetectionInterval: cfg.FailureDetectionInterval,
 	})
 
-	// Coupling facility and its structures (Figure 2).
-	p.fac = cf.New("CF01", clock)
-	p.lockS, err = p.fac.AllocateLockStructure("IRLM."+cfg.DatabaseName, cfg.LockTableEntries)
+	// Coupling facility fleet under CFRM policy (Figure 2): structures
+	// are allocated through the duplexing front, not a raw facility.
+	p.cfres, err = cfrm.New(cfg.CF, clock)
 	if err != nil {
 		return nil, err
 	}
-	grList, err := p.fac.AllocateListStructure("ISTGENERIC", 16, 1, 4096)
+	p.front = p.cfres.Front()
+	p.lockS, err = p.front.AllocateLockStructure("IRLM."+cfg.DatabaseName, cfg.LockTableEntries)
+	if err != nil {
+		return nil, err
+	}
+	grList, err := p.front.AllocateListStructure("ISTGENERIC", 16, 1, 4096)
 	if err != nil {
 		return nil, err
 	}
@@ -291,7 +303,7 @@ func New(cfg Config) (*Sysplex, error) {
 		return nil, err
 	}
 	// JES2-style shared job queue checkpoint (§5.1 base exploiter).
-	jesList, err := p.fac.AllocateListStructure("JES2CKPT", 3, 1, 8192)
+	jesList, err := p.front.AllocateListStructure("JES2CKPT", 3, 1, 8192)
 	if err != nil {
 		return nil, err
 	}
@@ -315,14 +327,14 @@ func New(cfg Config) (*Sysplex, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := p.fac.AllocateCacheStructure("IRRXCF00", 1024); err != nil {
+	if _, err := p.front.AllocateCacheStructure("IRRXCF00", 1024); err != nil {
 		return nil, err
 	}
 
 	// Failure wiring, ordered: (1) CF connector cleanup + network
 	// cleanup, then (2) ARM-driven cross-system restart & DB recovery.
 	p.plex.OnSystemFailed(func(sys string) {
-		p.Facility().FailConnector(sys)
+		p.front.FailConnector(sys)
 		p.net.CleanupSystem(sys)
 		p.jesQ.RequeueOrphans(sys)
 	})
@@ -332,6 +344,32 @@ func New(cfg Config) (*Sysplex, error) {
 	for _, sc := range cfg.Systems {
 		if _, err := p.AddSystem(sc); err != nil {
 			return nil, err
+		}
+	}
+
+	// CF health monitoring: the same status-monitoring cadence XCF uses
+	// for member systems also watches the CF fleet, routing failures
+	// into CFRM so failover does not wait for a command to trip over
+	// the dead facility.
+	if cfg.Background {
+		probe := clock.NewTicker(cfg.FailureDetectionInterval)
+		done := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				case <-probe.C():
+					p.cfres.ProbeOnce()
+				}
+			}
+		}()
+		var once sync.Once
+		p.stopCF = func() {
+			once.Do(func() {
+				probe.Stop()
+				close(done)
+			})
 		}
 	}
 	return p, nil
@@ -435,7 +473,7 @@ func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
 		}()
 	}
 	p.mu.Lock()
-	lockS, fac := p.lockS, p.fac
+	lockS, front := p.lockS, p.front
 	p.mu.Unlock()
 	locks, err := lockmgr.New(xsys, lockS, p.clock)
 	if err != nil {
@@ -443,7 +481,7 @@ func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
 	}
 	engine, err := db.Open(db.Config{
 		Name: p.cfg.DatabaseName, System: sc.Name, Farm: p.farm, Volume: "SYSP01",
-		Facility: fac, Locks: locks, Clock: p.clock,
+		Facility: front, Locks: locks, Clock: p.clock,
 		PoolFrames: p.cfg.PoolFrames, LogBlocks: p.cfg.LogBlocks,
 		LockTimeout: p.cfg.LockTimeout,
 	})
@@ -460,7 +498,7 @@ func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
 		return nil, err
 	}
 	region := txmgr.New(xsys, engine, wm, p.clock, txmgr.Options{})
-	jesList, err := fac.ListStructure("JES2CKPT")
+	jesList, err := front.ListStructure("JES2CKPT")
 	if err != nil {
 		return nil, err
 	}
@@ -468,7 +506,7 @@ func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	secCache, err := fac.CacheStructure("IRRXCF00")
+	secCache, err := front.CacheStructure("IRRXCF00")
 	if err != nil {
 		return nil, err
 	}
@@ -588,104 +626,41 @@ func (p *Sysplex) Name() string { return p.cfg.Name }
 // Farm exposes the shared DASD farm.
 func (p *Sysplex) Farm() *dasd.Farm { return p.farm }
 
-// Facility exposes the (current) coupling facility.
+// Facility exposes the current *primary* coupling facility (the one
+// serving reads). Structure commands flow through the CFRM front — use
+// CFRM() for fleet state and duplexing metrics.
 func (p *Sysplex) Facility() *cf.Facility {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.fac
+	return p.cfres.Primary()
 }
 
-// RebuildCouplingFacility performs a planned structure rebuild into a
-// fresh coupling facility (the availability mechanism behind "multiple
-// CF's can be connected": structures move to an alternate CF for
-// maintenance or after a CF failure). The sequence is the classic
-// user-managed rebuild:
+// CFRM exposes the coupling-facility resource manager: policy, fleet
+// status, failure reporting, and duplexing/failover metrics.
+func (p *Sysplex) CFRM() *cfrm.Manager { return p.cfres }
+
+// RebuildCouplingFacility performs a planned structure rebuild: every
+// structure moves off the current primary facility (maintenance, or
+// recovery back to redundancy after a failure) with no service
+// interruption. It is a thin call into the CFRM state machine:
 //
-//  1. changed pages are cast out of the group buffer pool to DASD,
-//  2. same-named structures are allocated in the new facility,
-//  3. every connector re-populates its interest (lock managers re-obtain
-//     held locks and persistent records; buffer pools reconnect with
-//     cleared local caches; the network image rewrites registrations),
-//  4. the sysplex switches over; the old facility can then be retired.
+//  1. if the structures are simplex, CFRM first duplexes them into a
+//     fresh candidate facility — a system-managed copy of every
+//     structure's state, all-or-nothing: on any error the old facility
+//     stays current and intact;
+//  2. the secondary is promoted to primary and the old facility is
+//     retired (never reused);
+//  3. under a duplexing policy, CFRM synchronously re-duplexes into the
+//     next candidate so the rebuild ends with full redundancy.
 //
-// Transactions keep flowing before and after; a brief quiesce of new
-// commits is the caller's choice (not enforced here — the rebuild takes
-// the database write path's locks as needed).
+// Connectors never rebind: they hold the CFRM front, which re-targets
+// commands to the new pair. Transactions keep flowing throughout.
 func (p *Sysplex) RebuildCouplingFacility() error {
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
 		return ErrStopped
 	}
-	p.rebuilds++
-	newName := fmt.Sprintf("CF%02d", p.rebuilds+1)
-	systems := make([]*System, 0, len(p.systems))
-	for _, s := range p.systems {
-		if p.plex.State(s.name) == xcf.StateActive {
-			systems = append(systems, s)
-		}
-	}
-	sort.Slice(systems, func(i, j int) bool { return systems[i].name < systems[j].name })
 	p.mu.Unlock()
-
-	// 1. Drain the group buffer pool to DASD.
-	for _, s := range systems {
-		if _, err := s.engine.CastoutOnce(0); err != nil {
-			return fmt.Errorf("sysplex: rebuild castout on %s: %v", s.name, err)
-		}
-	}
-
-	// 2. Allocate structures in the new facility.
-	newFac := cf.New(newName, p.clock)
-	newLockS, err := newFac.AllocateLockStructure("IRLM."+p.cfg.DatabaseName, p.cfg.LockTableEntries)
-	if err != nil {
-		return err
-	}
-	newGBP, err := newFac.AllocateCacheStructure("GBP."+p.cfg.DatabaseName, 4096)
-	if err != nil {
-		return err
-	}
-	newList, err := newFac.AllocateListStructure("ISTGENERIC", 16, 1, 4096)
-	if err != nil {
-		return err
-	}
-	newJES, err := newFac.AllocateListStructure("JES2CKPT", 3, 1, 8192)
-	if err != nil {
-		return err
-	}
-	newSec, err := newFac.AllocateCacheStructure("IRRXCF00", 1024)
-	if err != nil {
-		return err
-	}
-
-	// 3. Re-populate connector state.
-	for _, s := range systems {
-		if err := s.locks.Rebind(newLockS); err != nil {
-			return fmt.Errorf("sysplex: lock rebind on %s: %v", s.name, err)
-		}
-		if err := s.engine.RebindCache(newGBP); err != nil {
-			return fmt.Errorf("sysplex: cache rebind on %s: %v", s.name, err)
-		}
-		if err := s.jesExec.Rebind(newJES); err != nil {
-			return fmt.Errorf("sysplex: jes rebind on %s: %v", s.name, err)
-		}
-		if err := s.sec.Rebind(newSec); err != nil {
-			return fmt.Errorf("sysplex: security rebind on %s: %v", s.name, err)
-		}
-	}
-	if err := p.net.Rebind(newList); err != nil {
-		return fmt.Errorf("sysplex: network rebind: %v", err)
-	}
-	if err := p.jesQ.Rebind(newJES); err != nil {
-		return fmt.Errorf("sysplex: jes queue rebind: %v", err)
-	}
-
-	// 4. Switch over.
-	p.mu.Lock()
-	p.fac = newFac
-	p.lockS = newLockS
-	p.mu.Unlock()
-	return nil
+	return p.cfres.Rebuild()
 }
 
 // XCF exposes the base sysplex services.
@@ -899,7 +874,11 @@ func (p *Sysplex) Stop() {
 	for _, s := range p.systems {
 		systems = append(systems, s)
 	}
+	stopCF := p.stopCF
 	p.mu.Unlock()
+	if stopCF != nil {
+		stopCF()
+	}
 	for _, s := range systems {
 		for _, stop := range s.stopBg {
 			stop()
