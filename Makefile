@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check demo bench
+.PHONY: all build vet test race check demo bench bench-json
 
 all: check
 
@@ -13,11 +13,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The CF and CFRM packages are the concurrency-heavy core (duplexed
-# command mirroring, in-line failover); always run them under the race
-# detector.
+# The CF, CFRM, and LOGR packages plus the sysplex façade are the
+# concurrency-heavy core (duplexed command mirroring, in-line failover,
+# multi-system log writers with threshold offload); always run them
+# under the race detector.
 race:
-	$(GO) test -race ./internal/cf/... ./internal/cfrm/...
+	$(GO) test -race ./internal/cf/... ./internal/cfrm/... ./internal/logr/... .
 
 check: build vet test race
 
@@ -26,3 +27,8 @@ demo:
 
 bench:
 	$(GO) run ./cmd/sysplexbench -exp all
+
+# Machine-readable benchmark results: one BENCH_<exp>.json per run.
+BENCH_EXP ?= logr
+bench-json:
+	$(GO) run ./cmd/sysplexbench -exp $(BENCH_EXP) -json BENCH_$(BENCH_EXP).json

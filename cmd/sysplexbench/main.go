@@ -7,31 +7,53 @@
 //	sysplexbench -exp fig3           # one experiment
 //	sysplexbench -exp fig3 -systems 16 -simtime 5s
 //
-// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill
+// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill logr
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"sysplex"
 	"sysplex/internal/cf"
 	"sysplex/internal/cfrm"
+	"sysplex/internal/dasd"
+	"sysplex/internal/logr"
 	"sysplex/internal/racf"
 	"sysplex/internal/scalemodel"
+	"sysplex/internal/timer"
 	"sysplex/internal/vclock"
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,all")
+	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,all")
 	systemsFlag = flag.Int("systems", 32, "max sysplex members for fig3")
 	simtimeFlag = flag.Duration("simtime", 5*time.Second, "DES measurement window")
 	seedFlag    = flag.Int64("seed", 1996, "DES seed")
+	jsonFlag    = flag.String("json", "", "also write machine-readable results to this path")
 )
+
+// results accumulates machine-readable experiment output for -json.
+var (
+	resultsMu sync.Mutex
+	results   = map[string]map[string]any{}
+)
+
+// record stores one measured value for the -json output.
+func record(exp, key string, value any) {
+	resultsMu.Lock()
+	defer resultsMu.Unlock()
+	if results[exp] == nil {
+		results[exp] = map[string]any{}
+	}
+	results[exp][key] = value
+}
 
 func main() {
 	flag.Parse()
@@ -48,8 +70,9 @@ func main() {
 		"ext":    extensions,
 		"duplex": duplexCost,
 		"cfkill": cfKill,
+		"logr":   logrBench,
 	}
-	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill"}
+	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr"}
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		want = order
@@ -66,6 +89,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+	if *jsonFlag != "" {
+		resultsMu.Lock()
+		raw, err := json.MarshalIndent(results, "", "  ")
+		resultsMu.Unlock()
+		if err == nil {
+			err = os.WriteFile(*jsonFlag, append(raw, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonFlag, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
 	}
 }
 
@@ -600,5 +636,163 @@ func cfKill() error {
 		}
 		p.Stop()
 	}
+	return nil
+}
+
+// logrBench measures the System Logger: merged-stream write latency and
+// offload throughput under concurrent multi-system load, with the
+// primary CF killed mid-stream (FailAfter) under a duplexing policy.
+// The pass/fail criterion is exactly-once delivery: after the kill, a
+// browse must return every written record exactly once in timestamp
+// order.
+func logrBench() error {
+	const (
+		nSystems      = 3
+		writersPerSys = 2
+		recsPerWriter = 2000
+	)
+	clock := vclock.Real()
+	cfres, err := cfrm.New(cfrm.Policy{Mode: cfrm.ModeDuplexed}, clock)
+	if err != nil {
+		return err
+	}
+	farm := dasd.NewFarm(clock)
+	if _, err := farm.AddVolume("LOGV", 262144, 2); err != nil {
+		return err
+	}
+	tmr := timer.New(clock)
+	streams := make([]*logr.Stream, nSystems)
+	shared := logr.Config{Farm: farm, Volume: "LOGV", Timer: tmr, Clock: clock}
+	var mgr0 *logr.Manager
+	for i := 0; i < nSystems; i++ {
+		cfg := shared
+		cfg.System = fmt.Sprintf("SYS%d", i+1)
+		cfg.Front = cfres.Front()
+		if mgr0 != nil {
+			cfg.Metrics = mgr0.Metrics()
+		}
+		m, err := logr.New(cfg)
+		if err != nil {
+			return err
+		}
+		if mgr0 == nil {
+			mgr0 = m
+		}
+		s, err := m.Connect(logr.StreamSpec{Name: "BENCH.MERGED", InterimEntries: 256, OffloadBlocks: 256})
+		if err != nil {
+			return err
+		}
+		streams[i] = s
+	}
+
+	total := nSystems * writersPerSys * recsPerWriter
+	// Kill the primary roughly mid-stream: each Write costs a handful of
+	// CF commands, so scale the fuse to land inside the run.
+	cfres.Primary().FailAfter(total * 2)
+
+	var mu sync.Mutex
+	want := make(map[string]bool, total)
+	var wg sync.WaitGroup
+	var writeErr atomic.Int64
+	start := time.Now()
+	for i := 0; i < nSystems; i++ {
+		for w := 0; w < writersPerSys; w++ {
+			i, w := i, w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < recsPerWriter; r++ {
+					p := fmt.Sprintf("SYS%d/w%d/%06d", i+1, w, r)
+					if _, err := streams[i].Write([]byte(p)); err != nil {
+						writeErr.Add(1)
+						return
+					}
+					mu.Lock()
+					want[p] = true
+					mu.Unlock()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if writeErr.Load() > 0 {
+		return fmt.Errorf("logr: %d writes failed", writeErr.Load())
+	}
+
+	cur, err := streams[0].Browse()
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, total)
+	dups, misordered := 0, 0
+	prev := ""
+	for {
+		r, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if r.Key <= prev {
+			misordered++
+		}
+		prev = r.Key
+		if seen[string(r.Data)] {
+			dups++
+		}
+		seen[string(r.Data)] = true
+	}
+	lost := 0
+	for p := range want {
+		if !seen[p] {
+			lost++
+		}
+	}
+
+	m := mgr0.Metrics()
+	wl := m.Histogram("logr.write.latency").Snapshot()
+	offRecords := m.Counter("logr.offload.records").Value()
+	offBytes := m.Counter("logr.offload.bytes").Value()
+	offDur := m.Histogram("logr.offload.duration").Snapshot()
+	st := cfres.Status()
+	offMBps := 0.0
+	if offDur.Sum > 0 {
+		offMBps = float64(offBytes) / offDur.Sum / (1 << 20)
+	}
+	stats, err := streams[0].Stats()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("System Logger — %d systems × %d writers × %d records, primary CF killed mid-stream (duplexed):\n",
+		nSystems, writersPerSys, recsPerWriter)
+	fmt.Printf("  writes: %d in %v (%.0f/s); latency %s\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), wl)
+	fmt.Printf("  offload: %d records, %.1f MiB in %d passes (%.1f MiB/s); interim residual %d\n",
+		offRecords, float64(offBytes)/(1<<20), m.Counter("logr.offload.count").Value(), offMBps, stats.Interim)
+	fmt.Printf("  CF: failovers=%d commands-retried=%d (state=%s)\n", st.Failovers, st.Retried, st.State)
+	fmt.Printf("  exactly-once across the kill: lost=%d duplicated=%d misordered=%d\n", lost, dups, misordered)
+	if st.Failovers == 0 {
+		fmt.Println("  warning: the CF kill never tripped — fuse too long for this run")
+	}
+	if lost != 0 || dups != 0 || misordered != 0 {
+		return fmt.Errorf("logr: merged stream corrupt: lost=%d dup=%d misordered=%d", lost, dups, misordered)
+	}
+
+	record("logr", "systems", nSystems)
+	record("logr", "writers", nSystems*writersPerSys)
+	record("logr", "writes", total)
+	record("logr", "elapsed_ms", elapsed.Milliseconds())
+	record("logr", "writes_per_sec", float64(total)/elapsed.Seconds())
+	record("logr", "write_p50_us", wl.P50*1e6)
+	record("logr", "write_p95_us", wl.P95*1e6)
+	record("logr", "write_p99_us", wl.P99*1e6)
+	record("logr", "offload_records", offRecords)
+	record("logr", "offload_bytes", offBytes)
+	record("logr", "offload_mib_per_sec", offMBps)
+	record("logr", "cf_failovers", st.Failovers)
+	record("logr", "cf_retried", st.Retried)
+	record("logr", "lost", lost)
+	record("logr", "duplicated", dups)
+	record("logr", "misordered", misordered)
 	return nil
 }

@@ -6,14 +6,19 @@
 //     structure underneath);
 //   - page coherency and store-in committed-page caching through the
 //     group buffer pool (CF cache structure underneath);
-//   - a per-system write-ahead log on *shared* DASD, so any peer can
-//     perform redo recovery for a failed system while that system's
-//     retained locks protect the affected records;
+//   - a write-ahead log any peer can read for redo recovery of a
+//     failed system while that system's retained locks protect the
+//     affected records. With a System Logger attached (Config.Logger)
+//     the log is a set of sysplex-merged log streams — one update
+//     stream per table plus one sync stream carrying COMMIT/END —
+//     in CF interim storage with DASD offload; without one it is the
+//     original per-system log dataset on shared DASD;
 //   - page-range scans supporting the decision-support "split a query
 //     into sub-queries" pattern of §2.3.
 package db
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -25,6 +30,7 @@ import (
 	"sysplex/internal/cf"
 	"sysplex/internal/dasd"
 	"sysplex/internal/lockmgr"
+	"sysplex/internal/logr"
 	"sysplex/internal/vclock"
 )
 
@@ -52,6 +58,11 @@ type Config struct {
 	Locks *lockmgr.Manager
 	// Clock defaults to the real clock.
 	Clock vclock.Clock
+	// Logger, when set, routes the write-ahead log through System
+	// Logger log streams (one update stream per table plus a sync
+	// stream carrying COMMIT/END) instead of a per-system log dataset.
+	// Peer recovery then browses the merged streams.
+	Logger *logr.Manager
 	// PoolFrames sizes the local buffer pool (default 256).
 	PoolFrames int
 	// CacheEntries sizes the group buffer pool directory (default 4096).
@@ -82,7 +93,9 @@ type Engine struct {
 	locks   *lockmgr.Manager
 	clock   vclock.Clock
 	pool    *buffman.Pool
-	log     *wal
+	log     *wal // legacy per-system log dataset (nil when stream-backed)
+	logger  *logr.Manager
+	sync    *logr.Stream // COMMIT/END stream (stream-backed mode only)
 	timeout time.Duration
 
 	mu     sync.Mutex
@@ -92,9 +105,10 @@ type Engine struct {
 }
 
 type tableMeta struct {
-	name  string
-	pages int
-	ds    *dasd.Dataset
+	name   string
+	pages  int
+	ds     *dasd.Dataset
+	stream *logr.Stream // per-table update stream (stream-backed mode only)
 }
 
 // Open creates (or attaches to) the database group for one system.
@@ -146,6 +160,18 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.pool = pool
+	if cfg.Logger != nil {
+		// Stream-backed log: the sync stream carries COMMIT/END for
+		// every transaction in the group; table update streams are
+		// connected as tables are opened.
+		e.logger = cfg.Logger
+		s, err := cfg.Logger.Connect(logr.StreamSpec{Name: syncStreamName(cfg.Name)})
+		if err != nil {
+			return nil, err
+		}
+		e.sync = s
+		return e, nil
+	}
 	// Per-system log on shared DASD.
 	logName := logDatasetName(cfg.Name, cfg.System)
 	ds, err := cfg.Farm.Dataset(logName)
@@ -164,6 +190,10 @@ func Open(cfg Config) (*Engine, error) {
 }
 
 func logDatasetName(db, sys string) string { return "LOG." + db + "." + sys }
+
+// Stream names for the stream-backed log.
+func syncStreamName(db string) string         { return "DB." + db + ".SYNC" }
+func tableStreamName(db, table string) string { return "DB." + db + ".T." + table }
 
 // System returns the owning system name.
 func (e *Engine) System() string { return e.sys }
@@ -208,7 +238,15 @@ func (e *Engine) OpenTable(name string, pages int) error {
 	if ds.Blocks() != pages {
 		return fmt.Errorf("db: table %q opened with %d pages but exists with %d", name, pages, ds.Blocks())
 	}
-	e.tables[name] = &tableMeta{name: name, pages: pages, ds: ds}
+	meta := &tableMeta{name: name, pages: pages, ds: ds}
+	if e.logger != nil {
+		s, err := e.logger.Connect(logr.StreamSpec{Name: tableStreamName(e.name, name)})
+		if err != nil {
+			return err
+		}
+		meta.stream = s
+	}
+	e.tables[name] = meta
 	return nil
 }
 
@@ -490,7 +528,7 @@ func (t *Tx) Commit() error {
 		})
 	}
 	recs = append(recs, &LogRecord{Tx: t.id, Kind: recCommit})
-	if err := t.e.log.Append(recs...); err != nil {
+	if err := t.e.appendLog(recs...); err != nil {
 		t.release()
 		t.e.bump(func(s *Stats) { s.Aborts++ })
 		return err
@@ -502,7 +540,7 @@ func (t *Tx) Commit() error {
 		return err
 	}
 	// 3. END record: recovery skips redo for fully applied transactions.
-	if err := t.e.log.Append(&LogRecord{Tx: t.id, Kind: recEnd}); err != nil {
+	if err := t.e.appendLog(&LogRecord{Tx: t.id, Kind: recEnd}); err != nil {
 		t.release()
 		return err
 	}
@@ -527,6 +565,37 @@ func (t *Tx) release() {
 		t.e.locks.Unlock(t.id, res)
 	}
 	t.locks = map[string]bool{}
+}
+
+// appendLog forces records through whichever write-ahead log the engine
+// runs. In stream-backed mode update records go to the owning table's
+// log stream and COMMIT/END to the sync stream; because a transaction's
+// COMMIT lives on exactly one stream, it stays a single atomic commit
+// point even though the updates fan out. In legacy mode everything goes
+// to the per-system log dataset.
+func (e *Engine) appendLog(recs ...*LogRecord) error {
+	if e.logger == nil {
+		return e.log.Append(recs...)
+	}
+	for _, r := range recs {
+		r.Sys = e.sys
+		stream := e.sync
+		if r.Kind == recUpdate {
+			meta, err := e.table(r.Table)
+			if err != nil {
+				return err
+			}
+			stream = meta.stream
+		}
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if _, err := stream.Write(raw); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // applyChanges applies record changes grouped by page, each page under
@@ -692,11 +761,16 @@ type RecoveryReport struct {
 // protect the affected records for the whole procedure (§2.5, §3.3.1).
 func (e *Engine) RecoverPeer(failedSys string) (RecoveryReport, error) {
 	rep := RecoveryReport{FailedSystem: failedSys}
-	logDS, err := e.farm.Dataset(logDatasetName(e.name, failedSys))
-	if err != nil {
-		return rep, err
+	var recs []LogRecord
+	var err error
+	if e.logger != nil {
+		recs, err = e.streamLogRecords(failedSys)
+	} else {
+		var logDS *dasd.Dataset
+		if logDS, err = e.farm.Dataset(logDatasetName(e.name, failedSys)); err == nil {
+			recs, err = readLogRecords(e.sys, logDS)
+		}
 	}
-	recs, err := readLogRecords(e.sys, logDS)
 	if err != nil {
 		return rep, err
 	}
@@ -759,4 +833,41 @@ func (e *Engine) RecoverPeer(failedSys string) (RecoveryReport, error) {
 	}
 	e.bump(func(s *Stats) { s.Recovered += int64(rep.RedoApplied) })
 	return rep, nil
+}
+
+// streamLogRecords reconstructs a failed system's log from the merged
+// log streams: COMMIT/END markers from the sync stream, update records
+// from every opened table's stream — each browsed in timestamp order
+// across offloaded and interim storage, filtered to the failed system's
+// records. Browsing shared streams is exactly what the per-system log
+// dataset could not offer: no dataset handoff, no system affinity.
+func (e *Engine) streamLogRecords(failedSys string) ([]LogRecord, error) {
+	streams := []*logr.Stream{e.sync}
+	e.mu.Lock()
+	for _, t := range e.tables {
+		streams = append(streams, t.stream)
+	}
+	e.mu.Unlock()
+	var out []LogRecord
+	for _, s := range streams {
+		cur, err := s.Browse()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			rec, ok := cur.Next()
+			if !ok {
+				break
+			}
+			var r LogRecord
+			if err := json.Unmarshal(rec.Data, &r); err != nil {
+				return nil, fmt.Errorf("db: corrupt log record on stream %s: %v", s.Name(), err)
+			}
+			if r.Sys != failedSys {
+				continue
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
 }

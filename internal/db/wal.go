@@ -24,6 +24,7 @@ var ErrLogFull = errors.New("db: log dataset full")
 type LogRecord struct {
 	LSN    int64  `json:"lsn"`
 	Tx     string `json:"tx"`
+	Sys    string `json:"sys,omitempty"` // writing system (stream-backed logs merge all systems)
 	Kind   string `json:"kind"`
 	Table  string `json:"table,omitempty"`
 	Key    string `json:"key,omitempty"`

@@ -1,0 +1,806 @@
+// Package logr emulates the MVS System Logger (IXGLOGR), the canonical
+// exploiter of the CF list structure model (§3.3.3, §5.1): named log
+// streams whose entries, written by any system in the sysplex, merge
+// into one totally ordered log.
+//
+// The reproduction keeps the real subsystem's shape:
+//
+//   - Interim storage is a CF list structure (allocated through
+//     whatever cf.Front the sysplex runs — under CFRM duplexing, log
+//     writes survive a CF failure like every other structure).
+//   - Every entry is stamped by the sysplex timer, so the merged
+//     stream has one consistent total order no matter which system
+//     wrote which record (§3.1: "timestamps obtained on different
+//     systems are mutually consistent").
+//   - When interim occupancy crosses the high-offload threshold, the
+//     writer drains the oldest entries to DASD offload datasets and
+//     trims interim storage down to the low mark. Offload is
+//     serialized by a structure lock entry, and log writes execute
+//     conditionally on that lock — the serialized-list conditional
+//     execution protocol of §3.3.3.
+//   - Browse cursors read seamlessly across offloaded and interim
+//     data: first the DASD datasets, then the residual CF entries.
+//   - If a system dies mid-offload, any peer completes the offload
+//     (peer takeover). The offload protocol is idempotent: DASD blocks
+//     are written first, the control entry update is the commit point,
+//     and interim deletion is a recoverable cleanup.
+package logr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sysplex/internal/cf"
+	"sysplex/internal/dasd"
+	"sysplex/internal/metrics"
+	"sysplex/internal/timer"
+	"sysplex/internal/vclock"
+)
+
+// Errors returned by the logger.
+var (
+	ErrNoStream     = errors.New("logr: stream not connected")
+	ErrRecordTooBig = errors.New("logr: record exceeds maximum block size")
+	ErrBadSpec      = errors.New("logr: bad stream spec")
+)
+
+// MaxRecord bounds one log record's payload so the JSON envelope
+// always fits a DASD block during offload.
+const MaxRecord = 3 * 1024
+
+// list/lock layout inside the stream's CF structure.
+const (
+	listInterim = 0 // interim storage, keyed by sysplex timestamp
+	listControl = 1 // SPEC + CTL control entries
+	lockOffload = 0 // offload / browse serialization lock entry
+)
+
+// StreamSpec defines a log stream. The first connector in the sysplex
+// allocates the backing structure and records the spec in it; later
+// connectors adopt the recorded spec, so every system agrees on the
+// thresholds regardless of local defaults.
+type StreamSpec struct {
+	// Name is the sysplex-wide stream name (e.g. "SYSPLEX.RACF.AUDIT").
+	Name string
+	// InterimEntries is the CF interim-storage capacity (default 512).
+	InterimEntries int
+	// HighOffloadPct is the occupancy percentage that triggers an
+	// offload (default 70).
+	HighOffloadPct int
+	// LowOffloadPct is the occupancy percentage an offload drains down
+	// to (default 30).
+	LowOffloadPct int
+	// OffloadBlocks sizes each DASD offload dataset in blocks
+	// (default 512). When one fills, the next in the chain is
+	// allocated.
+	OffloadBlocks int
+}
+
+func (s StreamSpec) withDefaults() (StreamSpec, error) {
+	if s.Name == "" {
+		return s, fmt.Errorf("%w: empty name", ErrBadSpec)
+	}
+	if s.InterimEntries == 0 {
+		s.InterimEntries = 512
+	}
+	if s.HighOffloadPct == 0 {
+		s.HighOffloadPct = 70
+	}
+	if s.LowOffloadPct == 0 {
+		s.LowOffloadPct = 30
+	}
+	if s.OffloadBlocks == 0 {
+		s.OffloadBlocks = 512
+	}
+	if s.InterimEntries < 8 || s.HighOffloadPct <= s.LowOffloadPct ||
+		s.HighOffloadPct > 100 || s.LowOffloadPct < 0 || s.OffloadBlocks < 8 {
+		return s, fmt.Errorf("%w: %+v", ErrBadSpec, s)
+	}
+	return s, nil
+}
+
+// Record is one merged-stream log entry as seen by a browse cursor.
+type Record struct {
+	// Key is the stream-unique, totally ordered position (derived from
+	// the sysplex timestamp, so lexical order == time order).
+	Key string
+	// Sys is the system that wrote the record.
+	Sys string
+	// Time is the sysplex timestamp assigned at write.
+	Time time.Time
+	// Data is the payload.
+	Data []byte
+}
+
+// envelope is the stored form of a record, identical in interim
+// storage and in offload dataset blocks.
+type envelope struct {
+	K string `json:"k"`
+	S string `json:"s"`
+	T int64  `json:"t"`
+	D []byte `json:"d,omitempty"`
+}
+
+func (e envelope) record() Record {
+	return Record{Key: e.K, Sys: e.S, Time: time.Unix(0, e.T), Data: e.D}
+}
+
+// ctl is the stream control entry: the offload frontier and the DASD
+// cursor. Updating it is the commit point of an offload.
+type ctl struct {
+	// HighKey is the highest offloaded key; interim entries at or below
+	// it are never browsed from interim (they are either offload
+	// leftovers already on DASD, or stranded writes their writer is
+	// about to retract).
+	HighKey string `json:"high,omitempty"`
+	// NextDataset / NextBlock locate the next free offload block.
+	NextDataset int `json:"ds"`
+	NextBlock   int `json:"blk"`
+	// Offloaded counts records moved to DASD over the stream's life.
+	Offloaded int64 `json:"n"`
+	// Pending lists the interim entry IDs the committing offload moved
+	// to DASD but may not have deleted yet. The next pass (or a peer
+	// takeover) reaps exactly these — never any other sub-frontier
+	// entry, which could be a stranded fresh write that was never
+	// offloaded and must survive until its writer retracts it.
+	Pending []string `json:"pend,omitempty"`
+}
+
+// Config wires a per-system log manager to its substrates.
+type Config struct {
+	// System is this instance's system name (the CF connector name).
+	System string
+	// Front is the CF command surface (duplexed under CFRM).
+	Front cf.Front
+	// Farm and Volume locate DASD offload datasets.
+	Farm   *dasd.Farm
+	Volume string
+	// Timer is the shared sysplex timer stamping every record.
+	Timer *timer.Timer
+	// Clock defaults to the real clock.
+	Clock vclock.Clock
+	// Metrics optionally shares a registry across systems (the sysplex
+	// façade passes one registry to every member's manager so logr.*
+	// metrics aggregate sysplex-wide). Nil allocates a private one.
+	Metrics *metrics.Registry
+}
+
+// Manager is one system's System Logger instance. All managers in the
+// sysplex share stream state through the CF; the manager itself only
+// holds connections.
+type Manager struct {
+	sys    string
+	front  cf.Front
+	farm   *dasd.Farm
+	volume string
+	timer  *timer.Timer
+	clock  vclock.Clock
+	reg    *metrics.Registry
+
+	mu      sync.Mutex
+	streams map[string]*Stream
+}
+
+// New builds a manager for one system.
+func New(cfg Config) (*Manager, error) {
+	if cfg.System == "" || cfg.Front == nil || cfg.Farm == nil || cfg.Timer == nil {
+		return nil, errors.New("logr: incomplete config")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	return &Manager{
+		sys:     cfg.System,
+		front:   cfg.Front,
+		farm:    cfg.Farm,
+		volume:  cfg.Volume,
+		timer:   cfg.Timer,
+		clock:   cfg.Clock,
+		reg:     cfg.Metrics,
+		streams: make(map[string]*Stream),
+	}, nil
+}
+
+// System returns the owning system name.
+func (m *Manager) System() string { return m.sys }
+
+// Metrics exposes the logr.* instrumentation: write latency histogram,
+// interim occupancy gauge, offload bytes/duration, takeover count.
+func (m *Manager) Metrics() *metrics.Registry { return m.reg }
+
+func structureName(stream string) string { return "LOGR." + stream }
+
+// Connect attaches this system to a log stream, allocating the backing
+// CF structure on first use anywhere in the sysplex. The spec recorded
+// by the allocator wins; later connectors adopt it.
+func (m *Manager) Connect(spec StreamSpec) (*Stream, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if s, ok := m.streams[spec.Name]; ok {
+		m.mu.Unlock()
+		return s, nil
+	}
+	m.mu.Unlock()
+
+	sn := structureName(spec.Name)
+	ls, err := m.front.ListStructure(sn)
+	if err != nil {
+		ls, err = m.front.AllocateListStructure(sn, 2, 1, spec.InterimEntries+8)
+		if err != nil {
+			// Lost an allocation race: attach.
+			ls, err = m.front.ListStructure(sn)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := ls.Connect(m.sys, nil); err != nil {
+		return nil, err
+	}
+	// Record or adopt the stream spec. Write-if-absent then re-read:
+	// racing connectors converge on whichever spec landed first.
+	if _, err := ls.Read(m.sys, "SPEC", cf.Cond{}); errors.Is(err, cf.ErrEntryNotFound) {
+		raw, _ := json.Marshal(spec)
+		if err := ls.Write(m.sys, listControl, "SPEC", "SPEC", raw, cf.FIFO, cf.Cond{}); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	e, err := ls.Read(m.sys, "SPEC", cf.Cond{})
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(e.Data, &spec); err != nil {
+		return nil, fmt.Errorf("logr: corrupt SPEC for %s: %v", spec.Name, err)
+	}
+	s := &Stream{mgr: m, spec: spec, list: ls}
+	m.mu.Lock()
+	m.streams[spec.Name] = s
+	m.mu.Unlock()
+	return s, nil
+}
+
+// Stream returns a connected stream by name.
+func (m *Manager) Stream(name string) (*Stream, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.streams[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoStream, name)
+	}
+	return s, nil
+}
+
+// StreamNames lists this manager's connected streams, sorted.
+func (m *Manager) StreamNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.streams))
+	for n := range m.streams {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TakeoverFailed completes any offload a failed system left behind, on
+// every stream this manager is connected to. The failed system's
+// offload lock must already have been cleared (the CF purges a failed
+// connector's lock entries; the sysplex calls FailConnector before
+// routing the failure here). Returns the number of streams on which
+// leftover offload work was completed.
+func (m *Manager) TakeoverFailed(failedSys string) int {
+	m.mu.Lock()
+	streams := make([]*Stream, 0, len(m.streams))
+	for _, s := range m.streams {
+		streams = append(streams, s)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, s := range streams {
+		did, err := s.recoverOffload(failedSys)
+		if err != nil {
+			continue
+		}
+		// Also finish the drain the dead writer may have been partway
+		// through: if occupancy is still above the high mark, run a
+		// normal threshold pass on its behalf.
+		if s.list.Len(listInterim) >= s.highMark() {
+			if moved, err := s.offloadOnce(false); err == nil && moved > 0 {
+				did = true
+			}
+		}
+		if did {
+			n++
+			m.reg.Counter("logr.takeover.count").Inc()
+		}
+	}
+	return n
+}
+
+// Stream is one system's connection to a sysplex-merged log stream.
+type Stream struct {
+	mgr  *Manager
+	spec StreamSpec
+	list cf.List
+
+	dsMu sync.Mutex // serializes local offload-dataset handle lookups
+
+	// passMu serializes this system's use of the stream's offload lock
+	// entry. The CF serializes per connector, not per request: a second
+	// SetLock by the same connector succeeds, and conditional commands
+	// pass when the holder is the requester itself — real XES semantics,
+	// under which the exploiter address space must serialize its own
+	// requests (as IXGLOGR does). Passes that hold the lock (offload,
+	// browse snapshot, takeover) take it exclusively; per-entry
+	// conditional commands (a write attempt, a retract) take it shared,
+	// so concurrent writers still interleave freely with each other.
+	passMu sync.RWMutex
+
+	// testCrash, when set by tests, simulates the writer dying inside
+	// offload at the named stage ("dasd-written" = blocks on DASD, CTL
+	// not yet updated; "ctl-updated" = CTL updated, interim not yet
+	// cleaned). Returning true abandons the offload with the lock held,
+	// exactly as a crashed system would.
+	testCrash func(stage string) bool
+}
+
+// Name returns the stream name.
+func (s *Stream) Name() string { return s.spec.Name }
+
+// Spec returns the sysplex-agreed stream definition.
+func (s *Stream) Spec() StreamSpec { return s.spec }
+
+// InterimLen returns current interim-storage occupancy.
+func (s *Stream) InterimLen() int { return s.list.Len(listInterim) }
+
+func (s *Stream) highMark() int { return s.spec.InterimEntries * s.spec.HighOffloadPct / 100 }
+func (s *Stream) lowMark() int  { return s.spec.InterimEntries * s.spec.LowOffloadPct / 100 }
+
+// keyFor renders a sysplex timestamp as a fixed-width, lexically
+// ordered stream key. Timer stamps are strictly increasing across
+// systems, so keys are unique and lexical order is time order.
+func keyFor(t time.Time) string { return fmt.Sprintf("%020d", t.UnixNano()) }
+
+// Write appends one record to the merged stream and returns its
+// position. The entry lands in CF interim storage conditionally on the
+// offload lock; if the write races with an offload that already moved
+// the frontier past the new key, the writer re-stamps and retries, so
+// a record is never stranded below the offload frontier.
+func (s *Stream) Write(data []byte) (Record, error) {
+	if len(data) > MaxRecord {
+		return Record{}, fmt.Errorf("%w (%d > %d)", ErrRecordTooBig, len(data), MaxRecord)
+	}
+	m := s.mgr
+	start := m.clock.Now()
+	cond := cf.Cond{Use: true, LockIndex: lockOffload}
+	for attempt := 0; ; attempt++ {
+		s.passMu.RLock()
+		stamp := m.timer.Stamp()
+		key := keyFor(stamp)
+		env, err := json.Marshal(envelope{K: key, S: m.sys, T: stamp.UnixNano(), D: data})
+		if err != nil {
+			s.passMu.RUnlock()
+			return Record{}, err
+		}
+		err = s.list.Write(m.sys, listInterim, key, key, env, cf.Keyed, cond)
+		s.passMu.RUnlock()
+		switch {
+		case err == nil:
+			// Committed to interim — unless an offload slid the frontier
+			// past this key between stamping and writing. Detect and
+			// re-drive: if the entry is still present we remove it before
+			// anyone can browse-skip it; if it is gone, an offload took
+			// it to DASD, which is just as durable.
+			c, cerr := s.readCTL()
+			if cerr != nil {
+				return Record{}, cerr
+			}
+			if c.HighKey < key {
+				return s.finishWrite(start, key, stamp, data)
+			}
+			if gone := s.retractEntry(key); gone {
+				return s.finishWrite(start, key, stamp, data)
+			}
+			continue // retracted our own stranded entry: retry with a fresh stamp
+		case errors.Is(err, cf.ErrLockHeld):
+			// An offload (or a browse snapshot) is in progress; the
+			// conditional protocol quiesces mainline writes.
+			m.clock.Sleep(50 * time.Microsecond)
+		case errors.Is(err, cf.ErrListFull):
+			if _, oerr := s.offloadOnce(true); oerr != nil && !errors.Is(oerr, cf.ErrLockHeld) {
+				return Record{}, oerr
+			}
+			m.clock.Sleep(50 * time.Microsecond)
+		default:
+			return Record{}, err
+		}
+	}
+}
+
+// finishWrite charges metrics and runs the threshold check.
+func (s *Stream) finishWrite(start time.Time, key string, stamp time.Time, data []byte) (Record, error) {
+	m := s.mgr
+	m.reg.Counter("logr.write.count").Inc()
+	m.reg.Histogram("logr.write.latency").Observe(m.clock.Since(start))
+	occ := s.list.Len(listInterim)
+	m.reg.Gauge("logr.interim.entries").Set(int64(occ))
+	if occ >= s.highMark() {
+		// Threshold-driven offload; ErrLockHeld means a peer is already
+		// draining, which serves this writer equally well.
+		if _, err := s.offloadOnce(false); err != nil && !errors.Is(err, cf.ErrLockHeld) {
+			return Record{}, err
+		}
+	}
+	return Record{Key: key, Sys: m.sys, Time: stamp, Data: data}, nil
+}
+
+// retractEntry removes the caller's just-written entry if it is still
+// in interim storage. Returns true if the entry is gone because an
+// offload already moved it to DASD (i.e. it is durable and ordered).
+// Each attempt runs under the shared pass lock, so a local offload
+// pass completes its cleanup before the retract can observe the entry
+// — ErrEntryNotFound then reliably means "on DASD", never "mid-pass".
+func (s *Stream) retractEntry(key string) bool {
+	cond := cf.Cond{Use: true, LockIndex: lockOffload}
+	for {
+		s.passMu.RLock()
+		err := s.list.Delete(s.mgr.sys, key, cond)
+		s.passMu.RUnlock()
+		switch {
+		case err == nil:
+			return false // we took it back before any browse could miss it
+		case errors.Is(err, cf.ErrEntryNotFound):
+			return true // offloaded to DASD
+		case errors.Is(err, cf.ErrLockHeld):
+			s.mgr.clock.Sleep(50 * time.Microsecond)
+		default:
+			// Treat any other failure conservatively as "still present":
+			// the retry loop re-stamps and the stale entry, being below
+			// the frontier, is cleaned by the next offload pass.
+			return false
+		}
+	}
+}
+
+func (s *Stream) readCTL() (ctl, error) {
+	e, err := s.list.Read(s.mgr.sys, "CTL", cf.Cond{})
+	if errors.Is(err, cf.ErrEntryNotFound) {
+		return ctl{}, nil
+	}
+	if err != nil {
+		return ctl{}, err
+	}
+	var c ctl
+	if err := json.Unmarshal(e.Data, &c); err != nil {
+		return ctl{}, fmt.Errorf("logr: corrupt CTL for %s: %v", s.spec.Name, err)
+	}
+	return c, nil
+}
+
+func (s *Stream) writeCTL(c ctl) error {
+	raw, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	return s.list.Write(s.mgr.sys, listControl, "CTL", "CTL", raw, cf.FIFO, cf.Cond{})
+}
+
+// offloadDataset returns (allocating on first use) dataset n of the
+// stream's offload chain. Allocation races are impossible in the
+// normal path — only the offload-lock holder extends the chain — but
+// the lookup still falls back to the catalog for lost races.
+func (s *Stream) offloadDataset(n int) (*dasd.Dataset, error) {
+	s.dsMu.Lock()
+	defer s.dsMu.Unlock()
+	name := fmt.Sprintf("LOGR.%s.OFF%04d", s.spec.Name, n)
+	ds, err := s.mgr.farm.Dataset(name)
+	if err == nil {
+		return ds, nil
+	}
+	ds, err = s.mgr.farm.Allocate(s.mgr.volume, name, s.spec.OffloadBlocks)
+	if err != nil {
+		if ds2, err2 := s.mgr.farm.Dataset(name); err2 == nil {
+			return ds2, nil
+		}
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Offload forces an offload pass down to the low mark, regardless of
+// occupancy. Returns the number of records moved.
+func (s *Stream) Offload() (int, error) { return s.offloadOnce(true) }
+
+// offloadOnce drains interim storage to DASD under the offload lock.
+// The protocol is crash-idempotent in three phases:
+//
+//  1. write the drained records to DASD at the CTL cursor — blocks
+//     beyond the cursor are garbage until committed, so a crashed
+//     half-write is simply overwritten by the next attempt;
+//  2. update CTL (frontier + cursor) — the commit point;
+//  3. delete the offloaded entries from interim — leftovers below the
+//     frontier are invisible to browse and reaped by the next pass.
+//
+// force=false is the mainline threshold check (no-op below the high
+// mark, and skipped outright while another local goroutine is mid-
+// pass); force=true drains regardless (list-full backpressure, tests).
+func (s *Stream) offloadOnce(force bool) (int, error) {
+	if force {
+		s.passMu.Lock()
+	} else if !s.passMu.TryLock() {
+		return 0, nil // a local pass is already draining on our behalf
+	}
+	defer s.passMu.Unlock()
+	m := s.mgr
+	if err := s.list.SetLock(lockOffload, m.sys); err != nil {
+		return 0, err
+	}
+	crashed := false
+	defer func() {
+		if !crashed {
+			s.list.ReleaseLock(lockOffload, m.sys)
+		}
+	}()
+	start := m.clock.Now()
+	c, err := s.readCTL()
+	if err != nil {
+		return 0, err
+	}
+	entries := s.list.Entries(listInterim) // keyed order == time order
+	// Phase 0 (recovery): reap leftovers a crashed predecessor moved to
+	// DASD but did not delete — exactly the CTL's pending set. Other
+	// sub-frontier entries are stranded fresh writes (stamped before,
+	// written after, a completed offload); their writer is mid-retract
+	// and they must be neither browsed, re-offloaded, nor deleted here.
+	pending := make(map[string]bool, len(c.Pending))
+	for _, id := range c.Pending {
+		pending[id] = true
+	}
+	live := entries[:0]
+	for _, e := range entries {
+		if c.HighKey != "" && e.Key <= c.HighKey {
+			if pending[e.ID] {
+				if err := s.list.Delete(m.sys, e.ID, cf.Cond{}); err != nil && !errors.Is(err, cf.ErrEntryNotFound) {
+					return 0, err
+				}
+			}
+			continue
+		}
+		live = append(live, e)
+	}
+	n := len(live) - s.lowMark()
+	if !force && len(live) < s.highMark() {
+		return 0, nil
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	toMove := live[:n]
+	// Phase 1: DASD writes at the uncommitted cursor.
+	cur := c
+	var bytes int64
+	for _, e := range toMove {
+		if cur.NextBlock >= s.spec.OffloadBlocks {
+			cur.NextDataset++
+			cur.NextBlock = 0
+		}
+		ds, err := s.offloadDataset(cur.NextDataset)
+		if err != nil {
+			return 0, err
+		}
+		if err := ds.Write(m.sys, cur.NextBlock, e.Data); err != nil {
+			return 0, err
+		}
+		cur.NextBlock++
+		bytes += int64(len(e.Data))
+	}
+	if s.testCrash != nil && s.testCrash("dasd-written") {
+		crashed = true
+		return 0, errors.New("logr: simulated crash before CTL update")
+	}
+	// Phase 2: commit point.
+	cur.HighKey = toMove[len(toMove)-1].Key
+	cur.Offloaded = c.Offloaded + int64(n)
+	cur.Pending = make([]string, n)
+	for i, e := range toMove {
+		cur.Pending[i] = e.ID
+	}
+	if err := s.writeCTL(cur); err != nil {
+		return 0, err
+	}
+	if s.testCrash != nil && s.testCrash("ctl-updated") {
+		crashed = true
+		return 0, errors.New("logr: simulated crash before interim cleanup")
+	}
+	// Phase 3: cleanup.
+	for _, e := range toMove {
+		if err := s.list.Delete(m.sys, e.ID, cf.Cond{}); err != nil && !errors.Is(err, cf.ErrEntryNotFound) {
+			return 0, err
+		}
+	}
+	m.reg.Counter("logr.offload.count").Inc()
+	m.reg.Counter("logr.offload.records").Add(int64(n))
+	m.reg.Counter("logr.offload.bytes").Add(bytes)
+	m.reg.Histogram("logr.offload.duration").Observe(m.clock.Since(start))
+	m.reg.Gauge("logr.interim.entries").Set(int64(s.list.Len(listInterim)))
+	return n, nil
+}
+
+// recoverOffload is the peer-takeover path: finish whatever a failed
+// writer left behind — pending offload cleanup, plus any sub-frontier
+// entries the dead system stranded (unacknowledged writes nobody will
+// ever retract). Live systems' strandeds are left for their writers.
+// It reports whether leftover work was found.
+func (s *Stream) recoverOffload(failedSys string) (bool, error) {
+	s.passMu.Lock()
+	defer s.passMu.Unlock()
+	m := s.mgr
+	if err := s.list.SetLock(lockOffload, m.sys); err != nil {
+		return false, err
+	}
+	defer s.list.ReleaseLock(lockOffload, m.sys)
+	c, err := s.readCTL()
+	if err != nil {
+		return false, err
+	}
+	pending := make(map[string]bool, len(c.Pending))
+	for _, id := range c.Pending {
+		pending[id] = true
+	}
+	did := false
+	for _, e := range s.list.Entries(listInterim) {
+		if c.HighKey == "" || e.Key > c.HighKey {
+			continue
+		}
+		reap := pending[e.ID]
+		if !reap {
+			env, err := decodeEnvelope(e.Data)
+			reap = err == nil && env.S == failedSys
+		}
+		if reap {
+			if err := s.list.Delete(m.sys, e.ID, cf.Cond{}); err != nil && !errors.Is(err, cf.ErrEntryNotFound) {
+				return did, err
+			}
+			did = true
+		}
+	}
+	return did, nil
+}
+
+// Browse returns a cursor over every record of the stream in timestamp
+// order, reading seamlessly across offloaded and interim data. The
+// interim snapshot and offload frontier are captured atomically under
+// the offload lock; DASD blocks below the captured cursor are
+// immutable, so they are read lock-free afterwards.
+func (s *Stream) Browse() (*Cursor, error) {
+	m := s.mgr
+	var c ctl
+	var interim []cf.ListEntry
+	for {
+		s.passMu.Lock()
+		if err := s.list.SetLock(lockOffload, m.sys); err != nil {
+			s.passMu.Unlock()
+			if errors.Is(err, cf.ErrLockHeld) {
+				m.clock.Sleep(50 * time.Microsecond)
+				continue
+			}
+			return nil, err
+		}
+		var err error
+		c, err = s.readCTL()
+		if err == nil {
+			interim = s.list.Entries(listInterim)
+		}
+		s.list.ReleaseLock(lockOffload, m.sys)
+		s.passMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		break
+	}
+	recs := make([]Record, 0, int(c.Offloaded)+len(interim))
+	// Offloaded portion: datasets 0..NextDataset, blocks below cursor.
+	for d := 0; d <= c.NextDataset; d++ {
+		hi := s.spec.OffloadBlocks
+		if d == c.NextDataset {
+			hi = c.NextBlock
+		}
+		if hi == 0 {
+			continue
+		}
+		ds, err := s.offloadDataset(d)
+		if err != nil {
+			return nil, err
+		}
+		for b := 0; b < hi; b++ {
+			raw, err := ds.Read(m.sys, b)
+			if err != nil {
+				return nil, err
+			}
+			env, err := decodeEnvelope(raw)
+			if err != nil {
+				return nil, fmt.Errorf("logr: %s offload ds %d blk %d: %v", s.spec.Name, d, b, err)
+			}
+			recs = append(recs, env.record())
+		}
+	}
+	// Interim portion: everything above the frontier. Entries at or
+	// below it are either offload leftovers already represented on DASD
+	// or stranded unacknowledged writes awaiting retraction — never
+	// browsed either way.
+	for _, e := range interim {
+		if c.HighKey != "" && e.Key <= c.HighKey {
+			continue
+		}
+		env, err := decodeEnvelope(e.Data)
+		if err != nil {
+			return nil, fmt.Errorf("logr: %s interim %s: %v", s.spec.Name, e.ID, err)
+		}
+		recs = append(recs, env.record())
+	}
+	m.reg.Counter("logr.browse.count").Inc()
+	return &Cursor{recs: recs}, nil
+}
+
+func decodeEnvelope(raw []byte) (envelope, error) {
+	end := len(raw)
+	for end > 0 && raw[end-1] == 0 {
+		end-- // DASD blocks are zero-padded
+	}
+	var env envelope
+	if err := json.Unmarshal(raw[:end], &env); err != nil {
+		return envelope{}, err
+	}
+	return env, nil
+}
+
+// Stats is a point-in-time stream summary.
+type Stats struct {
+	Interim   int   // current interim occupancy
+	Offloaded int64 // records moved to DASD over the stream's life
+}
+
+// Stats snapshots the stream.
+func (s *Stream) Stats() (Stats, error) {
+	c, err := s.readCTL()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{Interim: s.list.Len(listInterim), Offloaded: c.Offloaded}, nil
+}
+
+// Cursor iterates a browse snapshot in timestamp order.
+type Cursor struct {
+	recs []Record
+	pos  int
+}
+
+// Next returns the next record; ok is false at end of stream.
+func (c *Cursor) Next() (Record, bool) {
+	if c.pos >= len(c.recs) {
+		return Record{}, false
+	}
+	r := c.recs[c.pos]
+	c.pos++
+	return r, true
+}
+
+// Len returns the number of records in the snapshot.
+func (c *Cursor) Len() int { return len(c.recs) }
+
+// Records returns the remaining records without advancing the cursor.
+func (c *Cursor) Records() []Record {
+	return append([]Record(nil), c.recs[c.pos:]...)
+}

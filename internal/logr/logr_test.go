@@ -1,0 +1,459 @@
+package logr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sysplex/internal/cf"
+	"sysplex/internal/cfrm"
+	"sysplex/internal/dasd"
+	"sysplex/internal/timer"
+	"sysplex/internal/vclock"
+)
+
+type fixture struct {
+	cfres *cfrm.Manager
+	farm  *dasd.Farm
+	tmr   *timer.Timer
+	mgrs  map[string]*Manager
+}
+
+func newFixture(t *testing.T, mode cfrm.Mode, systems ...string) *fixture {
+	t.Helper()
+	clock := vclock.Real()
+	cfres, err := cfrm.New(cfrm.Policy{Mode: mode}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm := dasd.NewFarm(clock)
+	if _, err := farm.AddVolume("LOGV", 65536, 2); err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{cfres: cfres, farm: farm, tmr: timer.New(clock), mgrs: map[string]*Manager{}}
+	for _, s := range systems {
+		m, err := New(Config{
+			System: s, Front: cfres.Front(), Farm: farm, Volume: "LOGV",
+			Timer: fx.tmr, Clock: clock,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx.mgrs[s] = m
+	}
+	return fx
+}
+
+func (fx *fixture) connect(t *testing.T, spec StreamSpec) map[string]*Stream {
+	t.Helper()
+	out := map[string]*Stream{}
+	for sys, m := range fx.mgrs {
+		s, err := m.Connect(spec)
+		if err != nil {
+			t.Fatalf("connect %s: %v", sys, err)
+		}
+		out[sys] = s
+	}
+	return out
+}
+
+// assertExactlyOnce browses the stream and checks that the payload set
+// equals want, with no duplicates, in strictly increasing key order.
+func assertExactlyOnce(t *testing.T, s *Stream, want map[string]bool) {
+	t.Helper()
+	cur, err := s.Browse()
+	if err != nil {
+		t.Fatalf("browse: %v", err)
+	}
+	seen := map[string]bool{}
+	prev := ""
+	for {
+		r, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if r.Key <= prev {
+			t.Fatalf("browse order violated: %q after %q", r.Key, prev)
+		}
+		prev = r.Key
+		p := string(r.Data)
+		if seen[p] {
+			t.Fatalf("duplicate record %q", p)
+		}
+		seen[p] = true
+	}
+	for p := range want {
+		if !seen[p] {
+			t.Fatalf("lost record %q (browsed %d of %d)", p, len(seen), len(want))
+		}
+	}
+	for p := range seen {
+		if !want[p] {
+			t.Fatalf("phantom record %q", p)
+		}
+	}
+}
+
+func TestWriteBrowseMergedOrder(t *testing.T) {
+	fx := newFixture(t, cfrm.ModeDuplexed, "SYS1", "SYS2", "SYS3")
+	streams := fx.connect(t, StreamSpec{Name: "MERGE"})
+	want := map[string]bool{}
+	// Interleave writers round-robin: the merged stream must order by
+	// sysplex stamp regardless of writing system.
+	order := []string{"SYS1", "SYS2", "SYS3"}
+	var lastKey string
+	for i := 0; i < 60; i++ {
+		sys := order[i%3]
+		p := fmt.Sprintf("%s-rec%03d", sys, i)
+		r, err := streams[sys].Write([]byte(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Key <= lastKey {
+			t.Fatalf("stamps not strictly increasing: %q then %q", lastKey, r.Key)
+		}
+		lastKey = r.Key
+		want[p] = true
+	}
+	for _, sys := range order {
+		assertExactlyOnce(t, streams[sys], want)
+	}
+}
+
+func TestOffloadThresholdsAndSeamlessBrowse(t *testing.T) {
+	fx := newFixture(t, cfrm.ModeDuplexed, "SYS1")
+	s := fx.connect(t, StreamSpec{Name: "OFF", InterimEntries: 40, HighOffloadPct: 75, LowOffloadPct: 25, OffloadBlocks: 16})["SYS1"]
+	want := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		p := fmt.Sprintf("rec%04d", i)
+		if _, err := s.Write([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+		want[p] = true
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offloaded == 0 {
+		t.Fatal("no records offloaded despite crossing the high mark")
+	}
+	if st.Interim >= 40 {
+		t.Fatalf("interim not drained: %d", st.Interim)
+	}
+	// The browse must cross the offloaded/interim boundary seamlessly.
+	assertExactlyOnce(t, s, want)
+	m := fx.mgrs["SYS1"].Metrics()
+	if m.Counter("logr.offload.count").Value() == 0 || m.Counter("logr.offload.bytes").Value() == 0 {
+		t.Fatal("offload metrics not recorded")
+	}
+	if m.Histogram("logr.write.latency").Count() != 200 {
+		t.Fatalf("write latency observations = %d", m.Histogram("logr.write.latency").Count())
+	}
+}
+
+func TestOffloadChainsAcrossDatasets(t *testing.T) {
+	fx := newFixture(t, cfrm.ModeSimplex, "SYS1")
+	s := fx.connect(t, StreamSpec{Name: "CHAIN", InterimEntries: 16, OffloadBlocks: 8})["SYS1"]
+	want := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		p := fmt.Sprintf("c%04d", i)
+		if _, err := s.Write([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+		want[p] = true
+	}
+	c, err := s.readCTL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NextDataset == 0 {
+		t.Fatalf("offload never chained to a second dataset: %+v", c)
+	}
+	assertExactlyOnce(t, s, want)
+}
+
+func TestSpecRecordedAndAdopted(t *testing.T) {
+	fx := newFixture(t, cfrm.ModeDuplexed, "SYS1", "SYS2")
+	a, err := fx.mgrs["SYS1"].Connect(StreamSpec{Name: "ADOPT", InterimEntries: 64, HighOffloadPct: 50, LowOffloadPct: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SYS2 asks for different parameters; the recorded spec wins.
+	b, err := fx.mgrs["SYS2"].Connect(StreamSpec{Name: "ADOPT", InterimEntries: 9999, HighOffloadPct: 99, LowOffloadPct: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Spec() != a.Spec() {
+		t.Fatalf("spec not adopted: %+v vs %+v", b.Spec(), a.Spec())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	fx := newFixture(t, cfrm.ModeDuplexed, "SYS1")
+	if _, err := fx.mgrs["SYS1"].Connect(StreamSpec{}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("empty name: %v", err)
+	}
+	if _, err := fx.mgrs["SYS1"].Connect(StreamSpec{Name: "X", HighOffloadPct: 20, LowOffloadPct: 80}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("inverted thresholds: %v", err)
+	}
+	s, err := fx.mgrs["SYS1"].Connect(StreamSpec{Name: "OKAY"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(make([]byte, MaxRecord+1)); !errors.Is(err, ErrRecordTooBig) {
+		t.Fatalf("oversized record: %v", err)
+	}
+	if _, err := fx.mgrs["SYS1"].Stream("NOPE"); !errors.Is(err, ErrNoStream) {
+		t.Fatalf("unknown stream: %v", err)
+	}
+}
+
+// TestCFFailoverNoLoss kills the primary CF mid-command-stream with
+// FailAfter while writers on three systems hammer the stream. With
+// duplexing, the in-line failover must lose nothing.
+func TestCFFailoverNoLoss(t *testing.T) {
+	fx := newFixture(t, cfrm.ModeDuplexed, "SYS1", "SYS2", "SYS3")
+	streams := fx.connect(t, StreamSpec{Name: "KILL", InterimEntries: 64, OffloadBlocks: 32})
+	var mu sync.Mutex
+	want := map[string]bool{}
+	var wg sync.WaitGroup
+	fx.cfres.Primary().FailAfter(500)
+	for sys, s := range streams {
+		sys, s := sys, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				p := fmt.Sprintf("%s-%04d", sys, i)
+				if _, err := s.Write([]byte(p)); err != nil {
+					t.Errorf("%s write %d: %v", sys, i, err)
+					return
+				}
+				mu.Lock()
+				want[p] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if fx.cfres.Status().Failovers == 0 {
+		t.Fatal("primary CF never failed over — FailAfter too high for the load")
+	}
+	assertExactlyOnce(t, streams["SYS1"], want)
+}
+
+// TestPeerTakeoverMidOffload kills the writer at both crash points of
+// the offload protocol and has a survivor complete the offload; no
+// record may be lost or duplicated either way. (The dead system's
+// offload lock is cleared by CF connector-failure processing, exactly
+// as the sysplex does it.)
+func TestPeerTakeoverMidOffload(t *testing.T) {
+	for _, stage := range []string{"dasd-written", "ctl-updated"} {
+		t.Run(stage, func(t *testing.T) {
+			fx := newFixture(t, cfrm.ModeDuplexed, "SYS1", "SYS2")
+			streams := fx.connect(t, StreamSpec{Name: "TAKE", InterimEntries: 32, OffloadBlocks: 16})
+			w, peer := streams["SYS1"], streams["SYS2"]
+			want := map[string]bool{}
+			for i := 0; i < 20; i++ {
+				p := fmt.Sprintf("pre%03d", i)
+				if _, err := w.Write([]byte(p)); err != nil {
+					t.Fatal(err)
+				}
+				want[p] = true
+			}
+			// SYS1 dies inside the offload at the given stage, lock held.
+			w.testCrash = func(got string) bool { return got == stage }
+			if _, err := w.Offload(); err == nil {
+				t.Fatal("simulated crash did not surface")
+			}
+			if holder := w.list.LockHolder(lockOffload); holder != "SYS1" {
+				t.Fatalf("offload lock holder = %q, want the dead writer", holder)
+			}
+			// Sysplex failure processing: CF purges the failed connector
+			// (freeing its lock entries), then a survivor takes over.
+			fx.cfres.Front().FailConnector("SYS1")
+			fx.mgrs["SYS2"].TakeoverFailed("SYS1")
+			if holder := peer.list.LockHolder(lockOffload); holder != "" {
+				t.Fatalf("offload lock still held by %q after takeover", holder)
+			}
+			// Survivor keeps writing; the stream is fully serviceable.
+			for i := 0; i < 40; i++ {
+				p := fmt.Sprintf("post%03d", i)
+				if _, err := peer.Write([]byte(p)); err != nil {
+					t.Fatal(err)
+				}
+				want[p] = true
+			}
+			assertExactlyOnce(t, peer, want)
+		})
+	}
+}
+
+// TestConcurrentWritersWithOffloadsAndBrowse is the race-detector
+// workout: writers on every system, forced offloads, and browses all
+// running concurrently.
+func TestConcurrentWritersWithOffloadsAndBrowse(t *testing.T) {
+	fx := newFixture(t, cfrm.ModeDuplexed, "SYS1", "SYS2", "SYS3")
+	streams := fx.connect(t, StreamSpec{Name: "RACE", InterimEntries: 48, OffloadBlocks: 32})
+	var mu sync.Mutex
+	want := map[string]bool{}
+	var wg sync.WaitGroup
+	for sys, s := range streams {
+		sys, s := sys, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := fmt.Sprintf("%s#%04d", sys, i)
+				if _, err := s.Write([]byte(p)); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				mu.Lock()
+				want[p] = true
+				mu.Unlock()
+				if i%50 == 25 {
+					if _, err := s.Browse(); err != nil {
+						t.Errorf("browse: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	assertExactlyOnce(t, streams["SYS2"], want)
+}
+
+// quickScript drives the property test: a deterministic schedule of
+// interleaved writes, forced offloads, and one CF failover.
+type quickScript struct {
+	Seed     int64
+	Writes   uint16
+	KillAt   uint16
+	Systems  uint8
+	OffEvery uint8
+}
+
+// Generate keeps the script within a tractable envelope.
+func (quickScript) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickScript{
+		Seed:     r.Int63(),
+		Writes:   uint16(40 + r.Intn(160)),
+		KillAt:   uint16(r.Intn(200)),
+		Systems:  uint8(1 + r.Intn(3)),
+		OffEvery: uint8(5 + r.Intn(30)),
+	})
+}
+
+// TestBrowseExactlyOnceProperty: for arbitrary interleavings of writes
+// across systems, forced offloads, and a CF failover at an arbitrary
+// point, a browse returns every written record exactly once in
+// timestamp order.
+func TestBrowseExactlyOnceProperty(t *testing.T) {
+	prop := func(sc quickScript) bool {
+		rng := rand.New(rand.NewSource(sc.Seed))
+		systems := []string{"SYS1", "SYS2", "SYS3"}[:sc.Systems]
+		fxt := newFixture(t, cfrm.ModeDuplexed, systems...)
+		streams := fxt.connect(t, StreamSpec{Name: "PROP", InterimEntries: 24, OffloadBlocks: 16})
+		want := map[string]bool{}
+		killed := false
+		for i := 0; i < int(sc.Writes); i++ {
+			if !killed && i == int(sc.KillAt) {
+				// Unplanned CF failure: report it mid-stream; the
+				// duplexed front fails over in-line.
+				fxt.cfres.ReportFailure(fxt.cfres.Primary().Name())
+				killed = true
+			}
+			sys := systems[rng.Intn(len(systems))]
+			p := fmt.Sprintf("%s/%05d", sys, i)
+			if _, err := streams[sys].Write([]byte(p)); err != nil {
+				t.Logf("write: %v", err)
+				return false
+			}
+			want[p] = true
+			if sc.OffEvery > 0 && i%int(sc.OffEvery) == int(sc.OffEvery)-1 {
+				if _, err := streams[sys].Offload(); err != nil && !errors.Is(err, cf.ErrLockHeld) {
+					t.Logf("offload: %v", err)
+					return false
+				}
+			}
+		}
+		cur, err := streams[systems[0]].Browse()
+		if err != nil {
+			t.Logf("browse: %v", err)
+			return false
+		}
+		seen := map[string]bool{}
+		prev := ""
+		for {
+			r, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if r.Key <= prev || seen[string(r.Data)] {
+				return false
+			}
+			prev = r.Key
+			seen[string(r.Data)] = true
+		}
+		if len(seen) != len(want) {
+			t.Logf("browsed %d of %d", len(seen), len(want))
+			return false
+		}
+		for p := range want {
+			if !seen[p] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBrowseSnapshotStableUnderConcurrentOffload pins the lock-guarded
+// snapshot semantics: a browse taken while offloads churn still sees a
+// consistent exactly-once view.
+func TestBrowseSnapshotStableUnderConcurrentOffload(t *testing.T) {
+	fx := newFixture(t, cfrm.ModeDuplexed, "SYS1", "SYS2")
+	streams := fx.connect(t, StreamSpec{Name: "SNAP", InterimEntries: 32, OffloadBlocks: 16})
+	want := map[string]bool{}
+	for i := 0; i < 30; i++ {
+		p := fmt.Sprintf("s%03d", i)
+		if _, err := streams["SYS1"].Write([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+		want[p] = true
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			streams["SYS2"].Offload()
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		assertExactlyOnce(t, streams["SYS1"], want)
+	}
+	<-done
+	assertExactlyOnce(t, streams["SYS2"], want)
+}

@@ -51,6 +51,19 @@ func (a Access) String() string {
 // ErrNoProfile is returned when no profile protects a resource.
 var ErrNoProfile = errors.New("racf: no profile for resource")
 
+// AuditEvent records one security-relevant action, in the mould of the
+// SMF type-80 records real RACF cuts. Exploiters (cmd/sysplexdemo)
+// route these through a System Logger log stream so every member's
+// audit trail merges into one sysplex-wide, timestamp-ordered log.
+type AuditEvent struct {
+	Sys      string `json:"sys"`
+	Kind     string `json:"kind"` // "check", "define", "permit"
+	User     string `json:"user,omitempty"`
+	Resource string `json:"resource"`
+	Want     Access `json:"want,omitempty"`
+	Granted  bool   `json:"granted"`
+}
+
 // Profile is the access definition for one protected resource.
 type Profile struct {
 	Resource string            `json:"resource"`
@@ -88,6 +101,26 @@ type Manager struct {
 	next  int
 	local map[string]Profile
 	stats Stats
+	audit func(AuditEvent)
+}
+
+// OnAudit installs the audit sink; every Check, Define, and Permit
+// emits one event. The sink runs on the caller's goroutine, so a slow
+// sink backpressures security calls exactly as SMF logging would.
+func (m *Manager) OnAudit(fn func(AuditEvent)) {
+	m.mu.Lock()
+	m.audit = fn
+	m.mu.Unlock()
+}
+
+func (m *Manager) emitAudit(e AuditEvent) {
+	m.mu.Lock()
+	fn := m.audit
+	m.mu.Unlock()
+	if fn != nil {
+		e.Sys = m.sys
+		fn(e)
+	}
 }
 
 // New attaches a security manager for system sys to the shared profile
@@ -170,6 +203,7 @@ func (m *Manager) Define(p Profile) error {
 	m.mu.Lock()
 	m.local[p.Resource] = p
 	m.mu.Unlock()
+	m.emitAudit(AuditEvent{Kind: "define", Resource: p.Resource, Granted: true})
 	return nil
 }
 
@@ -184,7 +218,11 @@ func (m *Manager) Permit(resource, user string, level Access) error {
 		p.Permits = map[string]Access{}
 	}
 	p.Permits[user] = level
-	return m.Define(p)
+	if err := m.Define(p); err != nil {
+		return err
+	}
+	m.emitAudit(AuditEvent{Kind: "permit", User: user, Resource: resource, Want: level, Granted: true})
+	return nil
 }
 
 // Check authorizes user for access level want on resource. It answers
@@ -204,6 +242,7 @@ func (m *Manager) Check(user, resource string, want Access) (bool, error) {
 		m.stats.Denied++
 		m.mu.Unlock()
 	}
+	m.emitAudit(AuditEvent{Kind: "check", User: user, Resource: resource, Want: want, Granted: ok})
 	return ok, nil
 }
 

@@ -37,6 +37,8 @@ import (
 	"sysplex/internal/db"
 	"sysplex/internal/jes"
 	"sysplex/internal/lockmgr"
+	"sysplex/internal/logr"
+	"sysplex/internal/metrics"
 	"sysplex/internal/racf"
 	"sysplex/internal/timer"
 	"sysplex/internal/txmgr"
@@ -92,7 +94,12 @@ type Config struct {
 	Tables []TableConfig
 	// DatabaseName scopes structures and datasets (default "DBP1").
 	DatabaseName string
-	// VolumeBlocks sizes the shared volume (default 16384).
+	// LogStreams are additional System Logger streams connected on
+	// every member system (the database's WAL streams are always
+	// created). Reach them via System.LogStream(name).
+	LogStreams []logr.StreamSpec
+	// VolumeBlocks sizes the shared volume (default 131072; log-stream
+	// offload datasets chain indefinitely, so the volume is generous).
 	VolumeBlocks int
 	// LockTableEntries sizes the CF lock structure (default 4096).
 	LockTableEntries int
@@ -148,12 +155,22 @@ type System struct {
 	region  *txmgr.Region
 	jesExec *jes.Executor
 	sec     *racf.Manager
+	logger  *logr.Manager
 
 	stopBg []func()
 }
 
 // Security exposes the RACF-style security manager.
 func (s *System) Security() *racf.Manager { return s.sec }
+
+// Logger exposes the System Logger instance.
+func (s *System) Logger() *logr.Manager { return s.logger }
+
+// LogStream returns a connected log stream by name (the database WAL
+// streams plus any Config.LogStreams).
+func (s *System) LogStream(name string) (*logr.Stream, error) {
+	return s.logger.Stream(name)
+}
 
 // Name returns the system name.
 func (s *System) Name() string { return s.name }
@@ -189,6 +206,7 @@ type Sysplex struct {
 	det    *lockmgr.Detector
 	jesQ   *jes.Queue
 	racfDB *cds.Store
+	logReg *metrics.Registry // shared by every member's logr.Manager
 
 	mu       sync.Mutex
 	systems  map[string]*System
@@ -213,9 +231,10 @@ func New(cfg Config) (*Sysplex, error) {
 		cfg.DatabaseName = "DBP1"
 	}
 	if cfg.VolumeBlocks == 0 {
-		// Room for 32 systems' logs plus table spaces and couple data
-		// sets (blocks are lazily materialized, so this is cheap).
-		cfg.VolumeBlocks = 65536
+		// Room for table spaces, couple data sets, and log-stream
+		// offload dataset chains (blocks are lazily materialized, so
+		// this is cheap).
+		cfg.VolumeBlocks = 131072
 	}
 	if cfg.LockTableEntries == 0 {
 		cfg.LockTableEntries = 4096
@@ -244,6 +263,7 @@ func New(cfg Config) (*Sysplex, error) {
 		systems:  make(map[string]*System),
 		programs: make(map[string]programSpec),
 		jobs:     make(map[string]jes.Handler),
+		logReg:   metrics.NewRegistry(),
 	}
 
 	// Shared DASD (Figure 1: disks fully connected to all processors).
@@ -337,6 +357,21 @@ func New(cfg Config) (*Sysplex, error) {
 		p.front.FailConnector(sys)
 		p.net.CleanupSystem(sys)
 		p.jesQ.RequeueOrphans(sys)
+		// LOGR peer takeover: FailConnector just cleared the dead
+		// system's offload locks, so any survivor can finish offloads
+		// it left mid-flight.
+		p.mu.Lock()
+		var survivor *System
+		for _, s := range p.systems {
+			if s.name != sys && p.plex.State(s.name) == xcf.StateActive {
+				survivor = s
+				break
+			}
+		}
+		p.mu.Unlock()
+		if survivor != nil {
+			survivor.logger.TakeoverFailed(sys)
+		}
 	})
 	p.arm = arm.New(p.plex, nil, p.pickRestartTarget)
 	p.det = lockmgr.NewDetector(p.lockManagers)
@@ -479,9 +514,21 @@ func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	logger, err := logr.New(logr.Config{
+		System: sc.Name, Front: front, Farm: p.farm, Volume: "SYSP01",
+		Timer: p.timer, Clock: p.clock, Metrics: p.logReg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range p.cfg.LogStreams {
+		if _, err := logger.Connect(spec); err != nil {
+			return nil, err
+		}
+	}
 	engine, err := db.Open(db.Config{
 		Name: p.cfg.DatabaseName, System: sc.Name, Farm: p.farm, Volume: "SYSP01",
-		Facility: front, Locks: locks, Clock: p.clock,
+		Facility: front, Locks: locks, Clock: p.clock, Logger: logger,
 		PoolFrames: p.cfg.PoolFrames, LogBlocks: p.cfg.LogBlocks,
 		LockTimeout: p.cfg.LockTimeout,
 	})
@@ -524,6 +571,7 @@ func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
 		region:  region,
 		jesExec: jesExec,
 		sec:     sec,
+		logger:  logger,
 	}
 
 	// Register already-known programs and job classes on the newcomer.
@@ -674,6 +722,10 @@ func (p *Sysplex) Network() *vtam.Network { return p.net }
 
 // Timer exposes the sysplex timer.
 func (p *Sysplex) Timer() *timer.Timer { return p.timer }
+
+// LoggerMetrics exposes the sysplex-wide logr.* instrumentation
+// (every member's System Logger charges the same registry).
+func (p *Sysplex) LoggerMetrics() *metrics.Registry { return p.logReg }
 
 // CoupleDataSet exposes the sysplex couple data set.
 func (p *Sysplex) CoupleDataSet() *cds.Store { return p.store }
