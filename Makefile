@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check demo bench bench-json
+.PHONY: all build vet test race check demo bench bench-json bench-cf bench-cf-smoke
 
 all: check
 
@@ -32,3 +32,15 @@ bench:
 BENCH_EXP ?= logr
 bench-json:
 	$(GO) run ./cmd/sysplexbench -exp $(BENCH_EXP) -json BENCH_$(BENCH_EXP).json
+
+# CF command-path scaling: the Fig. 2 micro-benchmarks (serial and
+# parallel variants) across core counts, then the goroutine sweep with
+# its machine-readable output.
+bench-cf:
+	$(GO) test -run '^$$' -bench '^BenchmarkFig2_' -count=5 -cpu=1,4,8 .
+	$(GO) run ./cmd/sysplexbench -exp cfscale -json BENCH_cf.json
+
+# One short iteration of the parallel benchmarks so CI catches rot
+# without paying for a full measurement run.
+bench-cf-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkFig2_' -benchtime 100x -cpu 4 .

@@ -7,6 +7,7 @@ package sysplex
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -118,6 +119,172 @@ func BenchmarkFig2_ListQueue(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- FIG2 parallel variants: the same micro-operations driven from
+// many goroutines. The paper's CF completes commands for all attached
+// systems concurrently; these benchmarks (run with -cpu=1,4,8) measure
+// how close the emulation gets to that as cores are added. ---
+
+// BenchmarkFig2_LockObtainReleaseParallel drives the no-contention lock
+// path from parallel requesters spread across the lock table.
+func BenchmarkFig2_LockObtainReleaseParallel(b *testing.B) {
+	fac := newCFBench(b)
+	ls, _ := fac.AllocateLockStructure("IRLM", 4096)
+	ls.Connect("SYS1")
+	var gid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := int(gid.Add(1)) * 131
+		i := 0
+		for pb.Next() {
+			i++
+			e := (base + i) % 4096
+			if r, err := ls.Obtain(e, "SYS1", cf.Exclusive); err != nil || !r.Granted {
+				b.Fatal("obtain failed")
+			}
+			ls.Release(e, "SYS1", cf.Exclusive)
+		}
+	})
+}
+
+// BenchmarkFig2_CacheReadRegisterParallel drives registration reads
+// against a warm global cache from parallel readers over 512 blocks.
+func BenchmarkFig2_CacheReadRegisterParallel(b *testing.B) {
+	fac := newCFBench(b)
+	cs, _ := fac.AllocateCacheStructure("GBP0", 8192)
+	vec := cf.NewBitVector(1024)
+	cs.Connect("SYS1", vec)
+	for i := 0; i < 512; i++ {
+		cs.WriteAndInvalidate("SYS1", fmt.Sprintf("PAGE%03d", i), []byte("data"), true, false, i)
+	}
+	pages := make([]string, 512)
+	for i := range pages {
+		pages[i] = fmt.Sprintf("PAGE%03d", i)
+	}
+	var gid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(gid.Add(1)) * 97
+		for pb.Next() {
+			i++
+			if _, err := cs.ReadAndRegister("SYS1", pages[i%512], i%1024); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig2_CacheWriteCrossInvalidateParallel drives writes that
+// cross-invalidate a registered peer, parallel writers on disjoint
+// blocks.
+func BenchmarkFig2_CacheWriteCrossInvalidateParallel(b *testing.B) {
+	fac := newCFBench(b)
+	cs, _ := fac.AllocateCacheStructure("GBP0", 8192)
+	v1, v2 := cf.NewBitVector(1024), cf.NewBitVector(1024)
+	cs.Connect("SYS1", v1)
+	cs.Connect("SYS2", v2)
+	data := []byte("new version of the page")
+	var gid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := int(gid.Add(1))
+		page := fmt.Sprintf("PAGE%03d", g%512)
+		vi := g % 1024
+		for pb.Next() {
+			cs.ReadAndRegister("SYS2", page, vi)
+			if err := cs.WriteAndInvalidate("SYS1", page, data, true, true, vi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig2_ListQueueParallel drives write+pop queue cycles with
+// each goroutine owning one of 64 lists (independent work queues, the
+// multi-system consumption pattern of §3.3.3).
+func BenchmarkFig2_ListQueueParallel(b *testing.B) {
+	fac := newCFBench(b)
+	ls, _ := fac.AllocateListStructure("WORKQ", 64, 0, 1<<20)
+	ls.Connect("SYS1", nil)
+	var gid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := int(gid.Add(1))
+		list := g % 64
+		i := 0
+		for pb.Next() {
+			i++
+			id := fmt.Sprintf("g%d-e%d", g, i)
+			if err := ls.Write("SYS1", list, id, "", nil, cf.FIFO, cf.Cond{}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ls.Pop("SYS1", list, cf.Cond{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig2_DuplexedLockObtainParallel is the lock path through a
+// duplexed structure pair: mutating commands are mirrored to both
+// facilities, ordered per lock-table entry.
+func BenchmarkFig2_DuplexedLockObtainParallel(b *testing.B) {
+	pri := cf.New("CF01", vclock.Real())
+	sec := cf.New("CF02", vclock.Real())
+	d := cf.NewDuplexed(vclock.Real(), nil, pri, sec)
+	ls, err := d.AllocateLockStructure("IRLM", 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ls.Connect("SYS1")
+	var gid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := int(gid.Add(1)) * 131
+		i := 0
+		for pb.Next() {
+			i++
+			e := (base + i) % 4096
+			if r, err := ls.Obtain(e, "SYS1", cf.Exclusive); err != nil || !r.Granted {
+				b.Fatal("obtain failed")
+			}
+			ls.Release(e, "SYS1", cf.Exclusive)
+		}
+	})
+}
+
+// BenchmarkFig2_DuplexedCacheReadParallel is the read path through a
+// duplexed pair: primary-served reads, which duplexing should not
+// serialize against each other.
+func BenchmarkFig2_DuplexedCacheReadParallel(b *testing.B) {
+	pri := cf.New("CF01", vclock.Real())
+	sec := cf.New("CF02", vclock.Real())
+	d := cf.NewDuplexed(vclock.Real(), nil, pri, sec)
+	cs, err := d.AllocateCacheStructure("GBP0", 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := cf.NewBitVector(1024)
+	cs.Connect("SYS1", vec)
+	for i := 0; i < 512; i++ {
+		cs.WriteAndInvalidate("SYS1", fmt.Sprintf("PAGE%03d", i), []byte("data"), true, false, i)
+	}
+	pages := make([]string, 512)
+	for i := range pages {
+		pages[i] = fmt.Sprintf("PAGE%03d", i)
+	}
+	var gid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(gid.Add(1)) * 97
+		for pb.Next() {
+			i++
+			if _, err := cs.ReadAndRegister("SYS1", pages[i%512], i%1024); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- FIG3: scalability curves and §4 claims ---

@@ -7,7 +7,7 @@
 //	sysplexbench -exp fig3           # one experiment
 //	sysplexbench -exp fig3 -systems 16 -simtime 5s
 //
-// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill logr
+// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill logr cfscale
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,7 +33,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,all")
+	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,cfscale,all")
 	systemsFlag = flag.Int("systems", 32, "max sysplex members for fig3")
 	simtimeFlag = flag.Duration("simtime", 5*time.Second, "DES measurement window")
 	seedFlag    = flag.Int64("seed", 1996, "DES seed")
@@ -69,10 +70,11 @@ func main() {
 		"false":  falseContention,
 		"ext":    extensions,
 		"duplex": duplexCost,
-		"cfkill": cfKill,
-		"logr":   logrBench,
+		"cfkill":  cfKill,
+		"logr":    logrBench,
+		"cfscale": cfScale,
 	}
-	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr"}
+	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr", "cfscale"}
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		want = order
@@ -794,5 +796,186 @@ func logrBench() error {
 	record("logr", "lost", lost)
 	record("logr", "duplicated", dups)
 	record("logr", "misordered", misordered)
+	return nil
+}
+
+// cfScale sweeps goroutine counts over the hot CF command paths and
+// reports throughput scaling: the in-process analog of the paper's
+// claim that CF command rates grow with attached capacity (§3.3, §4).
+// Workloads: simplex lock obtain/release, simplex cache read, simplex
+// list write+pop, and the duplexed lock and cache-read paths.
+func cfScale() error {
+	const window = 300 * time.Millisecond
+	sweep := []int{1, 2, 4, 8, 16}
+
+	type workload struct {
+		name string
+		// setup builds the structure set and returns the per-goroutine
+		// op body (g = goroutine id, i = iteration).
+		setup func() (func(g, i int) error, error)
+	}
+
+	workloads := []workload{
+		{"lock", func() (func(g, i int) error, error) {
+			fac := cf.New("CF01", vclock.Real())
+			ls, err := fac.AllocateLockStructure("IRLM", 4096)
+			if err != nil {
+				return nil, err
+			}
+			if err := ls.Connect("SYS1"); err != nil {
+				return nil, err
+			}
+			return func(g, i int) error {
+				e := (g*131 + i) % 4096
+				if _, err := ls.Obtain(e, "SYS1", cf.Exclusive); err != nil {
+					return err
+				}
+				return ls.Release(e, "SYS1", cf.Exclusive)
+			}, nil
+		}},
+		{"cacheread", func() (func(g, i int) error, error) {
+			fac := cf.New("CF01", vclock.Real())
+			cs, err := fac.AllocateCacheStructure("GBP0", 8192)
+			if err != nil {
+				return nil, err
+			}
+			if err := cs.Connect("SYS1", cf.NewBitVector(1024)); err != nil {
+				return nil, err
+			}
+			pages := make([]string, 512)
+			for i := range pages {
+				pages[i] = fmt.Sprintf("PAGE%03d", i)
+				if err := cs.WriteAndInvalidate("SYS1", pages[i], []byte("data"), true, false, i); err != nil {
+					return nil, err
+				}
+			}
+			return func(g, i int) error {
+				_, err := cs.ReadAndRegister("SYS1", pages[(g*97+i)%512], i%1024)
+				return err
+			}, nil
+		}},
+		{"listqueue", func() (func(g, i int) error, error) {
+			fac := cf.New("CF01", vclock.Real())
+			ls, err := fac.AllocateListStructure("WORKQ", 64, 0, 1<<20)
+			if err != nil {
+				return nil, err
+			}
+			if err := ls.Connect("SYS1", nil); err != nil {
+				return nil, err
+			}
+			return func(g, i int) error {
+				list := g % 64
+				id := fmt.Sprintf("g%d-e%d", g, i)
+				if err := ls.Write("SYS1", list, id, "", nil, cf.FIFO, cf.Cond{}); err != nil {
+					return err
+				}
+				_, err := ls.Pop("SYS1", list, cf.Cond{})
+				return err
+			}, nil
+		}},
+		{"duplexlock", func() (func(g, i int) error, error) {
+			d := cf.NewDuplexed(vclock.Real(), nil,
+				cf.New("CF01", vclock.Real()), cf.New("CF02", vclock.Real()))
+			ls, err := d.AllocateLockStructure("IRLM", 4096)
+			if err != nil {
+				return nil, err
+			}
+			if err := ls.Connect("SYS1"); err != nil {
+				return nil, err
+			}
+			return func(g, i int) error {
+				e := (g*131 + i) % 4096
+				if _, err := ls.Obtain(e, "SYS1", cf.Exclusive); err != nil {
+					return err
+				}
+				return ls.Release(e, "SYS1", cf.Exclusive)
+			}, nil
+		}},
+		{"duplexread", func() (func(g, i int) error, error) {
+			d := cf.NewDuplexed(vclock.Real(), nil,
+				cf.New("CF01", vclock.Real()), cf.New("CF02", vclock.Real()))
+			cs, err := d.AllocateCacheStructure("GBP0", 8192)
+			if err != nil {
+				return nil, err
+			}
+			if err := cs.Connect("SYS1", cf.NewBitVector(1024)); err != nil {
+				return nil, err
+			}
+			pages := make([]string, 512)
+			for i := range pages {
+				pages[i] = fmt.Sprintf("PAGE%03d", i)
+				if err := cs.WriteAndInvalidate("SYS1", pages[i], []byte("data"), true, false, i); err != nil {
+					return nil, err
+				}
+			}
+			return func(g, i int) error {
+				_, err := cs.ReadAndRegister("SYS1", pages[(g*97+i)%512], i%1024)
+				return err
+			}, nil
+		}},
+	}
+
+	fmt.Printf("CF command-path scaling — ops/sec over a %v window per point (GOMAXPROCS=%d):\n",
+		window, runtime.GOMAXPROCS(0))
+	fmt.Printf("%12s", "GOROUTINES")
+	for _, g := range sweep {
+		fmt.Printf(" %11d", g)
+	}
+	fmt.Printf(" %9s\n", "SPEEDUP")
+
+	for _, w := range workloads {
+		var base float64
+		fmt.Printf("%12s", w.name)
+		var last float64
+		for _, g := range sweep {
+			op, err := w.setup()
+			if err != nil {
+				return err
+			}
+			var total atomic.Int64
+			var stop atomic.Int64
+			var opErr atomic.Value
+			var wg sync.WaitGroup
+			for k := 0; k < g; k++ {
+				k := k
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					n := int64(0)
+					for i := 0; stop.Load() == 0; i++ {
+						if err := op(k, i); err != nil {
+							opErr.Store(err)
+							break
+						}
+						n++
+					}
+					total.Add(n)
+				}()
+			}
+			start := time.Now()
+			time.Sleep(window)
+			stop.Store(1)
+			wg.Wait()
+			elapsed := time.Since(start)
+			if e := opErr.Load(); e != nil {
+				return fmt.Errorf("cfscale %s g=%d: %v", w.name, g, e)
+			}
+			ops := float64(total.Load()) / elapsed.Seconds()
+			if g == sweep[0] {
+				base = ops
+			}
+			last = ops
+			fmt.Printf(" %11.0f", ops)
+			record("cf", fmt.Sprintf("%s_g%d_ops_per_sec", w.name, g), ops)
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = last / base
+		}
+		fmt.Printf(" %8.2fx\n", speedup)
+		record("cf", w.name+"_speedup_max", speedup)
+	}
+	record("cf", "gomaxprocs", runtime.GOMAXPROCS(0))
+	record("cf", "window_ms", window.Milliseconds())
 	return nil
 }
