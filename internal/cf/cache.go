@@ -4,7 +4,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"sysplex/internal/metrics"
 )
+
+// cacheStripes is the number of directory shards; a power of two so the
+// stripe index is a mask of the block-name hash.
+const cacheStripes = 64
 
 // CacheStructure is a CF cache-model structure (§3.3.2): a global
 // buffer directory tracking multi-system interest in named data blocks,
@@ -17,14 +24,39 @@ import (
 // vector (no target-side software), deregisters them, and returns only
 // when all invalidation signals have completed — CPU-synchronously to
 // the updating system.
+//
+// Concurrency: the directory is sharded by block-name hash into
+// cacheStripes stripes, so commands against different blocks proceed in
+// parallel. Whole-structure operations (ChangedBlocks, connector purge,
+// clone, and the full-directory reclaim slow path) take every stripe in
+// ascending order. The connector table has its own RWMutex; connectors
+// are only *removed* while all stripes are held, so a stripe holder sees
+// a stable connector set. Lock order: stripe(s) ascending, then connMu.
 type CacheStructure struct {
-	facility *Facility
-	name     string
+	facility   *Facility
+	name       string
+	maxEntries int // immutable
 
-	mu         sync.Mutex
-	maxEntries int
-	directory  map[string]*cacheEntry
-	conns      map[string]*cacheConn
+	mRead    cmdMetrics
+	mWrite   cmdMetrics
+	mUnreg   cmdMetrics
+	mCoBegin cmdMetrics
+	mCoEnd   cmdMetrics
+	cHit     *metrics.Counter
+	cMiss    *metrics.Counter
+	cXI      *metrics.Counter
+	cReclaim *metrics.Counter
+
+	nEntries atomic.Int64 // directory entries across all stripes, <= maxEntries
+	stripes  [cacheStripes]cacheStripe
+
+	connMu sync.RWMutex
+	conns  map[string]*cacheConn
+}
+
+type cacheStripe struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
 }
 
 type cacheConn struct {
@@ -40,23 +72,73 @@ type cacheEntry struct {
 	version    uint64
 }
 
+// cacheStripeIdx hashes a block name to its stripe (inline FNV-1a).
+func cacheStripeIdx(name string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int(h & (cacheStripes - 1))
+}
+
+func (s *CacheStructure) stripeFor(name string) *cacheStripe {
+	return &s.stripes[cacheStripeIdx(name)]
+}
+
+func (s *CacheStructure) lockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+}
+
+func (s *CacheStructure) unlockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.Unlock()
+	}
+}
+
+func (s *CacheStructure) unlockAllExcept(keep *cacheStripe) {
+	for i := range s.stripes {
+		if &s.stripes[i] != keep {
+			s.stripes[i].mu.Unlock()
+		}
+	}
+}
+
 // AllocateCacheStructure allocates a cache structure with a directory
 // capacity of maxEntries blocks.
 func (f *Facility) AllocateCacheStructure(name string, maxEntries int) (Cache, error) {
 	if maxEntries <= 0 {
 		return nil, fmt.Errorf("%w: cache needs > 0 directory entries", ErrBadArgument)
 	}
-	s := &CacheStructure{
-		facility:   f,
-		name:       name,
-		maxEntries: maxEntries,
-		directory:  make(map[string]*cacheEntry),
-		conns:      make(map[string]*cacheConn),
-	}
+	s := newCacheStructure(f, name, maxEntries)
 	if err := f.allocate(name, s); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+func newCacheStructure(f *Facility, name string, maxEntries int) *CacheStructure {
+	s := &CacheStructure{
+		facility:   f,
+		name:       name,
+		maxEntries: maxEntries,
+		conns:      make(map[string]*cacheConn),
+	}
+	for i := range s.stripes {
+		s.stripes[i].m = make(map[string]*cacheEntry)
+	}
+	s.mRead = f.cmdMetrics("cache.read")
+	s.mWrite = f.cmdMetrics("cache.write")
+	s.mUnreg = f.cmdMetrics("cache.unregister")
+	s.mCoBegin = f.cmdMetrics("cache.castoutbegin")
+	s.mCoEnd = f.cmdMetrics("cache.castoutend")
+	s.cHit = f.reg.Counter("cf.cache.hit")
+	s.cMiss = f.reg.Counter("cf.cache.miss")
+	s.cXI = f.reg.Counter("cf.cache.xi")
+	s.cReclaim = f.reg.Counter("cf.cache.reclaim")
+	return s
 }
 
 // CacheStructure returns the named cache structure.
@@ -77,33 +159,32 @@ func (s *CacheStructure) fac() *Facility        { return s.facility }
 // replicas of a duplexed pair flip validity bits in the same
 // system-owned vectors.
 func (s *CacheStructure) cloneInto(dst *Facility) (structure, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := &CacheStructure{
-		facility:   dst,
-		name:       s.name,
-		maxEntries: s.maxEntries,
-		directory:  make(map[string]*cacheEntry, len(s.directory)),
-		conns:      make(map[string]*cacheConn, len(s.conns)),
-	}
+	s.lockAll()
+	defer s.unlockAll()
+	s.connMu.RLock()
+	defer s.connMu.RUnlock()
+	n := newCacheStructure(dst, s.name, s.maxEntries)
 	for c, cc := range s.conns {
 		n.conns[c] = &cacheConn{vector: cc.vector}
 	}
-	for name, e := range s.directory {
-		ne := &cacheEntry{
-			name:       e.name,
-			registered: make(map[string]int, len(e.registered)),
-			changed:    e.changed,
-			castoutBy:  e.castoutBy,
-			version:    e.version,
+	for i := range s.stripes {
+		for name, e := range s.stripes[i].m {
+			ne := &cacheEntry{
+				name:       e.name,
+				registered: make(map[string]int, len(e.registered)),
+				changed:    e.changed,
+				castoutBy:  e.castoutBy,
+				version:    e.version,
+			}
+			for c, idx := range e.registered {
+				ne.registered[c] = idx
+			}
+			if e.data != nil {
+				ne.data = append([]byte(nil), e.data...)
+			}
+			n.stripes[i].m[name] = ne
+			n.nEntries.Add(1)
 		}
-		for c, idx := range e.registered {
-			ne.registered[c] = idx
-		}
-		if e.data != nil {
-			ne.data = append([]byte(nil), e.data...)
-		}
-		n.directory[name] = ne
 	}
 	if err := dst.allocate(s.name, n); err != nil {
 		return nil, err
@@ -125,32 +206,50 @@ func (s *CacheStructure) Connect(conn string, vector *BitVector) error {
 	if vector == nil {
 		return fmt.Errorf("%w: nil vector", ErrBadArgument)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
 	s.conns[conn] = &cacheConn{vector: vector}
 	return nil
 }
 
 func (s *CacheStructure) disconnect(conn string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.purgeConnLocked(conn)
+	s.purgeConn(conn)
 }
 
 func (s *CacheStructure) failConnector(conn string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.purgeConnLocked(conn)
+	s.purgeConn(conn)
 }
 
-func (s *CacheStructure) purgeConnLocked(conn string) {
-	delete(s.conns, conn)
-	for _, e := range s.directory {
-		delete(e.registered, conn)
-		if e.castoutBy == conn {
-			e.castoutBy = "" // castout lock released; data still changed
+// purgeConn removes a connector. It holds every stripe while doing so —
+// this is what lets entry commands treat the connector set as stable
+// under a single stripe lock.
+func (s *CacheStructure) purgeConn(conn string) {
+	s.lockAll()
+	defer s.unlockAll()
+	for i := range s.stripes {
+		for _, e := range s.stripes[i].m {
+			delete(e.registered, conn)
+			if e.castoutBy == conn {
+				e.castoutBy = "" // castout lock released; data still changed
+			}
 		}
 	}
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+// conn returns the live connector or an ErrNotConnected error. Safe to
+// call while holding a stripe: connectors are only removed under all
+// stripes.
+func (s *CacheStructure) conn(conn string) (*cacheConn, error) {
+	s.connMu.RLock()
+	c := s.conns[conn]
+	s.connMu.RUnlock()
+	if c == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotConnected, conn)
+	}
+	return c, nil
 }
 
 // ReadResult is the outcome of ReadAndRegister.
@@ -172,26 +271,25 @@ func (s *CacheStructure) ReadAndRegister(conn, name string, vecIdx int) (ReadRes
 	if err != nil {
 		return ReadResult{}, err
 	}
-	defer s.facility.charge("cache.read", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.conns[conn]
-	if !ok {
-		return ReadResult{}, fmt.Errorf("%w: %q", ErrNotConnected, conn)
-	}
-	e, err := s.entryLocked(name)
+	defer s.facility.charge(s.mRead, start)
+	c, err := s.conn(conn)
 	if err != nil {
 		return ReadResult{}, err
 	}
+	st, e, err := s.entryStripe(name)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	defer st.mu.Unlock()
 	e.registered[conn] = vecIdx
 	c.vector.Set(vecIdx)
 	res := ReadResult{Version: e.version}
 	if e.data != nil {
 		res.Data = append([]byte(nil), e.data...)
 		res.Hit = true
-		s.facility.reg.Counter("cf.cache.hit").Inc()
+		s.cHit.Inc()
 	} else {
-		s.facility.reg.Counter("cf.cache.miss").Inc()
+		s.cMiss.Inc()
 	}
 	return res, nil
 }
@@ -205,31 +303,32 @@ func (s *CacheStructure) WriteAndInvalidate(conn, name string, data []byte, cach
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("cache.write", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.conns[conn]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNotConnected, conn)
-	}
-	e, err := s.entryLocked(name)
+	defer s.facility.charge(s.mWrite, start)
+	c, err := s.conn(conn)
 	if err != nil {
 		return err
 	}
+	st, e, err := s.entryStripe(name)
+	if err != nil {
+		return err
+	}
+	defer st.mu.Unlock()
 	// Cross-invalidate signals go in parallel to only the systems with
 	// registered interest; each flips the target's validity bit with no
 	// target-side processing. Completion of all signals is observed
 	// before this command returns.
+	s.connMu.RLock()
 	for other, idx := range e.registered {
 		if other == conn {
 			continue
 		}
 		if oc, ok := s.conns[other]; ok {
 			oc.vector.Clear(idx)
-			s.facility.reg.Counter("cf.cache.xi").Inc()
+			s.cXI.Inc()
 		}
 		delete(e.registered, other)
 	}
+	s.connMu.RUnlock()
 	if cache {
 		e.data = append([]byte(nil), data...)
 	} else {
@@ -251,18 +350,21 @@ func (s *CacheStructure) Unregister(conn, name string) error {
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("cache.unregister", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.directory[name]
+	defer s.facility.charge(s.mUnreg, start)
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.m[name]
 	if e == nil {
 		return nil
 	}
 	if idx, ok := e.registered[conn]; ok {
 		delete(e.registered, conn)
+		s.connMu.RLock()
 		if c := s.conns[conn]; c != nil {
 			c.vector.Clear(idx)
 		}
+		s.connMu.RUnlock()
 	}
 	return nil
 }
@@ -274,13 +376,14 @@ func (s *CacheStructure) CastoutBegin(conn, name string) ([]byte, uint64, error)
 	if err != nil {
 		return nil, 0, err
 	}
-	defer s.facility.charge("cache.castoutbegin", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.conns[conn]; !ok {
-		return nil, 0, fmt.Errorf("%w: %q", ErrNotConnected, conn)
+	defer s.facility.charge(s.mCoBegin, start)
+	if _, err := s.conn(conn); err != nil {
+		return nil, 0, err
 	}
-	e := s.directory[name]
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.m[name]
 	if e == nil || !e.changed || e.data == nil {
 		return nil, 0, fmt.Errorf("%w: %q not changed in cache", ErrEntryNotFound, name)
 	}
@@ -299,10 +402,11 @@ func (s *CacheStructure) CastoutEnd(conn, name string, version uint64) error {
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("cache.castoutend", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.directory[name]
+	defer s.facility.charge(s.mCoEnd, start)
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.m[name]
 	if e == nil {
 		return nil
 	}
@@ -316,14 +420,16 @@ func (s *CacheStructure) CastoutEnd(conn, name string, version uint64) error {
 }
 
 // ChangedBlocks lists blocks pending castout, sorted (the castout
-// owner scans this).
+// owner scans this). Takes every stripe for a consistent snapshot.
 func (s *CacheStructure) ChangedBlocks() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	var out []string
-	for n, e := range s.directory {
-		if e.changed {
-			out = append(out, n)
+	for i := range s.stripes {
+		for n, e := range s.stripes[i].m {
+			if e.changed {
+				out = append(out, n)
+			}
 		}
 	}
 	sort.Strings(out)
@@ -332,9 +438,10 @@ func (s *CacheStructure) ChangedBlocks() []string {
 
 // Registered reports the connectors registered for block name.
 func (s *CacheStructure) Registered(name string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.directory[name]
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.m[name]
 	if e == nil {
 		return nil
 	}
@@ -348,54 +455,79 @@ func (s *CacheStructure) Registered(name string) []string {
 
 // Version returns the directory version of a block (0 if unknown).
 func (s *CacheStructure) Version(name string) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e := s.directory[name]; e != nil {
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e := st.m[name]; e != nil {
 		return e.version
 	}
 	return 0
 }
 
-// entryLocked finds or creates a directory entry, reclaiming clean
-// unregistered entries when the directory is full.
-func (s *CacheStructure) entryLocked(name string) (*cacheEntry, error) {
-	if e, ok := s.directory[name]; ok {
-		return e, nil
+// entryStripe finds or creates the directory entry for name and returns
+// it with its stripe locked; the caller unlocks the stripe. The fast
+// path touches only the block's own stripe. When the directory is full
+// it falls back to holding every stripe for a deterministic global
+// reclaim (lexicographically smallest clean unregistered entry, so
+// tests are stable), then releases all but the target stripe.
+func (s *CacheStructure) entryStripe(name string) (*cacheStripe, *cacheEntry, error) {
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	if e := st.m[name]; e != nil {
+		return st, e, nil
 	}
-	if len(s.directory) >= s.maxEntries {
-		if !s.reclaimLocked() {
-			return nil, fmt.Errorf("%w: %d entries", ErrCacheFull, s.maxEntries)
-		}
+	if s.nEntries.Add(1) <= int64(s.maxEntries) {
+		e := &cacheEntry{name: name, registered: make(map[string]int)}
+		st.m[name] = e
+		return st, e, nil
 	}
+	s.nEntries.Add(-1)
+	st.mu.Unlock()
+
+	s.lockAll()
+	if e := st.m[name]; e != nil { // created while we queued for the stripes
+		s.unlockAllExcept(st)
+		return st, e, nil
+	}
+	if s.nEntries.Load() >= int64(s.maxEntries) && !s.reclaimAllHeld() {
+		s.unlockAll()
+		return nil, nil, fmt.Errorf("%w: %d entries", ErrCacheFull, s.maxEntries)
+	}
+	s.nEntries.Add(1)
 	e := &cacheEntry{name: name, registered: make(map[string]int)}
-	s.directory[name] = e
-	return e, nil
+	st.m[name] = e
+	s.unlockAllExcept(st)
+	return st, e, nil
 }
 
-// reclaimLocked evicts one clean, unregistered entry (deterministically
-// the lexicographically smallest, so tests are stable).
-func (s *CacheStructure) reclaimLocked() bool {
+// reclaimAllHeld evicts one clean, unregistered entry (deterministically
+// the lexicographically smallest across the whole directory). Caller
+// holds every stripe.
+func (s *CacheStructure) reclaimAllHeld() bool {
 	var victim string
-	for n, e := range s.directory {
-		if e.changed || len(e.registered) > 0 || e.castoutBy != "" {
-			continue
-		}
-		if victim == "" || n < victim {
-			victim = n
+	var victimStripe *cacheStripe
+	for i := range s.stripes {
+		for n, e := range s.stripes[i].m {
+			if e.changed || len(e.registered) > 0 || e.castoutBy != "" {
+				continue
+			}
+			if victim == "" || n < victim {
+				victim = n
+				victimStripe = &s.stripes[i]
+			}
 		}
 	}
 	if victim == "" {
 		return false
 	}
-	delete(s.directory, victim)
-	s.facility.reg.Counter("cf.cache.reclaim").Inc()
+	delete(victimStripe.m, victim)
+	s.nEntries.Add(-1)
+	s.cReclaim.Inc()
 	return true
 }
 
 // storageBytes estimates the structure's footprint: directory entries
 // plus the data-element budget.
 func (s *CacheStructure) storageBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return int64(s.maxEntries) * 4352 // directory entry + one 4K data element
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sysplex/internal/metrics"
@@ -149,25 +150,53 @@ func (m Model) String() string {
 }
 
 // Facility is one Coupling Facility.
+//
+// The command fast path (begin/charge) is lock-free: every command of
+// every structure used to funnel through f.mu, which made the facility
+// itself the scalability ceiling regardless of how finely the structures
+// stripe their own state. Structure allocation and lookup remain
+// mutex-guarded — they are off the command path.
 type Facility struct {
 	name  string
 	clock vclock.Clock
 	reg   *metrics.Registry
 
-	mu         sync.Mutex
+	mu         sync.Mutex // guards structures, usedBytes
 	structures map[string]structure
-	broken     bool
-	totalBytes int64 // 0 = unconstrained
+	totalBytes int64 // 0 = unconstrained; immutable after New
 	usedBytes  int64
 
-	// syncLatency is charged on every command to model the coupling
-	// link round trip (zero by default: functional tests run at full
-	// speed; experiments inject microsecond values).
-	syncLatency time.Duration
+	// broken: every command begins with a single atomic load.
+	broken atomic.Bool
+
+	// syncLatency (nanoseconds) is charged on every command to model
+	// the coupling link round trip (zero by default: functional tests
+	// run at full speed; experiments inject microsecond values).
+	syncLatency atomic.Int64
 
 	// failAfter > 0 arms failure injection: the facility breaks after
-	// that many more commands have begun (see FailAfter).
-	failAfter int
+	// that many more commands have begun (see FailAfter). Decremented
+	// atomically; exactly the command that takes it to zero trips the
+	// facility, so arm-at-N stays deterministic under concurrency.
+	failAfter atomic.Int64
+}
+
+// cmdMetrics holds pre-resolved instrumentation handles for one command
+// kind. Structures resolve these once at allocation so the per-command
+// charge is two atomic bumps instead of two registry map lookups.
+type cmdMetrics struct {
+	ops *metrics.Counter
+	lat *metrics.Histogram
+}
+
+// cmdMetrics resolves the handles for kind against this facility's
+// registry. Called at structure allocation (and by cloneInto, which must
+// re-resolve against the destination facility's registry).
+func (f *Facility) cmdMetrics(kind string) cmdMetrics {
+	return cmdMetrics{
+		ops: f.reg.Counter("cf.cmd." + kind),
+		lat: f.reg.Histogram("cf.cmd.latency"),
+	}
 }
 
 type structure interface {
@@ -224,17 +253,13 @@ func (f *Facility) Metrics() *metrics.Registry { return f.reg }
 // SetSyncLatency injects a per-command service time (coupling link +
 // CF processor). Zero disables.
 func (f *Facility) SetSyncLatency(d time.Duration) {
-	f.mu.Lock()
-	f.syncLatency = d
-	f.mu.Unlock()
+	f.syncLatency.Store(int64(d))
 }
 
 // Fail marks the whole facility down: every subsequent command returns
 // ErrCFDown. Used to drive structure-rebuild scenarios.
 func (f *Facility) Fail() {
-	f.mu.Lock()
-	f.broken = true
-	f.mu.Unlock()
+	f.broken.Store(true)
 }
 
 // FailAfter arms failure injection: the facility fails (as by Fail)
@@ -242,44 +267,42 @@ func (f *Facility) Fail() {
 // at a deterministic point inside a command stream rather than from an
 // external timer. n <= 0 disarms.
 func (f *Facility) FailAfter(n int) {
-	f.mu.Lock()
-	f.failAfter = n
-	f.mu.Unlock()
+	if n <= 0 {
+		n = 0
+	}
+	f.failAfter.Store(int64(n))
 }
 
 // Failed reports whether the facility is down.
 func (f *Facility) Failed() bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.broken
+	return f.broken.Load()
 }
 
 // charge models the synchronous command cost and records metrics. It is
-// called by every structure command with the facility healthy-checked.
-func (f *Facility) charge(kind string, start time.Time) {
-	f.reg.Counter("cf.cmd." + kind).Inc()
-	f.reg.Histogram("cf.cmd.latency").Observe(f.clock.Since(start))
+// called by every structure command with the facility healthy-checked,
+// using handles the structure resolved at allocation.
+func (f *Facility) charge(m cmdMetrics, start time.Time) {
+	m.ops.Inc()
+	m.lat.Observe(f.clock.Since(start))
 }
 
 // begin performs the down-check and latency charge shared by commands.
+// It is lock-free: a broken load, an (almost always skipped) armed
+// failure-injection decrement, and the latency load.
 func (f *Facility) begin() (time.Time, error) {
-	f.mu.Lock()
-	lat := f.syncLatency
-	down := f.broken
-	if !down && f.failAfter > 0 {
-		f.failAfter--
-		if f.failAfter == 0 {
-			// This command still completes; the next one finds the
-			// facility broken.
-			f.broken = true
-		}
-	}
-	f.mu.Unlock()
-	if down {
+	if f.broken.Load() {
 		return time.Time{}, ErrCFDown
 	}
+	if f.failAfter.Load() > 0 && f.failAfter.Add(-1) == 0 {
+		// Exactly one command observes the decrement to zero — the Nth
+		// since arming. That command still completes; the next one
+		// finds the facility broken. Concurrent commands that raced the
+		// counter below zero began before the failure and also
+		// complete; a negative counter reads as disarmed.
+		f.broken.Store(true)
+	}
 	start := f.clock.Now()
-	if lat > 0 {
+	if lat := time.Duration(f.syncLatency.Load()); lat > 0 {
 		f.clock.Sleep(lat)
 	}
 	return start, nil
@@ -301,7 +324,7 @@ func (f *Facility) StructureNames() []string {
 func (f *Facility) Deallocate(name string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.broken {
+	if f.broken.Load() {
 		return ErrCFDown
 	}
 	s, ok := f.structures[name]
@@ -346,7 +369,7 @@ func (f *Facility) FailConnector(conn string) {
 func (f *Facility) allocate(name string, s structure) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.broken {
+	if f.broken.Load() {
 		return ErrCFDown
 	}
 	if _, ok := f.structures[name]; ok {
@@ -376,7 +399,7 @@ func (f *Facility) structureByName(name string) structure {
 func (f *Facility) lookup(name string, m Model) (structure, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.broken {
+	if f.broken.Load() {
 		return nil, ErrCFDown
 	}
 	s, ok := f.structures[name]

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sysplex/internal/metrics"
@@ -53,9 +55,12 @@ type DuplexEvent struct {
 // facility pair, modeling system-managed structure duplexing:
 //
 //   - Every mutating command is applied to the primary and mirrored to
-//     the secondary under a per-structure mutex, so both replicas see
-//     the identical command sequence. Read commands go to the primary
-//     only.
+//     the secondary; replica convergence requires only that commands
+//     against the same key (lock entry, block, list) apply in the same
+//     order on both replicas, so mutating commands are ordered by a
+//     per-structure stripe keyed like the underlying structure rather
+//     than a per-structure mutex. Read commands go to the primary only
+//     and run concurrently with everything.
 //   - The primary's results are the command's results; a secondary
 //     outcome mismatch (divergence) or secondary failure breaks
 //     duplexing and the pair degrades to simplex on the primary.
@@ -72,28 +77,66 @@ type Duplexed struct {
 	clock vclock.Clock
 	reg   *metrics.Registry
 
+	hFanout  *metrics.Histogram // cfrm.duplex.fanout, resolved once
+	cRetried *metrics.Counter   // cfrm.cmd.retried, resolved once
+
+	gen atomic.Uint64 // bumped (under mu) on every primary/secondary change
+
 	mu        sync.Mutex
 	cond      *sync.Cond // broadcast when syncing clears
 	primary   *Facility
 	secondary *Facility // nil when simplex
 	syncing   bool      // Reduplex copy in progress
-	gen       uint64    // bumped on every primary/secondary change
 	pairs     map[string]*pair
 	onEvent   func(DuplexEvent)
 }
 
-// pair tracks one structure's replica handles. Its mutex serializes
-// all commands against the structure so both replicas apply the same
-// ordered sequence; handles are refreshed lazily when the pair
+// pairStripes is the number of command-ordering stripes per pair.
+const pairStripes = 64
+
+// cmdOrder classifies a duplexed command for ordering purposes.
+type cmdOrder int
+
+const (
+	// ordRead: primary-only read; concurrent with every other command.
+	ordRead cmdOrder = iota
+	// ordKeyed: mutating; ordered only against commands with the same
+	// key — per-key ordering is all replica convergence requires.
+	ordKeyed
+	// ordGlobal: mutating; ordered against everything on the structure
+	// (commands whose effect spans keys, e.g. Connect, list Move).
+	ordGlobal
+)
+
+// pair tracks one structure's replica handles and orders its commands.
+// Commands hold rw.RLock (plus, when mutating, the stripe for their
+// key); structure-global operations and Reduplex hold rw.Lock. Handles
+// are published in an atomic pointer and refreshed lazily when their
 // generation falls behind the front's.
 type pair struct {
 	d    *Duplexed
 	name string
 
-	mu  sync.Mutex
+	rw      sync.RWMutex
+	stripes [pairStripes]sync.Mutex
+	h       atomic.Pointer[pairHandles]
+}
+
+// pairHandles is one immutable snapshot of a pair's replica handles.
+type pairHandles struct {
 	gen uint64
 	pri structure
 	sec structure // nil when not mirrored
+}
+
+// pairStripeIdx hashes a command-ordering key (FNV-1a) to a stripe.
+func pairStripeIdx(key string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h & (pairStripes - 1))
 }
 
 // NewDuplexed returns a front over primary (required) and secondary
@@ -109,6 +152,8 @@ func NewDuplexed(clock vclock.Clock, reg *metrics.Registry, primary, secondary *
 	d := &Duplexed{
 		clock:     clock,
 		reg:       reg,
+		hFanout:   reg.Histogram("cfrm.duplex.fanout"),
+		cRetried:  reg.Counter("cfrm.cmd.retried"),
 		primary:   primary,
 		secondary: secondary,
 		pairs:     make(map[string]*pair),
@@ -225,11 +270,11 @@ func (d *Duplexed) eachPair(fn func(pri, sec structure)) {
 	}
 	d.mu.Unlock()
 	for _, p := range ps {
-		p.mu.Lock()
+		p.rw.Lock()
 		if pri, sec, err := p.handles(); err == nil {
 			fn(pri, sec)
 		}
-		p.mu.Unlock()
+		p.rw.Unlock()
 	}
 }
 
@@ -291,8 +336,8 @@ func (d *Duplexed) allocate(name string, alloc func(*Facility) error) error {
 			return err
 		}
 	}
-	// gen-1 forces a handle lookup on first use.
-	d.pairs[name] = &pair{d: d, name: name, gen: d.gen - 1}
+	// A nil handle forces a lookup on first use.
+	d.pairs[name] = &pair{d: d, name: name}
 	return nil
 }
 
@@ -345,38 +390,55 @@ func (d *Duplexed) pair(name string) *pair {
 }
 
 // handles returns current replica handles, refreshing them after a
-// facility-level transition. Caller holds p.mu. Lock order: p.mu then
-// d.mu then (inside structureByName) the facility mutex.
+// facility-level transition. The fast path is one atomic pointer load
+// plus one generation load; refresh publishes a new immutable snapshot
+// under d.mu. Callers hold p.rw (read or write). Lock order: p.rw (and
+// optionally a stripe) then d.mu then the facility mutex inside
+// structureByName.
 func (p *pair) handles() (pri, sec structure, err error) {
 	d := p.d
-	d.mu.Lock()
-	if p.gen != d.gen {
-		p.pri = d.primary.structureByName(p.name)
-		p.sec = nil
+	h := p.h.Load()
+	if h == nil || h.gen != d.gen.Load() {
+		d.mu.Lock()
+		nh := &pairHandles{gen: d.gen.Load(), pri: d.primary.structureByName(p.name)}
 		if d.secondary != nil {
-			p.sec = d.secondary.structureByName(p.name)
+			nh.sec = d.secondary.structureByName(p.name)
 		}
-		p.gen = d.gen
+		p.h.Store(nh)
+		d.mu.Unlock()
+		h = nh
 	}
-	pri, sec = p.pri, p.sec
-	d.mu.Unlock()
-	if pri == nil {
+	if h.pri == nil {
 		return nil, nil, fmt.Errorf("%w: %q", ErrNoStructure, p.name)
 	}
-	return pri, sec, nil
+	return h.pri, h.sec, nil
 }
 
 // run executes one structure command. apply is invoked against the
 // primary replica (primary=true; its results are the command's results)
-// and, for mutating commands, mirrored to the secondary. A primary
-// ErrCFDown triggers in-line failover and a transparent retry.
-func (d *Duplexed) run(name string, mutating bool, apply func(s structure, primary bool) error) error {
+// and, for ordKeyed/ordGlobal commands, mirrored to the secondary. The
+// ord class decides what the command is serialized against (see
+// cmdOrder): reads share the pair's read lock, keyed mutations add the
+// stripe for their key so only same-key mutations are ordered, and
+// global mutations exclude everything. A primary ErrCFDown triggers
+// in-line failover and a transparent retry.
+func (d *Duplexed) run(name string, ord cmdOrder, key string, apply func(s structure, primary bool) error) error {
 	p := d.pair(name)
 	if p == nil {
 		return fmt.Errorf("%w: %q", ErrNoStructure, name)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	if ord == ordGlobal {
+		p.rw.Lock()
+		defer p.rw.Unlock()
+	} else {
+		p.rw.RLock()
+		defer p.rw.RUnlock()
+		if ord == ordKeyed {
+			st := &p.stripes[pairStripeIdx(key)]
+			st.Lock()
+			defer st.Unlock()
+		}
+	}
 	for {
 		pri, sec, err := p.handles()
 		if err != nil {
@@ -388,15 +450,15 @@ func (d *Duplexed) run(name string, mutating bool, apply func(s structure, prima
 			if !d.failover(pri.fac()) {
 				return err
 			}
-			d.reg.Counter("cfrm.cmd.retried").Inc()
+			d.cRetried.Inc()
 			continue
 		}
-		if mutating && sec != nil {
+		if ord != ordRead && sec != nil {
 			serr := apply(sec, false)
 			if !sameOutcome(err, serr) {
 				d.breakDuplex(sec.fac())
 			}
-			d.reg.Histogram("cfrm.duplex.fanout").Observe(d.clock.Since(start))
+			d.hFanout.Observe(d.clock.Since(start))
 		}
 		return err
 	}
@@ -428,7 +490,7 @@ func (d *Duplexed) failover(seen *Facility) bool {
 	}
 	lost := d.primary.Name()
 	d.primary, d.secondary = d.secondary, nil
-	d.gen++
+	d.gen.Add(1)
 	cb := d.onEvent
 	d.mu.Unlock()
 	d.reg.Counter("cfrm.failover.count").Inc()
@@ -448,7 +510,7 @@ func (d *Duplexed) breakDuplex(sec *Facility) {
 	}
 	lost := sec.Name()
 	d.secondary = nil
-	d.gen++
+	d.gen.Add(1)
 	cb := d.onEvent
 	d.mu.Unlock()
 	d.reg.Counter("cfrm.duplex.broken").Inc()
@@ -505,7 +567,7 @@ func (d *Duplexed) Reduplex(newFac *Facility) error {
 	d.mu.Unlock()
 
 	for _, p := range ps {
-		p.mu.Lock()
+		p.rw.Lock()
 		pri, _, err := p.handles()
 		if err == nil {
 			var clone structure
@@ -513,10 +575,13 @@ func (d *Duplexed) Reduplex(newFac *Facility) error {
 			if err == nil {
 				// Mirroring of this structure starts now; commands on
 				// other structures still run simplex until their copy.
-				p.sec = clone
+				// The snapshot carries the current generation, so it is
+				// used as-is until the front-level transition below bumps
+				// gen (the refresh then re-derives identical handles).
+				p.h.Store(&pairHandles{gen: d.gen.Load(), pri: pri, sec: clone})
 			}
 		}
-		p.mu.Unlock()
+		p.rw.Unlock()
 		if err != nil {
 			d.abortSync(newFac)
 			return fmt.Errorf("cf: re-duplex into %s: %w", newFac.Name(), err)
@@ -526,7 +591,7 @@ func (d *Duplexed) Reduplex(newFac *Facility) error {
 	d.mu.Lock()
 	d.secondary = newFac
 	d.syncing = false
-	d.gen++
+	d.gen.Add(1)
 	cb := d.onEvent
 	d.cond.Broadcast()
 	d.mu.Unlock()
@@ -548,11 +613,11 @@ func (d *Duplexed) abortSync(newFac *Facility) {
 	d.cond.Broadcast()
 	d.mu.Unlock()
 	for _, p := range ps {
-		p.mu.Lock()
-		if p.sec != nil && p.sec.fac() == newFac {
-			p.sec = nil
+		p.rw.Lock()
+		if h := p.h.Load(); h != nil && h.sec != nil && h.sec.fac() == newFac {
+			p.h.Store(&pairHandles{gen: h.gen, pri: h.pri})
 		}
-		p.mu.Unlock()
+		p.rw.Unlock()
 	}
 }
 
@@ -570,7 +635,7 @@ func (d *Duplexed) SwitchPrimary() (*Facility, error) {
 	}
 	old := d.primary
 	d.primary, d.secondary = d.secondary, nil
-	d.gen++
+	d.gen.Add(1)
 	return old, nil
 }
 
@@ -592,8 +657,8 @@ func (l *DuplexedLock) primary() *LockStructure {
 	if p == nil {
 		return nil
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.rw.RLock()
+	defer p.rw.RUnlock()
 	pri, _, err := p.handles()
 	if err != nil {
 		return nil
@@ -623,7 +688,7 @@ func (l *DuplexedLock) HashResource(resource string) int {
 
 // Connect attaches a connector to both replicas.
 func (l *DuplexedLock) Connect(conn string) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
 		return s.(*LockStructure).Connect(conn)
 	})
 }
@@ -632,7 +697,7 @@ func (l *DuplexedLock) Connect(conn string) error {
 // decision is returned.
 func (l *DuplexedLock) Obtain(idx int, conn string, mode LockMode) (ObtainResult, error) {
 	var out ObtainResult
-	err := l.d.run(l.name, true, func(s structure, primary bool) error {
+	err := l.d.run(l.name, ordKeyed, "e"+strconv.Itoa(idx), func(s structure, primary bool) error {
 		r, err := s.(*LockStructure).Obtain(idx, conn, mode)
 		if primary {
 			out = r
@@ -644,14 +709,14 @@ func (l *DuplexedLock) Obtain(idx int, conn string, mode LockMode) (ObtainResult
 
 // ForceObtain records interest unconditionally on both replicas.
 func (l *DuplexedLock) ForceObtain(idx int, conn string, mode LockMode) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	return l.d.run(l.name, ordKeyed, "e"+strconv.Itoa(idx), func(s structure, primary bool) error {
 		return s.(*LockStructure).ForceObtain(idx, conn, mode)
 	})
 }
 
 // Release drops interest on both replicas.
 func (l *DuplexedLock) Release(idx int, conn string, mode LockMode) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	return l.d.run(l.name, ordKeyed, "e"+strconv.Itoa(idx), func(s structure, primary bool) error {
 		return s.(*LockStructure).Release(idx, conn, mode)
 	})
 }
@@ -667,14 +732,14 @@ func (l *DuplexedLock) Interest(idx int, conn string) (share, excl int, err erro
 
 // SetRecord stores a persistent lock record on both replicas.
 func (l *DuplexedLock) SetRecord(conn, resource string, mode LockMode) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	return l.d.run(l.name, ordKeyed, "r"+conn, func(s structure, primary bool) error {
 		return s.(*LockStructure).SetRecord(conn, resource, mode)
 	})
 }
 
 // DeleteRecord removes a persistent lock record from both replicas.
 func (l *DuplexedLock) DeleteRecord(conn, resource string) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	return l.d.run(l.name, ordKeyed, "r"+conn, func(s structure, primary bool) error {
 		return s.(*LockStructure).DeleteRecord(conn, resource)
 	})
 }
@@ -682,7 +747,7 @@ func (l *DuplexedLock) DeleteRecord(conn, resource string) error {
 // Records reads conn's persistent lock records from the primary.
 func (l *DuplexedLock) Records(conn string) ([]LockRecord, error) {
 	var out []LockRecord
-	err := l.d.run(l.name, false, func(s structure, primary bool) error {
+	err := l.d.run(l.name, ordRead, "", func(s structure, primary bool) error {
 		r, err := s.(*LockStructure).Records(conn)
 		if primary {
 			out = r
@@ -694,7 +759,7 @@ func (l *DuplexedLock) Records(conn string) ([]LockRecord, error) {
 
 // AdoptRetained installs retained records on both replicas.
 func (l *DuplexedLock) AdoptRetained(conn string, recs []LockRecord) {
-	l.d.run(l.name, true, func(s structure, primary bool) error {
+	l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
 		s.(*LockStructure).AdoptRetained(conn, recs)
 		return nil
 	})
@@ -719,8 +784,8 @@ func (c *DuplexedCache) primary() *CacheStructure {
 	if p == nil {
 		return nil
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.rw.RLock()
+	defer p.rw.RUnlock()
 	pri, _, err := p.handles()
 	if err != nil {
 		return nil
@@ -735,7 +800,7 @@ func (c *DuplexedCache) Name() string { return c.name }
 // replicas. The vector is shared: either replica's cross-invalidation
 // flips the same system-owned bits.
 func (c *DuplexedCache) Connect(conn string, vector *BitVector) error {
-	return c.d.run(c.name, true, func(s structure, primary bool) error {
+	return c.d.run(c.name, ordGlobal, "", func(s structure, primary bool) error {
 		return s.(*CacheStructure).Connect(conn, vector)
 	})
 }
@@ -744,7 +809,7 @@ func (c *DuplexedCache) Connect(conn string, vector *BitVector) error {
 // mutates the directory) and returns the primary's data.
 func (c *DuplexedCache) ReadAndRegister(conn, name string, vecIdx int) (ReadResult, error) {
 	var out ReadResult
-	err := c.d.run(c.name, true, func(s structure, primary bool) error {
+	err := c.d.run(c.name, ordKeyed, "b"+name, func(s structure, primary bool) error {
 		r, err := s.(*CacheStructure).ReadAndRegister(conn, name, vecIdx)
 		if primary {
 			out = r
@@ -758,14 +823,14 @@ func (c *DuplexedCache) ReadAndRegister(conn, name string, vecIdx int) (ReadResu
 // Cross-invalidation bits flip once per target either way, because the
 // replicas share the connectors' validity vectors.
 func (c *DuplexedCache) WriteAndInvalidate(conn, name string, data []byte, cache, changed bool, vecIdx int) error {
-	return c.d.run(c.name, true, func(s structure, primary bool) error {
+	return c.d.run(c.name, ordKeyed, "b"+name, func(s structure, primary bool) error {
 		return s.(*CacheStructure).WriteAndInvalidate(conn, name, data, cache, changed, vecIdx)
 	})
 }
 
 // Unregister removes interest on both replicas.
 func (c *DuplexedCache) Unregister(conn, name string) error {
-	return c.d.run(c.name, true, func(s structure, primary bool) error {
+	return c.d.run(c.name, ordKeyed, "b"+name, func(s structure, primary bool) error {
 		return s.(*CacheStructure).Unregister(conn, name)
 	})
 }
@@ -777,7 +842,7 @@ func (c *DuplexedCache) CastoutBegin(conn, name string) ([]byte, uint64, error) 
 		data []byte
 		ver  uint64
 	)
-	err := c.d.run(c.name, true, func(s structure, primary bool) error {
+	err := c.d.run(c.name, ordKeyed, "b"+name, func(s structure, primary bool) error {
 		d, v, err := s.(*CacheStructure).CastoutBegin(conn, name)
 		if primary {
 			data, ver = d, v
@@ -789,7 +854,7 @@ func (c *DuplexedCache) CastoutBegin(conn, name string) ([]byte, uint64, error) 
 
 // CastoutEnd completes the castout on both replicas.
 func (c *DuplexedCache) CastoutEnd(conn, name string, version uint64) error {
-	return c.d.run(c.name, true, func(s structure, primary bool) error {
+	return c.d.run(c.name, ordKeyed, "b"+name, func(s structure, primary bool) error {
 		return s.(*CacheStructure).CastoutEnd(conn, name, version)
 	})
 }
@@ -829,8 +894,8 @@ func (l *DuplexedList) primaryS() *ListStructure {
 	if p == nil {
 		return nil
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.rw.RLock()
+	defer p.rw.RUnlock()
 	pri, _, err := p.handles()
 	if err != nil {
 		return nil
@@ -852,21 +917,21 @@ func (l *DuplexedList) Lists() int {
 // Connect attaches a connector (and its notification vector, shared by
 // both replicas) to the pair.
 func (l *DuplexedList) Connect(conn string, vector *BitVector) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
 		return s.(*ListStructure).Connect(conn, vector)
 	})
 }
 
 // SetLock acquires a lock entry on both replicas.
 func (l *DuplexedList) SetLock(idx int, conn string) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
 		return s.(*ListStructure).SetLock(idx, conn)
 	})
 }
 
 // ReleaseLock releases a lock entry on both replicas.
 func (l *DuplexedList) ReleaseLock(idx int, conn string) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
 		return s.(*ListStructure).ReleaseLock(idx, conn)
 	})
 }
@@ -881,7 +946,7 @@ func (l *DuplexedList) LockHolder(idx int) string {
 
 // Write creates or updates an entry on both replicas.
 func (l *DuplexedList) Write(conn string, list int, id, key string, data []byte, order Order, cond Cond) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	return l.d.run(l.name, ordKeyed, "l"+strconv.Itoa(list), func(s structure, primary bool) error {
 		return s.(*ListStructure).Write(conn, list, id, key, data, order, cond)
 	})
 }
@@ -889,7 +954,7 @@ func (l *DuplexedList) Write(conn string, list int, id, key string, data []byte,
 // Read returns a copy of an entry from the primary.
 func (l *DuplexedList) Read(conn, id string, cond Cond) (ListEntry, error) {
 	var out ListEntry
-	err := l.d.run(l.name, false, func(s structure, primary bool) error {
+	err := l.d.run(l.name, ordRead, "", func(s structure, primary bool) error {
 		e, err := s.(*ListStructure).Read(conn, id, cond)
 		if primary {
 			out = e
@@ -902,7 +967,7 @@ func (l *DuplexedList) Read(conn, id string, cond Cond) (ListEntry, error) {
 // ReadFirst returns the head entry of a list from the primary.
 func (l *DuplexedList) ReadFirst(conn string, list int, cond Cond) (ListEntry, error) {
 	var out ListEntry
-	err := l.d.run(l.name, false, func(s structure, primary bool) error {
+	err := l.d.run(l.name, ordRead, "", func(s structure, primary bool) error {
 		e, err := s.(*ListStructure).ReadFirst(conn, list, cond)
 		if primary {
 			out = e
@@ -916,7 +981,7 @@ func (l *DuplexedList) ReadFirst(conn string, list int, cond Cond) (ListEntry, e
 // primary's entry is returned.
 func (l *DuplexedList) Pop(conn string, list int, cond Cond) (ListEntry, error) {
 	var out ListEntry
-	err := l.d.run(l.name, true, func(s structure, primary bool) error {
+	err := l.d.run(l.name, ordKeyed, "l"+strconv.Itoa(list), func(s structure, primary bool) error {
 		e, err := s.(*ListStructure).Pop(conn, list, cond)
 		if primary {
 			out = e
@@ -928,21 +993,23 @@ func (l *DuplexedList) Pop(conn string, list int, cond Cond) (ListEntry, error) 
 
 // Delete removes an entry from both replicas.
 func (l *DuplexedList) Delete(conn, id string, cond Cond) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
 		return s.(*ListStructure).Delete(conn, id, cond)
 	})
 }
 
 // Move moves an entry between lists on both replicas.
 func (l *DuplexedList) Move(conn, id string, toList int, order Order, cond Cond) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
 		return s.(*ListStructure).Move(conn, id, toList, order, cond)
 	})
 }
 
 // SetAdjunct updates an entry's adjunct area on both replicas.
 func (l *DuplexedList) SetAdjunct(conn, id, adjunct string, cond Cond) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	// Global, not keyed by id: keyed by the entry alone it could order
+	// differently than a Pop of the entry's list on the two replicas.
+	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
 		return s.(*ListStructure).SetAdjunct(conn, id, adjunct, cond)
 	})
 }
@@ -975,14 +1042,14 @@ func (l *DuplexedList) TotalEntries() int {
 // shared notification vector means the bit flips once per transition on
 // whichever replica signals first — signals are idempotent bit sets).
 func (l *DuplexedList) Monitor(conn string, list int, vecIdx int) error {
-	return l.d.run(l.name, true, func(s structure, primary bool) error {
+	return l.d.run(l.name, ordKeyed, "l"+strconv.Itoa(list), func(s structure, primary bool) error {
 		return s.(*ListStructure).Monitor(conn, list, vecIdx)
 	})
 }
 
 // Unmonitor removes monitoring from both replicas.
 func (l *DuplexedList) Unmonitor(conn string, list int) {
-	l.d.run(l.name, true, func(s structure, primary bool) error {
+	l.d.run(l.name, ordKeyed, "l"+strconv.Itoa(list), func(s structure, primary bool) error {
 		s.(*ListStructure).Unmonitor(conn, list)
 		return nil
 	})

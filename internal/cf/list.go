@@ -4,7 +4,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"sysplex/internal/metrics"
 )
+
+// listShards is the number of entry-map shards; a power of two so the
+// shard index is a mask of the entry-ID hash.
+const listShards = 64
 
 // Order controls where a list entry is queued (§3.3.3: LIFO/FIFO order
 // or collating sequence by key under program control).
@@ -49,21 +56,82 @@ type Cond struct {
 // ListStructure is a CF list-model structure: a program-specified
 // number of list headers, dynamically created entries, optional lock
 // entries for conditional execution, and list-transition monitoring.
+//
+// Concurrency: every command holds mu.RLock; structure-wide operations
+// (Connect, connector purge, clone) hold mu.Lock, which excludes all
+// commands and may then touch any state directly. Under the read lock,
+// state is striped: each list header has its own mutex guarding order
+// and membership, the entry map is sharded by ID hash, and each
+// conditional lock entry carries an RWMutex. Entry *fields* are owned
+// by the ID's shard; list membership and order by the list's mutex.
+// Lock order: cond entry → list headers (ascending) → entry shard →
+// monMu. Commands that discover the target list through the entry
+// (Delete, Move) use an optimistic retry loop to respect that order.
+// Conditional commands hold the lock entry's RLock for their duration,
+// so SetLock (write lock) still quiesces in-flight mainline commands
+// exactly as the serialized-list protocol requires.
 type ListStructure struct {
-	facility *Facility
-	name     string
+	facility   *Facility
+	name       string
+	maxEntries int // immutable
 
-	mu         sync.Mutex
-	lists      [][]*ListEntry
-	byID       map[string]*ListEntry
-	locks      []string // lock entries: holder connector or ""
-	maxEntries int
-	conns      map[string]*listConn
-	monitors   map[int]map[string]int // list -> conn -> vector index
+	mSetLock cmdMetrics
+	mRelLock cmdMetrics
+	mWrite   cmdMetrics
+	mRead    cmdMetrics
+	mReadFst cmdMetrics
+	mPop     cmdMetrics
+	mDelete  cmdMetrics
+	mMove    cmdMetrics
+	mAdjunct cmdMetrics
+	mMonitor cmdMetrics
+	cTrans   *metrics.Counter
+
+	mu     sync.RWMutex
+	lists  []listHead
+	shards [listShards]entryShard
+	locks  []condLock
+	total  atomic.Int64 // entries across all shards, <= maxEntries
+	conns  map[string]*listConn
+
+	monMu    sync.Mutex
+	monitors map[int]map[string]int // list -> conn -> vector index
+}
+
+type listHead struct {
+	mu      sync.Mutex
+	entries []*ListEntry
+}
+
+type entryShard struct {
+	mu sync.Mutex
+	m  map[string]*ListEntry
+}
+
+// condLock is one serialized-list lock entry. Conditional mainline
+// commands hold rw.RLock for their duration; SetLock/ReleaseLock take
+// rw.Lock, so acquiring the lock waits out in-flight conditional work.
+type condLock struct {
+	rw     sync.RWMutex
+	holder string // connector or ""
 }
 
 type listConn struct {
 	vector *BitVector // list-transition notification vector
+}
+
+// listShardIdx hashes an entry ID to its shard (inline FNV-1a).
+func listShardIdx(id string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return int(h & (listShards - 1))
+}
+
+func (s *ListStructure) shardFor(id string) *entryShard {
+	return &s.shards[listShardIdx(id)]
 }
 
 // AllocateListStructure allocates a list structure with nLists headers,
@@ -72,20 +140,38 @@ func (f *Facility) AllocateListStructure(name string, nLists, nLocks, maxEntries
 	if nLists <= 0 || nLocks < 0 || maxEntries <= 0 {
 		return nil, fmt.Errorf("%w: list structure shape", ErrBadArgument)
 	}
-	s := &ListStructure{
-		facility:   f,
-		name:       name,
-		lists:      make([][]*ListEntry, nLists),
-		byID:       make(map[string]*ListEntry),
-		locks:      make([]string, nLocks),
-		maxEntries: maxEntries,
-		conns:      make(map[string]*listConn),
-		monitors:   make(map[int]map[string]int),
-	}
+	s := newListStructure(f, name, nLists, nLocks, maxEntries)
 	if err := f.allocate(name, s); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+func newListStructure(f *Facility, name string, nLists, nLocks, maxEntries int) *ListStructure {
+	s := &ListStructure{
+		facility:   f,
+		name:       name,
+		maxEntries: maxEntries,
+		lists:      make([]listHead, nLists),
+		locks:      make([]condLock, nLocks),
+		conns:      make(map[string]*listConn),
+		monitors:   make(map[int]map[string]int),
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*ListEntry)
+	}
+	s.mSetLock = f.cmdMetrics("list.setlock")
+	s.mRelLock = f.cmdMetrics("list.releaselock")
+	s.mWrite = f.cmdMetrics("list.write")
+	s.mRead = f.cmdMetrics("list.read")
+	s.mReadFst = f.cmdMetrics("list.readfirst")
+	s.mPop = f.cmdMetrics("list.pop")
+	s.mDelete = f.cmdMetrics("list.delete")
+	s.mMove = f.cmdMetrics("list.move")
+	s.mAdjunct = f.cmdMetrics("list.adjunct")
+	s.mMonitor = f.cmdMetrics("list.monitor")
+	s.cTrans = f.reg.Counter("cf.list.transition")
+	return s
 }
 
 // ListStructure returns the named list structure.
@@ -107,27 +193,23 @@ func (s *ListStructure) fac() *Facility        { return s.facility }
 func (s *ListStructure) cloneInto(dst *Facility) (structure, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := &ListStructure{
-		facility:   dst,
-		name:       s.name,
-		lists:      make([][]*ListEntry, len(s.lists)),
-		byID:       make(map[string]*ListEntry, len(s.byID)),
-		locks:      append([]string(nil), s.locks...),
-		maxEntries: s.maxEntries,
-		conns:      make(map[string]*listConn, len(s.conns)),
-		monitors:   make(map[int]map[string]int, len(s.monitors)),
+	n := newListStructure(dst, s.name, len(s.lists), len(s.locks), s.maxEntries)
+	for i := range s.locks {
+		n.locks[i].holder = s.locks[i].holder
 	}
 	for c, lc := range s.conns {
 		n.conns[c] = &listConn{vector: lc.vector}
 	}
-	for i, l := range s.lists {
+	for i := range s.lists {
+		l := s.lists[i].entries
 		nl := make([]*ListEntry, len(l))
 		for j, e := range l {
 			ne := e.clone()
 			nl[j] = &ne
-			n.byID[ne.ID] = &ne
+			n.shardFor(ne.ID).m[ne.ID] = &ne
+			n.total.Add(1)
 		}
-		n.lists[i] = nl
+		n.lists[i].entries = nl
 	}
 	for l, m := range s.monitors {
 		nm := make(map[string]int, len(m))
@@ -145,12 +227,8 @@ func (s *ListStructure) cloneInto(dst *Facility) (structure, error) {
 // Name returns the structure name.
 func (s *ListStructure) Name() string { return s.name }
 
-// Lists returns the number of list headers.
-func (s *ListStructure) Lists() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.lists)
-}
+// Lists returns the number of list headers (fixed at allocation).
+func (s *ListStructure) Lists() int { return len(s.lists) }
 
 // Connect attaches a connector with its notification vector (may be
 // nil if the connector never monitors lists).
@@ -179,6 +257,8 @@ func (s *ListStructure) failConnector(conn string) {
 	// clean up with their own protocol.
 }
 
+// purgeConnLocked runs under mu.Lock, which excludes every command, so
+// monitors and lock holders are touched without their inner locks.
 func (s *ListStructure) purgeConnLocked(conn string) {
 	delete(s.conns, conn)
 	for l, m := range s.monitors {
@@ -187,33 +267,38 @@ func (s *ListStructure) purgeConnLocked(conn string) {
 			delete(s.monitors, l)
 		}
 	}
-	for i, holder := range s.locks {
-		if holder == conn {
-			s.locks[i] = ""
+	for i := range s.locks {
+		if s.locks[i].holder == conn {
+			s.locks[i].holder = ""
 		}
 	}
 }
 
 // SetLock acquires lock entry idx for conn; it fails with ErrLockHeld
-// if another connector holds it.
+// if another connector holds it. Taking the entry's write lock waits
+// out every in-flight conditional command, preserving the quiesce
+// semantics of the serialized-list protocol.
 func (s *ListStructure) SetLock(idx int, conn string) error {
 	start, err := s.facility.begin()
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("list.setlock", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.connCheckLocked(conn); err != nil {
+	defer s.facility.charge(s.mSetLock, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.connCheckRLocked(conn); err != nil {
 		return err
 	}
 	if idx < 0 || idx >= len(s.locks) {
 		return fmt.Errorf("%w: lock entry %d", ErrBadArgument, idx)
 	}
-	if s.locks[idx] != "" && s.locks[idx] != conn {
-		return fmt.Errorf("%w: by %s", ErrLockHeld, s.locks[idx])
+	l := &s.locks[idx]
+	l.rw.Lock()
+	defer l.rw.Unlock()
+	if l.holder != "" && l.holder != conn {
+		return fmt.Errorf("%w: by %s", ErrLockHeld, l.holder)
 	}
-	s.locks[idx] = conn
+	l.holder = conn
 	return nil
 }
 
@@ -223,26 +308,32 @@ func (s *ListStructure) ReleaseLock(idx int, conn string) error {
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("list.releaselock", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.facility.charge(s.mRelLock, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if idx < 0 || idx >= len(s.locks) {
 		return fmt.Errorf("%w: lock entry %d", ErrBadArgument, idx)
 	}
-	if s.locks[idx] == conn {
-		s.locks[idx] = ""
+	l := &s.locks[idx]
+	l.rw.Lock()
+	defer l.rw.Unlock()
+	if l.holder == conn {
+		l.holder = ""
 	}
 	return nil
 }
 
 // LockHolder returns the holder of lock entry idx ("" if free).
 func (s *ListStructure) LockHolder(idx int) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if idx < 0 || idx >= len(s.locks) {
 		return ""
 	}
-	return s.locks[idx]
+	l := &s.locks[idx]
+	l.rw.RLock()
+	defer l.rw.RUnlock()
+	return l.holder
 }
 
 // Write creates or updates entry id on the given list. Creation onto an
@@ -252,26 +343,38 @@ func (s *ListStructure) Write(conn string, list int, id, key string, data []byte
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("list.write", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.preambleLocked(conn, list, cond); err != nil {
+	defer s.facility.charge(s.mWrite, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.preambleRLocked(conn, list); err != nil {
 		return err
 	}
-	if e, ok := s.byID[id]; ok {
+	unlockCond, err := s.condGuard(conn, cond)
+	if err != nil {
+		return err
+	}
+	defer unlockCond()
+	lh := &s.lists[list]
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.m[id]; ok {
 		e.Data = append([]byte(nil), data...)
 		e.Key = key
 		return nil
 	}
-	if len(s.byID) >= s.maxEntries {
+	if s.total.Add(1) > int64(s.maxEntries) {
+		s.total.Add(-1)
 		return fmt.Errorf("%w (%d)", ErrListFull, s.maxEntries)
 	}
 	e := &ListEntry{ID: id, Key: key, Data: append([]byte(nil), data...), List: list}
-	wasEmpty := len(s.lists[list]) == 0
-	s.insertLocked(e, list, order)
-	s.byID[id] = e
+	wasEmpty := len(lh.entries) == 0
+	insertInto(lh, e, list, order)
+	sh.m[id] = e
 	if wasEmpty {
-		s.signalTransitionLocked(list)
+		s.signalTransition(list)
 	}
 	return nil
 }
@@ -282,13 +385,21 @@ func (s *ListStructure) Read(conn, id string, cond Cond) (ListEntry, error) {
 	if err != nil {
 		return ListEntry{}, err
 	}
-	defer s.facility.charge("list.read", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.preambleLocked(conn, 0, cond); err != nil {
+	defer s.facility.charge(s.mRead, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.connCheckRLocked(conn); err != nil {
 		return ListEntry{}, err
 	}
-	e, ok := s.byID[id]
+	unlockCond, err := s.condGuard(conn, cond)
+	if err != nil {
+		return ListEntry{}, err
+	}
+	defer unlockCond()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.m[id]
 	if !ok {
 		return ListEntry{}, fmt.Errorf("%w: %q", ErrEntryNotFound, id)
 	}
@@ -301,16 +412,28 @@ func (s *ListStructure) ReadFirst(conn string, list int, cond Cond) (ListEntry, 
 	if err != nil {
 		return ListEntry{}, err
 	}
-	defer s.facility.charge("list.readfirst", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.preambleLocked(conn, list, cond); err != nil {
+	defer s.facility.charge(s.mReadFst, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.preambleRLocked(conn, list); err != nil {
 		return ListEntry{}, err
 	}
-	if len(s.lists[list]) == 0 {
+	unlockCond, err := s.condGuard(conn, cond)
+	if err != nil {
+		return ListEntry{}, err
+	}
+	defer unlockCond()
+	lh := &s.lists[list]
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	if len(lh.entries) == 0 {
 		return ListEntry{}, fmt.Errorf("%w: list %d empty", ErrEntryNotFound, list)
 	}
-	return s.lists[list][0].clone(), nil
+	e := lh.entries[0]
+	sh := s.shardFor(e.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return e.clone(), nil
 }
 
 // Pop atomically removes and returns the head entry of a list —
@@ -320,40 +443,78 @@ func (s *ListStructure) Pop(conn string, list int, cond Cond) (ListEntry, error)
 	if err != nil {
 		return ListEntry{}, err
 	}
-	defer s.facility.charge("list.pop", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.preambleLocked(conn, list, cond); err != nil {
+	defer s.facility.charge(s.mPop, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.preambleRLocked(conn, list); err != nil {
 		return ListEntry{}, err
 	}
-	if len(s.lists[list]) == 0 {
+	unlockCond, err := s.condGuard(conn, cond)
+	if err != nil {
+		return ListEntry{}, err
+	}
+	defer unlockCond()
+	lh := &s.lists[list]
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	if len(lh.entries) == 0 {
 		return ListEntry{}, fmt.Errorf("%w: list %d empty", ErrEntryNotFound, list)
 	}
-	e := s.lists[list][0]
-	s.lists[list] = s.lists[list][1:]
-	delete(s.byID, e.ID)
+	e := lh.entries[0]
+	sh := s.shardFor(e.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lh.entries = lh.entries[1:]
+	delete(sh.m, e.ID)
+	s.total.Add(-1)
 	return e.clone(), nil
 }
 
-// Delete removes entry id.
+// Delete removes entry id. The target list is discovered through the
+// entry, so an optimistic loop re-locks in hierarchy order (list before
+// shard) and retries if the entry moved in the window.
 func (s *ListStructure) Delete(conn, id string, cond Cond) error {
 	start, err := s.facility.begin()
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("list.delete", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.preambleLocked(conn, 0, cond); err != nil {
+	defer s.facility.charge(s.mDelete, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.connCheckRLocked(conn); err != nil {
 		return err
 	}
-	e, ok := s.byID[id]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrEntryNotFound, id)
+	unlockCond, err := s.condGuard(conn, cond)
+	if err != nil {
+		return err
 	}
-	s.removeFromListLocked(e)
-	delete(s.byID, id)
-	return nil
+	defer unlockCond()
+	sh := s.shardFor(id)
+	for {
+		sh.mu.Lock()
+		e, ok := sh.m[id]
+		if !ok {
+			sh.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrEntryNotFound, id)
+		}
+		list := e.List
+		sh.mu.Unlock()
+
+		lh := &s.lists[list]
+		lh.mu.Lock()
+		sh.mu.Lock()
+		if cur, ok := sh.m[id]; !ok || cur != e || e.List != list {
+			sh.mu.Unlock()
+			lh.mu.Unlock()
+			continue // entry moved or was replaced; retry
+		}
+		removeFrom(lh, e)
+		delete(sh.m, id)
+		s.total.Add(-1)
+		sh.mu.Unlock()
+		lh.mu.Unlock()
+		return nil
+	}
 }
 
 // Move atomically moves entry id to another list, with no window in
@@ -363,23 +524,60 @@ func (s *ListStructure) Move(conn, id string, toList int, order Order, cond Cond
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("list.move", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.preambleLocked(conn, toList, cond); err != nil {
+	defer s.facility.charge(s.mMove, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.preambleRLocked(conn, toList); err != nil {
 		return err
 	}
-	e, ok := s.byID[id]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrEntryNotFound, id)
+	unlockCond, err := s.condGuard(conn, cond)
+	if err != nil {
+		return err
 	}
-	s.removeFromListLocked(e)
-	wasEmpty := len(s.lists[toList]) == 0
-	s.insertLocked(e, toList, order)
-	if wasEmpty {
-		s.signalTransitionLocked(toList)
+	defer unlockCond()
+	sh := s.shardFor(id)
+	for {
+		sh.mu.Lock()
+		e, ok := sh.m[id]
+		if !ok {
+			sh.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrEntryNotFound, id)
+		}
+		from := e.List
+		sh.mu.Unlock()
+
+		// Lock both list headers in ascending order, then the shard.
+		lo, hi := from, toList
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		s.lists[lo].mu.Lock()
+		if hi != lo {
+			s.lists[hi].mu.Lock()
+		}
+		sh.mu.Lock()
+		if cur, ok := sh.m[id]; !ok || cur != e || e.List != from {
+			sh.mu.Unlock()
+			if hi != lo {
+				s.lists[hi].mu.Unlock()
+			}
+			s.lists[lo].mu.Unlock()
+			continue // entry moved in the window; retry
+		}
+		fromHead, toHead := &s.lists[from], &s.lists[toList]
+		removeFrom(fromHead, e)
+		wasEmpty := len(toHead.entries) == 0
+		insertInto(toHead, e, toList, order)
+		if wasEmpty {
+			s.signalTransition(toList)
+		}
+		sh.mu.Unlock()
+		if hi != lo {
+			s.lists[hi].mu.Unlock()
+		}
+		s.lists[lo].mu.Unlock()
+		return nil
 	}
-	return nil
 }
 
 // SetAdjunct updates an entry's adjunct area in place (atomically, like
@@ -389,13 +587,21 @@ func (s *ListStructure) SetAdjunct(conn, id, adjunct string, cond Cond) error {
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("list.adjunct", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.preambleLocked(conn, 0, cond); err != nil {
+	defer s.facility.charge(s.mAdjunct, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.connCheckRLocked(conn); err != nil {
 		return err
 	}
-	e, ok := s.byID[id]
+	unlockCond, err := s.condGuard(conn, cond)
+	if err != nil {
+		return err
+	}
+	defer unlockCond()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.m[id]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrEntryNotFound, id)
 	}
@@ -405,33 +611,40 @@ func (s *ListStructure) SetAdjunct(conn, id, adjunct string, cond Cond) error {
 
 // Len returns the number of entries on a list.
 func (s *ListStructure) Len(list int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if list < 0 || list >= len(s.lists) {
 		return 0
 	}
-	return len(s.lists[list])
+	lh := &s.lists[list]
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	return len(lh.entries)
 }
 
 // Entries returns copies of the entries on a list in queue order.
 func (s *ListStructure) Entries(list int) []ListEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if list < 0 || list >= len(s.lists) {
 		return nil
 	}
-	out := make([]ListEntry, 0, len(s.lists[list]))
-	for _, e := range s.lists[list] {
+	lh := &s.lists[list]
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	out := make([]ListEntry, 0, len(lh.entries))
+	for _, e := range lh.entries {
+		sh := s.shardFor(e.ID)
+		sh.mu.Lock()
 		out = append(out, e.clone())
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // TotalEntries returns the number of entries in the structure.
 func (s *ListStructure) TotalEntries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.byID)
+	return int(s.total.Load())
 }
 
 // Monitor registers conn's interest in empty→non-empty transitions of
@@ -442,9 +655,9 @@ func (s *ListStructure) Monitor(conn string, list int, vecIdx int) error {
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("list.monitor", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.facility.charge(s.mMonitor, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	c, ok := s.conns[conn]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotConnected, conn)
@@ -455,13 +668,18 @@ func (s *ListStructure) Monitor(conn string, list int, vecIdx int) error {
 	if list < 0 || list >= len(s.lists) {
 		return fmt.Errorf("%w: list %d", ErrBadArgument, list)
 	}
+	lh := &s.lists[list]
+	lh.mu.Lock()
+	defer lh.mu.Unlock()
+	s.monMu.Lock()
 	m := s.monitors[list]
 	if m == nil {
 		m = make(map[string]int)
 		s.monitors[list] = m
 	}
 	m[conn] = vecIdx
-	if len(s.lists[list]) > 0 {
+	s.monMu.Unlock()
+	if len(lh.entries) > 0 {
 		c.vector.Set(vecIdx)
 	}
 	return nil
@@ -469,8 +687,10 @@ func (s *ListStructure) Monitor(conn string, list int, vecIdx int) error {
 
 // Unmonitor removes conn's transition monitoring of a list.
 func (s *ListStructure) Unmonitor(conn string, list int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.monMu.Lock()
+	defer s.monMu.Unlock()
 	if m := s.monitors[list]; m != nil {
 		delete(m, conn)
 		if len(m) == 0 {
@@ -479,63 +699,81 @@ func (s *ListStructure) Unmonitor(conn string, list int) {
 	}
 }
 
-func (s *ListStructure) signalTransitionLocked(list int) {
+// signalTransition fires the empty→non-empty signal. Called with the
+// transitioning list's mutex held (mu.RLock above it), so the signal is
+// ordered with the insert that caused it.
+func (s *ListStructure) signalTransition(list int) {
+	s.monMu.Lock()
+	defer s.monMu.Unlock()
 	for conn, idx := range s.monitors[list] {
 		if c := s.conns[conn]; c != nil && c.vector != nil {
 			// As with cross-invalidation, the signal is a bit flip in the
 			// target's vector; the target polls it, no interrupt occurs.
 			c.vector.Set(idx)
-			s.facility.reg.Counter("cf.list.transition").Inc()
+			s.cTrans.Inc()
 		}
 	}
 }
 
-func (s *ListStructure) insertLocked(e *ListEntry, list int, order Order) {
+// insertInto places e on list under the head's mutex.
+func insertInto(lh *listHead, e *ListEntry, list int, order Order) {
 	e.List = list
 	switch order {
 	case LIFO:
-		s.lists[list] = append([]*ListEntry{e}, s.lists[list]...)
+		lh.entries = append([]*ListEntry{e}, lh.entries...)
 	case Keyed:
-		l := s.lists[list]
+		l := lh.entries
 		pos := sort.Search(len(l), func(i int) bool { return l[i].Key > e.Key })
 		l = append(l, nil)
 		copy(l[pos+1:], l[pos:])
 		l[pos] = e
-		s.lists[list] = l
+		lh.entries = l
 	default: // FIFO
-		s.lists[list] = append(s.lists[list], e)
+		lh.entries = append(lh.entries, e)
 	}
 }
 
-func (s *ListStructure) removeFromListLocked(e *ListEntry) {
-	l := s.lists[e.List]
+func removeFrom(lh *listHead, e *ListEntry) {
+	l := lh.entries
 	for i, x := range l {
 		if x == e {
-			s.lists[e.List] = append(l[:i], l[i+1:]...)
+			lh.entries = append(l[:i], l[i+1:]...)
 			return
 		}
 	}
 }
 
-func (s *ListStructure) preambleLocked(conn string, list int, cond Cond) error {
-	if err := s.connCheckLocked(conn); err != nil {
+// preambleRLocked validates connector and list bounds under mu.RLock.
+func (s *ListStructure) preambleRLocked(conn string, list int) error {
+	if err := s.connCheckRLocked(conn); err != nil {
 		return err
 	}
 	if list < 0 || list >= len(s.lists) {
 		return fmt.Errorf("%w: list %d of %d", ErrBadArgument, list, len(s.lists))
 	}
-	if cond.Use {
-		if cond.LockIndex < 0 || cond.LockIndex >= len(s.locks) {
-			return fmt.Errorf("%w: lock entry %d", ErrBadArgument, cond.LockIndex)
-		}
-		if h := s.locks[cond.LockIndex]; h != "" && h != conn {
-			return fmt.Errorf("%w: by %s", ErrLockHeld, h)
-		}
-	}
 	return nil
 }
 
-func (s *ListStructure) connCheckLocked(conn string) error {
+// condGuard enforces the conditional-execution protocol. When cond.Use,
+// it returns with the lock entry's RLock held so the command stays
+// ordered against SetLock; the caller releases via the returned func.
+func (s *ListStructure) condGuard(conn string, cond Cond) (func(), error) {
+	if !cond.Use {
+		return func() {}, nil
+	}
+	if cond.LockIndex < 0 || cond.LockIndex >= len(s.locks) {
+		return nil, fmt.Errorf("%w: lock entry %d", ErrBadArgument, cond.LockIndex)
+	}
+	l := &s.locks[cond.LockIndex]
+	l.rw.RLock()
+	if h := l.holder; h != "" && h != conn {
+		l.rw.RUnlock()
+		return nil, fmt.Errorf("%w: by %s", ErrLockHeld, h)
+	}
+	return l.rw.RUnlock, nil
+}
+
+func (s *ListStructure) connCheckRLocked(conn string) error {
 	if _, ok := s.conns[conn]; !ok {
 		return fmt.Errorf("%w: %q", ErrNotConnected, conn)
 	}
@@ -545,7 +783,5 @@ func (s *ListStructure) connCheckLocked(conn string) error {
 // storageBytes estimates the structure's footprint: list headers, lock
 // entries, and the entry budget (entry controls + data element).
 func (s *ListStructure) storageBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return int64(len(s.lists))*64 + int64(len(s.locks))*16 + int64(s.maxEntries)*512
 }

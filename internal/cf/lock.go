@@ -51,13 +51,30 @@ type LockRecord struct {
 // LockStructure is a CF lock-model structure: a program-specified
 // number of lock table entries, each tracking per-connector share and
 // exclusive interest, plus a record-data area for persistent locks.
+//
+// Concurrency: hash classes are independent by design (§3.3.1), so the
+// lock table is striped per entry. Entry commands take mu.RLock plus
+// the entry's own mutex; structure-wide operations (connect,
+// disconnect, connector failure, clone) take mu.Lock, which excludes
+// every entry mutator, and may then touch any entry or the record maps
+// directly. Record commands take mu.RLock plus recMu.
 type LockStructure struct {
 	facility *Facility
 	name     string
 
-	mu      sync.Mutex
-	entries []lockEntry
+	mObtain cmdMetrics
+	mForce  cmdMetrics
+	mRel    cmdMetrics
+	mSetRec cmdMetrics
+	mDelRec cmdMetrics
+
+	mu      sync.RWMutex
+	entries []lockEntry // slice header immutable; elements striped
 	conns   map[string]bool
+
+	// recMu guards records and retained under mu.RLock. (mu.Lock holders
+	// access them directly.)
+	recMu sync.Mutex
 	// records holds persistent lock records keyed by connector.
 	records map[string]map[string]LockRecord // conn -> resource -> record
 	// retained marks connectors that failed; their records survive for
@@ -66,6 +83,7 @@ type LockStructure struct {
 }
 
 type lockEntry struct {
+	mu         sync.Mutex     // taken under LockStructure.mu.RLock
 	exclOwner  string         // connector with exclusive interest ("" none)
 	exclCount  int            // resources it holds exclusively on this entry
 	shared     map[string]int // connector -> count of share interests
@@ -101,10 +119,19 @@ func (f *Facility) AllocateLockStructure(name string, n int) (Lock, error) {
 		records:  make(map[string]map[string]LockRecord),
 		retained: make(map[string]bool),
 	}
+	s.resolveMetrics(f)
 	if err := f.allocate(name, s); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+func (s *LockStructure) resolveMetrics(f *Facility) {
+	s.mObtain = f.cmdMetrics("lock.obtain")
+	s.mForce = f.cmdMetrics("lock.force")
+	s.mRel = f.cmdMetrics("lock.release")
+	s.mSetRec = f.cmdMetrics("lock.setrecord")
+	s.mDelRec = f.cmdMetrics("lock.delrecord")
 }
 
 // LockStructure returns the named lock structure.
@@ -133,9 +160,12 @@ func (s *LockStructure) cloneInto(dst *Facility) (structure, error) {
 		records:  make(map[string]map[string]LockRecord, len(s.records)),
 		retained: make(map[string]bool, len(s.retained)),
 	}
+	n.resolveMetrics(dst)
 	for i := range s.entries {
 		e := &s.entries[i]
-		ne := lockEntry{exclOwner: e.exclOwner, exclCount: e.exclCount}
+		ne := &n.entries[i]
+		ne.exclOwner = e.exclOwner
+		ne.exclCount = e.exclCount
 		if len(e.shared) > 0 {
 			ne.shared = make(map[string]int, len(e.shared))
 			for c, v := range e.shared {
@@ -148,7 +178,6 @@ func (s *LockStructure) cloneInto(dst *Facility) (structure, error) {
 				ne.forcedExcl[c] = v
 			}
 		}
-		n.entries[i] = ne
 	}
 	for c := range s.conns {
 		n.conns[c] = true
@@ -172,12 +201,8 @@ func (s *LockStructure) cloneInto(dst *Facility) (structure, error) {
 // Name returns the structure name.
 func (s *LockStructure) Name() string { return s.name }
 
-// Entries returns the lock table size.
-func (s *LockStructure) Entries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries)
-}
+// Entries returns the lock table size (fixed at allocation).
+func (s *LockStructure) Entries() int { return len(s.entries) }
 
 // Connect attaches a connector (a system's lock manager instance).
 func (s *LockStructure) Connect(conn string) error {
@@ -212,6 +237,8 @@ func (s *LockStructure) failConnector(conn string) {
 	}
 }
 
+// cleanupInterestLocked runs under mu.Lock, which excludes every entry
+// mutator, so entries are touched without their stripe mutexes.
 func (s *LockStructure) cleanupInterestLocked(conn string) {
 	for i := range s.entries {
 		e := &s.entries[i]
@@ -229,7 +256,7 @@ func (s *LockStructure) cleanupInterestLocked(conn string) {
 func (s *LockStructure) HashResource(resource string) int {
 	h := fnv.New64a()
 	h.Write([]byte(resource))
-	return int(h.Sum64() % uint64(s.Entries()))
+	return int(h.Sum64() % uint64(len(s.entries)))
 }
 
 // Obtain records interest of the given mode on lock table entry idx for
@@ -241,13 +268,15 @@ func (s *LockStructure) Obtain(idx int, conn string, mode LockMode) (ObtainResul
 	if err != nil {
 		return ObtainResult{}, err
 	}
-	defer s.facility.charge("lock.obtain", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.checkLocked(idx, conn); err != nil {
+	defer s.facility.charge(s.mObtain, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.checkRLocked(idx, conn); err != nil {
 		return ObtainResult{}, err
 	}
 	e := &s.entries[idx]
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	switch mode {
 	case Share:
 		holders := e.otherExclLocked(conn)
@@ -298,13 +327,15 @@ func (s *LockStructure) ForceObtain(idx int, conn string, mode LockMode) error {
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("lock.force", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.checkLocked(idx, conn); err != nil {
+	defer s.facility.charge(s.mForce, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.checkRLocked(idx, conn); err != nil {
 		return err
 	}
 	e := &s.entries[idx]
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	switch mode {
 	case Share:
 		if e.shared == nil {
@@ -335,13 +366,15 @@ func (s *LockStructure) Release(idx int, conn string, mode LockMode) error {
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("lock.release", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.checkLocked(idx, conn); err != nil {
+	defer s.facility.charge(s.mRel, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.checkRLocked(idx, conn); err != nil {
 		return err
 	}
 	e := &s.entries[idx]
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	switch mode {
 	case Share:
 		if e.shared[conn] > 0 {
@@ -371,12 +404,14 @@ func (s *LockStructure) Release(idx int, conn string, mode LockMode) error {
 // Interest reports conn's recorded interest counts on entry idx
 // (share, exclusive), for diagnostics and tests.
 func (s *LockStructure) Interest(idx int, conn string) (share, excl int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if idx < 0 || idx >= len(s.entries) {
 		return 0, 0, fmt.Errorf("%w: entry %d", ErrBadArgument, idx)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	e := &s.entries[idx]
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	share = e.shared[conn]
 	if e.exclOwner == conn {
 		excl = e.exclCount
@@ -393,12 +428,14 @@ func (s *LockStructure) SetRecord(conn, resource string, mode LockMode) error {
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("lock.setrecord", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.facility.charge(s.mSetRec, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.conns[conn] {
 		return fmt.Errorf("%w: %q", ErrNotConnected, conn)
 	}
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
 	m := s.records[conn]
 	if m == nil {
 		m = make(map[string]LockRecord)
@@ -415,9 +452,11 @@ func (s *LockStructure) DeleteRecord(conn, resource string) error {
 	if err != nil {
 		return err
 	}
-	defer s.facility.charge("lock.delrecord", start)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.facility.charge(s.mDelRec, start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
 	m := s.records[conn]
 	delete(m, resource)
 	if len(m) == 0 {
@@ -434,8 +473,10 @@ func (s *LockStructure) Records(conn string) ([]LockRecord, error) {
 	if _, err := s.facility.begin(); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
 	m := s.records[conn]
 	out := make([]LockRecord, 0, len(m))
 	for _, r := range m {
@@ -452,8 +493,10 @@ func (s *LockStructure) AdoptRetained(conn string, recs []LockRecord) {
 	if len(recs) == 0 {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
 	m := s.records[conn]
 	if m == nil {
 		m = make(map[string]LockRecord)
@@ -469,8 +512,10 @@ func (s *LockStructure) AdoptRetained(conn string, recs []LockRecord) {
 
 // RetainedConnectors lists failed connectors with retained records.
 func (s *LockStructure) RetainedConnectors() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
 	out := make([]string, 0, len(s.retained))
 	for c := range s.retained {
 		out = append(out, c)
@@ -479,7 +524,8 @@ func (s *LockStructure) RetainedConnectors() []string {
 	return out
 }
 
-func (s *LockStructure) checkLocked(idx int, conn string) error {
+// checkRLocked validates entry index and connector under mu.RLock.
+func (s *LockStructure) checkRLocked(idx int, conn string) error {
 	if idx < 0 || idx >= len(s.entries) {
 		return fmt.Errorf("%w: entry %d of %d", ErrBadArgument, idx, len(s.entries))
 	}
@@ -504,7 +550,5 @@ func dedup(in []string) []string {
 // storageBytes estimates the structure's CF storage footprint: each
 // lock table entry is a word of interest bits plus record-data budget.
 func (s *LockStructure) storageBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return int64(len(s.entries)) * 64
 }

@@ -1,0 +1,403 @@
+package cf
+
+// Stress tests for the striped structure state. They are written to run
+// under -race: many goroutines hammer one structure and the assertions
+// check the architectural invariants (version monotonicity, no lost or
+// duplicated list entries, lock mutual exclusion, replica convergence)
+// rather than timing. Iteration counts are sized to finish quickly even
+// with the race detector's ~10x slowdown.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sysplex/internal/vclock"
+)
+
+// TestStressCacheConcurrency drives concurrent WriteAndInvalidate and
+// ReadAndRegister over a shared set of blocks. Per goroutine and per
+// block, the directory version returned by reads must never go
+// backwards, and writes must never fail.
+func TestStressCacheConcurrency(t *testing.T) {
+	f := New("CF01", vclock.Real())
+	const (
+		nBlocks  = 32
+		nWriters = 4
+		nReaders = 4
+		iters    = 300
+	)
+	c, err := f.AllocateCacheStructure("GBP0", nBlocks*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := make([]string, nWriters+nReaders)
+	for i := range conns {
+		conns[i] = "SYS" + strconv.Itoa(i)
+		if err := c.Connect(conns[i], NewBitVector(nBlocks)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	block := func(i int) string { return "BLK" + strconv.Itoa(i%nBlocks) }
+
+	var wg sync.WaitGroup
+	errc := make(chan error, nWriters+nReaders)
+	for g := 0; g < nWriters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn := conns[g]
+			for i := 0; i < iters; i++ {
+				name := block(g*7 + i)
+				if err := c.WriteAndInvalidate(conn, name, []byte(name), true, false, i%nBlocks); err != nil {
+					errc <- fmt.Errorf("write %s: %w", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < nReaders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn := conns[nWriters+g]
+			last := make(map[string]uint64, nBlocks)
+			for i := 0; i < iters; i++ {
+				name := block(g*13 + i)
+				r, err := c.ReadAndRegister(conn, name, i%nBlocks)
+				if err != nil {
+					errc <- fmt.Errorf("read %s: %w", name, err)
+					return
+				}
+				if r.Version < last[name] {
+					errc <- fmt.Errorf("version of %s went backwards: %d after %d", name, r.Version, last[name])
+					return
+				}
+				last[name] = r.Version
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestStressListConcurrency runs writers queuing uniquely-named entries
+// against poppers draining the same lists. Afterwards every written
+// entry must have been popped exactly once or still be on its list —
+// nothing lost, nothing duplicated — and the structure-wide entry count
+// must match.
+func TestStressListConcurrency(t *testing.T) {
+	f := New("CF01", vclock.Real())
+	const (
+		nLists   = 8
+		nWriters = 4
+		nPoppers = 4
+		perW     = 400
+	)
+	l, err := f.AllocateListStructure("MSGQ", nLists, 4, nWriters*perW+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := make([]string, nWriters+nPoppers)
+	for i := range conns {
+		conns[i] = "SYS" + strconv.Itoa(i)
+		if err := l.Connect(conns[i], NewBitVector(nLists)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, nWriters+nPoppers)
+	popped := make([][]string, nPoppers)
+	for g := 0; g < nWriters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn := conns[g]
+			for i := 0; i < perW; i++ {
+				id := "w" + strconv.Itoa(g) + "-" + strconv.Itoa(i)
+				if err := l.Write(conn, (g+i)%nLists, id, "", []byte(id), FIFO, Cond{}); err != nil {
+					errc <- fmt.Errorf("write %s: %w", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < nPoppers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn := conns[nWriters+g]
+			for i := 0; i < perW; i++ {
+				e, err := l.Pop(conn, (g+i)%nLists, Cond{})
+				if err != nil {
+					if errors.Is(err, ErrEntryNotFound) {
+						continue // raced an empty list
+					}
+					errc <- fmt.Errorf("pop: %w", err)
+					return
+				}
+				popped[g] = append(popped[g], e.ID)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	seen := make(map[string]int, nWriters*perW)
+	for _, ids := range popped {
+		for _, id := range ids {
+			seen[id]++
+		}
+	}
+	remaining := 0
+	for list := 0; list < nLists; list++ {
+		for _, e := range l.Entries(list) {
+			seen[e.ID]++
+			remaining++
+		}
+	}
+	if got := l.TotalEntries(); got != remaining {
+		t.Errorf("TotalEntries = %d, want %d entries counted on lists", got, remaining)
+	}
+	if len(seen) != nWriters*perW {
+		t.Errorf("accounted for %d distinct entries, want %d", len(seen), nWriters*perW)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("entry %s seen %d times (lost or duplicated)", id, n)
+		}
+	}
+}
+
+// TestStressLockMutualExclusion has competing connectors obtain the
+// same lock table entry exclusively. A CAS-guarded critical section
+// proves that two connectors are never granted simultaneously.
+func TestStressLockMutualExclusion(t *testing.T) {
+	f := New("CF01", vclock.Real())
+	l, err := f.AllocateLockStructure("IRLM1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		nConns = 8
+		iters  = 300
+		idx    = 5
+	)
+	for i := 0; i < nConns; i++ {
+		if err := l.Connect("SYS" + strconv.Itoa(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		wg      sync.WaitGroup
+		inCS    atomic.Int32
+		grants  atomic.Int64
+		clashes atomic.Int64
+	)
+	for g := 0; g < nConns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn := "SYS" + strconv.Itoa(g)
+			for i := 0; i < iters; i++ {
+				r, err := l.Obtain(idx, conn, Exclusive)
+				if err != nil {
+					t.Errorf("obtain: %v", err)
+					return
+				}
+				if !r.Granted {
+					continue
+				}
+				if !inCS.CompareAndSwap(0, 1) {
+					clashes.Add(1)
+				} else {
+					inCS.Store(0)
+				}
+				grants.Add(1)
+				if err := l.Release(idx, conn, Exclusive); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if clashes.Load() != 0 {
+		t.Errorf("%d simultaneous exclusive grants on one entry", clashes.Load())
+	}
+	if grants.Load() == 0 {
+		t.Error("no exclusive obtain was ever granted")
+	}
+}
+
+// TestStressFailAfterConcurrent arms FailAfter under a concurrent
+// command stream: the facility must end up broken, every surfaced error
+// must be ErrCFDown, and commands begun before the trip must have
+// completed normally.
+func TestStressFailAfterConcurrent(t *testing.T) {
+	f := New("CF01", vclock.Real())
+	l, err := f.AllocateLockStructure("IRLM1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nConns = 8
+	for i := 0; i < nConns; i++ {
+		if err := l.Connect("SYS" + strconv.Itoa(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.FailAfter(500)
+
+	var (
+		wg  sync.WaitGroup
+		ok  atomic.Int64
+		bad atomic.Int64
+	)
+	for g := 0; g < nConns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn := "SYS" + strconv.Itoa(g)
+			for i := 0; i < 200; i++ {
+				err := l.ForceObtain(i%64, conn, Share)
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, ErrCFDown):
+				default:
+					bad.Add(1)
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !f.Failed() {
+		t.Fatal("facility should be broken after FailAfter tripped")
+	}
+	if n := ok.Load(); n < 500 {
+		t.Errorf("only %d commands completed before the trip, want >= 500", n)
+	}
+	if bad.Load() != 0 {
+		t.Errorf("%d commands failed with something other than ErrCFDown", bad.Load())
+	}
+}
+
+// TestStressDuplexedConvergence mixes concurrent lock, cache and list
+// traffic through a duplexed front and then checks that the replicas
+// converged: duplexing must still be established (no divergence was
+// detected) and per-key state must match on primary and secondary.
+func TestStressDuplexedConvergence(t *testing.T) {
+	pri := New("CF01", vclock.Real())
+	sec := New("CF02", vclock.Real())
+	d := NewDuplexed(vclock.Real(), nil, pri, sec)
+
+	lk, err := d.AllocateLockStructure("IRLM1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := d.AllocateCacheStructure("GBP0", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, err := d.AllocateListStructure("MSGQ", 4, 2, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nConns = 4
+	for i := 0; i < nConns; i++ {
+		conn := "SYS" + strconv.Itoa(i)
+		if err := lk.Connect(conn); err != nil {
+			t.Fatal(err)
+		}
+		if err := ca.Connect(conn, NewBitVector(64)); err != nil {
+			t.Fatal(err)
+		}
+		if err := li.Connect(conn, NewBitVector(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < nConns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn := "SYS" + strconv.Itoa(g)
+			for i := 0; i < 200; i++ {
+				idx := (g*31 + i) % 64
+				if r, err := lk.Obtain(idx, conn, Exclusive); err != nil {
+					t.Errorf("obtain: %v", err)
+					return
+				} else if r.Granted {
+					if err := lk.Release(idx, conn, Exclusive); err != nil {
+						t.Errorf("release: %v", err)
+						return
+					}
+				}
+				blk := "BLK" + strconv.Itoa(i%16)
+				if err := ca.WriteAndInvalidate(conn, blk, []byte(blk), true, false, i%16); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if _, err := ca.ReadAndRegister(conn, blk, i%16); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				id := "e" + strconv.Itoa(g) + "-" + strconv.Itoa(i)
+				if err := li.Write(conn, g%4, id, "", []byte(id), FIFO, Cond{}); err != nil {
+					t.Errorf("list write: %v", err)
+					return
+				}
+				if i%2 == 1 {
+					if _, err := li.Pop(conn, g%4, Cond{}); err != nil && !errors.Is(err, ErrEntryNotFound) {
+						t.Errorf("pop: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := d.State(); got != "duplexed" {
+		t.Fatalf("State() = %q after mixed traffic, want duplexed (replicas diverged?)", got)
+	}
+	pc := pri.structureByName("GBP0").(*CacheStructure)
+	sc := sec.structureByName("GBP0").(*CacheStructure)
+	for i := 0; i < 16; i++ {
+		blk := "BLK" + strconv.Itoa(i)
+		if pv, sv := pc.Version(blk), sc.Version(blk); pv != sv {
+			t.Errorf("block %s: primary version %d, secondary %d", blk, pv, sv)
+		}
+	}
+	pl := pri.structureByName("MSGQ").(*ListStructure)
+	sl := sec.structureByName("MSGQ").(*ListStructure)
+	if pn, sn := pl.TotalEntries(), sl.TotalEntries(); pn != sn {
+		t.Errorf("list entries: primary %d, secondary %d", pn, sn)
+	}
+	for list := 0; list < 4; list++ {
+		pe, se := pl.Entries(list), sl.Entries(list)
+		if len(pe) != len(se) {
+			t.Errorf("list %d: primary has %d entries, secondary %d", list, len(pe), len(se))
+			continue
+		}
+		for i := range pe {
+			if pe[i].ID != se[i].ID {
+				t.Errorf("list %d pos %d: primary %s, secondary %s", list, i, pe[i].ID, se[i].ID)
+				break
+			}
+		}
+	}
+}

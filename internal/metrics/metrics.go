@@ -40,18 +40,65 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// atomicFloat64 is a float64 updated with CAS loops over its bit
+// pattern, so accumulators need no mutex.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat64) load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat64) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat64) add(delta float64) {
+	for {
+		old := f.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) takeMin(v float64) {
+	for {
+		old := f.bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) takeMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Histogram records observations into geometric latency buckets and
 // tracks exact count/sum/min/max. The default bucket layout spans
 // 100ns..100s with 10 buckets per decade, which comfortably covers both
 // microsecond CF operations and millisecond DASD I/O.
+//
+// Observe is contention-free: bucket counters are atomic and the
+// sum/min/max accumulators use CAS, so concurrent observers never
+// serialize on a mutex. Readers (Count, Mean, Quantile, Snapshot) load
+// the atomics individually; under concurrent observation a multi-field
+// read such as Snapshot is loosely consistent — each field is correct
+// at the instant it is read, but fields may straddle observations.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // upper bounds, seconds
-	counts []int64   // len(bounds)+1, last = overflow
-	count  int64
-	sum    float64
-	min    float64
-	max    float64
+	bounds []float64      // upper bounds, seconds; immutable
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	count  atomic.Int64
+	sum    atomicFloat64
+	min    atomicFloat64
+	max    atomicFloat64
 }
 
 // NewHistogram returns a Histogram with the default bucket layout.
@@ -64,12 +111,13 @@ func NewHistogram() *Histogram {
 			bounds = append(bounds, decade*math.Pow(10, float64(i)/10))
 		}
 	}
-	return &Histogram{
+	h := &Histogram{
 		bounds: bounds,
-		counts: make([]int64, len(bounds)+1),
-		min:    math.Inf(1),
-		max:    math.Inf(-1),
+		counts: make([]atomic.Int64, len(bounds)+1),
 	}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
 }
 
 // Observe records a duration.
@@ -80,62 +128,43 @@ func (h *Histogram) ObserveSeconds(s float64) {
 	if s < 0 || math.IsNaN(s) {
 		return
 	}
-	h.mu.Lock()
 	idx := sort.SearchFloat64s(h.bounds, s)
-	h.counts[idx]++
-	h.count++
-	h.sum += s
-	if s < h.min {
-		h.min = s
-	}
-	if s > h.max {
-		h.max = s
-	}
-	h.mu.Unlock()
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	h.sum.add(s)
+	h.min.takeMin(s)
+	h.max.takeMax(s)
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Mean returns the mean observation in seconds (0 if empty).
 func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	return h.sum.load() / float64(n)
 }
 
 // Sum returns the sum of observations in seconds.
-func (h *Histogram) Sum() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
-}
+func (h *Histogram) Sum() float64 { return h.sum.load() }
 
 // Min returns the smallest observation in seconds (0 if empty).
 func (h *Histogram) Min() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	if h.count.Load() == 0 {
 		return 0
 	}
-	return h.min
+	return h.min.load()
 }
 
 // Max returns the largest observation in seconds (0 if empty).
 func (h *Histogram) Max() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	if h.count.Load() == 0 {
 		return 0
 	}
-	return h.max
+	return h.max.load()
 }
 
 // Quantile returns an estimate of quantile q in [0,1] as seconds,
@@ -147,14 +176,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	rank := q * float64(h.count)
+	max := h.max.load()
+	rank := q * float64(n)
 	var cum float64
-	for i, c := range h.counts {
+	for i := range h.counts {
+		c := h.counts[i].Load()
 		prev := cum
 		cum += float64(c)
 		if cum >= rank && c > 0 {
@@ -162,7 +192,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 			if i > 0 {
 				lo = h.bounds[i-1]
 			}
-			hi := h.max
+			hi := max
 			if i < len(h.bounds) {
 				hi = h.bounds[i]
 			}
@@ -182,17 +212,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 			return h.clamp(lo + frac*(hi-lo))
 		}
 	}
-	return h.max
+	return max
 }
 
 // clamp bounds a quantile estimate to the observed [min, max] range so
 // bucket interpolation never reports a value outside the data.
 func (h *Histogram) clamp(v float64) float64 {
-	if v > h.max {
-		return h.max
+	if max := h.max.load(); v > max {
+		return max
 	}
-	if v < h.min {
-		return h.min
+	if min := h.min.load(); v < min {
+		return min
 	}
 	return v
 }
@@ -206,7 +236,8 @@ type Snapshot struct {
 	Sum            float64
 }
 
-// Snapshot returns a consistent summary.
+// Snapshot returns a summary. Under concurrent observation the fields
+// are loosely consistent (see the Histogram type comment).
 func (h *Histogram) Snapshot() Snapshot {
 	return Snapshot{
 		Count: h.Count(),
