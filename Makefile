@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check demo bench bench-json bench-cf bench-cf-smoke
+.PHONY: all build vet lint test race check demo bench bench-json bench-cf bench-cf-smoke
 
 all: check
 
@@ -10,17 +10,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# sysplexlint enforces the repo-specific concurrency and determinism
+# invariants (lock hierarchy, atomic-only fields, the simulated-clock
+# rule, the duplexed-front rule, dropped CF command errors). See
+# DESIGN.md "Enforced invariants".
+lint:
+	$(GO) run ./cmd/sysplexlint
+
 test:
 	$(GO) test ./...
 
-# The CF, CFRM, and LOGR packages plus the sysplex façade are the
-# concurrency-heavy core (duplexed command mirroring, in-line failover,
-# multi-system log writers with threshold offload); always run them
-# under the race detector.
+# The CF, CFRM, LOGR, XCF, DB, and TXMGR packages plus the sysplex
+# façade are the concurrency-heavy core (duplexed command mirroring,
+# in-line failover, multi-system log writers with threshold offload,
+# group messaging, WAL commit, two-phase commit); always run them under
+# the race detector.
 race:
-	$(GO) test -race ./internal/cf/... ./internal/cfrm/... ./internal/logr/... .
+	$(GO) test -race ./internal/cf/... ./internal/cfrm/... ./internal/logr/... ./internal/xcf/... ./internal/db/... ./internal/txmgr/... .
 
-check: build vet test race
+check: build vet lint test race
 
 demo:
 	$(GO) run ./cmd/sysplexdemo

@@ -1,0 +1,109 @@
+// Command sysplexlint is the repo's static-analysis multichecker: it
+// type-checks every package of the module and runs the five analyzers
+// of internal/analysis, which enforce the CF concurrency and
+// determinism invariants (lock hierarchy, atomic-only fields, the
+// simulated-clock rule, the duplexed-front rule, and dropped CF
+// command errors). See DESIGN.md "Enforced invariants".
+//
+// Usage:
+//
+//	sysplexlint [-only lockorder,cferr] [-list] [-v]
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load/usage failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"sysplex/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "print each package as it is checked")
+	flag.Parse()
+
+	all := analysis.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sysplexlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sysplexlint: %v\n", err)
+		os.Exit(2)
+	}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sysplexlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, path := range paths {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "sysplexlint: checking %s\n", path)
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sysplexlint: %v\n", err)
+			os.Exit(2)
+		}
+		ds, err := analysis.RunPackage(pkg, loader.Fset, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sysplexlint: %v\n", err)
+			os.Exit(2)
+		}
+		diags = append(diags, ds...)
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := loader.Fset.Position(diags[i].Pos), loader.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		fmt.Printf("%s:%d:%d: %s (%s)\n",
+			relTo(loader.ModuleRoot, pos.Filename), pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sysplexlint: %d issue(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// relTo strips the module root from a path for compact, clickable
+// diagnostics when linting from the root.
+func relTo(root, path string) string {
+	return strings.TrimPrefix(path, root+string(os.PathSeparator))
+}

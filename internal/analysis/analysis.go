@@ -1,0 +1,101 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework plus the repo-specific analyzers behind `make lint`
+// (cmd/sysplexlint). It mirrors the shape of golang.org/x/tools'
+// go/analysis — Analyzer, Pass, Diagnostic, and an analysistest-style
+// fixture harness — re-implemented on the standard library's go/ast and
+// go/types so the tree stays free of external modules.
+//
+// The analyzers enforce the CF concurrency and determinism invariants
+// the compiler cannot see (see DESIGN.md "Enforced invariants"):
+//
+//   - lockorder: the CF lock hierarchy declared by `// lintlock:`
+//     annotations (outer RWMutex → stripe → entry) is acquired
+//     outer-before-inner, never sideways.
+//   - atomicfield: a field accessed through sync/atomic functions is
+//     never also accessed by plain load/store in the same package.
+//   - wallclock: subsystems never read the wall clock directly; all
+//     timing flows through vclock.Clock so runs stay drivable by the
+//     simulated sysplex timer.
+//   - duplexfront: structure commands outside internal/cf and
+//     internal/cfrm go through the duplexed front, never a raw
+//     *cf.Facility or concrete structure — the bypass that would
+//     silently forfeit failover.
+//   - cferr: CF command errors are never silently dropped; an ignored
+//     ErrCFDown skips the rebuild path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only flags.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package's import path (analyzers scope themselves by
+	// it; fixture packages load under a non-exempt synthetic path).
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Analyzers returns every sysplexlint analyzer, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LockOrder,
+		AtomicField,
+		WallClock,
+		DuplexFront,
+		CFErr,
+	}
+}
+
+// RunPackage applies analyzers to a loaded package and returns their
+// diagnostics in source order.
+func RunPackage(pkg *Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Path:     pkg.Path,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			report:   func(d Diagnostic) { out = append(out, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return out, nil
+}

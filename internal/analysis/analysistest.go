@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// wantRE matches expectation comments in fixtures. As in
+// golang.org/x/tools analysistest, a line carrying
+//
+//	// want `regexp`
+//
+// (or several of them) must receive exactly that many diagnostics, each
+// matching its regexp; every diagnostic must land on a line with a
+// matching expectation.
+var wantRE = regexp.MustCompile("// want (`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// RunFixture loads testdata/<name> as a single fixture package (under
+// the synthetic, non-exempt import path "lintfixture/<name>") and
+// checks the analyzer's diagnostics against its `// want` comments.
+func RunFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dir := filepath.Join(loader.ModuleRoot, "internal", "analysis", "testdata", name)
+	pkg, err := loader.LoadDir(dir, "lintfixture/"+name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	diags, err := RunPackage(pkg, loader.Fset, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, name, err)
+	}
+
+	wants := collectWants(t, loader.Fset, pkg)
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// collectWants scans the fixture's comments for `// want` expectations,
+// keyed by the line they annotate.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *Package) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pat, err := unquoteWant(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %s: %v", m[1], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", pat, err)
+					}
+					pos := fset.Position(c.Pos())
+					key := lineKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquoteWant(s string) (string, error) {
+	if s[0] == '`' {
+		return s[1 : len(s)-1], nil
+	}
+	out, err := strconv.Unquote(s)
+	if err != nil {
+		return "", fmt.Errorf("unquote %s: %w", s, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField reports variables (struct fields or package/local vars)
+// that are accessed through sync/atomic functions somewhere in the
+// package and by plain load or store somewhere else. Mixed access is a
+// data race the race detector only catches when both sides execute: a
+// field like the facility's broken/syncLatency/failAfter set must be
+// atomic on *every* path. Fields of the typed atomic.Int64/Bool/…
+// wrappers cannot be misused this way and need no annotation; this
+// analyzer guards the &field-passing style.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "check that sync/atomic-accessed variables are never accessed by plain load/store",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: variables whose address is passed to a sync/atomic
+	// function, and the identifier nodes forming those accesses.
+	atomicVars := make(map[*types.Var]bool)
+	atomicNodes := make(map[ast.Node]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFunc(pass, call.Fun) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if v, node := addressedVar(pass, un.X); v != nil {
+					atomicVars[v] = true
+					atomicNodes[node] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+	// Pass 2: every other access to those variables is a violation.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if atomicNodes[e] {
+					return false
+				}
+				if s := pass.Info.Selections[e]; s != nil && s.Kind() == types.FieldVal {
+					if v, ok := s.Obj().(*types.Var); ok && atomicVars[v] {
+						pass.Reportf(e.Sel.Pos(),
+							"plain access to %s, which is accessed with sync/atomic elsewhere in this package; use atomic operations (or an atomic.* typed value) on every path",
+							v.Name())
+					}
+				}
+			case *ast.Ident:
+				if atomicNodes[e] {
+					return false
+				}
+				if v, ok := pass.Info.Uses[e].(*types.Var); ok && atomicVars[v] && !v.IsField() {
+					pass.Reportf(e.Pos(),
+						"plain access to %s, which is accessed with sync/atomic elsewhere in this package; use atomic operations (or an atomic.* typed value) on every path",
+						v.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicFunc reports whether fun denotes a function of sync/atomic.
+func isAtomicFunc(pass *Pass, fun ast.Expr) bool {
+	var id *ast.Ident
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.SelectorExpr:
+		id = f.Sel
+	case *ast.Ident:
+		id = f
+	default:
+		return false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedVar resolves &x's operand to a variable: a struct field
+// selection or a plain identifier. It returns the variable and the AST
+// node that names it (to exclude from the plain-access scan).
+func addressedVar(pass *Pass, x ast.Expr) (*types.Var, ast.Node) {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if s := pass.Info.Selections[e]; s != nil && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v, e
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[e].(*types.Var); ok {
+			return v, e
+		}
+	case *ast.IndexExpr:
+		// &slice[i] / &arr[i]: element accesses are not field-granular;
+		// ignore (the typed atomic kinds cover these in-tree).
+	}
+	return nil, nil
+}

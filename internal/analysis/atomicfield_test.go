@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestAtomicField(t *testing.T) {
+	RunFixture(t, AtomicField, "atomicfield")
+}

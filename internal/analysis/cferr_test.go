@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestCFErr(t *testing.T) {
+	RunFixture(t, CFErr, "cferr")
+}

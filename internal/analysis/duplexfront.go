@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DuplexFront keeps structure commands on the CFRM duplexed front.
+// Exploiters hold the cf.Front/Lock/Cache/List *interfaces*, which the
+// sysplex façade satisfies with the duplexed pair; code that instead
+// allocates, locates, or drives structures on a concrete *cf.Facility
+// (or a concrete *cf.LockStructure/CacheStructure/ListStructure) runs
+// simplex against one replica — it silently forfeits duplexing,
+// in-line failover, and rebuild. Only internal/cf and internal/cfrm
+// may touch the raw types; cmd/ and examples/ may bench the raw
+// command path by design.
+var DuplexFront = &Analyzer{
+	Name: "duplexfront",
+	Doc:  "forbid raw *cf.Facility/structure command use outside internal/cf and internal/cfrm",
+	Run:  runDuplexFront,
+}
+
+const cfPkgPath = "sysplex/internal/cf"
+
+// facilityCmdMethods are the *cf.Facility methods that create, locate,
+// free, or mutate structures — the command surface that must flow
+// through the duplexed front so both replicas stay in step.
+// Observability and failure injection (Name, Metrics, Storage,
+// StructureNames, Fail, FailAfter, Failed, SetSyncLatency) stay legal
+// on a raw facility.
+var facilityCmdMethods = map[string]bool{
+	"AllocateLockStructure":  true,
+	"AllocateCacheStructure": true,
+	"AllocateListStructure":  true,
+	"LockStructure":          true,
+	"CacheStructure":         true,
+	"ListStructure":          true,
+	"Deallocate":             true,
+	"FailConnector":          true,
+	"DisconnectAll":          true,
+}
+
+// cfConstructors build raw facilities; fleet construction belongs to
+// CFRM policy.
+var cfConstructors = map[string]bool{
+	"New":            true,
+	"NewWithStorage": true,
+	"NewDuplexed":    true,
+}
+
+func duplexFrontExempt(path string) bool {
+	return path == cfPkgPath ||
+		path == "sysplex/internal/cfrm" ||
+		strings.HasPrefix(path, "sysplex/cmd/") ||
+		strings.HasPrefix(path, "sysplex/examples/")
+}
+
+func runDuplexFront(pass *Pass) error {
+	if duplexFrontExempt(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Raw facility construction: cf.New / cf.NewWithStorage /
+			// cf.NewDuplexed.
+			if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == cfPkgPath &&
+				fn.Type().(*types.Signature).Recv() == nil &&
+				cfConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"raw coupling-facility construction cf.%s: facilities are owned by CFRM policy (cfrm.New); exploiters take a cf.Front",
+					fn.Name())
+				return true
+			}
+			// Method calls on concrete cf types.
+			msel := pass.Info.Selections[sel]
+			if msel == nil || msel.Kind() != types.MethodVal {
+				return true
+			}
+			recv := concreteCFType(msel.Recv())
+			if recv == "" {
+				return true
+			}
+			name := sel.Sel.Name
+			switch recv {
+			case "Facility":
+				if facilityCmdMethods[name] {
+					pass.Reportf(call.Pos(),
+						"structure command %s on a raw *cf.Facility bypasses the duplexed front: duplexing, in-line failover, and rebuild are forfeited; go through the cf.Front the sysplex façade provides",
+						name)
+				}
+			case "LockStructure", "CacheStructure", "ListStructure":
+				pass.Reportf(call.Pos(),
+					"command %s on a concrete *cf.%s binds to one replica and bypasses the duplexed front; hold the cf.%s interface instead",
+					name, recv, strings.TrimSuffix(recv, "Structure"))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// concreteCFType returns the bare name of the concrete cf named type
+// behind t ("" when t is not one of the guarded types; the
+// cf.Front/Lock/Cache/List interfaces and the Duplexed* fronts resolve
+// to "" and stay legal).
+func concreteCFType(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != cfPkgPath {
+		return ""
+	}
+	switch obj.Name() {
+	case "Facility", "LockStructure", "CacheStructure", "ListStructure":
+		return obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestDuplexFront(t *testing.T) {
+	RunFixture(t, DuplexFront, "duplexfront")
+}

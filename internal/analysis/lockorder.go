@@ -1,0 +1,427 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// LockOrder enforces the CF lock hierarchy declared by in-source
+// annotations. A mutex (or RWMutex) struct field opts in with a
+// comment on its declaration:
+//
+//	// lintlock: level=30 ordered
+//	mu sync.Mutex
+//
+// Levels grow outer→inner: a function that directly holds a lock of
+// level N may only acquire locks of level > N. Acquiring at a level at
+// or below one already held is the outer-after-stripe / entry-after-
+// entry inversion this analyzer exists to catch. The `ordered` token
+// permits holding several instances of the *same* field at once (the
+// all-stripe and two-list-header acquisitions, which the code keeps
+// deadlock-free by acquiring in ascending index order — a discipline
+// the annotation documents but cannot statically prove).
+//
+// The analysis is intra-procedural and path-approximate: Lock/RLock
+// and Unlock/RUnlock calls on annotated fields are replayed through
+// each function body's statement structure. Branches (if/switch/
+// select) fork the held set and merge afterwards, so a Lock in one arm
+// and an RLock in the other never appear held together; a branch that
+// returns contributes nothing to the merge. Deferred unlocks keep
+// their lock held to function end. Unannotated locks are ignored.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "check mutex acquisitions against the `// lintlock: level=N` hierarchy",
+	Run:  runLockOrder,
+}
+
+var lintlockRE = regexp.MustCompile(`lintlock:\s*level=(\d+)(\s+ordered)?`)
+
+// lockAnn is one annotated lock field.
+type lockAnn struct {
+	level   int
+	ordered bool
+}
+
+// lockEvent is one Lock/Unlock call on an annotated field.
+type lockEvent struct {
+	pos     token.Pos
+	acquire bool
+	fld     *types.Var
+	ann     lockAnn
+	name    string // receiver expression text-ish, for diagnostics
+}
+
+func runLockOrder(pass *Pass) error {
+	anns := collectLockAnns(pass)
+	if len(anns) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockBody(pass, anns, fn.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				// Top-level function literals (package-level var
+				// initializers); literals inside FuncDecl bodies are
+				// covered by the enclosing body walk.
+				checkLockBody(pass, anns, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectLockAnns maps annotated struct-field objects to their levels.
+func collectLockAnns(pass *Pass) map[*types.Var]lockAnn {
+	anns := make(map[*types.Var]lockAnn)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				ann, ok := parseLintlock(field.Doc, field.Comment)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						anns[v] = ann
+					}
+				}
+			}
+			return true
+		})
+	}
+	return anns
+}
+
+func parseLintlock(groups ...*ast.CommentGroup) (lockAnn, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			m := lintlockRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			level, err := strconv.Atoi(m[1])
+			if err != nil {
+				continue
+			}
+			return lockAnn{level: level, ordered: m[2] != ""}, true
+		}
+	}
+	return lockAnn{}, false
+}
+
+// checkLockBody replays the body's lock events through its statement
+// structure and reports hierarchy violations.
+func checkLockBody(pass *Pass, anns map[*types.Var]lockAnn, body *ast.BlockStmt) {
+	c := &lockChecker{pass: pass, anns: anns}
+	c.block(body.List, nil)
+}
+
+// lockChecker threads the held-lock set through a function body.
+type lockChecker struct {
+	pass *Pass
+	anns map[*types.Var]lockAnn
+}
+
+// block replays a statement list; the second result reports whether the
+// list definitely returns (so callers exclude it from branch merges).
+func (c *lockChecker) block(list []ast.Stmt, held []lockEvent) ([]lockEvent, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = c.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (c *lockChecker) stmt(s ast.Stmt, held []lockEvent) ([]lockEvent, bool) {
+	switch s := s.(type) {
+	case nil:
+		return held, false
+	case *ast.BlockStmt:
+		return c.block(s.List, held)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		held, _ = c.stmt(s.Init, held)
+		held = c.scan(s.Cond, held)
+		hThen, tThen := c.block(s.Body.List, cloneHeld(held))
+		hElse, tElse := held, false
+		if s.Else != nil {
+			hElse, tElse = c.stmt(s.Else, cloneHeld(held))
+		}
+		switch {
+		case tThen && tElse:
+			return held, true
+		case tThen:
+			return hElse, false
+		case tElse:
+			return hThen, false
+		}
+		return mergeHeld(hThen, hElse), false
+	case *ast.ForStmt:
+		held, _ = c.stmt(s.Init, held)
+		held = c.scan(s.Cond, held)
+		hBody, _ := c.block(s.Body.List, cloneHeld(held))
+		hBody, _ = c.stmt(s.Post, hBody)
+		// The loop may run zero times; merge the body's net holds (the
+		// ascending lockAll idiom) with the skip path.
+		return mergeHeld(held, hBody), false
+	case *ast.RangeStmt:
+		held = c.scan(s.X, held)
+		hBody, _ := c.block(s.Body.List, cloneHeld(held))
+		return mergeHeld(held, hBody), false
+	case *ast.SwitchStmt:
+		held, _ = c.stmt(s.Init, held)
+		held = c.scan(s.Tag, held)
+		return c.clauses(s.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		held, _ = c.stmt(s.Init, held)
+		held, _ = c.stmt(s.Assign, held)
+		return c.clauses(s.Body.List, held)
+	case *ast.SelectStmt:
+		return c.clauses(s.Body.List, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps its lock held to function end; ignore
+		// the call itself but still visit any function literal (its body
+		// runs with this function's deferred state, but as a fresh
+		// replay that is simply conservative).
+		c.litsOnly(s.Call)
+		return held, false
+	case *ast.GoStmt:
+		// The goroutine runs concurrently on its own stack.
+		c.litsOnly(s.Call)
+		return held, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			held = c.scan(r, held)
+		}
+		return held, true
+	default:
+		// Expression-only statements: ExprStmt, AssignStmt, DeclStmt,
+		// IncDecStmt, SendStmt, BranchStmt, EmptyStmt.
+		return c.scan(s, held), false
+	}
+}
+
+// clauses replays each case/comm clause of a switch or select from the
+// same incoming held set and merges the arms that fall out the bottom.
+// The incoming set itself stays merged in: a switch may match no case.
+func (c *lockChecker) clauses(list []ast.Stmt, held []lockEvent) ([]lockEvent, bool) {
+	out := cloneHeld(held)
+	for _, cl := range list {
+		var arm []ast.Stmt
+		h := cloneHeld(held)
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				h = c.scan(e, h)
+			}
+			arm = cl.Body
+		case *ast.CommClause:
+			h, _ = c.stmt(cl.Comm, h)
+			arm = cl.Body
+		default:
+			continue
+		}
+		h, term := c.block(arm, h)
+		if !term {
+			out = mergeHeld(out, h)
+		}
+	}
+	return out, false
+}
+
+// scan replays the lock calls inside an expression or leaf statement in
+// source order. Nested function literals are replayed as separate
+// bodies (they run on their own goroutine or at an unrelated time).
+func (c *lockChecker) scan(n ast.Node, held []lockEvent) []lockEvent {
+	if n == nil {
+		return held
+	}
+	var events []lockEvent
+	ast.Inspect(n, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkLockBody(c.pass, c.anns, lit.Body)
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if ev, ok := c.lockCall(call); ok {
+				events = append(events, ev)
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for _, ev := range events {
+		held = c.apply(ev, held)
+	}
+	return held
+}
+
+// litsOnly visits function literals under n without replaying its lock
+// calls into the current held set.
+func (c *lockChecker) litsOnly(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkLockBody(c.pass, c.anns, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// lockCall recognizes a Lock/RLock/Unlock/RUnlock call on an annotated
+// field.
+func (c *lockChecker) lockCall(call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return lockEvent{}, false
+	}
+	// The method must be sync.Mutex/RWMutex's.
+	msel := c.pass.Info.Selections[sel]
+	if msel == nil || msel.Obj().Pkg() == nil || msel.Obj().Pkg().Path() != "sync" {
+		return lockEvent{}, false
+	}
+	fld := lockField(c.pass, sel.X)
+	if fld == nil {
+		return lockEvent{}, false
+	}
+	ann, ok := c.anns[fld]
+	if !ok {
+		return lockEvent{}, false
+	}
+	return lockEvent{
+		pos:     call.Pos(),
+		acquire: acquire,
+		fld:     fld,
+		ann:     ann,
+		name:    lockName(c.pass, sel.X),
+	}, true
+}
+
+// apply checks one event against the held set and updates it.
+func (c *lockChecker) apply(ev lockEvent, held []lockEvent) []lockEvent {
+	if !ev.acquire {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].fld == ev.fld {
+				return append(held[:i:i], held[i+1:]...)
+			}
+		}
+		return held
+	}
+	for _, h := range held {
+		switch {
+		case h.ann.level > ev.ann.level:
+			c.pass.Reportf(ev.pos,
+				"lock hierarchy inversion: acquires %s (lintlock level %d) while holding %s (level %d); levels must be acquired in increasing order",
+				ev.name, ev.ann.level, h.name, h.ann.level)
+		case h.ann.level == ev.ann.level && !(h.fld == ev.fld && ev.ann.ordered):
+			c.pass.Reportf(ev.pos,
+				"lock hierarchy violation: acquires %s (lintlock level %d) while holding %s at the same level; only a field marked `ordered` may be multiply held",
+				ev.name, ev.ann.level, h.name)
+		}
+	}
+	return append(held, ev)
+}
+
+// cloneHeld copies a held set so sibling branches replay independently.
+func cloneHeld(held []lockEvent) []lockEvent {
+	return append([]lockEvent(nil), held...)
+}
+
+// mergeHeld unions two branch outcomes, keeping one entry per field:
+// for hierarchy checks only the field's level matters, and collapsing
+// duplicates keeps a Lock-or-RLock split from double-reporting.
+func mergeHeld(a, b []lockEvent) []lockEvent {
+	out := cloneHeld(a)
+	for _, ev := range b {
+		dup := false
+		for _, h := range out {
+			if h.fld == ev.fld {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// lockField resolves the receiver expression of a Lock/Unlock call to
+// the struct-field object it names (nil when it is not a field
+// selection, e.g. a local mutex variable).
+func lockField(pass *Pass, x ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := pass.Info.Selections[sel]
+	if s != nil && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	// Package-qualified or unqualified field uses resolve via Uses.
+	if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// lockName renders a short name for diagnostics (the selector path's
+// tail, e.g. "st.mu").
+func lockName(pass *Pass, x ast.Expr) string {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		return exprTail(e.X) + "." + e.Sel.Name
+	case *ast.Ident:
+		return e.Name
+	}
+	return "lock"
+}
+
+func exprTail(x ast.Expr) string {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprTail(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprTail(e.X) + "[…]"
+	case *ast.CallExpr:
+		return exprTail(e.Fun) + "()"
+	case *ast.StarExpr:
+		return exprTail(e.X)
+	}
+	return "…"
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLockOrder(t *testing.T) {
+	RunFixture(t, LockOrder, "lockorder")
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the atomicfield analyzer: a variable
+// touched through sync/atomic anywhere in the package must be touched
+// that way everywhere.
+package fixture
+
+import "sync/atomic"
+
+type gauge struct {
+	n     int64 // atomic everywhere — except the two flagged sites
+	other int64 // plain everywhere: fine
+}
+
+func (g *gauge) inc() {
+	atomic.AddInt64(&g.n, 1)
+	g.other++
+}
+
+func (g *gauge) read() int64 {
+	return atomic.LoadInt64(&g.n)
+}
+
+func (g *gauge) racyRead() int64 {
+	return g.n // want `plain access to n`
+}
+
+func (g *gauge) racyWrite() {
+	g.n = 0 // want `plain access to n`
+}
+
+// typed atomics cannot be misused and are never flagged.
+type safeGauge struct {
+	n atomic.Int64
+}
+
+func (g *safeGauge) bump() int64 {
+	g.n.Add(1)
+	return g.n.Load()
+}
+
+var hits int64
+
+func recordHit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func resetHits() {
+	hits = 0 // want `plain access to hits`
+}

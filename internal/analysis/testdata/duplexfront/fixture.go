@@ -1,0 +1,42 @@
+// Package fixture exercises the duplexfront analyzer: exploiters hold
+// the cf interfaces; raw facility construction and concrete structure
+// types bypass the duplexed front.
+package fixture
+
+import (
+	"sysplex/internal/cf"
+	"sysplex/internal/vclock"
+)
+
+func rawConstruction() *cf.Facility {
+	return cf.New("CF01", vclock.Real()) // want `raw coupling-facility construction cf.New`
+}
+
+func rawFacilityCommands(f *cf.Facility) {
+	f.AllocateListStructure("LOGQ", 4, 1, 128) // want `structure command AllocateListStructure on a raw \*cf.Facility`
+	f.Deallocate("LOGQ")                       // want `structure command Deallocate on a raw \*cf.Facility`
+	// Observability stays legal on a raw facility.
+	_ = f.Name()
+	_ = f.Metrics()
+}
+
+func rawStructure(ls *cf.ListStructure) {
+	ls.Connect("SYS1", nil) // want `command Connect on a concrete \*cf.ListStructure`
+	_ = ls.Len(0)           // want `command Len on a concrete \*cf.ListStructure`
+}
+
+// Interface-typed commands go through whatever front the façade wired
+// up — duplexed or simplex — and are always legal.
+func viaInterfaces(front cf.Front, l cf.Lock, c cf.Cache) error {
+	ls, err := front.ListStructure("LOGQ")
+	if err != nil {
+		return err
+	}
+	if err := ls.Connect("SYS1", nil); err != nil {
+		return err
+	}
+	if err := l.Connect("SYS1"); err != nil {
+		return err
+	}
+	return c.Unregister("SYS1", "PAGE.1")
+}

@@ -1,0 +1,96 @@
+// Package fixture exercises the lockorder analyzer: annotated lock
+// fields must be acquired in increasing lintlock level order, and only
+// `ordered` fields may be multiply held.
+package fixture
+
+import "sync"
+
+type table struct {
+	mu     sync.RWMutex // lintlock: level=10
+	shards [4]shard
+	monMu  sync.Mutex // lintlock: level=50
+}
+
+type shard struct {
+	mu sync.Mutex // lintlock: level=30 ordered
+	m  map[string]int
+}
+
+// inversion acquires the outer table lock while holding a shard — the
+// outer-after-stripe deadlock the hierarchy forbids.
+func (t *table) inversion(k string) int {
+	s := &t.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.mu.RLock() // want `lock hierarchy inversion`
+	defer t.mu.RUnlock()
+	return s.m[k]
+}
+
+// deferredHold keeps monMu held to function end via defer, so the
+// later outer acquisition is still an inversion.
+func (t *table) deferredHold() {
+	t.monMu.Lock()
+	defer t.monMu.Unlock()
+	t.mu.RLock() // want `lock hierarchy inversion`
+	t.mu.RUnlock()
+}
+
+// legal walks the hierarchy outer→inner.
+func (t *table) legal(k string, v int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := &t.shards[1]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[k] = v
+	t.monMu.Lock()
+	t.monMu.Unlock()
+}
+
+// lockAll multiply holds an `ordered` field in index order — legal.
+func (t *table) lockAll() {
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+	}
+	for i := range t.shards {
+		t.shards[i].mu.Unlock()
+	}
+}
+
+// relock releases before taking an outer lock — legal.
+func (t *table) relock() {
+	t.monMu.Lock()
+	t.monMu.Unlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+// branches takes the write or read side on disjoint paths; the two
+// acquisitions are alternatives, not nested.
+func (t *table) branches(exclusive bool) {
+	if exclusive {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	} else {
+		t.mu.RLock()
+		defer t.mu.RUnlock()
+	}
+	t.monMu.Lock()
+	t.monMu.Unlock()
+}
+
+type pair struct {
+	a sync.Mutex // lintlock: level=20
+	b sync.Mutex // lintlock: level=20
+}
+
+// sameLevel holds two distinct level-20 fields at once; without
+// `ordered` that is a deadlock between two goroutines running
+// sameLevel and its mirror image.
+func (p *pair) sameLevel() {
+	p.a.Lock()
+	p.b.Lock() // want `lock hierarchy violation`
+	p.b.Unlock()
+	p.a.Unlock()
+}

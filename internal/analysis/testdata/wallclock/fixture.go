@@ -1,0 +1,36 @@
+// Package fixture exercises the wallclock analyzer: subsystems must
+// not read or schedule against the machine clock directly.
+package fixture
+
+import (
+	"time"
+
+	"sysplex/internal/vclock"
+)
+
+type poller struct {
+	clock vclock.Clock
+	last  time.Time
+}
+
+func (p *poller) bad() {
+	p.last = time.Now()             // want `direct wall-clock use time.Now`
+	time.Sleep(time.Millisecond)    // want `direct wall-clock use time.Sleep`
+	<-time.After(time.Millisecond)  // want `direct wall-clock use time.After`
+	_ = time.Since(p.last)          // want `direct wall-clock use time.Since`
+	_ = time.NewTicker(time.Second) // want `direct wall-clock use time.NewTicker`
+}
+
+func (p *poller) good() {
+	p.last = p.clock.Now()
+	p.clock.Sleep(time.Millisecond)
+	<-p.clock.After(time.Millisecond)
+	_ = p.clock.Since(p.last)
+	// time.Time methods are pure arithmetic on an instant, not
+	// wall-clock reads.
+	_ = p.last.After(p.clock.Now())
+	_ = p.last.Add(5 * time.Second)
+	// Durations and construction of fixed instants are always fine.
+	_ = 30 * time.Second
+	_ = time.Unix(0, 0)
+}

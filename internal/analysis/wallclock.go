@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallClock forbids direct wall-clock reads and timers in sysplex
+// subsystems. Every timing-sensitive component must take a
+// vclock.Clock so whole-sysplex runs are drivable by the simulated
+// sysplex timer (deterministic tests, reproducible workload replays).
+// internal/vclock itself is the only package allowed to touch the real
+// clock; cmd/ and examples/ binaries measure real elapsed time by
+// design and are out of scope.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Sleep/After & friends outside internal/vclock; use vclock.Clock",
+	Run:  runWallClock,
+}
+
+// wallClockFuncs are the time package functions that read or schedule
+// against the machine clock. Pure conversions and types (time.Duration,
+// time.Unix, time.Date) remain fine anywhere.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// wallClockExempt reports packages allowed to use the wall clock
+// directly. Fixture packages load under synthetic non-exempt paths.
+func wallClockExempt(path string) bool {
+	return path == "sysplex/internal/vclock" ||
+		strings.HasPrefix(path, "sysplex/cmd/") ||
+		strings.HasPrefix(path, "sysplex/examples/")
+}
+
+func runWallClock(pass *Pass) error {
+	if wallClockExempt(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			// Methods like time.Time.After are pure arithmetic, not
+			// wall-clock reads; only package-level functions count.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"direct wall-clock use time.%s: subsystems must run on an injected vclock.Clock so the simulated sysplex timer can drive them",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

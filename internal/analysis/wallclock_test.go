@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestWallClock(t *testing.T) {
+	RunFixture(t, WallClock, "wallclock")
+}

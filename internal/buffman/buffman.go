@@ -164,7 +164,8 @@ func (p *Pool) refresh(name string, idx int) ([]byte, error) {
 	} else {
 		data, err = p.read(name)
 		if err != nil {
-			cs.Unregister(p.sys, name)
+			// Best-effort: the read error is the one to surface.
+			_ = cs.Unregister(p.sys, name)
 			return nil, err
 		}
 		p.mu.Lock()
@@ -201,7 +202,21 @@ func (p *Pool) WritePage(name string, data []byte) error {
 	p.frames[idx] = frame{name: name, data: append([]byte(nil), data...), lastUse: p.bumpTick(), used: true}
 	p.stats.Writes++
 	p.mu.Unlock()
-	return p.structure().WriteAndInvalidate(p.sys, name, data, true, true, idx)
+	err := p.structure().WriteAndInvalidate(p.sys, name, data, true, true, idx)
+	if err != nil {
+		// The group buffer pool rejected the write: the local frame
+		// must not keep serving data the caller will treat as not
+		// committed. Drop it so the next read refetches the CF's
+		// version.
+		p.mu.Lock()
+		if i, ok := p.byName[name]; ok && i == idx {
+			delete(p.byName, name)
+			p.frames[i] = frame{}
+			p.vec.Clear(i)
+		}
+		p.mu.Unlock()
+	}
+	return err
 }
 
 // CastoutOnce casts out up to max changed pages (all if max <= 0) from
@@ -219,7 +234,8 @@ func (p *Pool) CastoutOnce(max int) (int, error) {
 			continue // raced with another castout owner
 		}
 		if err := p.write(name, data); err != nil {
-			cs.CastoutEnd(p.sys, name, ver-1) // keep changed
+			// Best-effort: keep the page changed; the write error wins.
+			_ = cs.CastoutEnd(p.sys, name, ver-1)
 			return n, err
 		}
 		if err := cs.CastoutEnd(p.sys, name, ver); err != nil {
@@ -267,7 +283,9 @@ func (p *Pool) Invalidate(name string) {
 	cs := p.cs
 	p.mu.Unlock()
 	if ok {
-		cs.Unregister(p.sys, name)
+		// The local frame is already gone; a failed unregister only
+		// costs a spurious cross-invalidate later.
+		_ = cs.Unregister(p.sys, name)
 	}
 }
 
@@ -302,7 +320,8 @@ func (p *Pool) allocFrameLocked(name string) (int, error) {
 	p.stats.Evictions++
 	// The CF never calls back into the pool (it flips vector bits
 	// directly), so its mutex is a leaf and this nested call is safe.
-	p.cs.Unregister(p.sys, old)
+	// A failed unregister only costs a spurious cross-invalidate.
+	_ = p.cs.Unregister(p.sys, old)
 	return victim, nil
 }
 

@@ -50,12 +50,12 @@ type CacheStructure struct {
 	nEntries atomic.Int64 // directory entries across all stripes, <= maxEntries
 	stripes  [cacheStripes]cacheStripe
 
-	connMu sync.RWMutex
+	connMu sync.RWMutex // lintlock: level=40
 	conns  map[string]*cacheConn
 }
 
 type cacheStripe struct {
-	mu sync.Mutex
+	mu sync.Mutex // lintlock: level=30 ordered — lockAll takes stripes in index order
 	m  map[string]*cacheEntry
 }
 
@@ -164,6 +164,13 @@ func (s *CacheStructure) cloneInto(dst *Facility) (structure, error) {
 	s.connMu.RLock()
 	defer s.connMu.RUnlock()
 	n := newCacheStructure(dst, s.name, s.maxEntries)
+	// As with list serialized locks: a broken facility's castout locks
+	// are all stale (the claiming castout aborted with ErrCFDown), and a
+	// stale castoutBy would block every future castout of the block.
+	// Drop them when copying from a failed source; the changed state
+	// itself is kept, so the pages are still cast out — by whoever
+	// claims them next.
+	broken := s.facility.Failed()
 	for c, cc := range s.conns {
 		n.conns[c] = &cacheConn{vector: cc.vector}
 	}
@@ -175,6 +182,9 @@ func (s *CacheStructure) cloneInto(dst *Facility) (structure, error) {
 				changed:    e.changed,
 				castoutBy:  e.castoutBy,
 				version:    e.version,
+			}
+			if broken {
+				ne.castoutBy = ""
 			}
 			for c, idx := range e.registered {
 				ne.registered[c] = idx

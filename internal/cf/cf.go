@@ -161,7 +161,7 @@ type Facility struct {
 	clock vclock.Clock
 	reg   *metrics.Registry
 
-	mu         sync.Mutex // guards structures, usedBytes
+	mu         sync.Mutex // lintlock: level=60 (leaf) — guards structures, usedBytes
 	structures map[string]structure
 	totalBytes int64 // 0 = unconstrained; immutable after New
 	usedBytes  int64

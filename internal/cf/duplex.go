@@ -82,7 +82,7 @@ type Duplexed struct {
 
 	gen atomic.Uint64 // bumped (under mu) on every primary/secondary change
 
-	mu        sync.Mutex
+	mu        sync.Mutex // lintlock: level=50
 	cond      *sync.Cond // broadcast when syncing clears
 	primary   *Facility
 	secondary *Facility // nil when simplex
@@ -117,8 +117,8 @@ type pair struct {
 	d    *Duplexed
 	name string
 
-	rw      sync.RWMutex
-	stripes [pairStripes]sync.Mutex
+	rw      sync.RWMutex            // lintlock: level=10
+	stripes [pairStripes]sync.Mutex // lintlock: level=20 ordered — eachPair walks stripes in index order
 	h       atomic.Pointer[pairHandles]
 }
 
@@ -332,7 +332,8 @@ func (d *Duplexed) allocate(name string, alloc func(*Facility) error) error {
 	}
 	if d.secondary != nil {
 		if err := alloc(d.secondary); err != nil {
-			d.primary.Deallocate(name)
+			// Best-effort rollback: the allocate error is what matters.
+			_ = d.primary.Deallocate(name)
 			return err
 		}
 	}
@@ -759,7 +760,9 @@ func (l *DuplexedLock) Records(conn string) ([]LockRecord, error) {
 
 // AdoptRetained installs retained records on both replicas.
 func (l *DuplexedLock) AdoptRetained(conn string, recs []LockRecord) {
-	l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
+	// The closure never fails; run's error only reflects replica loss,
+	// which the failover machinery already records.
+	_ = l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
 		s.(*LockStructure).AdoptRetained(conn, recs)
 		return nil
 	})
@@ -1049,7 +1052,9 @@ func (l *DuplexedList) Monitor(conn string, list int, vecIdx int) error {
 
 // Unmonitor removes monitoring from both replicas.
 func (l *DuplexedList) Unmonitor(conn string, list int) {
-	l.d.run(l.name, ordKeyed, "l"+strconv.Itoa(list), func(s structure, primary bool) error {
+	// The closure never fails; run's error only reflects replica loss,
+	// which the failover machinery already records.
+	_ = l.d.run(l.name, ordKeyed, "l"+strconv.Itoa(list), func(s structure, primary bool) error {
 		s.(*ListStructure).Unmonitor(conn, list)
 		return nil
 	})

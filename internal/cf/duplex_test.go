@@ -374,3 +374,95 @@ func TestDuplexedConcurrentCommandsAcrossFailover(t *testing.T) {
 			d.Metrics().Counter("cfrm.failover.count").Value())
 	}
 }
+
+// TestCloneFromBrokenFacilityDropsStaleSerialization pins the
+// rebuild-from-image semantics for transient serialization state. When
+// the source facility is broken, every pass that held a serialized-list
+// lock or a cache castout lock has already aborted with ErrCFDown (its
+// release failed along with the structure), so the copied image must
+// come up with those locks free: a carried-over holder would wedge
+// conditional mainline writes — the logr offload lock — or block
+// castout of the page forever, and no takeover clears CF-failure locks.
+// Entries, directory data, and the changed state itself still copy.
+func TestCloneFromBrokenFacilityDropsStaleSerialization(t *testing.T) {
+	src := New("CF01", nil)
+	if _, err := src.AllocateListStructure("LOG", 2, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	ls := src.structureByName("LOG").(*ListStructure)
+	for _, c := range []string{"SYS1", "SYS2"} {
+		if err := ls.Connect(c, NewBitVector(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ls.Write("SYS1", 0, "e1", "", []byte("rec"), FIFO, Cond{}); err != nil {
+		t.Fatal(err)
+	}
+	// SYS2's offload pass is mid-flight when the CF dies.
+	if err := ls.SetLock(0, "SYS2"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := src.AllocateCacheStructure("GBP", 16); err != nil {
+		t.Fatal(err)
+	}
+	cs := src.structureByName("GBP").(*CacheStructure)
+	for _, c := range []string{"SYS1", "SYS2"} {
+		if err := cs.Connect(c, NewBitVector(16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.WriteAndInvalidate("SYS1", "P1", []byte("v1"), true, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	// SYS2's castout is mid-flight when the CF dies.
+	if _, _, err := cs.CastoutBegin("SYS2", "P1"); err != nil {
+		t.Fatal(err)
+	}
+
+	src.Fail()
+
+	dst := New("CF02", nil)
+	nlsRaw, err := ls.cloneInto(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nls := nlsRaw.(*ListStructure)
+	if h := nls.LockHolder(0); h != "" {
+		t.Fatalf("stale offload lock survived rebuild: holder %q", h)
+	}
+	// A conditional mainline write — the logr interim append — must pass
+	// against the rebuilt image instead of spinning on ErrLockHeld.
+	cond := Cond{Use: true, LockIndex: 0}
+	if err := nls.Write("SYS1", 0, "e2", "", []byte("rec2"), FIFO, cond); err != nil {
+		t.Fatalf("conditional write against rebuilt image: %v", err)
+	}
+	if got := nls.Len(0); got != 2 {
+		t.Fatalf("rebuilt list entries = %d, want 2 (copied + new)", got)
+	}
+
+	ncsRaw, err := cs.cloneInto(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncs := ncsRaw.(*CacheStructure)
+	if blocks := ncs.ChangedBlocks(); len(blocks) != 1 || blocks[0] != "P1" {
+		t.Fatalf("rebuilt changed blocks = %v, want [P1]", blocks)
+	}
+	if _, _, err := ncs.CastoutBegin("SYS1", "P1"); err != nil {
+		t.Fatalf("castout against rebuilt image: %v", err)
+	}
+
+	// A healthy-source copy (duplex establishment, planned rebuild)
+	// preserves holders: the holding pass is live and releases through
+	// the front.
+	dst2 := New("CF03", nil)
+	src.broken.Store(false) // revive for the healthy-copy leg
+	nls2Raw, err := ls.cloneInto(dst2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := nls2Raw.(*ListStructure).LockHolder(0); h != "SYS2" {
+		t.Fatalf("healthy-source copy lost the live holder: %q", h)
+	}
+}

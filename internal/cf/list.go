@@ -87,24 +87,24 @@ type ListStructure struct {
 	mMonitor cmdMetrics
 	cTrans   *metrics.Counter
 
-	mu     sync.RWMutex
+	mu     sync.RWMutex // lintlock: level=10
 	lists  []listHead
 	shards [listShards]entryShard
 	locks  []condLock
 	total  atomic.Int64 // entries across all shards, <= maxEntries
 	conns  map[string]*listConn
 
-	monMu    sync.Mutex
+	monMu    sync.Mutex             // lintlock: level=50
 	monitors map[int]map[string]int // list -> conn -> vector index
 }
 
 type listHead struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // lintlock: level=30 ordered — Move locks both heads in index order
 	entries []*ListEntry
 }
 
 type entryShard struct {
-	mu sync.Mutex
+	mu sync.Mutex // lintlock: level=40
 	m  map[string]*ListEntry
 }
 
@@ -112,8 +112,8 @@ type entryShard struct {
 // commands hold rw.RLock for their duration; SetLock/ReleaseLock take
 // rw.Lock, so acquiring the lock waits out in-flight conditional work.
 type condLock struct {
-	rw     sync.RWMutex
-	holder string // connector or ""
+	rw     sync.RWMutex // lintlock: level=20
+	holder string       // connector or ""
 }
 
 type listConn struct {
@@ -194,8 +194,18 @@ func (s *ListStructure) cloneInto(dst *Facility) (structure, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := newListStructure(dst, s.name, len(s.lists), len(s.locks), s.maxEntries)
-	for i := range s.locks {
-		n.locks[i].holder = s.locks[i].holder
+	// Serialized-lock holders survive only a healthy-source copy (duplex
+	// establishment, planned rebuild), where the holding pass is live and
+	// will release through the front. When the source facility is broken,
+	// every in-flight pass has already aborted with ErrCFDown — and its
+	// ReleaseLock failed with the structure — so any recorded holder is
+	// stale. Carrying it into the rebuilt image would wedge conditional
+	// mainline commands forever: no takeover clears CF-failure locks
+	// (takeover handles *system* failure).
+	if !s.facility.Failed() {
+		for i := range s.locks {
+			n.locks[i].holder = s.locks[i].holder
+		}
 	}
 	for c, lc := range s.conns {
 		n.conns[c] = &listConn{vector: lc.vector}

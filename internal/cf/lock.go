@@ -68,13 +68,13 @@ type LockStructure struct {
 	mSetRec cmdMetrics
 	mDelRec cmdMetrics
 
-	mu      sync.RWMutex
-	entries []lockEntry // slice header immutable; elements striped
+	mu      sync.RWMutex // lintlock: level=10
+	entries []lockEntry  // slice header immutable; elements striped
 	conns   map[string]bool
 
 	// recMu guards records and retained under mu.RLock. (mu.Lock holders
 	// access them directly.)
-	recMu sync.Mutex
+	recMu sync.Mutex // lintlock: level=50
 	// records holds persistent lock records keyed by connector.
 	records map[string]map[string]LockRecord // conn -> resource -> record
 	// retained marks connectors that failed; their records survive for
@@ -83,7 +83,7 @@ type LockStructure struct {
 }
 
 type lockEntry struct {
-	mu         sync.Mutex     // taken under LockStructure.mu.RLock
+	mu         sync.Mutex     // lintlock: level=30 — taken under LockStructure.mu.RLock
 	exclOwner  string         // connector with exclusive interest ("" none)
 	exclCount  int            // resources it holds exclusively on this entry
 	shared     map[string]int // connector -> count of share interests

@@ -540,10 +540,11 @@ func (t *Tx) Commit() error {
 		return err
 	}
 	// 3. END record: recovery skips redo for fully applied transactions.
-	if err := t.e.appendLog(&LogRecord{Tx: t.id, Kind: recEnd}); err != nil {
-		t.release()
-		return err
-	}
+	// The transaction is committed (step 1) and applied (step 2) by
+	// now; failing to write END only costs recovery one idempotent
+	// redo, so it must not be reported as a transaction failure — the
+	// caller would wrongly treat a durably committed update as lost.
+	_ = t.e.appendLog(&LogRecord{Tx: t.id, Kind: recEnd})
 	t.release()
 	t.e.bump(func(s *Stats) { s.Commits++; s.Writes += int64(len(t.staged)) })
 	return nil

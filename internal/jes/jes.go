@@ -295,8 +295,9 @@ func (e *Executor) Start(poll time.Duration) {
 					e.vec.Clear(0)
 					e.runOne()
 					// Re-arm: monitoring sets the bit again immediately if
-					// the list is still non-empty.
-					e.structure().Monitor(e.sys, inputList, 0)
+					// the list is still non-empty. The next tick retries if
+					// the CF was down.
+					_ = e.structure().Monitor(e.sys, inputList, 0)
 				}
 			}
 		}
@@ -332,7 +333,9 @@ func (e *Executor) runOne() bool {
 	// the running system, so peers can requeue it if we die.
 	job.RanOn = e.sys
 	raw, _ := json.Marshal(job)
-	ls.Write(e.sys, activeList, job.ID, "", raw, cf.FIFO, cf.Cond{})
+	// Best-effort checkpoint: if the CF is down the claim simply isn't
+	// durable, and a peer requeues the job after takeover.
+	_ = ls.Write(e.sys, activeList, job.ID, "", raw, cf.FIFO, cf.Cond{})
 
 	e.mu.Lock()
 	h := e.handlers[job.Class]
@@ -348,8 +351,10 @@ func (e *Executor) runOne() bool {
 		}
 	}
 	raw, _ = json.Marshal(job)
-	ls.Write(e.sys, activeList, job.ID, "", raw, cf.FIFO, cf.Cond{})
-	ls.Move(e.sys, job.ID, doneList, cf.FIFO, cf.Cond{})
+	// Best-effort completion record; a CF outage leaves the job on the
+	// active queue for peer requeue, which re-runs it (at-least-once).
+	_ = ls.Write(e.sys, activeList, job.ID, "", raw, cf.FIFO, cf.Cond{})
+	_ = ls.Move(e.sys, job.ID, doneList, cf.FIFO, cf.Cond{})
 	e.mu.Lock()
 	e.executed++
 	e.mu.Unlock()

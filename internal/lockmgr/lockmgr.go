@@ -246,7 +246,8 @@ func (m *Manager) tryLock(owner, resourceName string, mode cf.LockMode) (tryResu
 		m.grantLocal(resourceName, owner, mode, entry)
 		if hadShare {
 			// Upgrade: drop the superseded share interest on the entry.
-			ls.Release(entry, m.sysName, cf.Share)
+			// The exclusive interest already covers us if this fails.
+			_ = ls.Release(entry, m.sysName, cf.Share)
 		}
 		m.bump(func(s *Stats) { s.Locks++; s.FastGrants++ })
 		return tryResult{granted: true}, nil
@@ -267,7 +268,8 @@ func (m *Manager) tryLock(owner, resourceName string, mode cf.LockMode) (tryResu
 		}
 		m.grantLocal(resourceName, owner, mode, entry)
 		if hadShare {
-			ls.Release(entry, m.sysName, cf.Share)
+			// As above: superseded by the exclusive interest.
+			_ = ls.Release(entry, m.sysName, cf.Share)
 		}
 		m.bump(func(s *Stats) { s.Locks++ })
 		return tryResult{granted: true}, nil
@@ -316,7 +318,8 @@ func (m *Manager) Unlock(owner, resourceName string) error {
 		return err
 	}
 	if mode == cf.Exclusive {
-		ls.DeleteRecord(m.sysName, resourceName)
+		// A stale record is harmless: recovery re-grants and overwrites.
+		_ = ls.DeleteRecord(m.sysName, resourceName)
 	}
 	// Wake local waiters to retry.
 	for _, w := range toWake {
@@ -349,8 +352,9 @@ func (m *Manager) grantLocal(resourceName, owner string, mode cf.LockMode, entry
 	r.holders[owner] = mode
 	m.mu.Unlock()
 	if mode == cf.Exclusive {
-		// Persistent record: peers recover this if we fail (§3.3.1).
-		m.structure().SetRecord(m.sysName, resourceName, mode)
+		// Persistent record: peers recover this if we fail (§3.3.1). If
+		// the CF is down the grant stands, just without crash coverage.
+		_ = m.structure().SetRecord(m.sysName, resourceName, mode)
 	}
 }
 

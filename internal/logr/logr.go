@@ -550,7 +550,11 @@ func (s *Stream) offloadOnce(force bool) (int, error) {
 	crashed := false
 	defer func() {
 		if !crashed {
-			s.list.ReleaseLock(lockOffload, m.sys)
+			// If the release fails the serialized lock is retained;
+			// recovery clears it — FailConnector purges a dead system's
+			// locks, and a rebuild from a broken CF drops the stale
+			// holder from the copied image. The pass itself succeeded.
+			_ = s.list.ReleaseLock(lockOffload, m.sys)
 		}
 	}()
 	start := m.clock.Now()
@@ -650,7 +654,9 @@ func (s *Stream) recoverOffload(failedSys string) (bool, error) {
 	if err := s.list.SetLock(lockOffload, m.sys); err != nil {
 		return false, err
 	}
-	defer s.list.ReleaseLock(lockOffload, m.sys)
+	// Retained on failure; FailConnector or a rebuild from the broken
+	// CF clears the stale holder.
+	defer func() { _ = s.list.ReleaseLock(lockOffload, m.sys) }()
 	c, err := s.readCTL()
 	if err != nil {
 		return false, err
@@ -703,7 +709,9 @@ func (s *Stream) Browse() (*Cursor, error) {
 		if err == nil {
 			interim = s.list.Entries(listInterim)
 		}
-		s.list.ReleaseLock(lockOffload, m.sys)
+		// Retained on failure; FailConnector or a rebuild from the
+		// broken CF clears the stale holder.
+		_ = s.list.ReleaseLock(lockOffload, m.sys)
 		s.passMu.Unlock()
 		if err != nil {
 			return nil, err

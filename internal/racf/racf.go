@@ -282,7 +282,9 @@ func (m *Manager) profile(resource string) (Profile, error) {
 	m.stats.DbReads++
 	m.mu.Unlock()
 	if !ok {
-		m.structure().Unregister(m.sys, resource)
+		// Best-effort: a failed unregister only costs a spurious
+		// cross-invalidate on this vector slot later.
+		_ = m.structure().Unregister(m.sys, resource)
 		m.mu.Lock()
 		m.vec.Clear(idx)
 		m.mu.Unlock()

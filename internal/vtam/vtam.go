@@ -263,7 +263,9 @@ func (n *Network) CleanupSystem(sys string) {
 				continue
 			}
 			if inst.System == sys {
-				ls.Delete(n.conn, e.ID, cf.Cond{})
+				// Best-effort cleanup of the failed system's instances;
+				// a leftover entry is re-swept on the next takeover.
+				_ = ls.Delete(n.conn, e.ID, cf.Cond{})
 			}
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sysplex/internal/metrics"
+	"sysplex/internal/vclock"
 )
 
 // KeyDist generates record keys.
@@ -87,18 +88,26 @@ type Driver struct {
 	Seed int64
 	// ThinkTime pauses between operations (default 0).
 	ThinkTime time.Duration
+	// Clock drives the run's deadline, latency samples, and think-time
+	// pauses. Nil means the real wall clock; tests inject a
+	// *vclock.Fake and advance it manually for deterministic drives.
+	Clock vclock.Clock
 }
 
-// Run drives the workload for the given wall-clock duration.
+// Run drives the workload for the given clock duration.
 func (d *Driver) Run(duration time.Duration) Results {
 	workers := d.Workers
 	if workers <= 0 {
 		workers = 4
 	}
+	clock := d.Clock
+	if clock == nil {
+		clock = vclock.Real()
+	}
 	hist := metrics.NewHistogram()
 	var mu sync.Mutex
 	res := Results{}
-	deadline := time.Now().Add(duration)
+	deadline := clock.Now().Add(duration)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
@@ -106,10 +115,10 @@ func (d *Driver) Run(duration time.Duration) Results {
 		go func() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(d.Seed + int64(w)))
-			for seq := 0; time.Now().Before(deadline); seq++ {
-				start := time.Now()
+			for seq := 0; clock.Now().Before(deadline); seq++ {
+				start := clock.Now()
 				err := d.Op(w, seq, rng)
-				lat := time.Since(start)
+				lat := clock.Since(start)
 				mu.Lock()
 				res.Attempts++
 				if err != nil {
@@ -120,7 +129,7 @@ func (d *Driver) Run(duration time.Duration) Results {
 				}
 				mu.Unlock()
 				if d.ThinkTime > 0 {
-					time.Sleep(d.ThinkTime)
+					clock.Sleep(d.ThinkTime)
 				}
 			}
 		}()

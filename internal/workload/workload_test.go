@@ -8,6 +8,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"sysplex/internal/vclock"
 )
 
 func TestUniformKeysInRange(t *testing.T) {
@@ -160,4 +162,39 @@ func parseInt(s string, v *int) (int, error) {
 	}
 	*v = n
 	return n, err
+}
+
+// TestDriverFakeClock drives the workload entirely on a fake clock:
+// the deadline, latency samples, and think-time pauses all advance
+// under test control, making the iteration count exact.
+func TestDriverFakeClock(t *testing.T) {
+	fake := vclock.NewFake(time.Unix(0, 0))
+	d := Driver{
+		Workers:   1,
+		ThinkTime: 10 * time.Millisecond,
+		Clock:     fake,
+		Op:        func(int, int, *rand.Rand) error { return nil },
+	}
+	done := make(chan Results, 1)
+	go func() { done <- d.Run(100 * time.Millisecond) }()
+	for {
+		select {
+		case res := <-done:
+			// Deadline T+100ms, one op then a 10ms think pause per
+			// iteration starting at T+0: exactly 10 attempts.
+			if res.Attempts != 10 {
+				t.Fatalf("attempts = %d, want exactly 10 on the fake clock", res.Attempts)
+			}
+			if res.Successes != res.Attempts {
+				t.Fatalf("successes = %d, want %d", res.Successes, res.Attempts)
+			}
+			return
+		default:
+			if fake.PendingTimers() > 0 {
+				fake.Advance(10 * time.Millisecond)
+			} else {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
 }
