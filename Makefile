@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check demo bench bench-json bench-cf bench-cf-smoke
+.PHONY: all build vet lint test race check demo bench bench-json bench-cf bench-cf-smoke examples-smoke
 
 all: check
 
@@ -12,8 +12,9 @@ vet:
 
 # sysplexlint enforces the repo-specific concurrency and determinism
 # invariants (lock hierarchy, atomic-only fields, the simulated-clock
-# rule, the duplexed-front rule, dropped CF command errors). See
-# DESIGN.md "Enforced invariants".
+# rule, the duplexed-front rule, dropped CF command errors,
+# context-first command signatures). See DESIGN.md "Enforced
+# invariants".
 lint:
 	$(GO) run ./cmd/sysplexlint
 
@@ -46,9 +47,19 @@ bench-json:
 # its machine-readable output.
 bench-cf:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig2_' -count=5 -cpu=1,4,8 .
-	$(GO) run ./cmd/sysplexbench -exp cfscale -json BENCH_cf.json
+	$(GO) run ./cmd/sysplexbench -exp cfscale,ctxpath -json BENCH_cf.json
 
 # One short iteration of the parallel benchmarks so CI catches rot
 # without paying for a full measurement run.
 bench-cf-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig2_' -benchtime 100x -cpu 4 .
+
+# Build and run every examples/ program under a short timeout, so
+# façade API refactors cannot silently break them.
+EXAMPLES := $(notdir $(wildcard examples/*))
+examples-smoke:
+	$(GO) build ./examples/...
+	@for ex in $(EXAMPLES); do \
+		echo "== examples/$$ex"; \
+		timeout 60 $(GO) run ./examples/$$ex >/dev/null || exit 1; \
+	done

@@ -6,6 +6,7 @@ package sysplex
 // tables/series.
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -25,7 +26,7 @@ func BenchmarkFig1_SystemModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig("PLEX1", 4)
 		cfg.Background = false
-		p, err := New(cfg)
+		p, err := New(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -46,13 +47,13 @@ func newCFBench(b *testing.B) *cf.Facility {
 func BenchmarkFig2_LockObtainRelease(b *testing.B) {
 	fac := newCFBench(b)
 	ls, _ := fac.AllocateLockStructure("IRLM", 4096)
-	ls.Connect("SYS1")
+	ls.Connect(context.Background(), "SYS1")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if r, err := ls.Obtain(i%4096, "SYS1", cf.Exclusive); err != nil || !r.Granted {
+		if r, err := ls.Obtain(context.Background(), i%4096, "SYS1", cf.Exclusive); err != nil || !r.Granted {
 			b.Fatal("obtain failed")
 		}
-		ls.Release(i%4096, "SYS1", cf.Exclusive)
+		ls.Release(context.Background(), i%4096, "SYS1", cf.Exclusive)
 	}
 }
 
@@ -62,11 +63,11 @@ func BenchmarkFig2_CacheReadRegister(b *testing.B) {
 	fac := newCFBench(b)
 	cs, _ := fac.AllocateCacheStructure("GBP0", 8192)
 	vec := cf.NewBitVector(1024)
-	cs.Connect("SYS1", vec)
-	cs.WriteAndInvalidate("SYS1", "PAGE", []byte("data"), true, false, 0)
+	cs.Connect(context.Background(), "SYS1", vec)
+	cs.WriteAndInvalidate(context.Background(), "SYS1", "PAGE", []byte("data"), true, false, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cs.ReadAndRegister("SYS1", "PAGE", i%1024); err != nil {
+		if _, err := cs.ReadAndRegister(context.Background(), "SYS1", "PAGE", i%1024); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,13 +79,13 @@ func BenchmarkFig2_CacheWriteCrossInvalidate(b *testing.B) {
 	fac := newCFBench(b)
 	cs, _ := fac.AllocateCacheStructure("GBP0", 8192)
 	v1, v2 := cf.NewBitVector(64), cf.NewBitVector(64)
-	cs.Connect("SYS1", v1)
-	cs.Connect("SYS2", v2)
+	cs.Connect(context.Background(), "SYS1", v1)
+	cs.Connect(context.Background(), "SYS2", v2)
 	data := []byte("new version of the page")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cs.ReadAndRegister("SYS2", "PAGE", 1)
-		if err := cs.WriteAndInvalidate("SYS1", "PAGE", data, true, true, 0); err != nil {
+		cs.ReadAndRegister(context.Background(), "SYS2", "PAGE", 1)
+		if err := cs.WriteAndInvalidate(context.Background(), "SYS1", "PAGE", data, true, true, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -108,14 +109,14 @@ func BenchmarkFig2_VectorTest(b *testing.B) {
 func BenchmarkFig2_ListQueue(b *testing.B) {
 	fac := newCFBench(b)
 	ls, _ := fac.AllocateListStructure("WORKQ", 4, 0, 1<<20)
-	ls.Connect("SYS1", nil)
+	ls.Connect(context.Background(), "SYS1", nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id := fmt.Sprintf("e%d", i)
-		if err := ls.Write("SYS1", 0, id, "", nil, cf.FIFO, cf.Cond{}); err != nil {
+		if err := ls.Write(context.Background(), "SYS1", 0, id, "", nil, cf.FIFO, cf.Cond{}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := ls.Pop("SYS1", 0, cf.Cond{}); err != nil {
+		if _, err := ls.Pop(context.Background(), "SYS1", 0, cf.Cond{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -131,7 +132,7 @@ func BenchmarkFig2_ListQueue(b *testing.B) {
 func BenchmarkFig2_LockObtainReleaseParallel(b *testing.B) {
 	fac := newCFBench(b)
 	ls, _ := fac.AllocateLockStructure("IRLM", 4096)
-	ls.Connect("SYS1")
+	ls.Connect(context.Background(), "SYS1")
 	var gid atomic.Int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -140,10 +141,10 @@ func BenchmarkFig2_LockObtainReleaseParallel(b *testing.B) {
 		for pb.Next() {
 			i++
 			e := (base + i) % 4096
-			if r, err := ls.Obtain(e, "SYS1", cf.Exclusive); err != nil || !r.Granted {
+			if r, err := ls.Obtain(context.Background(), e, "SYS1", cf.Exclusive); err != nil || !r.Granted {
 				b.Fatal("obtain failed")
 			}
-			ls.Release(e, "SYS1", cf.Exclusive)
+			ls.Release(context.Background(), e, "SYS1", cf.Exclusive)
 		}
 	})
 }
@@ -154,9 +155,9 @@ func BenchmarkFig2_CacheReadRegisterParallel(b *testing.B) {
 	fac := newCFBench(b)
 	cs, _ := fac.AllocateCacheStructure("GBP0", 8192)
 	vec := cf.NewBitVector(1024)
-	cs.Connect("SYS1", vec)
+	cs.Connect(context.Background(), "SYS1", vec)
 	for i := 0; i < 512; i++ {
-		cs.WriteAndInvalidate("SYS1", fmt.Sprintf("PAGE%03d", i), []byte("data"), true, false, i)
+		cs.WriteAndInvalidate(context.Background(), "SYS1", fmt.Sprintf("PAGE%03d", i), []byte("data"), true, false, i)
 	}
 	pages := make([]string, 512)
 	for i := range pages {
@@ -168,7 +169,7 @@ func BenchmarkFig2_CacheReadRegisterParallel(b *testing.B) {
 		i := int(gid.Add(1)) * 97
 		for pb.Next() {
 			i++
-			if _, err := cs.ReadAndRegister("SYS1", pages[i%512], i%1024); err != nil {
+			if _, err := cs.ReadAndRegister(context.Background(), "SYS1", pages[i%512], i%1024); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -182,8 +183,8 @@ func BenchmarkFig2_CacheWriteCrossInvalidateParallel(b *testing.B) {
 	fac := newCFBench(b)
 	cs, _ := fac.AllocateCacheStructure("GBP0", 8192)
 	v1, v2 := cf.NewBitVector(1024), cf.NewBitVector(1024)
-	cs.Connect("SYS1", v1)
-	cs.Connect("SYS2", v2)
+	cs.Connect(context.Background(), "SYS1", v1)
+	cs.Connect(context.Background(), "SYS2", v2)
 	data := []byte("new version of the page")
 	var gid atomic.Int64
 	b.ResetTimer()
@@ -192,8 +193,8 @@ func BenchmarkFig2_CacheWriteCrossInvalidateParallel(b *testing.B) {
 		page := fmt.Sprintf("PAGE%03d", g%512)
 		vi := g % 1024
 		for pb.Next() {
-			cs.ReadAndRegister("SYS2", page, vi)
-			if err := cs.WriteAndInvalidate("SYS1", page, data, true, true, vi); err != nil {
+			cs.ReadAndRegister(context.Background(), "SYS2", page, vi)
+			if err := cs.WriteAndInvalidate(context.Background(), "SYS1", page, data, true, true, vi); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -206,7 +207,7 @@ func BenchmarkFig2_CacheWriteCrossInvalidateParallel(b *testing.B) {
 func BenchmarkFig2_ListQueueParallel(b *testing.B) {
 	fac := newCFBench(b)
 	ls, _ := fac.AllocateListStructure("WORKQ", 64, 0, 1<<20)
-	ls.Connect("SYS1", nil)
+	ls.Connect(context.Background(), "SYS1", nil)
 	var gid atomic.Int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -216,10 +217,10 @@ func BenchmarkFig2_ListQueueParallel(b *testing.B) {
 		for pb.Next() {
 			i++
 			id := fmt.Sprintf("g%d-e%d", g, i)
-			if err := ls.Write("SYS1", list, id, "", nil, cf.FIFO, cf.Cond{}); err != nil {
+			if err := ls.Write(context.Background(), "SYS1", list, id, "", nil, cf.FIFO, cf.Cond{}); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := ls.Pop("SYS1", list, cf.Cond{}); err != nil {
+			if _, err := ls.Pop(context.Background(), "SYS1", list, cf.Cond{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -237,7 +238,7 @@ func BenchmarkFig2_DuplexedLockObtainParallel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ls.Connect("SYS1")
+	ls.Connect(context.Background(), "SYS1")
 	var gid atomic.Int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -246,10 +247,10 @@ func BenchmarkFig2_DuplexedLockObtainParallel(b *testing.B) {
 		for pb.Next() {
 			i++
 			e := (base + i) % 4096
-			if r, err := ls.Obtain(e, "SYS1", cf.Exclusive); err != nil || !r.Granted {
+			if r, err := ls.Obtain(context.Background(), e, "SYS1", cf.Exclusive); err != nil || !r.Granted {
 				b.Fatal("obtain failed")
 			}
-			ls.Release(e, "SYS1", cf.Exclusive)
+			ls.Release(context.Background(), e, "SYS1", cf.Exclusive)
 		}
 	})
 }
@@ -266,9 +267,9 @@ func BenchmarkFig2_DuplexedCacheReadParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	vec := cf.NewBitVector(1024)
-	cs.Connect("SYS1", vec)
+	cs.Connect(context.Background(), "SYS1", vec)
 	for i := 0; i < 512; i++ {
-		cs.WriteAndInvalidate("SYS1", fmt.Sprintf("PAGE%03d", i), []byte("data"), true, false, i)
+		cs.WriteAndInvalidate(context.Background(), "SYS1", fmt.Sprintf("PAGE%03d", i), []byte("data"), true, false, i)
 	}
 	pages := make([]string, 512)
 	for i := range pages {
@@ -280,7 +281,7 @@ func BenchmarkFig2_DuplexedCacheReadParallel(b *testing.B) {
 		i := int(gid.Add(1)) * 97
 		for pb.Next() {
 			i++
-			if _, err := cs.ReadAndRegister("SYS1", pages[i%512], i%1024); err != nil {
+			if _, err := cs.ReadAndRegister(context.Background(), "SYS1", pages[i%512], i%1024); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -319,7 +320,7 @@ func BenchmarkFig3_SysplexPoint(b *testing.B) {
 func BenchmarkFig4_FullStackTx(b *testing.B) {
 	cfg := DefaultConfig("PLEX1", 4)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func BenchmarkFig4_FullStackTx(b *testing.B) {
 	registerBankBenchPrograms(p)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("acct%d", i%64))); err != nil {
+		if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("acct%d", i%64))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -338,7 +339,7 @@ func BenchmarkFig4_FullStackTx(b *testing.B) {
 func BenchmarkFig4_FullStackTxParallel(b *testing.B) {
 	cfg := DefaultConfig("PLEX1", 4)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func BenchmarkFig4_FullStackTxParallel(b *testing.B) {
 		ctr += 1 << 20
 		for pb.Next() {
 			i++
-			if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("acct%d", i%512))); err != nil {
+			if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("acct%d", i%512))); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -379,12 +380,12 @@ func BenchmarkExpAvail_Failover(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		cfg := DefaultConfig("PLEX1", 3)
-		p, err := New(cfg)
+		p, err := New(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		registerBankBenchPrograms(p)
-		p.SubmitViaLogon("DEPOSIT", []byte("warm"))
+		p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte("warm"))
 		b.StartTimer()
 
 		start := time.Now()
@@ -408,7 +409,7 @@ func BenchmarkExpAvail_Failover(b *testing.B) {
 func BenchmarkExpGrow_AddSystem(b *testing.B) {
 	cfg := DefaultConfig("PLEX1", 2)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -418,11 +419,11 @@ func BenchmarkExpGrow_AddSystem(b *testing.B) {
 		// Reuse one system name: the re-added system reattaches to its
 		// existing log dataset, as a re-IPLed system would, so the bench
 		// does not exhaust the volume with b.N log allocations.
-		if _, err := p.AddSystem(SystemConfig{Name: "GROWX", CPUs: 1}); err != nil {
+		if _, err := p.AddSystem(context.Background(), SystemConfig{Name: "GROWX", CPUs: 1}); err != nil {
 			b.Fatal(err)
 		}
 		b.StopTimer()
-		p.RemoveSystem("GROWX")
+		p.RemoveSystem(context.Background(), "GROWX")
 		b.StartTimer()
 	}
 }
@@ -433,18 +434,18 @@ func BenchmarkExpQuery_ParallelScan(b *testing.B) {
 	cfg := DefaultConfig("PLEX1", 4)
 	cfg.Background = false
 	cfg.Tables = []TableConfig{{Name: "ACCT", Pages: 64}}
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer p.Stop()
 	registerBankBenchPrograms(p)
 	for i := 0; i < 200; i++ {
-		p.Submit("SYS1", "DEPOSIT", []byte(fmt.Sprintf("row%04d", i)))
+		p.Submit(context.Background(), "SYS1", "DEPOSIT", []byte(fmt.Sprintf("row%04d", i)))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := p.ParallelQuery("ACCT", "sum", "row")
+		res, err := p.ParallelQuery(context.Background(), "ACCT", "sum", "row")
 		if err != nil || res.Count != 200 {
 			b.Fatalf("res=%+v err=%v", res, err)
 		}
@@ -459,24 +460,24 @@ func BenchmarkExpFalse_LockTable(b *testing.B) {
 		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
 			fac := cf.New("CF01", vclock.Real())
 			ls, _ := fac.AllocateLockStructure("IRLM", entries)
-			ls.Connect("SYS1")
-			ls.Connect("SYS2")
+			ls.Connect(context.Background(), "SYS1")
+			ls.Connect(context.Background(), "SYS2")
 			// SYS1 holds a spread of resources; SYS2 probes different
 			// resources and hits false contention when entries collide.
 			const held = 48
 			for i := 0; i < held; i++ {
-				ls.Obtain(ls.HashResource(fmt.Sprintf("HELD.%d", i)), "SYS1", cf.Exclusive)
+				ls.Obtain(context.Background(), ls.HashResource(fmt.Sprintf("HELD.%d", i)), "SYS1", cf.Exclusive)
 			}
 			falseHits := 0
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e := ls.HashResource(fmt.Sprintf("PROBE.%d", i))
-				r, err := ls.Obtain(e, "SYS2", cf.Exclusive)
+				r, err := ls.Obtain(context.Background(), e, "SYS2", cf.Exclusive)
 				if err != nil {
 					b.Fatal(err)
 				}
 				if r.Granted {
-					ls.Release(e, "SYS2", cf.Exclusive)
+					ls.Release(context.Background(), e, "SYS2", cf.Exclusive)
 				} else {
 					falseHits++ // distinct resources: all contention is false
 				}
@@ -520,19 +521,19 @@ func registerBankBenchPrograms(p *Sysplex) {
 func BenchmarkAblation_LocalValidityFastPath(b *testing.B) {
 	cfg := DefaultConfig("PLEX1", 1)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer p.Stop()
 	registerBankBenchPrograms(p)
-	p.Submit("SYS1", "DEPOSIT", []byte("hot"))
+	p.Submit(context.Background(), "SYS1", "DEPOSIT", []byte("hot"))
 	s1, _ := p.System("SYS1")
 	page := "T.ACCT.0"
 	_ = page
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Submit("SYS1", "BALANCE", []byte("hot")); err != nil {
+		if _, err := p.Submit(context.Background(), "SYS1", "BALANCE", []byte("hot")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -548,13 +549,13 @@ func BenchmarkAblation_LocalValidityFastPath(b *testing.B) {
 func BenchmarkAblation_NoLocalCache(b *testing.B) {
 	cfg := DefaultConfig("PLEX1", 1)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer p.Stop()
 	registerBankBenchPrograms(p)
-	p.Submit("SYS1", "DEPOSIT", []byte("hot"))
+	p.Submit(context.Background(), "SYS1", "DEPOSIT", []byte("hot"))
 	s1, _ := p.System("SYS1")
 	// Discover which pages ACCT key "hot" lives on by probing stats.
 	b.ResetTimer()
@@ -562,10 +563,10 @@ func BenchmarkAblation_NoLocalCache(b *testing.B) {
 		b.StopTimer()
 		// Drop all local frames: next read must go to the CF.
 		for pg := 0; pg < 64; pg++ {
-			s1.Engine().InvalidateLocal("ACCT", pg)
+			s1.Engine().InvalidateLocal(context.Background(), "ACCT", pg)
 		}
 		b.StartTimer()
-		if _, err := p.Submit("SYS1", "BALANCE", []byte("hot")); err != nil {
+		if _, err := p.Submit(context.Background(), "SYS1", "BALANCE", []byte("hot")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -581,7 +582,7 @@ func BenchmarkAblation_CFLinkLatency(b *testing.B) {
 		b.Run(lat.String(), func(b *testing.B) {
 			cfg := DefaultConfig("PLEX1", 2)
 			cfg.Background = false
-			p, err := New(cfg)
+			p, err := New(context.Background(), cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -590,7 +591,7 @@ func BenchmarkAblation_CFLinkLatency(b *testing.B) {
 			p.Facility().SetSyncLatency(lat)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := p.Submit("SYS1", "DEPOSIT", []byte(fmt.Sprintf("k%d", i%16))); err != nil {
+				if _, err := p.Submit(context.Background(), "SYS1", "DEPOSIT", []byte(fmt.Sprintf("k%d", i%16))); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -625,14 +626,14 @@ func BenchmarkAblation_LockTableSize(b *testing.B) {
 		b.Run(fmt.Sprintf("%d", entries), func(b *testing.B) {
 			fac := cf.New("CF01", vclock.Real())
 			ls, _ := fac.AllocateLockStructure("L", entries)
-			ls.Connect("SYS1")
+			ls.Connect(context.Background(), "SYS1")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e := ls.HashResource(fmt.Sprintf("R%d", i))
-				if r, err := ls.Obtain(e, "SYS1", cf.Exclusive); err != nil || !r.Granted {
+				if r, err := ls.Obtain(context.Background(), e, "SYS1", cf.Exclusive); err != nil || !r.Granted {
 					b.Fatal("obtain failed")
 				}
-				ls.Release(e, "SYS1", cf.Exclusive)
+				ls.Release(context.Background(), e, "SYS1", cf.Exclusive)
 			}
 		})
 	}

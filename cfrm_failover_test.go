@@ -8,6 +8,7 @@ package sysplex
 // surviving structure image, again with zero committed-update loss.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -36,7 +37,7 @@ func runDepositLoad(t *testing.T, p *Sysplex, nWorkers, nOps int) (success map[s
 			key := fmt.Sprintf("acct%02d", w)
 			<-start
 			for i := 0; i < nOps; i++ {
-				if _, err := p.SubmitViaLogon("DEPOSIT", []byte(key)); err != nil {
+				if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(key)); err != nil {
 					mu.Lock()
 					errs = append(errs, fmt.Errorf("worker %d op %d: %w", w, i, err))
 					mu.Unlock()
@@ -64,7 +65,7 @@ func runDepositLoad(t *testing.T, p *Sysplex, nWorkers, nOps int) (success map[s
 func checkBalances(t *testing.T, p *Sysplex, success map[string]int64) {
 	t.Helper()
 	for key, want := range success {
-		out, err := p.SubmitViaLogon("BALANCE", []byte(key))
+		out, err := p.SubmitViaLogon(context.Background(), "BALANCE", []byte(key))
 		if err != nil {
 			t.Fatalf("BALANCE %s: %v", key, err)
 		}
@@ -79,7 +80,7 @@ func checkBalances(t *testing.T, p *Sysplex, success map[string]int64) {
 func TestUnplannedCFFailureDuplexed(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 3)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,11 +138,11 @@ func TestUnplannedCFFailureDuplexed(t *testing.T) {
 
 	// Service continues at full function on the re-duplexed pair.
 	for i := 0; i < 20; i++ {
-		if _, err := p.SubmitViaLogon("DEPOSIT", []byte("post")); err != nil {
+		if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte("post")); err != nil {
 			t.Fatalf("post-failover deposit: %v", err)
 		}
 	}
-	out, _ := p.SubmitViaLogon("BALANCE", []byte("post"))
+	out, _ := p.SubmitViaLogon(context.Background(), "BALANCE", []byte("post"))
 	if string(out) != "20" {
 		t.Fatalf("post = %s, want 20", out)
 	}
@@ -151,7 +152,7 @@ func TestUnplannedCFFailureSimplex(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 3)
 	cfg.Background = false
 	cfg.CF.Mode = cfrm.ModeSimplex
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestUnplannedCFFailureSimplex(t *testing.T) {
 		}
 	}
 	// A direct submit on a local system surfaces the typed error.
-	if _, err := p.Submit("SYS1", "DEPOSIT", []byte("probe")); err == nil {
+	if _, err := p.Submit(context.Background(), "SYS1", "DEPOSIT", []byte("probe")); err == nil {
 		t.Fatal("submit succeeded against a dead simplex CF")
 	}
 
@@ -188,7 +189,7 @@ func TestUnplannedCFFailureSimplex(t *testing.T) {
 	}
 	checkBalances(t, p, success)
 	for i := 0; i < 20; i++ {
-		if _, err := p.SubmitViaLogon("DEPOSIT", []byte("post")); err != nil {
+		if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte("post")); err != nil {
 			t.Fatalf("post-rebuild deposit: %v", err)
 		}
 	}

@@ -7,10 +7,11 @@
 //	sysplexbench -exp fig3           # one experiment
 //	sysplexbench -exp fig3 -systems 16 -simtime 5s
 //
-// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill logr cfscale
+// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill logr cfscale ctxpath
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,7 +34,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,cfscale,all")
+	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,cfscale,ctxpath,all")
 	systemsFlag = flag.Int("systems", 32, "max sysplex members for fig3")
 	simtimeFlag = flag.Duration("simtime", 5*time.Second, "DES measurement window")
 	seedFlag    = flag.Int64("seed", 1996, "DES seed")
@@ -73,8 +74,9 @@ func main() {
 		"cfkill":  cfKill,
 		"logr":    logrBench,
 		"cfscale": cfScale,
+		"ctxpath": ctxPath,
 	}
-	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr", "cfscale"}
+	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr", "cfscale", "ctxpath"}
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		want = order
@@ -94,7 +96,22 @@ func main() {
 	}
 	if *jsonFlag != "" {
 		resultsMu.Lock()
-		raw, err := json.MarshalIndent(results, "", "  ")
+		// Merge into the existing file so separate runs append rather
+		// than clobber each other's experiments (e.g. cfscale then
+		// ctxpath, both into BENCH_cf.json).
+		merged := map[string]map[string]any{}
+		if prev, rerr := os.ReadFile(*jsonFlag); rerr == nil {
+			_ = json.Unmarshal(prev, &merged)
+		}
+		for exp, kv := range results {
+			if merged[exp] == nil {
+				merged[exp] = map[string]any{}
+			}
+			for k, v := range kv {
+				merged[exp][k] = v
+			}
+		}
+		raw, err := json.MarshalIndent(merged, "", "  ")
 		resultsMu.Unlock()
 		if err == nil {
 			err = os.WriteFile(*jsonFlag, append(raw, '\n'), 0o644)
@@ -148,7 +165,7 @@ func fig1() error {
 		{Name: "CMOS1", CPUs: 1}, {Name: "CMOS2", CPUs: 4},
 		{Name: "ES9000", CPUs: 10, MIPSPerCPU: 45},
 	}
-	p, err := sysplex.New(cfg)
+	p, err := sysplex.New(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -174,7 +191,7 @@ func fig1() error {
 func fig2() error {
 	cfg := sysplex.DefaultConfig("PLEX1", 2)
 	cfg.Background = false
-	p, err := sysplex.New(cfg)
+	p, err := sysplex.New(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -187,7 +204,7 @@ func fig2() error {
 		if (i/16)%2 == 1 {
 			sys = "SYS2"
 		}
-		if _, err := p.Submit(sys, "DEPOSIT", []byte(fmt.Sprintf("acct%d", i%16))); err != nil {
+		if _, err := p.Submit(context.Background(), sys, "DEPOSIT", []byte(fmt.Sprintf("acct%d", i%16))); err != nil {
 			return err
 		}
 	}
@@ -227,7 +244,7 @@ func fig3() error {
 // fig4 runs the full software stack and prints the distribution.
 func fig4() error {
 	cfg := sysplex.DefaultConfig("PLEX1", 4)
-	p, err := sysplex.New(cfg)
+	p, err := sysplex.New(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -235,7 +252,7 @@ func fig4() error {
 	bankPrograms(p)
 	const n = 2000
 	for i := 0; i < n; i++ {
-		if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("acct%d", i%64))); err != nil {
+		if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("acct%d", i%64))); err != nil {
 			return err
 		}
 	}
@@ -272,7 +289,7 @@ func ds() error {
 // avail runs the failover experiment on the functional stack.
 func avail() error {
 	cfg := sysplex.DefaultConfig("PLEX1", 3)
-	p, err := sysplex.New(cfg)
+	p, err := sysplex.New(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -286,7 +303,7 @@ func avail() error {
 		go func() {
 			for i := 0; stop.Load() == 0; i++ {
 				attempts.Add(1)
-				if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("u%d-%d", w, i%8))); err != nil {
+				if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("u%d-%d", w, i%8))); err != nil {
 					failures.Add(1)
 				}
 			}
@@ -325,7 +342,7 @@ func avail() error {
 // grow adds a system to a loaded sysplex and shows the ramp.
 func grow() error {
 	cfg := sysplex.DefaultConfig("PLEX1", 2)
-	p, err := sysplex.New(cfg)
+	p, err := sysplex.New(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -337,7 +354,7 @@ func grow() error {
 		w := w
 		go func() {
 			for i := 0; stop.Load() == 0; i++ {
-				if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("g%d-%d", w, i%8))); err != nil {
+				if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("g%d-%d", w, i%8))); err != nil {
 					failures.Add(1)
 				}
 			}
@@ -346,7 +363,7 @@ func grow() error {
 	}
 	time.Sleep(250 * time.Millisecond)
 	before := snapshotSubmitted(p)
-	if _, err := p.AddSystem(sysplex.SystemConfig{Name: "SYS3", CPUs: 1}); err != nil {
+	if _, err := p.AddSystem(context.Background(), sysplex.SystemConfig{Name: "SYS3", CPUs: 1}); err != nil {
 		return err
 	}
 	time.Sleep(500 * time.Millisecond)
@@ -376,7 +393,7 @@ func snapshotSubmitted(p *sysplex.Sysplex) map[string]int64 {
 func query() error {
 	cfg := sysplex.DefaultConfig("PLEX1", 4)
 	cfg.Background = false
-	p, err := sysplex.New(cfg)
+	p, err := sysplex.New(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -384,19 +401,19 @@ func query() error {
 	bankPrograms(p)
 	const rows = 500
 	for i := 0; i < rows; i++ {
-		if _, err := p.Submit("SYS1", "DEPOSIT", []byte(fmt.Sprintf("row%05d", i))); err != nil {
+		if _, err := p.Submit(context.Background(), "SYS1", "DEPOSIT", []byte(fmt.Sprintf("row%05d", i))); err != nil {
 			return err
 		}
 	}
 	start := time.Now()
-	res, err := p.ParallelQuery("ACCT", "sum", "row")
+	res, err := p.ParallelQuery(context.Background(), "ACCT", "sum", "row")
 	if err != nil {
 		return err
 	}
 	par := time.Since(start)
 	s1, _ := p.System("SYS1")
 	start = time.Now()
-	serial, err := s1.Region().ParallelQuery([]string{"SYS1"}, "ACCT", "sum", "row")
+	serial, err := s1.Region().ParallelQuery(context.Background(), []string{"SYS1"}, "ACCT", "sum", "row")
 	if err != nil {
 		return err
 	}
@@ -419,21 +436,21 @@ func falseContention() error {
 			return err
 		}
 		// Bench setup on a fresh, healthy facility: cannot fail.
-		_ = ls.Connect("SYS1")
-		_ = ls.Connect("SYS2")
+		_ = ls.Connect(context.Background(), "SYS1")
+		_ = ls.Connect(context.Background(), "SYS2")
 		for i := 0; i < 48; i++ {
-			_, _ = ls.Obtain(ls.HashResource(fmt.Sprintf("HELD.%d", i)), "SYS1", cf.Exclusive)
+			_, _ = ls.Obtain(context.Background(), ls.HashResource(fmt.Sprintf("HELD.%d", i)), "SYS1", cf.Exclusive)
 		}
 		falseHits := 0
 		const probes = 5000
 		for i := 0; i < probes; i++ {
 			e := ls.HashResource(fmt.Sprintf("PROBE.%d", i))
-			r, err := ls.Obtain(e, "SYS2", cf.Exclusive)
+			r, err := ls.Obtain(context.Background(), e, "SYS2", cf.Exclusive)
 			if err != nil {
 				return err
 			}
 			if r.Granted {
-				_ = ls.Release(e, "SYS2", cf.Exclusive)
+				_ = ls.Release(context.Background(), e, "SYS2", cf.Exclusive)
 			} else {
 				falseHits++
 			}
@@ -448,7 +465,7 @@ func falseContention() error {
 // failure takeover, and the RACF-style sysplex-coherent security cache.
 func extensions() error {
 	cfg := sysplex.DefaultConfig("PLEX1", 3)
-	p, err := sysplex.New(cfg)
+	p, err := sysplex.New(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -461,7 +478,7 @@ func extensions() error {
 	})
 	var ids []string
 	for i := 0; i < 12; i++ {
-		id, err := p.SubmitJob("REPORT", []byte(fmt.Sprintf("part%d", i)))
+		id, err := p.SubmitJob(context.Background(), "REPORT", []byte(fmt.Sprintf("part%d", i)))
 		if err != nil {
 			return err
 		}
@@ -469,7 +486,7 @@ func extensions() error {
 	}
 	ranOn := map[string]int{}
 	for _, id := range ids {
-		job, err := p.WaitJob(id, 10*time.Second)
+		job, err := p.WaitJob(context.Background(), id, 10*time.Second)
 		if err != nil {
 			return err
 		}
@@ -480,25 +497,25 @@ func extensions() error {
 	// -- RACF-style sysplex-wide security --
 	s1, _ := p.System("SYS1")
 	s3, _ := p.System("SYS3")
-	s1.Security().Define(racf.Profile{
+	s1.Security().Define(context.Background(), racf.Profile{
 		Resource: "PAYROLL", UACC: racf.None,
 		Permits: map[string]racf.Access{"ALICE": racf.Update},
 	})
-	ok1, _ := s3.Security().Check("ALICE", "PAYROLL", racf.Update)
-	s3.Security().Permit("PAYROLL", "ALICE", racf.None)
-	ok2, _ := s1.Security().Check("ALICE", "PAYROLL", racf.Read)
+	ok1, _ := s3.Security().Check(context.Background(), "ALICE", "PAYROLL", racf.Update)
+	s3.Security().Permit(context.Background(), "PAYROLL", "ALICE", racf.None)
+	ok2, _ := s1.Security().Check(context.Background(), "ALICE", "PAYROLL", racf.Read)
 	fmt.Printf("RACF-style security: grant visible on SYS3=%v; revoke on SYS3 effective on SYS1 instantly (allowed=%v)\n", ok1, ok2)
 
 	// -- CF structure rebuild under live state --
 	for i := 0; i < 20; i++ {
-		p.SubmitViaLogon("DEPOSIT", []byte("rebuildkey"))
+		p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte("rebuildkey"))
 	}
 	oldName := p.Facility().Name()
 	start := time.Now()
 	if err := p.RebuildCouplingFacility(); err != nil {
 		return err
 	}
-	out, err := p.SubmitViaLogon("BALANCE", []byte("rebuildkey"))
+	out, err := p.SubmitViaLogon(context.Background(), "BALANCE", []byte("rebuildkey"))
 	if err != nil {
 		return err
 	}
@@ -531,16 +548,16 @@ func duplexCost() error {
 			if err != nil {
 				return err
 			}
-			if err := ls.Connect("SYS1"); err != nil {
+			if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 				return err
 			}
 			start := time.Now()
 			for i := 0; i < ops; i++ {
 				e := i % 1024
-				if _, err := ls.Obtain(e, "SYS1", cf.Exclusive); err != nil {
+				if _, err := ls.Obtain(context.Background(), e, "SYS1", cf.Exclusive); err != nil {
 					return err
 				}
-				if err := ls.Release(e, "SYS1", cf.Exclusive); err != nil {
+				if err := ls.Release(context.Background(), e, "SYS1", cf.Exclusive); err != nil {
 					return err
 				}
 			}
@@ -575,7 +592,7 @@ func cfKill() error {
 	for _, mode := range []cfrm.Mode{cfrm.ModeDuplexed, cfrm.ModeSimplex} {
 		cfg := sysplex.DefaultConfig("PLEX1", 3)
 		cfg.CF.Mode = mode
-		p, err := sysplex.New(cfg)
+		p, err := sysplex.New(context.Background(), cfg)
 		if err != nil {
 			return err
 		}
@@ -587,7 +604,7 @@ func cfKill() error {
 			w := w
 			go func() {
 				for i := 0; stop.Load() == 0; i++ {
-					if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("k%d-%d", w, i%8))); err != nil {
+					if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("k%d-%d", w, i%8))); err != nil {
 						fail.Add(1)
 						lastFailNS.Store(time.Now().UnixNano())
 					} else {
@@ -681,7 +698,7 @@ func logrBench() error {
 		if mgr0 == nil {
 			mgr0 = m
 		}
-		s, err := m.Connect(logr.StreamSpec{Name: "BENCH.MERGED", InterimEntries: 256, OffloadBlocks: 256})
+		s, err := m.Connect(context.Background(), logr.StreamSpec{Name: "BENCH.MERGED", InterimEntries: 256, OffloadBlocks: 256})
 		if err != nil {
 			return err
 		}
@@ -706,7 +723,7 @@ func logrBench() error {
 				defer wg.Done()
 				for r := 0; r < recsPerWriter; r++ {
 					p := fmt.Sprintf("SYS%d/w%d/%06d", i+1, w, r)
-					if _, err := streams[i].Write([]byte(p)); err != nil {
+					if _, err := streams[i].Write(context.Background(), []byte(p)); err != nil {
 						writeErr.Add(1)
 						return
 					}
@@ -723,7 +740,7 @@ func logrBench() error {
 		return fmt.Errorf("logr: %d writes failed", writeErr.Load())
 	}
 
-	cur, err := streams[0].Browse()
+	cur, err := streams[0].Browse(context.Background())
 	if err != nil {
 		return err
 	}
@@ -761,7 +778,7 @@ func logrBench() error {
 	if offDur.Sum > 0 {
 		offMBps = float64(offBytes) / offDur.Sum / (1 << 20)
 	}
-	stats, err := streams[0].Stats()
+	stats, err := streams[0].Stats(context.Background())
 	if err != nil {
 		return err
 	}
@@ -823,15 +840,15 @@ func cfScale() error {
 			if err != nil {
 				return nil, err
 			}
-			if err := ls.Connect("SYS1"); err != nil {
+			if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 				return nil, err
 			}
 			return func(g, i int) error {
 				e := (g*131 + i) % 4096
-				if _, err := ls.Obtain(e, "SYS1", cf.Exclusive); err != nil {
+				if _, err := ls.Obtain(context.Background(), e, "SYS1", cf.Exclusive); err != nil {
 					return err
 				}
-				return ls.Release(e, "SYS1", cf.Exclusive)
+				return ls.Release(context.Background(), e, "SYS1", cf.Exclusive)
 			}, nil
 		}},
 		{"cacheread", func() (func(g, i int) error, error) {
@@ -840,18 +857,18 @@ func cfScale() error {
 			if err != nil {
 				return nil, err
 			}
-			if err := cs.Connect("SYS1", cf.NewBitVector(1024)); err != nil {
+			if err := cs.Connect(context.Background(), "SYS1", cf.NewBitVector(1024)); err != nil {
 				return nil, err
 			}
 			pages := make([]string, 512)
 			for i := range pages {
 				pages[i] = fmt.Sprintf("PAGE%03d", i)
-				if err := cs.WriteAndInvalidate("SYS1", pages[i], []byte("data"), true, false, i); err != nil {
+				if err := cs.WriteAndInvalidate(context.Background(), "SYS1", pages[i], []byte("data"), true, false, i); err != nil {
 					return nil, err
 				}
 			}
 			return func(g, i int) error {
-				_, err := cs.ReadAndRegister("SYS1", pages[(g*97+i)%512], i%1024)
+				_, err := cs.ReadAndRegister(context.Background(), "SYS1", pages[(g*97+i)%512], i%1024)
 				return err
 			}, nil
 		}},
@@ -861,16 +878,16 @@ func cfScale() error {
 			if err != nil {
 				return nil, err
 			}
-			if err := ls.Connect("SYS1", nil); err != nil {
+			if err := ls.Connect(context.Background(), "SYS1", nil); err != nil {
 				return nil, err
 			}
 			return func(g, i int) error {
 				list := g % 64
 				id := fmt.Sprintf("g%d-e%d", g, i)
-				if err := ls.Write("SYS1", list, id, "", nil, cf.FIFO, cf.Cond{}); err != nil {
+				if err := ls.Write(context.Background(), "SYS1", list, id, "", nil, cf.FIFO, cf.Cond{}); err != nil {
 					return err
 				}
-				_, err := ls.Pop("SYS1", list, cf.Cond{})
+				_, err := ls.Pop(context.Background(), "SYS1", list, cf.Cond{})
 				return err
 			}, nil
 		}},
@@ -881,15 +898,15 @@ func cfScale() error {
 			if err != nil {
 				return nil, err
 			}
-			if err := ls.Connect("SYS1"); err != nil {
+			if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 				return nil, err
 			}
 			return func(g, i int) error {
 				e := (g*131 + i) % 4096
-				if _, err := ls.Obtain(e, "SYS1", cf.Exclusive); err != nil {
+				if _, err := ls.Obtain(context.Background(), e, "SYS1", cf.Exclusive); err != nil {
 					return err
 				}
-				return ls.Release(e, "SYS1", cf.Exclusive)
+				return ls.Release(context.Background(), e, "SYS1", cf.Exclusive)
 			}, nil
 		}},
 		{"duplexread", func() (func(g, i int) error, error) {
@@ -899,18 +916,18 @@ func cfScale() error {
 			if err != nil {
 				return nil, err
 			}
-			if err := cs.Connect("SYS1", cf.NewBitVector(1024)); err != nil {
+			if err := cs.Connect(context.Background(), "SYS1", cf.NewBitVector(1024)); err != nil {
 				return nil, err
 			}
 			pages := make([]string, 512)
 			for i := range pages {
 				pages[i] = fmt.Sprintf("PAGE%03d", i)
-				if err := cs.WriteAndInvalidate("SYS1", pages[i], []byte("data"), true, false, i); err != nil {
+				if err := cs.WriteAndInvalidate(context.Background(), "SYS1", pages[i], []byte("data"), true, false, i); err != nil {
 					return nil, err
 				}
 			}
 			return func(g, i int) error {
-				_, err := cs.ReadAndRegister("SYS1", pages[(g*97+i)%512], i%1024)
+				_, err := cs.ReadAndRegister(context.Background(), "SYS1", pages[(g*97+i)%512], i%1024)
 				return err
 			}, nil
 		}},
@@ -978,5 +995,170 @@ func cfScale() error {
 	}
 	record("cf", "gomaxprocs", runtime.GOMAXPROCS(0))
 	record("cf", "window_ms", window.Milliseconds())
+	return nil
+}
+
+// ctxPath measures what context propagation costs on the Fig. 2
+// parallel fast path (ISSUE 5). Each workload is driven through the
+// duplexed front with three context flavors:
+//
+//	nodeadline — context.Background(); the pipeline's gate stage pays
+//	             one Done-channel select and one failed value lookup.
+//	             This is the path the ≤5% regression bound applies to.
+//	deadline   — a virtual-clock deadline far in the future
+//	             (vclock.WithTimeout); adds the deadline comparison
+//	             against the injected clock on every command.
+//	cancelable — context.WithCancel; adds a live Done channel to the
+//	             gate's select.
+//
+// Overhead is reported per flavor relative to nodeadline ops/sec.
+func ctxPath() error {
+	const (
+		window     = 300 * time.Millisecond
+		goroutines = 4
+	)
+	clk := vclock.Real()
+
+	type workload struct {
+		name  string
+		setup func() (func(ctx context.Context, g, i int) error, error)
+	}
+	workloads := []workload{
+		{"duplexlock", func() (func(ctx context.Context, g, i int) error, error) {
+			d := cf.NewDuplexed(clk, nil, cf.New("CF01", clk), cf.New("CF02", clk))
+			ls, err := d.AllocateLockStructure("IRLM", 4096)
+			if err != nil {
+				return nil, err
+			}
+			if err := ls.Connect(context.Background(), "SYS1"); err != nil {
+				return nil, err
+			}
+			return func(ctx context.Context, g, i int) error {
+				e := (g*131 + i) % 4096
+				if _, err := ls.Obtain(ctx, e, "SYS1", cf.Exclusive); err != nil {
+					return err
+				}
+				return ls.Release(ctx, e, "SYS1", cf.Exclusive)
+			}, nil
+		}},
+		{"duplexread", func() (func(ctx context.Context, g, i int) error, error) {
+			d := cf.NewDuplexed(clk, nil, cf.New("CF01", clk), cf.New("CF02", clk))
+			cs, err := d.AllocateCacheStructure("GBP0", 8192)
+			if err != nil {
+				return nil, err
+			}
+			if err := cs.Connect(context.Background(), "SYS1", cf.NewBitVector(1024)); err != nil {
+				return nil, err
+			}
+			pages := make([]string, 512)
+			for i := range pages {
+				pages[i] = fmt.Sprintf("PAGE%03d", i)
+				if err := cs.WriteAndInvalidate(context.Background(), "SYS1", pages[i], []byte("data"), true, false, i); err != nil {
+					return nil, err
+				}
+			}
+			return func(ctx context.Context, g, i int) error {
+				_, err := cs.ReadAndRegister(ctx, "SYS1", pages[(g*97+i)%512], i%1024)
+				return err
+			}, nil
+		}},
+		{"duplexlist", func() (func(ctx context.Context, g, i int) error, error) {
+			d := cf.NewDuplexed(clk, nil, cf.New("CF01", clk), cf.New("CF02", clk))
+			ls, err := d.AllocateListStructure("WORKQ", 64, 0, 1<<20)
+			if err != nil {
+				return nil, err
+			}
+			if err := ls.Connect(context.Background(), "SYS1", nil); err != nil {
+				return nil, err
+			}
+			return func(ctx context.Context, g, i int) error {
+				list := g % 64
+				id := fmt.Sprintf("g%d-e%d", g, i)
+				if err := ls.Write(ctx, "SYS1", list, id, "", nil, cf.FIFO, cf.Cond{}); err != nil {
+					return err
+				}
+				_, err := ls.Pop(ctx, "SYS1", list, cf.Cond{})
+				return err
+			}, nil
+		}},
+	}
+
+	type flavor struct {
+		name string
+		ctx  func() (context.Context, context.CancelFunc)
+	}
+	flavors := []flavor{
+		{"nodeadline", func() (context.Context, context.CancelFunc) {
+			return context.Background(), func() {}
+		}},
+		{"deadline", func() (context.Context, context.CancelFunc) {
+			return vclock.WithTimeout(context.Background(), clk, time.Hour), func() {}
+		}},
+		{"cancelable", func() (context.Context, context.CancelFunc) {
+			return context.WithCancel(context.Background())
+		}},
+	}
+
+	fmt.Printf("Context-pipeline overhead — Fig. 2 parallel fast path, %d goroutines, %v window (GOMAXPROCS=%d):\n",
+		goroutines, window, runtime.GOMAXPROCS(0))
+	fmt.Printf("%12s %12s %12s %12s %10s %10s\n",
+		"WORKLOAD", "NODEADLINE", "DEADLINE", "CANCELABLE", "DL OVHD", "CXL OVHD")
+
+	for _, w := range workloads {
+		opsBy := map[string]float64{}
+		for _, fl := range flavors {
+			op, err := w.setup()
+			if err != nil {
+				return err
+			}
+			ctx, cancel := fl.ctx()
+			var total atomic.Int64
+			var stop atomic.Int64
+			var opErr atomic.Value
+			var wg sync.WaitGroup
+			for k := 0; k < goroutines; k++ {
+				k := k
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					n := int64(0)
+					for i := 0; stop.Load() == 0; i++ {
+						if err := op(ctx, k, i); err != nil {
+							opErr.Store(err)
+							break
+						}
+						n++
+					}
+					total.Add(n)
+				}()
+			}
+			start := time.Now()
+			time.Sleep(window)
+			stop.Store(1)
+			wg.Wait()
+			cancel()
+			elapsed := time.Since(start)
+			if e := opErr.Load(); e != nil {
+				return fmt.Errorf("ctxpath %s/%s: %v", w.name, fl.name, e)
+			}
+			ops := float64(total.Load()) / elapsed.Seconds()
+			opsBy[fl.name] = ops
+			record("ctxpath", fmt.Sprintf("%s_%s_ops_per_sec", w.name, fl.name), ops)
+		}
+		overhead := func(name string) float64 {
+			if opsBy["nodeadline"] <= 0 {
+				return 0
+			}
+			return (1 - opsBy[name]/opsBy["nodeadline"]) * 100
+		}
+		dl, cxl := overhead("deadline"), overhead("cancelable")
+		record("ctxpath", w.name+"_deadline_overhead_pct", dl)
+		record("ctxpath", w.name+"_cancelable_overhead_pct", cxl)
+		fmt.Printf("%12s %12.0f %12.0f %12.0f %9.1f%% %9.1f%%\n",
+			w.name, opsBy["nodeadline"], opsBy["deadline"], opsBy["cancelable"], dl, cxl)
+	}
+	record("ctxpath", "goroutines", goroutines)
+	record("ctxpath", "window_ms", window.Milliseconds())
+	record("ctxpath", "gomaxprocs", runtime.GOMAXPROCS(0))
 	return nil
 }

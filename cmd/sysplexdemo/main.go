@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -47,7 +48,7 @@ func wireAudit(plex *sysplex.Sysplex, name string) error {
 	}
 	s.Security().OnAudit(func(e racf.AuditEvent) {
 		raw, _ := json.Marshal(e)
-		stream.Write(raw)
+		stream.Write(context.Background(), raw)
 	})
 	return nil
 }
@@ -56,7 +57,7 @@ func run() error {
 	fmt.Printf("» Building a %d-system parallel sysplex (shared DASD, CF, XCF, WLM, ARM, VTAM)...\n", *systemsFlag)
 	cfg := sysplex.DefaultConfig("PLEX1", *systemsFlag)
 	cfg.LogStreams = []logr.StreamSpec{{Name: auditStream}}
-	plex, err := sysplex.New(cfg)
+	plex, err := sysplex.New(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -72,10 +73,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := sys1.Security().Define(racf.Profile{Resource: "PAYROLL", UACC: racf.None}); err != nil {
+	if err := sys1.Security().Define(context.Background(), racf.Profile{Resource: "PAYROLL", UACC: racf.None}); err != nil {
 		return err
 	}
-	if err := sys1.Security().Permit("PAYROLL", "ALICE", racf.Update); err != nil {
+	if err := sys1.Security().Permit(context.Background(), "PAYROLL", "ALICE", racf.Update); err != nil {
 		return err
 	}
 	for _, name := range plex.ActiveSystems() {
@@ -83,11 +84,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		s.Security().Check("ALICE", "PAYROLL", racf.Read) // granted
-		s.Security().Check("EVE", "PAYROLL", racf.Read)   // denied, from every member
+		s.Security().Check(context.Background(), "ALICE", "PAYROLL", racf.Read) // granted
+		s.Security().Check(context.Background(), "EVE", "PAYROLL", racf.Read)   // denied, from every member
 	}
 	if stream, err := sys1.LogStream(auditStream); err == nil {
-		if cur, err := stream.Browse(); err == nil {
+		if cur, err := stream.Browse(context.Background()); err == nil {
 			denied := 0
 			for {
 				r, ok := cur.Next()
@@ -125,7 +126,7 @@ func run() error {
 		w := w
 		go func() {
 			for i := 0; stop.Load() == 0; i++ {
-				if _, err := plex.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("acct%d-%d", w, i%10))); err != nil {
+				if _, err := plex.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("acct%d-%d", w, i%10))); err != nil {
 					fail.Add(1)
 				} else {
 					ok.Add(1)
@@ -175,7 +176,7 @@ func run() error {
 	printStats(plex, "after CF failure (duplex failover)")
 
 	fmt.Println("\n» Growing the sysplex: introducing SYS4 non-disruptively...")
-	if _, err := plex.AddSystem(sysplex.SystemConfig{Name: "SYS4", CPUs: 2}); err != nil {
+	if _, err := plex.AddSystem(context.Background(), sysplex.SystemConfig{Name: "SYS4", CPUs: 2}); err != nil {
 		return err
 	}
 	if err := wireAudit(plex, "SYS4"); err != nil {

@@ -1,9 +1,10 @@
 // Command sysplexlint is the repo's static-analysis multichecker: it
-// type-checks every package of the module and runs the five analyzers
+// type-checks every package of the module and runs the six analyzers
 // of internal/analysis, which enforce the CF concurrency and
 // determinism invariants (lock hierarchy, atomic-only fields, the
-// simulated-clock rule, the duplexed-front rule, and dropped CF
-// command errors). See DESIGN.md "Enforced invariants".
+// simulated-clock rule, the duplexed-front rule, dropped CF command
+// errors, and context-first command signatures). See DESIGN.md
+// "Enforced invariants".
 //
 // Usage:
 //

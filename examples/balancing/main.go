@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -43,7 +44,7 @@ func desComparison() {
 func functionalComparison() {
 	// Data-sharing sysplex: the hot records live in shared storage; any
 	// system updates them directly.
-	plex, err := sysplex.New(sysplex.DefaultConfig("PLEX1", 3))
+	plex, err := sysplex.New(context.Background(), sysplex.DefaultConfig("PLEX1", 3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func functionalComparison() {
 		return v, nil
 	})
 	for i := 0; i < 300; i++ {
-		if _, err := plex.SubmitViaLogon("HIT", []byte("HOTKEY")); err != nil {
+		if _, err := plex.SubmitViaLogon(context.Background(), "HIT", []byte("HOTKEY")); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -15,7 +16,7 @@ import (
 )
 
 func main() {
-	plex, err := sysplex.New(sysplex.DefaultConfig("PLEX1", 3))
+	plex, err := sysplex.New(context.Background(), sysplex.DefaultConfig("PLEX1", 3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func main() {
 	}
 	var ids []string
 	for _, in := range inputs {
-		id, err := plex.SubmitJob("SORT", []byte(in))
+		id, err := plex.SubmitJob(context.Background(), "SORT", []byte(in))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,7 +51,7 @@ func main() {
 	// Collect results: any member may have executed each job.
 	ranOn := map[string]int{}
 	for i, id := range ids {
-		job, err := plex.WaitJob(id, 10*time.Second)
+		job, err := plex.WaitJob(context.Background(), id, 10*time.Second)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,17 +65,17 @@ func main() {
 	fmt.Println("\nsubmitting 50 more jobs while killing SYS1 mid-stream...")
 	var moreIDs []string
 	for i := 0; i < 25; i++ {
-		id, _ := plex.SubmitJob("SORT", []byte(fmt.Sprintf("j%d c b a", i)))
+		id, _ := plex.SubmitJob(context.Background(), "SORT", []byte(fmt.Sprintf("j%d c b a", i)))
 		moreIDs = append(moreIDs, id)
 	}
 	plex.KillSystem("SYS1")
 	for i := 25; i < 50; i++ {
-		id, _ := plex.SubmitJob("SORT", []byte(fmt.Sprintf("j%d c b a", i)))
+		id, _ := plex.SubmitJob(context.Background(), "SORT", []byte(fmt.Sprintf("j%d c b a", i)))
 		moreIDs = append(moreIDs, id)
 	}
 	survivors := map[string]int{}
 	for _, id := range moreIDs {
-		job, err := plex.WaitJob(id, 15*time.Second)
+		job, err := plex.WaitJob(context.Background(), id, 15*time.Second)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync/atomic"
@@ -16,7 +17,7 @@ import (
 )
 
 func main() {
-	plex, err := sysplex.New(sysplex.DefaultConfig("PLEX1", 3))
+	plex, err := sysplex.New(context.Background(), sysplex.DefaultConfig("PLEX1", 3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func main() {
 		w := w
 		go func() {
 			for i := 0; stop.Load() == 0; i++ {
-				if _, err := plex.SubmitViaLogon("TRANSFER", []byte(fmt.Sprintf("acct%d-%d", w, i%6))); err != nil {
+				if _, err := plex.SubmitViaLogon(context.Background(), "TRANSFER", []byte(fmt.Sprintf("acct%d-%d", w, i%6))); err != nil {
 					fail.Add(1)
 				} else {
 					ok.Add(1)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,7 +17,7 @@ func main() {
 	cfg := sysplex.DefaultConfig("PLEX1", 4)
 	cfg.Background = false
 	cfg.Tables = []sysplex.TableConfig{{Name: "ORDERS", Pages: 128}}
-	plex, err := sysplex.New(cfg)
+	plex, err := sysplex.New(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func main() {
 	for i := 1; i <= 2000; i++ {
 		total += int64(i)
 		in := fmt.Sprintf("ORD%06d=%d", i, i)
-		if _, err := plex.Submit("SYS1", "NEWORDER", []byte(in)); err != nil {
+		if _, err := plex.Submit(context.Background(), "SYS1", "NEWORDER", []byte(in)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -45,7 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	serial, err := s1.Region().ParallelQuery([]string{"SYS1"}, "ORDERS", "sum", "ORD")
+	serial, err := s1.Region().ParallelQuery(context.Background(), []string{"SYS1"}, "ORDERS", "sum", "ORD")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func main() {
 
 	// The same query split across all four systems.
 	start = time.Now()
-	par, err := plex.ParallelQuery("ORDERS", "sum", "ORD")
+	par, err := plex.ParallelQuery(context.Background(), "ORDERS", "sum", "ORD")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,7 @@ func main() {
 	// Three S/390-style systems sharing one database through the
 	// coupling facility. DefaultConfig starts heartbeats, WLM exchange,
 	// and castout in the background.
-	plex, err := sysplex.New(sysplex.DefaultConfig("PLEX1", 3))
+	plex, err := sysplex.New(context.Background(), sysplex.DefaultConfig("PLEX1", 3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func main() {
 	// Users log on to "CICS" — which system answers is the sysplex's
 	// business, not theirs.
 	for i := 0; i < 9; i++ {
-		out, err := plex.SubmitViaLogon("DEPOSIT", []byte("alice"))
+		out, err := plex.SubmitViaLogon(context.Background(), "DEPOSIT", []byte("alice"))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,7 +61,7 @@ func main() {
 
 	// Direct reads from every system observe the same shared state.
 	for _, sys := range plex.ActiveSystems() {
-		out, err := plex.Submit(sys, "BALANCE", []byte("alice"))
+		out, err := plex.Submit(context.Background(), sys, "BALANCE", []byte("alice"))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -22,6 +22,9 @@
 //     silently forfeit failover.
 //   - cferr: CF command errors are never silently dropped; an ignored
 //     ErrCFDown skips the rebuild path.
+//   - ctxfirst: exported functions on the CF command path take
+//     context.Context as their first parameter, so deadlines and
+//     cancellation propagate end-to-end (DESIGN §10).
 package analysis
 
 import (
@@ -76,6 +79,7 @@ func Analyzers() []*Analyzer {
 		WallClock,
 		DuplexFront,
 		CFErr,
+		CtxFirst,
 	}
 }
 

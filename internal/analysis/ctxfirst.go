@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFirst keeps the CF command path cancellable end-to-end. An
+// exported function that issues CF commands — directly or through a
+// module-internal helper that takes a context — is a link in the
+// command chain; if it does not itself accept a context.Context as its
+// first parameter, the caller's deadline or cancellation is silently
+// dropped at that link (DESIGN §10). The analyzer reports:
+//
+//   - an exported function whose body calls a module-internal,
+//     context-first function without taking context.Context as its own
+//     first parameter;
+//   - an exported function that accepts a context.Context anywhere but
+//     first (the stdlib convention the rest of the tree follows).
+//
+// Function literals are not descended into: goroutine and callback
+// bodies legitimately run under their own (often detached) context.
+//
+// A deliberately context-free boundary — a lifecycle method like Stop,
+// a background loop, or a database/sql-style transaction whose context
+// was captured at Begin — is annotated on its doc comment:
+//
+//	// lintctx: <why this boundary is context-free>
+//
+// cmd/ and examples/ are exempt: binaries originate contexts rather
+// than propagate them.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported functions on the CF command path take context.Context first",
+	Run:  runCtxFirst,
+}
+
+func ctxFirstExempt(path string) bool {
+	return strings.HasPrefix(path, "sysplex/cmd/") ||
+		strings.HasPrefix(path, "sysplex/examples/") ||
+		path == "sysplex/internal/analysis"
+}
+
+func runCtxFirst(pass *Pass) error {
+	if ctxFirstExempt(pass.Path) {
+		return nil
+	}
+	modPrefix := modulePrefixOf(pass.Path)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if hasLintctx(fd.Doc) {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if pos := ctxParamIndex(sig); pos > 0 {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s takes context.Context as parameter %d; by convention the context comes first",
+					fd.Name.Name, pos+1)
+				continue
+			} else if pos == 0 {
+				continue // already context-first
+			}
+			// No context parameter: legal unless the body issues
+			// context-first module-internal calls.
+			if callee := firstCtxCall(pass, fd.Body, modPrefix); callee != nil {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s calls context-first %s.%s but has no context.Context parameter: the caller's deadline/cancellation is dropped here; take ctx first or annotate with `// lintctx: <reason>`",
+					fd.Name.Name, callee.Pkg().Name(), callee.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// modulePrefixOf returns the module prefix ("sysplex") of an import
+// path; fixture packages load under "lintfixture/..." and treat that as
+// their module.
+func modulePrefixOf(path string) string {
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// underModule reports whether path is prefix itself or below it.
+func underModule(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// hasLintctx reports whether the doc comment carries a `lintctx:`
+// annotation declaring the function a deliberate context-free boundary.
+func hasLintctx(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, "lintctx:") {
+			return true
+		}
+	}
+	return false
+}
+
+// firstCtxCall returns the callee of the first call in body (function
+// literals excluded) to a module-internal function whose first
+// parameter is a context.Context, or nil.
+func firstCtxCall(pass *Pass, body *ast.BlockStmt, modPrefix string) *types.Func {
+	var found *types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if !underModule(path, modPrefix) && !underModule(path, "sysplex") {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && ctxParamIndex(sig) == 0 {
+			found = fn
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ctxParamIndex returns the position of the context.Context parameter
+// in sig, or -1 when there is none.
+func ctxParamIndex(sig *types.Signature) int {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestCtxFirst(t *testing.T) {
+	RunFixture(t, CtxFirst, "ctxfirst")
+}

@@ -2,22 +2,26 @@
 // or cfrm call used as a bare statement silently drops ErrCFDown.
 package fixture
 
-import "sysplex/internal/cf"
+import (
+	"context"
+
+	"sysplex/internal/cf"
+)
 
 func drops(l cf.Lock, ls cf.List) {
-	l.Connect("SYS1")                         // want `statement drops the error from cf.Connect`
-	l.Release(0, "SYS1", cf.Exclusive)        // want `statement drops the error from cf.Release`
-	go l.SetRecord("SYS1", "RES.1", cf.Share) // want `go statement drops the error from cf.SetRecord`
-	defer ls.ReleaseLock(0, "SYS1")           // want `defer statement drops the error from cf.ReleaseLock`
+	l.Connect(context.Background(), "SYS1")                         // want `statement drops the error from cf.Connect`
+	l.Release(context.Background(), 0, "SYS1", cf.Exclusive)        // want `statement drops the error from cf.Release`
+	go l.SetRecord(context.Background(), "SYS1", "RES.1", cf.Share) // want `go statement drops the error from cf.SetRecord`
+	defer ls.ReleaseLock(context.Background(), 0, "SYS1")           // want `defer statement drops the error from cf.ReleaseLock`
 }
 
 func handled(l cf.Lock, ls cf.List) error {
-	if err := l.Connect("SYS1"); err != nil {
+	if err := l.Connect(context.Background(), "SYS1"); err != nil {
 		return err
 	}
 	// An explicit discard is a reviewed decision and stays legal.
-	_ = l.Release(0, "SYS1", cf.Exclusive)
-	defer func() { _ = ls.ReleaseLock(0, "SYS1") }()
+	_ = l.Release(context.Background(), 0, "SYS1", cf.Exclusive)
+	defer func() { _ = ls.ReleaseLock(context.Background(), 0, "SYS1") }()
 	// Calls without an error result are of no interest.
 	ls.Unmonitor("SYS1", 0)
 	_ = ls.Len(0)

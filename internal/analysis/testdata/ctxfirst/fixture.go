@@ -1,0 +1,64 @@
+// Package fixture exercises the ctxfirst analyzer: an exported function
+// on the CF command path either takes context.Context first, or carries
+// a `// lintctx:` annotation explaining why its boundary is
+// deliberately context-free.
+package fixture
+
+import (
+	"context"
+
+	"sysplex/internal/cf"
+)
+
+// issue is a module-internal context-first helper, standing in for a CF
+// command.
+func issue(ctx context.Context, name string) error {
+	_ = ctx
+	_ = name
+	return nil
+}
+
+// DropsContext issues a command but offers callers no context.
+func DropsContext(name string) error { // want `exported DropsContext calls context-first fixture\.issue`
+	return issue(context.Background(), name)
+}
+
+// ViaLock drives a real CF interface without taking ctx.
+func ViaLock(l cf.Lock) error { // want `exported ViaLock calls context-first cf\.Connect`
+	return l.Connect(context.Background(), "SYS1")
+}
+
+// CtxNotFirst accepts a context, but not in first position.
+func CtxNotFirst(name string, ctx context.Context) error { // want `exported CtxNotFirst takes context\.Context as parameter 2`
+	return issue(ctx, name)
+}
+
+// Proper threads its caller's context: legal.
+func Proper(ctx context.Context, name string) error {
+	return issue(ctx, name)
+}
+
+// Stop is a deliberate context-free lifecycle boundary: legal via the
+// annotation.
+//
+// lintctx: lifecycle method; shutdown work runs detached.
+func Stop() {
+	_ = issue(context.Background(), "stop")
+}
+
+// SpawnsBackground only issues commands from a function literal — a
+// goroutine body running under its own context — so it is legal.
+func SpawnsBackground() func() error {
+	return func() error { return issue(context.Background(), "bg") }
+}
+
+// unexportedCaller is not exported: out of scope.
+func unexportedCaller() error {
+	return issue(context.Background(), "x")
+}
+
+// NoCommands touches nothing context-first: legal without a context.
+func NoCommands(a, b int) int {
+	_ = unexportedCaller
+	return a + b
+}

@@ -4,6 +4,7 @@
 package fixture
 
 import (
+	"context"
 	"sysplex/internal/cf"
 	"sysplex/internal/vclock"
 )
@@ -21,8 +22,8 @@ func rawFacilityCommands(f *cf.Facility) {
 }
 
 func rawStructure(ls *cf.ListStructure) {
-	ls.Connect("SYS1", nil) // want `command Connect on a concrete \*cf.ListStructure`
-	_ = ls.Len(0)           // want `command Len on a concrete \*cf.ListStructure`
+	ls.Connect(context.Background(), "SYS1", nil) // want `command Connect on a concrete \*cf.ListStructure`
+	_ = ls.Len(0)                                 // want `command Len on a concrete \*cf.ListStructure`
 }
 
 // Interface-typed commands go through whatever front the façade wired
@@ -32,11 +33,11 @@ func viaInterfaces(front cf.Front, l cf.Lock, c cf.Cache) error {
 	if err != nil {
 		return err
 	}
-	if err := ls.Connect("SYS1", nil); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1", nil); err != nil {
 		return err
 	}
-	if err := l.Connect("SYS1"); err != nil {
+	if err := l.Connect(context.Background(), "SYS1"); err != nil {
 		return err
 	}
-	return c.Unregister("SYS1", "PAGE.1")
+	return c.Unregister(context.Background(), "SYS1", "PAGE.1")
 }

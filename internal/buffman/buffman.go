@@ -15,6 +15,7 @@
 package buffman
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -71,7 +72,7 @@ type frame struct {
 
 // NewPool creates a pool with n local frames, connects it to the cache
 // structure, and registers the local bit vector with the CF.
-func NewPool(sys string, cs cf.Cache, n int, read PageReader, write PageWriter) (*Pool, error) {
+func NewPool(ctx context.Context, sys string, cs cf.Cache, n int, read PageReader, write PageWriter) (*Pool, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("buffman: pool needs > 0 frames")
 	}
@@ -84,7 +85,7 @@ func NewPool(sys string, cs cf.Cache, n int, read PageReader, write PageWriter) 
 		frames: make([]frame, n),
 		byName: make(map[string]int),
 	}
-	if err := cs.Connect(sys, p.vec); err != nil {
+	if err := cs.Connect(ctx, sys, p.vec); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -118,7 +119,7 @@ func (p *Pool) Close() {
 // GetPage returns the current image of a page. The caller must hold a
 // lock covering the page (the buffer manager provides coherency, not
 // serialization — exactly the division of labour in Figure 2).
-func (p *Pool) GetPage(name string) ([]byte, error) {
+func (p *Pool) GetPage(ctx context.Context, name string) ([]byte, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -136,22 +137,22 @@ func (p *Pool) GetPage(name string) ([]byte, error) {
 		// Peer invalidated our copy: re-register with the CF.
 		p.stats.Invalidated++
 		p.mu.Unlock()
-		return p.refresh(name, idx)
+		return p.refresh(ctx, name, idx)
 	}
-	idx, err := p.allocFrameLocked(name)
+	idx, err := p.allocFrameLocked(ctx, name)
 	if err != nil {
 		p.mu.Unlock()
 		return nil, err
 	}
 	p.mu.Unlock()
-	return p.refresh(name, idx)
+	return p.refresh(ctx, name, idx)
 }
 
 // refresh re-registers interest and fills the frame from the global
 // cache or DASD.
-func (p *Pool) refresh(name string, idx int) ([]byte, error) {
+func (p *Pool) refresh(ctx context.Context, name string, idx int) ([]byte, error) {
 	cs := p.structure()
-	res, err := cs.ReadAndRegister(p.sys, name, idx)
+	res, err := cs.ReadAndRegister(ctx, p.sys, name, idx)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +166,7 @@ func (p *Pool) refresh(name string, idx int) ([]byte, error) {
 		data, err = p.read(name)
 		if err != nil {
 			// Best-effort: the read error is the one to surface.
-			_ = cs.Unregister(p.sys, name)
+			_ = cs.Unregister(ctx, p.sys, name)
 			return nil, err
 		}
 		p.mu.Lock()
@@ -183,7 +184,7 @@ func (p *Pool) refresh(name string, idx int) ([]byte, error) {
 // the image is written through to the group buffer pool, which
 // cross-invalidates every other system's copy before returning. The
 // caller must hold an exclusive lock on the page.
-func (p *Pool) WritePage(name string, data []byte) error {
+func (p *Pool) WritePage(ctx context.Context, name string, data []byte) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -192,7 +193,7 @@ func (p *Pool) WritePage(name string, data []byte) error {
 	idx, ok := p.byName[name]
 	if !ok {
 		var err error
-		idx, err = p.allocFrameLocked(name)
+		idx, err = p.allocFrameLocked(ctx, name)
 		if err != nil {
 			p.mu.Unlock()
 			return err
@@ -202,7 +203,7 @@ func (p *Pool) WritePage(name string, data []byte) error {
 	p.frames[idx] = frame{name: name, data: append([]byte(nil), data...), lastUse: p.bumpTick(), used: true}
 	p.stats.Writes++
 	p.mu.Unlock()
-	err := p.structure().WriteAndInvalidate(p.sys, name, data, true, true, idx)
+	err := p.structure().WriteAndInvalidate(ctx, p.sys, name, data, true, true, idx)
 	if err != nil {
 		// The group buffer pool rejected the write: the local frame
 		// must not keep serving data the caller will treat as not
@@ -221,7 +222,7 @@ func (p *Pool) WritePage(name string, data []byte) error {
 
 // CastoutOnce casts out up to max changed pages (all if max <= 0) from
 // the group buffer pool to DASD. Any system may run castout.
-func (p *Pool) CastoutOnce(max int) (int, error) {
+func (p *Pool) CastoutOnce(ctx context.Context, max int) (int, error) {
 	cs := p.structure()
 	names := cs.ChangedBlocks()
 	n := 0
@@ -229,16 +230,16 @@ func (p *Pool) CastoutOnce(max int) (int, error) {
 		if max > 0 && n >= max {
 			break
 		}
-		data, ver, err := cs.CastoutBegin(p.sys, name)
+		data, ver, err := cs.CastoutBegin(ctx, p.sys, name)
 		if err != nil {
 			continue // raced with another castout owner
 		}
 		if err := p.write(name, data); err != nil {
 			// Best-effort: keep the page changed; the write error wins.
-			_ = cs.CastoutEnd(p.sys, name, ver-1)
+			_ = cs.CastoutEnd(ctx, p.sys, name, ver-1)
 			return n, err
 		}
-		if err := cs.CastoutEnd(p.sys, name, ver); err != nil {
+		if err := cs.CastoutEnd(ctx, p.sys, name, ver); err != nil {
 			return n, err
 		}
 		n++
@@ -255,8 +256,8 @@ func (p *Pool) CastoutOnce(max int) (int, error) {
 // DASD. The caller must cast out all changed pages from the old
 // structure first (planned rebuild), or accept re-reading stale DASD
 // images (unplanned CF loss; see DESIGN.md on CF duplexing).
-func (p *Pool) Rebind(cs cf.Cache) error {
-	if err := cs.Connect(p.sys, p.vec); err != nil {
+func (p *Pool) Rebind(ctx context.Context, cs cf.Cache) error {
+	if err := cs.Connect(ctx, p.sys, p.vec); err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -272,7 +273,7 @@ func (p *Pool) Rebind(cs cf.Cache) error {
 
 // Invalidate drops the local frame for a page (local cache management;
 // peers are unaffected).
-func (p *Pool) Invalidate(name string) {
+func (p *Pool) Invalidate(ctx context.Context, name string) {
 	p.mu.Lock()
 	idx, ok := p.byName[name]
 	if ok {
@@ -285,13 +286,13 @@ func (p *Pool) Invalidate(name string) {
 	if ok {
 		// The local frame is already gone; a failed unregister only
 		// costs a spurious cross-invalidate later.
-		_ = cs.Unregister(p.sys, name)
+		_ = cs.Unregister(ctx, p.sys, name)
 	}
 }
 
 // allocFrameLocked finds a free frame or evicts the least recently used
 // one. Caller holds p.mu; the frame index is reserved for the caller.
-func (p *Pool) allocFrameLocked(name string) (int, error) {
+func (p *Pool) allocFrameLocked(ctx context.Context, name string) (int, error) {
 	// Free frame?
 	for i := range p.frames {
 		if !p.frames[i].used {
@@ -321,7 +322,7 @@ func (p *Pool) allocFrameLocked(name string) (int, error) {
 	// The CF never calls back into the pool (it flips vector bits
 	// directly), so its mutex is a leaf and this nested call is safe.
 	// A failed unregister only costs a spurious cross-invalidate.
-	_ = p.cs.Unregister(p.sys, old)
+	_ = p.cs.Unregister(ctx, p.sys, old)
 	return victim, nil
 }
 

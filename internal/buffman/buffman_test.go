@@ -2,6 +2,7 @@ package buffman
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -63,7 +64,7 @@ func newBMFixture(t *testing.T, frames int, systems ...string) *bmFixture {
 	}
 	fx := &bmFixture{fac: fac, cs: cs, dasd: newFakeDASD(), pools: map[string]*Pool{}}
 	for _, s := range systems {
-		p, err := NewPool(s, cs, frames, fx.dasd.reader(), fx.dasd.writer())
+		p, err := NewPool(context.Background(), s, cs, frames, fx.dasd.reader(), fx.dasd.writer())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,12 +77,12 @@ func TestReadMissThenLocalHit(t *testing.T) {
 	fx := newBMFixture(t, 8, "SYS1")
 	fx.dasd.pages["P1"] = []byte("on disk")
 	p := fx.pools["SYS1"]
-	got, err := p.GetPage("P1")
+	got, err := p.GetPage(context.Background(), "P1")
 	if err != nil || !bytes.Equal(got, []byte("on disk")) {
 		t.Fatalf("got %q err=%v", got, err)
 	}
 	// Second read: pure local hit, no CF or DASD access.
-	p.GetPage("P1")
+	p.GetPage(context.Background(), "P1")
 	st := p.Stats()
 	if st.DasdReads != 1 || st.LocalHits != 1 {
 		t.Fatalf("stats = %+v", st)
@@ -95,17 +96,17 @@ func TestWriteInvalidatesPeerAndRefreshesFromGlobalCache(t *testing.T) {
 	fx := newBMFixture(t, 8, "SYS1", "SYS2")
 	fx.dasd.pages["P"] = []byte("v0")
 	p1, p2 := fx.pools["SYS1"], fx.pools["SYS2"]
-	p1.GetPage("P")
-	p2.GetPage("P")
+	p1.GetPage(context.Background(), "P")
+	p2.GetPage(context.Background(), "P")
 
 	// SYS2 commits an update.
-	if err := p2.WritePage("P", []byte("v1")); err != nil {
+	if err := p2.WritePage(context.Background(), "P", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	// SYS1's next read detects the invalid bit and refreshes from the
 	// CF global cache — not from DASD.
 	before := fx.dasd.reads
-	got, err := p1.GetPage("P")
+	got, err := p1.GetPage(context.Background(), "P")
 	if err != nil || !bytes.Equal(got, []byte("v1")) {
 		t.Fatalf("got %q err=%v", got, err)
 	}
@@ -117,7 +118,7 @@ func TestWriteInvalidatesPeerAndRefreshesFromGlobalCache(t *testing.T) {
 		t.Fatal("refresh went to DASD instead of the global cache")
 	}
 	// The writer's own copy stays valid: local hit.
-	p2.GetPage("P")
+	p2.GetPage(context.Background(), "P")
 	if st := p2.Stats(); st.LocalHits != 1 {
 		t.Fatalf("writer stats = %+v", st)
 	}
@@ -126,7 +127,7 @@ func TestWriteInvalidatesPeerAndRefreshesFromGlobalCache(t *testing.T) {
 func TestStoreInCommitDoesNotTouchDASD(t *testing.T) {
 	fx := newBMFixture(t, 8, "SYS1")
 	p := fx.pools["SYS1"]
-	if err := p.WritePage("P", []byte("committed")); err != nil {
+	if err := p.WritePage(context.Background(), "P", []byte("committed")); err != nil {
 		t.Fatal(err)
 	}
 	if fx.dasd.writes != 0 {
@@ -141,10 +142,10 @@ func TestStoreInCommitDoesNotTouchDASD(t *testing.T) {
 func TestCastoutWritesDASDAndClearsChanged(t *testing.T) {
 	fx := newBMFixture(t, 8, "SYS1", "SYS2")
 	p1 := fx.pools["SYS1"]
-	p1.WritePage("A", []byte("a1"))
-	p1.WritePage("B", []byte("b1"))
+	p1.WritePage(context.Background(), "A", []byte("a1"))
+	p1.WritePage(context.Background(), "B", []byte("b1"))
 	// Castout can run on a different system than the writer.
-	n, err := fx.pools["SYS2"].CastoutOnce(0)
+	n, err := fx.pools["SYS2"].CastoutOnce(context.Background(), 0)
 	if err != nil || n != 2 {
 		t.Fatalf("castout n=%d err=%v", n, err)
 	}
@@ -155,7 +156,7 @@ func TestCastoutWritesDASDAndClearsChanged(t *testing.T) {
 		t.Fatal("blocks still marked changed")
 	}
 	// Nothing left: another castout is a no-op.
-	if n, _ := fx.pools["SYS2"].CastoutOnce(0); n != 0 {
+	if n, _ := fx.pools["SYS2"].CastoutOnce(context.Background(), 0); n != 0 {
 		t.Fatalf("second castout n=%d", n)
 	}
 }
@@ -164,9 +165,9 @@ func TestCastoutMaxLimit(t *testing.T) {
 	fx := newBMFixture(t, 8, "SYS1")
 	p := fx.pools["SYS1"]
 	for i := 0; i < 5; i++ {
-		p.WritePage(fmt.Sprintf("P%d", i), []byte("x"))
+		p.WritePage(context.Background(), fmt.Sprintf("P%d", i), []byte("x"))
 	}
-	n, err := p.CastoutOnce(2)
+	n, err := p.CastoutOnce(context.Background(), 2)
 	if err != nil || n != 2 {
 		t.Fatalf("n=%d err=%v", n, err)
 	}
@@ -181,10 +182,10 @@ func TestEvictionLRU(t *testing.T) {
 	fx.dasd.pages["B"] = []byte("b")
 	fx.dasd.pages["C"] = []byte("c")
 	p := fx.pools["SYS1"]
-	p.GetPage("A")
-	p.GetPage("B")
-	p.GetPage("A") // A is now more recent than B
-	p.GetPage("C") // evicts B
+	p.GetPage(context.Background(), "A")
+	p.GetPage(context.Background(), "B")
+	p.GetPage(context.Background(), "A") // A is now more recent than B
+	p.GetPage(context.Background(), "C") // evicts B
 	st := p.Stats()
 	if st.Evictions != 1 {
 		t.Fatalf("stats = %+v", st)
@@ -196,7 +197,7 @@ func TestEvictionLRU(t *testing.T) {
 	}
 	// A survived: local hit.
 	before := p.Stats().LocalHits
-	p.GetPage("A")
+	p.GetPage(context.Background(), "A")
 	if p.Stats().LocalHits != before+1 {
 		t.Fatal("A was evicted instead of B")
 	}
@@ -205,9 +206,9 @@ func TestEvictionLRU(t *testing.T) {
 func TestInvalidateDropsLocalOnly(t *testing.T) {
 	fx := newBMFixture(t, 4, "SYS1", "SYS2")
 	fx.dasd.pages["P"] = []byte("v")
-	fx.pools["SYS1"].GetPage("P")
-	fx.pools["SYS2"].GetPage("P")
-	fx.pools["SYS1"].Invalidate("P")
+	fx.pools["SYS1"].GetPage(context.Background(), "P")
+	fx.pools["SYS2"].GetPage(context.Background(), "P")
+	fx.pools["SYS1"].Invalidate(context.Background(), "P")
 	if regs := fx.cs.Registered("P"); len(regs) != 1 || regs[0] != "SYS2" {
 		t.Fatalf("regs = %v", regs)
 	}
@@ -217,10 +218,10 @@ func TestClosedPool(t *testing.T) {
 	fx := newBMFixture(t, 4, "SYS1")
 	p := fx.pools["SYS1"]
 	p.Close()
-	if _, err := p.GetPage("P"); !errors.Is(err, ErrPoolClosed) {
+	if _, err := p.GetPage(context.Background(), "P"); !errors.Is(err, ErrPoolClosed) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := p.WritePage("P", nil); !errors.Is(err, ErrPoolClosed) {
+	if err := p.WritePage(context.Background(), "P", nil); !errors.Is(err, ErrPoolClosed) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -229,13 +230,13 @@ func TestDasdReadErrorPropagates(t *testing.T) {
 	fac := cf.New("CF", vclock.Real())
 	cs, _ := fac.AllocateCacheStructure("C", 16)
 	boom := errors.New("io error")
-	p, err := NewPool("SYS1", cs, 4,
+	p, err := NewPool(context.Background(), "SYS1", cs, 4,
 		func(string) ([]byte, error) { return nil, boom },
 		func(string, []byte) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.GetPage("P"); !errors.Is(err, boom) {
+	if _, err := p.GetPage(context.Background(), "P"); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	// The failed read did not leave a registration behind.
@@ -247,7 +248,7 @@ func TestDasdReadErrorPropagates(t *testing.T) {
 func TestPoolValidation(t *testing.T) {
 	fac := cf.New("CF", vclock.Real())
 	cs, _ := fac.AllocateCacheStructure("C", 16)
-	if _, err := NewPool("S", cs, 0, nil, nil); err == nil {
+	if _, err := NewPool(context.Background(), "S", cs, 0, nil, nil); err == nil {
 		t.Fatal("zero frames accepted")
 	}
 }
@@ -273,12 +274,12 @@ func TestCoherentReadsProperty(t *testing.T) {
 			pool := fx.pools[sys]
 			if o.Write {
 				val := []byte(fmt.Sprintf("%d", o.Val))
-				if err := pool.WritePage(page, val); err != nil {
+				if err := pool.WritePage(context.Background(), page, val); err != nil {
 					return false
 				}
 				latest[page] = val
 			} else {
-				got, err := pool.GetPage(page)
+				got, err := pool.GetPage(context.Background(), page)
 				if err != nil {
 					return false
 				}
@@ -302,31 +303,31 @@ func TestRebindStartsCleanOnNewStructure(t *testing.T) {
 	fx := newBMFixture(t, 8, "SYS1", "SYS2")
 	fx.dasd.pages["P"] = []byte("v0")
 	p1, p2 := fx.pools["SYS1"], fx.pools["SYS2"]
-	p1.GetPage("P")
-	p2.WritePage("P", []byte("v1"))
+	p1.GetPage(context.Background(), "P")
+	p2.WritePage(context.Background(), "P", []byte("v1"))
 	// Planned rebuild: drain changed pages first, then rebind both.
-	if _, err := p1.CastoutOnce(0); err != nil {
+	if _, err := p1.CastoutOnce(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	fac2 := cf.New("CF02", vclock.Real())
 	cs2, _ := fac2.AllocateCacheStructure("GBP0", 256)
-	if err := p1.Rebind(cs2); err != nil {
+	if err := p1.Rebind(context.Background(), cs2); err != nil {
 		t.Fatal(err)
 	}
-	if err := p2.Rebind(cs2); err != nil {
+	if err := p2.Rebind(context.Background(), cs2); err != nil {
 		t.Fatal(err)
 	}
 	fx.cs = cs2
 	// Reads refill from DASD (which has the cast-out v1) and coherency
 	// works on the new structure.
-	got, err := p1.GetPage("P")
+	got, err := p1.GetPage(context.Background(), "P")
 	if err != nil || !bytes.Equal(got, []byte("v1")) {
 		t.Fatalf("got %q err=%v", got, err)
 	}
-	if err := p2.WritePage("P", []byte("v2")); err != nil {
+	if err := p2.WritePage(context.Background(), "P", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	got, err = p1.GetPage("P")
+	got, err = p1.GetPage(context.Background(), "P")
 	if err != nil || !bytes.Equal(got, []byte("v2")) {
 		t.Fatalf("coherency broken after rebind: %q err=%v", got, err)
 	}

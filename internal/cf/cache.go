@@ -1,6 +1,8 @@
 package cf
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"sync"
@@ -209,8 +211,8 @@ func (s *CacheStructure) Name() string { return s.name }
 // the vector on behalf of the buffer manager at connect time (§3.3.2);
 // here the caller passes it in and the CF keeps the reference it will
 // flip bits through.
-func (s *CacheStructure) Connect(conn string, vector *BitVector) error {
-	if _, err := s.facility.begin(); err != nil {
+func (s *CacheStructure) Connect(ctx context.Context, conn string, vector *BitVector) error {
+	if _, err := s.facility.begin(ctx); err != nil {
 		return err
 	}
 	if vector == nil {
@@ -276,8 +278,8 @@ type ReadResult struct {
 // ReadAndRegister registers conn's interest in block name, associating
 // local vector index vecIdx with it, sets the validity bit, and returns
 // the globally cached data if present.
-func (s *CacheStructure) ReadAndRegister(conn, name string, vecIdx int) (ReadResult, error) {
-	start, err := s.facility.begin()
+func (s *CacheStructure) ReadAndRegister(ctx context.Context, conn, name string, vecIdx int) (ReadResult, error) {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return ReadResult{}, err
 	}
@@ -308,8 +310,8 @@ func (s *CacheStructure) ReadAndRegister(conn, name string, vecIdx int) (ReadRes
 // keeps the data in the global cache; changed=true marks it pending
 // castout), cross-invalidates every other registered connector, and
 // re-registers the writer at vecIdx with its validity bit set.
-func (s *CacheStructure) WriteAndInvalidate(conn, name string, data []byte, cache, changed bool, vecIdx int) error {
-	start, err := s.facility.begin()
+func (s *CacheStructure) WriteAndInvalidate(ctx context.Context, conn, name string, data []byte, cache, changed bool, vecIdx int) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}
@@ -355,8 +357,8 @@ func (s *CacheStructure) WriteAndInvalidate(conn, name string, data []byte, cach
 
 // Unregister removes conn's interest in block name (local buffer
 // reclaimed). The connector clears its own vector bit.
-func (s *CacheStructure) Unregister(conn, name string) error {
-	start, err := s.facility.begin()
+func (s *CacheStructure) Unregister(ctx context.Context, conn, name string) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}
@@ -381,8 +383,8 @@ func (s *CacheStructure) Unregister(conn, name string) error {
 
 // CastoutBegin claims the castout lock for a changed block and returns
 // its data. The caller writes it to DASD and then calls CastoutEnd.
-func (s *CacheStructure) CastoutBegin(conn, name string) ([]byte, uint64, error) {
-	start, err := s.facility.begin()
+func (s *CacheStructure) CastoutBegin(ctx context.Context, conn, name string) ([]byte, uint64, error) {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -407,8 +409,8 @@ func (s *CacheStructure) CastoutBegin(conn, name string) ([]byte, uint64, error)
 // CastoutEnd completes a castout: if the block version is unchanged
 // since CastoutBegin the changed state is cleared. The castout lock is
 // released either way.
-func (s *CacheStructure) CastoutEnd(conn, name string, version uint64) error {
-	start, err := s.facility.begin()
+func (s *CacheStructure) CastoutEnd(ctx context.Context, conn, name string, version uint64) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package cf
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -27,7 +28,7 @@ func newCacheStruct(t *testing.T, maxEntries int) *cacheFixture {
 	for _, c := range []string{"SYS1", "SYS2", "SYS3"} {
 		v := NewBitVector(64)
 		fx.vecs[c] = v
-		if err := cs.Connect(c, v); err != nil {
+		if err := cs.Connect(context.Background(), c, v); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -36,7 +37,7 @@ func newCacheStruct(t *testing.T, maxEntries int) *cacheFixture {
 
 func TestRegisterAndValidityBit(t *testing.T) {
 	fx := newCacheStruct(t, 32)
-	res, err := fx.cs.ReadAndRegister("SYS1", "PAGE.1", 5)
+	res, err := fx.cs.ReadAndRegister(context.Background(), "SYS1", "PAGE.1", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,12 +55,12 @@ func TestRegisterAndValidityBit(t *testing.T) {
 
 func TestCrossInvalidateFlipsOnlyInterestedBits(t *testing.T) {
 	fx := newCacheStruct(t, 32)
-	fx.cs.ReadAndRegister("SYS1", "PAGE.1", 1)
-	fx.cs.ReadAndRegister("SYS2", "PAGE.1", 2)
-	fx.cs.ReadAndRegister("SYS3", "PAGE.2", 3) // interest in a different page
+	fx.cs.ReadAndRegister(context.Background(), "SYS1", "PAGE.1", 1)
+	fx.cs.ReadAndRegister(context.Background(), "SYS2", "PAGE.1", 2)
+	fx.cs.ReadAndRegister(context.Background(), "SYS3", "PAGE.2", 3) // interest in a different page
 
 	// SYS2 updates PAGE.1.
-	if err := fx.cs.WriteAndInvalidate("SYS2", "PAGE.1", []byte("v2"), true, true, 2); err != nil {
+	if err := fx.cs.WriteAndInvalidate(context.Background(), "SYS2", "PAGE.1", []byte("v2"), true, true, 2); err != nil {
 		t.Fatal(err)
 	}
 	if fx.vecs["SYS1"].Test(1) {
@@ -83,11 +84,11 @@ func TestCrossInvalidateFlipsOnlyInterestedBits(t *testing.T) {
 
 func TestGlobalCacheRefresh(t *testing.T) {
 	fx := newCacheStruct(t, 32)
-	fx.cs.ReadAndRegister("SYS1", "PAGE.9", 1)
-	fx.cs.WriteAndInvalidate("SYS1", "PAGE.9", []byte("fresh"), true, true, 1)
+	fx.cs.ReadAndRegister(context.Background(), "SYS1", "PAGE.9", 1)
+	fx.cs.WriteAndInvalidate(context.Background(), "SYS1", "PAGE.9", []byte("fresh"), true, true, 1)
 	// SYS2's local read: registration returns the current copy from the
 	// global cache — the "high-speed local buffer refresh" path.
-	res, err := fx.cs.ReadAndRegister("SYS2", "PAGE.9", 7)
+	res, err := fx.cs.ReadAndRegister(context.Background(), "SYS2", "PAGE.9", 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,10 +102,10 @@ func TestGlobalCacheRefresh(t *testing.T) {
 
 func TestDirectoryOnlyWrite(t *testing.T) {
 	fx := newCacheStruct(t, 32)
-	fx.cs.ReadAndRegister("SYS1", "P", 1)
+	fx.cs.ReadAndRegister(context.Background(), "SYS1", "P", 1)
 	// cache=false: directory tracks coherency but data is not cached.
-	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("x"), false, false, 1)
-	res, _ := fx.cs.ReadAndRegister("SYS2", "P", 2)
+	fx.cs.WriteAndInvalidate(context.Background(), "SYS1", "P", []byte("x"), false, false, 1)
+	res, _ := fx.cs.ReadAndRegister(context.Background(), "SYS2", "P", 2)
 	if res.Hit {
 		t.Fatal("directory-only write should not hit")
 	}
@@ -112,10 +113,10 @@ func TestDirectoryOnlyWrite(t *testing.T) {
 
 func TestVersionAdvancesOnWrite(t *testing.T) {
 	fx := newCacheStruct(t, 32)
-	fx.cs.ReadAndRegister("SYS1", "P", 1)
+	fx.cs.ReadAndRegister(context.Background(), "SYS1", "P", 1)
 	v0 := fx.cs.Version("P")
-	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("a"), true, true, 1)
-	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("b"), true, true, 1)
+	fx.cs.WriteAndInvalidate(context.Background(), "SYS1", "P", []byte("a"), true, true, 1)
+	fx.cs.WriteAndInvalidate(context.Background(), "SYS1", "P", []byte("b"), true, true, 1)
 	if got := fx.cs.Version("P"); got != v0+2 {
 		t.Fatalf("version = %d, want %d", got, v0+2)
 	}
@@ -126,21 +127,21 @@ func TestVersionAdvancesOnWrite(t *testing.T) {
 
 func TestCastoutProtocol(t *testing.T) {
 	fx := newCacheStruct(t, 32)
-	fx.cs.ReadAndRegister("SYS1", "P", 1)
-	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("dirty"), true, true, 1)
+	fx.cs.ReadAndRegister(context.Background(), "SYS1", "P", 1)
+	fx.cs.WriteAndInvalidate(context.Background(), "SYS1", "P", []byte("dirty"), true, true, 1)
 	changed := fx.cs.ChangedBlocks()
 	if len(changed) != 1 || changed[0] != "P" {
 		t.Fatalf("changed = %v", changed)
 	}
-	data, ver, err := fx.cs.CastoutBegin("SYS2", "P")
+	data, ver, err := fx.cs.CastoutBegin(context.Background(), "SYS2", "P")
 	if err != nil || !bytes.Equal(data, []byte("dirty")) {
 		t.Fatalf("castout begin: %q err=%v", data, err)
 	}
 	// A second castout owner is locked out.
-	if _, _, err := fx.cs.CastoutBegin("SYS3", "P"); !errors.Is(err, ErrLockHeld) {
+	if _, _, err := fx.cs.CastoutBegin(context.Background(), "SYS3", "P"); !errors.Is(err, ErrLockHeld) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := fx.cs.CastoutEnd("SYS2", "P", ver); err != nil {
+	if err := fx.cs.CastoutEnd(context.Background(), "SYS2", "P", ver); err != nil {
 		t.Fatal(err)
 	}
 	if len(fx.cs.ChangedBlocks()) != 0 {
@@ -150,12 +151,12 @@ func TestCastoutProtocol(t *testing.T) {
 
 func TestCastoutRacingWriteStaysChanged(t *testing.T) {
 	fx := newCacheStruct(t, 32)
-	fx.cs.ReadAndRegister("SYS1", "P", 1)
-	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("v1"), true, true, 1)
-	_, ver, _ := fx.cs.CastoutBegin("SYS2", "P")
+	fx.cs.ReadAndRegister(context.Background(), "SYS1", "P", 1)
+	fx.cs.WriteAndInvalidate(context.Background(), "SYS1", "P", []byte("v1"), true, true, 1)
+	_, ver, _ := fx.cs.CastoutBegin(context.Background(), "SYS2", "P")
 	// A new version lands while the castout I/O is in flight.
-	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("v2"), true, true, 1)
-	fx.cs.CastoutEnd("SYS2", "P", ver)
+	fx.cs.WriteAndInvalidate(context.Background(), "SYS1", "P", []byte("v2"), true, true, 1)
+	fx.cs.CastoutEnd(context.Background(), "SYS2", "P", ver)
 	if len(fx.cs.ChangedBlocks()) != 1 {
 		t.Fatal("raced castout must leave block changed")
 	}
@@ -163,16 +164,16 @@ func TestCastoutRacingWriteStaysChanged(t *testing.T) {
 
 func TestCastoutBeginOnCleanBlockFails(t *testing.T) {
 	fx := newCacheStruct(t, 32)
-	fx.cs.ReadAndRegister("SYS1", "P", 1)
-	if _, _, err := fx.cs.CastoutBegin("SYS1", "P"); !errors.Is(err, ErrEntryNotFound) {
+	fx.cs.ReadAndRegister(context.Background(), "SYS1", "P", 1)
+	if _, _, err := fx.cs.CastoutBegin(context.Background(), "SYS1", "P"); !errors.Is(err, ErrEntryNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestUnregisterClearsBit(t *testing.T) {
 	fx := newCacheStruct(t, 32)
-	fx.cs.ReadAndRegister("SYS1", "P", 4)
-	if err := fx.cs.Unregister("SYS1", "P"); err != nil {
+	fx.cs.ReadAndRegister(context.Background(), "SYS1", "P", 4)
+	if err := fx.cs.Unregister(context.Background(), "SYS1", "P"); err != nil {
 		t.Fatal(err)
 	}
 	if fx.vecs["SYS1"].Test(4) {
@@ -182,68 +183,68 @@ func TestUnregisterClearsBit(t *testing.T) {
 		t.Fatal("still registered")
 	}
 	// Unregister of unknown block is a no-op.
-	if err := fx.cs.Unregister("SYS1", "NOPE"); err != nil {
+	if err := fx.cs.Unregister(context.Background(), "SYS1", "NOPE"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestDirectoryReclaim(t *testing.T) {
 	fx := newCacheStruct(t, 2)
-	fx.cs.ReadAndRegister("SYS1", "A", 1)
-	fx.cs.ReadAndRegister("SYS1", "B", 2)
-	fx.cs.Unregister("SYS1", "A") // A becomes clean + unregistered
+	fx.cs.ReadAndRegister(context.Background(), "SYS1", "A", 1)
+	fx.cs.ReadAndRegister(context.Background(), "SYS1", "B", 2)
+	fx.cs.Unregister(context.Background(), "SYS1", "A") // A becomes clean + unregistered
 	// Third entry forces reclaim of A.
-	if _, err := fx.cs.ReadAndRegister("SYS1", "C", 3); err != nil {
+	if _, err := fx.cs.ReadAndRegister(context.Background(), "SYS1", "C", 3); err != nil {
 		t.Fatal(err)
 	}
 	if n := fx.fac.Metrics().Counter("cf.cache.reclaim").Value(); n != 1 {
 		t.Fatalf("reclaims = %d", n)
 	}
 	// Now B (registered) and C (registered): no reclaim candidate left.
-	if _, err := fx.cs.ReadAndRegister("SYS1", "D", 4); !errors.Is(err, ErrCacheFull) {
+	if _, err := fx.cs.ReadAndRegister(context.Background(), "SYS1", "D", 4); !errors.Is(err, ErrCacheFull) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestFailConnectorPurgesRegistrations(t *testing.T) {
 	fx := newCacheStruct(t, 32)
-	fx.cs.ReadAndRegister("SYS1", "P", 1)
-	fx.cs.ReadAndRegister("SYS2", "P", 2)
+	fx.cs.ReadAndRegister(context.Background(), "SYS1", "P", 1)
+	fx.cs.ReadAndRegister(context.Background(), "SYS2", "P", 2)
 	fx.fac.FailConnector("SYS1")
 	regs := fx.cs.Registered("P")
 	if len(regs) != 1 || regs[0] != "SYS2" {
 		t.Fatalf("registered = %v", regs)
 	}
 	// Writes no longer send XI to the dead system.
-	if err := fx.cs.WriteAndInvalidate("SYS2", "P", []byte("x"), true, true, 2); err != nil {
+	if err := fx.cs.WriteAndInvalidate(context.Background(), "SYS2", "P", []byte("x"), true, true, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fx.cs.ReadAndRegister("SYS1", "P", 1); !errors.Is(err, ErrNotConnected) {
+	if _, err := fx.cs.ReadAndRegister(context.Background(), "SYS1", "P", 1); !errors.Is(err, ErrNotConnected) {
 		t.Fatalf("dead connector accepted: %v", err)
 	}
 }
 
 func TestFailedCastoutOwnerReleasesLock(t *testing.T) {
 	fx := newCacheStruct(t, 32)
-	fx.cs.ReadAndRegister("SYS1", "P", 1)
-	fx.cs.WriteAndInvalidate("SYS1", "P", []byte("d"), true, true, 1)
-	fx.cs.CastoutBegin("SYS2", "P")
+	fx.cs.ReadAndRegister(context.Background(), "SYS1", "P", 1)
+	fx.cs.WriteAndInvalidate(context.Background(), "SYS1", "P", []byte("d"), true, true, 1)
+	fx.cs.CastoutBegin(context.Background(), "SYS2", "P")
 	fx.fac.FailConnector("SYS2")
 	// Another system can take over the castout.
-	if _, _, err := fx.cs.CastoutBegin("SYS3", "P"); err != nil {
+	if _, _, err := fx.cs.CastoutBegin(context.Background(), "SYS3", "P"); err != nil {
 		t.Fatalf("castout takeover failed: %v", err)
 	}
 }
 
 func TestConnectValidation(t *testing.T) {
 	fx := newCacheStruct(t, 8)
-	if err := fx.cs.Connect("SYS9", nil); !errors.Is(err, ErrBadArgument) {
+	if err := fx.cs.Connect(context.Background(), "SYS9", nil); !errors.Is(err, ErrBadArgument) {
 		t.Fatalf("nil vector accepted: %v", err)
 	}
-	if _, err := fx.cs.ReadAndRegister("GHOST", "P", 0); !errors.Is(err, ErrNotConnected) {
+	if _, err := fx.cs.ReadAndRegister(context.Background(), "GHOST", "P", 0); !errors.Is(err, ErrNotConnected) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := fx.cs.WriteAndInvalidate("GHOST", "P", nil, true, true, 0); !errors.Is(err, ErrNotConnected) {
+	if err := fx.cs.WriteAndInvalidate(context.Background(), "GHOST", "P", nil, true, true, 0); !errors.Is(err, ErrNotConnected) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -266,7 +267,7 @@ func TestCoherencyProperty(t *testing.T) {
 		for _, c := range conns {
 			v := NewBitVector(8)
 			vecs[c] = v
-			cs.Connect(c, v)
+			cs.Connect(context.Background(), c, v)
 		}
 		var latest []byte
 		written := false
@@ -274,14 +275,14 @@ func TestCoherencyProperty(t *testing.T) {
 			conn := conns[int(o.Conn)%len(conns)]
 			if o.Write {
 				val := []byte(fmt.Sprintf("v%d", o.Val))
-				if err := cs.WriteAndInvalidate(conn, "P", val, true, true, 0); err != nil {
+				if err := cs.WriteAndInvalidate(context.Background(), conn, "P", val, true, true, 0); err != nil {
 					return false
 				}
 				local[conn] = val
 				latest = val
 				written = true
 			} else {
-				res, err := cs.ReadAndRegister(conn, "P", 0)
+				res, err := cs.ReadAndRegister(context.Background(), conn, "P", 0)
 				if err != nil {
 					return false
 				}

@@ -22,6 +22,7 @@
 package cf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -52,57 +53,65 @@ var (
 // satisfied by both a plain *LockStructure and the *DuplexedLock front,
 // so exploiters are indifferent to whether the structure is simplex or
 // duplexed across two facilities.
+//
+// Command methods take a context.Context first: a cancelled context or
+// an expired vclock deadline fails the command with the context's error
+// before any structure state changes (see DESIGN §10). Methods without
+// a context are diagnostics over in-memory state and issue no CF
+// command.
 type Lock interface {
 	Name() string
 	Entries() int
-	Connect(conn string) error
+	Connect(ctx context.Context, conn string) error
 	HashResource(resource string) int
-	Obtain(idx int, conn string, mode LockMode) (ObtainResult, error)
-	ForceObtain(idx int, conn string, mode LockMode) error
-	Release(idx int, conn string, mode LockMode) error
+	Obtain(ctx context.Context, idx int, conn string, mode LockMode) (ObtainResult, error)
+	ForceObtain(ctx context.Context, idx int, conn string, mode LockMode) error
+	Release(ctx context.Context, idx int, conn string, mode LockMode) error
 	Interest(idx int, conn string) (share, excl int, err error)
-	SetRecord(conn, resource string, mode LockMode) error
-	DeleteRecord(conn, resource string) error
-	Records(conn string) ([]LockRecord, error)
+	SetRecord(ctx context.Context, conn, resource string, mode LockMode) error
+	DeleteRecord(ctx context.Context, conn, resource string) error
+	Records(ctx context.Context, conn string) ([]LockRecord, error)
 	AdoptRetained(conn string, recs []LockRecord)
 	RetainedConnectors() []string
 }
 
 // Cache is the command set of a cache-model structure (§3.3.2),
-// satisfied by *CacheStructure and *DuplexedCache.
+// satisfied by *CacheStructure and *DuplexedCache. Context semantics
+// are those of Lock.
 type Cache interface {
 	Name() string
-	Connect(conn string, vector *BitVector) error
-	ReadAndRegister(conn, name string, vecIdx int) (ReadResult, error)
-	WriteAndInvalidate(conn, name string, data []byte, cache, changed bool, vecIdx int) error
-	Unregister(conn, name string) error
-	CastoutBegin(conn, name string) ([]byte, uint64, error)
-	CastoutEnd(conn, name string, version uint64) error
+	Connect(ctx context.Context, conn string, vector *BitVector) error
+	ReadAndRegister(ctx context.Context, conn, name string, vecIdx int) (ReadResult, error)
+	WriteAndInvalidate(ctx context.Context, conn, name string, data []byte, cache, changed bool, vecIdx int) error
+	Unregister(ctx context.Context, conn, name string) error
+	CastoutBegin(ctx context.Context, conn, name string) ([]byte, uint64, error)
+	CastoutEnd(ctx context.Context, conn, name string, version uint64) error
 	ChangedBlocks() []string
 	Registered(name string) []string
 	Version(name string) uint64
 }
 
 // List is the command set of a list-model structure (§3.3.3),
-// satisfied by *ListStructure and *DuplexedList.
+// satisfied by *ListStructure and *DuplexedList. Context semantics are
+// those of Lock.
 type List interface {
 	Name() string
 	Lists() int
-	Connect(conn string, vector *BitVector) error
-	SetLock(idx int, conn string) error
-	ReleaseLock(idx int, conn string) error
+	Connect(ctx context.Context, conn string, vector *BitVector) error
+	SetLock(ctx context.Context, idx int, conn string) error
+	ReleaseLock(ctx context.Context, idx int, conn string) error
 	LockHolder(idx int) string
-	Write(conn string, list int, id, key string, data []byte, order Order, cond Cond) error
-	Read(conn, id string, cond Cond) (ListEntry, error)
-	ReadFirst(conn string, list int, cond Cond) (ListEntry, error)
-	Pop(conn string, list int, cond Cond) (ListEntry, error)
-	Delete(conn, id string, cond Cond) error
-	Move(conn, id string, toList int, order Order, cond Cond) error
-	SetAdjunct(conn, id, adjunct string, cond Cond) error
+	Write(ctx context.Context, conn string, list int, id, key string, data []byte, order Order, cond Cond) error
+	Read(ctx context.Context, conn, id string, cond Cond) (ListEntry, error)
+	ReadFirst(ctx context.Context, conn string, list int, cond Cond) (ListEntry, error)
+	Pop(ctx context.Context, conn string, list int, cond Cond) (ListEntry, error)
+	Delete(ctx context.Context, conn, id string, cond Cond) error
+	Move(ctx context.Context, conn, id string, toList int, order Order, cond Cond) error
+	SetAdjunct(ctx context.Context, conn, id, adjunct string, cond Cond) error
 	Len(list int) int
 	Entries(list int) []ListEntry
 	TotalEntries() int
-	Monitor(conn string, list int, vecIdx int) error
+	Monitor(ctx context.Context, conn string, list int, vecIdx int) error
 	Unmonitor(conn string, list int)
 }
 
@@ -286,10 +295,16 @@ func (f *Facility) charge(m cmdMetrics, start time.Time) {
 	m.lat.Observe(f.clock.Since(start))
 }
 
-// begin performs the down-check and latency charge shared by commands.
-// It is lock-free: a broken load, an (almost always skipped) armed
-// failure-injection decrement, and the latency load.
-func (f *Facility) begin() (time.Time, error) {
+// begin performs the context gate, down-check, and latency charge
+// shared by commands. It is lock-free: the context poll, a broken load,
+// an (almost always skipped) armed failure-injection decrement, and the
+// latency load. The context is checked before anything else so a
+// cancelled or deadline-expired command fails with the context error
+// and zero structure effect.
+func (f *Facility) begin(ctx context.Context) (time.Time, error) {
+	if err := vclock.Check(ctx, f.clock); err != nil {
+		return time.Time{}, err
+	}
 	if f.broken.Load() {
 		return time.Time{}, ErrCFDown
 	}

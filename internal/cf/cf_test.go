@@ -1,6 +1,7 @@
 package cf
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -73,12 +74,12 @@ func TestBadShapesRejected(t *testing.T) {
 func TestFacilityFailureStopsCommands(t *testing.T) {
 	f := newCF(t)
 	ls, _ := f.AllocateLockStructure("L", 8)
-	ls.Connect("SYS1")
+	ls.Connect(context.Background(), "SYS1")
 	f.Fail()
 	if !f.Failed() {
 		t.Fatal("Failed() = false")
 	}
-	if _, err := ls.Obtain(0, "SYS1", Share); !errors.Is(err, ErrCFDown) {
+	if _, err := ls.Obtain(context.Background(), 0, "SYS1", Share); !errors.Is(err, ErrCFDown) {
 		t.Fatalf("err = %v", err)
 	}
 	if _, err := f.LockStructure("L"); !errors.Is(err, ErrCFDown) {
@@ -96,11 +97,11 @@ func TestSyncLatencyInjection(t *testing.T) {
 	ls, _ := f.AllocateLockStructure("L", 8)
 	done := make(chan error, 1)
 	go func() {
-		if err := ls.Connect("SYS1"); err != nil {
+		if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 			done <- err
 			return
 		}
-		_, err := ls.Obtain(0, "SYS1", Share)
+		_, err := ls.Obtain(context.Background(), 0, "SYS1", Share)
 		done <- err
 	}()
 	// Two commands (connect + obtain) at 20µs each.
@@ -125,9 +126,9 @@ func TestSyncLatencyInjection(t *testing.T) {
 func TestCommandMetrics(t *testing.T) {
 	f := newCF(t)
 	ls, _ := f.AllocateLockStructure("L", 8)
-	ls.Connect("SYS1")
-	ls.Obtain(0, "SYS1", Share)
-	ls.Release(0, "SYS1", Share)
+	ls.Connect(context.Background(), "SYS1")
+	ls.Obtain(context.Background(), 0, "SYS1", Share)
+	ls.Release(context.Background(), 0, "SYS1", Share)
 	if n := f.Metrics().Counter("cf.cmd.lock.obtain").Value(); n != 1 {
 		t.Fatalf("obtain count = %d", n)
 	}
@@ -139,9 +140,9 @@ func TestCommandMetrics(t *testing.T) {
 func TestAsync(t *testing.T) {
 	f := newCF(t)
 	ls, _ := f.AllocateLockStructure("L", 8)
-	ls.Connect("SYS1")
+	ls.Connect(context.Background(), "SYS1")
 	res := <-Async(func() error {
-		_, err := ls.Obtain(3, "SYS1", Exclusive)
+		_, err := ls.Obtain(context.Background(), 3, "SYS1", Exclusive)
 		return err
 	})
 	if res.Err != nil {

@@ -1,6 +1,7 @@
 package cf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -80,6 +81,13 @@ type Duplexed struct {
 	hFanout  *metrics.Histogram // cfrm.duplex.fanout, resolved once
 	cRetried *metrics.Counter   // cfrm.cmd.retried, resolved once
 
+	// opCounters holds the per-kind cfrm.op.* counter handles, all
+	// resolved at construction and indexed by opKind, so the metrics
+	// stage never hashes a string or takes the registry mutex.
+	opCounters [opKindCount]*metrics.Counter
+	// inject is the optional fault hook run by the inject stage.
+	inject atomic.Pointer[func(ctx context.Context, op *Op) error]
+
 	gen atomic.Uint64 // bumped (under mu) on every primary/secondary change
 
 	mu        sync.Mutex // lintlock: level=50
@@ -93,20 +101,6 @@ type Duplexed struct {
 
 // pairStripes is the number of command-ordering stripes per pair.
 const pairStripes = 64
-
-// cmdOrder classifies a duplexed command for ordering purposes.
-type cmdOrder int
-
-const (
-	// ordRead: primary-only read; concurrent with every other command.
-	ordRead cmdOrder = iota
-	// ordKeyed: mutating; ordered only against commands with the same
-	// key — per-key ordering is all replica convergence requires.
-	ordKeyed
-	// ordGlobal: mutating; ordered against everything on the structure
-	// (commands whose effect spans keys, e.g. Connect, list Move).
-	ordGlobal
-)
 
 // pair tracks one structure's replica handles and orders its commands.
 // Commands hold rw.RLock (plus, when mutating, the stripe for their
@@ -159,6 +153,9 @@ func NewDuplexed(clock vclock.Clock, reg *metrics.Registry, primary, secondary *
 		pairs:     make(map[string]*pair),
 	}
 	d.cond = sync.NewCond(&d.mu)
+	for k := opKind(0); k < opKindCount; k++ {
+		d.opCounters[k] = reg.Counter("cfrm.op." + opKindNames[k])
+	}
 	return d
 }
 
@@ -415,56 +412,6 @@ func (p *pair) handles() (pri, sec structure, err error) {
 	return h.pri, h.sec, nil
 }
 
-// run executes one structure command. apply is invoked against the
-// primary replica (primary=true; its results are the command's results)
-// and, for ordKeyed/ordGlobal commands, mirrored to the secondary. The
-// ord class decides what the command is serialized against (see
-// cmdOrder): reads share the pair's read lock, keyed mutations add the
-// stripe for their key so only same-key mutations are ordered, and
-// global mutations exclude everything. A primary ErrCFDown triggers
-// in-line failover and a transparent retry.
-func (d *Duplexed) run(name string, ord cmdOrder, key string, apply func(s structure, primary bool) error) error {
-	p := d.pair(name)
-	if p == nil {
-		return fmt.Errorf("%w: %q", ErrNoStructure, name)
-	}
-	if ord == ordGlobal {
-		p.rw.Lock()
-		defer p.rw.Unlock()
-	} else {
-		p.rw.RLock()
-		defer p.rw.RUnlock()
-		if ord == ordKeyed {
-			st := &p.stripes[pairStripeIdx(key)]
-			st.Lock()
-			defer st.Unlock()
-		}
-	}
-	for {
-		pri, sec, err := p.handles()
-		if err != nil {
-			return err
-		}
-		start := d.clock.Now()
-		err = apply(pri, true)
-		if errors.Is(err, ErrCFDown) {
-			if !d.failover(pri.fac()) {
-				return err
-			}
-			d.cRetried.Inc()
-			continue
-		}
-		if ord != ordRead && sec != nil {
-			serr := apply(sec, false)
-			if !sameOutcome(err, serr) {
-				d.breakDuplex(sec.fac())
-			}
-			d.hFanout.Observe(d.clock.Since(start))
-		}
-		return err
-	}
-}
-
 // sameOutcome reports whether primary and secondary completed a
 // mirrored command identically (both clean, or the same error).
 func sameOutcome(perr, serr error) bool {
@@ -688,18 +635,18 @@ func (l *DuplexedLock) HashResource(resource string) int {
 }
 
 // Connect attaches a connector to both replicas.
-func (l *DuplexedLock) Connect(conn string) error {
-	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
-		return s.(*LockStructure).Connect(conn)
+func (l *DuplexedLock) Connect(ctx context.Context, conn string) error {
+	return l.d.run(ctx, l.name, opLockConnect, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
+		return s.(*LockStructure).Connect(ctx, conn)
 	})
 }
 
 // Obtain records lock interest on both replicas; the primary's grant
 // decision is returned.
-func (l *DuplexedLock) Obtain(idx int, conn string, mode LockMode) (ObtainResult, error) {
+func (l *DuplexedLock) Obtain(ctx context.Context, idx int, conn string, mode LockMode) (ObtainResult, error) {
 	var out ObtainResult
-	err := l.d.run(l.name, ordKeyed, "e"+strconv.Itoa(idx), func(s structure, primary bool) error {
-		r, err := s.(*LockStructure).Obtain(idx, conn, mode)
+	err := l.d.run(ctx, l.name, opLockObtain, OpKeyed, "e"+strconv.Itoa(idx), func(ctx context.Context, s structure, primary bool) error {
+		r, err := s.(*LockStructure).Obtain(ctx, idx, conn, mode)
 		if primary {
 			out = r
 		}
@@ -709,16 +656,16 @@ func (l *DuplexedLock) Obtain(idx int, conn string, mode LockMode) (ObtainResult
 }
 
 // ForceObtain records interest unconditionally on both replicas.
-func (l *DuplexedLock) ForceObtain(idx int, conn string, mode LockMode) error {
-	return l.d.run(l.name, ordKeyed, "e"+strconv.Itoa(idx), func(s structure, primary bool) error {
-		return s.(*LockStructure).ForceObtain(idx, conn, mode)
+func (l *DuplexedLock) ForceObtain(ctx context.Context, idx int, conn string, mode LockMode) error {
+	return l.d.run(ctx, l.name, opLockForce, OpKeyed, "e"+strconv.Itoa(idx), func(ctx context.Context, s structure, primary bool) error {
+		return s.(*LockStructure).ForceObtain(ctx, idx, conn, mode)
 	})
 }
 
 // Release drops interest on both replicas.
-func (l *DuplexedLock) Release(idx int, conn string, mode LockMode) error {
-	return l.d.run(l.name, ordKeyed, "e"+strconv.Itoa(idx), func(s structure, primary bool) error {
-		return s.(*LockStructure).Release(idx, conn, mode)
+func (l *DuplexedLock) Release(ctx context.Context, idx int, conn string, mode LockMode) error {
+	return l.d.run(ctx, l.name, opLockRelease, OpKeyed, "e"+strconv.Itoa(idx), func(ctx context.Context, s structure, primary bool) error {
+		return s.(*LockStructure).Release(ctx, idx, conn, mode)
 	})
 }
 
@@ -732,24 +679,24 @@ func (l *DuplexedLock) Interest(idx int, conn string) (share, excl int, err erro
 }
 
 // SetRecord stores a persistent lock record on both replicas.
-func (l *DuplexedLock) SetRecord(conn, resource string, mode LockMode) error {
-	return l.d.run(l.name, ordKeyed, "r"+conn, func(s structure, primary bool) error {
-		return s.(*LockStructure).SetRecord(conn, resource, mode)
+func (l *DuplexedLock) SetRecord(ctx context.Context, conn, resource string, mode LockMode) error {
+	return l.d.run(ctx, l.name, opLockSetRecord, OpKeyed, "r"+conn, func(ctx context.Context, s structure, primary bool) error {
+		return s.(*LockStructure).SetRecord(ctx, conn, resource, mode)
 	})
 }
 
 // DeleteRecord removes a persistent lock record from both replicas.
-func (l *DuplexedLock) DeleteRecord(conn, resource string) error {
-	return l.d.run(l.name, ordKeyed, "r"+conn, func(s structure, primary bool) error {
-		return s.(*LockStructure).DeleteRecord(conn, resource)
+func (l *DuplexedLock) DeleteRecord(ctx context.Context, conn, resource string) error {
+	return l.d.run(ctx, l.name, opLockDelRecord, OpKeyed, "r"+conn, func(ctx context.Context, s structure, primary bool) error {
+		return s.(*LockStructure).DeleteRecord(ctx, conn, resource)
 	})
 }
 
 // Records reads conn's persistent lock records from the primary.
-func (l *DuplexedLock) Records(conn string) ([]LockRecord, error) {
+func (l *DuplexedLock) Records(ctx context.Context, conn string) ([]LockRecord, error) {
 	var out []LockRecord
-	err := l.d.run(l.name, ordRead, "", func(s structure, primary bool) error {
-		r, err := s.(*LockStructure).Records(conn)
+	err := l.d.run(ctx, l.name, opLockRecords, OpRead, "", func(ctx context.Context, s structure, primary bool) error {
+		r, err := s.(*LockStructure).Records(ctx, conn)
 		if primary {
 			out = r
 		}
@@ -759,10 +706,13 @@ func (l *DuplexedLock) Records(conn string) ([]LockRecord, error) {
 }
 
 // AdoptRetained installs retained records on both replicas.
+//
+// lintctx: recovery bookkeeping with no error path; it must complete
+// regardless of any caller's deadline, so it dispatches detached.
 func (l *DuplexedLock) AdoptRetained(conn string, recs []LockRecord) {
 	// The closure never fails; run's error only reflects replica loss,
 	// which the failover machinery already records.
-	_ = l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
+	_ = l.d.run(context.Background(), l.name, opLockAdoptRetained, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
 		s.(*LockStructure).AdoptRetained(conn, recs)
 		return nil
 	})
@@ -802,18 +752,18 @@ func (c *DuplexedCache) Name() string { return c.name }
 // Connect attaches a connector (and its validity vector) to both
 // replicas. The vector is shared: either replica's cross-invalidation
 // flips the same system-owned bits.
-func (c *DuplexedCache) Connect(conn string, vector *BitVector) error {
-	return c.d.run(c.name, ordGlobal, "", func(s structure, primary bool) error {
-		return s.(*CacheStructure).Connect(conn, vector)
+func (c *DuplexedCache) Connect(ctx context.Context, conn string, vector *BitVector) error {
+	return c.d.run(ctx, c.name, opCacheConnect, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
+		return s.(*CacheStructure).Connect(ctx, conn, vector)
 	})
 }
 
 // ReadAndRegister registers interest on both replicas (registration
 // mutates the directory) and returns the primary's data.
-func (c *DuplexedCache) ReadAndRegister(conn, name string, vecIdx int) (ReadResult, error) {
+func (c *DuplexedCache) ReadAndRegister(ctx context.Context, conn, name string, vecIdx int) (ReadResult, error) {
 	var out ReadResult
-	err := c.d.run(c.name, ordKeyed, "b"+name, func(s structure, primary bool) error {
-		r, err := s.(*CacheStructure).ReadAndRegister(conn, name, vecIdx)
+	err := c.d.run(ctx, c.name, opCacheRead, OpKeyed, "b"+name, func(ctx context.Context, s structure, primary bool) error {
+		r, err := s.(*CacheStructure).ReadAndRegister(ctx, conn, name, vecIdx)
 		if primary {
 			out = r
 		}
@@ -825,28 +775,28 @@ func (c *DuplexedCache) ReadAndRegister(conn, name string, vecIdx int) (ReadResu
 // WriteAndInvalidate stores the new block version on both replicas.
 // Cross-invalidation bits flip once per target either way, because the
 // replicas share the connectors' validity vectors.
-func (c *DuplexedCache) WriteAndInvalidate(conn, name string, data []byte, cache, changed bool, vecIdx int) error {
-	return c.d.run(c.name, ordKeyed, "b"+name, func(s structure, primary bool) error {
-		return s.(*CacheStructure).WriteAndInvalidate(conn, name, data, cache, changed, vecIdx)
+func (c *DuplexedCache) WriteAndInvalidate(ctx context.Context, conn, name string, data []byte, cache, changed bool, vecIdx int) error {
+	return c.d.run(ctx, c.name, opCacheWrite, OpKeyed, "b"+name, func(ctx context.Context, s structure, primary bool) error {
+		return s.(*CacheStructure).WriteAndInvalidate(ctx, conn, name, data, cache, changed, vecIdx)
 	})
 }
 
 // Unregister removes interest on both replicas.
-func (c *DuplexedCache) Unregister(conn, name string) error {
-	return c.d.run(c.name, ordKeyed, "b"+name, func(s structure, primary bool) error {
-		return s.(*CacheStructure).Unregister(conn, name)
+func (c *DuplexedCache) Unregister(ctx context.Context, conn, name string) error {
+	return c.d.run(ctx, c.name, opCacheUnregister, OpKeyed, "b"+name, func(ctx context.Context, s structure, primary bool) error {
+		return s.(*CacheStructure).Unregister(ctx, conn, name)
 	})
 }
 
 // CastoutBegin claims the castout lock on both replicas and returns the
 // primary's data and version.
-func (c *DuplexedCache) CastoutBegin(conn, name string) ([]byte, uint64, error) {
+func (c *DuplexedCache) CastoutBegin(ctx context.Context, conn, name string) ([]byte, uint64, error) {
 	var (
 		data []byte
 		ver  uint64
 	)
-	err := c.d.run(c.name, ordKeyed, "b"+name, func(s structure, primary bool) error {
-		d, v, err := s.(*CacheStructure).CastoutBegin(conn, name)
+	err := c.d.run(ctx, c.name, opCacheCastoutBegin, OpKeyed, "b"+name, func(ctx context.Context, s structure, primary bool) error {
+		d, v, err := s.(*CacheStructure).CastoutBegin(ctx, conn, name)
 		if primary {
 			data, ver = d, v
 		}
@@ -856,9 +806,9 @@ func (c *DuplexedCache) CastoutBegin(conn, name string) ([]byte, uint64, error) 
 }
 
 // CastoutEnd completes the castout on both replicas.
-func (c *DuplexedCache) CastoutEnd(conn, name string, version uint64) error {
-	return c.d.run(c.name, ordKeyed, "b"+name, func(s structure, primary bool) error {
-		return s.(*CacheStructure).CastoutEnd(conn, name, version)
+func (c *DuplexedCache) CastoutEnd(ctx context.Context, conn, name string, version uint64) error {
+	return c.d.run(ctx, c.name, opCacheCastoutEnd, OpKeyed, "b"+name, func(ctx context.Context, s structure, primary bool) error {
+		return s.(*CacheStructure).CastoutEnd(ctx, conn, name, version)
 	})
 }
 
@@ -919,23 +869,23 @@ func (l *DuplexedList) Lists() int {
 
 // Connect attaches a connector (and its notification vector, shared by
 // both replicas) to the pair.
-func (l *DuplexedList) Connect(conn string, vector *BitVector) error {
-	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
-		return s.(*ListStructure).Connect(conn, vector)
+func (l *DuplexedList) Connect(ctx context.Context, conn string, vector *BitVector) error {
+	return l.d.run(ctx, l.name, opListConnect, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
+		return s.(*ListStructure).Connect(ctx, conn, vector)
 	})
 }
 
 // SetLock acquires a lock entry on both replicas.
-func (l *DuplexedList) SetLock(idx int, conn string) error {
-	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
-		return s.(*ListStructure).SetLock(idx, conn)
+func (l *DuplexedList) SetLock(ctx context.Context, idx int, conn string) error {
+	return l.d.run(ctx, l.name, opListSetLock, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
+		return s.(*ListStructure).SetLock(ctx, idx, conn)
 	})
 }
 
 // ReleaseLock releases a lock entry on both replicas.
-func (l *DuplexedList) ReleaseLock(idx int, conn string) error {
-	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
-		return s.(*ListStructure).ReleaseLock(idx, conn)
+func (l *DuplexedList) ReleaseLock(ctx context.Context, idx int, conn string) error {
+	return l.d.run(ctx, l.name, opListReleaseLock, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
+		return s.(*ListStructure).ReleaseLock(ctx, idx, conn)
 	})
 }
 
@@ -948,17 +898,17 @@ func (l *DuplexedList) LockHolder(idx int) string {
 }
 
 // Write creates or updates an entry on both replicas.
-func (l *DuplexedList) Write(conn string, list int, id, key string, data []byte, order Order, cond Cond) error {
-	return l.d.run(l.name, ordKeyed, "l"+strconv.Itoa(list), func(s structure, primary bool) error {
-		return s.(*ListStructure).Write(conn, list, id, key, data, order, cond)
+func (l *DuplexedList) Write(ctx context.Context, conn string, list int, id, key string, data []byte, order Order, cond Cond) error {
+	return l.d.run(ctx, l.name, opListWrite, OpKeyed, "l"+strconv.Itoa(list), func(ctx context.Context, s structure, primary bool) error {
+		return s.(*ListStructure).Write(ctx, conn, list, id, key, data, order, cond)
 	})
 }
 
 // Read returns a copy of an entry from the primary.
-func (l *DuplexedList) Read(conn, id string, cond Cond) (ListEntry, error) {
+func (l *DuplexedList) Read(ctx context.Context, conn, id string, cond Cond) (ListEntry, error) {
 	var out ListEntry
-	err := l.d.run(l.name, ordRead, "", func(s structure, primary bool) error {
-		e, err := s.(*ListStructure).Read(conn, id, cond)
+	err := l.d.run(ctx, l.name, opListRead, OpRead, "", func(ctx context.Context, s structure, primary bool) error {
+		e, err := s.(*ListStructure).Read(ctx, conn, id, cond)
 		if primary {
 			out = e
 		}
@@ -968,10 +918,10 @@ func (l *DuplexedList) Read(conn, id string, cond Cond) (ListEntry, error) {
 }
 
 // ReadFirst returns the head entry of a list from the primary.
-func (l *DuplexedList) ReadFirst(conn string, list int, cond Cond) (ListEntry, error) {
+func (l *DuplexedList) ReadFirst(ctx context.Context, conn string, list int, cond Cond) (ListEntry, error) {
 	var out ListEntry
-	err := l.d.run(l.name, ordRead, "", func(s structure, primary bool) error {
-		e, err := s.(*ListStructure).ReadFirst(conn, list, cond)
+	err := l.d.run(ctx, l.name, opListReadFirst, OpRead, "", func(ctx context.Context, s structure, primary bool) error {
+		e, err := s.(*ListStructure).ReadFirst(ctx, conn, list, cond)
 		if primary {
 			out = e
 		}
@@ -982,10 +932,10 @@ func (l *DuplexedList) ReadFirst(conn string, list int, cond Cond) (ListEntry, e
 
 // Pop removes and returns the head entry on both replicas; the
 // primary's entry is returned.
-func (l *DuplexedList) Pop(conn string, list int, cond Cond) (ListEntry, error) {
+func (l *DuplexedList) Pop(ctx context.Context, conn string, list int, cond Cond) (ListEntry, error) {
 	var out ListEntry
-	err := l.d.run(l.name, ordKeyed, "l"+strconv.Itoa(list), func(s structure, primary bool) error {
-		e, err := s.(*ListStructure).Pop(conn, list, cond)
+	err := l.d.run(ctx, l.name, opListPop, OpKeyed, "l"+strconv.Itoa(list), func(ctx context.Context, s structure, primary bool) error {
+		e, err := s.(*ListStructure).Pop(ctx, conn, list, cond)
 		if primary {
 			out = e
 		}
@@ -995,25 +945,25 @@ func (l *DuplexedList) Pop(conn string, list int, cond Cond) (ListEntry, error) 
 }
 
 // Delete removes an entry from both replicas.
-func (l *DuplexedList) Delete(conn, id string, cond Cond) error {
-	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
-		return s.(*ListStructure).Delete(conn, id, cond)
+func (l *DuplexedList) Delete(ctx context.Context, conn, id string, cond Cond) error {
+	return l.d.run(ctx, l.name, opListDelete, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
+		return s.(*ListStructure).Delete(ctx, conn, id, cond)
 	})
 }
 
 // Move moves an entry between lists on both replicas.
-func (l *DuplexedList) Move(conn, id string, toList int, order Order, cond Cond) error {
-	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
-		return s.(*ListStructure).Move(conn, id, toList, order, cond)
+func (l *DuplexedList) Move(ctx context.Context, conn, id string, toList int, order Order, cond Cond) error {
+	return l.d.run(ctx, l.name, opListMove, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
+		return s.(*ListStructure).Move(ctx, conn, id, toList, order, cond)
 	})
 }
 
 // SetAdjunct updates an entry's adjunct area on both replicas.
-func (l *DuplexedList) SetAdjunct(conn, id, adjunct string, cond Cond) error {
+func (l *DuplexedList) SetAdjunct(ctx context.Context, conn, id, adjunct string, cond Cond) error {
 	// Global, not keyed by id: keyed by the entry alone it could order
 	// differently than a Pop of the entry's list on the two replicas.
-	return l.d.run(l.name, ordGlobal, "", func(s structure, primary bool) error {
-		return s.(*ListStructure).SetAdjunct(conn, id, adjunct, cond)
+	return l.d.run(ctx, l.name, opListSetAdjunct, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
+		return s.(*ListStructure).SetAdjunct(ctx, conn, id, adjunct, cond)
 	})
 }
 
@@ -1044,17 +994,21 @@ func (l *DuplexedList) TotalEntries() int {
 // Monitor registers list-transition monitoring on both replicas (the
 // shared notification vector means the bit flips once per transition on
 // whichever replica signals first — signals are idempotent bit sets).
-func (l *DuplexedList) Monitor(conn string, list int, vecIdx int) error {
-	return l.d.run(l.name, ordKeyed, "l"+strconv.Itoa(list), func(s structure, primary bool) error {
-		return s.(*ListStructure).Monitor(conn, list, vecIdx)
+func (l *DuplexedList) Monitor(ctx context.Context, conn string, list int, vecIdx int) error {
+	return l.d.run(ctx, l.name, opListMonitor, OpKeyed, "l"+strconv.Itoa(list), func(ctx context.Context, s structure, primary bool) error {
+		return s.(*ListStructure).Monitor(ctx, conn, list, vecIdx)
 	})
 }
 
 // Unmonitor removes monitoring from both replicas.
+//
+// lintctx: disconnect-side bookkeeping with no error path; it must
+// complete regardless of any caller's deadline, so it dispatches
+// detached.
 func (l *DuplexedList) Unmonitor(conn string, list int) {
 	// The closure never fails; run's error only reflects replica loss,
 	// which the failover machinery already records.
-	_ = l.d.run(l.name, ordKeyed, "l"+strconv.Itoa(list), func(s structure, primary bool) error {
+	_ = l.d.run(context.Background(), l.name, opListUnmonitor, OpKeyed, "l"+strconv.Itoa(list), func(ctx context.Context, s structure, primary bool) error {
 		s.(*ListStructure).Unmonitor(conn, list)
 		return nil
 	})

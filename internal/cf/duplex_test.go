@@ -1,6 +1,7 @@
 package cf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -20,14 +21,14 @@ func TestDuplexedMirrorsLockCommands(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1"); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ls.Obtain(7, "SYS1", Exclusive)
+	res, err := ls.Obtain(context.Background(), 7, "SYS1", Exclusive)
 	if err != nil || !res.Granted {
 		t.Fatalf("Obtain = %+v, %v", res, err)
 	}
-	if err := ls.SetRecord("SYS1", "ACCT/k1", Exclusive); err != nil {
+	if err := ls.SetRecord(context.Background(), "SYS1", "ACCT/k1", Exclusive); err != nil {
 		t.Fatal(err)
 	}
 	// Both replicas must hold identical interest and records.
@@ -37,7 +38,7 @@ func TestDuplexedMirrorsLockCommands(t *testing.T) {
 		if err != nil || excl != 1 {
 			t.Fatalf("%s: excl interest = %d, %v", f.Name(), excl, err)
 		}
-		recs, err := raw.Records("SYS1")
+		recs, err := raw.Records(context.Background(), "SYS1")
 		if err != nil || len(recs) != 1 || recs[0].Resource != "ACCT/k1" {
 			t.Fatalf("%s: records = %+v, %v", f.Name(), recs, err)
 		}
@@ -50,14 +51,14 @@ func TestDuplexedReadsPrimaryOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1", nil); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Write("SYS1", 0, "j1", "", []byte("x"), FIFO, Cond{}); err != nil {
+	if err := ls.Write(context.Background(), "SYS1", 0, "j1", "", []byte("x"), FIFO, Cond{}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := ls.ReadFirst("SYS1", 0, Cond{}); err != nil {
+		if _, err := ls.ReadFirst(context.Background(), "SYS1", 0, Cond{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -86,10 +87,10 @@ func TestDuplexedInlineFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	vec := NewBitVector(64)
-	if err := cs.Connect("SYS1", vec); err != nil {
+	if err := cs.Connect(context.Background(), "SYS1", vec); err != nil {
 		t.Fatal(err)
 	}
-	if err := cs.WriteAndInvalidate("SYS1", "P1", []byte("v1"), true, true, 0); err != nil {
+	if err := cs.WriteAndInvalidate(context.Background(), "SYS1", "P1", []byte("v1"), true, true, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -97,7 +98,7 @@ func TestDuplexedInlineFailover(t *testing.T) {
 
 	// The next command must succeed transparently via the promoted
 	// secondary, with the committed write intact.
-	r, err := cs.ReadAndRegister("SYS1", "P1", 0)
+	r, err := cs.ReadAndRegister(context.Background(), "SYS1", "P1", 0)
 	if err != nil {
 		t.Fatalf("command after primary failure: %v", err)
 	}
@@ -130,11 +131,11 @@ func TestDuplexedFailoverWithoutSecondarySurfacesError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1"); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 		t.Fatal(err)
 	}
 	pri.Fail()
-	if _, err := ls.Obtain(0, "SYS1", Share); !errors.Is(err, ErrCFDown) {
+	if _, err := ls.Obtain(context.Background(), 0, "SYS1", Share); !errors.Is(err, ErrCFDown) {
 		t.Fatalf("err = %v, want ErrCFDown", err)
 	}
 }
@@ -145,13 +146,13 @@ func TestDuplexedSecondaryFailureBreaksDuplex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1"); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 		t.Fatal(err)
 	}
 	sec.Fail()
 	// The mutation succeeds on the primary; the dead secondary is
 	// dropped, not surfaced to the caller.
-	if _, err := ls.Obtain(1, "SYS1", Exclusive); err != nil {
+	if _, err := ls.Obtain(context.Background(), 1, "SYS1", Exclusive); err != nil {
 		t.Fatalf("Obtain with dead secondary: %v", err)
 	}
 	if d.Secondary() != nil {
@@ -171,20 +172,20 @@ func TestDuplexedDivergenceBreaksDuplex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1", nil); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Write("SYS1", 0, "e1", "", nil, FIFO, Cond{}); err != nil {
+	if err := ls.Write(context.Background(), "SYS1", 0, "e1", "", nil, FIFO, Cond{}); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt the secondary replica out-of-band so the next mirrored
 	// command produces a different outcome there.
 	raw := sec.structureByName("Q").(*ListStructure)
-	if err := raw.Delete("SYS1", "e1", Cond{}); err != nil {
+	if err := raw.Delete(context.Background(), "SYS1", "e1", Cond{}); err != nil {
 		t.Fatal(err)
 	}
 	// Primary deletes cleanly; secondary reports not-found: divergence.
-	if err := ls.Delete("SYS1", "e1", Cond{}); err != nil {
+	if err := ls.Delete(context.Background(), "SYS1", "e1", Cond{}); err != nil {
 		t.Fatalf("primary outcome must win: %v", err)
 	}
 	if d.Secondary() != nil {
@@ -199,15 +200,15 @@ func TestDuplexedReduplexCopiesStateAndMirrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	vec := NewBitVector(64)
-	if err := cs.Connect("SYS1", vec); err != nil {
+	if err := cs.Connect(context.Background(), "SYS1", vec); err != nil {
 		t.Fatal(err)
 	}
-	if err := cs.WriteAndInvalidate("SYS1", "P1", []byte("v1"), true, true, 0); err != nil {
+	if err := cs.WriteAndInvalidate(context.Background(), "SYS1", "P1", []byte("v1"), true, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	pri.Fail()
 	// The next command trips in-line failover to CF02; now simplex.
-	if _, err := cs.ReadAndRegister("SYS1", "P1", 0); err != nil {
+	if _, err := cs.ReadAndRegister(context.Background(), "SYS1", "P1", 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -224,7 +225,7 @@ func TestDuplexedReduplexCopiesStateAndMirrors(t *testing.T) {
 	}
 	// Copied state is live: a mutation mirrors into CF03 and the copied
 	// block is there.
-	if err := cs.WriteAndInvalidate("SYS1", "P2", []byte("v2"), true, true, 1); err != nil {
+	if err := cs.WriteAndInvalidate(context.Background(), "SYS1", "P2", []byte("v2"), true, true, 1); err != nil {
 		t.Fatal(err)
 	}
 	raw := third.structureByName("GBP0").(*CacheStructure)
@@ -261,7 +262,7 @@ func TestDuplexedReduplexAllOrNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1"); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 		t.Fatal(err)
 	}
 	if tinyLS := tiny.structureByName("IRLM"); tinyLS != nil {
@@ -284,7 +285,7 @@ func TestDuplexedSwitchPrimary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1"); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 		t.Fatal(err)
 	}
 	old, err := d.SwitchPrimary()
@@ -295,7 +296,7 @@ func TestDuplexedSwitchPrimary(t *testing.T) {
 		t.Fatal("roles not switched")
 	}
 	// Service continues on the promoted facility.
-	if _, err := ls.Obtain(0, "SYS1", Share); err != nil {
+	if _, err := ls.Obtain(context.Background(), 0, "SYS1", Share); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := d.SwitchPrimary(); err == nil {
@@ -309,13 +310,13 @@ func TestDuplexedFailAfterInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1"); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 		t.Fatal(err)
 	}
 	pri.FailAfter(3)
 	// The failure trips mid-stream; every command still succeeds.
 	for i := 0; i < 10; i++ {
-		if _, err := ls.Obtain(i%8, "SYS1", Share); err != nil {
+		if _, err := ls.Obtain(context.Background(), i%8, "SYS1", Share); err != nil {
 			t.Fatalf("op %d: %v", i, err)
 		}
 	}
@@ -335,7 +336,7 @@ func TestDuplexedConcurrentCommandsAcrossFailover(t *testing.T) {
 	}
 	const workers = 8
 	for w := 0; w < workers; w++ {
-		if err := ls.Connect(fmt.Sprintf("SYS%d", w)); err != nil {
+		if err := ls.Connect(context.Background(), fmt.Sprintf("SYS%d", w)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -351,11 +352,11 @@ func TestDuplexedConcurrentCommandsAcrossFailover(t *testing.T) {
 			conn := fmt.Sprintf("SYS%d", w)
 			for i := 0; i < 300; i++ {
 				idx := (w*37 + i) % 256
-				if _, err := ls.Obtain(idx, conn, Exclusive); err != nil {
+				if _, err := ls.Obtain(context.Background(), idx, conn, Exclusive); err != nil {
 					errs <- fmt.Errorf("%s op %d: %w", conn, i, err)
 					return
 				}
-				if err := ls.Release(idx, conn, Exclusive); err != nil {
+				if err := ls.Release(context.Background(), idx, conn, Exclusive); err != nil {
 					errs <- fmt.Errorf("%s release %d: %w", conn, i, err)
 					return
 				}
@@ -391,15 +392,15 @@ func TestCloneFromBrokenFacilityDropsStaleSerialization(t *testing.T) {
 	}
 	ls := src.structureByName("LOG").(*ListStructure)
 	for _, c := range []string{"SYS1", "SYS2"} {
-		if err := ls.Connect(c, NewBitVector(8)); err != nil {
+		if err := ls.Connect(context.Background(), c, NewBitVector(8)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := ls.Write("SYS1", 0, "e1", "", []byte("rec"), FIFO, Cond{}); err != nil {
+	if err := ls.Write(context.Background(), "SYS1", 0, "e1", "", []byte("rec"), FIFO, Cond{}); err != nil {
 		t.Fatal(err)
 	}
 	// SYS2's offload pass is mid-flight when the CF dies.
-	if err := ls.SetLock(0, "SYS2"); err != nil {
+	if err := ls.SetLock(context.Background(), 0, "SYS2"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -408,15 +409,15 @@ func TestCloneFromBrokenFacilityDropsStaleSerialization(t *testing.T) {
 	}
 	cs := src.structureByName("GBP").(*CacheStructure)
 	for _, c := range []string{"SYS1", "SYS2"} {
-		if err := cs.Connect(c, NewBitVector(16)); err != nil {
+		if err := cs.Connect(context.Background(), c, NewBitVector(16)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := cs.WriteAndInvalidate("SYS1", "P1", []byte("v1"), true, true, 0); err != nil {
+	if err := cs.WriteAndInvalidate(context.Background(), "SYS1", "P1", []byte("v1"), true, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	// SYS2's castout is mid-flight when the CF dies.
-	if _, _, err := cs.CastoutBegin("SYS2", "P1"); err != nil {
+	if _, _, err := cs.CastoutBegin(context.Background(), "SYS2", "P1"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -434,7 +435,7 @@ func TestCloneFromBrokenFacilityDropsStaleSerialization(t *testing.T) {
 	// A conditional mainline write — the logr interim append — must pass
 	// against the rebuilt image instead of spinning on ErrLockHeld.
 	cond := Cond{Use: true, LockIndex: 0}
-	if err := nls.Write("SYS1", 0, "e2", "", []byte("rec2"), FIFO, cond); err != nil {
+	if err := nls.Write(context.Background(), "SYS1", 0, "e2", "", []byte("rec2"), FIFO, cond); err != nil {
 		t.Fatalf("conditional write against rebuilt image: %v", err)
 	}
 	if got := nls.Len(0); got != 2 {
@@ -449,7 +450,7 @@ func TestCloneFromBrokenFacilityDropsStaleSerialization(t *testing.T) {
 	if blocks := ncs.ChangedBlocks(); len(blocks) != 1 || blocks[0] != "P1" {
 		t.Fatalf("rebuilt changed blocks = %v, want [P1]", blocks)
 	}
-	if _, _, err := ncs.CastoutBegin("SYS1", "P1"); err != nil {
+	if _, _, err := ncs.CastoutBegin(context.Background(), "SYS1", "P1"); err != nil {
 		t.Fatalf("castout against rebuilt image: %v", err)
 	}
 

@@ -1,6 +1,8 @@
 package cf
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"sync"
@@ -242,8 +244,8 @@ func (s *ListStructure) Lists() int { return len(s.lists) }
 
 // Connect attaches a connector with its notification vector (may be
 // nil if the connector never monitors lists).
-func (s *ListStructure) Connect(conn string, vector *BitVector) error {
-	if _, err := s.facility.begin(); err != nil {
+func (s *ListStructure) Connect(ctx context.Context, conn string, vector *BitVector) error {
+	if _, err := s.facility.begin(ctx); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -288,8 +290,8 @@ func (s *ListStructure) purgeConnLocked(conn string) {
 // if another connector holds it. Taking the entry's write lock waits
 // out every in-flight conditional command, preserving the quiesce
 // semantics of the serialized-list protocol.
-func (s *ListStructure) SetLock(idx int, conn string) error {
-	start, err := s.facility.begin()
+func (s *ListStructure) SetLock(ctx context.Context, idx int, conn string) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}
@@ -313,8 +315,8 @@ func (s *ListStructure) SetLock(idx int, conn string) error {
 }
 
 // ReleaseLock releases lock entry idx if held by conn.
-func (s *ListStructure) ReleaseLock(idx int, conn string) error {
-	start, err := s.facility.begin()
+func (s *ListStructure) ReleaseLock(ctx context.Context, idx int, conn string) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}
@@ -348,8 +350,8 @@ func (s *ListStructure) LockHolder(idx int) string {
 
 // Write creates or updates entry id on the given list. Creation onto an
 // empty list fires the list-transition signal to registered monitors.
-func (s *ListStructure) Write(conn string, list int, id, key string, data []byte, order Order, cond Cond) error {
-	start, err := s.facility.begin()
+func (s *ListStructure) Write(ctx context.Context, conn string, list int, id, key string, data []byte, order Order, cond Cond) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}
@@ -390,8 +392,8 @@ func (s *ListStructure) Write(conn string, list int, id, key string, data []byte
 }
 
 // Read returns a copy of entry id.
-func (s *ListStructure) Read(conn, id string, cond Cond) (ListEntry, error) {
-	start, err := s.facility.begin()
+func (s *ListStructure) Read(ctx context.Context, conn, id string, cond Cond) (ListEntry, error) {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return ListEntry{}, err
 	}
@@ -417,8 +419,8 @@ func (s *ListStructure) Read(conn, id string, cond Cond) (ListEntry, error) {
 }
 
 // ReadFirst returns (without removing) the head entry of a list.
-func (s *ListStructure) ReadFirst(conn string, list int, cond Cond) (ListEntry, error) {
-	start, err := s.facility.begin()
+func (s *ListStructure) ReadFirst(ctx context.Context, conn string, list int, cond Cond) (ListEntry, error) {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return ListEntry{}, err
 	}
@@ -448,8 +450,8 @@ func (s *ListStructure) ReadFirst(conn string, list int, cond Cond) (ListEntry, 
 
 // Pop atomically removes and returns the head entry of a list —
 // multi-system queue consumption without explicit serialization.
-func (s *ListStructure) Pop(conn string, list int, cond Cond) (ListEntry, error) {
-	start, err := s.facility.begin()
+func (s *ListStructure) Pop(ctx context.Context, conn string, list int, cond Cond) (ListEntry, error) {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return ListEntry{}, err
 	}
@@ -483,8 +485,8 @@ func (s *ListStructure) Pop(conn string, list int, cond Cond) (ListEntry, error)
 // Delete removes entry id. The target list is discovered through the
 // entry, so an optimistic loop re-locks in hierarchy order (list before
 // shard) and retries if the entry moved in the window.
-func (s *ListStructure) Delete(conn, id string, cond Cond) error {
-	start, err := s.facility.begin()
+func (s *ListStructure) Delete(ctx context.Context, conn, id string, cond Cond) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}
@@ -529,8 +531,8 @@ func (s *ListStructure) Delete(conn, id string, cond Cond) error {
 
 // Move atomically moves entry id to another list, with no window in
 // which the entry is absent from both lists or present on both.
-func (s *ListStructure) Move(conn, id string, toList int, order Order, cond Cond) error {
-	start, err := s.facility.begin()
+func (s *ListStructure) Move(ctx context.Context, conn, id string, toList int, order Order, cond Cond) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}
@@ -592,8 +594,8 @@ func (s *ListStructure) Move(conn, id string, toList int, order Order, cond Cond
 
 // SetAdjunct updates an entry's adjunct area in place (atomically, like
 // every list command).
-func (s *ListStructure) SetAdjunct(conn, id, adjunct string, cond Cond) error {
-	start, err := s.facility.begin()
+func (s *ListStructure) SetAdjunct(ctx context.Context, conn, id, adjunct string, cond Cond) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}
@@ -660,8 +662,8 @@ func (s *ListStructure) TotalEntries() int {
 // Monitor registers conn's interest in empty→non-empty transitions of
 // a list; the CF will set bit vecIdx in the connector's notification
 // vector. If the list is already non-empty the bit is set immediately.
-func (s *ListStructure) Monitor(conn string, list int, vecIdx int) error {
-	start, err := s.facility.begin()
+func (s *ListStructure) Monitor(ctx context.Context, conn string, list int, vecIdx int) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package cf
 
 import (
+	"context"
+
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -205,8 +207,8 @@ func (s *LockStructure) Name() string { return s.name }
 func (s *LockStructure) Entries() int { return len(s.entries) }
 
 // Connect attaches a connector (a system's lock manager instance).
-func (s *LockStructure) Connect(conn string) error {
-	if _, err := s.facility.begin(); err != nil {
+func (s *LockStructure) Connect(ctx context.Context, conn string) error {
+	if _, err := s.facility.begin(ctx); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -263,8 +265,8 @@ func (s *LockStructure) HashResource(resource string) int {
 // conn. In the compatible case the request is granted synchronously;
 // otherwise the connectors holding incompatible interest are returned
 // for selective negotiation.
-func (s *LockStructure) Obtain(idx int, conn string, mode LockMode) (ObtainResult, error) {
-	start, err := s.facility.begin()
+func (s *LockStructure) Obtain(ctx context.Context, idx int, conn string, mode LockMode) (ObtainResult, error) {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return ObtainResult{}, err
 	}
@@ -322,8 +324,8 @@ func (s *LockStructure) Obtain(idx int, conn string, mode LockMode) (ObtainResul
 // (different resources hashing to the same entry) or after the holder
 // granted compatibility at the resource level; from then on the entry
 // is software-managed, exactly the exception path §3.3.1 describes.
-func (s *LockStructure) ForceObtain(idx int, conn string, mode LockMode) error {
-	start, err := s.facility.begin()
+func (s *LockStructure) ForceObtain(ctx context.Context, idx int, conn string, mode LockMode) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}
@@ -361,8 +363,8 @@ func (s *LockStructure) ForceObtain(idx int, conn string, mode LockMode) error {
 }
 
 // Release drops one unit of interest of the given mode for conn.
-func (s *LockStructure) Release(idx int, conn string, mode LockMode) error {
-	start, err := s.facility.begin()
+func (s *LockStructure) Release(ctx context.Context, idx int, conn string, mode LockMode) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}
@@ -423,8 +425,8 @@ func (s *LockStructure) Interest(idx int, conn string) (share, excl int, err err
 // SetRecord stores a persistent lock record for conn (recording of
 // persistent lock information "to enable fast lock recovery in the
 // event of an MVS system failure while holding lock resources").
-func (s *LockStructure) SetRecord(conn, resource string, mode LockMode) error {
-	start, err := s.facility.begin()
+func (s *LockStructure) SetRecord(ctx context.Context, conn, resource string, mode LockMode) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}
@@ -447,8 +449,8 @@ func (s *LockStructure) SetRecord(conn, resource string, mode LockMode) error {
 
 // DeleteRecord removes a persistent lock record (lock released, or
 // recovery for that resource complete).
-func (s *LockStructure) DeleteRecord(conn, resource string) error {
-	start, err := s.facility.begin()
+func (s *LockStructure) DeleteRecord(ctx context.Context, conn, resource string) error {
+	start, err := s.facility.begin(ctx)
 	if err != nil {
 		return err
 	}
@@ -469,8 +471,8 @@ func (s *LockStructure) DeleteRecord(conn, resource string) error {
 // Records returns the persistent lock records for conn (a peer reads a
 // failed connector's records to perform lock recovery), sorted by
 // resource.
-func (s *LockStructure) Records(conn string) ([]LockRecord, error) {
-	if _, err := s.facility.begin(); err != nil {
+func (s *LockStructure) Records(ctx context.Context, conn string) ([]LockRecord, error) {
+	if _, err := s.facility.begin(ctx); err != nil {
 		return nil, err
 	}
 	s.mu.RLock()

@@ -1,6 +1,7 @@
 package cf
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -16,7 +17,7 @@ func newLockStruct(t *testing.T, entries int) (*Facility, Lock) {
 		t.Fatal(err)
 	}
 	for _, c := range []string{"SYS1", "SYS2", "SYS3"} {
-		if err := ls.Connect(c); err != nil {
+		if err := ls.Connect(context.Background(), c); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -25,11 +26,11 @@ func newLockStruct(t *testing.T, entries int) (*Facility, Lock) {
 
 func TestObtainShareCompatible(t *testing.T) {
 	_, ls := newLockStruct(t, 16)
-	r1, err := ls.Obtain(5, "SYS1", Share)
+	r1, err := ls.Obtain(context.Background(), 5, "SYS1", Share)
 	if err != nil || !r1.Granted {
 		t.Fatalf("r1 = %+v err=%v", r1, err)
 	}
-	r2, err := ls.Obtain(5, "SYS2", Share)
+	r2, err := ls.Obtain(context.Background(), 5, "SYS2", Share)
 	if err != nil || !r2.Granted {
 		t.Fatalf("share+share should grant: %+v err=%v", r2, err)
 	}
@@ -37,11 +38,11 @@ func TestObtainShareCompatible(t *testing.T) {
 
 func TestObtainExclusiveConflicts(t *testing.T) {
 	_, ls := newLockStruct(t, 16)
-	if r, _ := ls.Obtain(5, "SYS1", Exclusive); !r.Granted {
+	if r, _ := ls.Obtain(context.Background(), 5, "SYS1", Exclusive); !r.Granted {
 		t.Fatal("first exclusive should grant")
 	}
 	// Exclusive vs exclusive: contention names the holder.
-	r, err := ls.Obtain(5, "SYS2", Exclusive)
+	r, err := ls.Obtain(context.Background(), 5, "SYS2", Exclusive)
 	if err != nil || r.Granted {
 		t.Fatalf("r = %+v err=%v", r, err)
 	}
@@ -49,25 +50,25 @@ func TestObtainExclusiveConflicts(t *testing.T) {
 		t.Fatalf("holders = %v", r.Holders)
 	}
 	// Share vs exclusive: contention.
-	r, _ = ls.Obtain(5, "SYS2", Share)
+	r, _ = ls.Obtain(context.Background(), 5, "SYS2", Share)
 	if r.Granted || len(r.Holders) != 1 || r.Holders[0] != "SYS1" {
 		t.Fatalf("share r = %+v", r)
 	}
 	// Same connector re-obtains freely (different resources on the same
 	// entry from one system are locally serialized).
-	if r, _ := ls.Obtain(5, "SYS1", Exclusive); !r.Granted {
+	if r, _ := ls.Obtain(context.Background(), 5, "SYS1", Exclusive); !r.Granted {
 		t.Fatal("holder re-obtain should grant")
 	}
-	if r, _ := ls.Obtain(5, "SYS1", Share); !r.Granted {
+	if r, _ := ls.Obtain(context.Background(), 5, "SYS1", Share); !r.Granted {
 		t.Fatal("holder share should grant")
 	}
 }
 
 func TestExclusiveBlockedByOtherShare(t *testing.T) {
 	_, ls := newLockStruct(t, 16)
-	ls.Obtain(2, "SYS1", Share)
-	ls.Obtain(2, "SYS3", Share)
-	r, _ := ls.Obtain(2, "SYS2", Exclusive)
+	ls.Obtain(context.Background(), 2, "SYS1", Share)
+	ls.Obtain(context.Background(), 2, "SYS3", Share)
+	r, _ := ls.Obtain(context.Background(), 2, "SYS2", Exclusive)
 	if r.Granted {
 		t.Fatal("exclusive should conflict with other shares")
 	}
@@ -78,37 +79,37 @@ func TestExclusiveBlockedByOtherShare(t *testing.T) {
 
 func TestReleaseRestoresGrantability(t *testing.T) {
 	_, ls := newLockStruct(t, 16)
-	ls.Obtain(7, "SYS1", Exclusive)
-	ls.Obtain(7, "SYS1", Exclusive) // two resources on the entry
-	if err := ls.Release(7, "SYS1", Exclusive); err != nil {
+	ls.Obtain(context.Background(), 7, "SYS1", Exclusive)
+	ls.Obtain(context.Background(), 7, "SYS1", Exclusive) // two resources on the entry
+	if err := ls.Release(context.Background(), 7, "SYS1", Exclusive); err != nil {
 		t.Fatal(err)
 	}
 	// One exclusive interest remains.
-	if r, _ := ls.Obtain(7, "SYS2", Share); r.Granted {
+	if r, _ := ls.Obtain(context.Background(), 7, "SYS2", Share); r.Granted {
 		t.Fatal("still exclusive, share must conflict")
 	}
-	ls.Release(7, "SYS1", Exclusive)
-	if r, _ := ls.Obtain(7, "SYS2", Share); !r.Granted {
+	ls.Release(context.Background(), 7, "SYS1", Exclusive)
+	if r, _ := ls.Obtain(context.Background(), 7, "SYS2", Share); !r.Granted {
 		t.Fatal("entry free, share must grant")
 	}
 }
 
 func TestForceObtainAfterNegotiation(t *testing.T) {
 	_, ls := newLockStruct(t, 16)
-	ls.Obtain(4, "SYS1", Exclusive)
-	r, _ := ls.Obtain(4, "SYS2", Exclusive)
+	ls.Obtain(context.Background(), 4, "SYS1", Exclusive)
+	r, _ := ls.Obtain(context.Background(), 4, "SYS2", Exclusive)
 	if r.Granted {
 		t.Fatal("expected contention")
 	}
 	// Software negotiation found the conflict false (different resources
 	// hash to entry 4): the requester force-obtains.
-	if err := ls.ForceObtain(4, "SYS2", Exclusive); err != nil {
+	if err := ls.ForceObtain(context.Background(), 4, "SYS2", Exclusive); err != nil {
 		t.Fatal(err)
 	}
 	// Both releases must leave the entry clean.
-	ls.Release(4, "SYS1", Exclusive)
-	ls.Release(4, "SYS2", Exclusive)
-	if r, _ := ls.Obtain(4, "SYS3", Exclusive); !r.Granted {
+	ls.Release(context.Background(), 4, "SYS1", Exclusive)
+	ls.Release(context.Background(), 4, "SYS2", Exclusive)
+	if r, _ := ls.Obtain(context.Background(), 4, "SYS3", Exclusive); !r.Granted {
 		t.Fatal("entry not clean after force-obtain releases")
 	}
 }
@@ -134,17 +135,17 @@ func TestHashResourceStableAndInRange(t *testing.T) {
 
 func TestPersistentRecordsAndRetention(t *testing.T) {
 	f, ls := newLockStruct(t, 16)
-	if err := ls.SetRecord("SYS1", "DB.T1.ROW5", Exclusive); err != nil {
+	if err := ls.SetRecord(context.Background(), "SYS1", "DB.T1.ROW5", Exclusive); err != nil {
 		t.Fatal(err)
 	}
-	ls.SetRecord("SYS1", "DB.T1.ROW9", Share)
-	ls.Obtain(1, "SYS1", Exclusive)
+	ls.SetRecord(context.Background(), "SYS1", "DB.T1.ROW9", Share)
+	ls.Obtain(context.Background(), 1, "SYS1", Exclusive)
 
 	// Abnormal termination of SYS1.
 	f.FailConnector("SYS1")
 
 	// Entry interest is gone: others can lock immediately...
-	if r, _ := ls.Obtain(1, "SYS2", Exclusive); !r.Granted {
+	if r, _ := ls.Obtain(context.Background(), 1, "SYS2", Exclusive); !r.Granted {
 		t.Fatal("failed connector's entry interest not cleared")
 	}
 	// ...but the records are retained for peer recovery.
@@ -152,7 +153,7 @@ func TestPersistentRecordsAndRetention(t *testing.T) {
 	if len(ret) != 1 || ret[0] != "SYS1" {
 		t.Fatalf("retained = %v", ret)
 	}
-	recs, err := ls.Records("SYS1")
+	recs, err := ls.Records(context.Background(), "SYS1")
 	if err != nil || len(recs) != 2 {
 		t.Fatalf("records = %v err=%v", recs, err)
 	}
@@ -160,8 +161,8 @@ func TestPersistentRecordsAndRetention(t *testing.T) {
 		t.Fatalf("rec0 = %+v", recs[0])
 	}
 	// Peer completes recovery and deletes the records.
-	ls.DeleteRecord("SYS1", "DB.T1.ROW5")
-	ls.DeleteRecord("SYS1", "DB.T1.ROW9")
+	ls.DeleteRecord(context.Background(), "SYS1", "DB.T1.ROW5")
+	ls.DeleteRecord(context.Background(), "SYS1", "DB.T1.ROW9")
 	if len(ls.RetainedConnectors()) != 0 {
 		t.Fatal("retention not cleared after recovery")
 	}
@@ -169,12 +170,12 @@ func TestPersistentRecordsAndRetention(t *testing.T) {
 
 func TestNormalDisconnectDropsRecords(t *testing.T) {
 	_, ls := newLockStruct(t, 16)
-	ls.SetRecord("SYS1", "R", Exclusive)
+	ls.SetRecord(context.Background(), "SYS1", "R", Exclusive)
 	ls.(*LockStructure).disconnect("SYS1")
 	if len(ls.RetainedConnectors()) != 0 {
 		t.Fatal("normal shutdown should not retain records")
 	}
-	recs, _ := ls.Records("SYS1")
+	recs, _ := ls.Records(context.Background(), "SYS1")
 	if len(recs) != 0 {
 		t.Fatalf("records = %v", recs)
 	}
@@ -182,20 +183,20 @@ func TestNormalDisconnectDropsRecords(t *testing.T) {
 
 func TestNotConnectedRejected(t *testing.T) {
 	_, ls := newLockStruct(t, 16)
-	if _, err := ls.Obtain(0, "GHOST", Share); !errors.Is(err, ErrNotConnected) {
+	if _, err := ls.Obtain(context.Background(), 0, "GHOST", Share); !errors.Is(err, ErrNotConnected) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := ls.SetRecord("GHOST", "R", Share); !errors.Is(err, ErrNotConnected) {
+	if err := ls.SetRecord(context.Background(), "GHOST", "R", Share); !errors.Is(err, ErrNotConnected) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestBadEntryIndex(t *testing.T) {
 	_, ls := newLockStruct(t, 4)
-	if _, err := ls.Obtain(4, "SYS1", Share); !errors.Is(err, ErrBadArgument) {
+	if _, err := ls.Obtain(context.Background(), 4, "SYS1", Share); !errors.Is(err, ErrBadArgument) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := ls.Obtain(-1, "SYS1", Share); !errors.Is(err, ErrBadArgument) {
+	if _, err := ls.Obtain(context.Background(), -1, "SYS1", Share); !errors.Is(err, ErrBadArgument) {
 		t.Fatalf("err = %v", err)
 	}
 	if _, _, err := ls.Interest(9, "SYS1"); !errors.Is(err, ErrBadArgument) {
@@ -205,30 +206,30 @@ func TestBadEntryIndex(t *testing.T) {
 
 func TestBadMode(t *testing.T) {
 	_, ls := newLockStruct(t, 4)
-	if _, err := ls.Obtain(0, "SYS1", LockMode(9)); !errors.Is(err, ErrBadArgument) {
+	if _, err := ls.Obtain(context.Background(), 0, "SYS1", LockMode(9)); !errors.Is(err, ErrBadArgument) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := ls.Release(0, "SYS1", LockMode(9)); !errors.Is(err, ErrBadArgument) {
+	if err := ls.Release(context.Background(), 0, "SYS1", LockMode(9)); !errors.Is(err, ErrBadArgument) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := ls.ForceObtain(0, "SYS1", LockMode(9)); !errors.Is(err, ErrBadArgument) {
+	if err := ls.ForceObtain(context.Background(), 0, "SYS1", LockMode(9)); !errors.Is(err, ErrBadArgument) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestReconnectClearsRetention(t *testing.T) {
 	f, ls := newLockStruct(t, 8)
-	ls.SetRecord("SYS1", "R", Exclusive)
+	ls.SetRecord(context.Background(), "SYS1", "R", Exclusive)
 	f.FailConnector("SYS1")
 	if len(ls.RetainedConnectors()) != 1 {
 		t.Fatal("not retained")
 	}
 	// SYS1 restarts and reconnects (it will recover its own records).
-	ls.Connect("SYS1")
+	ls.Connect(context.Background(), "SYS1")
 	if len(ls.RetainedConnectors()) != 0 {
 		t.Fatal("retention survived reconnect")
 	}
-	recs, _ := ls.Records("SYS1")
+	recs, _ := ls.Records(context.Background(), "SYS1")
 	if len(recs) != 1 {
 		t.Fatal("own records lost on reconnect")
 	}
@@ -248,7 +249,7 @@ func TestLockCompatibilityProperty(t *testing.T) {
 		fac := New("CF", vclock.Real())
 		ls, _ := fac.AllocateLockStructure("L", 8)
 		for _, c := range conns {
-			ls.Connect(c)
+			ls.Connect(context.Background(), c)
 		}
 		type key struct {
 			entry int
@@ -271,10 +272,10 @@ func TestLockCompatibilityProperty(t *testing.T) {
 				if mode == Exclusive && excl[k] > 0 {
 					excl[k]--
 				}
-				ls.Release(entry, conn, mode)
+				ls.Release(context.Background(), entry, conn, mode)
 				continue
 			}
-			res, err := ls.Obtain(entry, conn, mode)
+			res, err := ls.Obtain(context.Background(), entry, conn, mode)
 			if err != nil {
 				return false
 			}

@@ -1,0 +1,297 @@
+// Command pipeline of the duplexed front.
+//
+// Every CF operation issued through a Duplexed front is expressed as
+// one Op and dispatched through a single pipeline with a fixed stage
+// order. Before this seam existed, deadline checks, metrics, failure
+// injection, and failover retry were hard-coded across three packages;
+// the pipeline makes the command lifecycle one ordered list (DESIGN
+// §10):
+//
+//	gate → metrics → inject → retry → route
+//
+// gate    polls the context (cancellation + vclock deadline) so a dead
+//
+//	command fails before any replica is touched;
+//
+// metrics counts the op per kind (handles cached, no registry lookup
+//
+//	on the fast path);
+//
+// inject  runs an optional test-installed fault hook;
+// retry   re-drives the op after an in-line failover, bounded by
+//
+//	maxFailoverRetries with doubling capped backoff;
+//
+// route   classifies the op (read / keyed / global), takes the pair's
+//
+//	ordering locks, applies it to the primary, and mirrors
+//	mutations to the secondary under a detached context.
+package cf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sysplex/internal/vclock"
+)
+
+// OpOrder classifies an Op for ordering and mirroring.
+type OpOrder int
+
+const (
+	// OpRead: primary-only read; concurrent with every other command.
+	OpRead OpOrder = iota
+	// OpKeyed: mutating; ordered only against ops with the same key —
+	// per-key ordering is all replica convergence requires.
+	OpKeyed
+	// OpGlobal: mutating; ordered against everything on the structure
+	// (ops whose effect spans keys, e.g. Connect, list Move).
+	OpGlobal
+)
+
+// String names the order class.
+func (o OpOrder) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpKeyed:
+		return "keyed"
+	case OpGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// opKind enumerates every command the duplexed front dispatches. The
+// numeric form indexes the pre-resolved cfrm.op.* counter table, so
+// the metrics stage costs one array read and one atomic increment —
+// no per-op string hashing.
+type opKind uint8
+
+const (
+	opLockConnect opKind = iota
+	opLockObtain
+	opLockForce
+	opLockRelease
+	opLockSetRecord
+	opLockDelRecord
+	opLockRecords
+	opLockAdoptRetained
+	opCacheConnect
+	opCacheRead
+	opCacheWrite
+	opCacheUnregister
+	opCacheCastoutBegin
+	opCacheCastoutEnd
+	opListConnect
+	opListSetLock
+	opListReleaseLock
+	opListWrite
+	opListRead
+	opListReadFirst
+	opListPop
+	opListDelete
+	opListMove
+	opListSetAdjunct
+	opListMonitor
+	opListUnmonitor
+	opKindCount
+)
+
+// opKindNames maps each opKind to its metrics/error name; the metrics
+// stage counts command k under "cfrm.op." + opKindNames[k].
+var opKindNames = [opKindCount]string{
+	opLockConnect:       "lock.connect",
+	opLockObtain:        "lock.obtain",
+	opLockForce:         "lock.force",
+	opLockRelease:       "lock.release",
+	opLockSetRecord:     "lock.setrecord",
+	opLockDelRecord:     "lock.delrecord",
+	opLockRecords:       "lock.records",
+	opLockAdoptRetained: "lock.adoptretained",
+	opCacheConnect:      "cache.connect",
+	opCacheRead:         "cache.read",
+	opCacheWrite:        "cache.write",
+	opCacheUnregister:   "cache.unregister",
+	opCacheCastoutBegin: "cache.castoutbegin",
+	opCacheCastoutEnd:   "cache.castoutend",
+	opListConnect:       "list.connect",
+	opListSetLock:       "list.setlock",
+	opListReleaseLock:   "list.releaselock",
+	opListWrite:         "list.write",
+	opListRead:          "list.read",
+	opListReadFirst:     "list.readfirst",
+	opListPop:           "list.pop",
+	opListDelete:        "list.delete",
+	opListMove:          "list.move",
+	opListSetAdjunct:    "list.setadjunct",
+	opListMonitor:       "list.monitor",
+	opListUnmonitor:     "list.unmonitor",
+}
+
+// Op is one CF command presented to a fault-injection hook: a uniform
+// envelope carrying the command identity (structure, kind, order
+// class). The pipeline itself passes the command's pieces — including
+// the applyFunc body and the OpKeyed ordering key (same key → same
+// stripe → same replica order) — as plain parameters and materializes
+// an Op only when a hook is installed: a struct handed to an unknown
+// hook function is treated as escaping wholesale, which would
+// heap-allocate the apply closure's captures and the key string on
+// every command.
+type Op struct {
+	// Structure is the target structure name.
+	Structure string
+	// Kind identifies the command for metrics and errors, e.g.
+	// "lock.obtain".
+	Kind string
+	// Order is the op's ordering/mirroring class.
+	Order OpOrder
+
+	// k is Kind's numeric form, indexing the counter table.
+	k opKind
+}
+
+// applyFunc executes an Op's command body against one replica. It is
+// invoked once per replica; primary=true marks the invocation whose
+// results are the command's results. The context is the caller's for
+// the primary and a detached one for the secondary mirror (a mirror
+// must complete once the primary committed).
+type applyFunc func(ctx context.Context, s structure, primary bool) error
+
+// Failover retry bounds (satellite of ISSUE 5: the retry loop used to
+// be unbounded). A command that still sees ErrCFDown after
+// maxFailoverRetries attempts surfaces the outage wrapped with the
+// attempt count.
+const (
+	maxFailoverRetries = 4
+	retryBackoffBase   = 100 * time.Microsecond
+	retryBackoffMax    = 1600 * time.Microsecond
+)
+
+// SetInject installs fn ahead of the retry and route stages: returning
+// a non-nil error fails the op without touching any replica. The hook
+// is handed a copy of the Op. A nil fn removes the hook.
+func (d *Duplexed) SetInject(fn func(ctx context.Context, op *Op) error) {
+	if fn == nil {
+		d.inject.Store(nil)
+		return
+	}
+	h := fn
+	d.inject.Store(&h)
+}
+
+// run executes one command through the pipeline stages in their fixed
+// order: gate → metrics → inject → retry → route. The structure fronts
+// use it as their uniform entry point. The stages are plain statements
+// in one method — not composed closures, not even helper calls — so
+// the fast path adds no call frames over applying the command directly
+// and no heap allocation: the apply closure and the ordering key stay
+// on the caller's stack.
+//
+// No-partial-effect: the primary apply sees the caller's context, and
+// the structure's begin gate is the only point that consults it — a
+// cancellation therefore lands either before the primary mutates
+// (context error, no effect anywhere) or not at all. Once the primary
+// has applied, the secondary mirror runs under a detached context so
+// the pair cannot be split by a cancellation between replicas.
+func (d *Duplexed) run(ctx context.Context, name string, kind opKind, ord OpOrder, key string,
+	apply applyFunc) error {
+	// gate: fail cancelled or deadline-expired ops with the context's
+	// error before any replica is touched.
+	if err := vclock.Check(ctx, d.clock); err != nil {
+		return err
+	}
+	// metrics: count the op per kind. Counter handles are resolved for
+	// every kind at construction, so the cost is one array read and one
+	// atomic increment.
+	d.opCounters[kind].Inc()
+	// inject: run the installed fault hook, if any (tests use it to
+	// fail or delay specific ops at an exact pipeline position). The Op
+	// envelope is materialized only here — the hook is the one consumer
+	// that needs it, and the steady-state cost is one atomic load.
+	if fn := d.inject.Load(); fn != nil {
+		hop := Op{Structure: name, Kind: opKindNames[kind], Order: ord, k: kind}
+		if err := (*fn)(ctx, &hop); err != nil {
+			return err
+		}
+	}
+	// route: resolve the pair and take the ordering locks the op's
+	// class requires. The locks are held across failover retries so a
+	// re-driven command keeps its position in the per-key order.
+	p := d.pair(name)
+	if p == nil {
+		return fmt.Errorf("%w: %q", ErrNoStructure, name)
+	}
+	switch ord {
+	case OpGlobal:
+		p.rw.Lock()
+		defer p.rw.Unlock()
+	case OpKeyed:
+		p.rw.RLock()
+		defer p.rw.RUnlock()
+		st := &p.stripes[pairStripeIdx(key)]
+		st.Lock()
+		defer st.Unlock()
+	default:
+		p.rw.RLock()
+		defer p.rw.RUnlock()
+	}
+	// retry: apply to the primary, mirroring mutations to the
+	// secondary; after an in-line failover the op is re-driven against
+	// the refreshed handles. Retries are capped; between attempts the
+	// context is re-polled (a cancelled command stops retrying —
+	// nothing was applied, so stopping is safe) and later attempts back
+	// off with a doubling, capped sleep on the injected clock.
+	backoff := time.Duration(0)
+	for attempt := 1; ; attempt++ {
+		pri, sec, err := p.handles()
+		if err != nil {
+			return err
+		}
+		start := d.clock.Now()
+		err = apply(ctx, pri, true)
+		if err != nil {
+			if errors.Is(err, ErrCFDown) {
+				if !d.failover(pri.fac()) {
+					return err
+				}
+				if attempt >= maxFailoverRetries {
+					return fmt.Errorf("cf: %s on %q failed after %d failover retries: %w",
+						opKindNames[kind], name, attempt, ErrCFDown)
+				}
+				d.cRetried.Inc()
+				if cerr := vclock.Check(ctx, d.clock); cerr != nil {
+					return cerr
+				}
+				if backoff > 0 {
+					d.clock.Sleep(backoff)
+				}
+				if backoff = backoff * 2; backoff < retryBackoffBase {
+					backoff = retryBackoffBase
+				} else if backoff > retryBackoffMax {
+					backoff = retryBackoffMax
+				}
+				continue
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// The primary's begin gate rejected the command before
+				// any mutation; mirroring it would apply the op on the
+				// secondary only (the detached mirror context cannot be
+				// cancelled) and manufacture divergence out of a clean
+				// cancellation.
+				return err
+			}
+		}
+		if ord != OpRead && sec != nil {
+			serr := apply(vclock.Detach(ctx), sec, false)
+			if !sameOutcome(err, serr) {
+				d.breakDuplex(sec.fac())
+			}
+			d.hFanout.Observe(d.clock.Since(start))
+		}
+		return err
+	}
+}

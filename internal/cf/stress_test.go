@@ -8,6 +8,7 @@ package cf
 // with the race detector's ~10x slowdown.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -37,7 +38,7 @@ func TestStressCacheConcurrency(t *testing.T) {
 	conns := make([]string, nWriters+nReaders)
 	for i := range conns {
 		conns[i] = "SYS" + strconv.Itoa(i)
-		if err := c.Connect(conns[i], NewBitVector(nBlocks)); err != nil {
+		if err := c.Connect(context.Background(), conns[i], NewBitVector(nBlocks)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -52,7 +53,7 @@ func TestStressCacheConcurrency(t *testing.T) {
 			conn := conns[g]
 			for i := 0; i < iters; i++ {
 				name := block(g*7 + i)
-				if err := c.WriteAndInvalidate(conn, name, []byte(name), true, false, i%nBlocks); err != nil {
+				if err := c.WriteAndInvalidate(context.Background(), conn, name, []byte(name), true, false, i%nBlocks); err != nil {
 					errc <- fmt.Errorf("write %s: %w", name, err)
 					return
 				}
@@ -67,7 +68,7 @@ func TestStressCacheConcurrency(t *testing.T) {
 			last := make(map[string]uint64, nBlocks)
 			for i := 0; i < iters; i++ {
 				name := block(g*13 + i)
-				r, err := c.ReadAndRegister(conn, name, i%nBlocks)
+				r, err := c.ReadAndRegister(context.Background(), conn, name, i%nBlocks)
 				if err != nil {
 					errc <- fmt.Errorf("read %s: %w", name, err)
 					return
@@ -107,7 +108,7 @@ func TestStressListConcurrency(t *testing.T) {
 	conns := make([]string, nWriters+nPoppers)
 	for i := range conns {
 		conns[i] = "SYS" + strconv.Itoa(i)
-		if err := l.Connect(conns[i], NewBitVector(nLists)); err != nil {
+		if err := l.Connect(context.Background(), conns[i], NewBitVector(nLists)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -122,7 +123,7 @@ func TestStressListConcurrency(t *testing.T) {
 			conn := conns[g]
 			for i := 0; i < perW; i++ {
 				id := "w" + strconv.Itoa(g) + "-" + strconv.Itoa(i)
-				if err := l.Write(conn, (g+i)%nLists, id, "", []byte(id), FIFO, Cond{}); err != nil {
+				if err := l.Write(context.Background(), conn, (g+i)%nLists, id, "", []byte(id), FIFO, Cond{}); err != nil {
 					errc <- fmt.Errorf("write %s: %w", id, err)
 					return
 				}
@@ -135,7 +136,7 @@ func TestStressListConcurrency(t *testing.T) {
 			defer wg.Done()
 			conn := conns[nWriters+g]
 			for i := 0; i < perW; i++ {
-				e, err := l.Pop(conn, (g+i)%nLists, Cond{})
+				e, err := l.Pop(context.Background(), conn, (g+i)%nLists, Cond{})
 				if err != nil {
 					if errors.Is(err, ErrEntryNotFound) {
 						continue // raced an empty list
@@ -194,7 +195,7 @@ func TestStressLockMutualExclusion(t *testing.T) {
 		idx    = 5
 	)
 	for i := 0; i < nConns; i++ {
-		if err := l.Connect("SYS" + strconv.Itoa(i)); err != nil {
+		if err := l.Connect(context.Background(), "SYS"+strconv.Itoa(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -211,7 +212,7 @@ func TestStressLockMutualExclusion(t *testing.T) {
 			defer wg.Done()
 			conn := "SYS" + strconv.Itoa(g)
 			for i := 0; i < iters; i++ {
-				r, err := l.Obtain(idx, conn, Exclusive)
+				r, err := l.Obtain(context.Background(), idx, conn, Exclusive)
 				if err != nil {
 					t.Errorf("obtain: %v", err)
 					return
@@ -225,7 +226,7 @@ func TestStressLockMutualExclusion(t *testing.T) {
 					inCS.Store(0)
 				}
 				grants.Add(1)
-				if err := l.Release(idx, conn, Exclusive); err != nil {
+				if err := l.Release(context.Background(), idx, conn, Exclusive); err != nil {
 					t.Errorf("release: %v", err)
 					return
 				}
@@ -253,7 +254,7 @@ func TestStressFailAfterConcurrent(t *testing.T) {
 	}
 	const nConns = 8
 	for i := 0; i < nConns; i++ {
-		if err := l.Connect("SYS" + strconv.Itoa(i)); err != nil {
+		if err := l.Connect(context.Background(), "SYS"+strconv.Itoa(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -270,7 +271,7 @@ func TestStressFailAfterConcurrent(t *testing.T) {
 			defer wg.Done()
 			conn := "SYS" + strconv.Itoa(g)
 			for i := 0; i < 200; i++ {
-				err := l.ForceObtain(i%64, conn, Share)
+				err := l.ForceObtain(context.Background(), i%64, conn, Share)
 				switch {
 				case err == nil:
 					ok.Add(1)
@@ -318,13 +319,13 @@ func TestStressDuplexedConvergence(t *testing.T) {
 	const nConns = 4
 	for i := 0; i < nConns; i++ {
 		conn := "SYS" + strconv.Itoa(i)
-		if err := lk.Connect(conn); err != nil {
+		if err := lk.Connect(context.Background(), conn); err != nil {
 			t.Fatal(err)
 		}
-		if err := ca.Connect(conn, NewBitVector(64)); err != nil {
+		if err := ca.Connect(context.Background(), conn, NewBitVector(64)); err != nil {
 			t.Fatal(err)
 		}
-		if err := li.Connect(conn, NewBitVector(8)); err != nil {
+		if err := li.Connect(context.Background(), conn, NewBitVector(8)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -337,31 +338,31 @@ func TestStressDuplexedConvergence(t *testing.T) {
 			conn := "SYS" + strconv.Itoa(g)
 			for i := 0; i < 200; i++ {
 				idx := (g*31 + i) % 64
-				if r, err := lk.Obtain(idx, conn, Exclusive); err != nil {
+				if r, err := lk.Obtain(context.Background(), idx, conn, Exclusive); err != nil {
 					t.Errorf("obtain: %v", err)
 					return
 				} else if r.Granted {
-					if err := lk.Release(idx, conn, Exclusive); err != nil {
+					if err := lk.Release(context.Background(), idx, conn, Exclusive); err != nil {
 						t.Errorf("release: %v", err)
 						return
 					}
 				}
 				blk := "BLK" + strconv.Itoa(i%16)
-				if err := ca.WriteAndInvalidate(conn, blk, []byte(blk), true, false, i%16); err != nil {
+				if err := ca.WriteAndInvalidate(context.Background(), conn, blk, []byte(blk), true, false, i%16); err != nil {
 					t.Errorf("write: %v", err)
 					return
 				}
-				if _, err := ca.ReadAndRegister(conn, blk, i%16); err != nil {
+				if _, err := ca.ReadAndRegister(context.Background(), conn, blk, i%16); err != nil {
 					t.Errorf("read: %v", err)
 					return
 				}
 				id := "e" + strconv.Itoa(g) + "-" + strconv.Itoa(i)
-				if err := li.Write(conn, g%4, id, "", []byte(id), FIFO, Cond{}); err != nil {
+				if err := li.Write(context.Background(), conn, g%4, id, "", []byte(id), FIFO, Cond{}); err != nil {
 					t.Errorf("list write: %v", err)
 					return
 				}
 				if i%2 == 1 {
-					if _, err := li.Pop(conn, g%4, Cond{}); err != nil && !errors.Is(err, ErrEntryNotFound) {
+					if _, err := li.Pop(context.Background(), conn, g%4, Cond{}); err != nil && !errors.Is(err, ErrEntryNotFound) {
 						t.Errorf("pop: %v", err)
 						return
 					}
@@ -388,6 +389,146 @@ func TestStressDuplexedConvergence(t *testing.T) {
 		t.Errorf("list entries: primary %d, secondary %d", pn, sn)
 	}
 	for list := 0; list < 4; list++ {
+		pe, se := pl.Entries(list), sl.Entries(list)
+		if len(pe) != len(se) {
+			t.Errorf("list %d: primary has %d entries, secondary %d", list, len(pe), len(se))
+			continue
+		}
+		for i := range pe {
+			if pe[i].ID != se[i].ID {
+				t.Errorf("list %d pos %d: primary %s, secondary %s", list, i, pe[i].ID, se[i].ID)
+				break
+			}
+		}
+	}
+}
+
+// cancelMark tags the context of the command doomed by
+// TestStressCancelDuringFailover so the inject hook can pick it out of
+// the concurrent stream.
+type cancelMark struct{}
+
+// TestStressCancelDuringFailover cancels a keyed list command between
+// the in-line failover and its retry, in the middle of a concurrent
+// write stream. The pipeline's inject hook breaks the primary when the
+// doomed command reaches it, so the command's first apply sees
+// ErrCFDown, fails over, and then observes its own cancellation at the
+// retry boundary. The command must surface context.Canceled with no
+// effect on either replica, every other write must survive the
+// failover, and after re-duplexing into a fresh facility the pair must
+// converge with no lost or duplicated entries.
+func TestStressCancelDuringFailover(t *testing.T) {
+	pri := New("CF01", vclock.Real())
+	sec := New("CF02", vclock.Real())
+	d := NewDuplexed(vclock.Real(), nil, pri, sec)
+
+	const (
+		nLists   = 4
+		nWriters = 4
+		perW     = 200
+	)
+	li, err := d.AllocateListStructure("MSGQ", nLists, 2, nWriters*perW+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := make([]string, nWriters+1)
+	for i := range conns {
+		conns[i] = "SYS" + strconv.Itoa(i)
+		if err := li.Connect(context.Background(), conns[i], NewBitVector(nLists)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Bool
+	d.SetInject(func(c context.Context, op *Op) error {
+		if c.Value(cancelMark{}) != nil && fired.CompareAndSwap(false, true) {
+			pri.Fail() // first apply will see ErrCFDown and fail over
+			cancel()   // retry stage must observe this mid-failover
+		}
+		return nil
+	})
+	defer d.SetInject(nil)
+
+	var wg sync.WaitGroup
+	half := make(chan struct{})
+	errc := make(chan error, nWriters)
+	for g := 0; g < nWriters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn := conns[g]
+			for i := 0; i < perW; i++ {
+				if g == 0 && i == perW/2 {
+					close(half)
+				}
+				id := "w" + strconv.Itoa(g) + "-" + strconv.Itoa(i)
+				if err := li.Write(context.Background(), conn, (g+i)%nLists, id, "", []byte(id), FIFO, Cond{}); err != nil {
+					errc <- fmt.Errorf("write %s: %w", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	<-half
+	doomed := li.Write(context.WithValue(ctx, cancelMark{}, true),
+		conns[nWriters], 0, "doomed", "", []byte("doomed"), FIFO, Cond{})
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	if !errors.Is(doomed, context.Canceled) {
+		t.Fatalf("doomed write returned %v, want context.Canceled", doomed)
+	}
+	// Drive one more command through the front: whether or not a writer
+	// already discovered the broken primary, this one must fail over
+	// in-line and land on the promoted secondary.
+	if err := li.Write(context.Background(), conns[nWriters], 0, "probe", "", []byte("probe"), FIFO, Cond{}); err != nil {
+		t.Fatalf("post-failover probe write: %v", err)
+	}
+	if got := d.State(); got != "simplex" {
+		t.Fatalf("State() = %q after failover, want simplex", got)
+	}
+
+	// Re-establish duplexing into a fresh facility and verify the pair
+	// reconverges.
+	fresh := New("CF03", vclock.Real())
+	if err := d.Reduplex(fresh); err != nil {
+		t.Fatalf("Reduplex: %v", err)
+	}
+	if got := d.State(); got != "duplexed" {
+		t.Fatalf("State() = %q after Reduplex, want duplexed", got)
+	}
+
+	pl := d.Primary().structureByName("MSGQ").(*ListStructure)
+	sl := fresh.structureByName("MSGQ").(*ListStructure)
+	for _, repl := range []struct {
+		name string
+		ls   *ListStructure
+	}{{"primary", pl}, {"secondary", sl}} {
+		seen := make(map[string]int, nWriters*perW)
+		for list := 0; list < nLists; list++ {
+			for _, e := range repl.ls.Entries(list) {
+				seen[e.ID]++
+			}
+		}
+		if seen["doomed"] != 0 {
+			t.Errorf("%s: cancelled entry present %d times, want absent", repl.name, seen["doomed"])
+		}
+		if len(seen) != nWriters*perW+1 { // writers' entries + probe
+			t.Errorf("%s: %d distinct entries, want %d", repl.name, len(seen), nWriters*perW+1)
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Errorf("%s: entry %s seen %d times (lost or duplicated)", repl.name, id, n)
+			}
+		}
+	}
+	for list := 0; list < nLists; list++ {
 		pe, se := pl.Entries(list), sl.Entries(list)
 		if len(pe) != len(se) {
 			t.Errorf("list %d: primary has %d entries, secondary %d", list, len(pe), len(se))

@@ -1,6 +1,7 @@
 package cfrm
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -48,10 +49,10 @@ func TestReportFailureOfPrimaryFailsOverAndReduplexes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1"); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ls.Obtain(3, "SYS1", cf.Exclusive); err != nil {
+	if _, err := ls.Obtain(context.Background(), 3, "SYS1", cf.Exclusive); err != nil {
 		t.Fatal(err)
 	}
 
@@ -61,7 +62,7 @@ func TestReportFailureOfPrimaryFailsOverAndReduplexes(t *testing.T) {
 	if got := m.Primary().Name(); got != "CF02" {
 		t.Fatalf("primary = %s, want CF02", got)
 	}
-	if _, err := ls.Obtain(4, "SYS1", cf.Share); err != nil {
+	if _, err := ls.Obtain(context.Background(), 4, "SYS1", cf.Share); err != nil {
 		t.Fatalf("command after failover: %v", err)
 	}
 	// Background re-duplex lands in CF03 with the structures copied.
@@ -130,7 +131,7 @@ func TestSurvivesSerialFailuresPastCandidateList(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1"); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 		t.Fatal(err)
 	}
 	// Kill primaries repeatedly; the manager generates facilities past
@@ -146,7 +147,7 @@ func TestSurvivesSerialFailuresPastCandidateList(t *testing.T) {
 			t.Fatalf("round %d: %v", i, err)
 		}
 		m.ReportFailure(name)
-		if _, err := ls.Obtain(i%16, "SYS1", cf.Share); err != nil {
+		if _, err := ls.Obtain(context.Background(), i%16, "SYS1", cf.Share); err != nil {
 			t.Fatalf("round %d: %v", i, err)
 		}
 	}
@@ -179,7 +180,7 @@ func TestRebuildFromDuplexed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1"); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Rebuild(); err != nil {
@@ -192,7 +193,7 @@ func TestRebuildFromDuplexed(t *testing.T) {
 	}
 	// The retired facility is dead weight: failing it must not matter.
 	m.Facility("CF01").Fail()
-	if _, err := ls.Obtain(0, "SYS1", cf.Share); err != nil {
+	if _, err := ls.Obtain(context.Background(), 0, "SYS1", cf.Share); err != nil {
 		t.Fatal(err)
 	}
 	// Rebuild again: names keep advancing.
@@ -217,7 +218,7 @@ func TestRebuildFromSimplexIsAllOrNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1"); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := m.Front().AllocateCacheStructure("GBP0", 1); err == nil {
@@ -237,7 +238,7 @@ func TestRebuildFromSimplexIsAllOrNothing(t *testing.T) {
 	if m.Secondary() != nil {
 		t.Fatal("simplex policy must stay simplex after rebuild")
 	}
-	if _, err := ls.Obtain(0, "SYS1", cf.Exclusive); err != nil {
+	if _, err := ls.Obtain(context.Background(), 0, "SYS1", cf.Exclusive); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -256,10 +257,10 @@ func TestRebuildFailureLeavesOldFacilityCurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ls.Connect("SYS1"); err != nil {
+	if err := ls.Connect(context.Background(), "SYS1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ls.Obtain(5, "SYS1", cf.Exclusive); err != nil {
+	if _, err := ls.Obtain(context.Background(), 5, "SYS1", cf.Exclusive); err != nil {
 		t.Fatal(err)
 	}
 	// Fail the primary: simplex, no failover possible. Rebuild must
@@ -267,7 +268,7 @@ func TestRebuildFailureLeavesOldFacilityCurrent(t *testing.T) {
 	// (standing in for connector-held state) — restoring service with
 	// zero committed-state loss.
 	m.ReportFailure("CF01")
-	if _, err := ls.Obtain(6, "SYS1", cf.Share); !errors.Is(err, cf.ErrCFDown) {
+	if _, err := ls.Obtain(context.Background(), 6, "SYS1", cf.Share); !errors.Is(err, cf.ErrCFDown) {
 		t.Fatalf("err = %v, want ErrCFDown while down", err)
 	}
 	if err := m.Rebuild(); err != nil {
@@ -281,7 +282,7 @@ func TestRebuildFailureLeavesOldFacilityCurrent(t *testing.T) {
 	if err != nil || excl != 1 {
 		t.Fatalf("interest after rebuild = %d, %v", excl, err)
 	}
-	if _, err := ls.Obtain(7, "SYS1", cf.Share); err != nil {
+	if _, err := ls.Obtain(context.Background(), 7, "SYS1", cf.Share); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -18,6 +18,7 @@
 package db
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -112,7 +113,7 @@ type tableMeta struct {
 }
 
 // Open creates (or attaches to) the database group for one system.
-func Open(cfg Config) (*Engine, error) {
+func Open(ctx context.Context, cfg Config) (*Engine, error) {
 	if cfg.Name == "" || cfg.System == "" || cfg.Farm == nil || cfg.Facility == nil || cfg.Locks == nil {
 		return nil, errors.New("db: incomplete config")
 	}
@@ -155,7 +156,7 @@ func Open(cfg Config) (*Engine, error) {
 			}
 		}
 	}
-	pool, err := buffman.NewPool(cfg.System, cs, cfg.PoolFrames, e.readPage, e.writePage)
+	pool, err := buffman.NewPool(ctx, cfg.System, cs, cfg.PoolFrames, e.readPage, e.writePage)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +166,7 @@ func Open(cfg Config) (*Engine, error) {
 		// every transaction in the group; table update streams are
 		// connected as tables are opened.
 		e.logger = cfg.Logger
-		s, err := cfg.Logger.Connect(logr.StreamSpec{Name: syncStreamName(cfg.Name)})
+		s, err := cfg.Logger.Connect(ctx, logr.StreamSpec{Name: syncStreamName(cfg.Name)})
 		if err != nil {
 			return nil, err
 		}
@@ -214,7 +215,7 @@ func (e *Engine) PoolStats() buffman.Stats { return e.pool.Stats() }
 // OpenTable opens (allocating on first use anywhere in the sysplex) a
 // table with a fixed number of pages. Every instance must open a table
 // with the same page count before using it.
-func (e *Engine) OpenTable(name string, pages int) error {
+func (e *Engine) OpenTable(ctx context.Context, name string, pages int) error {
 	if pages <= 0 {
 		return fmt.Errorf("db: table %q needs > 0 pages", name)
 	}
@@ -240,7 +241,7 @@ func (e *Engine) OpenTable(name string, pages int) error {
 	}
 	meta := &tableMeta{name: name, pages: pages, ds: ds}
 	if e.logger != nil {
-		s, err := e.logger.Connect(logr.StreamSpec{Name: tableStreamName(e.name, name)})
+		s, err := e.logger.Connect(ctx, logr.StreamSpec{Name: tableStreamName(e.name, name)})
 		if err != nil {
 			return err
 		}
@@ -299,17 +300,19 @@ func (e *Engine) resolve(name string) (*tableMeta, int, error) {
 }
 
 // CastoutOnce casts out up to max changed pages to DASD.
-func (e *Engine) CastoutOnce(max int) (int, error) { return e.pool.CastoutOnce(max) }
+func (e *Engine) CastoutOnce(ctx context.Context, max int) (int, error) {
+	return e.pool.CastoutOnce(ctx, max)
+}
 
 // RebindCache moves the engine's buffer pool onto a rebuilt group
 // buffer pool structure. Cast out all changed pages first.
-func (e *Engine) RebindCache(cs cf.Cache) error { return e.pool.Rebind(cs) }
+func (e *Engine) RebindCache(ctx context.Context, cs cf.Cache) error { return e.pool.Rebind(ctx, cs) }
 
 // InvalidateLocal drops the local buffer for one page of a table, so
 // the next access must consult the CF (used by cache ablations and
 // local buffer-pool management).
-func (e *Engine) InvalidateLocal(table string, page int) {
-	e.pool.Invalidate(pageName(table, page))
+func (e *Engine) InvalidateLocal(ctx context.Context, table string, page int) {
+	e.pool.Invalidate(ctx, pageName(table, page))
 }
 
 // lock resource name helpers.
@@ -325,6 +328,7 @@ func (e *Engine) pageResource(table string, page int) string {
 // applied at commit after the log force).
 type Tx struct {
 	e      *Engine
+	ctx    context.Context
 	id     string
 	staged []change
 	locks  map[string]bool
@@ -341,21 +345,33 @@ type change struct {
 	hadOld bool
 }
 
-// Begin starts a transaction.
-func (e *Engine) Begin() *Tx {
+// Begin starts a transaction. The context governs every CF command the
+// transaction issues (lock requests, page fetches, log writes) until
+// Commit reaches its commit point; it is stored on the Tx — mirroring
+// database/sql.BeginTx — so application Programs keep their
+// ctx-free signature.
+func (e *Engine) Begin(ctx context.Context) *Tx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.mu.Lock()
 	e.txSeq++
 	id := fmt.Sprintf("%s-%06d", e.sys, e.txSeq)
 	e.stats.Begins++
 	e.mu.Unlock()
-	return &Tx{e: e, id: id, locks: map[string]bool{}}
+	return &Tx{e: e, ctx: ctx, id: id, locks: map[string]bool{}}
 }
 
 // ID returns the transaction identifier.
 func (t *Tx) ID() string { return t.id }
 
+// Context returns the context the transaction was begun with; layered
+// access methods (e.g. ims) use it for engine calls made on the
+// transaction's behalf.
+func (t *Tx) Context() context.Context { return t.ctx }
+
 func (t *Tx) lock(resource string, mode lockmgr.Mode) error {
-	if err := t.e.locks.Lock(t.id, resource, mode, t.e.timeout); err != nil {
+	if err := t.e.locks.Lock(t.ctx, t.id, resource, mode, t.e.timeout); err != nil {
 		return err
 	}
 	t.locks[resource] = true
@@ -378,6 +394,9 @@ func (t *Tx) stagedValue(table, key string) ([]byte, bool, bool) {
 
 // Get reads a record under a share lock (read committed + repeatable:
 // locks are held to commit).
+//
+// lintctx: the transaction's context is captured at Begin
+// (database/sql idiom); every Tx method runs under it.
 func (t *Tx) Get(table, key string) ([]byte, bool, error) {
 	if t.done {
 		return nil, false, ErrTxDone
@@ -392,7 +411,7 @@ func (t *Tx) Get(table, key string) ([]byte, bool, error) {
 	if err := t.lock(t.e.recordResource(table, key), lockmgr.Share); err != nil {
 		return nil, false, err
 	}
-	img, err := t.e.fetchPage(table, pageOf(key, meta.pages))
+	img, err := t.e.fetchPage(t.ctx, table, pageOf(key, meta.pages))
 	if err != nil {
 		return nil, false, err
 	}
@@ -443,7 +462,7 @@ const pageSlack = 512
 // checkOccupancy verifies the page can hold the staged change set plus
 // this new record with the safety margin to spare.
 func (t *Tx) checkOccupancy(table string, page int, key string, value []byte) error {
-	img, err := t.e.fetchPage(table, page)
+	img, err := t.e.fetchPage(t.ctx, table, page)
 	if err != nil {
 		return err
 	}
@@ -498,7 +517,7 @@ func (t *Tx) currentValue(table, key string, page int) ([]byte, bool, error) {
 	if v, ok, hit := t.stagedValue(table, key); hit {
 		return v, ok, nil
 	}
-	img, err := t.e.fetchPage(table, page)
+	img, err := t.e.fetchPage(t.ctx, table, page)
 	if err != nil {
 		return nil, false, err
 	}
@@ -509,6 +528,11 @@ func (t *Tx) currentValue(table, key string, page int) ([]byte, bool, error) {
 // Commit forces the log and applies the staged changes to the shared
 // pages (write-ahead: log first, then pages through the group buffer
 // pool, then the END record), then releases all locks.
+//
+// lintctx: the transaction's context is captured at Begin
+// (database/sql idiom); once the COMMIT record is forced, apply and
+// lock release run detached so a cancelled caller cannot half-apply a
+// committed transaction.
 func (t *Tx) Commit() error {
 	if t.done {
 		return ErrTxDone
@@ -528,13 +552,18 @@ func (t *Tx) Commit() error {
 		})
 	}
 	recs = append(recs, &LogRecord{Tx: t.id, Kind: recCommit})
-	if err := t.e.appendLog(recs...); err != nil {
+	if err := t.e.appendLog(t.ctx, recs...); err != nil {
 		t.release()
 		t.e.bump(func(s *Stats) { s.Aborts++ })
 		return err
 	}
 	// 2. Apply to pages in deterministic page order under page latches.
-	if err := t.e.applyChanges(t.id, t.staged); err != nil {
+	// The transaction is committed the instant step 1 returns; a caller
+	// cancellation must not leave it half-applied, so the apply and the
+	// END record run under a detached context (recovery would redo an
+	// interrupted apply, but in-line completion is the normal path).
+	dctx := vclock.Detach(t.ctx)
+	if err := t.e.applyChanges(dctx, t.id, t.staged); err != nil {
 		// Committed per the log; recovery would redo. Surface the error.
 		t.release()
 		return err
@@ -544,7 +573,7 @@ func (t *Tx) Commit() error {
 	// now; failing to write END only costs recovery one idempotent
 	// redo, so it must not be reported as a transaction failure — the
 	// caller would wrongly treat a durably committed update as lost.
-	_ = t.e.appendLog(&LogRecord{Tx: t.id, Kind: recEnd})
+	_ = t.e.appendLog(dctx, &LogRecord{Tx: t.id, Kind: recEnd})
 	t.release()
 	t.e.bump(func(s *Stats) { s.Commits++; s.Writes += int64(len(t.staged)) })
 	return nil
@@ -562,8 +591,11 @@ func (t *Tx) Abort() {
 }
 
 func (t *Tx) release() {
+	// Detached: releasing locks must succeed even when the caller's
+	// context is already cancelled, or the locks would be stranded.
+	ctx := vclock.Detach(t.ctx)
 	for res := range t.locks {
-		t.e.locks.Unlock(t.id, res)
+		t.e.locks.Unlock(ctx, t.id, res)
 	}
 	t.locks = map[string]bool{}
 }
@@ -574,7 +606,7 @@ func (t *Tx) release() {
 // COMMIT lives on exactly one stream, it stays a single atomic commit
 // point even though the updates fan out. In legacy mode everything goes
 // to the per-system log dataset.
-func (e *Engine) appendLog(recs ...*LogRecord) error {
+func (e *Engine) appendLog(ctx context.Context, recs ...*LogRecord) error {
 	if e.logger == nil {
 		return e.log.Append(recs...)
 	}
@@ -592,7 +624,7 @@ func (e *Engine) appendLog(recs ...*LogRecord) error {
 		if err != nil {
 			return err
 		}
-		if _, err := stream.Write(raw); err != nil {
+		if _, err := stream.Write(ctx, raw); err != nil {
 			return err
 		}
 	}
@@ -601,7 +633,7 @@ func (e *Engine) appendLog(recs ...*LogRecord) error {
 
 // applyChanges applies record changes grouped by page, each page under
 // an exclusive page latch, writing through the group buffer pool.
-func (e *Engine) applyChanges(owner string, changes []change) error {
+func (e *Engine) applyChanges(ctx context.Context, owner string, changes []change) error {
 	type pageKey struct {
 		table string
 		page  int
@@ -623,11 +655,11 @@ func (e *Engine) applyChanges(owner string, changes []change) error {
 	})
 	for _, k := range keys {
 		latch := e.pageResource(k.table, k.page)
-		if err := e.locks.Lock(owner, latch, lockmgr.Exclusive, e.timeout); err != nil {
+		if err := e.locks.Lock(ctx, owner, latch, lockmgr.Exclusive, e.timeout); err != nil {
 			return err
 		}
 		err := func() error {
-			img, err := e.fetchPage(k.table, k.page)
+			img, err := e.fetchPage(ctx, k.table, k.page)
 			if err != nil {
 				return err
 			}
@@ -642,9 +674,9 @@ func (e *Engine) applyChanges(owner string, changes []change) error {
 			if err != nil {
 				return err
 			}
-			return e.pool.WritePage(pageName(k.table, k.page), raw)
+			return e.pool.WritePage(ctx, pageName(k.table, k.page), raw)
 		}()
-		e.locks.Unlock(owner, latch)
+		e.locks.Unlock(ctx, owner, latch)
 		if err != nil {
 			return err
 		}
@@ -653,8 +685,8 @@ func (e *Engine) applyChanges(owner string, changes []change) error {
 }
 
 // fetchPage reads a page through the buffer pool and decodes it.
-func (e *Engine) fetchPage(table string, page int) (*pageImage, error) {
-	raw, err := e.pool.GetPage(pageName(table, page))
+func (e *Engine) fetchPage(ctx context.Context, table string, page int) (*pageImage, error) {
+	raw, err := e.pool.GetPage(ctx, pageName(table, page))
 	if err != nil {
 		return nil, err
 	}
@@ -681,7 +713,7 @@ func (e *Engine) bump(fn func(*Stats)) {
 // taking a share latch per page for a consistent page image. This is
 // the unit a decision-support query splits into sub-queries (§2.3).
 // fn returning false stops the scan.
-func (e *Engine) ScanPages(owner, table string, lo, hi int, fn func(key string, value []byte) bool) error {
+func (e *Engine) ScanPages(ctx context.Context, owner, table string, lo, hi int, fn func(key string, value []byte) bool) error {
 	meta, err := e.table(table)
 	if err != nil {
 		return err
@@ -694,11 +726,11 @@ func (e *Engine) ScanPages(owner, table string, lo, hi int, fn func(key string, 
 	}
 	for p := lo; p < hi; p++ {
 		latch := e.pageResource(table, p)
-		if err := e.locks.Lock(owner, latch, lockmgr.Share, e.timeout); err != nil {
+		if err := e.locks.Lock(ctx, owner, latch, lockmgr.Share, e.timeout); err != nil {
 			return err
 		}
-		img, err := e.fetchPage(table, p)
-		e.locks.Unlock(owner, latch)
+		img, err := e.fetchPage(ctx, table, p)
+		e.locks.Unlock(ctx, owner, latch)
 		if err != nil {
 			return err
 		}
@@ -716,7 +748,7 @@ func (e *Engine) ScanPages(owner, table string, lo, hi int, fn func(key string, 
 // bounds are open), in key order. Keys hash across pages, so this is a
 // full sweep with a sort — the decision-support access path, not an
 // OLTP one. fn returning false stops the scan.
-func (e *Engine) RangeScan(owner, table, from, to string, fn func(key string, value []byte) bool) error {
+func (e *Engine) RangeScan(ctx context.Context, owner, table, from, to string, fn func(key string, value []byte) bool) error {
 	meta, err := e.table(table)
 	if err != nil {
 		return err
@@ -726,7 +758,7 @@ func (e *Engine) RangeScan(owner, table, from, to string, fn func(key string, va
 		val []byte
 	}
 	var recs []rec
-	err = e.ScanPages(owner, table, 0, meta.pages, func(k string, v []byte) bool {
+	err = e.ScanPages(ctx, owner, table, 0, meta.pages, func(k string, v []byte) bool {
 		if from != "" && k < from {
 			return true
 		}
@@ -760,12 +792,12 @@ type RecoveryReport struct {
 // (redoes) the changes of committed-but-not-fully-applied transactions,
 // and then frees the failed system's retained locks. Retained locks
 // protect the affected records for the whole procedure (§2.5, §3.3.1).
-func (e *Engine) RecoverPeer(failedSys string) (RecoveryReport, error) {
+func (e *Engine) RecoverPeer(ctx context.Context, failedSys string) (RecoveryReport, error) {
 	rep := RecoveryReport{FailedSystem: failedSys}
 	var recs []LogRecord
 	var err error
 	if e.logger != nil {
-		recs, err = e.streamLogRecords(failedSys)
+		recs, err = e.streamLogRecords(ctx, failedSys)
 	} else {
 		var logDS *dasd.Dataset
 		if logDS, err = e.farm.Dataset(logDatasetName(e.name, failedSys)); err == nil {
@@ -796,11 +828,11 @@ func (e *Engine) RecoverPeer(failedSys string) (RecoveryReport, error) {
 		}
 		page := pageOf(r.Key, meta.pages)
 		latch := e.pageResource(r.Table, page)
-		if err := e.locks.Lock(owner, latch, lockmgr.Exclusive, e.timeout); err != nil {
+		if err := e.locks.Lock(ctx, owner, latch, lockmgr.Exclusive, e.timeout); err != nil {
 			return rep, err
 		}
 		err = func() error {
-			img, err := e.fetchPage(r.Table, page)
+			img, err := e.fetchPage(ctx, r.Table, page)
 			if err != nil {
 				return err
 			}
@@ -813,21 +845,21 @@ func (e *Engine) RecoverPeer(failedSys string) (RecoveryReport, error) {
 			if err != nil {
 				return err
 			}
-			return e.pool.WritePage(pageName(r.Table, page), raw)
+			return e.pool.WritePage(ctx, pageName(r.Table, page), raw)
 		}()
-		e.locks.Unlock(owner, latch)
+		e.locks.Unlock(ctx, owner, latch)
 		if err != nil {
 			return rep, err
 		}
 		rep.RedoApplied++
 	}
 	// Free the failed system's retained locks now that redo is complete.
-	retained, err := e.locks.RetainedResources(failedSys)
+	retained, err := e.locks.RetainedResources(ctx, failedSys)
 	if err != nil {
 		return rep, err
 	}
 	for _, rec := range retained {
-		if err := e.locks.ReleaseRetained(failedSys, rec.Resource); err != nil {
+		if err := e.locks.ReleaseRetained(ctx, failedSys, rec.Resource); err != nil {
 			return rep, err
 		}
 		rep.LocksFreed++
@@ -842,7 +874,7 @@ func (e *Engine) RecoverPeer(failedSys string) (RecoveryReport, error) {
 // across offloaded and interim storage, filtered to the failed system's
 // records. Browsing shared streams is exactly what the per-system log
 // dataset could not offer: no dataset handoff, no system affinity.
-func (e *Engine) streamLogRecords(failedSys string) ([]LogRecord, error) {
+func (e *Engine) streamLogRecords(ctx context.Context, failedSys string) ([]LogRecord, error) {
 	streams := []*logr.Stream{e.sync}
 	e.mu.Lock()
 	for _, t := range e.tables {
@@ -851,7 +883,7 @@ func (e *Engine) streamLogRecords(failedSys string) ([]LogRecord, error) {
 	e.mu.Unlock()
 	var out []LogRecord
 	for _, s := range streams {
-		cur, err := s.Browse()
+		cur, err := s.Browse(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package db
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -40,7 +41,7 @@ func newStreamFixture(t *testing.T, systems ...string) *dbFixture {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lm, err := lockmgr.New(sys, ls, clock)
+		lm, err := lockmgr.New(context.Background(), sys, ls, clock)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,7 +53,7 @@ func newStreamFixture(t *testing.T, systems ...string) *dbFixture {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng, err := Open(Config{
+		eng, err := Open(context.Background(), Config{
 			Name: "DBP1", System: s, Farm: farm, Volume: "DBVOL",
 			Facility: fac, Locks: lm, LockTimeout: 3 * time.Second,
 			PoolFrames: 64, Logger: logger,
@@ -60,7 +61,7 @@ func newStreamFixture(t *testing.T, systems ...string) *dbFixture {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := eng.OpenTable("ACCT", 16); err != nil {
+		if err := eng.OpenTable(context.Background(), "ACCT", 16); err != nil {
 			t.Fatal(err)
 		}
 		fx.engines[s] = eng
@@ -75,7 +76,7 @@ func TestStreamWALCarriesCommits(t *testing.T) {
 	fx := newStreamFixture(t, "SYS1", "SYS2")
 	e1 := fx.engines["SYS1"]
 	for i := 0; i < 5; i++ {
-		tx := e1.Begin()
+		tx := e1.Begin(context.Background())
 		if err := tx.Put("ACCT", "alice", []byte{byte('0' + i)}); err != nil {
 			t.Fatal(err)
 		}
@@ -94,14 +95,14 @@ func TestStreamWALCarriesCommits(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 5 update records on the table stream, 5 COMMIT + 5 END on sync.
-	cur, err := tblStream.Browse()
+	cur, err := tblStream.Browse(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cur.Len() != 5 {
 		t.Fatalf("table stream has %d records, want 5", cur.Len())
 	}
-	scur, err := e1.sync.Browse()
+	scur, err := e1.sync.Browse(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestStreamWALCarriesCommits(t *testing.T) {
 		t.Fatalf("sync stream has %d records, want 10", scur.Len())
 	}
 	// Cross-system visibility of the committed value.
-	tx := fx.engines["SYS2"].Begin()
+	tx := fx.engines["SYS2"].Begin(context.Background())
 	v, ok, err := tx.Get("ACCT", "alice")
 	if err != nil || !ok || string(v) != "4" {
 		t.Fatalf("alice = %q ok=%v err=%v", v, ok, err)
@@ -124,13 +125,13 @@ func TestStreamWALCarriesCommits(t *testing.T) {
 func TestStreamPeerRecovery(t *testing.T) {
 	fx := newStreamFixture(t, "SYS1", "SYS2")
 	e1, e2 := fx.engines["SYS1"], fx.engines["SYS2"]
-	tx := e1.Begin()
+	tx := e1.Begin(context.Background())
 	tx.Put("ACCT", "gina", []byte("old"))
 	tx.Commit()
 
 	// Simulate SYS1 dying mid-commit: log force done (stream writes),
 	// pages never applied.
-	err := e1.appendLog(
+	err := e1.appendLog(context.Background(),
 		&LogRecord{Tx: "SYS1-999999", Kind: recUpdate, Table: "ACCT", Key: "gina", Before: []byte("old"), After: []byte("new")},
 		&LogRecord{Tx: "SYS1-999999", Kind: recUpdate, Table: "ACCT", Key: "hank", After: []byte("born")},
 		&LogRecord{Tx: "SYS1-999999", Kind: recCommit},
@@ -139,27 +140,27 @@ func TestStreamPeerRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	ls, _ := fx.fac.LockStructure("IRLM")
-	ls.SetRecord("SYS1", e1.recordResource("ACCT", "gina"), cf.Exclusive)
-	ls.SetRecord("SYS1", e1.recordResource("ACCT", "hank"), cf.Exclusive)
+	ls.SetRecord(context.Background(), "SYS1", e1.recordResource("ACCT", "gina"), cf.Exclusive)
+	ls.SetRecord(context.Background(), "SYS1", e1.recordResource("ACCT", "hank"), cf.Exclusive)
 
 	fx.plex.PartitionNow("SYS1")
 	fx.fac.FailConnector("SYS1")
 
-	txB := e2.Begin()
+	txB := e2.Begin(context.Background())
 	_, _, err = txB.Get("ACCT", "gina")
 	if !errors.Is(err, lockmgr.ErrRetained) {
 		t.Fatalf("err = %v, want retained", err)
 	}
 	txB.Abort()
 
-	rep, err := e2.RecoverPeer("SYS1")
+	rep, err := e2.RecoverPeer(context.Background(), "SYS1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.RedoApplied != 2 || rep.LocksFreed != 2 {
 		t.Fatalf("report = %+v", rep)
 	}
-	tx2 := e2.Begin()
+	tx2 := e2.Begin(context.Background())
 	v, ok, err := tx2.Get("ACCT", "gina")
 	if err != nil || !ok || string(v) != "new" {
 		t.Fatalf("gina = %q ok=%v err=%v", v, ok, err)
@@ -178,26 +179,26 @@ func TestStreamRecoveryFilters(t *testing.T) {
 	fx := newStreamFixture(t, "SYS1", "SYS2")
 	e1, e2 := fx.engines["SYS1"], fx.engines["SYS2"]
 	// Survivor traffic interleaved on the same streams.
-	tx := e2.Begin()
+	tx := e2.Begin(context.Background())
 	tx.Put("ACCT", "keep", []byte("mine"))
 	tx.Commit()
 	// SYS1: uncommitted (no COMMIT) and fully applied (COMMIT + END).
-	e1.appendLog(&LogRecord{Tx: "SYS1-777777", Kind: recUpdate, Table: "ACCT", Key: "ivy", After: []byte("ghost")})
-	e1.appendLog(
+	e1.appendLog(context.Background(), &LogRecord{Tx: "SYS1-777777", Kind: recUpdate, Table: "ACCT", Key: "ivy", After: []byte("ghost")})
+	e1.appendLog(context.Background(),
 		&LogRecord{Tx: "SYS1-888888", Kind: recUpdate, Table: "ACCT", Key: "judy", After: []byte("stale")},
 		&LogRecord{Tx: "SYS1-888888", Kind: recCommit},
 		&LogRecord{Tx: "SYS1-888888", Kind: recEnd},
 	)
 	fx.plex.PartitionNow("SYS1")
 	fx.fac.FailConnector("SYS1")
-	rep, err := e2.RecoverPeer("SYS1")
+	rep, err := e2.RecoverPeer(context.Background(), "SYS1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.RedoApplied != 0 {
 		t.Fatalf("report = %+v, nothing should be redone", rep)
 	}
-	tx2 := e2.Begin()
+	tx2 := e2.Begin(context.Background())
 	if _, ok, _ := tx2.Get("ACCT", "ivy"); ok {
 		t.Fatal("uncommitted change redone")
 	}

@@ -2,6 +2,7 @@ package db
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -45,12 +46,12 @@ func newDBFixture(t *testing.T, systems ...string) *dbFixture {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lm, err := lockmgr.New(sys, ls, vclock.Real())
+		lm, err := lockmgr.New(context.Background(), sys, ls, vclock.Real())
 		if err != nil {
 			t.Fatal(err)
 		}
 		fx.locks[s] = lm
-		eng, err := Open(Config{
+		eng, err := Open(context.Background(), Config{
 			Name: "DBP1", System: s, Farm: farm, Volume: "DBVOL",
 			Facility: fac, Locks: lm, LockTimeout: 3 * time.Second,
 			PoolFrames: 64, LogBlocks: 256,
@@ -58,7 +59,7 @@ func newDBFixture(t *testing.T, systems ...string) *dbFixture {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := eng.OpenTable("ACCT", 16); err != nil {
+		if err := eng.OpenTable(context.Background(), "ACCT", 16); err != nil {
 			t.Fatal(err)
 		}
 		fx.engines[s] = eng
@@ -69,7 +70,7 @@ func newDBFixture(t *testing.T, systems ...string) *dbFixture {
 func TestPutGetCommit(t *testing.T) {
 	fx := newDBFixture(t, "SYS1")
 	e := fx.engines["SYS1"]
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	if err := tx.Put("ACCT", "alice", []byte("100")); err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestPutGetCommit(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	tx2 := e.Begin()
+	tx2 := e.Begin(context.Background())
 	v, ok, err = tx2.Get("ACCT", "alice")
 	if err != nil || !ok || string(v) != "100" {
 		t.Fatalf("after commit: v=%q ok=%v err=%v", v, ok, err)
@@ -96,17 +97,17 @@ func TestPutGetCommit(t *testing.T) {
 func TestAbortDiscards(t *testing.T) {
 	fx := newDBFixture(t, "SYS1")
 	e := fx.engines["SYS1"]
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	tx.Put("ACCT", "bob", []byte("50"))
 	tx.Abort()
-	tx2 := e.Begin()
+	tx2 := e.Begin(context.Background())
 	_, ok, err := tx2.Get("ACCT", "bob")
 	if err != nil || ok {
 		t.Fatalf("aborted write visible: ok=%v err=%v", ok, err)
 	}
 	tx2.Commit()
 	// Abort released the locks.
-	tx3 := e.Begin()
+	tx3 := e.Begin(context.Background())
 	if err := tx3.Put("ACCT", "bob", []byte("1")); err != nil {
 		t.Fatal(err)
 	}
@@ -116,10 +117,10 @@ func TestAbortDiscards(t *testing.T) {
 func TestDeleteRecord(t *testing.T) {
 	fx := newDBFixture(t, "SYS1")
 	e := fx.engines["SYS1"]
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	tx.Put("ACCT", "carol", []byte("1"))
 	tx.Commit()
-	tx2 := e.Begin()
+	tx2 := e.Begin(context.Background())
 	if err := tx2.Delete("ACCT", "carol"); err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestDeleteRecord(t *testing.T) {
 		t.Fatal("own delete invisible")
 	}
 	tx2.Commit()
-	tx3 := e.Begin()
+	tx3 := e.Begin(context.Background())
 	if _, ok, _ := tx3.Get("ACCT", "carol"); ok {
 		t.Fatal("delete not committed")
 	}
@@ -139,17 +140,17 @@ func TestCrossSystemVisibilityAndCoherency(t *testing.T) {
 	fx := newDBFixture(t, "SYS1", "SYS2")
 	e1, e2 := fx.engines["SYS1"], fx.engines["SYS2"]
 	// Warm SYS2's local cache with the page.
-	tx := e2.Begin()
+	tx := e2.Begin(context.Background())
 	tx.Get("ACCT", "dave")
 	tx.Commit()
 	// SYS1 commits an update.
-	tx1 := e1.Begin()
+	tx1 := e1.Begin(context.Background())
 	tx1.Put("ACCT", "dave", []byte("v1"))
 	if err := tx1.Commit(); err != nil {
 		t.Fatal(err)
 	}
 	// SYS2 sees it immediately (cross-invalidate + refresh).
-	tx2 := e2.Begin()
+	tx2 := e2.Begin(context.Background())
 	v, ok, err := tx2.Get("ACCT", "dave")
 	if err != nil || !ok || string(v) != "v1" {
 		t.Fatalf("v=%q ok=%v err=%v", v, ok, err)
@@ -160,13 +161,13 @@ func TestCrossSystemVisibilityAndCoherency(t *testing.T) {
 func TestWriteConflictBlocksAcrossSystems(t *testing.T) {
 	fx := newDBFixture(t, "SYS1", "SYS2")
 	e1, e2 := fx.engines["SYS1"], fx.engines["SYS2"]
-	tx1 := e1.Begin()
+	tx1 := e1.Begin(context.Background())
 	if err := tx1.Put("ACCT", "erin", []byte("a")); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
 	go func() {
-		tx2 := e2.Begin()
+		tx2 := e2.Begin(context.Background())
 		if err := tx2.Put("ACCT", "erin", []byte("b")); err != nil {
 			done <- err
 			return
@@ -183,7 +184,7 @@ func TestWriteConflictBlocksAcrossSystems(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Last committed wins.
-	tx := e1.Begin()
+	tx := e1.Begin(context.Background())
 	v, _, _ := tx.Get("ACCT", "erin")
 	tx.Commit()
 	if string(v) != "b" {
@@ -194,7 +195,7 @@ func TestWriteConflictBlocksAcrossSystems(t *testing.T) {
 func TestConcurrentIncrementsAcrossSystems(t *testing.T) {
 	fx := newDBFixture(t, "SYS1", "SYS2", "SYS3")
 	// Seed.
-	tx := fx.engines["SYS1"].Begin()
+	tx := fx.engines["SYS1"].Begin(context.Background())
 	tx.Put("ACCT", "counter", []byte("0"))
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
@@ -209,7 +210,7 @@ func TestConcurrentIncrementsAcrossSystems(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perSys; i++ {
 				for {
-					tx := e.Begin()
+					tx := e.Begin(context.Background())
 					v, _, err := tx.Get("ACCT", "counter")
 					if err != nil {
 						tx.Abort()
@@ -243,7 +244,7 @@ func TestConcurrentIncrementsAcrossSystems(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	tx = fx.engines["SYS2"].Begin()
+	tx = fx.engines["SYS2"].Begin(context.Background())
 	v, _, _ := tx.Get("ACCT", "counter")
 	tx.Commit()
 	want := fmt.Sprintf("%d", 3*perSys)
@@ -255,7 +256,7 @@ func TestConcurrentIncrementsAcrossSystems(t *testing.T) {
 func TestScanPages(t *testing.T) {
 	fx := newDBFixture(t, "SYS1")
 	e := fx.engines["SYS1"]
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	for i := 0; i < 40; i++ {
 		if err := tx.Put("ACCT", fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
 			t.Fatal(err)
@@ -266,17 +267,17 @@ func TestScanPages(t *testing.T) {
 	}
 	// Full scan sees all 40; split scans see a partition of them.
 	count := 0
-	if err := e.ScanPages("Q1", "ACCT", 0, 16, func(k string, v []byte) bool { count++; return true }); err != nil {
+	if err := e.ScanPages(context.Background(), "Q1", "ACCT", 0, 16, func(k string, v []byte) bool { count++; return true }); err != nil {
 		t.Fatal(err)
 	}
 	if count != 40 {
 		t.Fatalf("full scan = %d", count)
 	}
 	lo, hi := 0, 0
-	if err := e.ScanPages("Q2", "ACCT", 0, 8, func(k string, v []byte) bool { lo++; return true }); err != nil {
+	if err := e.ScanPages(context.Background(), "Q2", "ACCT", 0, 8, func(k string, v []byte) bool { lo++; return true }); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.ScanPages("Q3", "ACCT", 8, 16, func(k string, v []byte) bool { hi++; return true }); err != nil {
+	if err := e.ScanPages(context.Background(), "Q3", "ACCT", 8, 16, func(k string, v []byte) bool { hi++; return true }); err != nil {
 		t.Fatal(err)
 	}
 	if lo+hi != 40 || lo == 0 || hi == 0 {
@@ -284,7 +285,7 @@ func TestScanPages(t *testing.T) {
 	}
 	// Early stop.
 	n := 0
-	e.ScanPages("Q4", "ACCT", 0, 16, func(k string, v []byte) bool { n++; return n < 5 })
+	e.ScanPages(context.Background(), "Q4", "ACCT", 0, 16, func(k string, v []byte) bool { n++; return n < 5 })
 	if n != 5 {
 		t.Fatalf("early stop n = %d", n)
 	}
@@ -293,10 +294,10 @@ func TestScanPages(t *testing.T) {
 func TestCastoutPersistsToDASD(t *testing.T) {
 	fx := newDBFixture(t, "SYS1", "SYS2")
 	e1 := fx.engines["SYS1"]
-	tx := e1.Begin()
+	tx := e1.Begin(context.Background())
 	tx.Put("ACCT", "frank", []byte("cast"))
 	tx.Commit()
-	n, err := e1.CastoutOnce(0)
+	n, err := e1.CastoutOnce(context.Background(), 0)
 	if err != nil || n == 0 {
 		t.Fatalf("castout n=%d err=%v", n, err)
 	}
@@ -325,7 +326,7 @@ func TestPeerRecoveryRedoesCommittedChanges(t *testing.T) {
 	e1, e2 := fx.engines["SYS1"], fx.engines["SYS2"]
 
 	// A fully committed transaction on SYS1 (applied everywhere).
-	tx := e1.Begin()
+	tx := e1.Begin(context.Background())
 	tx.Put("ACCT", "gina", []byte("old"))
 	tx.Commit()
 
@@ -341,14 +342,14 @@ func TestPeerRecoveryRedoesCommittedChanges(t *testing.T) {
 	}
 	// The dying system also held exclusive locks, retained at the CF.
 	ls, _ := fx.fac.LockStructure("IRLM")
-	ls.SetRecord("SYS1", e1.recordResource("ACCT", "gina"), cf.Exclusive)
-	ls.SetRecord("SYS1", e1.recordResource("ACCT", "hank"), cf.Exclusive)
+	ls.SetRecord(context.Background(), "SYS1", e1.recordResource("ACCT", "gina"), cf.Exclusive)
+	ls.SetRecord(context.Background(), "SYS1", e1.recordResource("ACCT", "hank"), cf.Exclusive)
 
 	fx.plex.PartitionNow("SYS1")
 	fx.fac.FailConnector("SYS1")
 
 	// Before recovery, the records are protected by retained locks.
-	txB := e2.Begin()
+	txB := e2.Begin(context.Background())
 	_, _, err = txB.Get("ACCT", "gina")
 	if !errors.Is(err, lockmgr.ErrRetained) {
 		t.Fatalf("err = %v, want retained", err)
@@ -356,7 +357,7 @@ func TestPeerRecoveryRedoesCommittedChanges(t *testing.T) {
 	txB.Abort()
 
 	// SYS2 performs peer recovery.
-	rep, err := e2.RecoverPeer("SYS1")
+	rep, err := e2.RecoverPeer(context.Background(), "SYS1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +365,7 @@ func TestPeerRecoveryRedoesCommittedChanges(t *testing.T) {
 		t.Fatalf("report = %+v", rep)
 	}
 	// The committed-but-unapplied changes are now visible and unlocked.
-	tx2 := e2.Begin()
+	tx2 := e2.Begin(context.Background())
 	v, ok, err := tx2.Get("ACCT", "gina")
 	if err != nil || !ok || string(v) != "new" {
 		t.Fatalf("gina = %q ok=%v err=%v", v, ok, err)
@@ -389,14 +390,14 @@ func TestRecoverySkipsUncommittedAndEnded(t *testing.T) {
 	)
 	fx.plex.PartitionNow("SYS1")
 	fx.fac.FailConnector("SYS1")
-	rep, err := e2.RecoverPeer("SYS1")
+	rep, err := e2.RecoverPeer(context.Background(), "SYS1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.RedoApplied != 0 {
 		t.Fatalf("report = %+v, nothing should be redone", rep)
 	}
-	tx := e2.Begin()
+	tx := e2.Begin(context.Background())
 	if _, ok, _ := tx.Get("ACCT", "ivy"); ok {
 		t.Fatal("uncommitted change redone")
 	}
@@ -409,7 +410,7 @@ func TestRecoverySkipsUncommittedAndEnded(t *testing.T) {
 func TestTxDoneErrors(t *testing.T) {
 	fx := newDBFixture(t, "SYS1")
 	e := fx.engines["SYS1"]
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	tx.Commit()
 	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
 		t.Fatalf("err = %v", err)
@@ -428,12 +429,12 @@ func TestTxDoneErrors(t *testing.T) {
 
 func TestUnknownTable(t *testing.T) {
 	fx := newDBFixture(t, "SYS1")
-	tx := fx.engines["SYS1"].Begin()
+	tx := fx.engines["SYS1"].Begin(context.Background())
 	if _, _, err := tx.Get("NOPE", "k"); !errors.Is(err, ErrNoTable) {
 		t.Fatalf("err = %v", err)
 	}
 	tx.Abort()
-	if err := fx.engines["SYS1"].ScanPages("Q", "NOPE", 0, 1, nil); !errors.Is(err, ErrNoTable) {
+	if err := fx.engines["SYS1"].ScanPages(context.Background(), "Q", "NOPE", 0, 1, nil); !errors.Is(err, ErrNoTable) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -441,15 +442,15 @@ func TestUnknownTable(t *testing.T) {
 func TestOpenTableValidation(t *testing.T) {
 	fx := newDBFixture(t, "SYS1")
 	e := fx.engines["SYS1"]
-	if err := e.OpenTable("BAD", 0); err == nil {
+	if err := e.OpenTable(context.Background(), "BAD", 0); err == nil {
 		t.Fatal("zero pages accepted")
 	}
 	// Re-open with same page count: idempotent.
-	if err := e.OpenTable("ACCT", 16); err != nil {
+	if err := e.OpenTable(context.Background(), "ACCT", 16); err != nil {
 		t.Fatal(err)
 	}
 	// Page count mismatch with existing dataset.
-	if err := e.OpenTable("T2", 8); err != nil {
+	if err := e.OpenTable(context.Background(), "T2", 8); err != nil {
 		t.Fatal(err)
 	}
 	e2 := fx.engines["SYS1"]
@@ -466,7 +467,7 @@ func TestOpenTableValidation(t *testing.T) {
 
 func TestValueTooBig(t *testing.T) {
 	fx := newDBFixture(t, "SYS1")
-	tx := fx.engines["SYS1"].Begin()
+	tx := fx.engines["SYS1"].Begin(context.Background())
 	if err := tx.Put("ACCT", "big", make([]byte, dasd.BlockSize)); !errors.Is(err, ErrValueTooBig) {
 		t.Fatalf("err = %v", err)
 	}
@@ -476,26 +477,26 @@ func TestValueTooBig(t *testing.T) {
 func TestLogSurvivesEngineRestart(t *testing.T) {
 	fx := newDBFixture(t, "SYS1")
 	e := fx.engines["SYS1"]
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	tx.Put("ACCT", "kate", []byte("v"))
 	tx.Commit()
 	// Re-open the engine over the same datasets (system re-IPL).
 	lm := fx.locks["SYS1"]
-	e2, err := Open(Config{
+	e2, err := Open(context.Background(), Config{
 		Name: "DBP1", System: "SYS1", Farm: fx.farm, Volume: "DBVOL",
 		Facility: fx.fac, Locks: lm, PoolFrames: 64, LogBlocks: 256,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e2.OpenTable("ACCT", 16); err != nil {
+	if err := e2.OpenTable(context.Background(), "ACCT", 16); err != nil {
 		t.Fatal(err)
 	}
 	// The new WAL must continue after the old records, not overwrite.
 	if e2.log.nextBlk == 0 {
 		t.Fatal("log position lost on restart")
 	}
-	tx2 := e2.Begin()
+	tx2 := e2.Begin(context.Background())
 	v, ok, err := tx2.Get("ACCT", "kate")
 	if err != nil || !ok || string(v) != "v" {
 		t.Fatalf("v=%q ok=%v err=%v", v, ok, err)
@@ -533,14 +534,14 @@ func TestPageFullRejectedAtPut(t *testing.T) {
 	fx := newDBFixture(t, "SYS1")
 	e := fx.engines["SYS1"]
 	// One-page table: everything collides onto page 0.
-	if err := e.OpenTable("TINY", 1); err != nil {
+	if err := e.OpenTable(context.Background(), "TINY", 1); err != nil {
 		t.Fatal(err)
 	}
 	val := make([]byte, 700)
 	var lastErr error
 	inserted := 0
 	for i := 0; i < 20; i++ {
-		tx := e.Begin()
+		tx := e.Begin(context.Background())
 		err := tx.Put("TINY", fmt.Sprintf("rec%02d", i), val)
 		if err != nil {
 			lastErr = err
@@ -559,7 +560,7 @@ func TestPageFullRejectedAtPut(t *testing.T) {
 		t.Fatalf("inserted = %d", inserted)
 	}
 	// Earlier records are intact and further work proceeds normally.
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	v, ok, err := tx.Get("TINY", "rec00")
 	if err != nil || !ok || len(v) != 700 {
 		t.Fatalf("rec00: ok=%v err=%v", ok, err)
@@ -571,7 +572,7 @@ func TestPageFullRejectedAtPut(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Deleting freed room for one more record.
-	tx2 := e.Begin()
+	tx2 := e.Begin(context.Background())
 	if err := tx2.Put("TINY", "fresh", val); err != nil {
 		t.Fatalf("put after delete: %v", err)
 	}
@@ -582,18 +583,18 @@ func TestMultiTableTransaction(t *testing.T) {
 	fx := newDBFixture(t, "SYS1", "SYS2")
 	e1, e2 := fx.engines["SYS1"], fx.engines["SYS2"]
 	for _, e := range []*Engine{e1, e2} {
-		if err := e.OpenTable("AUDIT", 8); err != nil {
+		if err := e.OpenTable(context.Background(), "AUDIT", 8); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// A transfer touching two tables commits atomically.
-	tx := e1.Begin()
+	tx := e1.Begin(context.Background())
 	tx.Put("ACCT", "src", []byte("90"))
 	tx.Put("AUDIT", "entry1", []byte("withdrew 10 from src"))
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	tx2 := e2.Begin()
+	tx2 := e2.Begin(context.Background())
 	v1, ok1, _ := tx2.Get("ACCT", "src")
 	v2, ok2, _ := tx2.Get("AUDIT", "entry1")
 	tx2.Commit()
@@ -601,11 +602,11 @@ func TestMultiTableTransaction(t *testing.T) {
 		t.Fatalf("multi-table commit not visible: %q %q", v1, v2)
 	}
 	// An aborted multi-table transaction leaves no trace in either.
-	tx3 := e1.Begin()
+	tx3 := e1.Begin(context.Background())
 	tx3.Put("ACCT", "ghost", []byte("1"))
 	tx3.Put("AUDIT", "ghost", []byte("1"))
 	tx3.Abort()
-	tx4 := e2.Begin()
+	tx4 := e2.Begin(context.Background())
 	if _, ok, _ := tx4.Get("ACCT", "ghost"); ok {
 		t.Fatal("aborted ACCT change visible")
 	}
@@ -618,7 +619,7 @@ func TestMultiTableTransaction(t *testing.T) {
 func TestRangeScanOrderedAndBounded(t *testing.T) {
 	fx := newDBFixture(t, "SYS1")
 	e := fx.engines["SYS1"]
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	for _, k := range []string{"delta", "alpha", "echo", "bravo", "charlie"} {
 		if err := tx.Put("ACCT", k, []byte("v-"+k)); err != nil {
 			t.Fatal(err)
@@ -628,7 +629,7 @@ func TestRangeScanOrderedAndBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []string
-	if err := e.RangeScan("Q", "ACCT", "b", "e", func(k string, v []byte) bool {
+	if err := e.RangeScan(context.Background(), "Q", "ACCT", "b", "e", func(k string, v []byte) bool {
 		got = append(got, k)
 		return true
 	}); err != nil {
@@ -645,17 +646,17 @@ func TestRangeScanOrderedAndBounded(t *testing.T) {
 	}
 	// Open bounds: everything, ordered.
 	got = nil
-	e.RangeScan("Q", "ACCT", "", "", func(k string, v []byte) bool { got = append(got, k); return true })
+	e.RangeScan(context.Background(), "Q", "ACCT", "", "", func(k string, v []byte) bool { got = append(got, k); return true })
 	if len(got) != 5 || got[0] != "alpha" || got[4] != "echo" {
 		t.Fatalf("open scan = %v", got)
 	}
 	// Early stop.
 	n := 0
-	e.RangeScan("Q", "ACCT", "", "", func(k string, v []byte) bool { n++; return false })
+	e.RangeScan(context.Background(), "Q", "ACCT", "", "", func(k string, v []byte) bool { n++; return false })
 	if n != 1 {
 		t.Fatalf("early stop n = %d", n)
 	}
-	if err := e.RangeScan("Q", "NOPE", "", "", nil); !errors.Is(err, ErrNoTable) {
+	if err := e.RangeScan(context.Background(), "Q", "NOPE", "", "", nil); !errors.Is(err, ErrNoTable) {
 		t.Fatalf("err = %v", err)
 	}
 }

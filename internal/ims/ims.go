@@ -9,6 +9,7 @@
 package ims
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -87,7 +88,7 @@ type Database struct {
 
 // Open attaches (creating on first use) the hierarchical database on a
 // data-sharing engine. pages sizes the backing table.
-func Open(eng *db.Engine, h Hierarchy, pages int) (*Database, error) {
+func Open(ctx context.Context, eng *db.Engine, h Hierarchy, pages int) (*Database, error) {
 	if h.Name == "" || len(h.Segments) == 0 {
 		return nil, errors.New("ims: hierarchy needs a name and segments")
 	}
@@ -105,7 +106,7 @@ func Open(eng *db.Engine, h Hierarchy, pages int) (*Database, error) {
 	if roots != 1 {
 		return nil, fmt.Errorf("ims: hierarchy needs exactly one root, has %d", roots)
 	}
-	if err := eng.OpenTable("IMS."+h.Name, pages); err != nil {
+	if err := eng.OpenTable(ctx, "IMS."+h.Name, pages); err != nil {
 		return nil, err
 	}
 	return &Database{eng: eng, h: h}, nil
@@ -220,7 +221,7 @@ func (d *Database) DLET(tx *db.Tx, seg string, path []string) error {
 
 func (d *Database) deleteSubtree(tx *db.Tx, seg string, path []string) error {
 	for _, child := range d.h.children(seg) {
-		keys, err := d.childKeys(child, path)
+		keys, err := d.childKeys(tx.Context(), child, path)
 		if err != nil {
 			return err
 		}
@@ -243,7 +244,7 @@ func (d *Database) deleteSubtree(tx *db.Tx, seg string, path []string) error {
 // Children lists the key values of childSeg occurrences under the given
 // parent path, in key order. DL/I: GN within parent, the sequential
 // retrieval used to walk twin chains.
-func (d *Database) Children(childSeg string, parentPath []string) ([]string, error) {
+func (d *Database) Children(ctx context.Context, childSeg string, parentPath []string) ([]string, error) {
 	st, ok := d.h.typeOf(childSeg)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSegType, childSeg)
@@ -252,18 +253,18 @@ func (d *Database) Children(childSeg string, parentPath []string) ([]string, err
 	if st.Parent == "" || len(parentPath) != plvl {
 		return nil, fmt.Errorf("%w: parent of %q", ErrBadPath, childSeg)
 	}
-	return d.childKeys(childSeg, parentPath)
+	return d.childKeys(ctx, childSeg, parentPath)
 }
 
 // childKeys scans for direct children of a parent path.
-func (d *Database) childKeys(childSeg string, parentPath []string) ([]string, error) {
+func (d *Database) childKeys(ctx context.Context, childSeg string, parentPath []string) ([]string, error) {
 	prefix := childSeg + "|" + strings.Join(parentPath, "|") + "|"
 	if len(parentPath) == 0 {
 		prefix = childSeg + "|"
 	}
 	var keys []string
 	owner := "IMS.GN." + d.h.Name
-	err := d.eng.RangeScan(owner, d.table(), prefix, prefix+"\xff", func(k string, v []byte) bool {
+	err := d.eng.RangeScan(ctx, owner, d.table(), prefix, prefix+"\xff", func(k string, v []byte) bool {
 		rest := strings.TrimPrefix(k, prefix)
 		if !strings.Contains(rest, "|") { // direct child, not a grandchild
 			keys = append(keys, rest)
@@ -278,12 +279,12 @@ func (d *Database) childKeys(childSeg string, parentPath []string) ([]string, er
 }
 
 // Roots lists the root segment keys in the database.
-func (d *Database) Roots() ([]string, error) {
+func (d *Database) Roots(ctx context.Context) ([]string, error) {
 	root := ""
 	for _, st := range d.h.Segments {
 		if st.Parent == "" {
 			root = st.Name
 		}
 	}
-	return d.childKeys(root, nil)
+	return d.childKeys(ctx, root, nil)
 }

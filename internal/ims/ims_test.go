@@ -1,6 +1,7 @@
 package ims
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -46,11 +47,11 @@ func newFixture(t *testing.T, systems ...string) *fixture {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lm, err := lockmgr.New(sys, ls, vclock.Real())
+		lm, err := lockmgr.New(context.Background(), sys, ls, vclock.Real())
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng, err := db.Open(db.Config{
+		eng, err := db.Open(context.Background(), db.Config{
 			Name: "IMSP1", System: s, Farm: farm, Volume: "V",
 			Facility: fac, Locks: lm, PoolFrames: 64, LogBlocks: 256,
 			LockTimeout: 3 * time.Second,
@@ -58,7 +59,7 @@ func newFixture(t *testing.T, systems ...string) *fixture {
 		if err != nil {
 			t.Fatal(err)
 		}
-		d, err := Open(eng, bankDBD, 32)
+		d, err := Open(context.Background(), eng, bankDBD, 32)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +71,7 @@ func newFixture(t *testing.T, systems ...string) *fixture {
 func (fx *fixture) run(t *testing.T, sys string, fn func(tx *db.Tx, d *Database) error) {
 	t.Helper()
 	d := fx.dbs[sys]
-	tx := d.eng.Begin()
+	tx := d.eng.Begin(context.Background())
 	if err := fn(tx, d); err != nil {
 		tx.Abort()
 		t.Fatal(err)
@@ -103,7 +104,7 @@ func TestISRTAndGU(t *testing.T) {
 func TestISRTParentMustExist(t *testing.T) {
 	fx := newFixture(t, "SYS1")
 	d := fx.dbs["SYS1"]
-	tx := d.eng.Begin()
+	tx := d.eng.Begin(context.Background())
 	defer tx.Abort()
 	err := d.ISRT(tx, "ACCOUNT", []string{"NOCUST", "A1"}, nil)
 	if !errors.Is(err, ErrNoParent) {
@@ -117,7 +118,7 @@ func TestISRTDuplicateRejected(t *testing.T) {
 		return d.ISRT(tx, "CUSTOMER", []string{"C1"}, nil)
 	})
 	d := fx.dbs["SYS1"]
-	tx := d.eng.Begin()
+	tx := d.eng.Begin(context.Background())
 	defer tx.Abort()
 	if err := d.ISRT(tx, "CUSTOMER", []string{"C1"}, nil); !errors.Is(err, ErrDuplicate) {
 		t.Fatalf("err = %v", err)
@@ -127,7 +128,7 @@ func TestISRTDuplicateRejected(t *testing.T) {
 func TestPathValidation(t *testing.T) {
 	fx := newFixture(t, "SYS1")
 	d := fx.dbs["SYS1"]
-	tx := d.eng.Begin()
+	tx := d.eng.Begin(context.Background())
 	defer tx.Abort()
 	if err := d.ISRT(tx, "ACCOUNT", []string{"C1"}, nil); !errors.Is(err, ErrBadPath) {
 		t.Fatalf("err = %v", err)
@@ -156,7 +157,7 @@ func TestREPL(t *testing.T) {
 		return nil
 	})
 	d := fx.dbs["SYS1"]
-	tx := d.eng.Begin()
+	tx := d.eng.Begin(context.Background())
 	defer tx.Abort()
 	if err := d.REPL(tx, "CUSTOMER", []string{"GHOST"}, nil); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
@@ -179,7 +180,7 @@ func TestDLETCascades(t *testing.T) {
 		return d.DLET(tx, "CUSTOMER", []string{"C1"})
 	})
 	d := fx.dbs["SYS1"]
-	tx := d.eng.Begin()
+	tx := d.eng.Begin(context.Background())
 	defer tx.Abort()
 	// Entire C1 subtree is gone...
 	for _, probe := range [][2]interface{}{
@@ -210,23 +211,23 @@ func TestChildrenAndRoots(t *testing.T) {
 		return d.ISRT(tx, "TRANS", []string{"C1", "A1", "T1"}, nil)
 	})
 	d := fx.dbs["SYS1"]
-	roots, err := d.Roots()
+	roots, err := d.Roots(context.Background())
 	if err != nil || len(roots) != 2 || roots[0] != "C1" || roots[1] != "C2" {
 		t.Fatalf("roots = %v err=%v", roots, err)
 	}
-	kids, err := d.Children("ACCOUNT", []string{"C1"})
+	kids, err := d.Children(context.Background(), "ACCOUNT", []string{"C1"})
 	if err != nil || len(kids) != 2 || kids[0] != "A1" || kids[1] != "A2" {
 		t.Fatalf("children = %v err=%v", kids, err)
 	}
 	// Grandchildren are not reported as children.
-	kids, _ = d.Children("ACCOUNT", []string{"C2"})
+	kids, _ = d.Children(context.Background(), "ACCOUNT", []string{"C2"})
 	if len(kids) != 0 {
 		t.Fatalf("C2 children = %v", kids)
 	}
-	if _, err := d.Children("NOPE", []string{"C1"}); !errors.Is(err, ErrNoSegType) {
+	if _, err := d.Children(context.Background(), "NOPE", []string{"C1"}); !errors.Is(err, ErrNoSegType) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := d.Children("CUSTOMER", []string{"C1"}); !errors.Is(err, ErrBadPath) {
+	if _, err := d.Children(context.Background(), "CUSTOMER", []string{"C1"}); !errors.Is(err, ErrBadPath) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -257,25 +258,25 @@ func TestCrossSystemHierarchySharing(t *testing.T) {
 func TestHierarchyValidation(t *testing.T) {
 	fx := newFixture(t, "SYS1")
 	eng := fx.dbs["SYS1"].eng
-	if _, err := Open(eng, Hierarchy{Name: "EMPTY"}, 8); err == nil {
+	if _, err := Open(context.Background(), eng, Hierarchy{Name: "EMPTY"}, 8); err == nil {
 		t.Fatal("empty hierarchy accepted")
 	}
-	if _, err := Open(eng, Hierarchy{Name: "TWOROOT", Segments: []SegmentType{
+	if _, err := Open(context.Background(), eng, Hierarchy{Name: "TWOROOT", Segments: []SegmentType{
 		{Name: "A"}, {Name: "B"},
 	}}, 8); err == nil {
 		t.Fatal("two roots accepted")
 	}
-	if _, err := Open(eng, Hierarchy{Name: "ORPHAN", Segments: []SegmentType{
+	if _, err := Open(context.Background(), eng, Hierarchy{Name: "ORPHAN", Segments: []SegmentType{
 		{Name: "A"}, {Name: "B", Parent: "MISSING"},
 	}}, 8); err == nil {
 		t.Fatal("orphan parent accepted")
 	}
-	if _, err := Open(eng, Hierarchy{Name: "CYCLE", Segments: []SegmentType{
+	if _, err := Open(context.Background(), eng, Hierarchy{Name: "CYCLE", Segments: []SegmentType{
 		{Name: "A", Parent: "B"}, {Name: "B", Parent: "A"},
 	}}, 8); err == nil {
 		t.Fatal("cycle accepted")
 	}
-	if d, err := Open(eng, bankDBD, 32); err != nil || d.Hierarchy().Name != "BANKDB" {
+	if d, err := Open(context.Background(), eng, bankDBD, 32); err != nil || d.Hierarchy().Name != "BANKDB" {
 		t.Fatalf("reopen failed: %v", err)
 	}
 }

@@ -13,6 +13,7 @@
 package jes
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -72,17 +73,17 @@ func (q *Queue) structure() cf.List {
 // structure rebuild): all queued, active, and completed entries are
 // copied over. The old structure must still be readable (planned
 // rebuild).
-func (q *Queue) Rebind(newLS cf.List) error {
+func (q *Queue) Rebind(ctx context.Context, newLS cf.List) error {
 	if newLS.Lists() < numLists {
 		return fmt.Errorf("jes: structure needs >= %d lists", numLists)
 	}
-	if err := newLS.Connect(q.conn, nil); err != nil {
+	if err := newLS.Connect(ctx, q.conn, nil); err != nil {
 		return err
 	}
 	old := q.structure()
 	for list := 0; list < numLists; list++ {
 		for _, e := range old.Entries(list) {
-			if err := newLS.Write(q.conn, list, e.ID, e.Key, e.Data, cf.FIFO, cf.Cond{}); err != nil {
+			if err := newLS.Write(ctx, q.conn, list, e.ID, e.Key, e.Data, cf.FIFO, cf.Cond{}); err != nil {
 				return err
 			}
 		}
@@ -96,11 +97,11 @@ func (q *Queue) Rebind(newLS cf.List) error {
 // NewQueue creates the queue over a list structure with at least three
 // lists. The conn identity is used for CF commands issued on behalf of
 // the submitting side.
-func NewQueue(ls cf.List, conn string) (*Queue, error) {
+func NewQueue(ctx context.Context, ls cf.List, conn string) (*Queue, error) {
 	if ls.Lists() < numLists {
 		return nil, fmt.Errorf("jes: structure needs >= %d lists", numLists)
 	}
-	if err := ls.Connect(conn, nil); err != nil {
+	if err := ls.Connect(ctx, conn, nil); err != nil {
 		return nil, err
 	}
 	return &Queue{ls: ls, conn: conn}, nil
@@ -108,7 +109,7 @@ func NewQueue(ls cf.List, conn string) (*Queue, error) {
 
 // Submit places a job on the shared input queue and returns its ID.
 // The empty→non-empty transition wakes every registered executor.
-func (q *Queue) Submit(class string, payload []byte, submitter string) (string, error) {
+func (q *Queue) Submit(ctx context.Context, class string, payload []byte, submitter string) (string, error) {
 	q.mu.Lock()
 	q.nextID++
 	id := fmt.Sprintf("JOB%06d", q.nextID)
@@ -118,15 +119,15 @@ func (q *Queue) Submit(class string, payload []byte, submitter string) (string, 
 	if err != nil {
 		return "", err
 	}
-	if err := q.structure().Write(q.conn, inputList, id, "", raw, cf.FIFO, cf.Cond{}); err != nil {
+	if err := q.structure().Write(ctx, q.conn, inputList, id, "", raw, cf.FIFO, cf.Cond{}); err != nil {
 		return "", err
 	}
 	return id, nil
 }
 
 // Result fetches a completed job.
-func (q *Queue) Result(id string) (Job, error) {
-	e, err := q.structure().Read(q.conn, id, cf.Cond{})
+func (q *Queue) Result(ctx context.Context, id string) (Job, error) {
+	e, err := q.structure().Read(ctx, q.conn, id, cf.Cond{})
 	if err != nil {
 		return Job{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -152,7 +153,7 @@ func (q *Queue) Done() int { return q.structure().Len(doneList) }
 // RequeueOrphans moves jobs that were active on a failed system back to
 // the input queue (checkpoint takeover by a peer). Returns the job IDs
 // requeued.
-func (q *Queue) RequeueOrphans(failedSys string) ([]string, error) {
+func (q *Queue) RequeueOrphans(ctx context.Context, failedSys string) ([]string, error) {
 	var requeued []string
 	ls := q.structure()
 	for _, e := range ls.Entries(activeList) {
@@ -168,10 +169,10 @@ func (q *Queue) RequeueOrphans(failedSys string) ([]string, error) {
 		if err != nil {
 			continue
 		}
-		if err := ls.Write(q.conn, activeList, job.ID, "", raw, cf.FIFO, cf.Cond{}); err != nil {
+		if err := ls.Write(ctx, q.conn, activeList, job.ID, "", raw, cf.FIFO, cf.Cond{}); err != nil {
 			continue
 		}
-		if err := ls.Move(q.conn, job.ID, inputList, cf.FIFO, cf.Cond{}); err != nil {
+		if err := ls.Move(ctx, q.conn, job.ID, inputList, cf.FIFO, cf.Cond{}); err != nil {
 			continue
 		}
 		requeued = append(requeued, job.ID)
@@ -199,7 +200,7 @@ type Executor struct {
 
 // NewExecutor attaches an executor for system sys to the queue's
 // structure and registers transition monitoring of the input list.
-func NewExecutor(ls cf.List, sys string, clock vclock.Clock) (*Executor, error) {
+func NewExecutor(ctx context.Context, ls cf.List, sys string, clock vclock.Clock) (*Executor, error) {
 	if clock == nil {
 		clock = vclock.Real()
 	}
@@ -211,10 +212,10 @@ func NewExecutor(ls cf.List, sys string, clock vclock.Clock) (*Executor, error) 
 		handlers: make(map[string]Handler),
 		stopCh:   make(chan struct{}),
 	}
-	if err := ls.Connect(sys, e.vec); err != nil {
+	if err := ls.Connect(ctx, sys, e.vec); err != nil {
 		return nil, err
 	}
-	if err := ls.Monitor(sys, inputList, 0); err != nil {
+	if err := ls.Monitor(ctx, sys, inputList, 0); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -229,11 +230,11 @@ func (e *Executor) structure() cf.List {
 
 // Rebind moves the executor onto a rebuilt structure: reconnect and
 // re-register transition monitoring.
-func (e *Executor) Rebind(newLS cf.List) error {
-	if err := newLS.Connect(e.sys, e.vec); err != nil {
+func (e *Executor) Rebind(ctx context.Context, newLS cf.List) error {
+	if err := newLS.Connect(ctx, e.sys, e.vec); err != nil {
 		return err
 	}
-	if err := newLS.Monitor(e.sys, inputList, 0); err != nil {
+	if err := newLS.Monitor(ctx, e.sys, inputList, 0); err != nil {
 		return err
 	}
 	e.mu.Lock()
@@ -293,11 +294,13 @@ func (e *Executor) Start(poll time.Duration) {
 			case <-ticker.C():
 				if e.vec.Test(0) {
 					e.vec.Clear(0)
-					e.runOne()
+					// Background initiator: no caller context to honor;
+					// Stop is the lifecycle control.
+					e.runOne(context.Background())
 					// Re-arm: monitoring sets the bit again immediately if
 					// the list is still non-empty. The next tick retries if
 					// the CF was down.
-					_ = e.structure().Monitor(e.sys, inputList, 0)
+					_ = e.structure().Monitor(context.Background(), e.sys, inputList, 0)
 				}
 			}
 		}
@@ -307,10 +310,10 @@ func (e *Executor) Start(poll time.Duration) {
 // DrainOnce pops and executes jobs until the input queue is empty.
 // Returns the number executed. Exported so deterministic tests (and
 // callers without background goroutines) can run the loop inline.
-func (e *Executor) DrainOnce() int {
+func (e *Executor) DrainOnce(ctx context.Context) int {
 	n := 0
 	for {
-		if !e.runOne() {
+		if !e.runOne(ctx) {
 			return n
 		}
 		n++
@@ -319,9 +322,9 @@ func (e *Executor) DrainOnce() int {
 
 // runOne atomically claims one job. The Pop is the serialization: two
 // executors can never claim the same entry.
-func (e *Executor) runOne() bool {
+func (e *Executor) runOne(ctx context.Context) bool {
 	ls := e.structure()
-	entry, err := ls.Pop(e.sys, inputList, cf.Cond{})
+	entry, err := ls.Pop(ctx, e.sys, inputList, cf.Cond{})
 	if err != nil {
 		return false
 	}
@@ -335,7 +338,7 @@ func (e *Executor) runOne() bool {
 	raw, _ := json.Marshal(job)
 	// Best-effort checkpoint: if the CF is down the claim simply isn't
 	// durable, and a peer requeues the job after takeover.
-	_ = ls.Write(e.sys, activeList, job.ID, "", raw, cf.FIFO, cf.Cond{})
+	_ = ls.Write(ctx, e.sys, activeList, job.ID, "", raw, cf.FIFO, cf.Cond{})
 
 	e.mu.Lock()
 	h := e.handlers[job.Class]
@@ -353,8 +356,11 @@ func (e *Executor) runOne() bool {
 	raw, _ = json.Marshal(job)
 	// Best-effort completion record; a CF outage leaves the job on the
 	// active queue for peer requeue, which re-runs it (at-least-once).
-	_ = ls.Write(e.sys, activeList, job.ID, "", raw, cf.FIFO, cf.Cond{})
-	_ = ls.Move(e.sys, job.ID, doneList, cf.FIFO, cf.Cond{})
+	// Detached: the job has run; a cancelled submitter must not leave
+	// the completion record half-posted.
+	dctx := vclock.Detach(ctx)
+	_ = ls.Write(dctx, e.sys, activeList, job.ID, "", raw, cf.FIFO, cf.Cond{})
+	_ = ls.Move(dctx, e.sys, job.ID, doneList, cf.FIFO, cf.Cond{})
 	e.mu.Lock()
 	e.executed++
 	e.mu.Unlock()

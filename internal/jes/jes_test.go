@@ -1,6 +1,7 @@
 package jes
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -25,13 +26,13 @@ func newFixture(t *testing.T, systems ...string) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := NewQueue(ls, "JES")
+	q, err := NewQueue(context.Background(), ls, "JES")
 	if err != nil {
 		t.Fatal(err)
 	}
 	fx := &fixture{fac: fac, ls: ls, q: q, execs: map[string]*Executor{}}
 	for _, s := range systems {
-		e, err := NewExecutor(ls, s, vclock.Real())
+		e, err := NewExecutor(context.Background(), ls, s, vclock.Real())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -48,7 +49,7 @@ func newFixture(t *testing.T, systems ...string) *fixture {
 
 func TestSubmitExecuteResult(t *testing.T) {
 	fx := newFixture(t, "SYS1")
-	id, err := fx.q.Submit("ECHO", []byte("hello"), "USER1")
+	id, err := fx.q.Submit(context.Background(), "ECHO", []byte("hello"), "USER1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,10 +60,10 @@ func TestSubmitExecuteResult(t *testing.T) {
 	if !fx.execs["SYS1"].vec.Test(0) {
 		t.Fatal("transition bit not set")
 	}
-	if n := fx.execs["SYS1"].DrainOnce(); n != 1 {
+	if n := fx.execs["SYS1"].DrainOnce(context.Background()); n != 1 {
 		t.Fatalf("drained %d", n)
 	}
-	job, err := fx.q.Result(id)
+	job, err := fx.q.Result(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,9 +77,9 @@ func TestSubmitExecuteResult(t *testing.T) {
 
 func TestJobErrorCaptured(t *testing.T) {
 	fx := newFixture(t, "SYS1")
-	id, _ := fx.q.Submit("FAIL", nil, "U")
-	fx.execs["SYS1"].DrainOnce()
-	job, err := fx.q.Result(id)
+	id, _ := fx.q.Submit(context.Background(), "FAIL", nil, "U")
+	fx.execs["SYS1"].DrainOnce(context.Background())
+	job, err := fx.q.Result(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,9 +90,9 @@ func TestJobErrorCaptured(t *testing.T) {
 
 func TestNoHandler(t *testing.T) {
 	fx := newFixture(t, "SYS1")
-	id, _ := fx.q.Submit("UNKNOWN", nil, "U")
-	fx.execs["SYS1"].DrainOnce()
-	job, _ := fx.q.Result(id)
+	id, _ := fx.q.Submit(context.Background(), "UNKNOWN", nil, "U")
+	fx.execs["SYS1"].DrainOnce(context.Background())
+	job, _ := fx.q.Result(context.Background(), id)
 	if !strings.Contains(job.Error, "no handler") {
 		t.Fatalf("job = %+v", job)
 	}
@@ -99,11 +100,11 @@ func TestNoHandler(t *testing.T) {
 
 func TestResultStates(t *testing.T) {
 	fx := newFixture(t, "SYS1")
-	if _, err := fx.q.Result("JOB999999"); !errors.Is(err, ErrNotFound) {
+	if _, err := fx.q.Result(context.Background(), "JOB999999"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
-	id, _ := fx.q.Submit("ECHO", nil, "U")
-	if _, err := fx.q.Result(id); !errors.Is(err, ErrNotDone) {
+	id, _ := fx.q.Submit(context.Background(), "ECHO", nil, "U")
+	if _, err := fx.q.Result(context.Background(), id); !errors.Is(err, ErrNotDone) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -117,7 +118,7 @@ func TestWorkDistributionAcrossSystems(t *testing.T) {
 	const jobs = 60
 	ids := make([]string, jobs)
 	for i := range ids {
-		id, err := fx.q.Submit("ECHO", []byte(fmt.Sprintf("j%d", i)), "U")
+		id, err := fx.q.Submit(context.Background(), "ECHO", []byte(fmt.Sprintf("j%d", i)), "U")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func TestWorkDistributionAcrossSystems(t *testing.T) {
 		t.Fatalf("total executed = %d (double execution or loss)", total)
 	}
 	for _, id := range ids {
-		if _, err := fx.q.Result(id); err != nil {
+		if _, err := fx.q.Result(context.Background(), id); err != nil {
 			t.Fatalf("result %s: %v", id, err)
 		}
 	}
@@ -149,12 +150,12 @@ func TestNoDoubleExecutionUnderContention(t *testing.T) {
 	fx := newFixture(t, "SYS1", "SYS2")
 	const jobs = 40
 	for i := 0; i < jobs; i++ {
-		fx.q.Submit("ECHO", nil, "U")
+		fx.q.Submit(context.Background(), "ECHO", nil, "U")
 	}
 	done := make(chan int, 2)
 	for _, e := range fx.execs {
 		e := e
-		go func() { done <- e.DrainOnce() }()
+		go func() { done <- e.DrainOnce(context.Background()) }()
 	}
 	n := <-done + <-done
 	if n != jobs {
@@ -171,8 +172,8 @@ func TestRequeueOrphansAfterSystemFailure(t *testing.T) {
 		claimed <- string(payload)
 		select {} // never returns: the system is dead
 	})
-	id, _ := fx.q.Submit("STUCK", []byte("x"), "U")
-	go fx.execs["SYS1"].DrainOnce()
+	id, _ := fx.q.Submit(context.Background(), "STUCK", []byte("x"), "U")
+	go fx.execs["SYS1"].DrainOnce(context.Background())
 	<-claimed
 	// Wait for the claim checkpoint to land on the active queue.
 	deadline := time.Now().Add(2 * time.Second)
@@ -183,7 +184,7 @@ func TestRequeueOrphansAfterSystemFailure(t *testing.T) {
 		t.Fatalf("active = %d", fx.q.Active())
 	}
 	// Peer performs checkpoint takeover.
-	requeued, err := fx.q.RequeueOrphans("SYS1")
+	requeued, err := fx.q.RequeueOrphans(context.Background(), "SYS1")
 	if err != nil || len(requeued) != 1 || requeued[0] != id {
 		t.Fatalf("requeued = %v err=%v", requeued, err)
 	}
@@ -191,8 +192,8 @@ func TestRequeueOrphansAfterSystemFailure(t *testing.T) {
 	fx.execs["SYS2"].Register("STUCK", func(payload []byte) ([]byte, error) {
 		return []byte("recovered"), nil
 	})
-	fx.execs["SYS2"].DrainOnce()
-	job, err := fx.q.Result(id)
+	fx.execs["SYS2"].DrainOnce(context.Background())
+	job, err := fx.q.Result(context.Background(), id)
 	if err != nil || string(job.Output) != "recovered" || job.RanOn != "SYS2" {
 		t.Fatalf("job = %+v err=%v", job, err)
 	}
@@ -200,9 +201,9 @@ func TestRequeueOrphansAfterSystemFailure(t *testing.T) {
 
 func TestRequeueOrphansOnlyTouchesFailedSystem(t *testing.T) {
 	fx := newFixture(t, "SYS1")
-	fx.q.Submit("ECHO", nil, "U")
-	fx.execs["SYS1"].DrainOnce()
-	requeued, err := fx.q.RequeueOrphans("SYS9")
+	fx.q.Submit(context.Background(), "ECHO", nil, "U")
+	fx.execs["SYS1"].DrainOnce(context.Background())
+	requeued, err := fx.q.RequeueOrphans(context.Background(), "SYS9")
 	if err != nil || len(requeued) != 0 {
 		t.Fatalf("requeued = %v err=%v", requeued, err)
 	}
@@ -211,7 +212,7 @@ func TestRequeueOrphansOnlyTouchesFailedSystem(t *testing.T) {
 func TestQueueValidation(t *testing.T) {
 	fac := cf.New("CF", vclock.Real())
 	small, _ := fac.AllocateListStructure("SMALL", 1, 0, 10)
-	if _, err := NewQueue(small, "JES"); err == nil {
+	if _, err := NewQueue(context.Background(), small, "JES"); err == nil {
 		t.Fatal("undersized structure accepted")
 	}
 }
@@ -220,10 +221,10 @@ func TestBackgroundNotificationFlow(t *testing.T) {
 	fx := newFixture(t, "SYS1")
 	fx.execs["SYS1"].Start(200 * time.Microsecond)
 	defer fx.execs["SYS1"].Stop()
-	id, _ := fx.q.Submit("ECHO", []byte("bg"), "U")
+	id, _ := fx.q.Submit(context.Background(), "ECHO", []byte("bg"), "U")
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if job, err := fx.q.Result(id); err == nil {
+		if job, err := fx.q.Result(context.Background(), id); err == nil {
 			if string(job.Output) != "echo:bg" {
 				t.Fatalf("job = %+v", job)
 			}

@@ -17,6 +17,7 @@
 package lockmgr
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -97,7 +98,7 @@ type waiter struct {
 
 // New creates the lock manager for a system, connects it to the CF lock
 // structure and binds its negotiation service.
-func New(system *xcf.System, ls cf.Lock, clock vclock.Clock) (*Manager, error) {
+func New(ctx context.Context, system *xcf.System, ls cf.Lock, clock vclock.Clock) (*Manager, error) {
 	if clock == nil {
 		clock = vclock.Real()
 	}
@@ -110,7 +111,7 @@ func New(system *xcf.System, ls cf.Lock, clock vclock.Clock) (*Manager, error) {
 		resources: make(map[string]*resource),
 		pending:   make(map[uint64]chan negotiateReply),
 	}
-	if err := ls.Connect(m.sysName); err != nil {
+	if err := ls.Connect(ctx, m.sysName); err != nil {
 		return nil, err
 	}
 	system.BindService(service, m.handleMessage)
@@ -156,12 +157,15 @@ func (m *Manager) Shutdown() {
 
 // Lock obtains resource in the given mode for owner (a transaction or
 // unit-of-work ID unique within the sysplex). It blocks up to timeout.
-func (m *Manager) Lock(owner, resourceName string, mode cf.LockMode, timeout time.Duration) error {
+func (m *Manager) Lock(ctx context.Context, owner, resourceName string, mode cf.LockMode, timeout time.Duration) error {
 	start := m.clock.Now()
 	deadline := start.Add(timeout)
 	defer func() { m.reg.Histogram("lock.latency").Observe(m.clock.Since(start)) }()
 	for {
-		st, err := m.tryLock(owner, resourceName, mode)
+		if err := vclock.Check(ctx, m.clock); err != nil {
+			return err
+		}
+		st, err := m.tryLock(ctx, owner, resourceName, mode)
 		if err != nil {
 			return err
 		}
@@ -176,6 +180,9 @@ func (m *Manager) Lock(owner, resourceName string, mode cf.LockMode, timeout tim
 			return fmt.Errorf("%w: %s %v %s", ErrTimeout, owner, mode, resourceName)
 		}
 		select {
+		case <-ctx.Done():
+			m.removeWaiter(resourceName, st.w)
+			return ctx.Err()
 		case <-st.w.wake:
 			// retry
 		case <-st.w.abort:
@@ -203,7 +210,7 @@ type tryResult struct {
 
 // tryLock makes one grant attempt; if blocked it installs and returns a
 // waiter.
-func (m *Manager) tryLock(owner, resourceName string, mode cf.LockMode) (tryResult, error) {
+func (m *Manager) tryLock(ctx context.Context, owner, resourceName string, mode cf.LockMode) (tryResult, error) {
 	m.mu.Lock()
 	if m.shutdown {
 		m.mu.Unlock()
@@ -230,7 +237,7 @@ func (m *Manager) tryLock(owner, resourceName string, mode cf.LockMode) (tryResu
 
 	// Retained-lock screen: resources exclusively recorded by a failed
 	// system stay protected until peer recovery deletes the records.
-	if holder, retained, err := m.retainedConflict(resourceName, mode); err != nil {
+	if holder, retained, err := m.retainedConflict(ctx, resourceName, mode); err != nil {
 		return tryResult{}, err
 	} else if retained {
 		return tryResult{}, fmt.Errorf("%w: %s held by failed %s", ErrRetained, resourceName, holder)
@@ -238,16 +245,16 @@ func (m *Manager) tryLock(owner, resourceName string, mode cf.LockMode) (tryResu
 
 	ls := m.structure()
 	entry := ls.HashResource(resourceName)
-	res, err := ls.Obtain(entry, m.sysName, mode)
+	res, err := ls.Obtain(ctx, entry, m.sysName, mode)
 	if err != nil {
 		return tryResult{}, err
 	}
 	if res.Granted {
-		m.grantLocal(resourceName, owner, mode, entry)
+		m.grantLocal(ctx, resourceName, owner, mode, entry)
 		if hadShare {
 			// Upgrade: drop the superseded share interest on the entry.
 			// The exclusive interest already covers us if this fails.
-			_ = ls.Release(entry, m.sysName, cf.Share)
+			_ = ls.Release(ctx, entry, m.sysName, cf.Share)
 		}
 		m.bump(func(s *Stats) { s.Locks++; s.FastGrants++ })
 		return tryResult{granted: true}, nil
@@ -263,13 +270,13 @@ func (m *Manager) tryLock(owner, resourceName string, mode cf.LockMode) (tryResu
 	if len(conflictOwners) == 0 {
 		// False contention: distinct resources share the entry.
 		m.bump(func(s *Stats) { s.FalseContentions++ })
-		if err := ls.ForceObtain(entry, m.sysName, mode); err != nil {
+		if err := ls.ForceObtain(ctx, entry, m.sysName, mode); err != nil {
 			return tryResult{}, err
 		}
-		m.grantLocal(resourceName, owner, mode, entry)
+		m.grantLocal(ctx, resourceName, owner, mode, entry)
 		if hadShare {
 			// As above: superseded by the exclusive interest.
-			_ = ls.Release(entry, m.sysName, cf.Share)
+			_ = ls.Release(ctx, entry, m.sysName, cf.Share)
 		}
 		m.bump(func(s *Stats) { s.Locks++ })
 		return tryResult{granted: true}, nil
@@ -284,7 +291,7 @@ func (m *Manager) tryLock(owner, resourceName string, mode cf.LockMode) (tryResu
 }
 
 // Unlock releases owner's hold on the resource.
-func (m *Manager) Unlock(owner, resourceName string) error {
+func (m *Manager) Unlock(ctx context.Context, owner, resourceName string) error {
 	m.mu.Lock()
 	r := m.resources[resourceName]
 	if r == nil {
@@ -314,12 +321,12 @@ func (m *Manager) Unlock(owner, resourceName string) error {
 
 	ls := m.structure()
 	entry := ls.HashResource(resourceName)
-	if err := ls.Release(entry, m.sysName, mode); err != nil && !errors.Is(err, cf.ErrNotConnected) {
+	if err := ls.Release(ctx, entry, m.sysName, mode); err != nil && !errors.Is(err, cf.ErrNotConnected) {
 		return err
 	}
 	if mode == cf.Exclusive {
 		// A stale record is harmless: recovery re-grants and overwrites.
-		_ = ls.DeleteRecord(m.sysName, resourceName)
+		_ = ls.DeleteRecord(ctx, m.sysName, resourceName)
 	}
 	// Wake local waiters to retry.
 	for _, w := range toWake {
@@ -346,7 +353,7 @@ func (m *Manager) HeldMode(owner, resourceName string) cf.LockMode {
 }
 
 // grantLocal records a granted lock and its persistent record.
-func (m *Manager) grantLocal(resourceName, owner string, mode cf.LockMode, entry int) {
+func (m *Manager) grantLocal(ctx context.Context, resourceName, owner string, mode cf.LockMode, entry int) {
 	m.mu.Lock()
 	r := m.resourceLocked(resourceName)
 	r.holders[owner] = mode
@@ -354,7 +361,7 @@ func (m *Manager) grantLocal(resourceName, owner string, mode cf.LockMode, entry
 	if mode == cf.Exclusive {
 		// Persistent record: peers recover this if we fail (§3.3.1). If
 		// the CF is down the grant stands, just without crash coverage.
-		_ = m.structure().SetRecord(m.sysName, resourceName, mode)
+		_ = m.structure().SetRecord(ctx, m.sysName, resourceName, mode)
 	}
 }
 
@@ -420,10 +427,10 @@ func localConflicts(r *resource, owner string, mode cf.LockMode) []string {
 }
 
 // retainedConflict checks CF persistent records of failed connectors.
-func (m *Manager) retainedConflict(resourceName string, mode cf.LockMode) (string, bool, error) {
+func (m *Manager) retainedConflict(ctx context.Context, resourceName string, mode cf.LockMode) (string, bool, error) {
 	ls := m.structure()
 	for _, conn := range ls.RetainedConnectors() {
-		recs, err := ls.Records(conn)
+		recs, err := ls.Records(ctx, conn)
 		if err != nil {
 			return "", false, err
 		}
@@ -446,8 +453,8 @@ func (m *Manager) retainedConflict(resourceName string, mode cf.LockMode) (strin
 // records of failed systems it can still read from the old structure.
 // All managers of a structure must rebind before normal operation
 // resumes; the caller orchestrates that (see the sysplex façade).
-func (m *Manager) Rebind(newLS cf.Lock) error {
-	if err := newLS.Connect(m.sysName); err != nil {
+func (m *Manager) Rebind(ctx context.Context, newLS cf.Lock) error {
+	if err := newLS.Connect(ctx, m.sysName); err != nil {
 		return err
 	}
 	m.mu.Lock()
@@ -468,19 +475,19 @@ func (m *Manager) Rebind(newLS cf.Lock) error {
 
 	for _, h := range holds {
 		entry := newLS.HashResource(h.resource)
-		res, err := newLS.Obtain(entry, m.sysName, h.mode)
+		res, err := newLS.Obtain(ctx, entry, m.sysName, h.mode)
 		if err != nil {
 			return err
 		}
 		if !res.Granted {
 			// Any entry-level conflict during a rebuild of already
 			// compatible holders is false contention by construction.
-			if err := newLS.ForceObtain(entry, m.sysName, h.mode); err != nil {
+			if err := newLS.ForceObtain(ctx, entry, m.sysName, h.mode); err != nil {
 				return err
 			}
 		}
 		if h.mode == cf.Exclusive {
-			if err := newLS.SetRecord(m.sysName, h.resource, h.mode); err != nil {
+			if err := newLS.SetRecord(ctx, m.sysName, h.resource, h.mode); err != nil {
 				return err
 			}
 		}
@@ -489,7 +496,7 @@ func (m *Manager) Rebind(newLS cf.Lock) error {
 	// structure is still readable.
 	if oldLS != nil {
 		for _, conn := range oldLS.RetainedConnectors() {
-			if recs, err := oldLS.Records(conn); err == nil {
+			if recs, err := oldLS.Records(ctx, conn); err == nil {
 				newLS.AdoptRetained(conn, recs)
 			}
 		}
@@ -499,14 +506,14 @@ func (m *Manager) Rebind(newLS cf.Lock) error {
 
 // RetainedResources lists resources protected on behalf of a failed
 // system (recovery reads this to drive redo/undo).
-func (m *Manager) RetainedResources(failedSys string) ([]cf.LockRecord, error) {
-	return m.structure().Records(failedSys)
+func (m *Manager) RetainedResources(ctx context.Context, failedSys string) ([]cf.LockRecord, error) {
+	return m.structure().Records(ctx, failedSys)
 }
 
 // ReleaseRetained deletes the retained record for one resource of a
 // failed system once its recovery is complete.
-func (m *Manager) ReleaseRetained(failedSys, resourceName string) error {
-	return m.structure().DeleteRecord(failedSys, resourceName)
+func (m *Manager) ReleaseRetained(ctx context.Context, failedSys, resourceName string) error {
+	return m.structure().DeleteRecord(ctx, failedSys, resourceName)
 }
 
 func (m *Manager) bump(fn func(*Stats)) {

@@ -1,6 +1,7 @@
 package lockmgr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -48,7 +49,7 @@ func newHarness(t *testing.T, systems ...string) *Sysplexish {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := New(sys, ls, vclock.Real())
+		m, err := New(context.Background(), sys, ls, vclock.Real())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +72,7 @@ const tmo = 2 * time.Second
 func TestFastPathGrant(t *testing.T) {
 	h := newHarness(t, "SYS1", "SYS2")
 	m1 := h.mgrs["SYS1"]
-	if err := m1.Lock("TX1", "DB.T1.R1", Exclusive, tmo); err != nil {
+	if err := m1.Lock(context.Background(), "TX1", "DB.T1.R1", Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 	if m1.HeldMode("TX1", "DB.T1.R1") != Exclusive {
@@ -81,7 +82,7 @@ func TestFastPathGrant(t *testing.T) {
 	if st.Locks != 1 || st.FastGrants != 1 || st.Negotiations != 0 {
 		t.Fatalf("stats = %+v (fast path should be message-free)", st)
 	}
-	if err := m1.Unlock("TX1", "DB.T1.R1"); err != nil {
+	if err := m1.Unlock(context.Background(), "TX1", "DB.T1.R1"); err != nil {
 		t.Fatal(err)
 	}
 	if m1.HeldMode("TX1", "DB.T1.R1") != 0 {
@@ -91,10 +92,10 @@ func TestFastPathGrant(t *testing.T) {
 
 func TestCrossSystemShareCompatible(t *testing.T) {
 	h := newHarness(t, "SYS1", "SYS2")
-	if err := h.mgrs["SYS1"].Lock("TX1", "R", Share, tmo); err != nil {
+	if err := h.mgrs["SYS1"].Lock(context.Background(), "TX1", "R", Share, tmo); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.mgrs["SYS2"].Lock("TX2", "R", Share, tmo); err != nil {
+	if err := h.mgrs["SYS2"].Lock(context.Background(), "TX2", "R", Share, tmo); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -102,17 +103,17 @@ func TestCrossSystemShareCompatible(t *testing.T) {
 func TestCrossSystemRealContentionBlocksThenReleases(t *testing.T) {
 	h := newHarness(t, "SYS1", "SYS2")
 	m1, m2 := h.mgrs["SYS1"], h.mgrs["SYS2"]
-	if err := m1.Lock("TX1", "R", Exclusive, tmo); err != nil {
+	if err := m1.Lock(context.Background(), "TX1", "R", Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 	got := make(chan error, 1)
-	go func() { got <- m2.Lock("TX2", "R", Exclusive, 5*time.Second) }()
+	go func() { got <- m2.Lock(context.Background(), "TX2", "R", Exclusive, 5*time.Second) }()
 	select {
 	case err := <-got:
 		t.Fatalf("lock granted while held: %v", err)
 	case <-time.After(50 * time.Millisecond):
 	}
-	if err := m1.Unlock("TX1", "R"); err != nil {
+	if err := m1.Unlock(context.Background(), "TX1", "R"); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -143,11 +144,11 @@ func TestFalseContentionResolvedWithoutBlocking(t *testing.T) {
 			break
 		}
 	}
-	if err := m1.Lock("TX1", base, Exclusive, tmo); err != nil {
+	if err := m1.Lock(context.Background(), "TX1", base, Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 	// Different resource, same entry: must be granted after negotiation.
-	if err := m2.Lock("TX2", collide, Exclusive, tmo); err != nil {
+	if err := m2.Lock(context.Background(), "TX2", collide, Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 	st := m2.Stats()
@@ -155,9 +156,9 @@ func TestFalseContentionResolvedWithoutBlocking(t *testing.T) {
 		t.Fatalf("stats = %+v, expected one false contention", st)
 	}
 	// Cleanliness: both unlock, then a third party can take either.
-	m1.Unlock("TX1", base)
-	m2.Unlock("TX2", collide)
-	if err := m1.Lock("TX9", collide, Exclusive, tmo); err != nil {
+	m1.Unlock(context.Background(), "TX1", base)
+	m2.Unlock(context.Background(), "TX2", collide)
+	if err := m1.Lock(context.Background(), "TX9", collide, Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -165,17 +166,17 @@ func TestFalseContentionResolvedWithoutBlocking(t *testing.T) {
 func TestIntraSystemQueueing(t *testing.T) {
 	h := newHarness(t, "SYS1")
 	m := h.mgrs["SYS1"]
-	if err := m.Lock("TX1", "R", Exclusive, tmo); err != nil {
+	if err := m.Lock(context.Background(), "TX1", "R", Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- m.Lock("TX2", "R", Share, 5*time.Second) }()
+	go func() { done <- m.Lock(context.Background(), "TX2", "R", Share, 5*time.Second) }()
 	select {
 	case <-done:
 		t.Fatal("granted while exclusively held locally")
 	case <-time.After(30 * time.Millisecond):
 	}
-	m.Unlock("TX1", "R")
+	m.Unlock(context.Background(), "TX1", "R")
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
@@ -188,18 +189,18 @@ func TestIntraSystemQueueing(t *testing.T) {
 func TestUpgradeShareToExclusive(t *testing.T) {
 	h := newHarness(t, "SYS1", "SYS2")
 	m1, m2 := h.mgrs["SYS1"], h.mgrs["SYS2"]
-	if err := m1.Lock("TX1", "R", Share, tmo); err != nil {
+	if err := m1.Lock(context.Background(), "TX1", "R", Share, tmo); err != nil {
 		t.Fatal(err)
 	}
-	if err := m1.Lock("TX1", "R", Exclusive, tmo); err != nil {
+	if err := m1.Lock(context.Background(), "TX1", "R", Exclusive, tmo); err != nil {
 		t.Fatalf("upgrade failed: %v", err)
 	}
 	if m1.HeldMode("TX1", "R") != Exclusive {
 		t.Fatal("mode not upgraded")
 	}
-	m1.Unlock("TX1", "R")
+	m1.Unlock(context.Background(), "TX1", "R")
 	// The upgraded-away share interest must not linger at the CF.
-	if err := m2.Lock("TX2", "R", Exclusive, tmo); err != nil {
+	if err := m2.Lock(context.Background(), "TX2", "R", Exclusive, tmo); err != nil {
 		t.Fatalf("entry not clean after upgrade+unlock: %v", err)
 	}
 }
@@ -208,11 +209,11 @@ func TestReGrantIsIdempotent(t *testing.T) {
 	h := newHarness(t, "SYS1")
 	m := h.mgrs["SYS1"]
 	for i := 0; i < 3; i++ {
-		if err := m.Lock("TX1", "R", Exclusive, tmo); err != nil {
+		if err := m.Lock(context.Background(), "TX1", "R", Exclusive, tmo); err != nil {
 			t.Fatal(err)
 		}
 	}
-	m.Unlock("TX1", "R")
+	m.Unlock(context.Background(), "TX1", "R")
 	if m.HeldMode("TX1", "R") != 0 {
 		t.Fatal("still held after unlock")
 	}
@@ -221,8 +222,8 @@ func TestReGrantIsIdempotent(t *testing.T) {
 func TestTimeout(t *testing.T) {
 	h := newHarness(t, "SYS1", "SYS2")
 	m1, m2 := h.mgrs["SYS1"], h.mgrs["SYS2"]
-	m1.Lock("TX1", "R", Exclusive, tmo)
-	err := m2.Lock("TX2", "R", Exclusive, 50*time.Millisecond)
+	m1.Lock(context.Background(), "TX1", "R", Exclusive, tmo)
+	err := m2.Lock(context.Background(), "TX2", "R", Exclusive, 50*time.Millisecond)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v", err)
 	}
@@ -230,15 +231,15 @@ func TestTimeout(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 	// The timed-out waiter left no residue: unlock and relock works.
-	m1.Unlock("TX1", "R")
-	if err := m2.Lock("TX2", "R", Exclusive, tmo); err != nil {
+	m1.Unlock(context.Background(), "TX1", "R")
+	if err := m2.Lock(context.Background(), "TX2", "R", Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUnlockUnheldIsNoop(t *testing.T) {
 	h := newHarness(t, "SYS1")
-	if err := h.mgrs["SYS1"].Unlock("TXX", "NEVER"); err != nil {
+	if err := h.mgrs["SYS1"].Unlock(context.Background(), "TXX", "NEVER"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -246,16 +247,16 @@ func TestUnlockUnheldIsNoop(t *testing.T) {
 func TestCrossSystemDeadlockDetection(t *testing.T) {
 	h := newHarness(t, "SYS1", "SYS2")
 	m1, m2 := h.mgrs["SYS1"], h.mgrs["SYS2"]
-	if err := m1.Lock("TX1", "A", Exclusive, tmo); err != nil {
+	if err := m1.Lock(context.Background(), "TX1", "A", Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
-	if err := m2.Lock("TX2", "B", Exclusive, tmo); err != nil {
+	if err := m2.Lock(context.Background(), "TX2", "B", Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 	r1 := make(chan error, 1)
 	r2 := make(chan error, 1)
-	go func() { r1 <- m1.Lock("TX1", "B", Exclusive, 10*time.Second) }()
-	go func() { r2 <- m2.Lock("TX2", "A", Exclusive, 10*time.Second) }()
+	go func() { r1 <- m1.Lock(context.Background(), "TX1", "B", Exclusive, 10*time.Second) }()
+	go func() { r2 <- m2.Lock(context.Background(), "TX2", "A", Exclusive, 10*time.Second) }()
 	// Let both reach their blocked state.
 	det := NewDetector(h.managers)
 	var victims []string
@@ -274,7 +275,7 @@ func TestCrossSystemDeadlockDetection(t *testing.T) {
 		t.Fatalf("victim err = %v", err)
 	}
 	// Victim aborts its transaction, releasing B; TX1 proceeds.
-	m2.Unlock("TX2", "B")
+	m2.Unlock(context.Background(), "TX2", "B")
 	if err := <-r1; err != nil {
 		t.Fatalf("survivor err = %v", err)
 	}
@@ -283,7 +284,7 @@ func TestCrossSystemDeadlockDetection(t *testing.T) {
 func TestRetainedLocksProtectFailedSystemsResources(t *testing.T) {
 	h := newHarness(t, "SYS1", "SYS2")
 	m1, m2 := h.mgrs["SYS1"], h.mgrs["SYS2"]
-	if err := m1.Lock("TX1", "DB.P5", Exclusive, tmo); err != nil {
+	if err := m1.Lock(context.Background(), "TX1", "DB.P5", Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 	// SYS1 dies holding the lock.
@@ -291,28 +292,28 @@ func TestRetainedLocksProtectFailedSystemsResources(t *testing.T) {
 	h.fac.FailConnector("SYS1")
 
 	// The resource stays protected: requests are refused, not granted.
-	err := m2.Lock("TX2", "DB.P5", Exclusive, 100*time.Millisecond)
+	err := m2.Lock(context.Background(), "TX2", "DB.P5", Exclusive, 100*time.Millisecond)
 	if !errors.Is(err, ErrRetained) {
 		t.Fatalf("err = %v, want retained", err)
 	}
 	// Share on a share-retained? The record is exclusive: share refused too.
-	if err := m2.Lock("TX2", "DB.P5", Share, 100*time.Millisecond); !errors.Is(err, ErrRetained) {
+	if err := m2.Lock(context.Background(), "TX2", "DB.P5", Share, 100*time.Millisecond); !errors.Is(err, ErrRetained) {
 		t.Fatalf("err = %v", err)
 	}
 	// Unrelated resources are unaffected.
-	if err := m2.Lock("TX2", "DB.P6", Exclusive, tmo); err != nil {
+	if err := m2.Lock(context.Background(), "TX2", "DB.P6", Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 
 	// Peer recovery: read retained resources, "recover" them, release.
-	recs, err := m2.RetainedResources("SYS1")
+	recs, err := m2.RetainedResources(context.Background(), "SYS1")
 	if err != nil || len(recs) != 1 || recs[0].Resource != "DB.P5" {
 		t.Fatalf("records = %v err=%v", recs, err)
 	}
-	if err := m2.ReleaseRetained("SYS1", "DB.P5"); err != nil {
+	if err := m2.ReleaseRetained(context.Background(), "SYS1", "DB.P5"); err != nil {
 		t.Fatal(err)
 	}
-	if err := m2.Lock("TX2", "DB.P5", Exclusive, tmo); err != nil {
+	if err := m2.Lock(context.Background(), "TX2", "DB.P5", Exclusive, tmo); err != nil {
 		t.Fatalf("after recovery: %v", err)
 	}
 }
@@ -320,15 +321,15 @@ func TestRetainedLocksProtectFailedSystemsResources(t *testing.T) {
 func TestShutdownReleasesWaiters(t *testing.T) {
 	h := newHarness(t, "SYS1")
 	m := h.mgrs["SYS1"]
-	m.Lock("TX1", "R", Exclusive, tmo)
+	m.Lock(context.Background(), "TX1", "R", Exclusive, tmo)
 	done := make(chan error, 1)
-	go func() { done <- m.Lock("TX2", "R", Exclusive, 10*time.Second) }()
+	go func() { done <- m.Lock(context.Background(), "TX2", "R", Exclusive, 10*time.Second) }()
 	time.Sleep(20 * time.Millisecond)
 	m.Shutdown()
 	if err := <-done; !errors.Is(err, ErrShutdown) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := m.Lock("TX3", "S", Share, tmo); !errors.Is(err, ErrShutdown) {
+	if err := m.Lock(context.Background(), "TX3", "S", Share, tmo); !errors.Is(err, ErrShutdown) {
 		t.Fatalf("post-shutdown lock: %v", err)
 	}
 }
@@ -350,11 +351,11 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 					if k%3 == 0 {
 						mode = Exclusive
 					}
-					if err := m.Lock(owner, res, mode, 10*time.Second); err != nil {
+					if err := m.Lock(context.Background(), owner, res, mode, 10*time.Second); err != nil {
 						errs <- err
 						return
 					}
-					if err := m.Unlock(owner, res); err != nil {
+					if err := m.Unlock(context.Background(), owner, res); err != nil {
 						errs <- err
 						return
 					}
@@ -370,23 +371,23 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	// All entries must be clean afterwards: any lock grants instantly.
 	for k := 0; k < 7; k++ {
 		res := fmt.Sprintf("ROW.%d", k)
-		if err := h.mgrs["SYS1"].Lock("FINAL", res, Exclusive, tmo); err != nil {
+		if err := h.mgrs["SYS1"].Lock(context.Background(), "FINAL", res, Exclusive, tmo); err != nil {
 			t.Fatalf("residue on %s: %v", res, err)
 		}
-		h.mgrs["SYS1"].Unlock("FINAL", res)
+		h.mgrs["SYS1"].Unlock(context.Background(), "FINAL", res)
 	}
 }
 
 func TestWaitEdgesReflectBlocking(t *testing.T) {
 	h := newHarness(t, "SYS1")
 	m := h.mgrs["SYS1"]
-	m.Lock("TX1", "R", Exclusive, tmo)
-	go m.Lock("TX2", "R", Exclusive, 3*time.Second)
+	m.Lock(context.Background(), "TX1", "R", Exclusive, tmo)
+	go m.Lock(context.Background(), "TX2", "R", Exclusive, 3*time.Second)
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
 		edges := m.WaitEdges()
 		if len(edges) == 1 && edges[0].Waiter == "TX2" && edges[0].Holder == "TX1" {
-			m.Unlock("TX1", "R")
+			m.Unlock(context.Background(), "TX1", "R")
 			return
 		}
 		time.Sleep(2 * time.Millisecond)
@@ -409,7 +410,7 @@ func TestMutualExclusionInvariant(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for k := 0; k < 50; k++ {
-				if err := m.Lock(owner, "COUNTER", Exclusive, 20*time.Second); err != nil {
+				if err := m.Lock(context.Background(), owner, "COUNTER", Exclusive, 20*time.Second); err != nil {
 					select {
 					case fail <- err.Error():
 					default:
@@ -424,7 +425,7 @@ func TestMutualExclusionInvariant(t *testing.T) {
 				}
 				unsafeCounter++
 				atomicAdd(&inside, -1)
-				if err := m.Unlock(owner, "COUNTER"); err != nil {
+				if err := m.Unlock(context.Background(), owner, "COUNTER"); err != nil {
 					select {
 					case fail <- err.Error():
 					default:
@@ -452,10 +453,10 @@ func atomicAdd(p *int32, d int32) int32 {
 func TestRebindPreservesInterestAndRecords(t *testing.T) {
 	h := newHarness(t, "SYS1", "SYS2")
 	m1, m2 := h.mgrs["SYS1"], h.mgrs["SYS2"]
-	if err := m1.Lock("TX1", "A", Exclusive, tmo); err != nil {
+	if err := m1.Lock(context.Background(), "TX1", "A", Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
-	if err := m1.Lock("TX1", "B", Share, tmo); err != nil {
+	if err := m1.Lock(context.Background(), "TX1", "B", Share, tmo); err != nil {
 		t.Fatal(err)
 	}
 	// Rebuild the lock structure into a second facility.
@@ -464,32 +465,32 @@ func TestRebindPreservesInterestAndRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m1.Rebind(newLS); err != nil {
+	if err := m1.Rebind(context.Background(), newLS); err != nil {
 		t.Fatal(err)
 	}
-	if err := m2.Rebind(newLS); err != nil {
+	if err := m2.Rebind(context.Background(), newLS); err != nil {
 		t.Fatal(err)
 	}
 	// Old facility can die now.
 	h.fac.Fail()
 	// Exclusive interest survived: SYS2 is still blocked.
-	if err := m2.Lock("TX2", "A", Exclusive, 60*time.Millisecond); !errors.Is(err, ErrTimeout) {
+	if err := m2.Lock(context.Background(), "TX2", "A", Exclusive, 60*time.Millisecond); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, exclusive interest lost", err)
 	}
 	// Share interest survived: a share grant works, exclusive is blocked.
-	if err := m2.Lock("TX2", "B", Share, tmo); err != nil {
+	if err := m2.Lock(context.Background(), "TX2", "B", Share, tmo); err != nil {
 		t.Fatal(err)
 	}
 	// Persistent records were re-recorded in the new structure.
-	recs, err := newLS.Records("SYS1")
+	recs, err := newLS.Records(context.Background(), "SYS1")
 	if err != nil || len(recs) != 1 || recs[0].Resource != "A" {
 		t.Fatalf("records = %v err=%v", recs, err)
 	}
 	// Unlock flows work against the new structure.
-	if err := m1.Unlock("TX1", "A"); err != nil {
+	if err := m1.Unlock(context.Background(), "TX1", "A"); err != nil {
 		t.Fatal(err)
 	}
-	if err := m2.Lock("TX2", "A", Exclusive, tmo); err != nil {
+	if err := m2.Lock(context.Background(), "TX2", "A", Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -497,7 +498,7 @@ func TestRebindPreservesInterestAndRecords(t *testing.T) {
 func TestRebindMigratesRetainedRecords(t *testing.T) {
 	h := newHarness(t, "SYS1", "SYS2")
 	m1, m2 := h.mgrs["SYS1"], h.mgrs["SYS2"]
-	if err := m1.Lock("TX1", "HELD", Exclusive, tmo); err != nil {
+	if err := m1.Lock(context.Background(), "TX1", "HELD", Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 	// SYS1 fails; its record is retained in the old structure.
@@ -506,18 +507,18 @@ func TestRebindMigratesRetainedRecords(t *testing.T) {
 	// Rebuild onto a new facility before recovery has run.
 	fac2 := cf.New("CF02", vclock.Real())
 	newLS, _ := fac2.AllocateLockStructure("IRLM", 512)
-	if err := m2.Rebind(newLS); err != nil {
+	if err := m2.Rebind(context.Background(), newLS); err != nil {
 		t.Fatal(err)
 	}
 	// Retained protection still applies on the new structure.
-	if err := m2.Lock("TX2", "HELD", Exclusive, 60*time.Millisecond); !errors.Is(err, ErrRetained) {
+	if err := m2.Lock(context.Background(), "TX2", "HELD", Exclusive, 60*time.Millisecond); !errors.Is(err, ErrRetained) {
 		t.Fatalf("err = %v, retained protection lost across rebuild", err)
 	}
 	// Peer recovery against the new structure releases it.
-	if err := m2.ReleaseRetained("SYS1", "HELD"); err != nil {
+	if err := m2.ReleaseRetained(context.Background(), "SYS1", "HELD"); err != nil {
 		t.Fatal(err)
 	}
-	if err := m2.Lock("TX2", "HELD", Exclusive, tmo); err != nil {
+	if err := m2.Lock(context.Background(), "TX2", "HELD", Exclusive, tmo); err != nil {
 		t.Fatal(err)
 	}
 }

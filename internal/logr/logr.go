@@ -27,6 +27,7 @@
 package logr
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -220,7 +221,7 @@ func structureName(stream string) string { return "LOGR." + stream }
 // Connect attaches this system to a log stream, allocating the backing
 // CF structure on first use anywhere in the sysplex. The spec recorded
 // by the allocator wins; later connectors adopt it.
-func (m *Manager) Connect(spec StreamSpec) (*Stream, error) {
+func (m *Manager) Connect(ctx context.Context, spec StreamSpec) (*Stream, error) {
 	spec, err := spec.withDefaults()
 	if err != nil {
 		return nil, err
@@ -244,20 +245,20 @@ func (m *Manager) Connect(spec StreamSpec) (*Stream, error) {
 			}
 		}
 	}
-	if err := ls.Connect(m.sys, nil); err != nil {
+	if err := ls.Connect(ctx, m.sys, nil); err != nil {
 		return nil, err
 	}
 	// Record or adopt the stream spec. Write-if-absent then re-read:
 	// racing connectors converge on whichever spec landed first.
-	if _, err := ls.Read(m.sys, "SPEC", cf.Cond{}); errors.Is(err, cf.ErrEntryNotFound) {
+	if _, err := ls.Read(ctx, m.sys, "SPEC", cf.Cond{}); errors.Is(err, cf.ErrEntryNotFound) {
 		raw, _ := json.Marshal(spec)
-		if err := ls.Write(m.sys, listControl, "SPEC", "SPEC", raw, cf.FIFO, cf.Cond{}); err != nil {
+		if err := ls.Write(ctx, m.sys, listControl, "SPEC", "SPEC", raw, cf.FIFO, cf.Cond{}); err != nil {
 			return nil, err
 		}
 	} else if err != nil {
 		return nil, err
 	}
-	e, err := ls.Read(m.sys, "SPEC", cf.Cond{})
+	e, err := ls.Read(ctx, m.sys, "SPEC", cf.Cond{})
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +301,7 @@ func (m *Manager) StreamNames() []string {
 // connector's lock entries; the sysplex calls FailConnector before
 // routing the failure here). Returns the number of streams on which
 // leftover offload work was completed.
-func (m *Manager) TakeoverFailed(failedSys string) int {
+func (m *Manager) TakeoverFailed(ctx context.Context, failedSys string) int {
 	m.mu.Lock()
 	streams := make([]*Stream, 0, len(m.streams))
 	for _, s := range m.streams {
@@ -309,7 +310,7 @@ func (m *Manager) TakeoverFailed(failedSys string) int {
 	m.mu.Unlock()
 	n := 0
 	for _, s := range streams {
-		did, err := s.recoverOffload(failedSys)
+		did, err := s.recoverOffload(ctx, failedSys)
 		if err != nil {
 			continue
 		}
@@ -317,7 +318,7 @@ func (m *Manager) TakeoverFailed(failedSys string) int {
 		// through: if occupancy is still above the high mark, run a
 		// normal threshold pass on its behalf.
 		if s.list.Len(listInterim) >= s.highMark() {
-			if moved, err := s.offloadOnce(false); err == nil && moved > 0 {
+			if moved, err := s.offloadOnce(ctx, false); err == nil && moved > 0 {
 				did = true
 			}
 		}
@@ -378,7 +379,7 @@ func keyFor(t time.Time) string { return fmt.Sprintf("%020d", t.UnixNano()) }
 // offload lock; if the write races with an offload that already moved
 // the frontier past the new key, the writer re-stamps and retries, so
 // a record is never stranded below the offload frontier.
-func (s *Stream) Write(data []byte) (Record, error) {
+func (s *Stream) Write(ctx context.Context, data []byte) (Record, error) {
 	if len(data) > MaxRecord {
 		return Record{}, fmt.Errorf("%w (%d > %d)", ErrRecordTooBig, len(data), MaxRecord)
 	}
@@ -386,6 +387,9 @@ func (s *Stream) Write(data []byte) (Record, error) {
 	start := m.clock.Now()
 	cond := cf.Cond{Use: true, LockIndex: lockOffload}
 	for attempt := 0; ; attempt++ {
+		if err := vclock.Check(ctx, m.clock); err != nil {
+			return Record{}, err
+		}
 		s.passMu.RLock()
 		stamp := m.timer.Stamp()
 		key := keyFor(stamp)
@@ -394,7 +398,7 @@ func (s *Stream) Write(data []byte) (Record, error) {
 			s.passMu.RUnlock()
 			return Record{}, err
 		}
-		err = s.list.Write(m.sys, listInterim, key, key, env, cf.Keyed, cond)
+		err = s.list.Write(ctx, m.sys, listInterim, key, key, env, cf.Keyed, cond)
 		s.passMu.RUnlock()
 		switch {
 		case err == nil:
@@ -402,16 +406,20 @@ func (s *Stream) Write(data []byte) (Record, error) {
 			// past this key between stamping and writing. Detect and
 			// re-drive: if the entry is still present we remove it before
 			// anyone can browse-skip it; if it is gone, an offload took
-			// it to DASD, which is just as durable.
-			c, cerr := s.readCTL()
+			// it to DASD, which is just as durable. The record is durable
+			// from here on, so the remaining bookkeeping runs under a
+			// detached context: a caller cancellation must not strand the
+			// committed entry half-acknowledged.
+			dctx := vclock.Detach(ctx)
+			c, cerr := s.readCTL(dctx)
 			if cerr != nil {
 				return Record{}, cerr
 			}
 			if c.HighKey < key {
-				return s.finishWrite(start, key, stamp, data)
+				return s.finishWrite(dctx, start, key, stamp, data)
 			}
-			if gone := s.retractEntry(key); gone {
-				return s.finishWrite(start, key, stamp, data)
+			if gone := s.retractEntry(dctx, key); gone {
+				return s.finishWrite(dctx, start, key, stamp, data)
 			}
 			continue // retracted our own stranded entry: retry with a fresh stamp
 		case errors.Is(err, cf.ErrLockHeld):
@@ -419,7 +427,7 @@ func (s *Stream) Write(data []byte) (Record, error) {
 			// conditional protocol quiesces mainline writes.
 			m.clock.Sleep(50 * time.Microsecond)
 		case errors.Is(err, cf.ErrListFull):
-			if _, oerr := s.offloadOnce(true); oerr != nil && !errors.Is(oerr, cf.ErrLockHeld) {
+			if _, oerr := s.offloadOnce(ctx, true); oerr != nil && !errors.Is(oerr, cf.ErrLockHeld) {
 				return Record{}, oerr
 			}
 			m.clock.Sleep(50 * time.Microsecond)
@@ -430,7 +438,7 @@ func (s *Stream) Write(data []byte) (Record, error) {
 }
 
 // finishWrite charges metrics and runs the threshold check.
-func (s *Stream) finishWrite(start time.Time, key string, stamp time.Time, data []byte) (Record, error) {
+func (s *Stream) finishWrite(ctx context.Context, start time.Time, key string, stamp time.Time, data []byte) (Record, error) {
 	m := s.mgr
 	m.reg.Counter("logr.write.count").Inc()
 	m.reg.Histogram("logr.write.latency").Observe(m.clock.Since(start))
@@ -439,7 +447,7 @@ func (s *Stream) finishWrite(start time.Time, key string, stamp time.Time, data 
 	if occ >= s.highMark() {
 		// Threshold-driven offload; ErrLockHeld means a peer is already
 		// draining, which serves this writer equally well.
-		if _, err := s.offloadOnce(false); err != nil && !errors.Is(err, cf.ErrLockHeld) {
+		if _, err := s.offloadOnce(ctx, false); err != nil && !errors.Is(err, cf.ErrLockHeld) {
 			return Record{}, err
 		}
 	}
@@ -452,11 +460,11 @@ func (s *Stream) finishWrite(start time.Time, key string, stamp time.Time, data 
 // Each attempt runs under the shared pass lock, so a local offload
 // pass completes its cleanup before the retract can observe the entry
 // — ErrEntryNotFound then reliably means "on DASD", never "mid-pass".
-func (s *Stream) retractEntry(key string) bool {
+func (s *Stream) retractEntry(ctx context.Context, key string) bool {
 	cond := cf.Cond{Use: true, LockIndex: lockOffload}
 	for {
 		s.passMu.RLock()
-		err := s.list.Delete(s.mgr.sys, key, cond)
+		err := s.list.Delete(ctx, s.mgr.sys, key, cond)
 		s.passMu.RUnlock()
 		switch {
 		case err == nil:
@@ -474,8 +482,8 @@ func (s *Stream) retractEntry(key string) bool {
 	}
 }
 
-func (s *Stream) readCTL() (ctl, error) {
-	e, err := s.list.Read(s.mgr.sys, "CTL", cf.Cond{})
+func (s *Stream) readCTL(ctx context.Context) (ctl, error) {
+	e, err := s.list.Read(ctx, s.mgr.sys, "CTL", cf.Cond{})
 	if errors.Is(err, cf.ErrEntryNotFound) {
 		return ctl{}, nil
 	}
@@ -489,12 +497,12 @@ func (s *Stream) readCTL() (ctl, error) {
 	return c, nil
 }
 
-func (s *Stream) writeCTL(c ctl) error {
+func (s *Stream) writeCTL(ctx context.Context, c ctl) error {
 	raw, err := json.Marshal(c)
 	if err != nil {
 		return err
 	}
-	return s.list.Write(s.mgr.sys, listControl, "CTL", "CTL", raw, cf.FIFO, cf.Cond{})
+	return s.list.Write(ctx, s.mgr.sys, listControl, "CTL", "CTL", raw, cf.FIFO, cf.Cond{})
 }
 
 // offloadDataset returns (allocating on first use) dataset n of the
@@ -521,7 +529,7 @@ func (s *Stream) offloadDataset(n int) (*dasd.Dataset, error) {
 
 // Offload forces an offload pass down to the low mark, regardless of
 // occupancy. Returns the number of records moved.
-func (s *Stream) Offload() (int, error) { return s.offloadOnce(true) }
+func (s *Stream) Offload(ctx context.Context) (int, error) { return s.offloadOnce(ctx, true) }
 
 // offloadOnce drains interim storage to DASD under the offload lock.
 // The protocol is crash-idempotent in three phases:
@@ -536,7 +544,7 @@ func (s *Stream) Offload() (int, error) { return s.offloadOnce(true) }
 // force=false is the mainline threshold check (no-op below the high
 // mark, and skipped outright while another local goroutine is mid-
 // pass); force=true drains regardless (list-full backpressure, tests).
-func (s *Stream) offloadOnce(force bool) (int, error) {
+func (s *Stream) offloadOnce(ctx context.Context, force bool) (int, error) {
 	if force {
 		s.passMu.Lock()
 	} else if !s.passMu.TryLock() {
@@ -544,7 +552,7 @@ func (s *Stream) offloadOnce(force bool) (int, error) {
 	}
 	defer s.passMu.Unlock()
 	m := s.mgr
-	if err := s.list.SetLock(lockOffload, m.sys); err != nil {
+	if err := s.list.SetLock(ctx, lockOffload, m.sys); err != nil {
 		return 0, err
 	}
 	crashed := false
@@ -554,11 +562,11 @@ func (s *Stream) offloadOnce(force bool) (int, error) {
 			// recovery clears it — FailConnector purges a dead system's
 			// locks, and a rebuild from a broken CF drops the stale
 			// holder from the copied image. The pass itself succeeded.
-			_ = s.list.ReleaseLock(lockOffload, m.sys)
+			_ = s.list.ReleaseLock(vclock.Detach(ctx), lockOffload, m.sys)
 		}
 	}()
 	start := m.clock.Now()
-	c, err := s.readCTL()
+	c, err := s.readCTL(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -576,7 +584,7 @@ func (s *Stream) offloadOnce(force bool) (int, error) {
 	for _, e := range entries {
 		if c.HighKey != "" && e.Key <= c.HighKey {
 			if pending[e.ID] {
-				if err := s.list.Delete(m.sys, e.ID, cf.Cond{}); err != nil && !errors.Is(err, cf.ErrEntryNotFound) {
+				if err := s.list.Delete(ctx, m.sys, e.ID, cf.Cond{}); err != nil && !errors.Is(err, cf.ErrEntryNotFound) {
 					return 0, err
 				}
 			}
@@ -621,7 +629,7 @@ func (s *Stream) offloadOnce(force bool) (int, error) {
 	for i, e := range toMove {
 		cur.Pending[i] = e.ID
 	}
-	if err := s.writeCTL(cur); err != nil {
+	if err := s.writeCTL(ctx, cur); err != nil {
 		return 0, err
 	}
 	if s.testCrash != nil && s.testCrash("ctl-updated") {
@@ -630,7 +638,7 @@ func (s *Stream) offloadOnce(force bool) (int, error) {
 	}
 	// Phase 3: cleanup.
 	for _, e := range toMove {
-		if err := s.list.Delete(m.sys, e.ID, cf.Cond{}); err != nil && !errors.Is(err, cf.ErrEntryNotFound) {
+		if err := s.list.Delete(ctx, m.sys, e.ID, cf.Cond{}); err != nil && !errors.Is(err, cf.ErrEntryNotFound) {
 			return 0, err
 		}
 	}
@@ -647,17 +655,17 @@ func (s *Stream) offloadOnce(force bool) (int, error) {
 // entries the dead system stranded (unacknowledged writes nobody will
 // ever retract). Live systems' strandeds are left for their writers.
 // It reports whether leftover work was found.
-func (s *Stream) recoverOffload(failedSys string) (bool, error) {
+func (s *Stream) recoverOffload(ctx context.Context, failedSys string) (bool, error) {
 	s.passMu.Lock()
 	defer s.passMu.Unlock()
 	m := s.mgr
-	if err := s.list.SetLock(lockOffload, m.sys); err != nil {
+	if err := s.list.SetLock(ctx, lockOffload, m.sys); err != nil {
 		return false, err
 	}
 	// Retained on failure; FailConnector or a rebuild from the broken
 	// CF clears the stale holder.
-	defer func() { _ = s.list.ReleaseLock(lockOffload, m.sys) }()
-	c, err := s.readCTL()
+	defer func() { _ = s.list.ReleaseLock(vclock.Detach(ctx), lockOffload, m.sys) }()
+	c, err := s.readCTL(ctx)
 	if err != nil {
 		return false, err
 	}
@@ -676,7 +684,7 @@ func (s *Stream) recoverOffload(failedSys string) (bool, error) {
 			reap = err == nil && env.S == failedSys
 		}
 		if reap {
-			if err := s.list.Delete(m.sys, e.ID, cf.Cond{}); err != nil && !errors.Is(err, cf.ErrEntryNotFound) {
+			if err := s.list.Delete(ctx, m.sys, e.ID, cf.Cond{}); err != nil && !errors.Is(err, cf.ErrEntryNotFound) {
 				return did, err
 			}
 			did = true
@@ -690,13 +698,16 @@ func (s *Stream) recoverOffload(failedSys string) (bool, error) {
 // interim snapshot and offload frontier are captured atomically under
 // the offload lock; DASD blocks below the captured cursor are
 // immutable, so they are read lock-free afterwards.
-func (s *Stream) Browse() (*Cursor, error) {
+func (s *Stream) Browse(ctx context.Context) (*Cursor, error) {
 	m := s.mgr
 	var c ctl
 	var interim []cf.ListEntry
 	for {
+		if err := vclock.Check(ctx, m.clock); err != nil {
+			return nil, err
+		}
 		s.passMu.Lock()
-		if err := s.list.SetLock(lockOffload, m.sys); err != nil {
+		if err := s.list.SetLock(ctx, lockOffload, m.sys); err != nil {
 			s.passMu.Unlock()
 			if errors.Is(err, cf.ErrLockHeld) {
 				m.clock.Sleep(50 * time.Microsecond)
@@ -705,13 +716,13 @@ func (s *Stream) Browse() (*Cursor, error) {
 			return nil, err
 		}
 		var err error
-		c, err = s.readCTL()
+		c, err = s.readCTL(ctx)
 		if err == nil {
 			interim = s.list.Entries(listInterim)
 		}
 		// Retained on failure; FailConnector or a rebuild from the
 		// broken CF clears the stale holder.
-		_ = s.list.ReleaseLock(lockOffload, m.sys)
+		_ = s.list.ReleaseLock(vclock.Detach(ctx), lockOffload, m.sys)
 		s.passMu.Unlock()
 		if err != nil {
 			return nil, err
@@ -781,8 +792,8 @@ type Stats struct {
 }
 
 // Stats snapshots the stream.
-func (s *Stream) Stats() (Stats, error) {
-	c, err := s.readCTL()
+func (s *Stream) Stats(ctx context.Context) (Stats, error) {
+	c, err := s.readCTL(ctx)
 	if err != nil {
 		return Stats{}, err
 	}

@@ -1,6 +1,7 @@
 package logr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -53,7 +54,7 @@ func (fx *fixture) connect(t *testing.T, spec StreamSpec) map[string]*Stream {
 	t.Helper()
 	out := map[string]*Stream{}
 	for sys, m := range fx.mgrs {
-		s, err := m.Connect(spec)
+		s, err := m.Connect(context.Background(), spec)
 		if err != nil {
 			t.Fatalf("connect %s: %v", sys, err)
 		}
@@ -66,7 +67,7 @@ func (fx *fixture) connect(t *testing.T, spec StreamSpec) map[string]*Stream {
 // equals want, with no duplicates, in strictly increasing key order.
 func assertExactlyOnce(t *testing.T, s *Stream, want map[string]bool) {
 	t.Helper()
-	cur, err := s.Browse()
+	cur, err := s.Browse(context.Background())
 	if err != nil {
 		t.Fatalf("browse: %v", err)
 	}
@@ -110,7 +111,7 @@ func TestWriteBrowseMergedOrder(t *testing.T) {
 	for i := 0; i < 60; i++ {
 		sys := order[i%3]
 		p := fmt.Sprintf("%s-rec%03d", sys, i)
-		r, err := streams[sys].Write([]byte(p))
+		r, err := streams[sys].Write(context.Background(), []byte(p))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,12 +132,12 @@ func TestOffloadThresholdsAndSeamlessBrowse(t *testing.T) {
 	want := map[string]bool{}
 	for i := 0; i < 200; i++ {
 		p := fmt.Sprintf("rec%04d", i)
-		if _, err := s.Write([]byte(p)); err != nil {
+		if _, err := s.Write(context.Background(), []byte(p)); err != nil {
 			t.Fatal(err)
 		}
 		want[p] = true
 	}
-	st, err := s.Stats()
+	st, err := s.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,12 +164,12 @@ func TestOffloadChainsAcrossDatasets(t *testing.T) {
 	want := map[string]bool{}
 	for i := 0; i < 100; i++ {
 		p := fmt.Sprintf("c%04d", i)
-		if _, err := s.Write([]byte(p)); err != nil {
+		if _, err := s.Write(context.Background(), []byte(p)); err != nil {
 			t.Fatal(err)
 		}
 		want[p] = true
 	}
-	c, err := s.readCTL()
+	c, err := s.readCTL(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,12 +181,12 @@ func TestOffloadChainsAcrossDatasets(t *testing.T) {
 
 func TestSpecRecordedAndAdopted(t *testing.T) {
 	fx := newFixture(t, cfrm.ModeDuplexed, "SYS1", "SYS2")
-	a, err := fx.mgrs["SYS1"].Connect(StreamSpec{Name: "ADOPT", InterimEntries: 64, HighOffloadPct: 50, LowOffloadPct: 10})
+	a, err := fx.mgrs["SYS1"].Connect(context.Background(), StreamSpec{Name: "ADOPT", InterimEntries: 64, HighOffloadPct: 50, LowOffloadPct: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// SYS2 asks for different parameters; the recorded spec wins.
-	b, err := fx.mgrs["SYS2"].Connect(StreamSpec{Name: "ADOPT", InterimEntries: 9999, HighOffloadPct: 99, LowOffloadPct: 1})
+	b, err := fx.mgrs["SYS2"].Connect(context.Background(), StreamSpec{Name: "ADOPT", InterimEntries: 9999, HighOffloadPct: 99, LowOffloadPct: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,17 +197,17 @@ func TestSpecRecordedAndAdopted(t *testing.T) {
 
 func TestValidation(t *testing.T) {
 	fx := newFixture(t, cfrm.ModeDuplexed, "SYS1")
-	if _, err := fx.mgrs["SYS1"].Connect(StreamSpec{}); !errors.Is(err, ErrBadSpec) {
+	if _, err := fx.mgrs["SYS1"].Connect(context.Background(), StreamSpec{}); !errors.Is(err, ErrBadSpec) {
 		t.Fatalf("empty name: %v", err)
 	}
-	if _, err := fx.mgrs["SYS1"].Connect(StreamSpec{Name: "X", HighOffloadPct: 20, LowOffloadPct: 80}); !errors.Is(err, ErrBadSpec) {
+	if _, err := fx.mgrs["SYS1"].Connect(context.Background(), StreamSpec{Name: "X", HighOffloadPct: 20, LowOffloadPct: 80}); !errors.Is(err, ErrBadSpec) {
 		t.Fatalf("inverted thresholds: %v", err)
 	}
-	s, err := fx.mgrs["SYS1"].Connect(StreamSpec{Name: "OKAY"})
+	s, err := fx.mgrs["SYS1"].Connect(context.Background(), StreamSpec{Name: "OKAY"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Write(make([]byte, MaxRecord+1)); !errors.Is(err, ErrRecordTooBig) {
+	if _, err := s.Write(context.Background(), make([]byte, MaxRecord+1)); !errors.Is(err, ErrRecordTooBig) {
 		t.Fatalf("oversized record: %v", err)
 	}
 	if _, err := fx.mgrs["SYS1"].Stream("NOPE"); !errors.Is(err, ErrNoStream) {
@@ -231,7 +232,7 @@ func TestCFFailoverNoLoss(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 300; i++ {
 				p := fmt.Sprintf("%s-%04d", sys, i)
-				if _, err := s.Write([]byte(p)); err != nil {
+				if _, err := s.Write(context.Background(), []byte(p)); err != nil {
 					t.Errorf("%s write %d: %v", sys, i, err)
 					return
 				}
@@ -265,14 +266,14 @@ func TestPeerTakeoverMidOffload(t *testing.T) {
 			want := map[string]bool{}
 			for i := 0; i < 20; i++ {
 				p := fmt.Sprintf("pre%03d", i)
-				if _, err := w.Write([]byte(p)); err != nil {
+				if _, err := w.Write(context.Background(), []byte(p)); err != nil {
 					t.Fatal(err)
 				}
 				want[p] = true
 			}
 			// SYS1 dies inside the offload at the given stage, lock held.
 			w.testCrash = func(got string) bool { return got == stage }
-			if _, err := w.Offload(); err == nil {
+			if _, err := w.Offload(context.Background()); err == nil {
 				t.Fatal("simulated crash did not surface")
 			}
 			if holder := w.list.LockHolder(lockOffload); holder != "SYS1" {
@@ -281,14 +282,14 @@ func TestPeerTakeoverMidOffload(t *testing.T) {
 			// Sysplex failure processing: CF purges the failed connector
 			// (freeing its lock entries), then a survivor takes over.
 			fx.cfres.Front().FailConnector("SYS1")
-			fx.mgrs["SYS2"].TakeoverFailed("SYS1")
+			fx.mgrs["SYS2"].TakeoverFailed(context.Background(), "SYS1")
 			if holder := peer.list.LockHolder(lockOffload); holder != "" {
 				t.Fatalf("offload lock still held by %q after takeover", holder)
 			}
 			// Survivor keeps writing; the stream is fully serviceable.
 			for i := 0; i < 40; i++ {
 				p := fmt.Sprintf("post%03d", i)
-				if _, err := peer.Write([]byte(p)); err != nil {
+				if _, err := peer.Write(context.Background(), []byte(p)); err != nil {
 					t.Fatal(err)
 				}
 				want[p] = true
@@ -314,7 +315,7 @@ func TestConcurrentWritersWithOffloadsAndBrowse(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				p := fmt.Sprintf("%s#%04d", sys, i)
-				if _, err := s.Write([]byte(p)); err != nil {
+				if _, err := s.Write(context.Background(), []byte(p)); err != nil {
 					t.Errorf("write: %v", err)
 					return
 				}
@@ -322,7 +323,7 @@ func TestConcurrentWritersWithOffloadsAndBrowse(t *testing.T) {
 				want[p] = true
 				mu.Unlock()
 				if i%50 == 25 {
-					if _, err := s.Browse(); err != nil {
+					if _, err := s.Browse(context.Background()); err != nil {
 						t.Errorf("browse: %v", err)
 						return
 					}
@@ -379,19 +380,19 @@ func TestBrowseExactlyOnceProperty(t *testing.T) {
 			}
 			sys := systems[rng.Intn(len(systems))]
 			p := fmt.Sprintf("%s/%05d", sys, i)
-			if _, err := streams[sys].Write([]byte(p)); err != nil {
+			if _, err := streams[sys].Write(context.Background(), []byte(p)); err != nil {
 				t.Logf("write: %v", err)
 				return false
 			}
 			want[p] = true
 			if sc.OffEvery > 0 && i%int(sc.OffEvery) == int(sc.OffEvery)-1 {
-				if _, err := streams[sys].Offload(); err != nil && !errors.Is(err, cf.ErrLockHeld) {
+				if _, err := streams[sys].Offload(context.Background()); err != nil && !errors.Is(err, cf.ErrLockHeld) {
 					t.Logf("offload: %v", err)
 					return false
 				}
 			}
 		}
-		cur, err := streams[systems[0]].Browse()
+		cur, err := streams[systems[0]].Browse(context.Background())
 		if err != nil {
 			t.Logf("browse: %v", err)
 			return false
@@ -438,7 +439,7 @@ func TestBrowseSnapshotStableUnderConcurrentOffload(t *testing.T) {
 	want := map[string]bool{}
 	for i := 0; i < 30; i++ {
 		p := fmt.Sprintf("s%03d", i)
-		if _, err := streams["SYS1"].Write([]byte(p)); err != nil {
+		if _, err := streams["SYS1"].Write(context.Background(), []byte(p)); err != nil {
 			t.Fatal(err)
 		}
 		want[p] = true
@@ -447,7 +448,7 @@ func TestBrowseSnapshotStableUnderConcurrentOffload(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 20; i++ {
-			streams["SYS2"].Offload()
+			streams["SYS2"].Offload(context.Background())
 			time.Sleep(50 * time.Microsecond)
 		}
 	}()

@@ -12,6 +12,7 @@
 package racf
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -125,7 +126,7 @@ func (m *Manager) emitAudit(e AuditEvent) {
 
 // New attaches a security manager for system sys to the shared profile
 // cache structure and database. slots bounds the local cache size.
-func New(sys string, cs cf.Cache, store *cds.Store, slots int) (*Manager, error) {
+func New(ctx context.Context, sys string, cs cf.Cache, store *cds.Store, slots int) (*Manager, error) {
 	if slots <= 0 {
 		slots = 256
 	}
@@ -138,7 +139,7 @@ func New(sys string, cs cf.Cache, store *cds.Store, slots int) (*Manager, error)
 		byIdx: make([]string, slots),
 		local: make(map[string]Profile),
 	}
-	if err := cs.Connect(sys, m.vec); err != nil {
+	if err := cs.Connect(ctx, sys, m.vec); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -158,8 +159,8 @@ func (m *Manager) structure() cf.Cache {
 // Rebind moves the manager onto a rebuilt profile cache structure: the
 // connector re-attaches with a cleared local cache; subsequent checks
 // refill from the shared database (profiles are fully persistent).
-func (m *Manager) Rebind(cs cf.Cache) error {
-	if err := cs.Connect(m.sys, m.vec); err != nil {
+func (m *Manager) Rebind(ctx context.Context, cs cf.Cache) error {
+	if err := cs.Connect(ctx, m.sys, m.vec); err != nil {
 		return err
 	}
 	m.mu.Lock()
@@ -186,7 +187,7 @@ func dbKey(resource string) string { return "racf.profile." + resource }
 // Define creates or replaces a profile: it is stored in the shared
 // database and pushed to the CF cache, cross-invalidating every
 // system's local copy — the change is effective sysplex-wide on return.
-func (m *Manager) Define(p Profile) error {
+func (m *Manager) Define(ctx context.Context, p Profile) error {
 	raw, err := json.Marshal(p)
 	if err != nil {
 		return err
@@ -197,7 +198,7 @@ func (m *Manager) Define(p Profile) error {
 		return err
 	}
 	idx := m.slotFor(p.Resource)
-	if err := m.structure().WriteAndInvalidate(m.sys, p.Resource, raw, true, false, idx); err != nil {
+	if err := m.structure().WriteAndInvalidate(ctx, m.sys, p.Resource, raw, true, false, idx); err != nil {
 		return err
 	}
 	m.mu.Lock()
@@ -209,8 +210,8 @@ func (m *Manager) Define(p Profile) error {
 
 // Permit grants (or with None, effectively revokes) user access on a
 // resource and propagates it immediately.
-func (m *Manager) Permit(resource, user string, level Access) error {
-	p, err := m.profile(resource)
+func (m *Manager) Permit(ctx context.Context, resource, user string, level Access) error {
+	p, err := m.profile(ctx, resource)
 	if err != nil {
 		return err
 	}
@@ -218,7 +219,7 @@ func (m *Manager) Permit(resource, user string, level Access) error {
 		p.Permits = map[string]Access{}
 	}
 	p.Permits[user] = level
-	if err := m.Define(p); err != nil {
+	if err := m.Define(ctx, p); err != nil {
 		return err
 	}
 	m.emitAudit(AuditEvent{Kind: "permit", User: user, Resource: resource, Want: level, Granted: true})
@@ -228,8 +229,8 @@ func (m *Manager) Permit(resource, user string, level Access) error {
 // Check authorizes user for access level want on resource. It answers
 // from the local cache when the validity bit is set; otherwise it
 // refreshes from the CF cache or the shared database.
-func (m *Manager) Check(user, resource string, want Access) (bool, error) {
-	p, err := m.profile(resource)
+func (m *Manager) Check(ctx context.Context, user, resource string, want Access) (bool, error) {
+	p, err := m.profile(ctx, resource)
 	if err != nil {
 		return false, err
 	}
@@ -247,7 +248,7 @@ func (m *Manager) Check(user, resource string, want Access) (bool, error) {
 }
 
 // profile resolves the current profile for a resource.
-func (m *Manager) profile(resource string) (Profile, error) {
+func (m *Manager) profile(ctx context.Context, resource string) (Profile, error) {
 	m.mu.Lock()
 	if idx, ok := m.slots[resource]; ok && m.vec.Test(idx) {
 		p := m.local[resource]
@@ -258,7 +259,7 @@ func (m *Manager) profile(resource string) (Profile, error) {
 	m.mu.Unlock()
 
 	idx := m.slotFor(resource)
-	res, err := m.structure().ReadAndRegister(m.sys, resource, idx)
+	res, err := m.structure().ReadAndRegister(ctx, m.sys, resource, idx)
 	if err != nil {
 		return Profile{}, err
 	}
@@ -284,7 +285,7 @@ func (m *Manager) profile(resource string) (Profile, error) {
 	if !ok {
 		// Best-effort: a failed unregister only costs a spurious
 		// cross-invalidate on this vector slot later.
-		_ = m.structure().Unregister(m.sys, resource)
+		_ = m.structure().Unregister(ctx, m.sys, resource)
 		m.mu.Lock()
 		m.vec.Clear(idx)
 		m.mu.Unlock()

@@ -1,6 +1,7 @@
 package racf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -34,7 +35,7 @@ func newFixture(t *testing.T, slots int, systems ...string) *fixture {
 	}
 	fx := &fixture{fac: fac, cs: cs, st: st, mgrs: map[string]*Manager{}}
 	for _, s := range systems {
-		m, err := New(s, cs, st, slots)
+		m, err := New(context.Background(), s, cs, st, slots)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -46,7 +47,7 @@ func newFixture(t *testing.T, slots int, systems ...string) *fixture {
 func TestDefineAndCheck(t *testing.T) {
 	fx := newFixture(t, 16, "SYS1")
 	m := fx.mgrs["SYS1"]
-	if err := m.Define(Profile{
+	if err := m.Define(context.Background(), Profile{
 		Resource: "PAYROLL.DATA",
 		UACC:     None,
 		Permits:  map[string]Access{"ALICE": Update, "BOB": Read},
@@ -65,7 +66,7 @@ func TestDefineAndCheck(t *testing.T) {
 		{"EVE", Read, false}, // falls to UACC None
 	}
 	for _, c := range cases {
-		got, err := m.Check(c.user, "PAYROLL.DATA", c.want)
+		got, err := m.Check(context.Background(), c.user, "PAYROLL.DATA", c.want)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,18 +82,18 @@ func TestDefineAndCheck(t *testing.T) {
 func TestUACCFallback(t *testing.T) {
 	fx := newFixture(t, 16, "SYS1")
 	m := fx.mgrs["SYS1"]
-	m.Define(Profile{Resource: "PUBLIC.DOC", UACC: Read})
-	if ok, _ := m.Check("ANYONE", "PUBLIC.DOC", Read); !ok {
+	m.Define(context.Background(), Profile{Resource: "PUBLIC.DOC", UACC: Read})
+	if ok, _ := m.Check(context.Background(), "ANYONE", "PUBLIC.DOC", Read); !ok {
 		t.Fatal("UACC read denied")
 	}
-	if ok, _ := m.Check("ANYONE", "PUBLIC.DOC", Update); ok {
+	if ok, _ := m.Check(context.Background(), "ANYONE", "PUBLIC.DOC", Update); ok {
 		t.Fatal("UACC update allowed")
 	}
 }
 
 func TestNoProfile(t *testing.T) {
 	fx := newFixture(t, 16, "SYS1")
-	if _, err := fx.mgrs["SYS1"].Check("U", "UNDEFINED", Read); !errors.Is(err, ErrNoProfile) {
+	if _, err := fx.mgrs["SYS1"].Check(context.Background(), "U", "UNDEFINED", Read); !errors.Is(err, ErrNoProfile) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -100,9 +101,9 @@ func TestNoProfile(t *testing.T) {
 func TestLocalCacheHitPath(t *testing.T) {
 	fx := newFixture(t, 16, "SYS1")
 	m := fx.mgrs["SYS1"]
-	m.Define(Profile{Resource: "R", UACC: Read})
+	m.Define(context.Background(), Profile{Resource: "R", UACC: Read})
 	for i := 0; i < 10; i++ {
-		if ok, err := m.Check("U", "R", Read); err != nil || !ok {
+		if ok, err := m.Check(context.Background(), "U", "R", Read); err != nil || !ok {
 			t.Fatalf("ok=%v err=%v", ok, err)
 		}
 	}
@@ -116,22 +117,22 @@ func TestLocalCacheHitPath(t *testing.T) {
 func TestRevocationTakesEffectSysplexWideImmediately(t *testing.T) {
 	fx := newFixture(t, 16, "SYS1", "SYS2", "SYS3")
 	admin := fx.mgrs["SYS1"]
-	admin.Define(Profile{Resource: "SECRET", UACC: None, Permits: map[string]Access{"MALLORY": Read}})
+	admin.Define(context.Background(), Profile{Resource: "SECRET", UACC: None, Permits: map[string]Access{"MALLORY": Read}})
 
 	// Every system warms its local cache with the permissive profile.
 	for _, m := range fx.mgrs {
-		if ok, err := m.Check("MALLORY", "SECRET", Read); err != nil || !ok {
+		if ok, err := m.Check(context.Background(), "MALLORY", "SECRET", Read); err != nil || !ok {
 			t.Fatalf("warmup: ok=%v err=%v", ok, err)
 		}
 	}
 	// Revoke on SYS1.
-	if err := admin.Permit("SECRET", "MALLORY", None); err != nil {
+	if err := admin.Permit(context.Background(), "SECRET", "MALLORY", None); err != nil {
 		t.Fatal(err)
 	}
 	// Effective immediately on all systems — cross-invalidation, not
 	// timeouts.
 	for name, m := range fx.mgrs {
-		if ok, _ := m.Check("MALLORY", "SECRET", Read); ok {
+		if ok, _ := m.Check(context.Background(), "MALLORY", "SECRET", Read); ok {
 			t.Fatalf("%s still allows revoked access", name)
 		}
 	}
@@ -149,16 +150,16 @@ func TestRevocationTakesEffectSysplexWideImmediately(t *testing.T) {
 
 func TestProfilePersistsInSharedDatabase(t *testing.T) {
 	fx := newFixture(t, 16, "SYS1")
-	fx.mgrs["SYS1"].Define(Profile{Resource: "R", UACC: Read})
+	fx.mgrs["SYS1"].Define(context.Background(), Profile{Resource: "R", UACC: Read})
 	// A brand-new manager (e.g. after IPL) with a cold CF cache entry...
 	fx.fac.Deallocate("IRRXCF00")
 	cs2, _ := fx.fac.AllocateCacheStructure("IRRXCF00", 64)
-	m2, err := New("SYS9", cs2, fx.st, 16)
+	m2, err := New(context.Background(), "SYS9", cs2, fx.st, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// ...reads the profile from the shared database.
-	ok, err := m2.Check("ANY", "R", Read)
+	ok, err := m2.Check(context.Background(), "ANY", "R", Read)
 	if err != nil || !ok {
 		t.Fatalf("ok=%v err=%v", ok, err)
 	}
@@ -171,11 +172,11 @@ func TestSlotEviction(t *testing.T) {
 	fx := newFixture(t, 4, "SYS1")
 	m := fx.mgrs["SYS1"]
 	for i := 0; i < 8; i++ {
-		m.Define(Profile{Resource: fmt.Sprintf("R%d", i), UACC: Read})
+		m.Define(context.Background(), Profile{Resource: fmt.Sprintf("R%d", i), UACC: Read})
 	}
 	// All 8 profiles remain checkable despite only 4 local slots.
 	for i := 0; i < 8; i++ {
-		ok, err := m.Check("U", fmt.Sprintf("R%d", i), Read)
+		ok, err := m.Check(context.Background(), "U", fmt.Sprintf("R%d", i), Read)
 		if err != nil || !ok {
 			t.Fatalf("R%d: ok=%v err=%v", i, ok, err)
 		}

@@ -11,6 +11,7 @@
 package txmgr
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -144,7 +145,7 @@ func (r *Region) RegisterProgram(name string, serviceMIPSsec float64, fn Program
 // Submit runs a transaction: locally in the normal case, or shipped to
 // a less-utilized system when this one is overloaded. The decision is
 // invisible to the caller (dynamic transaction routing).
-func (r *Region) Submit(program string, input []byte) ([]byte, error) {
+func (r *Region) Submit(ctx context.Context, program string, input []byte) ([]byte, error) {
 	start := r.clock.Now()
 	r.bump(func(s *Stats) { s.Submitted++ })
 	target := r.routeTarget()
@@ -152,10 +153,10 @@ func (r *Region) Submit(program string, input []byte) ([]byte, error) {
 	var err error
 	if target == r.System() {
 		r.bump(func(s *Stats) { s.LocalRuns++ })
-		out, err = r.runLocal(program, input)
+		out, err = r.runLocal(ctx, program, input)
 	} else {
 		r.bump(func(s *Stats) { s.RoutedOut++ })
-		out, err = r.ship(target, program, input)
+		out, err = r.ship(ctx, target, program, input)
 	}
 	elapsed := r.clock.Since(start)
 	r.reg.Histogram("tx.response").Observe(elapsed)
@@ -206,7 +207,7 @@ func (r *Region) routeTarget() string {
 
 // runLocal executes the program under a transaction with deadlock
 // retry.
-func (r *Region) runLocal(program string, input []byte) ([]byte, error) {
+func (r *Region) runLocal(ctx context.Context, program string, input []byte) ([]byte, error) {
 	r.mu.Lock()
 	def, ok := r.programs[program]
 	r.mu.Unlock()
@@ -215,7 +216,7 @@ func (r *Region) runLocal(program string, input []byte) ([]byte, error) {
 	}
 	var lastErr error
 	for attempt := 0; attempt <= r.opts.MaxRetries; attempt++ {
-		tx := r.engine.Begin()
+		tx := r.engine.Begin(ctx)
 		out, err := def.fn(tx, input)
 		if err != nil {
 			tx.Abort()
@@ -282,8 +283,8 @@ type wireResp struct {
 }
 
 // ship sends the request to a peer region and waits for the answer.
-func (r *Region) ship(target, program string, input []byte) ([]byte, error) {
-	resp, err := r.call(target, wireMsg{Kind: kindRun, Program: program, Input: input})
+func (r *Region) ship(ctx context.Context, target, program string, input []byte) ([]byte, error) {
+	resp, err := r.call(ctx, target, wireMsg{Kind: kindRun, Program: program, Input: input})
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +294,7 @@ func (r *Region) ship(target, program string, input []byte) ([]byte, error) {
 	return resp.output, nil
 }
 
-func (r *Region) call(target string, msg wireMsg) (wireResp, error) {
+func (r *Region) call(ctx context.Context, target string, msg wireMsg) (wireResp, error) {
 	r.mu.Lock()
 	r.nextReq++
 	msg.Req = r.nextReq
@@ -315,6 +316,8 @@ func (r *Region) call(target string, msg wireMsg) (wireResp, error) {
 	select {
 	case resp := <-ch:
 		return resp, nil
+	case <-ctx.Done():
+		return wireResp{}, ctx.Err()
 	case <-r.clock.After(r.opts.RemoteTimeout):
 		return wireResp{}, fmt.Errorf("%w: %s", ErrTimeout, target)
 	}
@@ -332,7 +335,7 @@ func (r *Region) handleMessage(from string, payload []byte) {
 	case kindRun:
 		go func() {
 			r.bump(func(s *Stats) { s.RoutedIn++ })
-			out, err := r.runLocal(msg.Program, msg.Input)
+			out, err := r.runLocal(context.Background(), msg.Program, msg.Input)
 			resp := wireMsg{Kind: kindResp, Req: msg.Req, Output: out}
 			if err != nil {
 				resp.Error = err.Error()
@@ -342,7 +345,7 @@ func (r *Region) handleMessage(from string, payload []byte) {
 	case kindQuery:
 		go func() {
 			r.bump(func(s *Stats) { s.SubQueries++ })
-			count, sum, err := r.runSubQuery(msg.Table, msg.Lo, msg.Hi, msg.Op, msg.Prefix)
+			count, sum, err := r.runSubQuery(context.Background(), msg.Table, msg.Lo, msg.Hi, msg.Op, msg.Prefix)
 			resp := wireMsg{Kind: kindQResp, Req: msg.Req, Count: count, Sum: sum}
 			if err != nil {
 				resp.Error = err.Error()
@@ -377,10 +380,10 @@ type QueryResult struct {
 }
 
 // runSubQuery executes one page-range fragment locally.
-func (r *Region) runSubQuery(table string, lo, hi int, op, prefix string) (int64, int64, error) {
+func (r *Region) runSubQuery(ctx context.Context, table string, lo, hi int, op, prefix string) (int64, int64, error) {
 	owner := fmt.Sprintf("Q.%s.%d.%d", r.System(), lo, hi)
 	var count, sum int64
-	err := r.engine.ScanPages(owner, table, lo, hi, func(key string, value []byte) bool {
+	err := r.engine.ScanPages(ctx, owner, table, lo, hi, func(key string, value []byte) bool {
 		if prefix != "" && (len(key) < len(prefix) || key[:len(prefix)] != prefix) {
 			return true
 		}
@@ -399,7 +402,7 @@ func (r *Region) runSubQuery(table string, lo, hi int, op, prefix string) (int64
 // distributed across the given systems (this one included), runs them
 // in parallel, and aggregates. op is "count" or "sum"; prefix filters
 // keys. The caller sees one answer, as if the query ran serially.
-func (r *Region) ParallelQuery(systems []string, table, op, prefix string) (QueryResult, error) {
+func (r *Region) ParallelQuery(ctx context.Context, systems []string, table, op, prefix string) (QueryResult, error) {
 	pages, err := r.engine.TablePages(table)
 	if err != nil {
 		return QueryResult{}, err
@@ -431,12 +434,12 @@ func (r *Region) ParallelQuery(systems []string, table, op, prefix string) (Quer
 		launched++
 		go func(sysName string, lo, hi int) {
 			if sysName == r.System() {
-				c, s, err := r.runSubQuery(table, lo, hi, op, prefix)
+				c, s, err := r.runSubQuery(ctx, table, lo, hi, op, prefix)
 				r.bump(func(st *Stats) { st.SubQueries++ })
 				results <- partial{c, s, err}
 				return
 			}
-			resp, err := r.call(sysName, wireMsg{Kind: kindQuery, Table: table, Lo: lo, Hi: hi, Op: op, Prefix: prefix})
+			resp, err := r.call(ctx, sysName, wireMsg{Kind: kindQuery, Table: table, Lo: lo, Hi: hi, Op: op, Prefix: prefix})
 			if err != nil {
 				results <- partial{err: err}
 				return

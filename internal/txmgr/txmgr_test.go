@@ -1,6 +1,7 @@
 package txmgr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -39,11 +40,11 @@ func newFixture(t *testing.T, systems ...string) *fixture {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lm, err := lockmgr.New(sys, ls, vclock.Real())
+		lm, err := lockmgr.New(context.Background(), sys, ls, vclock.Real())
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng, err := db.Open(db.Config{
+		eng, err := db.Open(context.Background(), db.Config{
 			Name: "DBP1", System: s, Farm: farm, Volume: "V",
 			Facility: fac, Locks: lm, PoolFrames: 64, LogBlocks: 256,
 			LockTimeout: 3 * time.Second,
@@ -51,7 +52,7 @@ func newFixture(t *testing.T, systems ...string) *fixture {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := eng.OpenTable("ACCT", 16); err != nil {
+		if err := eng.OpenTable(context.Background(), "ACCT", 16); err != nil {
 			t.Fatal(err)
 		}
 		wm, err := wlm.New(sys, 100, wlm.Policy{Name: "STD"}, vclock.Real())
@@ -110,11 +111,11 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 func TestLocalExecution(t *testing.T) {
 	fx := newFixture(t, "SYS1")
 	r := fx.regions["SYS1"]
-	out, err := r.Submit("DEPOSIT", []byte("alice"))
+	out, err := r.Submit(context.Background(), "DEPOSIT", []byte("alice"))
 	if err != nil || string(out) != "1" {
 		t.Fatalf("out=%q err=%v", out, err)
 	}
-	out, err = r.Submit("DEPOSIT", []byte("alice"))
+	out, err = r.Submit(context.Background(), "DEPOSIT", []byte("alice"))
 	if err != nil || string(out) != "2" {
 		t.Fatalf("out=%q err=%v", out, err)
 	}
@@ -126,7 +127,7 @@ func TestLocalExecution(t *testing.T) {
 
 func TestUnknownProgram(t *testing.T) {
 	fx := newFixture(t, "SYS1")
-	if _, err := fx.regions["SYS1"].Submit("NOPE", nil); !errors.Is(err, ErrNoProgram) {
+	if _, err := fx.regions["SYS1"].Submit(context.Background(), "NOPE", nil); !errors.Is(err, ErrNoProgram) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -134,7 +135,7 @@ func TestUnknownProgram(t *testing.T) {
 func TestApplicationErrorAborts(t *testing.T) {
 	fx := newFixture(t, "SYS1")
 	r := fx.regions["SYS1"]
-	if _, err := r.Submit("FAIL", nil); err == nil {
+	if _, err := r.Submit(context.Background(), "FAIL", nil); err == nil {
 		t.Fatal("application error swallowed")
 	}
 	if st := r.Stats(); st.Failed != 1 {
@@ -154,7 +155,7 @@ func TestDynamicRoutingWhenOverloaded(t *testing.T) {
 	fx.wlms["SYS2"].SetUtilization(0.05)
 	seedPeers(t, fx, "SYS1", "SYS2")
 
-	out, err := r1.Submit("DEPOSIT", []byte("bob"))
+	out, err := r1.Submit(context.Background(), "DEPOSIT", []byte("bob"))
 	if err != nil || string(out) != "1" {
 		t.Fatalf("out=%q err=%v", out, err)
 	}
@@ -164,7 +165,7 @@ func TestDynamicRoutingWhenOverloaded(t *testing.T) {
 	}
 	waitFor(t, "routed-in", func() bool { return fx.regions["SYS2"].Stats().RoutedIn == 1 })
 	// The update is visible sysplex-wide regardless of where it ran.
-	out, err = r1.Submit("READ", []byte("bob"))
+	out, err = r1.Submit(context.Background(), "READ", []byte("bob"))
 	if err != nil || string(out) != "1" {
 		t.Fatalf("read out=%q err=%v", out, err)
 	}
@@ -192,17 +193,17 @@ func TestParallelQueryMatchesSerial(t *testing.T) {
 	r1 := fx.regions["SYS1"]
 	// Load 60 records with numeric values.
 	for i := 0; i < 60; i++ {
-		if _, err := r1.Submit("DEPOSIT", []byte(fmt.Sprintf("acct%03d", i))); err != nil {
+		if _, err := r1.Submit(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("acct%03d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Serial count on one system.
-	serial, err := r1.ParallelQuery([]string{"SYS1"}, "ACCT", "sum", "acct")
+	serial, err := r1.ParallelQuery(context.Background(), []string{"SYS1"}, "ACCT", "sum", "acct")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Parallel across three systems.
-	par, err := r1.ParallelQuery([]string{"SYS1", "SYS2", "SYS3"}, "ACCT", "sum", "acct")
+	par, err := r1.ParallelQuery(context.Background(), []string{"SYS1", "SYS2", "SYS3"}, "ACCT", "sum", "acct")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,9 +225,9 @@ func TestParallelQueryMatchesSerial(t *testing.T) {
 func TestParallelQueryPrefixFilter(t *testing.T) {
 	fx := newFixture(t, "SYS1")
 	r := fx.regions["SYS1"]
-	r.Submit("DEPOSIT", []byte("aaa1"))
-	r.Submit("DEPOSIT", []byte("bbb1"))
-	res, err := r.ParallelQuery(nil, "ACCT", "count", "aaa")
+	r.Submit(context.Background(), "DEPOSIT", []byte("aaa1"))
+	r.Submit(context.Background(), "DEPOSIT", []byte("bbb1"))
+	res, err := r.ParallelQuery(context.Background(), nil, "ACCT", "count", "aaa")
 	if err != nil || res.Count != 1 {
 		t.Fatalf("res = %+v err=%v", res, err)
 	}
@@ -234,7 +235,7 @@ func TestParallelQueryPrefixFilter(t *testing.T) {
 
 func TestWLMReporting(t *testing.T) {
 	fx := newFixture(t, "SYS1")
-	fx.regions["SYS1"].Submit("DEPOSIT", []byte("x"))
+	fx.regions["SYS1"].Submit(context.Background(), "DEPOSIT", []byte("x"))
 	fx.wlms["SYS1"].EndInterval()
 	cp, ok := fx.wlms["SYS1"].ClassPerformance(ServiceClass)
 	if !ok || cp.Completions != 1 {
@@ -251,7 +252,7 @@ func TestShipToDeadSystemFails(t *testing.T) {
 	fx.wlms["SYS2"].SetUtilization(0.05)
 	seedPeers(t, fx, "SYS1", "SYS2")
 	fx.plex.PartitionNow("SYS2")
-	if _, err := r1.Submit("DEPOSIT", []byte("k")); err == nil {
+	if _, err := r1.Submit(context.Background(), "DEPOSIT", []byte("k")); err == nil {
 		t.Fatal("ship to dead system succeeded")
 	}
 	if st := r1.Stats(); st.Failed != 1 {
@@ -268,7 +269,7 @@ func TestRemoteUnknownProgramSurfacesError(t *testing.T) {
 	fx.wlms["SYS1"].SetUtilization(0.99)
 	fx.wlms["SYS2"].SetUtilization(0.05)
 	seedPeers(t, fx, "SYS1", "SYS2")
-	_, err := r1.Submit("ONLYHERE", []byte("x"))
+	_, err := r1.Submit(context.Background(), "ONLYHERE", []byte("x"))
 	if err == nil {
 		t.Fatal("remote missing program succeeded")
 	}

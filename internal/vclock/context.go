@@ -1,0 +1,80 @@
+package vclock
+
+import (
+	"context"
+	"time"
+)
+
+// Virtual-clock deadlines.
+//
+// CF commands complete CPU-synchronously (§3.3): the command path never
+// parks on a channel waiting for a response, so deadline enforcement is
+// a poll at command boundaries rather than a timer firing mid-flight.
+// context.WithDeadline would arm a wall-clock timer, which a Fake clock
+// cannot advance; instead the deadline is carried as a context value in
+// sysplex time and checked against the injected Clock by Check. The
+// standard cancellation channel (context.WithCancel and friends) is
+// honored as-is.
+
+// deadlineKey carries the virtual-clock deadline value.
+type deadlineKey struct{}
+
+// background lets Check short-circuit the overwhelmingly common
+// no-deadline, no-cancellation case with one pointer compare.
+var background = context.Background()
+
+// WithDeadline returns a context carrying a sysplex-time deadline. CF
+// commands gated on the context fail with context.DeadlineExceeded once
+// the sysplex clock reaches at. If ctx already carries an earlier
+// deadline, ctx is returned unchanged.
+func WithDeadline(ctx context.Context, at time.Time) context.Context {
+	if cur, ok := Deadline(ctx); ok && !cur.After(at) {
+		return ctx
+	}
+	return context.WithValue(ctx, deadlineKey{}, at)
+}
+
+// WithTimeout is WithDeadline relative to the clock's current time.
+func WithTimeout(ctx context.Context, c Clock, d time.Duration) context.Context {
+	return WithDeadline(ctx, c.Now().Add(d))
+}
+
+// Deadline reports the virtual-clock deadline carried by ctx, if any.
+func Deadline(ctx context.Context) (time.Time, bool) {
+	at, ok := ctx.Value(deadlineKey{}).(time.Time)
+	return at, ok
+}
+
+// Check reports whether work under ctx may proceed: ctx.Err() if the
+// context is cancelled (covering wall-clock deadlines armed by the
+// standard library), context.DeadlineExceeded if a virtual-clock
+// deadline has passed on c, nil otherwise. It is the single gate the CF
+// command path consults at command boundaries.
+func Check(ctx context.Context, c Clock) error {
+	// Kept to a single compare plus a call so Check inlines into the
+	// command path; context.Background() (the overwhelmingly common
+	// no-deadline case) costs one pointer compare.
+	if ctx == background {
+		return nil
+	}
+	return checkSlow(ctx, c)
+}
+
+func checkSlow(ctx context.Context, c Clock) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if at, ok := Deadline(ctx); ok && !c.Now().Before(at) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// Detach returns a context that preserves nothing of ctx: no
+// cancellation, no virtual-clock deadline. The duplexed front runs
+// secondary-replica mirrors and post-commit cleanup under a detached
+// context so a caller's cancellation cannot produce a half-applied
+// command (the no-partial-effect guarantee of DESIGN §10).
+func Detach(ctx context.Context) context.Context {
+	return context.Background()
+}

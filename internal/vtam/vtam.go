@@ -8,6 +8,7 @@
 package vtam
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -58,7 +59,7 @@ type Session struct {
 
 // New creates the network image over a CF list structure. weights, if
 // non-nil, supplies WLM routing weights by system name.
-func New(ls cf.List, weights func() map[string]float64) (*Network, error) {
+func New(ctx context.Context, ls cf.List, weights func() map[string]float64) (*Network, error) {
 	n := &Network{
 		ls:       ls,
 		conn:     "VTAM",
@@ -66,7 +67,7 @@ func New(ls cf.List, weights func() map[string]float64) (*Network, error) {
 		weights:  weights,
 		shadow:   make(map[string]Instance),
 	}
-	if err := ls.Connect(n.conn, nil); err != nil {
+	if err := ls.Connect(ctx, n.conn, nil); err != nil {
 		return nil, err
 	}
 	return n, nil
@@ -89,9 +90,9 @@ func (n *Network) listOf(ls cf.List, generic string) int {
 func entryID(generic, member string) string { return "GR." + generic + "." + member }
 
 // Register adds an instance under a generic name.
-func (n *Network) Register(generic, member, system string) error {
+func (n *Network) Register(ctx context.Context, generic, member, system string) error {
 	inst := Instance{Generic: generic, Member: member, System: system}
-	if err := n.writeInstance(inst); err != nil {
+	if err := n.writeInstance(ctx, inst); err != nil {
 		return err
 	}
 	n.mu.Lock()
@@ -100,21 +101,21 @@ func (n *Network) Register(generic, member, system string) error {
 	return nil
 }
 
-func (n *Network) writeInstance(inst Instance) error {
+func (n *Network) writeInstance(ctx context.Context, inst Instance) error {
 	raw, err := json.Marshal(inst)
 	if err != nil {
 		return err
 	}
 	ls := n.structure()
-	return ls.Write(n.conn, n.listOf(ls, inst.Generic), entryID(inst.Generic, inst.Member), inst.Generic, raw, cf.Keyed, cf.Cond{})
+	return ls.Write(ctx, n.conn, n.listOf(ls, inst.Generic), entryID(inst.Generic, inst.Member), inst.Generic, raw, cf.Keyed, cf.Cond{})
 }
 
 // Deregister removes an instance (planned shutdown).
-func (n *Network) Deregister(generic, member string) error {
+func (n *Network) Deregister(ctx context.Context, generic, member string) error {
 	n.mu.Lock()
 	delete(n.shadow, entryID(generic, member))
 	n.mu.Unlock()
-	err := n.structure().Delete(n.conn, entryID(generic, member), cf.Cond{})
+	err := n.structure().Delete(ctx, n.conn, entryID(generic, member), cf.Cond{})
 	if errors.Is(err, cf.ErrEntryNotFound) {
 		return nil
 	}
@@ -142,7 +143,7 @@ func (n *Network) Instances(generic string) ([]Instance, error) {
 // Logon resolves a generic name to an instance and binds a session.
 // Selection balances WLM weight against current session counts: the
 // instance with the smallest sessions/weight ratio wins.
-func (n *Network) Logon(generic string) (Session, error) {
+func (n *Network) Logon(ctx context.Context, generic string) (Session, error) {
 	instances, err := n.Instances(generic)
 	if err != nil {
 		return Session{}, err
@@ -174,7 +175,7 @@ func (n *Network) Logon(generic string) (Session, error) {
 	n.mu.Unlock()
 	chosen := instances[best]
 	chosen.Sessions++
-	if err := n.writeInstance(chosen); err != nil {
+	if err := n.writeInstance(ctx, chosen); err != nil {
 		return Session{}, err
 	}
 	n.mu.Lock()
@@ -209,7 +210,7 @@ func score(inst Instance, weights map[string]float64) float64 {
 }
 
 // Logoff unbinds a session and decrements the instance session count.
-func (n *Network) Logoff(sessionID string) error {
+func (n *Network) Logoff(ctx context.Context, sessionID string) error {
 	n.mu.Lock()
 	sess, ok := n.sessions[sessionID]
 	if ok {
@@ -219,7 +220,7 @@ func (n *Network) Logoff(sessionID string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSession, sessionID)
 	}
-	e, err := n.structure().Read(n.conn, entryID(sess.Generic, sess.Member), cf.Cond{})
+	e, err := n.structure().Read(ctx, n.conn, entryID(sess.Generic, sess.Member), cf.Cond{})
 	if err != nil {
 		return nil // instance gone (failed system cleanup)
 	}
@@ -233,7 +234,7 @@ func (n *Network) Logoff(sessionID string) error {
 	n.mu.Lock()
 	n.shadow[entryID(inst.Generic, inst.Member)] = inst
 	n.mu.Unlock()
-	return n.writeInstance(inst)
+	return n.writeInstance(ctx, inst)
 }
 
 // Sessions reports the number of bound sessions per system for a
@@ -253,7 +254,7 @@ func (n *Network) Sessions(generic string) (map[string]int, error) {
 // CleanupSystem removes all registrations of instances that lived on a
 // failed system and drops their bound sessions; wire it to
 // xcf.Sysplex.OnSystemFailed. Subsequent logons bind to survivors.
-func (n *Network) CleanupSystem(sys string) {
+func (n *Network) CleanupSystem(ctx context.Context, sys string) {
 	// Remove registrations across all lists.
 	ls := n.structure()
 	for list := 0; list < ls.Lists(); list++ {
@@ -265,7 +266,7 @@ func (n *Network) CleanupSystem(sys string) {
 			if inst.System == sys {
 				// Best-effort cleanup of the failed system's instances;
 				// a leftover entry is re-swept on the next takeover.
-				_ = ls.Delete(n.conn, e.ID, cf.Cond{})
+				_ = ls.Delete(ctx, n.conn, e.ID, cf.Cond{})
 			}
 		}
 	}
@@ -287,8 +288,8 @@ func (n *Network) CleanupSystem(sys string) {
 // structure rebuild): the VTAM connector re-attaches and re-creates
 // every registration, including current session counts, from its local
 // shadow.
-func (n *Network) Rebind(ls cf.List) error {
-	if err := ls.Connect(n.conn, nil); err != nil {
+func (n *Network) Rebind(ctx context.Context, ls cf.List) error {
+	if err := ls.Connect(ctx, n.conn, nil); err != nil {
 		return err
 	}
 	n.mu.Lock()
@@ -300,7 +301,7 @@ func (n *Network) Rebind(ls cf.List) error {
 	n.mu.Unlock()
 	sort.Slice(insts, func(i, j int) bool { return insts[i].Member < insts[j].Member })
 	for _, inst := range insts {
-		if err := n.writeInstance(inst); err != nil {
+		if err := n.writeInstance(ctx, inst); err != nil {
 			return err
 		}
 	}

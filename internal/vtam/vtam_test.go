@@ -1,6 +1,7 @@
 package vtam
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -15,7 +16,7 @@ func newNetwork(t *testing.T, weights func() map[string]float64) *Network {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := New(ls, weights)
+	n, err := New(context.Background(), ls, weights)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,9 +25,9 @@ func newNetwork(t *testing.T, weights func() map[string]float64) *Network {
 
 func TestRegisterAndInstances(t *testing.T) {
 	n := newNetwork(t, nil)
-	n.Register("CICS", "CICSA", "SYS1")
-	n.Register("CICS", "CICSB", "SYS2")
-	n.Register("IMS", "IMSA", "SYS1")
+	n.Register(context.Background(), "CICS", "CICSA", "SYS1")
+	n.Register(context.Background(), "CICS", "CICSB", "SYS2")
+	n.Register(context.Background(), "IMS", "IMSA", "SYS1")
 	got, err := n.Instances("CICS")
 	if err != nil || len(got) != 2 {
 		t.Fatalf("instances = %v err=%v", got, err)
@@ -42,11 +43,11 @@ func TestRegisterAndInstances(t *testing.T) {
 
 func TestLogonBalancesSessions(t *testing.T) {
 	n := newNetwork(t, nil)
-	n.Register("CICS", "CICSA", "SYS1")
-	n.Register("CICS", "CICSB", "SYS2")
+	n.Register(context.Background(), "CICS", "CICSA", "SYS1")
+	n.Register(context.Background(), "CICS", "CICSB", "SYS2")
 	// Users just log on to "CICS"; binds spread across instances.
 	for i := 0; i < 10; i++ {
-		if _, err := n.Logon("CICS"); err != nil {
+		if _, err := n.Logon(context.Background(), "CICS"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -63,10 +64,10 @@ func TestLogonHonoursWLMWeights(t *testing.T) {
 	n := newNetwork(t, func() map[string]float64 {
 		return map[string]float64{"SYS1": 0.75, "SYS2": 0.25}
 	})
-	n.Register("CICS", "CICSA", "SYS1")
-	n.Register("CICS", "CICSB", "SYS2")
+	n.Register(context.Background(), "CICS", "CICSA", "SYS1")
+	n.Register(context.Background(), "CICS", "CICSB", "SYS2")
 	for i := 0; i < 12; i++ {
-		if _, err := n.Logon("CICS"); err != nil {
+		if _, err := n.Logon(context.Background(), "CICS"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -81,76 +82,76 @@ func TestLogonHonoursWLMWeights(t *testing.T) {
 
 func TestLogonNoInstances(t *testing.T) {
 	n := newNetwork(t, nil)
-	if _, err := n.Logon("GHOST"); !errors.Is(err, ErrNoInstances) {
+	if _, err := n.Logon(context.Background(), "GHOST"); !errors.Is(err, ErrNoInstances) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestLogoffDecrements(t *testing.T) {
 	n := newNetwork(t, nil)
-	n.Register("CICS", "CICSA", "SYS1")
-	s, err := n.Logon("CICS")
+	n.Register(context.Background(), "CICS", "CICSA", "SYS1")
+	s, err := n.Logon(context.Background(), "CICS")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Logoff(s.ID); err != nil {
+	if err := n.Logoff(context.Background(), s.ID); err != nil {
 		t.Fatal(err)
 	}
 	sessions, _ := n.Sessions("CICS")
 	if sessions["SYS1"] != 0 {
 		t.Fatalf("sessions = %v", sessions)
 	}
-	if err := n.Logoff(s.ID); !errors.Is(err, ErrNoSession) {
+	if err := n.Logoff(context.Background(), s.ID); !errors.Is(err, ErrNoSession) {
 		t.Fatalf("double logoff err = %v", err)
 	}
 }
 
 func TestDeregister(t *testing.T) {
 	n := newNetwork(t, nil)
-	n.Register("CICS", "CICSA", "SYS1")
-	if err := n.Deregister("CICS", "CICSA"); err != nil {
+	n.Register(context.Background(), "CICS", "CICSA", "SYS1")
+	if err := n.Deregister(context.Background(), "CICS", "CICSA"); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Deregister("CICS", "CICSA"); err != nil {
+	if err := n.Deregister(context.Background(), "CICS", "CICSA"); err != nil {
 		t.Fatal("second deregister should be a no-op")
 	}
-	if _, err := n.Logon("CICS"); !errors.Is(err, ErrNoInstances) {
+	if _, err := n.Logon(context.Background(), "CICS"); !errors.Is(err, ErrNoInstances) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestCleanupSystemRebindsToSurvivors(t *testing.T) {
 	n := newNetwork(t, nil)
-	n.Register("CICS", "CICSA", "SYS1")
-	n.Register("CICS", "CICSB", "SYS2")
-	s1, _ := n.Logon("CICS")
-	s2, _ := n.Logon("CICS")
+	n.Register(context.Background(), "CICS", "CICSA", "SYS1")
+	n.Register(context.Background(), "CICS", "CICSB", "SYS2")
+	s1, _ := n.Logon(context.Background(), "CICS")
+	s2, _ := n.Logon(context.Background(), "CICS")
 	// SYS1 fails: its registrations and sessions vanish; new logons all
 	// land on SYS2 — continuous availability from the user's seat.
-	n.CleanupSystem("SYS1")
+	n.CleanupSystem(context.Background(), "SYS1")
 	insts, _ := n.Instances("CICS")
 	if len(insts) != 1 || insts[0].System != "SYS2" {
 		t.Fatalf("instances = %v", insts)
 	}
 	for i := 0; i < 3; i++ {
-		s, err := n.Logon("CICS")
+		s, err := n.Logon(context.Background(), "CICS")
 		if err != nil || s.System != "SYS2" {
 			t.Fatalf("s = %+v err=%v", s, err)
 		}
 	}
 	// Logoff of a session bound to the dead system is tolerated.
 	for _, s := range []Session{s1, s2} {
-		n.Logoff(s.ID)
+		n.Logoff(context.Background(), s.ID)
 	}
 }
 
 func TestSessionsCountPerSystem(t *testing.T) {
 	n := newNetwork(t, nil)
-	n.Register("DB2", "DB2A", "SYS1")
-	n.Register("DB2", "DB2B", "SYS1") // two instances on one system
-	n.Register("DB2", "DB2C", "SYS2")
+	n.Register(context.Background(), "DB2", "DB2A", "SYS1")
+	n.Register(context.Background(), "DB2", "DB2B", "SYS1") // two instances on one system
+	n.Register(context.Background(), "DB2", "DB2C", "SYS2")
 	for i := 0; i < 9; i++ {
-		n.Logon("DB2")
+		n.Logon(context.Background(), "DB2")
 	}
 	sessions, _ := n.Sessions("DB2")
 	if sessions["SYS1"]+sessions["SYS2"] != 9 {
@@ -163,11 +164,11 @@ func TestSessionsCountPerSystem(t *testing.T) {
 
 func TestRebindRecreatesNetworkImage(t *testing.T) {
 	n := newNetwork(t, nil)
-	n.Register("CICS", "CICSA", "SYS1")
-	n.Register("CICS", "CICSB", "SYS2")
-	n.Register("IMS", "IMSA", "SYS3")
+	n.Register(context.Background(), "CICS", "CICSA", "SYS1")
+	n.Register(context.Background(), "CICS", "CICSB", "SYS2")
+	n.Register(context.Background(), "IMS", "IMSA", "SYS3")
 	for i := 0; i < 4; i++ {
-		if _, err := n.Logon("CICS"); err != nil {
+		if _, err := n.Logon(context.Background(), "CICS"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -177,7 +178,7 @@ func TestRebindRecreatesNetworkImage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Rebind(ls2); err != nil {
+	if err := n.Rebind(context.Background(), ls2); err != nil {
 		t.Fatal(err)
 	}
 	// All registrations and session counts survive.
@@ -194,7 +195,7 @@ func TestRebindRecreatesNetworkImage(t *testing.T) {
 		t.Fatalf("IMS instances = %v", ims)
 	}
 	// New logons work against the new structure.
-	if _, err := n.Logon("CICS"); err != nil {
+	if _, err := n.Logon(context.Background(), "CICS"); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,7 @@ package sysplex
 // a base exploiter).
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ import (
 
 func TestBatchJobsDistributeAcrossSystems(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 3)
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestBatchJobsDistributeAcrossSystems(t *testing.T) {
 	const jobs = 30
 	ids := make([]string, jobs)
 	for i := range ids {
-		id, err := p.SubmitJob("REPORT", []byte(fmt.Sprintf("month-%d", i)))
+		id, err := p.SubmitJob(context.Background(), "REPORT", []byte(fmt.Sprintf("month-%d", i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +34,7 @@ func TestBatchJobsDistributeAcrossSystems(t *testing.T) {
 	}
 	ranOn := map[string]int{}
 	for i, id := range ids {
-		job, err := p.WaitJob(id, 10*time.Second)
+		job, err := p.WaitJob(context.Background(), id, 10*time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +50,7 @@ func TestBatchJobsDistributeAcrossSystems(t *testing.T) {
 
 func TestBatchJobSurvivesSystemFailure(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 2)
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestBatchJobSurvivesSystemFailure(t *testing.T) {
 	s2, _ := p.System("SYS2")
 	s2.jesExec.Stop()
 
-	id, err := p.SubmitJob("FRAGILE", nil)
+	id, err := p.SubmitJob(context.Background(), "FRAGILE", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestBatchJobSurvivesSystemFailure(t *testing.T) {
 
 	// Restart SYS2's executor; it picks the job up.
 	s2.jesExec.Start(time.Millisecond)
-	job, err := p.WaitJob(id, 10*time.Second)
+	job, err := p.WaitJob(context.Background(), id, 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestBatchJobSurvivesSystemFailure(t *testing.T) {
 func TestBatchQueueSurvivesCFRebuild(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 2)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,25 +110,25 @@ func TestBatchQueueSurvivesCFRebuild(t *testing.T) {
 		return []byte(strings.ToUpper(string(payload))), nil
 	})
 	// Queue jobs, complete one, leave two pending, then rebuild the CF.
-	idDone, _ := p.SubmitJob("J", []byte("first"))
+	idDone, _ := p.SubmitJob(context.Background(), "J", []byte("first"))
 	s1, _ := p.System("SYS1")
-	s1.jesExec.DrainOnce()
-	idA, _ := p.SubmitJob("J", []byte("second"))
-	idB, _ := p.SubmitJob("J", []byte("third"))
+	s1.jesExec.DrainOnce(context.Background())
+	idA, _ := p.SubmitJob(context.Background(), "J", []byte("second"))
+	idB, _ := p.SubmitJob(context.Background(), "J", []byte("third"))
 
 	if err := p.RebuildCouplingFacility(); err != nil {
 		t.Fatal(err)
 	}
 	// Completed result survived the rebuild.
-	job, err := p.JobResult(idDone)
+	job, err := p.JobResult(context.Background(), idDone)
 	if err != nil || string(job.Output) != "FIRST" {
 		t.Fatalf("job = %+v err=%v", job, err)
 	}
 	// Pending jobs survived and run on the new structure.
 	s2, _ := p.System("SYS2")
-	s2.jesExec.DrainOnce()
+	s2.jesExec.DrainOnce(context.Background())
 	for _, id := range []string{idA, idB} {
-		job, err := p.JobResult(id)
+		job, err := p.JobResult(context.Background(), id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

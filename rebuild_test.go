@@ -5,6 +5,7 @@ package sysplex
 // keeps serving work.
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -14,7 +15,7 @@ import (
 func TestRebuildCouplingFacilityPreservesService(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 3)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestRebuildCouplingFacilityPreservesService(t *testing.T) {
 
 	// Establish shared state and warm caches on all systems.
 	for i := 0; i < 30; i++ {
-		if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("rb%d", i%6))); err != nil {
+		if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("rb%d", i%6))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -45,7 +46,7 @@ func TestRebuildCouplingFacilityPreservesService(t *testing.T) {
 	// All data is intact and all paths work: reads, writes, generic
 	// logon, cross-system coherency.
 	for i := 0; i < 6; i++ {
-		out, err := p.SubmitViaLogon("BALANCE", []byte(fmt.Sprintf("rb%d", i)))
+		out, err := p.SubmitViaLogon(context.Background(), "BALANCE", []byte(fmt.Sprintf("rb%d", i)))
 		if err != nil {
 			t.Fatalf("balance after rebuild: %v", err)
 		}
@@ -54,11 +55,11 @@ func TestRebuildCouplingFacilityPreservesService(t *testing.T) {
 		}
 	}
 	for i := 0; i < 30; i++ {
-		if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("rb%d", i%6))); err != nil {
+		if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("rb%d", i%6))); err != nil {
 			t.Fatalf("deposit after rebuild: %v", err)
 		}
 	}
-	out, _ := p.SubmitViaLogon("BALANCE", []byte("rb0"))
+	out, _ := p.SubmitViaLogon(context.Background(), "BALANCE", []byte("rb0"))
 	if string(out) != "10" {
 		t.Fatalf("rb0 = %s, want 10", out)
 	}
@@ -66,7 +67,7 @@ func TestRebuildCouplingFacilityPreservesService(t *testing.T) {
 
 func TestRebuildUnderLoad(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 3)
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestRebuildUnderLoad(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; !stop.Load(); i++ {
-			if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("load%d", i%8))); err != nil {
+			if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("load%d", i%8))); err != nil {
 				failures.Add(1)
 			}
 		}
@@ -99,7 +100,7 @@ func TestRebuildUnderLoad(t *testing.T) {
 func TestRebuildPreservesHeldLocks(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 2)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestRebuildPreservesHeldLocks(t *testing.T) {
 	s1, _ := p.System("SYS1")
 	s2, _ := p.System("SYS2")
 	// SYS1 holds an exclusive lock across the rebuild.
-	if err := s1.Locks().Lock("TX1", "CRITICAL", Exclusive, time.Second); err != nil {
+	if err := s1.Locks().Lock(context.Background(), "TX1", "CRITICAL", Exclusive, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.RebuildCouplingFacility(); err != nil {
@@ -116,14 +117,14 @@ func TestRebuildPreservesHeldLocks(t *testing.T) {
 	}
 	// The lock is still enforced against other systems in the NEW
 	// structure.
-	if err := s2.Locks().Lock("TX2", "CRITICAL", Exclusive, 60*time.Millisecond); err == nil {
+	if err := s2.Locks().Lock(context.Background(), "TX2", "CRITICAL", Exclusive, 60*time.Millisecond); err == nil {
 		t.Fatal("exclusive lock lost across rebuild")
 	}
 	// And releasable.
-	if err := s1.Locks().Unlock("TX1", "CRITICAL"); err != nil {
+	if err := s1.Locks().Unlock(context.Background(), "TX1", "CRITICAL"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s2.Locks().Lock("TX2", "CRITICAL", Exclusive, time.Second); err != nil {
+	if err := s2.Locks().Lock(context.Background(), "TX2", "CRITICAL", Exclusive, time.Second); err != nil {
 		t.Fatalf("lock after release: %v", err)
 	}
 }
@@ -134,7 +135,7 @@ func TestRebuildAfterFailureRecoveryCompletes(t *testing.T) {
 	// new facility.
 	cfg := DefaultConfig("PLEX1", 3)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestRebuildAfterFailureRecoveryCompletes(t *testing.T) {
 
 	s1, _ := p.System("SYS1")
 	s3, _ := p.System("SYS3")
-	if err := s1.Locks().Lock("TX1", "PROTECTED", Exclusive, time.Second); err != nil {
+	if err := s1.Locks().Lock(context.Background(), "TX1", "PROTECTED", Exclusive, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	p.PartitionSystem("SYS1")
@@ -152,10 +153,10 @@ func TestRebuildAfterFailureRecoveryCompletes(t *testing.T) {
 	}
 	// ARM recovery released the failed system's retained locks; after
 	// the rebuild the resource is obtainable on the new structure.
-	if err := s3.Locks().Lock("TX9", "PROTECTED", Exclusive, time.Second); err != nil {
+	if err := s3.Locks().Lock(context.Background(), "TX9", "PROTECTED", Exclusive, time.Second); err != nil {
 		t.Fatalf("lock after failure + rebuild: %v", err)
 	}
-	if _, err := p.SubmitViaLogon("DEPOSIT", []byte("post")); err != nil {
+	if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte("post")); err != nil {
 		t.Fatalf("service after failure + rebuild: %v", err)
 	}
 }
@@ -163,13 +164,13 @@ func TestRebuildAfterFailureRecoveryCompletes(t *testing.T) {
 func TestRebuildTwice(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 2)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer p.Stop()
 	registerBankPrograms(p)
-	p.Submit("SYS1", "DEPOSIT", []byte("x"))
+	p.Submit(context.Background(), "SYS1", "DEPOSIT", []byte("x"))
 	if err := p.RebuildCouplingFacility(); err != nil {
 		t.Fatal(err)
 	}
@@ -180,14 +181,14 @@ func TestRebuildTwice(t *testing.T) {
 	if p.Facility().Name() == first {
 		t.Fatal("second rebuild did not advance the facility")
 	}
-	out, err := p.Submit("SYS2", "BALANCE", []byte("x"))
+	out, err := p.Submit(context.Background(), "SYS2", "BALANCE", []byte("x"))
 	if err != nil || string(out) != "1" {
 		t.Fatalf("out=%q err=%v", out, err)
 	}
 }
 
 func TestRebuildAfterStop(t *testing.T) {
-	p, err := New(DefaultConfig("PLEX1", 1))
+	p, err := New(context.Background(), DefaultConfig("PLEX1", 1))
 	if err != nil {
 		t.Fatal(err)
 	}

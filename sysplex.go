@@ -14,15 +14,16 @@
 // single network image.
 //
 //	cfg := sysplex.DefaultConfig("PLEX1", 4)
-//	plex, _ := sysplex.New(cfg)
+//	plex, _ := sysplex.New(context.Background(), cfg)
 //	defer plex.Stop()
 //	plex.RegisterProgram("HELLO", 1, func(tx *db.Tx, in []byte) ([]byte, error) {
 //	    return []byte("world"), nil
 //	})
-//	out, _ := plex.SubmitViaLogon("HELLO", nil)
+//	out, _ := plex.SubmitViaLogon(context.Background(), "HELLO", nil)
 package sysplex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -222,8 +223,9 @@ type programSpec struct {
 	fn      Program
 }
 
-// New builds and starts a sysplex.
-func New(cfg Config) (*Sysplex, error) {
+// New builds and starts a sysplex. The context governs the CF commands
+// issued while building the initial member set; it is not retained.
+func New(ctx context.Context, cfg Config) (*Sysplex, error) {
 	if cfg.Name == "" {
 		return nil, errors.New("sysplex: name required")
 	}
@@ -318,7 +320,7 @@ func New(cfg Config) (*Sysplex, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.net, err = vtam.New(grList, p.routeWeights)
+	p.net, err = vtam.New(ctx, grList, p.routeWeights)
 	if err != nil {
 		return nil, err
 	}
@@ -327,7 +329,7 @@ func New(cfg Config) (*Sysplex, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.jesQ, err = jes.NewQueue(jesList, "JES")
+	p.jesQ, err = jes.NewQueue(ctx, jesList, "JES")
 	if err != nil {
 		return nil, err
 	}
@@ -354,9 +356,12 @@ func New(cfg Config) (*Sysplex, error) {
 	// Failure wiring, ordered: (1) CF connector cleanup + network
 	// cleanup, then (2) ARM-driven cross-system restart & DB recovery.
 	p.plex.OnSystemFailed(func(sys string) {
+		// Failure recovery runs under a background context: it is driven
+		// by XCF monitoring, not by any cancellable caller.
+		bg := context.Background()
 		p.front.FailConnector(sys)
-		p.net.CleanupSystem(sys)
-		p.jesQ.RequeueOrphans(sys)
+		p.net.CleanupSystem(bg, sys)
+		p.jesQ.RequeueOrphans(bg, sys)
 		// LOGR peer takeover: FailConnector just cleared the dead
 		// system's offload locks, so any survivor can finish offloads
 		// it left mid-flight.
@@ -370,14 +375,14 @@ func New(cfg Config) (*Sysplex, error) {
 		}
 		p.mu.Unlock()
 		if survivor != nil {
-			survivor.logger.TakeoverFailed(sys)
+			survivor.logger.TakeoverFailed(context.Background(), sys)
 		}
 	})
 	p.arm = arm.New(p.plex, nil, p.pickRestartTarget)
 	p.det = lockmgr.NewDetector(p.lockManagers)
 
 	for _, sc := range cfg.Systems {
-		if _, err := p.AddSystem(sc); err != nil {
+		if _, err := p.AddSystem(ctx, sc); err != nil {
 			return nil, err
 		}
 	}
@@ -472,7 +477,7 @@ func (p *Sysplex) lockManagers() []*lockmgr.Manager {
 // AddSystem introduces a new system into the running sysplex —
 // non-disruptively, per §2.4: existing systems keep executing and the
 // newcomer becomes a full participant in workload balancing.
-func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
+func (p *Sysplex) AddSystem(ctx context.Context, sc SystemConfig) (*System, error) {
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
@@ -510,7 +515,7 @@ func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
 	p.mu.Lock()
 	lockS, front := p.lockS, p.front
 	p.mu.Unlock()
-	locks, err := lockmgr.New(xsys, lockS, p.clock)
+	locks, err := lockmgr.New(ctx, xsys, lockS, p.clock)
 	if err != nil {
 		return nil, err
 	}
@@ -522,11 +527,11 @@ func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
 		return nil, err
 	}
 	for _, spec := range p.cfg.LogStreams {
-		if _, err := logger.Connect(spec); err != nil {
+		if _, err := logger.Connect(ctx, spec); err != nil {
 			return nil, err
 		}
 	}
-	engine, err := db.Open(db.Config{
+	engine, err := db.Open(ctx, db.Config{
 		Name: p.cfg.DatabaseName, System: sc.Name, Farm: p.farm, Volume: "SYSP01",
 		Facility: front, Locks: locks, Clock: p.clock, Logger: logger,
 		PoolFrames: p.cfg.PoolFrames, LogBlocks: p.cfg.LogBlocks,
@@ -536,7 +541,7 @@ func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
 		return nil, err
 	}
 	for _, tc := range p.cfg.Tables {
-		if err := engine.OpenTable(tc.Name, tc.Pages); err != nil {
+		if err := engine.OpenTable(ctx, tc.Name, tc.Pages); err != nil {
 			return nil, err
 		}
 	}
@@ -549,7 +554,7 @@ func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	jesExec, err := jes.NewExecutor(jesList, sc.Name, p.clock)
+	jesExec, err := jes.NewExecutor(ctx, jesList, sc.Name, p.clock)
 	if err != nil {
 		return nil, err
 	}
@@ -557,7 +562,7 @@ func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sec, err := racf.New(sc.Name, secCache, p.racfDB, 256)
+	sec, err := racf.New(ctx, sc.Name, secCache, p.racfDB, 256)
 	if err != nil {
 		return nil, err
 	}
@@ -586,7 +591,7 @@ func (p *Sysplex) AddSystem(sc SystemConfig) (*System, error) {
 	p.mu.Unlock()
 
 	// Single network image: the region appears under the generic name.
-	if err := p.net.Register(GenericCICS, "CICS."+sc.Name, sc.Name); err != nil {
+	if err := p.net.Register(ctx, GenericCICS, "CICS."+sc.Name, sc.Name); err != nil {
 		return nil, err
 	}
 	// ARM elements: the database instance restarts cross-system (its
@@ -621,7 +626,7 @@ func (p *Sysplex) bindRestarter(target string) {
 		var failedSys string
 		fmt.Sscanf(e.Name, "DB2.%s", &failedSys)
 		if failedSys != "" && failedSys != target {
-			rep, err := s.engine.RecoverPeer(failedSys)
+			rep, err := s.engine.RecoverPeer(context.Background(), failedSys)
 			if err != nil {
 				return err
 			}
@@ -653,7 +658,7 @@ func (p *Sysplex) startBackground(s *System) {
 				}
 			case <-castout.C():
 				if p.plex.State(s.name) == xcf.StateActive {
-					s.engine.CastoutOnce(64)
+					s.engine.CastoutOnce(context.Background(), 64)
 				}
 			}
 		}
@@ -723,6 +728,10 @@ func (p *Sysplex) Network() *vtam.Network { return p.net }
 // Timer exposes the sysplex timer.
 func (p *Sysplex) Timer() *timer.Timer { return p.timer }
 
+// Clock exposes the sysplex clock, e.g. for building virtual-clock
+// deadlines with vclock.WithTimeout (DESIGN §10).
+func (p *Sysplex) Clock() vclock.Clock { return p.clock }
+
 // LoggerMetrics exposes the sysplex-wide logr.* instrumentation
 // (every member's System Logger charges the same registry).
 func (p *Sysplex) LoggerMetrics() *metrics.Registry { return p.logReg }
@@ -786,18 +795,24 @@ func (p *Sysplex) RegisterJobClass(class string, h jes.Handler) {
 
 // SubmitJob places a batch job on the shared JES queue; any system may
 // run it.
-func (p *Sysplex) SubmitJob(class string, payload []byte) (string, error) {
-	return p.jesQ.Submit(class, payload, "USER")
+func (p *Sysplex) SubmitJob(ctx context.Context, class string, payload []byte) (string, error) {
+	return p.jesQ.Submit(ctx, class, payload, "USER")
 }
 
 // JobResult fetches a completed job.
-func (p *Sysplex) JobResult(id string) (jes.Job, error) { return p.jesQ.Result(id) }
+func (p *Sysplex) JobResult(ctx context.Context, id string) (jes.Job, error) {
+	return p.jesQ.Result(ctx, id)
+}
 
-// WaitJob polls for a job's completion up to timeout.
-func (p *Sysplex) WaitJob(id string, timeout time.Duration) (jes.Job, error) {
+// WaitJob polls for a job's completion up to timeout; a cancelled or
+// deadline-expired context ends the wait early.
+func (p *Sysplex) WaitJob(ctx context.Context, id string, timeout time.Duration) (jes.Job, error) {
 	deadline := p.clock.Now().Add(timeout)
 	for {
-		job, err := p.jesQ.Result(id)
+		if err := vclock.Check(ctx, p.clock); err != nil {
+			return jes.Job{}, err
+		}
+		job, err := p.jesQ.Result(ctx, id)
 		if err == nil {
 			return job, nil
 		}
@@ -816,27 +831,27 @@ func (p *Sysplex) JES() *jes.Queue { return p.jesQ }
 
 // Submit runs a transaction entering at the named system (it may still
 // be dynamically routed elsewhere).
-func (p *Sysplex) Submit(system, program string, input []byte) ([]byte, error) {
+func (p *Sysplex) Submit(ctx context.Context, system, program string, input []byte) ([]byte, error) {
 	s, err := p.System(system)
 	if err != nil {
 		return nil, err
 	}
-	return s.region.Submit(program, input)
+	return s.region.Submit(ctx, program, input)
 }
 
 // SubmitViaLogon resolves the generic resource name to an instance
 // (the user "just logs on to CICS") and submits there. A bind that
 // races with a system leaving or failing is re-driven onto a survivor,
 // as VTAM does for session binds.
-func (p *Sysplex) SubmitViaLogon(program string, input []byte) ([]byte, error) {
+func (p *Sysplex) SubmitViaLogon(ctx context.Context, program string, input []byte) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
-		sess, err := p.net.Logon(GenericCICS)
+		sess, err := p.net.Logon(ctx, GenericCICS)
 		if err != nil {
 			return nil, err
 		}
-		out, err := p.Submit(sess.System, program, input)
-		p.net.Logoff(sess.ID)
+		out, err := p.Submit(ctx, sess.System, program, input)
+		p.net.Logoff(vclock.Detach(ctx), sess.ID)
 		if err == nil {
 			return out, nil
 		}
@@ -851,7 +866,7 @@ func (p *Sysplex) SubmitViaLogon(program string, input []byte) ([]byte, error) {
 
 // ParallelQuery fans a table scan across all active systems (§2.3
 // decision support) and aggregates the sub-query answers.
-func (p *Sysplex) ParallelQuery(table, op, prefix string) (txmgr.QueryResult, error) {
+func (p *Sysplex) ParallelQuery(ctx context.Context, table, op, prefix string) (txmgr.QueryResult, error) {
 	active := p.ActiveSystems()
 	if len(active) == 0 {
 		return txmgr.QueryResult{}, ErrStopped
@@ -860,7 +875,7 @@ func (p *Sysplex) ParallelQuery(table, op, prefix string) (txmgr.QueryResult, er
 	if err != nil {
 		return txmgr.QueryResult{}, err
 	}
-	return s.region.ParallelQuery(active, table, op, prefix)
+	return s.region.ParallelQuery(ctx, active, table, op, prefix)
 }
 
 // KillSystem simulates abrupt loss of a system: it stops cold, and the
@@ -896,7 +911,7 @@ func (p *Sysplex) PartitionSystem(name string) error {
 // RemoveSystem performs a planned removal (§2.5 planned outage): the
 // system leaves gracefully, its network presence is withdrawn, and no
 // fencing or recovery is needed.
-func (p *Sysplex) RemoveSystem(name string) error {
+func (p *Sysplex) RemoveSystem(ctx context.Context, name string) error {
 	s, err := p.System(name)
 	if err != nil {
 		return err
@@ -904,7 +919,7 @@ func (p *Sysplex) RemoveSystem(name string) error {
 	for _, stop := range s.stopBg {
 		stop()
 	}
-	p.net.Deregister(GenericCICS, "CICS."+name)
+	p.net.Deregister(ctx, GenericCICS, "CICS."+name)
 	p.arm.Deregister("DB2." + name)
 	p.arm.Deregister("CICS." + name)
 	s.xsys.Leave()

@@ -1,6 +1,7 @@
 package sysplex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -65,14 +66,14 @@ func TestFigure1SystemModel(t *testing.T) {
 		{Name: "CMOS2", CPUs: 4},
 		{Name: "ES9000", CPUs: 10, MIPSPerCPU: 45},
 	}
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer p.Stop()
 
 	// A system is a 1-10 way TCMP; 11 engines is not a valid node.
-	if _, err := p.AddSystem(SystemConfig{Name: "TOOBIG", CPUs: 11}); err == nil {
+	if _, err := p.AddSystem(context.Background(), SystemConfig{Name: "TOOBIG", CPUs: 11}); err == nil {
 		t.Fatal("11-way system accepted")
 	}
 	// All systems are fully connected to all shared volumes.
@@ -115,11 +116,11 @@ func TestFigure1SystemModel(t *testing.T) {
 	}
 	// 32-system limit: filling up to the limit fails gracefully after.
 	for i := len(p.ActiveSystems()); i < xcf.MaxSystems; i++ {
-		if _, err := p.AddSystem(SystemConfig{Name: fmt.Sprintf("FILL%02d", i), CPUs: 1}); err != nil {
+		if _, err := p.AddSystem(context.Background(), SystemConfig{Name: fmt.Sprintf("FILL%02d", i), CPUs: 1}); err != nil {
 			t.Fatalf("add %d: %v", i, err)
 		}
 	}
-	if _, err := p.AddSystem(SystemConfig{Name: "SYS33", CPUs: 1}); !errors.Is(err, xcf.ErrSysplexFull) {
+	if _, err := p.AddSystem(context.Background(), SystemConfig{Name: "SYS33", CPUs: 1}); !errors.Is(err, xcf.ErrSysplexFull) {
 		t.Fatalf("err = %v, want sysplex full", err)
 	}
 }
@@ -129,7 +130,7 @@ func TestFigure1SystemModel(t *testing.T) {
 func TestFigure2DataSharing(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 2)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,19 +139,19 @@ func TestFigure2DataSharing(t *testing.T) {
 
 	// Direct concurrent read/write sharing: a commit on SYS1 is
 	// immediately visible on SYS2 with full integrity.
-	if _, err := p.Submit("SYS1", "DEPOSIT", []byte("shared")); err != nil {
+	if _, err := p.Submit(context.Background(), "SYS1", "DEPOSIT", []byte("shared")); err != nil {
 		t.Fatal(err)
 	}
-	out, err := p.Submit("SYS2", "BALANCE", []byte("shared"))
+	out, err := p.Submit(context.Background(), "SYS2", "BALANCE", []byte("shared"))
 	if err != nil || string(out) != "1" {
 		t.Fatalf("out=%q err=%v", out, err)
 	}
 	// Warm both caches, then update from SYS2: SYS1's copy must be
 	// cross-invalidated and refreshed.
-	if _, err := p.Submit("SYS2", "DEPOSIT", []byte("shared")); err != nil {
+	if _, err := p.Submit(context.Background(), "SYS2", "DEPOSIT", []byte("shared")); err != nil {
 		t.Fatal(err)
 	}
-	out, err = p.Submit("SYS1", "BALANCE", []byte("shared"))
+	out, err = p.Submit(context.Background(), "SYS1", "BALANCE", []byte("shared"))
 	if err != nil || string(out) != "2" {
 		t.Fatalf("out=%q err=%v", out, err)
 	}
@@ -170,7 +171,7 @@ func TestFigure2DataSharing(t *testing.T) {
 		t.Fatal("no CF command latency observations")
 	}
 	// Changed data reaches DASD via castout, not at commit.
-	s2.Engine().CastoutOnce(0)
+	s2.Engine().CastoutOnce(context.Background(), 0)
 	if p.Farm().Metrics().Counter("dasd.write").Value() == 0 {
 		t.Fatal("castout wrote nothing")
 	}
@@ -198,7 +199,7 @@ func TestFigure3ScalabilityClaims(t *testing.T) {
 func TestFigure4FullStack(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 3)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,14 +210,14 @@ func TestFigure4FullStack(t *testing.T) {
 	// the same unchanged application program runs wherever the work
 	// lands; data is shared underneath.
 	for i := 0; i < 30; i++ {
-		if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("acct%d", i%7))); err != nil {
+		if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("acct%d", i%7))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// All 30 deposits are accounted for regardless of where they ran.
 	var total int
 	for i := 0; i < 7; i++ {
-		out, err := p.SubmitViaLogon("BALANCE", []byte(fmt.Sprintf("acct%d", i)))
+		out, err := p.SubmitViaLogon(context.Background(), "BALANCE", []byte(fmt.Sprintf("acct%d", i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -243,7 +244,7 @@ func TestFigure4FullStack(t *testing.T) {
 
 func TestContinuousAvailability(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 3)
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestContinuousAvailability(t *testing.T) {
 			for i := 0; !stop.Load(); i++ {
 				attempts.Add(1)
 				key := fmt.Sprintf("user%d-%d", w, i%5)
-				if _, err := p.SubmitViaLogon("DEPOSIT", []byte(key)); err != nil {
+				if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(key)); err != nil {
 					failures.Add(1)
 				}
 			}
@@ -301,7 +302,7 @@ func TestContinuousAvailability(t *testing.T) {
 	}
 	// Post-failure: new work flows only to survivors and succeeds.
 	for i := 0; i < 10; i++ {
-		if _, err := p.SubmitViaLogon("BALANCE", []byte("user0-0")); err != nil {
+		if _, err := p.SubmitViaLogon(context.Background(), "BALANCE", []byte("user0-0")); err != nil {
 			t.Fatalf("post-failure submit: %v", err)
 		}
 	}
@@ -323,7 +324,7 @@ func TestContinuousAvailability(t *testing.T) {
 
 func TestGranularGrowth(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 2)
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestGranularGrowth(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; !stop.Load(); i++ {
-				if _, err := p.SubmitViaLogon("DEPOSIT", []byte(fmt.Sprintf("g%d-%d", w, i%4))); err != nil {
+				if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte(fmt.Sprintf("g%d-%d", w, i%4))); err != nil {
 					failures.Add(1)
 				}
 			}
@@ -349,7 +350,7 @@ func TestGranularGrowth(t *testing.T) {
 
 	// Introduce SYS3 into the running sysplex. No repartitioning, no
 	// disruption: in-flight work keeps succeeding.
-	if _, err := p.AddSystem(SystemConfig{Name: "SYS3", CPUs: 1}); err != nil {
+	if _, err := p.AddSystem(context.Background(), SystemConfig{Name: "SYS3", CPUs: 1}); err != nil {
 		t.Fatal(err)
 	}
 	// The new system naturally attracts new work via generic resources
@@ -373,18 +374,18 @@ func TestGranularGrowth(t *testing.T) {
 func TestParallelQueryAcrossSysplex(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 3)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer p.Stop()
 	registerBankPrograms(p)
 	for i := 0; i < 50; i++ {
-		if _, err := p.Submit("SYS1", "DEPOSIT", []byte(fmt.Sprintf("q%03d", i))); err != nil {
+		if _, err := p.Submit(context.Background(), "SYS1", "DEPOSIT", []byte(fmt.Sprintf("q%03d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := p.ParallelQuery("ACCT", "sum", "q")
+	res, err := p.ParallelQuery(context.Background(), "ACCT", "sum", "q")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,7 +401,7 @@ func TestParallelQueryAcrossSysplex(t *testing.T) {
 
 func TestRollingMaintenance(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 3)
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +415,7 @@ func TestRollingMaintenance(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; !stop.Load(); i++ {
-			if _, err := p.SubmitViaLogon("DEPOSIT", []byte("roll")); err != nil {
+			if _, err := p.SubmitViaLogon(context.Background(), "DEPOSIT", []byte("roll")); err != nil {
 				failures.Add(1)
 			}
 		}
@@ -423,11 +424,11 @@ func TestRollingMaintenance(t *testing.T) {
 	// Roll through the systems one at a time: remove, "upgrade",
 	// re-introduce — application service is continuous.
 	for _, sys := range []string{"SYS1", "SYS2", "SYS3"} {
-		if err := p.RemoveSystem(sys); err != nil {
+		if err := p.RemoveSystem(context.Background(), sys); err != nil {
 			t.Fatal(err)
 		}
 		time.Sleep(30 * time.Millisecond)
-		if _, err := p.AddSystem(SystemConfig{Name: sys, CPUs: 1}); err != nil {
+		if _, err := p.AddSystem(context.Background(), SystemConfig{Name: sys, CPUs: 1}); err != nil {
 			t.Fatal(err)
 		}
 		time.Sleep(30 * time.Millisecond)
@@ -447,15 +448,15 @@ func TestRollingMaintenance(t *testing.T) {
 func TestUnknownSystemAndPrograms(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 1)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer p.Stop()
-	if _, err := p.Submit("NOPE", "X", nil); !errors.Is(err, ErrNoSystem) {
+	if _, err := p.Submit(context.Background(), "NOPE", "X", nil); !errors.Is(err, ErrNoSystem) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := p.Submit("SYS1", "UNREGISTERED", nil); err == nil {
+	if _, err := p.Submit(context.Background(), "SYS1", "UNREGISTERED", nil); err == nil {
 		t.Fatal("unregistered program ran")
 	}
 }
@@ -463,29 +464,29 @@ func TestUnknownSystemAndPrograms(t *testing.T) {
 func TestProgramsPropagateToNewSystems(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 1)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer p.Stop()
 	registerBankPrograms(p)
-	if _, err := p.AddSystem(SystemConfig{Name: "SYS9", CPUs: 2}); err != nil {
+	if _, err := p.AddSystem(context.Background(), SystemConfig{Name: "SYS9", CPUs: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Submit("SYS9", "DEPOSIT", []byte("k")); err != nil {
+	if _, err := p.Submit(context.Background(), "SYS9", "DEPOSIT", []byte("k")); err != nil {
 		t.Fatalf("program missing on new system: %v", err)
 	}
 }
 
 func TestStopIsIdempotent(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 1)
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p.Stop()
 	p.Stop()
-	if _, err := p.AddSystem(SystemConfig{Name: "LATE"}); !errors.Is(err, ErrStopped) {
+	if _, err := p.AddSystem(context.Background(), SystemConfig{Name: "LATE"}); !errors.Is(err, ErrStopped) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -493,13 +494,13 @@ func TestStopIsIdempotent(t *testing.T) {
 func TestStatsSnapshot(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 2)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer p.Stop()
 	registerBankPrograms(p)
-	p.Submit("SYS1", "DEPOSIT", []byte("s"))
+	p.Submit(context.Background(), "SYS1", "DEPOSIT", []byte("s"))
 	stats := p.Stats()
 	if len(stats) != 2 || stats[0].System != "SYS1" {
 		t.Fatalf("stats = %+v", stats)
@@ -525,7 +526,7 @@ func TestDataSharingVsPartitioningFunctional(t *testing.T) {
 func TestSecuritySysplexWide(t *testing.T) {
 	cfg := DefaultConfig("PLEX1", 3)
 	cfg.Background = false
-	p, err := New(cfg)
+	p, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -533,29 +534,29 @@ func TestSecuritySysplexWide(t *testing.T) {
 	s1, _ := p.System("SYS1")
 	s3, _ := p.System("SYS3")
 	// Define on SYS1; checks pass everywhere.
-	if err := s1.Security().Define(racf.Profile{
+	if err := s1.Security().Define(context.Background(), racf.Profile{
 		Resource: "PAYROLL",
 		UACC:     racf.None,
 		Permits:  map[string]racf.Access{"ALICE": racf.Update},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	ok, err := s3.Security().Check("ALICE", "PAYROLL", racf.Update)
+	ok, err := s3.Security().Check(context.Background(), "ALICE", "PAYROLL", racf.Update)
 	if err != nil || !ok {
 		t.Fatalf("ok=%v err=%v", ok, err)
 	}
 	// Revoke on SYS3; effective on SYS1 immediately.
-	if err := s3.Security().Permit("PAYROLL", "ALICE", racf.None); err != nil {
+	if err := s3.Security().Permit(context.Background(), "PAYROLL", "ALICE", racf.None); err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := s1.Security().Check("ALICE", "PAYROLL", racf.Update); ok {
+	if ok, _ := s1.Security().Check(context.Background(), "ALICE", "PAYROLL", racf.Update); ok {
 		t.Fatal("revocation not sysplex-wide")
 	}
 	// Profiles survive a CF rebuild (database-backed).
 	if err := p.RebuildCouplingFacility(); err != nil {
 		t.Fatal(err)
 	}
-	if ok, err := s1.Security().Check("ALICE", "PAYROLL", racf.Read); err != nil || ok {
+	if ok, err := s1.Security().Check(context.Background(), "ALICE", "PAYROLL", racf.Read); err != nil || ok {
 		t.Fatalf("after rebuild: ok=%v err=%v", ok, err)
 	}
 }
