@@ -27,7 +27,7 @@ test:
 # group messaging, WAL commit, two-phase commit); always run them under
 # the race detector.
 race:
-	$(GO) test -race ./internal/cf/... ./internal/cfrm/... ./internal/logr/... ./internal/xcf/... ./internal/db/... ./internal/txmgr/... .
+	$(GO) test -race ./internal/cf/... ./internal/cfrm/... ./internal/cflink/... ./internal/logr/... ./internal/xcf/... ./internal/db/... ./internal/txmgr/... .
 
 check: build vet lint test race
 
@@ -47,7 +47,7 @@ bench-json:
 # its machine-readable output.
 bench-cf:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig2_' -count=5 -cpu=1,4,8 .
-	$(GO) run ./cmd/sysplexbench -exp cfscale,ctxpath -json BENCH_cf.json
+	$(GO) run ./cmd/sysplexbench -exp cfscale,ctxpath,transport -json BENCH_cf.json
 
 # One short iteration of the parallel benchmarks so CI catches rot
 # without paying for a full measurement run.

@@ -1,0 +1,84 @@
+// cfserver runs one Coupling Facility as its own process, served over
+// a cflink transport — the repo's multi-process form of the paper's
+// physically separate CF reached over coupling links (§3.3). Systems
+// connect with cflink.Dial and drive the facility through the same
+// cf.Node interface an in-process facility satisfies, so a duplexed
+// pair can span two cfserver processes and survive one being killed.
+//
+// Usage:
+//
+//	cfserver -name CF01 -network unix -addr /tmp/cf01.sock
+//	cfserver -name CF02 -network tcp  -addr 127.0.0.1:9402 -latency 10us
+//
+// The process exits cleanly on SIGINT/SIGTERM; killing it hard (the
+// failover demo does) severs every session, which clients report as
+// cf.ErrCFDown — a dead CF and a dead link are indistinguishable to a
+// system, exactly as in the hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sysplex/internal/cf"
+	"sysplex/internal/cflink"
+	"sysplex/internal/vclock"
+)
+
+func main() {
+	var (
+		name    = flag.String("name", "CF01", "facility name (reported to clients at handshake)")
+		network = flag.String("network", "unix", "listen network: unix or tcp")
+		addr    = flag.String("addr", "", "listen address (socket path or host:port; required)")
+		latency = flag.Duration("latency", 0, "injected per-command service time (coupling link + CF processor)")
+		storage = flag.Int64("storage", 0, "structure storage bound in bytes (0 = unconstrained)")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "cfserver: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *network == "unix" {
+		// A previous hard kill leaves the socket file behind; a CF
+		// replacing dead hardware reclaims its address.
+		os.Remove(*addr)
+	}
+
+	fac := cf.NewWithStorage(*name, vclock.Real(), *storage)
+	if *latency > 0 {
+		fac.SetSyncLatency(*latency)
+	}
+	srv := cflink.NewServer(fac)
+
+	l, err := net.Listen(*network, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfserver: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cfserver: %s serving on %s %s\n", *name, *network, *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("cfserver: %s shutting down (%v)\n", *name, s)
+		srv.Close()
+		if *network == "unix" {
+			os.Remove(*addr)
+		}
+		// Give the close a moment to sever sessions before exiting.
+		time.Sleep(50 * time.Millisecond)
+		os.Exit(0)
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintf(os.Stderr, "cfserver: %v\n", err)
+		os.Exit(1)
+	}
+}

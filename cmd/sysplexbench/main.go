@@ -7,7 +7,7 @@
 //	sysplexbench -exp fig3           # one experiment
 //	sysplexbench -exp fig3 -systems 16 -simtime 5s
 //
-// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill logr cfscale ctxpath
+// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill logr cfscale ctxpath transport
 package main
 
 import (
@@ -15,7 +15,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -24,6 +26,7 @@ import (
 
 	"sysplex"
 	"sysplex/internal/cf"
+	"sysplex/internal/cflink"
 	"sysplex/internal/cfrm"
 	"sysplex/internal/dasd"
 	"sysplex/internal/logr"
@@ -34,7 +37,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,cfscale,ctxpath,all")
+	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,cfscale,ctxpath,transport,all")
 	systemsFlag = flag.Int("systems", 32, "max sysplex members for fig3")
 	simtimeFlag = flag.Duration("simtime", 5*time.Second, "DES measurement window")
 	seedFlag    = flag.Int64("seed", 1996, "DES seed")
@@ -60,23 +63,24 @@ func record(exp, key string, value any) {
 func main() {
 	flag.Parse()
 	run := map[string]func() error{
-		"fig1":    fig1,
-		"fig2":    fig2,
-		"fig3":    fig3,
-		"fig4":    fig4,
-		"ds":      ds,
-		"avail":   avail,
-		"grow":    grow,
-		"query":   query,
-		"false":   falseContention,
-		"ext":     extensions,
-		"duplex":  duplexCost,
-		"cfkill":  cfKill,
-		"logr":    logrBench,
-		"cfscale": cfScale,
-		"ctxpath": ctxPath,
+		"fig1":      fig1,
+		"fig2":      fig2,
+		"fig3":      fig3,
+		"fig4":      fig4,
+		"ds":        ds,
+		"avail":     avail,
+		"grow":      grow,
+		"query":     query,
+		"false":     falseContention,
+		"ext":       extensions,
+		"duplex":    duplexCost,
+		"cfkill":    cfKill,
+		"logr":      logrBench,
+		"cfscale":   cfScale,
+		"ctxpath":   ctxPath,
+		"transport": transport,
 	}
-	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr", "cfscale", "ctxpath"}
+	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr", "cfscale", "ctxpath", "transport"}
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		want = order
@@ -1160,5 +1164,217 @@ func ctxPath() error {
 	record("ctxpath", "goroutines", goroutines)
 	record("ctxpath", "window_ms", window.Milliseconds())
 	record("ctxpath", "gomaxprocs", runtime.GOMAXPROCS(0))
+	return nil
+}
+
+// transport measures what the cflink wire costs relative to an
+// in-process facility (ISSUE 6). The same duplexed lock/read/list
+// workloads from ctxpath run over three node constructions:
+//
+//	inproc — two cf.New facilities in this process; the pipeline's
+//	         route stage is a method call. This is the fast path the
+//	         paper's "CF in an LPAR" configuration corresponds to.
+//	unix   — two cflink servers on unix-domain loopback sockets; every
+//	         command is a framed request/response round trip plus the
+//	         codec, but no TCP stack.
+//	tcp    — the same servers over 127.0.0.1 TCP; adds the loopback
+//	         network stack, the closest stand-in for real coupling
+//	         links this repo can measure.
+//
+// Slowdown is reported per mode relative to inproc ops/sec — the
+// price of making the CF a separate failure domain.
+func transport() error {
+	const (
+		window     = 300 * time.Millisecond
+		goroutines = 4
+	)
+	clk := vclock.Real()
+
+	// nodePair builds the two CF nodes for a mode and returns a
+	// teardown that severs any servers it started.
+	type mode struct {
+		name  string
+		nodes func() (n1, n2 cf.Node, cleanup func(), err error)
+	}
+	serve := func(network, addr, name string) (*cflink.Server, net.Listener, error) {
+		srv := cflink.NewServer(cf.New(name, clk))
+		l, err := net.Listen(network, addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		go srv.Serve(l)
+		return srv, l, nil
+	}
+	remotePair := func(network string, addrOf func(name string) string) (cf.Node, cf.Node, func(), error) {
+		var cleanups []func()
+		cleanup := func() {
+			for i := len(cleanups) - 1; i >= 0; i-- {
+				cleanups[i]()
+			}
+		}
+		var nodes []cf.Node
+		for _, name := range []string{"CF01", "CF02"} {
+			srv, l, err := serve(network, addrOf(name), name)
+			if err != nil {
+				cleanup()
+				return nil, nil, nil, err
+			}
+			cleanups = append(cleanups, func() { srv.Close() })
+			c, err := cflink.Dial(network, l.Addr().String(), cflink.WithSystem("SYS1"))
+			if err != nil {
+				cleanup()
+				return nil, nil, nil, err
+			}
+			cleanups = append(cleanups, func() { c.Close() })
+			nodes = append(nodes, c)
+		}
+		return nodes[0], nodes[1], cleanup, nil
+	}
+	sockDir, err := os.MkdirTemp("", "sysplexbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(sockDir)
+	modes := []mode{
+		{"inproc", func() (cf.Node, cf.Node, func(), error) {
+			return cf.New("CF01", clk), cf.New("CF02", clk), func() {}, nil
+		}},
+		{"unix", func() (cf.Node, cf.Node, func(), error) {
+			return remotePair("unix", func(name string) string {
+				return filepath.Join(sockDir, name+".sock")
+			})
+		}},
+		{"tcp", func() (cf.Node, cf.Node, func(), error) {
+			return remotePair("tcp", func(string) string { return "127.0.0.1:0" })
+		}},
+	}
+
+	type workload struct {
+		name  string
+		setup func(d *cf.Duplexed) (func(ctx context.Context, g, i int) error, error)
+	}
+	workloads := []workload{
+		{"lock", func(d *cf.Duplexed) (func(ctx context.Context, g, i int) error, error) {
+			ls, err := d.AllocateLockStructure("IRLM", 4096)
+			if err != nil {
+				return nil, err
+			}
+			if err := ls.Connect(context.Background(), "SYS1"); err != nil {
+				return nil, err
+			}
+			return func(ctx context.Context, g, i int) error {
+				e := (g*131 + i) % 4096
+				if _, err := ls.Obtain(ctx, e, "SYS1", cf.Exclusive); err != nil {
+					return err
+				}
+				return ls.Release(ctx, e, "SYS1", cf.Exclusive)
+			}, nil
+		}},
+		{"read", func(d *cf.Duplexed) (func(ctx context.Context, g, i int) error, error) {
+			cs, err := d.AllocateCacheStructure("GBP0", 8192)
+			if err != nil {
+				return nil, err
+			}
+			if err := cs.Connect(context.Background(), "SYS1", cf.NewBitVector(1024)); err != nil {
+				return nil, err
+			}
+			pages := make([]string, 512)
+			for i := range pages {
+				pages[i] = fmt.Sprintf("PAGE%03d", i)
+				if err := cs.WriteAndInvalidate(context.Background(), "SYS1", pages[i], []byte("data"), true, false, i); err != nil {
+					return nil, err
+				}
+			}
+			return func(ctx context.Context, g, i int) error {
+				_, err := cs.ReadAndRegister(ctx, "SYS1", pages[(g*97+i)%512], i%1024)
+				return err
+			}, nil
+		}},
+		{"list", func(d *cf.Duplexed) (func(ctx context.Context, g, i int) error, error) {
+			ls, err := d.AllocateListStructure("WORKQ", 64, 0, 1<<20)
+			if err != nil {
+				return nil, err
+			}
+			if err := ls.Connect(context.Background(), "SYS1", nil); err != nil {
+				return nil, err
+			}
+			return func(ctx context.Context, g, i int) error {
+				list := g % 64
+				id := fmt.Sprintf("g%d-e%d", g, i)
+				if err := ls.Write(ctx, "SYS1", list, id, "", nil, cf.FIFO, cf.Cond{}); err != nil {
+					return err
+				}
+				_, err := ls.Pop(ctx, "SYS1", list, cf.Cond{})
+				return err
+			}, nil
+		}},
+	}
+
+	fmt.Printf("CF link transport cost — duplexed loopback matrix, %d goroutines, %v window (GOMAXPROCS=%d):\n",
+		goroutines, window, runtime.GOMAXPROCS(0))
+	fmt.Printf("%8s %12s %12s %12s %10s %10s\n",
+		"WORKLOAD", "INPROC", "UNIX", "TCP", "UNIX x", "TCP x")
+
+	for _, w := range workloads {
+		opsBy := map[string]float64{}
+		for _, m := range modes {
+			n1, n2, cleanup, err := m.nodes()
+			if err != nil {
+				return fmt.Errorf("transport %s/%s: %v", w.name, m.name, err)
+			}
+			d := cf.NewDuplexed(clk, nil, n1, n2)
+			op, err := w.setup(d)
+			if err != nil {
+				cleanup()
+				return fmt.Errorf("transport %s/%s: %v", w.name, m.name, err)
+			}
+			var total atomic.Int64
+			var stop atomic.Int64
+			var opErr atomic.Value
+			var wg sync.WaitGroup
+			for k := 0; k < goroutines; k++ {
+				k := k
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					n := int64(0)
+					for i := 0; stop.Load() == 0; i++ {
+						if err := op(context.Background(), k, i); err != nil {
+							opErr.Store(err)
+							break
+						}
+						n++
+					}
+					total.Add(n)
+				}()
+			}
+			start := time.Now()
+			time.Sleep(window)
+			stop.Store(1)
+			wg.Wait()
+			elapsed := time.Since(start)
+			cleanup()
+			if e := opErr.Load(); e != nil {
+				return fmt.Errorf("transport %s/%s: %v", w.name, m.name, e)
+			}
+			ops := float64(total.Load()) / elapsed.Seconds()
+			opsBy[m.name] = ops
+			record("transport", fmt.Sprintf("%s_%s_ops_per_sec", m.name, w.name), ops)
+		}
+		slowdown := func(name string) float64 {
+			if opsBy[name] <= 0 {
+				return 0
+			}
+			return opsBy["inproc"] / opsBy[name]
+		}
+		ux, tx := slowdown("unix"), slowdown("tcp")
+		record("transport", w.name+"_unix_slowdown_x", ux)
+		record("transport", w.name+"_tcp_slowdown_x", tx)
+		fmt.Printf("%8s %12.0f %12.0f %12.0f %9.1fx %9.1fx\n",
+			w.name, opsBy["inproc"], opsBy["unix"], opsBy["tcp"], ux, tx)
+	}
+	record("transport", "goroutines", goroutines)
+	record("transport", "window_ms", window.Milliseconds())
+	record("transport", "gomaxprocs", runtime.GOMAXPROCS(0))
 	return nil
 }

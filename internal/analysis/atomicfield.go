@@ -89,7 +89,14 @@ func isAtomicFunc(pass *Pass, fun ast.Expr) bool {
 		return false
 	}
 	fn, ok := pass.Info.Uses[id].(*types.Func)
-	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Methods of the typed kinds (atomic.Pointer.Store, atomic.Value.Store)
+	// take their argument by value; an & there passes a pointer to store,
+	// not the address of the atomic cell. Only the package-level
+	// functions make a variable an atomic cell via &.
+	return fn.Type().(*types.Signature).Recv() == nil
 }
 
 // addressedVar resolves &x's operand to a variable: a struct field

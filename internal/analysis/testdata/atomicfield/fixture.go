@@ -46,3 +46,18 @@ func recordHit() {
 func resetHits() {
 	hits = 0 // want `plain access to hits`
 }
+
+// Passing &x as the VALUE stored in a typed atomic (atomic.Pointer,
+// atomic.Value) does not make x an atomic cell; plain access to the
+// pointee stays legal.
+type hook struct {
+	fn atomic.Pointer[func()]
+}
+
+func (h *hook) install(fn func()) {
+	if fn == nil { // plain read of fn: fine, &fn below is a stored value
+		h.fn.Store(nil)
+		return
+	}
+	h.fn.Store(&fn)
+}

@@ -6,6 +6,7 @@ package fixture
 import (
 	"context"
 	"sysplex/internal/cf"
+	"sysplex/internal/cflink"
 	"sysplex/internal/vclock"
 )
 
@@ -40,4 +41,21 @@ func viaInterfaces(front cf.Front, l cf.Lock, c cf.Cache) error {
 		return err
 	}
 	return c.Unregister(context.Background(), "SYS1", "PAGE.1")
+}
+
+// The same bypass exists over the wire: a dialed cflink.Client is one
+// remote replica.
+func rawLink() (*cflink.Client, error) {
+	return cflink.Dial("tcp", "127.0.0.1:9402") // want `raw CF link construction cflink.Dial`
+}
+
+func rawClientCommands(c *cflink.Client) {
+	c.AllocateListStructure("LOGQ", 4, 1, 128) // want `structure command AllocateListStructure on a raw \*cflink.Client`
+	_ = c.Structure("LOGQ")                    // want `structure command Structure on a raw \*cflink.Client`
+	c.Deallocate("LOGQ")                       // want `structure command Deallocate on a raw \*cflink.Client`
+	// Observability, failure injection, and lifecycle stay legal on a
+	// raw client, exactly as on a raw facility.
+	_ = c.Name()
+	_ = c.Failed()
+	c.Close()
 }

@@ -34,3 +34,15 @@ func (p *poller) good() {
 	_ = 30 * time.Second
 	_ = time.Unix(0, 0)
 }
+
+// A socket deadline times the OS handshake, not sysplex time; the
+// annotated escape waives it — same line or as a lead comment.
+func (p *poller) osBounded() {
+	deadline := time.Now().Add(time.Second) // lintwall: link handshake bound, not sysplex time
+	// lintwall: retry backoff against the kernel accept queue
+	time.Sleep(time.Millisecond)
+	_ = deadline
+	// A bare annotation with no reason waives nothing:
+	// lintwall:
+	_ = time.Now() // want `direct wall-clock use time.Now`
+}

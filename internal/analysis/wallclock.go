@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"regexp"
 	"strings"
 )
 
@@ -13,9 +14,19 @@ import (
 // internal/vclock itself is the only package allowed to touch the real
 // clock; cmd/ and examples/ binaries measure real elapsed time by
 // design and are out of scope.
+//
+// A site that genuinely times an OS resource rather than sysplex time
+// — a socket handshake deadline, an I/O timeout against the kernel —
+// is annotated where it happens, with the reason:
+//
+//	conn.SetDeadline(time.Now().Add(bound)) // lintwall: link handshake bound, not sysplex time
+//
+// The annotation suppresses diagnostics on its own line and the line
+// below it, so it also works as a lead comment. A bare `lintwall:`
+// with no reason suppresses nothing.
 var WallClock = &Analyzer{
 	Name: "wallclock",
-	Doc:  "forbid time.Now/Sleep/After & friends outside internal/vclock; use vclock.Clock",
+	Doc:  "forbid time.Now/Sleep/After & friends outside internal/vclock; use vclock.Clock (escape: `// lintwall: <reason>`)",
 	Run:  runWallClock,
 }
 
@@ -47,6 +58,7 @@ func runWallClock(pass *Pass) error {
 		return nil
 	}
 	for _, file := range pass.Files {
+		waived := lintwallLines(pass, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok || !wallClockFuncs[sel.Sel.Name] {
@@ -61,6 +73,9 @@ func runWallClock(pass *Pass) error {
 			if fn.Type().(*types.Signature).Recv() != nil {
 				return true
 			}
+			if line := pass.Fset.Position(sel.Pos()).Line; waived[line] || waived[line-1] {
+				return true
+			}
 			pass.Reportf(sel.Pos(),
 				"direct wall-clock use time.%s: subsystems must run on an injected vclock.Clock so the simulated sysplex timer can drive them",
 				sel.Sel.Name)
@@ -68,4 +83,28 @@ func runWallClock(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// lintwallRE matches a `lintwall:` annotation carrying a non-empty
+// reason; the reason is mandatory so every waived site documents what
+// OS-level time it measures.
+var lintwallRE = regexp.MustCompile(`lintwall:\s*\S`)
+
+// lintwallLines collects the lines of file carrying a `// lintwall:
+// <reason>` annotation. A diagnostic on an annotated line, or on the
+// line directly below one (lead-comment form), is waived.
+func lintwallLines(pass *Pass, file *ast.File) map[int]bool {
+	var lines map[int]bool
+	for _, g := range file.Comments {
+		for _, c := range g.List {
+			if !lintwallRE.MatchString(c.Text) {
+				continue
+			}
+			if lines == nil {
+				lines = make(map[int]bool)
+			}
+			lines[pass.Fset.Position(c.End()).Line] = true
+		}
+	}
+	return lines
 }

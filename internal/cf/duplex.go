@@ -53,7 +53,10 @@ type DuplexEvent struct {
 }
 
 // Duplexed is a Facility-shaped command front over a primary/secondary
-// facility pair, modeling system-managed structure duplexing:
+// node pair, modeling system-managed structure duplexing. Each replica
+// is a Node — an in-process *Facility or a transport client serving a
+// facility in another process — and the front is indifferent to the
+// mix:
 //
 //   - Every mutating command is applied to the primary and mirrored to
 //     the secondary; replica convergence requires only that commands
@@ -92,9 +95,9 @@ type Duplexed struct {
 
 	mu        sync.Mutex // lintlock: level=50
 	cond      *sync.Cond // broadcast when syncing clears
-	primary   *Facility
-	secondary *Facility // nil when simplex
-	syncing   bool      // Reduplex copy in progress
+	primary   Node
+	secondary Node // nil when simplex
+	syncing   bool // Reduplex copy in progress
 	pairs     map[string]*pair
 	onEvent   func(DuplexEvent)
 }
@@ -116,11 +119,16 @@ type pair struct {
 	h       atomic.Pointer[pairHandles]
 }
 
-// pairHandles is one immutable snapshot of a pair's replica handles.
+// pairHandles is one immutable snapshot of a pair's replica handles,
+// each alongside the node that owns it (failover and duplex-break are
+// node-level transitions, so a failing command must know which node
+// its handle came from).
 type pairHandles struct {
-	gen uint64
-	pri structure
-	sec structure // nil when not mirrored
+	gen     uint64
+	priNode Node
+	pri     Replica
+	secNode Node    // nil when not mirrored
+	sec     Replica // nil when not mirrored
 }
 
 // pairStripeIdx hashes a command-ordering key (FNV-1a) to a stripe.
@@ -134,9 +142,10 @@ func pairStripeIdx(key string) int {
 }
 
 // NewDuplexed returns a front over primary (required) and secondary
-// (nil for simplex). Metrics are recorded into reg (a private registry
-// is created when nil).
-func NewDuplexed(clock vclock.Clock, reg *metrics.Registry, primary, secondary *Facility) *Duplexed {
+// (nil for simplex; pass an untyped nil, not a nil *Facility in a Node
+// variable). Metrics are recorded into reg (a private registry is
+// created when nil).
+func NewDuplexed(clock vclock.Clock, reg *metrics.Registry, primary, secondary Node) *Duplexed {
 	if clock == nil {
 		clock = vclock.Real()
 	}
@@ -183,15 +192,15 @@ func (d *Duplexed) Name() string {
 // counters; per-facility cf.* counters live on the facilities).
 func (d *Duplexed) Metrics() *metrics.Registry { return d.reg }
 
-// Primary returns the current primary facility.
-func (d *Duplexed) Primary() *Facility {
+// Primary returns the current primary node.
+func (d *Duplexed) Primary() Node {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.primary
 }
 
-// Secondary returns the current secondary facility (nil when simplex).
-func (d *Duplexed) Secondary() *Facility {
+// Secondary returns the current secondary node (nil when simplex).
+func (d *Duplexed) Secondary() Node {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.secondary
@@ -224,7 +233,7 @@ func (d *Duplexed) StructureNames() []string {
 }
 
 // SetSyncLatency injects per-command service time on both current
-// facilities (the duplex fan-out then costs two charged commands per
+// nodes (the duplex fan-out then costs two charged commands per
 // mutating request, as real duplexing does).
 func (d *Duplexed) SetSyncLatency(lat time.Duration) {
 	d.mu.Lock()
@@ -240,10 +249,10 @@ func (d *Duplexed) SetSyncLatency(lat time.Duration) {
 // both replicas, serialized with in-flight commands per structure so the
 // replicas purge at the same point in the command sequence.
 func (d *Duplexed) FailConnector(conn string) {
-	d.eachPair(func(pri, sec structure) {
-		pri.failConnector(conn)
+	d.eachPair(func(pri, sec Replica) {
+		pri.ReplicaFailConnector(conn)
 		if sec != nil {
-			sec.failConnector(conn)
+			sec.ReplicaFailConnector(conn)
 		}
 	})
 }
@@ -251,15 +260,15 @@ func (d *Duplexed) FailConnector(conn string) {
 // DisconnectAll detaches conn cleanly from every structure of both
 // replicas.
 func (d *Duplexed) DisconnectAll(conn string) {
-	d.eachPair(func(pri, sec structure) {
-		pri.disconnect(conn)
+	d.eachPair(func(pri, sec Replica) {
+		pri.ReplicaDisconnect(conn)
 		if sec != nil {
-			sec.disconnect(conn)
+			sec.ReplicaDisconnect(conn)
 		}
 	})
 }
 
-func (d *Duplexed) eachPair(fn func(pri, sec structure)) {
+func (d *Duplexed) eachPair(fn func(pri, sec Replica)) {
 	d.mu.Lock()
 	ps := make([]*pair, 0, len(d.pairs))
 	for _, p := range d.pairs {
@@ -268,8 +277,8 @@ func (d *Duplexed) eachPair(fn func(pri, sec structure)) {
 	d.mu.Unlock()
 	for _, p := range ps {
 		p.rw.Lock()
-		if pri, sec, err := p.handles(); err == nil {
-			fn(pri, sec)
+		if h, err := p.handles(); err == nil {
+			fn(h.pri, h.sec)
 		}
 		p.rw.Unlock()
 	}
@@ -278,8 +287,8 @@ func (d *Duplexed) eachPair(fn func(pri, sec structure)) {
 // AllocateLockStructure allocates a lock structure on the primary and,
 // when duplexed, the secondary.
 func (d *Duplexed) AllocateLockStructure(name string, entries int) (Lock, error) {
-	err := d.allocate(name, func(f *Facility) error {
-		_, err := f.AllocateLockStructure(name, entries)
+	err := d.allocate(name, func(n Node) error {
+		_, err := n.AllocateLockStructure(name, entries)
 		return err
 	})
 	if err != nil {
@@ -290,8 +299,8 @@ func (d *Duplexed) AllocateLockStructure(name string, entries int) (Lock, error)
 
 // AllocateCacheStructure allocates a cache structure on both replicas.
 func (d *Duplexed) AllocateCacheStructure(name string, maxEntries int) (Cache, error) {
-	err := d.allocate(name, func(f *Facility) error {
-		_, err := f.AllocateCacheStructure(name, maxEntries)
+	err := d.allocate(name, func(n Node) error {
+		_, err := n.AllocateCacheStructure(name, maxEntries)
 		return err
 	})
 	if err != nil {
@@ -302,8 +311,8 @@ func (d *Duplexed) AllocateCacheStructure(name string, maxEntries int) (Cache, e
 
 // AllocateListStructure allocates a list structure on both replicas.
 func (d *Duplexed) AllocateListStructure(name string, nLists, nLocks, maxEntries int) (List, error) {
-	err := d.allocate(name, func(f *Facility) error {
-		_, err := f.AllocateListStructure(name, nLists, nLocks, maxEntries)
+	err := d.allocate(name, func(n Node) error {
+		_, err := n.AllocateListStructure(name, nLists, nLocks, maxEntries)
 		return err
 	})
 	if err != nil {
@@ -313,9 +322,9 @@ func (d *Duplexed) AllocateListStructure(name string, nLists, nLocks, maxEntries
 }
 
 // allocate performs a paired structure allocation. d.mu is held across
-// both facility allocations (facility calls never re-enter the front),
-// so an allocation can never race a Reduplex and miss the new secondary.
-func (d *Duplexed) allocate(name string, alloc func(*Facility) error) error {
+// both node allocations (node calls never re-enter the front), so an
+// allocation can never race a Reduplex and miss the new secondary.
+func (d *Duplexed) allocate(name string, alloc func(Node) error) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for d.syncing {
@@ -371,12 +380,12 @@ func (d *Duplexed) checkModel(name string, m Model) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoStructure, name)
 	}
-	s := pri.structureByName(name)
+	s := pri.Structure(name)
 	if s == nil {
 		return fmt.Errorf("%w: %q", ErrNoStructure, name)
 	}
-	if s.model() != m {
-		return fmt.Errorf("%w: %q is %s, not %s", ErrWrongModel, name, s.model(), m)
+	if s.ReplicaModel() != m {
+		return fmt.Errorf("%w: %q is %s, not %s", ErrWrongModel, name, s.ReplicaModel(), m)
 	}
 	return nil
 }
@@ -387,29 +396,30 @@ func (d *Duplexed) pair(name string) *pair {
 	return d.pairs[name]
 }
 
-// handles returns current replica handles, refreshing them after a
-// facility-level transition. The fast path is one atomic pointer load
-// plus one generation load; refresh publishes a new immutable snapshot
-// under d.mu. Callers hold p.rw (read or write). Lock order: p.rw (and
-// optionally a stripe) then d.mu then the facility mutex inside
-// structureByName.
-func (p *pair) handles() (pri, sec structure, err error) {
+// handles returns the current replica-handle snapshot, refreshing it
+// after a node-level transition. The fast path is one atomic pointer
+// load plus one generation load; refresh publishes a new immutable
+// snapshot under d.mu. Callers hold p.rw (read or write). Lock order:
+// p.rw (and optionally a stripe) then d.mu then any node-internal
+// lookup mutex inside Structure.
+func (p *pair) handles() (*pairHandles, error) {
 	d := p.d
 	h := p.h.Load()
 	if h == nil || h.gen != d.gen.Load() {
 		d.mu.Lock()
-		nh := &pairHandles{gen: d.gen.Load(), pri: d.primary.structureByName(p.name)}
+		nh := &pairHandles{gen: d.gen.Load(), priNode: d.primary, pri: d.primary.Structure(p.name)}
 		if d.secondary != nil {
-			nh.sec = d.secondary.structureByName(p.name)
+			nh.secNode = d.secondary
+			nh.sec = d.secondary.Structure(p.name)
 		}
 		p.h.Store(nh)
 		d.mu.Unlock()
 		h = nh
 	}
 	if h.pri == nil {
-		return nil, nil, fmt.Errorf("%w: %q", ErrNoStructure, p.name)
+		return nil, fmt.Errorf("%w: %q", ErrNoStructure, p.name)
 	}
-	return h.pri, h.sec, nil
+	return h, nil
 }
 
 // sameOutcome reports whether primary and secondary completed a
@@ -424,7 +434,7 @@ func sameOutcome(perr, serr error) bool {
 // failover promotes the secondary after the primary (seen) failed.
 // Returns true when the caller should retry: either this call promoted
 // the secondary, or another command already failed the pair over.
-func (d *Duplexed) failover(seen *Facility) bool {
+func (d *Duplexed) failover(seen Node) bool {
 	d.mu.Lock()
 	if d.primary != seen {
 		// A concurrent command already completed the failover.
@@ -450,7 +460,7 @@ func (d *Duplexed) failover(seen *Facility) bool {
 
 // breakDuplex drops the secondary (sec) after it failed or diverged;
 // the pair continues simplex on the primary.
-func (d *Duplexed) breakDuplex(sec *Facility) {
+func (d *Duplexed) breakDuplex(sec Node) {
 	d.mu.Lock()
 	if d.secondary != sec {
 		d.mu.Unlock()
@@ -482,17 +492,23 @@ func (d *Duplexed) TryFailover() bool {
 
 // DropSecondary breaks duplexing if sec is the current secondary (the
 // proactive path for a monitored secondary failure).
-func (d *Duplexed) DropSecondary(sec *Facility) {
+func (d *Duplexed) DropSecondary(sec Node) {
 	d.breakDuplex(sec)
 }
 
-// Reduplex establishes newFac as the secondary by copying every
+// Reduplex establishes newNode as the secondary by copying every
 // structure into it. Per structure, the copy and the start of mirroring
 // happen under the structure's command mutex, so no mutation can slip
 // between them. The switchover is all-or-nothing: on any error the
-// primary stays current, newFac is discarded, and no structure is left
+// primary stays current, newNode is discarded, and no structure is left
 // half-mirrored.
-func (d *Duplexed) Reduplex(newFac *Facility) error {
+//
+// The copy requires the primary's handles to support ReplicaCloneInto
+// to newNode (in-process to in-process today); across a transport it
+// fails with ErrCloneUnsupported — remote pairs are duplexed at
+// allocation time instead and stay simplex after a failover until a
+// fresh replica node is allocated through the front.
+func (d *Duplexed) Reduplex(newNode Node) error {
 	d.mu.Lock()
 	if d.syncing {
 		d.mu.Unlock()
@@ -502,7 +518,7 @@ func (d *Duplexed) Reduplex(newFac *Facility) error {
 		d.mu.Unlock()
 		return errors.New("cf: already duplexed")
 	}
-	if newFac == nil || newFac == d.primary {
+	if newNode == nil || newNode == d.primary {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: bad re-duplex target", ErrBadArgument)
 	}
@@ -516,42 +532,43 @@ func (d *Duplexed) Reduplex(newFac *Facility) error {
 
 	for _, p := range ps {
 		p.rw.Lock()
-		pri, _, err := p.handles()
+		h, err := p.handles()
 		if err == nil {
-			var clone structure
-			clone, err = pri.cloneInto(newFac)
+			var clone Replica
+			clone, err = h.pri.ReplicaCloneInto(newNode)
 			if err == nil {
 				// Mirroring of this structure starts now; commands on
 				// other structures still run simplex until their copy.
 				// The snapshot carries the current generation, so it is
 				// used as-is until the front-level transition below bumps
 				// gen (the refresh then re-derives identical handles).
-				p.h.Store(&pairHandles{gen: d.gen.Load(), pri: pri, sec: clone})
+				p.h.Store(&pairHandles{gen: d.gen.Load(),
+					priNode: h.priNode, pri: h.pri, secNode: newNode, sec: clone})
 			}
 		}
 		p.rw.Unlock()
 		if err != nil {
-			d.abortSync(newFac)
-			return fmt.Errorf("cf: re-duplex into %s: %w", newFac.Name(), err)
+			d.abortSync(newNode)
+			return fmt.Errorf("cf: re-duplex into %s: %w", newNode.Name(), err)
 		}
 	}
 
 	d.mu.Lock()
-	d.secondary = newFac
+	d.secondary = newNode
 	d.syncing = false
 	d.gen.Add(1)
 	cb := d.onEvent
 	d.cond.Broadcast()
 	d.mu.Unlock()
 	if cb != nil {
-		cb(DuplexEvent{Kind: EventDuplexEstablished, Facility: newFac.Name()})
+		cb(DuplexEvent{Kind: EventDuplexEstablished, Facility: newNode.Name()})
 	}
 	return nil
 }
 
 // abortSync undoes a failed Reduplex: clears any pair already mirroring
 // into the abandoned target and releases waiters.
-func (d *Duplexed) abortSync(newFac *Facility) {
+func (d *Duplexed) abortSync(newNode Node) {
 	d.mu.Lock()
 	ps := make([]*pair, 0, len(d.pairs))
 	for _, p := range d.pairs {
@@ -562,8 +579,8 @@ func (d *Duplexed) abortSync(newFac *Facility) {
 	d.mu.Unlock()
 	for _, p := range ps {
 		p.rw.Lock()
-		if h := p.h.Load(); h != nil && h.sec != nil && h.sec.fac() == newFac {
-			p.h.Store(&pairHandles{gen: h.gen, pri: h.pri})
+		if h := p.h.Load(); h != nil && h.sec != nil && h.secNode == newNode {
+			p.h.Store(&pairHandles{gen: h.gen, priNode: h.priNode, pri: h.pri})
 		}
 		p.rw.Unlock()
 	}
@@ -572,7 +589,7 @@ func (d *Duplexed) abortSync(newFac *Facility) {
 // SwitchPrimary promotes the secondary to primary and returns the
 // retired (still healthy) old primary — the planned-rebuild move. It
 // fails when the pair is not duplexed.
-func (d *Duplexed) SwitchPrimary() (*Facility, error) {
+func (d *Duplexed) SwitchPrimary() (Node, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.syncing {
@@ -600,18 +617,19 @@ type DuplexedLock struct {
 	name string
 }
 
-func (l *DuplexedLock) primary() *LockStructure {
+func (l *DuplexedLock) primary() Lock {
 	p := l.d.pair(l.name)
 	if p == nil {
 		return nil
 	}
 	p.rw.RLock()
 	defer p.rw.RUnlock()
-	pri, _, err := p.handles()
+	h, err := p.handles()
 	if err != nil {
 		return nil
 	}
-	return pri.(*LockStructure)
+	s, _ := h.pri.(Lock)
+	return s
 }
 
 // Name returns the structure name.
@@ -636,8 +654,8 @@ func (l *DuplexedLock) HashResource(resource string) int {
 
 // Connect attaches a connector to both replicas.
 func (l *DuplexedLock) Connect(ctx context.Context, conn string) error {
-	return l.d.run(ctx, l.name, opLockConnect, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
-		return s.(*LockStructure).Connect(ctx, conn)
+	return l.d.run(ctx, l.name, opLockConnect, OpGlobal, "", func(ctx context.Context, s Replica, primary bool) error {
+		return s.(Lock).Connect(ctx, conn)
 	})
 }
 
@@ -645,8 +663,8 @@ func (l *DuplexedLock) Connect(ctx context.Context, conn string) error {
 // decision is returned.
 func (l *DuplexedLock) Obtain(ctx context.Context, idx int, conn string, mode LockMode) (ObtainResult, error) {
 	var out ObtainResult
-	err := l.d.run(ctx, l.name, opLockObtain, OpKeyed, "e"+strconv.Itoa(idx), func(ctx context.Context, s structure, primary bool) error {
-		r, err := s.(*LockStructure).Obtain(ctx, idx, conn, mode)
+	err := l.d.run(ctx, l.name, opLockObtain, OpKeyed, "e"+strconv.Itoa(idx), func(ctx context.Context, s Replica, primary bool) error {
+		r, err := s.(Lock).Obtain(ctx, idx, conn, mode)
 		if primary {
 			out = r
 		}
@@ -657,15 +675,15 @@ func (l *DuplexedLock) Obtain(ctx context.Context, idx int, conn string, mode Lo
 
 // ForceObtain records interest unconditionally on both replicas.
 func (l *DuplexedLock) ForceObtain(ctx context.Context, idx int, conn string, mode LockMode) error {
-	return l.d.run(ctx, l.name, opLockForce, OpKeyed, "e"+strconv.Itoa(idx), func(ctx context.Context, s structure, primary bool) error {
-		return s.(*LockStructure).ForceObtain(ctx, idx, conn, mode)
+	return l.d.run(ctx, l.name, opLockForce, OpKeyed, "e"+strconv.Itoa(idx), func(ctx context.Context, s Replica, primary bool) error {
+		return s.(Lock).ForceObtain(ctx, idx, conn, mode)
 	})
 }
 
 // Release drops interest on both replicas.
 func (l *DuplexedLock) Release(ctx context.Context, idx int, conn string, mode LockMode) error {
-	return l.d.run(ctx, l.name, opLockRelease, OpKeyed, "e"+strconv.Itoa(idx), func(ctx context.Context, s structure, primary bool) error {
-		return s.(*LockStructure).Release(ctx, idx, conn, mode)
+	return l.d.run(ctx, l.name, opLockRelease, OpKeyed, "e"+strconv.Itoa(idx), func(ctx context.Context, s Replica, primary bool) error {
+		return s.(Lock).Release(ctx, idx, conn, mode)
 	})
 }
 
@@ -680,23 +698,23 @@ func (l *DuplexedLock) Interest(idx int, conn string) (share, excl int, err erro
 
 // SetRecord stores a persistent lock record on both replicas.
 func (l *DuplexedLock) SetRecord(ctx context.Context, conn, resource string, mode LockMode) error {
-	return l.d.run(ctx, l.name, opLockSetRecord, OpKeyed, "r"+conn, func(ctx context.Context, s structure, primary bool) error {
-		return s.(*LockStructure).SetRecord(ctx, conn, resource, mode)
+	return l.d.run(ctx, l.name, opLockSetRecord, OpKeyed, "r"+conn, func(ctx context.Context, s Replica, primary bool) error {
+		return s.(Lock).SetRecord(ctx, conn, resource, mode)
 	})
 }
 
 // DeleteRecord removes a persistent lock record from both replicas.
 func (l *DuplexedLock) DeleteRecord(ctx context.Context, conn, resource string) error {
-	return l.d.run(ctx, l.name, opLockDelRecord, OpKeyed, "r"+conn, func(ctx context.Context, s structure, primary bool) error {
-		return s.(*LockStructure).DeleteRecord(ctx, conn, resource)
+	return l.d.run(ctx, l.name, opLockDelRecord, OpKeyed, "r"+conn, func(ctx context.Context, s Replica, primary bool) error {
+		return s.(Lock).DeleteRecord(ctx, conn, resource)
 	})
 }
 
 // Records reads conn's persistent lock records from the primary.
 func (l *DuplexedLock) Records(ctx context.Context, conn string) ([]LockRecord, error) {
 	var out []LockRecord
-	err := l.d.run(ctx, l.name, opLockRecords, OpRead, "", func(ctx context.Context, s structure, primary bool) error {
-		r, err := s.(*LockStructure).Records(ctx, conn)
+	err := l.d.run(ctx, l.name, opLockRecords, OpRead, "", func(ctx context.Context, s Replica, primary bool) error {
+		r, err := s.(Lock).Records(ctx, conn)
 		if primary {
 			out = r
 		}
@@ -712,8 +730,8 @@ func (l *DuplexedLock) Records(ctx context.Context, conn string) ([]LockRecord, 
 func (l *DuplexedLock) AdoptRetained(conn string, recs []LockRecord) {
 	// The closure never fails; run's error only reflects replica loss,
 	// which the failover machinery already records.
-	_ = l.d.run(context.Background(), l.name, opLockAdoptRetained, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
-		s.(*LockStructure).AdoptRetained(conn, recs)
+	_ = l.d.run(context.Background(), l.name, opLockAdoptRetained, OpGlobal, "", func(ctx context.Context, s Replica, primary bool) error {
+		s.(Lock).AdoptRetained(conn, recs)
 		return nil
 	})
 }
@@ -732,18 +750,19 @@ type DuplexedCache struct {
 	name string
 }
 
-func (c *DuplexedCache) primary() *CacheStructure {
+func (c *DuplexedCache) primary() Cache {
 	p := c.d.pair(c.name)
 	if p == nil {
 		return nil
 	}
 	p.rw.RLock()
 	defer p.rw.RUnlock()
-	pri, _, err := p.handles()
+	h, err := p.handles()
 	if err != nil {
 		return nil
 	}
-	return pri.(*CacheStructure)
+	s, _ := h.pri.(Cache)
+	return s
 }
 
 // Name returns the structure name.
@@ -753,8 +772,8 @@ func (c *DuplexedCache) Name() string { return c.name }
 // replicas. The vector is shared: either replica's cross-invalidation
 // flips the same system-owned bits.
 func (c *DuplexedCache) Connect(ctx context.Context, conn string, vector *BitVector) error {
-	return c.d.run(ctx, c.name, opCacheConnect, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
-		return s.(*CacheStructure).Connect(ctx, conn, vector)
+	return c.d.run(ctx, c.name, opCacheConnect, OpGlobal, "", func(ctx context.Context, s Replica, primary bool) error {
+		return s.(Cache).Connect(ctx, conn, vector)
 	})
 }
 
@@ -762,8 +781,8 @@ func (c *DuplexedCache) Connect(ctx context.Context, conn string, vector *BitVec
 // mutates the directory) and returns the primary's data.
 func (c *DuplexedCache) ReadAndRegister(ctx context.Context, conn, name string, vecIdx int) (ReadResult, error) {
 	var out ReadResult
-	err := c.d.run(ctx, c.name, opCacheRead, OpKeyed, "b"+name, func(ctx context.Context, s structure, primary bool) error {
-		r, err := s.(*CacheStructure).ReadAndRegister(ctx, conn, name, vecIdx)
+	err := c.d.run(ctx, c.name, opCacheRead, OpKeyed, "b"+name, func(ctx context.Context, s Replica, primary bool) error {
+		r, err := s.(Cache).ReadAndRegister(ctx, conn, name, vecIdx)
 		if primary {
 			out = r
 		}
@@ -776,15 +795,15 @@ func (c *DuplexedCache) ReadAndRegister(ctx context.Context, conn, name string, 
 // Cross-invalidation bits flip once per target either way, because the
 // replicas share the connectors' validity vectors.
 func (c *DuplexedCache) WriteAndInvalidate(ctx context.Context, conn, name string, data []byte, cache, changed bool, vecIdx int) error {
-	return c.d.run(ctx, c.name, opCacheWrite, OpKeyed, "b"+name, func(ctx context.Context, s structure, primary bool) error {
-		return s.(*CacheStructure).WriteAndInvalidate(ctx, conn, name, data, cache, changed, vecIdx)
+	return c.d.run(ctx, c.name, opCacheWrite, OpKeyed, "b"+name, func(ctx context.Context, s Replica, primary bool) error {
+		return s.(Cache).WriteAndInvalidate(ctx, conn, name, data, cache, changed, vecIdx)
 	})
 }
 
 // Unregister removes interest on both replicas.
 func (c *DuplexedCache) Unregister(ctx context.Context, conn, name string) error {
-	return c.d.run(ctx, c.name, opCacheUnregister, OpKeyed, "b"+name, func(ctx context.Context, s structure, primary bool) error {
-		return s.(*CacheStructure).Unregister(ctx, conn, name)
+	return c.d.run(ctx, c.name, opCacheUnregister, OpKeyed, "b"+name, func(ctx context.Context, s Replica, primary bool) error {
+		return s.(Cache).Unregister(ctx, conn, name)
 	})
 }
 
@@ -795,8 +814,8 @@ func (c *DuplexedCache) CastoutBegin(ctx context.Context, conn, name string) ([]
 		data []byte
 		ver  uint64
 	)
-	err := c.d.run(ctx, c.name, opCacheCastoutBegin, OpKeyed, "b"+name, func(ctx context.Context, s structure, primary bool) error {
-		d, v, err := s.(*CacheStructure).CastoutBegin(ctx, conn, name)
+	err := c.d.run(ctx, c.name, opCacheCastoutBegin, OpKeyed, "b"+name, func(ctx context.Context, s Replica, primary bool) error {
+		d, v, err := s.(Cache).CastoutBegin(ctx, conn, name)
 		if primary {
 			data, ver = d, v
 		}
@@ -807,8 +826,8 @@ func (c *DuplexedCache) CastoutBegin(ctx context.Context, conn, name string) ([]
 
 // CastoutEnd completes the castout on both replicas.
 func (c *DuplexedCache) CastoutEnd(ctx context.Context, conn, name string, version uint64) error {
-	return c.d.run(ctx, c.name, opCacheCastoutEnd, OpKeyed, "b"+name, func(ctx context.Context, s structure, primary bool) error {
-		return s.(*CacheStructure).CastoutEnd(ctx, conn, name, version)
+	return c.d.run(ctx, c.name, opCacheCastoutEnd, OpKeyed, "b"+name, func(ctx context.Context, s Replica, primary bool) error {
+		return s.(Cache).CastoutEnd(ctx, conn, name, version)
 	})
 }
 
@@ -842,18 +861,19 @@ type DuplexedList struct {
 	name string
 }
 
-func (l *DuplexedList) primaryS() *ListStructure {
+func (l *DuplexedList) primaryS() List {
 	p := l.d.pair(l.name)
 	if p == nil {
 		return nil
 	}
 	p.rw.RLock()
 	defer p.rw.RUnlock()
-	pri, _, err := p.handles()
+	h, err := p.handles()
 	if err != nil {
 		return nil
 	}
-	return pri.(*ListStructure)
+	s, _ := h.pri.(List)
+	return s
 }
 
 // Name returns the structure name.
@@ -870,22 +890,22 @@ func (l *DuplexedList) Lists() int {
 // Connect attaches a connector (and its notification vector, shared by
 // both replicas) to the pair.
 func (l *DuplexedList) Connect(ctx context.Context, conn string, vector *BitVector) error {
-	return l.d.run(ctx, l.name, opListConnect, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
-		return s.(*ListStructure).Connect(ctx, conn, vector)
+	return l.d.run(ctx, l.name, opListConnect, OpGlobal, "", func(ctx context.Context, s Replica, primary bool) error {
+		return s.(List).Connect(ctx, conn, vector)
 	})
 }
 
 // SetLock acquires a lock entry on both replicas.
 func (l *DuplexedList) SetLock(ctx context.Context, idx int, conn string) error {
-	return l.d.run(ctx, l.name, opListSetLock, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
-		return s.(*ListStructure).SetLock(ctx, idx, conn)
+	return l.d.run(ctx, l.name, opListSetLock, OpGlobal, "", func(ctx context.Context, s Replica, primary bool) error {
+		return s.(List).SetLock(ctx, idx, conn)
 	})
 }
 
 // ReleaseLock releases a lock entry on both replicas.
 func (l *DuplexedList) ReleaseLock(ctx context.Context, idx int, conn string) error {
-	return l.d.run(ctx, l.name, opListReleaseLock, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
-		return s.(*ListStructure).ReleaseLock(ctx, idx, conn)
+	return l.d.run(ctx, l.name, opListReleaseLock, OpGlobal, "", func(ctx context.Context, s Replica, primary bool) error {
+		return s.(List).ReleaseLock(ctx, idx, conn)
 	})
 }
 
@@ -899,16 +919,16 @@ func (l *DuplexedList) LockHolder(idx int) string {
 
 // Write creates or updates an entry on both replicas.
 func (l *DuplexedList) Write(ctx context.Context, conn string, list int, id, key string, data []byte, order Order, cond Cond) error {
-	return l.d.run(ctx, l.name, opListWrite, OpKeyed, "l"+strconv.Itoa(list), func(ctx context.Context, s structure, primary bool) error {
-		return s.(*ListStructure).Write(ctx, conn, list, id, key, data, order, cond)
+	return l.d.run(ctx, l.name, opListWrite, OpKeyed, "l"+strconv.Itoa(list), func(ctx context.Context, s Replica, primary bool) error {
+		return s.(List).Write(ctx, conn, list, id, key, data, order, cond)
 	})
 }
 
 // Read returns a copy of an entry from the primary.
 func (l *DuplexedList) Read(ctx context.Context, conn, id string, cond Cond) (ListEntry, error) {
 	var out ListEntry
-	err := l.d.run(ctx, l.name, opListRead, OpRead, "", func(ctx context.Context, s structure, primary bool) error {
-		e, err := s.(*ListStructure).Read(ctx, conn, id, cond)
+	err := l.d.run(ctx, l.name, opListRead, OpRead, "", func(ctx context.Context, s Replica, primary bool) error {
+		e, err := s.(List).Read(ctx, conn, id, cond)
 		if primary {
 			out = e
 		}
@@ -920,8 +940,8 @@ func (l *DuplexedList) Read(ctx context.Context, conn, id string, cond Cond) (Li
 // ReadFirst returns the head entry of a list from the primary.
 func (l *DuplexedList) ReadFirst(ctx context.Context, conn string, list int, cond Cond) (ListEntry, error) {
 	var out ListEntry
-	err := l.d.run(ctx, l.name, opListReadFirst, OpRead, "", func(ctx context.Context, s structure, primary bool) error {
-		e, err := s.(*ListStructure).ReadFirst(ctx, conn, list, cond)
+	err := l.d.run(ctx, l.name, opListReadFirst, OpRead, "", func(ctx context.Context, s Replica, primary bool) error {
+		e, err := s.(List).ReadFirst(ctx, conn, list, cond)
 		if primary {
 			out = e
 		}
@@ -934,8 +954,8 @@ func (l *DuplexedList) ReadFirst(ctx context.Context, conn string, list int, con
 // primary's entry is returned.
 func (l *DuplexedList) Pop(ctx context.Context, conn string, list int, cond Cond) (ListEntry, error) {
 	var out ListEntry
-	err := l.d.run(ctx, l.name, opListPop, OpKeyed, "l"+strconv.Itoa(list), func(ctx context.Context, s structure, primary bool) error {
-		e, err := s.(*ListStructure).Pop(ctx, conn, list, cond)
+	err := l.d.run(ctx, l.name, opListPop, OpKeyed, "l"+strconv.Itoa(list), func(ctx context.Context, s Replica, primary bool) error {
+		e, err := s.(List).Pop(ctx, conn, list, cond)
 		if primary {
 			out = e
 		}
@@ -946,15 +966,15 @@ func (l *DuplexedList) Pop(ctx context.Context, conn string, list int, cond Cond
 
 // Delete removes an entry from both replicas.
 func (l *DuplexedList) Delete(ctx context.Context, conn, id string, cond Cond) error {
-	return l.d.run(ctx, l.name, opListDelete, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
-		return s.(*ListStructure).Delete(ctx, conn, id, cond)
+	return l.d.run(ctx, l.name, opListDelete, OpGlobal, "", func(ctx context.Context, s Replica, primary bool) error {
+		return s.(List).Delete(ctx, conn, id, cond)
 	})
 }
 
 // Move moves an entry between lists on both replicas.
 func (l *DuplexedList) Move(ctx context.Context, conn, id string, toList int, order Order, cond Cond) error {
-	return l.d.run(ctx, l.name, opListMove, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
-		return s.(*ListStructure).Move(ctx, conn, id, toList, order, cond)
+	return l.d.run(ctx, l.name, opListMove, OpGlobal, "", func(ctx context.Context, s Replica, primary bool) error {
+		return s.(List).Move(ctx, conn, id, toList, order, cond)
 	})
 }
 
@@ -962,8 +982,8 @@ func (l *DuplexedList) Move(ctx context.Context, conn, id string, toList int, or
 func (l *DuplexedList) SetAdjunct(ctx context.Context, conn, id, adjunct string, cond Cond) error {
 	// Global, not keyed by id: keyed by the entry alone it could order
 	// differently than a Pop of the entry's list on the two replicas.
-	return l.d.run(ctx, l.name, opListSetAdjunct, OpGlobal, "", func(ctx context.Context, s structure, primary bool) error {
-		return s.(*ListStructure).SetAdjunct(ctx, conn, id, adjunct, cond)
+	return l.d.run(ctx, l.name, opListSetAdjunct, OpGlobal, "", func(ctx context.Context, s Replica, primary bool) error {
+		return s.(List).SetAdjunct(ctx, conn, id, adjunct, cond)
 	})
 }
 
@@ -995,8 +1015,8 @@ func (l *DuplexedList) TotalEntries() int {
 // shared notification vector means the bit flips once per transition on
 // whichever replica signals first — signals are idempotent bit sets).
 func (l *DuplexedList) Monitor(ctx context.Context, conn string, list int, vecIdx int) error {
-	return l.d.run(ctx, l.name, opListMonitor, OpKeyed, "l"+strconv.Itoa(list), func(ctx context.Context, s structure, primary bool) error {
-		return s.(*ListStructure).Monitor(ctx, conn, list, vecIdx)
+	return l.d.run(ctx, l.name, opListMonitor, OpKeyed, "l"+strconv.Itoa(list), func(ctx context.Context, s Replica, primary bool) error {
+		return s.(List).Monitor(ctx, conn, list, vecIdx)
 	})
 }
 
@@ -1008,8 +1028,8 @@ func (l *DuplexedList) Monitor(ctx context.Context, conn string, list int, vecId
 func (l *DuplexedList) Unmonitor(conn string, list int) {
 	// The closure never fails; run's error only reflects replica loss,
 	// which the failover machinery already records.
-	_ = l.d.run(context.Background(), l.name, opListUnmonitor, OpKeyed, "l"+strconv.Itoa(list), func(ctx context.Context, s structure, primary bool) error {
-		s.(*ListStructure).Unmonitor(conn, list)
+	_ = l.d.run(context.Background(), l.name, opListUnmonitor, OpKeyed, "l"+strconv.Itoa(list), func(ctx context.Context, s Replica, primary bool) error {
+		s.(List).Unmonitor(conn, list)
 		return nil
 	})
 }

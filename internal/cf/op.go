@@ -154,12 +154,14 @@ type Op struct {
 	k opKind
 }
 
-// applyFunc executes an Op's command body against one replica. It is
-// invoked once per replica; primary=true marks the invocation whose
-// results are the command's results. The context is the caller's for
-// the primary and a detached one for the secondary mirror (a mirror
-// must complete once the primary committed).
-type applyFunc func(ctx context.Context, s structure, primary bool) error
+// applyFunc executes an Op's command body against one replica handle
+// (asserted to its model interface — Lock, Cache, or List — inside the
+// closure, so in-process structures and transport handles dispatch
+// identically). It is invoked once per replica; primary=true marks the
+// invocation whose results are the command's results. The context is
+// the caller's for the primary and a detached one for the secondary
+// mirror (a mirror must complete once the primary committed).
+type applyFunc func(ctx context.Context, s Replica, primary bool) error
 
 // Failover retry bounds (satellite of ISSUE 5: the retry loop used to
 // be unbounded). A command that still sees ErrCFDown after
@@ -247,15 +249,15 @@ func (d *Duplexed) run(ctx context.Context, name string, kind opKind, ord OpOrde
 	// off with a doubling, capped sleep on the injected clock.
 	backoff := time.Duration(0)
 	for attempt := 1; ; attempt++ {
-		pri, sec, err := p.handles()
+		h, err := p.handles()
 		if err != nil {
 			return err
 		}
 		start := d.clock.Now()
-		err = apply(ctx, pri, true)
+		err = apply(ctx, h.pri, true)
 		if err != nil {
 			if errors.Is(err, ErrCFDown) {
-				if !d.failover(pri.fac()) {
+				if !d.failover(h.priNode) {
 					return err
 				}
 				if attempt >= maxFailoverRetries {
@@ -285,10 +287,10 @@ func (d *Duplexed) run(ctx context.Context, name string, kind opKind, ord OpOrde
 				return err
 			}
 		}
-		if ord != OpRead && sec != nil {
-			serr := apply(vclock.Detach(ctx), sec, false)
+		if ord != OpRead && h.sec != nil {
+			serr := apply(vclock.Detach(ctx), h.sec, false)
 			if !sameOutcome(err, serr) {
-				d.breakDuplex(sec.fac())
+				d.breakDuplex(h.secNode)
 			}
 			d.hFanout.Observe(d.clock.Since(start))
 		}

@@ -504,7 +504,7 @@ func TestStressCancelDuringFailover(t *testing.T) {
 		t.Fatalf("State() = %q after Reduplex, want duplexed", got)
 	}
 
-	pl := d.Primary().structureByName("MSGQ").(*ListStructure)
+	pl := d.Primary().Structure("MSGQ").(*ListStructure)
 	sl := fresh.structureByName("MSGQ").(*ListStructure)
 	for _, repl := range []struct {
 		name string

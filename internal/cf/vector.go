@@ -13,6 +13,31 @@ import "sync/atomic"
 type BitVector struct {
 	words []atomic.Uint64
 	size  int
+
+	// notify, when installed, observes every bit transition (and
+	// ClearAll). A transport server registers a shadow vector with the
+	// CF and forwards its flips over the client's notification
+	// connection — the wire-level form of the link hardware signal.
+	notify atomic.Pointer[func(bit int, set bool)]
+}
+
+// SetNotify installs fn, invoked after each observed bit transition
+// with the bit index and its new state; ClearAll reports once as
+// (-1, false). fn runs on the flipping command's goroutine while CF
+// structure locks may be held, so it must not block and must not issue
+// CF commands. A nil fn removes the hook.
+func (v *BitVector) SetNotify(fn func(bit int, set bool)) {
+	if fn == nil {
+		v.notify.Store(nil)
+		return
+	}
+	v.notify.Store(&fn)
+}
+
+func (v *BitVector) notifyFlip(bit int, set bool) {
+	if fn := v.notify.Load(); fn != nil {
+		(*fn)(bit, set)
+	}
 }
 
 // NewBitVector allocates a vector with n bit positions.
@@ -45,7 +70,11 @@ func (v *BitVector) Set(i int) {
 	mask := uint64(1) << uint(i%64)
 	for {
 		old := w.Load()
-		if old&mask != 0 || w.CompareAndSwap(old, old|mask) {
+		if old&mask != 0 {
+			return
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			v.notifyFlip(i, true)
 			return
 		}
 	}
@@ -61,7 +90,11 @@ func (v *BitVector) Clear(i int) {
 	mask := uint64(1) << uint(i%64)
 	for {
 		old := w.Load()
-		if old&mask == 0 || w.CompareAndSwap(old, old&^mask) {
+		if old&mask == 0 {
+			return
+		}
+		if w.CompareAndSwap(old, old&^mask) {
+			v.notifyFlip(i, false)
 			return
 		}
 	}
@@ -72,6 +105,7 @@ func (v *BitVector) ClearAll() {
 	for i := range v.words {
 		v.words[i].Store(0)
 	}
+	v.notifyFlip(-1, false)
 }
 
 // Count returns the number of set bits (diagnostics).

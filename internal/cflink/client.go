@@ -1,0 +1,976 @@
+package cflink
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sysplex/internal/cf"
+	"sysplex/internal/metrics"
+	"sysplex/internal/vclock"
+)
+
+// ErrClientClosed fails commands issued after Close.
+var ErrClientClosed = errors.New("cflink: client closed")
+
+// Option configures Dial.
+type Option func(*Client)
+
+// WithSystem declares the connecting system's name to the server. The
+// name is the fencing identity: Server.Fence(name) severs this client
+// and refuses its reconnects. Empty (the default) connects anonymously
+// and unfenceably — fine for tools, wrong for sysplex members.
+func WithSystem(name string) Option {
+	return func(c *Client) { c.system = name }
+}
+
+// WithClock injects the client-side clock used for the pipeline's
+// context gate and for RTT metrics. Defaults to vclock.Real().
+func WithClock(clock vclock.Clock) Option {
+	return func(c *Client) { c.clock = clock }
+}
+
+// Client is a coupling facility reached over a cflink transport. It
+// implements cf.Node — and its structure handles implement cf.Lock,
+// cf.Cache, cf.List, and cf.Replica — so a remote facility drops into
+// the duplexed front, cfrm policies, and the sysplex façade exactly
+// where an in-process *Facility does.
+//
+// Failure model: any transport failure (dial loss, write error, read
+// error, server-side fence or close) marks the client failed and fails
+// every in-flight and subsequent command with cf.ErrCFDown. That is
+// deliberately indistinguishable from the facility dying — to a
+// system, a severed coupling link IS a dead CF, and the duplexed
+// front's failover path handles both identically. A Client does not
+// reconnect; recovery is cfrm's job, not the link's.
+type Client struct {
+	name   string // facility name, from the handshake
+	system string
+	clock  vclock.Clock
+	reg    *metrics.Registry
+
+	cmd    net.Conn
+	notify net.Conn
+	wmu    sync.Mutex // serializes request frames on cmd
+
+	pmu     sync.Mutex
+	pending map[uint64]chan clientResp
+	nextReq atomic.Uint64
+
+	vmu     sync.Mutex
+	vectors map[uint64]*cf.BitVector
+	vecIDs  map[*cf.BitVector]uint64
+	nextVec uint64
+
+	failed    atomic.Bool
+	failErr   atomic.Pointer[error]
+	closeOnce sync.Once
+
+	mOps *metrics.Counter
+	mRTT *metrics.Histogram
+}
+
+// clientResp is one command's outcome delivered to its waiter.
+type clientResp struct {
+	payload []byte // full response frame (reqID already consumed by reader)
+	err     error  // transport-level failure
+}
+
+// Dial connects to a cfserver at addr over network ("tcp", "tcp4",
+// "unix", ...), establishing both the command and the notification
+// connection.
+func Dial(network, addr string, opts ...Option) (*Client, error) {
+	c := &Client{
+		reg:     metrics.NewRegistry(),
+		pending: make(map[uint64]chan clientResp),
+		vectors: make(map[uint64]*cf.BitVector),
+		vecIDs:  make(map[*cf.BitVector]uint64),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.clock == nil {
+		c.clock = vclock.Real()
+	}
+	c.mOps = c.reg.Counter("cflink.cmd.count")
+	c.mRTT = c.reg.Histogram("cflink.cmd.rtt")
+
+	cmd, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("cflink: dial %s %s: %w", network, addr, err)
+	}
+	// Handshake deadlines are real time: they bound a half-open peer at
+	// the link protocol level, below the simulated sysplex clock.
+	cmd.SetDeadline(time.Now().Add(handshakeTimeout)) // lintwall: link handshake bound, not sysplex time
+	var e encoder
+	e.b = append(e.b, magic[:]...)
+	e.u8(connCommand)
+	e.string(c.system)
+	if err := writeFrame(cmd, e.b); err != nil {
+		cmd.Close()
+		return nil, fmt.Errorf("cflink: handshake: %w", err)
+	}
+	payload, err := readFrame(cmd, nil)
+	if err != nil {
+		cmd.Close()
+		return nil, fmt.Errorf("cflink: handshake: %w", err)
+	}
+	d := &decoder{b: payload}
+	code := d.u8()
+	if code != codeOK {
+		detail := d.string()
+		cmd.Close()
+		return nil, fmt.Errorf("cflink: handshake rejected: %w", decodeErr(code, detail))
+	}
+	c.name = d.string()
+	token := d.uvarint()
+	if err := d.finish(); err != nil {
+		cmd.Close()
+		return nil, fmt.Errorf("cflink: handshake: %w", err)
+	}
+	cmd.SetDeadline(time.Time{})
+	c.cmd = cmd
+
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		cmd.Close()
+		return nil, fmt.Errorf("cflink: dial notify %s %s: %w", network, addr, err)
+	}
+	nc.SetDeadline(time.Now().Add(handshakeTimeout)) // lintwall: link handshake bound, not sysplex time
+	var ne encoder
+	ne.b = append(ne.b, magic[:]...)
+	ne.u8(connNotify)
+	ne.uvarint(token)
+	if err := writeFrame(nc, ne.b); err != nil {
+		cmd.Close()
+		nc.Close()
+		return nil, fmt.Errorf("cflink: notify handshake: %w", err)
+	}
+	npayload, err := readFrame(nc, nil)
+	if err != nil || len(npayload) < 1 || npayload[0] != codeOK {
+		cmd.Close()
+		nc.Close()
+		if err == nil {
+			err = errors.New("rejected")
+		}
+		return nil, fmt.Errorf("cflink: notify handshake: %w", err)
+	}
+	nc.SetDeadline(time.Time{})
+	c.notify = nc
+
+	go c.readLoop()
+	go c.notifyLoop()
+	return c, nil
+}
+
+// Name returns the remote facility's name.
+func (c *Client) Name() string { return c.name }
+
+// System returns the system name this client declared at handshake.
+func (c *Client) System() string { return c.system }
+
+// Metrics exposes the client-side transport instrumentation
+// (cflink.cmd.count, cflink.cmd.rtt, cflink.notify.count). The remote
+// facility keeps its own registry in its own process; a Node's metrics
+// are always the view from this side of the link.
+func (c *Client) Metrics() *metrics.Registry { return c.reg }
+
+// Close tears the session down. In-flight commands fail with
+// cf.ErrCFDown.
+func (c *Client) Close() { c.fail(ErrClientClosed) }
+
+// fail marks the client dead, severs both connections, and fails every
+// in-flight command. First cause wins; later calls only re-close.
+func (c *Client) fail(cause error) {
+	c.closeOnce.Do(func() {
+		c.failErr.Store(&cause)
+		c.failed.Store(true)
+		c.cmd.Close()
+		c.notify.Close()
+		c.pmu.Lock()
+		for id, ch := range c.pending {
+			delete(c.pending, id)
+			ch <- clientResp{err: cf.ErrCFDown}
+		}
+		c.pmu.Unlock()
+	})
+}
+
+// readLoop delivers response frames to their waiting commands.
+func (c *Client) readLoop() {
+	for {
+		payload, err := readFrame(c.cmd, nil)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		d := &decoder{b: payload}
+		reqID := d.uvarint()
+		if d.err != nil {
+			c.fail(ErrMalformed)
+			return
+		}
+		c.pmu.Lock()
+		ch := c.pending[reqID]
+		delete(c.pending, reqID)
+		c.pmu.Unlock()
+		if ch != nil {
+			ch <- clientResp{payload: payload[d.off:]}
+		}
+	}
+}
+
+// notifyLoop applies server-pushed bit flips to the local system-owned
+// vectors: the wire form of the CF flipping validity bits with no
+// interrupt. Exploiters keep testing their vectors with local loads;
+// the flip just arrives a link-latency later than in-process (the
+// documented coherence window of a remote CF).
+func (c *Client) notifyLoop() {
+	mNotify := c.reg.Counter("cflink.notify.count")
+	for {
+		payload, err := readFrame(c.notify, nil)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		d := &decoder{b: payload}
+		vecID := d.uvarint()
+		bit := d.varint()
+		set := d.bool()
+		if d.finish() != nil {
+			c.fail(ErrMalformed)
+			return
+		}
+		c.vmu.Lock()
+		v := c.vectors[vecID]
+		c.vmu.Unlock()
+		if v == nil {
+			continue
+		}
+		mNotify.Inc()
+		switch {
+		case bit < 0:
+			v.ClearAll()
+		case set:
+			v.Set(int(bit))
+		default:
+			v.Clear(int(bit))
+		}
+	}
+}
+
+// registerVector assigns (or recalls) the wire ID under which vector's
+// shadow lives on the server. Returns 0 for a nil vector.
+func (c *Client) registerVector(v *cf.BitVector) uint64 {
+	if v == nil {
+		return 0
+	}
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
+	if id, ok := c.vecIDs[v]; ok {
+		return id
+	}
+	c.nextVec++
+	id := c.nextVec
+	c.vecIDs[v] = id
+	c.vectors[id] = v
+	return id
+}
+
+// roundTrip sends one command and waits for its response.
+//
+// No-partial-effect across the wire: the context is polled here,
+// BEFORE the request frame is written — a cancelled or deadline-expired
+// command fails with the context's error and was never sent, so it has
+// no effect on the remote facility. Once the frame is on the wire the
+// wait is deliberately uncancellable: the command is executing remotely
+// and the client must learn its outcome. The wait can only end with the
+// response or with the link dying, which fails the command with
+// cf.ErrCFDown — exactly the signal the duplexed front's failover path
+// expects from a dead CF.
+func (c *Client) roundTrip(ctx context.Context, op uint8, build func(e *encoder)) (*decoder, error) {
+	if c.failed.Load() {
+		return nil, cf.ErrCFDown
+	}
+	if err := vclock.Check(ctx, c.clock); err != nil {
+		return nil, err
+	}
+	id := c.nextReq.Add(1)
+	ch := make(chan clientResp, 1)
+	c.pmu.Lock()
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	var e encoder
+	e.uvarint(id)
+	e.u8(op)
+	if build != nil {
+		build(&e)
+	}
+	start := c.clock.Now()
+	c.wmu.Lock()
+	err := writeFrame(c.cmd, e.b)
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		c.fail(err)
+		return nil, cf.ErrCFDown
+	}
+	resp := <-ch
+	c.mOps.Inc()
+	if resp.err != nil {
+		return nil, resp.err
+	}
+	c.mRTT.Observe(c.clock.Since(start))
+	d := &decoder{b: resp.payload}
+	code := d.u8()
+	if code != codeOK {
+		detail := d.string()
+		if err := d.finish(); err != nil {
+			return nil, err
+		}
+		return nil, decodeErr(code, detail)
+	}
+	return d, nil
+}
+
+// call runs a command whose response carries no result fields.
+func (c *Client) call(ctx context.Context, op uint8, build func(e *encoder)) error {
+	d, err := c.roundTrip(ctx, op, build)
+	if err != nil {
+		return err
+	}
+	return d.finish()
+}
+
+// ---- cf.Node ----
+
+// StructureNames lists the remote facility's structures (nil if the
+// link is down).
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (c *Client) StructureNames() []string {
+	d, err := c.roundTrip(context.Background(), opStructureNames, nil)
+	if err != nil {
+		return nil
+	}
+	names := d.strings()
+	if d.finish() != nil {
+		return nil
+	}
+	return names
+}
+
+// Failed reports whether the remote facility is down — or unreachable,
+// which to this system is the same thing.
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (c *Client) Failed() bool {
+	if c.failed.Load() {
+		return true
+	}
+	d, err := c.roundTrip(context.Background(), opFailed, nil)
+	if err != nil {
+		return true
+	}
+	failed := d.bool()
+	if d.finish() != nil {
+		return true
+	}
+	return failed
+}
+
+// Fail breaks the remote facility (failure injection over the wire:
+// the CF dies, the link stays up, and every command starts returning
+// ErrCFDown end-to-end).
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (c *Client) Fail() {
+	_ = c.call(context.Background(), opFail, nil)
+}
+
+// FailAfter arms remote failure injection after n more commands begin.
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (c *Client) FailAfter(n int) {
+	_ = c.call(context.Background(), opFailAfter, func(e *encoder) { e.int(n) })
+}
+
+// SetSyncLatency injects per-command service time on the remote
+// facility (on top of the real link round trip this client pays).
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (c *Client) SetSyncLatency(d time.Duration) {
+	_ = c.call(context.Background(), opSetSyncLatency, func(e *encoder) { e.varint(int64(d)) })
+}
+
+// Deallocate frees a remote structure.
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (c *Client) Deallocate(name string) error {
+	return c.call(context.Background(), opDeallocate, func(e *encoder) { e.string(name) })
+}
+
+// AllocateLockStructure allocates a lock structure and returns its
+// remote handle.
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (c *Client) AllocateLockStructure(name string, entries int) (cf.Lock, error) {
+	err := c.call(context.Background(), opAllocLock, func(e *encoder) {
+		e.string(name)
+		e.int(entries)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &remoteLock{remoteStruct{c: c, name: name, model: cf.LockModel, size: entries}}, nil
+}
+
+// AllocateCacheStructure allocates a cache structure and returns its
+// remote handle.
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (c *Client) AllocateCacheStructure(name string, maxEntries int) (cf.Cache, error) {
+	err := c.call(context.Background(), opAllocCache, func(e *encoder) {
+		e.string(name)
+		e.int(maxEntries)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &remoteCache{remoteStruct{c: c, name: name, model: cf.CacheModel}}, nil
+}
+
+// AllocateListStructure allocates a list structure and returns its
+// remote handle.
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (c *Client) AllocateListStructure(name string, nLists, nLocks, maxEntries int) (cf.List, error) {
+	err := c.call(context.Background(), opAllocList, func(e *encoder) {
+		e.string(name)
+		e.int(nLists)
+		e.int(nLocks)
+		e.int(maxEntries)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &remoteList{remoteStruct{c: c, name: name, model: cf.ListModel, size: nLists}}, nil
+}
+
+// Structure returns the named remote structure's replica handle, or
+// nil when absent (or the link is down — a dead node has no reachable
+// structures).
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (c *Client) Structure(name string) cf.Replica {
+	d, err := c.roundTrip(context.Background(), opStructInfo, func(e *encoder) { e.string(name) })
+	if err != nil {
+		return nil
+	}
+	exists := d.bool()
+	model := cf.Model(d.int())
+	size := d.int()
+	if d.finish() != nil || !exists {
+		return nil
+	}
+	rs := remoteStruct{c: c, name: name, model: model, size: size}
+	switch model {
+	case cf.LockModel:
+		return &remoteLock{rs}
+	case cf.CacheModel:
+		return &remoteCache{rs}
+	case cf.ListModel:
+		return &remoteList{rs}
+	default:
+		return nil
+	}
+}
+
+// Fence asks the server to fence system: its connections are severed
+// and its reconnects refused. A healthy sysplex member calls this to
+// cut a sick peer off from shared state before taking over its work.
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (c *Client) Fence(system string) error {
+	return c.call(context.Background(), opFence, func(e *encoder) { e.string(system) })
+}
+
+// ---- remote structure handles ----
+
+// remoteStruct is the common core of the three remote handles: the
+// client, the structure identity, and the fixed geometry learned at
+// allocation (lock entries / list headers), which serves the local
+// diagnostics (Entries, Lists, HashResource) without a round trip.
+type remoteStruct struct {
+	c     *Client
+	name  string
+	model cf.Model
+	size  int
+}
+
+func (r *remoteStruct) Name() string { return r.name }
+
+// structOp prefixes every structure command with the structure name.
+func (r *remoteStruct) structOp(build func(e *encoder)) func(e *encoder) {
+	return func(e *encoder) {
+		e.string(r.name)
+		if build != nil {
+			build(e)
+		}
+	}
+}
+
+// ---- cf.Replica ----
+
+func (r *remoteStruct) ReplicaName() string    { return r.name }
+func (r *remoteStruct) ReplicaModel() cf.Model { return r.model }
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteStruct) ReplicaDisconnect(conn string) {
+	_ = r.c.call(context.Background(), opStructDisconnect, r.structOp(func(e *encoder) { e.string(conn) }))
+}
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteStruct) ReplicaFailConnector(conn string) {
+	_ = r.c.call(context.Background(), opStructFailConn, r.structOp(func(e *encoder) { e.string(conn) }))
+}
+
+// ReplicaCloneInto always fails with cf.ErrCloneUnsupported: cloning
+// means shipping a whole-structure image out of another process, which
+// the link protocol does not do. Pairs that include a remote node are
+// duplexed at allocation time instead — both replicas exist from the
+// first command — and after a failover they stay simplex until cfrm
+// finds a pairing that can be established.
+func (r *remoteStruct) ReplicaCloneInto(dst cf.Node) (cf.Replica, error) {
+	return nil, cf.ErrCloneUnsupported
+}
+
+// remoteLock is the wire handle of a lock-model structure.
+type remoteLock struct{ remoteStruct }
+
+// Entries returns the lock table size (known since allocation, no
+// round trip).
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteLock) Entries() int { return r.size }
+
+// HashResource maps a resource name to a lock table entry. Computed
+// locally with the same FNV-1a the facility uses — the hash is part of
+// the structure's architecture, not server state, so both sides agree
+// without a round trip.
+func (r *remoteLock) HashResource(resource string) int {
+	if r.size <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(resource))
+	return int(h.Sum64() % uint64(r.size))
+}
+
+func (r *remoteLock) Connect(ctx context.Context, conn string) error {
+	return r.c.call(ctx, opLockConnect, r.structOp(func(e *encoder) { e.string(conn) }))
+}
+
+func (r *remoteLock) Obtain(ctx context.Context, idx int, conn string, mode cf.LockMode) (cf.ObtainResult, error) {
+	d, err := r.c.roundTrip(ctx, opLockObtain, r.structOp(func(e *encoder) {
+		e.int(idx)
+		e.string(conn)
+		e.int(int(mode))
+	}))
+	if err != nil {
+		return cf.ObtainResult{}, err
+	}
+	res := cf.ObtainResult{Granted: d.bool(), Holders: d.strings()}
+	if err := d.finish(); err != nil {
+		return cf.ObtainResult{}, err
+	}
+	return res, nil
+}
+
+func (r *remoteLock) ForceObtain(ctx context.Context, idx int, conn string, mode cf.LockMode) error {
+	return r.c.call(ctx, opLockForce, r.structOp(func(e *encoder) {
+		e.int(idx)
+		e.string(conn)
+		e.int(int(mode))
+	}))
+}
+
+func (r *remoteLock) Release(ctx context.Context, idx int, conn string, mode cf.LockMode) error {
+	return r.c.call(ctx, opLockRelease, r.structOp(func(e *encoder) {
+		e.int(idx)
+		e.string(conn)
+		e.int(int(mode))
+	}))
+}
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteLock) Interest(idx int, conn string) (share, excl int, err error) {
+	d, err := r.c.roundTrip(context.Background(), opLockInterest, r.structOp(func(e *encoder) {
+		e.int(idx)
+		e.string(conn)
+	}))
+	if err != nil {
+		return 0, 0, err
+	}
+	share, excl = d.int(), d.int()
+	if err := d.finish(); err != nil {
+		return 0, 0, err
+	}
+	return share, excl, nil
+}
+
+func (r *remoteLock) SetRecord(ctx context.Context, conn, resource string, mode cf.LockMode) error {
+	return r.c.call(ctx, opLockSetRecord, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.string(resource)
+		e.int(int(mode))
+	}))
+}
+
+func (r *remoteLock) DeleteRecord(ctx context.Context, conn, resource string) error {
+	return r.c.call(ctx, opLockDelRecord, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.string(resource)
+	}))
+}
+
+func (r *remoteLock) Records(ctx context.Context, conn string) ([]cf.LockRecord, error) {
+	d, err := r.c.roundTrip(ctx, opLockRecords, r.structOp(func(e *encoder) { e.string(conn) }))
+	if err != nil {
+		return nil, err
+	}
+	recs := d.lockRecords()
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteLock) AdoptRetained(conn string, recs []cf.LockRecord) {
+	_ = r.c.call(context.Background(), opLockAdopt, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.lockRecords(recs)
+	}))
+}
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteLock) RetainedConnectors() []string {
+	d, err := r.c.roundTrip(context.Background(), opLockRetainedConns, r.structOp(nil))
+	if err != nil {
+		return nil
+	}
+	conns := d.strings()
+	if d.finish() != nil {
+		return nil
+	}
+	return conns
+}
+
+// remoteCache is the wire handle of a cache-model structure.
+type remoteCache struct{ remoteStruct }
+
+func (r *remoteCache) Connect(ctx context.Context, conn string, vector *cf.BitVector) error {
+	vecID := r.c.registerVector(vector)
+	vecLen := 0
+	if vector != nil {
+		vecLen = vector.Len()
+	}
+	return r.c.call(ctx, opCacheConnect, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.uvarint(vecID)
+		e.int(vecLen)
+	}))
+}
+
+func (r *remoteCache) ReadAndRegister(ctx context.Context, conn, name string, vecIdx int) (cf.ReadResult, error) {
+	d, err := r.c.roundTrip(ctx, opCacheRead, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.string(name)
+		e.int(vecIdx)
+	}))
+	if err != nil {
+		return cf.ReadResult{}, err
+	}
+	res := cf.ReadResult{Data: d.bytes(), Hit: d.bool(), Version: d.uvarint()}
+	if err := d.finish(); err != nil {
+		return cf.ReadResult{}, err
+	}
+	return res, nil
+}
+
+func (r *remoteCache) WriteAndInvalidate(ctx context.Context, conn, name string, data []byte, cache, changed bool, vecIdx int) error {
+	return r.c.call(ctx, opCacheWrite, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.string(name)
+		e.bytes(data)
+		e.bool(cache)
+		e.bool(changed)
+		e.int(vecIdx)
+	}))
+}
+
+func (r *remoteCache) Unregister(ctx context.Context, conn, name string) error {
+	return r.c.call(ctx, opCacheUnregister, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.string(name)
+	}))
+}
+
+func (r *remoteCache) CastoutBegin(ctx context.Context, conn, name string) ([]byte, uint64, error) {
+	d, err := r.c.roundTrip(ctx, opCacheCastoutBegin, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.string(name)
+	}))
+	if err != nil {
+		return nil, 0, err
+	}
+	data := d.bytes()
+	version := d.uvarint()
+	if err := d.finish(); err != nil {
+		return nil, 0, err
+	}
+	return data, version, nil
+}
+
+func (r *remoteCache) CastoutEnd(ctx context.Context, conn, name string, version uint64) error {
+	return r.c.call(ctx, opCacheCastoutEnd, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.string(name)
+		e.uvarint(version)
+	}))
+}
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteCache) ChangedBlocks() []string {
+	d, err := r.c.roundTrip(context.Background(), opCacheChangedBlocks, r.structOp(nil))
+	if err != nil {
+		return nil
+	}
+	blocks := d.strings()
+	if d.finish() != nil {
+		return nil
+	}
+	return blocks
+}
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteCache) Registered(name string) []string {
+	d, err := r.c.roundTrip(context.Background(), opCacheRegistered, r.structOp(func(e *encoder) { e.string(name) }))
+	if err != nil {
+		return nil
+	}
+	conns := d.strings()
+	if d.finish() != nil {
+		return nil
+	}
+	return conns
+}
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteCache) Version(name string) uint64 {
+	d, err := r.c.roundTrip(context.Background(), opCacheVersion, r.structOp(func(e *encoder) { e.string(name) }))
+	if err != nil {
+		return 0
+	}
+	v := d.uvarint()
+	if d.finish() != nil {
+		return 0
+	}
+	return v
+}
+
+// remoteList is the wire handle of a list-model structure.
+type remoteList struct{ remoteStruct }
+
+// Lists returns the list header count (known since allocation).
+func (r *remoteList) Lists() int { return r.size }
+
+func (r *remoteList) Connect(ctx context.Context, conn string, vector *cf.BitVector) error {
+	vecID := r.c.registerVector(vector)
+	vecLen := 0
+	if vector != nil {
+		vecLen = vector.Len()
+	}
+	return r.c.call(ctx, opListConnect, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.uvarint(vecID)
+		e.int(vecLen)
+	}))
+}
+
+func (r *remoteList) SetLock(ctx context.Context, idx int, conn string) error {
+	return r.c.call(ctx, opListSetLock, r.structOp(func(e *encoder) {
+		e.int(idx)
+		e.string(conn)
+	}))
+}
+
+func (r *remoteList) ReleaseLock(ctx context.Context, idx int, conn string) error {
+	return r.c.call(ctx, opListReleaseLock, r.structOp(func(e *encoder) {
+		e.int(idx)
+		e.string(conn)
+	}))
+}
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteList) LockHolder(idx int) string {
+	d, err := r.c.roundTrip(context.Background(), opListLockHolder, r.structOp(func(e *encoder) { e.int(idx) }))
+	if err != nil {
+		return ""
+	}
+	holder := d.string()
+	if d.finish() != nil {
+		return ""
+	}
+	return holder
+}
+
+func (r *remoteList) Write(ctx context.Context, conn string, list int, id, key string, data []byte, order cf.Order, cond cf.Cond) error {
+	return r.c.call(ctx, opListWrite, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.int(list)
+		e.string(id)
+		e.string(key)
+		e.bytes(data)
+		e.int(int(order))
+		e.cond(cond)
+	}))
+}
+
+func (r *remoteList) Read(ctx context.Context, conn, id string, cond cf.Cond) (cf.ListEntry, error) {
+	d, err := r.c.roundTrip(ctx, opListRead, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.string(id)
+		e.cond(cond)
+	}))
+	if err != nil {
+		return cf.ListEntry{}, err
+	}
+	le := d.listEntry()
+	if err := d.finish(); err != nil {
+		return cf.ListEntry{}, err
+	}
+	return le, nil
+}
+
+func (r *remoteList) ReadFirst(ctx context.Context, conn string, list int, cond cf.Cond) (cf.ListEntry, error) {
+	d, err := r.c.roundTrip(ctx, opListReadFirst, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.int(list)
+		e.cond(cond)
+	}))
+	if err != nil {
+		return cf.ListEntry{}, err
+	}
+	le := d.listEntry()
+	if err := d.finish(); err != nil {
+		return cf.ListEntry{}, err
+	}
+	return le, nil
+}
+
+func (r *remoteList) Pop(ctx context.Context, conn string, list int, cond cf.Cond) (cf.ListEntry, error) {
+	d, err := r.c.roundTrip(ctx, opListPop, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.int(list)
+		e.cond(cond)
+	}))
+	if err != nil {
+		return cf.ListEntry{}, err
+	}
+	le := d.listEntry()
+	if err := d.finish(); err != nil {
+		return cf.ListEntry{}, err
+	}
+	return le, nil
+}
+
+func (r *remoteList) Delete(ctx context.Context, conn, id string, cond cf.Cond) error {
+	return r.c.call(ctx, opListDelete, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.string(id)
+		e.cond(cond)
+	}))
+}
+
+func (r *remoteList) Move(ctx context.Context, conn, id string, toList int, order cf.Order, cond cf.Cond) error {
+	return r.c.call(ctx, opListMove, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.string(id)
+		e.int(toList)
+		e.int(int(order))
+		e.cond(cond)
+	}))
+}
+
+func (r *remoteList) SetAdjunct(ctx context.Context, conn, id, adjunct string, cond cf.Cond) error {
+	return r.c.call(ctx, opListSetAdjunct, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.string(id)
+		e.string(adjunct)
+		e.cond(cond)
+	}))
+}
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteList) Len(list int) int {
+	d, err := r.c.roundTrip(context.Background(), opListLen, r.structOp(func(e *encoder) { e.int(list) }))
+	if err != nil {
+		return 0
+	}
+	n := d.int()
+	if d.finish() != nil {
+		return 0
+	}
+	return n
+}
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteList) Entries(list int) []cf.ListEntry {
+	d, err := r.c.roundTrip(context.Background(), opListEntries, r.structOp(func(e *encoder) { e.int(list) }))
+	if err != nil {
+		return nil
+	}
+	es := d.listEntries()
+	if d.finish() != nil {
+		return nil
+	}
+	return es
+}
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteList) TotalEntries() int {
+	d, err := r.c.roundTrip(context.Background(), opListTotalEntries, r.structOp(nil))
+	if err != nil {
+		return 0
+	}
+	n := d.int()
+	if d.finish() != nil {
+		return 0
+	}
+	return n
+}
+
+func (r *remoteList) Monitor(ctx context.Context, conn string, list int, vecIdx int) error {
+	return r.c.call(ctx, opListMonitor, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.int(list)
+		e.int(vecIdx)
+	}))
+}
+
+// lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
+func (r *remoteList) Unmonitor(conn string, list int) {
+	_ = r.c.call(context.Background(), opListUnmonitor, r.structOp(func(e *encoder) {
+		e.string(conn)
+		e.int(list)
+	}))
+}
+
+// Interface conformance.
+var (
+	_ cf.Node    = (*Client)(nil)
+	_ cf.Lock    = (*remoteLock)(nil)
+	_ cf.Cache   = (*remoteCache)(nil)
+	_ cf.List    = (*remoteList)(nil)
+	_ cf.Replica = (*remoteLock)(nil)
+	_ cf.Replica = (*remoteCache)(nil)
+	_ cf.Replica = (*remoteList)(nil)
+)

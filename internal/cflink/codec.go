@@ -1,0 +1,469 @@
+// Package cflink is the CF transport subsystem: it runs a coupling
+// facility in its own process and connects systems to it over a real
+// byte stream (TCP or unix sockets), the repo's stand-in for the
+// paper's coupling links (§3.3). A Server wraps an in-process
+// cf.Facility and serves its command set; a Client implements cf.Node
+// and the three structure-model command interfaces, so the duplexed
+// front, cfrm duplexing, in-line failover, and the
+// gate→metrics→inject→retry→route pipeline all work unchanged over the
+// wire (DESIGN §11).
+//
+// Wire format. Every message is one frame: a 4-byte big-endian length
+// followed by that many payload bytes, capped at MaxFrame. A session
+// has two connections:
+//
+//   - the command connection carries request frames (uvarint request
+//     ID, 1-byte opcode, op-specific fields) and matching response
+//     frames (request ID, 1-byte status — 0 ok, else an error code
+//     mapping to a cf sentinel — then results or a detail string);
+//     responses may arrive out of request order.
+//   - the notification connection carries server-pushed bit-vector
+//     flips (vector ID, zigzag bit index with -1 meaning ClearAll, new
+//     state), the wire form of the CF flipping bits in system-owned
+//     vectors with no interrupt: cross-invalidates and list
+//     transitions reach the client without a command round trip.
+//
+// Scalar fields are uvarints (zigzag varints where signed); strings and
+// byte blocks are length-prefixed. The codec never panics on malformed
+// input: truncated, oversized, or corrupt frames fail with an error
+// (fuzzed in codec_fuzz_test.go).
+package cflink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sysplex/internal/cf"
+)
+
+// MaxFrame bounds one frame's payload. Large enough for any structure
+// command (cache blocks and list payloads are KB-class); small enough
+// that a corrupt length prefix cannot balloon allocation.
+const MaxFrame = 1 << 20
+
+// Frame-level errors.
+var (
+	ErrFrameTooBig = errors.New("cflink: frame exceeds MaxFrame")
+	ErrMalformed   = errors.New("cflink: malformed frame")
+)
+
+// magic opens every session's first frame on both connection kinds.
+var magic = [4]byte{'C', 'F', 'L', '1'}
+
+// Connection kinds declared in the session handshake.
+const (
+	connCommand uint8 = 0
+	connNotify  uint8 = 1
+)
+
+// Opcodes. Numeric values are the wire protocol — append, never renumber.
+const (
+	// Node-level commands.
+	opStructureNames   uint8 = 1
+	opFailed           uint8 = 2
+	opFail             uint8 = 3
+	opFailAfter        uint8 = 4
+	opSetSyncLatency   uint8 = 5
+	opDeallocate       uint8 = 6
+	opAllocLock        uint8 = 7
+	opAllocCache       uint8 = 8
+	opAllocList        uint8 = 9
+	opStructInfo       uint8 = 10
+	opFence            uint8 = 11
+	opStructDisconnect uint8 = 12
+	opStructFailConn   uint8 = 13
+
+	// Lock-model commands.
+	opLockConnect       uint8 = 20
+	opLockObtain        uint8 = 21
+	opLockForce         uint8 = 22
+	opLockRelease       uint8 = 23
+	opLockInterest      uint8 = 24
+	opLockSetRecord     uint8 = 25
+	opLockDelRecord     uint8 = 26
+	opLockRecords       uint8 = 27
+	opLockAdopt         uint8 = 28
+	opLockRetainedConns uint8 = 29
+
+	// Cache-model commands.
+	opCacheConnect       uint8 = 40
+	opCacheRead          uint8 = 41
+	opCacheWrite         uint8 = 42
+	opCacheUnregister    uint8 = 43
+	opCacheCastoutBegin  uint8 = 44
+	opCacheCastoutEnd    uint8 = 45
+	opCacheChangedBlocks uint8 = 46
+	opCacheRegistered    uint8 = 47
+	opCacheVersion       uint8 = 48
+
+	// List-model commands.
+	opListConnect      uint8 = 60
+	opListSetLock      uint8 = 61
+	opListReleaseLock  uint8 = 62
+	opListLockHolder   uint8 = 63
+	opListWrite        uint8 = 64
+	opListRead         uint8 = 65
+	opListReadFirst    uint8 = 66
+	opListPop          uint8 = 67
+	opListDelete       uint8 = 68
+	opListMove         uint8 = 69
+	opListSetAdjunct   uint8 = 70
+	opListLen          uint8 = 71
+	opListEntries      uint8 = 72
+	opListTotalEntries uint8 = 73
+	opListMonitor      uint8 = 74
+	opListUnmonitor    uint8 = 75
+)
+
+// Response status codes. 0 is success; the rest map to the cf command
+// sentinels so errors.Is works across the wire.
+const (
+	codeOK uint8 = iota
+	codeCFDown
+	codeNoStructure
+	codeWrongModel
+	codeExists
+	codeStorage
+	codeNotConnected
+	codeLockHeld
+	codeEntryNotFound
+	codeListFull
+	codeCacheFull
+	codeBadArgument
+	codeCloneUnsupported
+
+	// codeOther carries errors with no sentinel: the detail string is
+	// all the client gets.
+	codeOther uint8 = 255
+)
+
+// codeSentinels maps status codes to cf sentinel errors (index = code).
+var codeSentinels = []error{
+	nil,
+	cf.ErrCFDown,
+	cf.ErrNoStructure,
+	cf.ErrWrongModel,
+	cf.ErrExists,
+	cf.ErrStorage,
+	cf.ErrNotConnected,
+	cf.ErrLockHeld,
+	cf.ErrEntryNotFound,
+	cf.ErrListFull,
+	cf.ErrCacheFull,
+	cf.ErrBadArgument,
+	cf.ErrCloneUnsupported,
+}
+
+// encodeErr classifies err for the wire: the sentinel's status code
+// plus the full rendered message as detail.
+func encodeErr(err error) (code uint8, detail string) {
+	for c := 1; c < len(codeSentinels); c++ {
+		if errors.Is(err, codeSentinels[c]) {
+			return uint8(c), err.Error()
+		}
+	}
+	return codeOther, err.Error()
+}
+
+// wireError is a decoded command failure: the server's rendered message
+// with the matching cf sentinel restored for errors.Is.
+type wireError struct {
+	sentinel error
+	detail   string
+}
+
+func (e *wireError) Error() string { return e.detail }
+func (e *wireError) Unwrap() error { return e.sentinel }
+
+// decodeErr reconstructs a command error from its wire form.
+func decodeErr(code uint8, detail string) error {
+	if int(code) < len(codeSentinels) && code != codeOK {
+		s := codeSentinels[code]
+		if detail == "" || detail == s.Error() {
+			return s
+		}
+		return &wireError{sentinel: s, detail: detail}
+	}
+	if detail == "" {
+		detail = fmt.Sprintf("cflink: remote error (code %d)", code)
+	}
+	return errors.New(detail)
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, reusing buf when it is large enough. An
+// oversized length prefix fails with ErrFrameTooBig before any payload
+// allocation.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooBig
+	}
+	if int(n) > cap(buf) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// encoder appends wire-format fields to a payload buffer. It cannot
+// fail; size limits are enforced at frame-write time.
+type encoder struct {
+	b []byte
+}
+
+func (e *encoder) u8(v uint8)       { e.b = append(e.b, v) }
+func (e *encoder) bool(v bool)      { e.b = append(e.b, boolByte(v)) }
+func (e *encoder) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *encoder) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *encoder) int(v int)        { e.varint(int64(v)) }
+
+func (e *encoder) bytes(v []byte) {
+	e.uvarint(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+func (e *encoder) string(v string) {
+	e.uvarint(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// decoder consumes wire-format fields from a payload. Errors are
+// sticky: after the first malformed field every subsequent read returns
+// a zero value, so decode call sites check err once at the end. It
+// never panics and never reads past the payload.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrMalformed
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) int() int { return int(d.varint()) }
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.b[d.off:])
+	d.off += int(n)
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return ""
+	}
+	v := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return v
+}
+
+// finish reports a decode error if any field was malformed or trailing
+// bytes remain (a frame must be consumed exactly).
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// stringSlice encoding: uvarint count, then each string.
+
+func (e *encoder) strings(v []string) {
+	e.uvarint(uint64(len(v)))
+	for _, s := range v {
+		e.string(s)
+	}
+}
+
+func (d *decoder) strings() []string {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.b)-d.off) {
+		// Each element costs ≥ 1 byte, so count can never exceed the
+		// remaining payload — reject before allocating.
+		d.fail()
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.string())
+	}
+	return out
+}
+
+// LockRecord encoding.
+
+func (e *encoder) lockRecord(r cf.LockRecord) {
+	e.string(r.Connector)
+	e.string(r.Resource)
+	e.int(int(r.Mode))
+}
+
+func (d *decoder) lockRecord() cf.LockRecord {
+	return cf.LockRecord{
+		Connector: d.string(),
+		Resource:  d.string(),
+		Mode:      cf.LockMode(d.int()),
+	}
+}
+
+func (e *encoder) lockRecords(rs []cf.LockRecord) {
+	e.uvarint(uint64(len(rs)))
+	for _, r := range rs {
+		e.lockRecord(r)
+	}
+}
+
+func (d *decoder) lockRecords() []cf.LockRecord {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return nil
+	}
+	out := make([]cf.LockRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.lockRecord())
+	}
+	return out
+}
+
+// ListEntry encoding.
+
+func (e *encoder) listEntry(le cf.ListEntry) {
+	e.string(le.ID)
+	e.string(le.Key)
+	e.bytes(le.Data)
+	e.string(le.Adjunct)
+	e.int(le.List)
+}
+
+func (d *decoder) listEntry() cf.ListEntry {
+	return cf.ListEntry{
+		ID:      d.string(),
+		Key:     d.string(),
+		Data:    d.bytes(),
+		Adjunct: d.string(),
+		List:    d.int(),
+	}
+}
+
+func (e *encoder) listEntries(es []cf.ListEntry) {
+	e.uvarint(uint64(len(es)))
+	for _, le := range es {
+		e.listEntry(le)
+	}
+}
+
+func (d *decoder) listEntries() []cf.ListEntry {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return nil
+	}
+	out := make([]cf.ListEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.listEntry())
+	}
+	return out
+}
+
+// Cond encoding.
+
+func (e *encoder) cond(c cf.Cond) {
+	e.bool(c.Use)
+	e.int(c.LockIndex)
+}
+
+func (d *decoder) cond() cf.Cond {
+	return cf.Cond{Use: d.bool(), LockIndex: d.int()}
+}

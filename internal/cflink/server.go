@@ -1,0 +1,997 @@
+package cflink
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sysplex/internal/cf"
+)
+
+// handshakeTimeout bounds how long a fresh connection may take to send
+// its handshake frame before the server drops it.
+const handshakeTimeout = 5 * time.Second
+
+// notifyQueueLen buffers bit-vector flips awaiting the session's
+// notification connection. The push never blocks — it fires on the
+// flipping command's goroutine while CF structure locks are held — so a
+// client that stops draining overflows the queue and is severed: a
+// system too sick to take its cross-invalidates must not stall the CF
+// (the paper's fencing posture, applied to the link).
+const notifyQueueLen = 4096
+
+// errFenced rejects connections from a fenced system.
+var errFenced = errors.New("cflink: system is fenced")
+
+// Server serves one in-process cf.Facility over a byte-stream
+// transport: the CF side of the coupling link. Sessions are identified
+// by the system name the client declares at handshake; Fence severs a
+// system's connections and refuses its reconnects — I/O fencing as
+// actual link severing rather than a flag.
+type Server struct {
+	fac *cf.Facility
+
+	mu        sync.Mutex
+	listeners map[net.Listener]bool
+	sessions  map[uint64]*session
+	fenced    map[string]bool
+	nextSess  uint64
+	closed    bool
+}
+
+// NewServer wraps fac for serving. The facility keeps working
+// in-process too: a server is a view onto it, not an ownership
+// transfer.
+func NewServer(fac *cf.Facility) *Server {
+	return &Server{
+		fac:       fac,
+		listeners: make(map[net.Listener]bool),
+		sessions:  make(map[uint64]*session),
+		fenced:    make(map[string]bool),
+	}
+}
+
+// Facility returns the served facility.
+func (s *Server) Facility() *cf.Facility { return s.fac }
+
+// Serve accepts sessions on l until the listener fails or the server is
+// closed. It blocks; run it on its own goroutine. Multiple listeners
+// (e.g. a unix socket and a TCP port) may serve one facility.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("cflink: server closed")
+	}
+	s.listeners[l] = true
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, l)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.handshake(conn)
+	}
+}
+
+// Close severs every session and stops every listener.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ls := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		ls = append(ls, l)
+	}
+	s.listeners = make(map[net.Listener]bool)
+	sess := make([]*session, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		sess = append(sess, ses)
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, ses := range sess {
+		ses.close()
+	}
+}
+
+// Fence cuts system off from this CF: its sessions' connections are
+// closed mid-whatever-they-were-doing and future handshakes declaring
+// that name are refused. This is the transport's I/O fencing — the sick
+// system cannot reach shared state through this CF at all, rather than
+// being trusted to honour a flag.
+func (s *Server) Fence(system string) {
+	if system == "" {
+		return
+	}
+	s.mu.Lock()
+	s.fenced[system] = true
+	var victims []*session
+	for _, ses := range s.sessions {
+		if ses.system == system {
+			victims = append(victims, ses)
+		}
+	}
+	s.mu.Unlock()
+	for _, ses := range victims {
+		ses.close()
+	}
+}
+
+// Fenced reports whether system is fenced.
+func (s *Server) Fenced(system string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fenced[system]
+}
+
+// handshake classifies a fresh connection (command vs notification) and
+// either starts a session or attaches the notification side to one.
+func (s *Server) handshake(conn net.Conn) {
+	// The handshake read is bounded by real time: this is link-level
+	// protocol hygiene against half-open peers, not sysplex timing, so
+	// the simulated clock does not apply.
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout)) // lintwall: link handshake bound, not sysplex time
+	payload, err := readFrame(conn, nil)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	d := &decoder{b: payload}
+	var m [4]byte
+	m[0], m[1], m[2], m[3] = d.u8(), d.u8(), d.u8(), d.u8()
+	kind := d.u8()
+	if d.err != nil || m != magic {
+		conn.Close()
+		return
+	}
+	switch kind {
+	case connCommand:
+		system := d.string()
+		if d.finish() != nil {
+			conn.Close()
+			return
+		}
+		s.startSession(conn, system)
+	case connNotify:
+		token := d.uvarint()
+		if d.finish() != nil {
+			conn.Close()
+			return
+		}
+		s.attachNotify(conn, token)
+	default:
+		conn.Close()
+	}
+}
+
+// startSession registers a command connection as a new session and
+// serves its requests.
+func (s *Server) startSession(conn net.Conn, system string) {
+	s.mu.Lock()
+	if s.closed || (system != "" && s.fenced[system]) {
+		s.mu.Unlock()
+		var e encoder
+		code, detail := encodeErr(errFenced)
+		e.u8(code)
+		e.string(detail)
+		writeFrame(conn, e.b)
+		conn.Close()
+		return
+	}
+	s.nextSess++
+	ses := &session{
+		srv:      s,
+		id:       s.nextSess,
+		system:   system,
+		cmd:      conn,
+		notifyCh: make(chan notifyFrame, notifyQueueLen),
+		vectors:  make(map[uint64]*cf.BitVector),
+	}
+	s.sessions[ses.id] = ses
+	s.mu.Unlock()
+
+	var e encoder
+	e.u8(codeOK)
+	e.string(s.fac.Name())
+	e.uvarint(ses.id)
+	if writeFrame(conn, e.b) != nil {
+		ses.close()
+		return
+	}
+	go ses.serve()
+}
+
+// attachNotify binds a notification connection to the session the token
+// names and starts the push writer.
+func (s *Server) attachNotify(conn net.Conn, token uint64) {
+	s.mu.Lock()
+	ses := s.sessions[token]
+	s.mu.Unlock()
+	if ses == nil {
+		conn.Close()
+		return
+	}
+	ses.nmu.Lock()
+	if ses.notifyConn != nil {
+		ses.nmu.Unlock()
+		conn.Close()
+		return
+	}
+	ses.notifyConn = conn
+	ses.nmu.Unlock()
+	var e encoder
+	e.u8(codeOK)
+	if writeFrame(conn, e.b) != nil {
+		ses.close()
+		return
+	}
+	go ses.notifyWriter(conn)
+}
+
+// drop removes ses from the server's tables.
+func (s *Server) drop(ses *session) {
+	s.mu.Lock()
+	delete(s.sessions, ses.id)
+	s.mu.Unlock()
+}
+
+// notifyFrame is one queued bit-vector flip. bit -1 encodes ClearAll.
+type notifyFrame struct {
+	vec uint64
+	bit int64
+	set bool
+}
+
+// session is one client's pair of connections plus its shadow bit
+// vectors.
+type session struct {
+	srv    *Server
+	id     uint64
+	system string
+
+	cmd net.Conn
+	wmu sync.Mutex // serializes response frames on cmd
+
+	nmu        sync.Mutex
+	notifyConn net.Conn
+	notifyCh   chan notifyFrame
+
+	vmu     sync.Mutex
+	vectors map[uint64]*cf.BitVector
+
+	closeOnce sync.Once
+}
+
+// close severs both connections and forgets the session. Safe to call
+// from any goroutine, any number of times.
+func (ses *session) close() {
+	ses.closeOnce.Do(func() {
+		ses.srv.drop(ses)
+		ses.cmd.Close()
+		ses.nmu.Lock()
+		nc := ses.notifyConn
+		ses.nmu.Unlock()
+		if nc != nil {
+			nc.Close()
+		}
+		// Detach the shadow vectors' hooks so structure commands stop
+		// paying for a dead session's pushes.
+		ses.vmu.Lock()
+		for _, v := range ses.vectors {
+			v.SetNotify(nil)
+		}
+		ses.vmu.Unlock()
+	})
+}
+
+// serve reads request frames off the command connection, dispatching
+// each on its own goroutine (commands may sleep under injected link
+// latency; a serial loop would serialize the whole system behind one
+// slow command). Responses are matched by request ID, so completing out
+// of order is fine.
+func (ses *session) serve() {
+	defer ses.close()
+	for {
+		// A fresh buffer per frame: the payload escapes to the handler
+		// goroutine.
+		payload, err := readFrame(ses.cmd, nil)
+		if err != nil {
+			return
+		}
+		d := &decoder{b: payload}
+		reqID := d.uvarint()
+		op := d.u8()
+		if d.err != nil {
+			// No usable request ID to answer on — protocol is broken.
+			return
+		}
+		go ses.dispatch(reqID, op, d)
+	}
+}
+
+// reply sends a success response; body (may be nil) appends the result
+// fields.
+func (ses *session) reply(reqID uint64, body func(e *encoder)) {
+	var e encoder
+	e.uvarint(reqID)
+	e.u8(codeOK)
+	if body != nil {
+		body(&e)
+	}
+	ses.wmu.Lock()
+	err := writeFrame(ses.cmd, e.b)
+	ses.wmu.Unlock()
+	if err != nil {
+		ses.close()
+	}
+}
+
+// replyErr sends a failure response carrying err's status code and
+// rendered message.
+func (ses *session) replyErr(reqID uint64, err error) {
+	code, detail := encodeErr(err)
+	var e encoder
+	e.uvarint(reqID)
+	e.u8(code)
+	e.string(detail)
+	ses.wmu.Lock()
+	werr := writeFrame(ses.cmd, e.b)
+	ses.wmu.Unlock()
+	if werr != nil {
+		ses.close()
+	}
+}
+
+// vector returns the session's shadow vector vecID, creating it (with a
+// push hook wired to the notification queue) on first use. The shadow
+// is the CF-side image of a vector living in the client process: the
+// facility flips shadow bits, the hook forwards each flip, and the
+// client applies it to the real system-owned vector.
+func (ses *session) vector(vecID uint64, length int) *cf.BitVector {
+	if vecID == 0 {
+		return nil
+	}
+	ses.vmu.Lock()
+	defer ses.vmu.Unlock()
+	if v, ok := ses.vectors[vecID]; ok {
+		return v
+	}
+	v := cf.NewBitVector(length)
+	v.SetNotify(func(bit int, set bool) {
+		ses.push(notifyFrame{vec: vecID, bit: int64(bit), set: set})
+	})
+	ses.vectors[vecID] = v
+	return v
+}
+
+// push enqueues one flip for the notification writer. It runs on the
+// flipping command's goroutine with structure locks held, so it must
+// not block: a full queue means the client has stopped draining, and
+// the session is severed (asynchronously — close takes locks push must
+// not wait on).
+func (ses *session) push(f notifyFrame) {
+	select {
+	case ses.notifyCh <- f:
+	default:
+		go ses.close()
+	}
+}
+
+// notifyWriter drains the queue onto the notification connection.
+func (ses *session) notifyWriter(conn net.Conn) {
+	for f := range ses.notifyCh {
+		var e encoder
+		e.uvarint(f.vec)
+		e.varint(f.bit)
+		e.bool(f.set)
+		if writeFrame(conn, e.b) != nil {
+			ses.close()
+			return
+		}
+	}
+}
+
+// dispatch decodes and executes one command against the facility,
+// sending the response. The context handed to structure commands is
+// Background: the client's pipeline gate already polled the caller's
+// context before the request was sent, and a cancellation arriving
+// later must not produce a half-applied command on the CF — once a
+// frame is on the wire the command runs to completion and the client
+// learns the outcome (or loses the link and treats the CF as down).
+func (ses *session) dispatch(reqID uint64, op uint8, d *decoder) {
+	ctx := context.Background()
+	fac := ses.srv.fac
+	switch op {
+	// ---- node-level ----
+	case opStructureNames:
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		names := fac.StructureNames()
+		ses.reply(reqID, func(e *encoder) { e.strings(names) })
+	case opFailed:
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		failed := fac.Failed()
+		ses.reply(reqID, func(e *encoder) { e.bool(failed) })
+	case opFail:
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		fac.Fail()
+		ses.reply(reqID, nil)
+	case opFailAfter:
+		n := d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		fac.FailAfter(n)
+		ses.reply(reqID, nil)
+	case opSetSyncLatency:
+		ns := d.varint()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		fac.SetSyncLatency(time.Duration(ns))
+		ses.reply(reqID, nil)
+	case opDeallocate:
+		name := d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := fac.Deallocate(name); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opAllocLock:
+		name, entries := d.string(), d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if _, err := fac.AllocateLockStructure(name, entries); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opAllocCache:
+		name, maxEntries := d.string(), d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if _, err := fac.AllocateCacheStructure(name, maxEntries); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opAllocList:
+		name, nLists, nLocks, maxEntries := d.string(), d.int(), d.int(), d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if _, err := fac.AllocateListStructure(name, nLists, nLocks, maxEntries); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opStructInfo:
+		name := d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		r := fac.Structure(name)
+		if r == nil {
+			ses.reply(reqID, func(e *encoder) { e.bool(false); e.int(0); e.int(0) })
+			return
+		}
+		model := r.ReplicaModel()
+		size := 0
+		switch model {
+		case cf.LockModel:
+			size = r.(cf.Lock).Entries()
+		case cf.ListModel:
+			size = r.(cf.List).Lists()
+		}
+		ses.reply(reqID, func(e *encoder) { e.bool(true); e.int(int(model)); e.int(size) })
+	case opFence:
+		system := d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.srv.Fence(system)
+		ses.reply(reqID, nil)
+	case opStructDisconnect:
+		name, conn := d.string(), d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		r := fac.Structure(name)
+		if r == nil {
+			ses.replyErr(reqID, fmt.Errorf("%w: %q", cf.ErrNoStructure, name))
+			return
+		}
+		r.ReplicaDisconnect(conn)
+		ses.reply(reqID, nil)
+	case opStructFailConn:
+		name, conn := d.string(), d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		r := fac.Structure(name)
+		if r == nil {
+			ses.replyErr(reqID, fmt.Errorf("%w: %q", cf.ErrNoStructure, name))
+			return
+		}
+		r.ReplicaFailConnector(conn)
+		ses.reply(reqID, nil)
+
+	// ---- lock model ----
+	case opLockConnect, opLockObtain, opLockForce, opLockRelease, opLockInterest,
+		opLockSetRecord, opLockDelRecord, opLockRecords, opLockAdopt, opLockRetainedConns:
+		ses.dispatchLock(ctx, reqID, op, d)
+
+	// ---- cache model ----
+	case opCacheConnect, opCacheRead, opCacheWrite, opCacheUnregister, opCacheCastoutBegin,
+		opCacheCastoutEnd, opCacheChangedBlocks, opCacheRegistered, opCacheVersion:
+		ses.dispatchCache(ctx, reqID, op, d)
+
+	// ---- list model ----
+	case opListConnect, opListSetLock, opListReleaseLock, opListLockHolder, opListWrite,
+		opListRead, opListReadFirst, opListPop, opListDelete, opListMove, opListSetAdjunct,
+		opListLen, opListEntries, opListTotalEntries, opListMonitor, opListUnmonitor:
+		ses.dispatchList(ctx, reqID, op, d)
+
+	default:
+		ses.replyErr(reqID, fmt.Errorf("cflink: unknown opcode %d", op))
+	}
+}
+
+func (ses *session) dispatchLock(ctx context.Context, reqID uint64, op uint8, d *decoder) {
+	name := d.string()
+	if d.err != nil {
+		ses.replyErr(reqID, ErrMalformed)
+		return
+	}
+	ls, err := ses.srv.fac.LockStructure(name)
+	if err != nil {
+		ses.replyErr(reqID, err)
+		return
+	}
+	switch op {
+	case opLockConnect:
+		conn := d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := ls.Connect(ctx, conn); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opLockObtain:
+		idx, conn, mode := d.int(), d.string(), cf.LockMode(d.int())
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		res, err := ls.Obtain(ctx, idx, conn, mode)
+		if err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, func(e *encoder) { e.bool(res.Granted); e.strings(res.Holders) })
+	case opLockForce:
+		idx, conn, mode := d.int(), d.string(), cf.LockMode(d.int())
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := ls.ForceObtain(ctx, idx, conn, mode); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opLockRelease:
+		idx, conn, mode := d.int(), d.string(), cf.LockMode(d.int())
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := ls.Release(ctx, idx, conn, mode); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opLockInterest:
+		idx, conn := d.int(), d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		share, excl, err := ls.Interest(idx, conn)
+		if err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, func(e *encoder) { e.int(share); e.int(excl) })
+	case opLockSetRecord:
+		conn, resource, mode := d.string(), d.string(), cf.LockMode(d.int())
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := ls.SetRecord(ctx, conn, resource, mode); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opLockDelRecord:
+		conn, resource := d.string(), d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := ls.DeleteRecord(ctx, conn, resource); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opLockRecords:
+		conn := d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		recs, err := ls.Records(ctx, conn)
+		if err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, func(e *encoder) { e.lockRecords(recs) })
+	case opLockAdopt:
+		conn := d.string()
+		recs := d.lockRecords()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ls.AdoptRetained(conn, recs)
+		ses.reply(reqID, nil)
+	case opLockRetainedConns:
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		conns := ls.RetainedConnectors()
+		ses.reply(reqID, func(e *encoder) { e.strings(conns) })
+	}
+}
+
+func (ses *session) dispatchCache(ctx context.Context, reqID uint64, op uint8, d *decoder) {
+	name := d.string()
+	if d.err != nil {
+		ses.replyErr(reqID, ErrMalformed)
+		return
+	}
+	cs, err := ses.srv.fac.CacheStructure(name)
+	if err != nil {
+		ses.replyErr(reqID, err)
+		return
+	}
+	switch op {
+	case opCacheConnect:
+		conn, vecID, vecLen := d.string(), d.uvarint(), d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := cs.Connect(ctx, conn, ses.vector(vecID, vecLen)); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opCacheRead:
+		conn, block, vecIdx := d.string(), d.string(), d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		res, err := cs.ReadAndRegister(ctx, conn, block, vecIdx)
+		if err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, func(e *encoder) {
+			e.bytes(res.Data)
+			e.bool(res.Hit)
+			e.uvarint(res.Version)
+		})
+	case opCacheWrite:
+		conn, block := d.string(), d.string()
+		data := d.bytes()
+		doCache, changed, vecIdx := d.bool(), d.bool(), d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := cs.WriteAndInvalidate(ctx, conn, block, data, doCache, changed, vecIdx); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opCacheUnregister:
+		conn, block := d.string(), d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := cs.Unregister(ctx, conn, block); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opCacheCastoutBegin:
+		conn, block := d.string(), d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		data, version, err := cs.CastoutBegin(ctx, conn, block)
+		if err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, func(e *encoder) { e.bytes(data); e.uvarint(version) })
+	case opCacheCastoutEnd:
+		conn, block, version := d.string(), d.string(), d.uvarint()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := cs.CastoutEnd(ctx, conn, block, version); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opCacheChangedBlocks:
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		blocks := cs.ChangedBlocks()
+		ses.reply(reqID, func(e *encoder) { e.strings(blocks) })
+	case opCacheRegistered:
+		block := d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		conns := cs.Registered(block)
+		ses.reply(reqID, func(e *encoder) { e.strings(conns) })
+	case opCacheVersion:
+		block := d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		v := cs.Version(block)
+		ses.reply(reqID, func(e *encoder) { e.uvarint(v) })
+	}
+}
+
+func (ses *session) dispatchList(ctx context.Context, reqID uint64, op uint8, d *decoder) {
+	name := d.string()
+	if d.err != nil {
+		ses.replyErr(reqID, ErrMalformed)
+		return
+	}
+	lst, err := ses.srv.fac.ListStructure(name)
+	if err != nil {
+		ses.replyErr(reqID, err)
+		return
+	}
+	switch op {
+	case opListConnect:
+		conn, vecID, vecLen := d.string(), d.uvarint(), d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := lst.Connect(ctx, conn, ses.vector(vecID, vecLen)); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opListSetLock:
+		idx, conn := d.int(), d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := lst.SetLock(ctx, idx, conn); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opListReleaseLock:
+		idx, conn := d.int(), d.string()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := lst.ReleaseLock(ctx, idx, conn); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opListLockHolder:
+		idx := d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		holder := lst.LockHolder(idx)
+		ses.reply(reqID, func(e *encoder) { e.string(holder) })
+	case opListWrite:
+		conn, list, id, key := d.string(), d.int(), d.string(), d.string()
+		data := d.bytes()
+		order := cf.Order(d.int())
+		cond := d.cond()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := lst.Write(ctx, conn, list, id, key, data, order, cond); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opListRead:
+		conn, id := d.string(), d.string()
+		cond := d.cond()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		le, err := lst.Read(ctx, conn, id, cond)
+		if err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, func(e *encoder) { e.listEntry(le) })
+	case opListReadFirst:
+		conn, list := d.string(), d.int()
+		cond := d.cond()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		le, err := lst.ReadFirst(ctx, conn, list, cond)
+		if err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, func(e *encoder) { e.listEntry(le) })
+	case opListPop:
+		conn, list := d.string(), d.int()
+		cond := d.cond()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		le, err := lst.Pop(ctx, conn, list, cond)
+		if err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, func(e *encoder) { e.listEntry(le) })
+	case opListDelete:
+		conn, id := d.string(), d.string()
+		cond := d.cond()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := lst.Delete(ctx, conn, id, cond); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opListMove:
+		conn, id, toList := d.string(), d.string(), d.int()
+		order := cf.Order(d.int())
+		cond := d.cond()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := lst.Move(ctx, conn, id, toList, order, cond); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opListSetAdjunct:
+		conn, id, adjunct := d.string(), d.string(), d.string()
+		cond := d.cond()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := lst.SetAdjunct(ctx, conn, id, adjunct, cond); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opListLen:
+		list := d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		n := lst.Len(list)
+		ses.reply(reqID, func(e *encoder) { e.int(n) })
+	case opListEntries:
+		list := d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		es := lst.Entries(list)
+		ses.reply(reqID, func(e *encoder) { e.listEntries(es) })
+	case opListTotalEntries:
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		n := lst.TotalEntries()
+		ses.reply(reqID, func(e *encoder) { e.int(n) })
+	case opListMonitor:
+		conn, list, vecIdx := d.string(), d.int(), d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		if err := lst.Monitor(ctx, conn, list, vecIdx); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		ses.reply(reqID, nil)
+	case opListUnmonitor:
+		conn, list := d.string(), d.int()
+		if err := d.finish(); err != nil {
+			ses.replyErr(reqID, err)
+			return
+		}
+		lst.Unmonitor(conn, list)
+		ses.reply(reqID, nil)
+	}
+}

@@ -80,6 +80,15 @@ type Policy struct {
 	// Storage bounds each facility's structure storage in bytes
 	// (0 = unconstrained).
 	Storage int64
+	// Nodes, when non-empty, is an explicit pre-built CF fleet —
+	// typically cflink clients for facilities running in other
+	// processes — consumed in preference order instead of constructing
+	// in-process facilities from Candidates. The fleet is fixed: once
+	// failures exhaust it the manager cannot mint replacements, so the
+	// pair stays simplex on the surviving node (real hardware does not
+	// respawn; the Candidates path keeps its fresh-facility behaviour
+	// for in-process experiments).
+	Nodes []cf.Node
 }
 
 // Status is a point-in-time view of the CFRM state machine.
@@ -102,7 +111,7 @@ type Manager struct {
 	front  *cf.Duplexed
 
 	mu          sync.Mutex
-	facs        map[string]*cf.Facility
+	facs        map[string]cf.Node
 	used        map[string]bool // names ever assigned (never reused)
 	failed      map[string]bool
 	next        int // preference-list cursor
@@ -131,14 +140,20 @@ func New(policy Policy, clock vclock.Clock) (*Manager, error) {
 		policy: policy,
 		clock:  clock,
 		reg:    metrics.NewRegistry(),
-		facs:   make(map[string]*cf.Facility),
+		facs:   make(map[string]cf.Node),
 		used:   make(map[string]bool),
 		failed: make(map[string]bool),
 	}
-	pri := m.freshFacilityLocked()
-	var sec *cf.Facility
+	pri := m.freshNodeLocked()
+	if pri == nil {
+		return nil, errors.New("cfrm: policy has no usable node")
+	}
+	// sec stays a cf.Node (never a concrete pointer type): assigning a
+	// nil *Facility here would hand NewDuplexed a non-nil interface
+	// wrapping a nil pointer and the front would try to duplex into it.
+	var sec cf.Node
 	if policy.Mode == ModeDuplexed {
-		sec = m.freshFacilityLocked()
+		sec = m.freshNodeLocked()
 	}
 	m.front = cf.NewDuplexed(clock, m.reg, pri, sec)
 	m.front.OnEvent(m.handleEvent)
@@ -148,10 +163,29 @@ func New(policy Policy, clock vclock.Clock) (*Manager, error) {
 	return m, nil
 }
 
-// freshFacilityLocked creates the next facility from the preference
-// list (generating names past its end), applying policy latency and
-// storage. Caller holds m.mu, or has exclusive access during New.
-func (m *Manager) freshFacilityLocked() *cf.Facility {
+// freshNodeLocked returns the next CF node in preference order. With an
+// explicit Policy.Nodes fleet it hands out those nodes until they run
+// out, then returns nil — the fleet is finite. Otherwise it creates the
+// next in-process facility from the preference list (generating names
+// past its end), applying policy latency and storage. Caller holds
+// m.mu, or has exclusive access during New.
+func (m *Manager) freshNodeLocked() cf.Node {
+	if len(m.policy.Nodes) > 0 {
+		for m.next < len(m.policy.Nodes) {
+			n := m.policy.Nodes[m.next]
+			m.next++
+			if n == nil || m.used[n.Name()] {
+				continue
+			}
+			m.used[n.Name()] = true
+			if m.policy.SyncLatency > 0 {
+				n.SetSyncLatency(m.policy.SyncLatency)
+			}
+			m.facs[n.Name()] = n
+			return n
+		}
+		return nil
+	}
 	for {
 		var name string
 		if m.next < len(m.policy.Candidates) {
@@ -177,11 +211,11 @@ func (m *Manager) freshFacilityLocked() *cf.Facility {
 // allocated through.
 func (m *Manager) Front() *cf.Duplexed { return m.front }
 
-// Primary returns the current primary facility.
-func (m *Manager) Primary() *cf.Facility { return m.front.Primary() }
+// Primary returns the current primary CF node.
+func (m *Manager) Primary() cf.Node { return m.front.Primary() }
 
-// Secondary returns the current secondary facility (nil when simplex).
-func (m *Manager) Secondary() *cf.Facility { return m.front.Secondary() }
+// Secondary returns the current secondary CF node (nil when simplex).
+func (m *Manager) Secondary() cf.Node { return m.front.Secondary() }
 
 // Metrics exposes the CFRM instrumentation (shared with the front):
 // cfrm.failover.count, cfrm.cmd.retried, cfrm.duplex.fanout,
@@ -192,9 +226,9 @@ func (m *Manager) Metrics() *metrics.Registry { return m.reg }
 // Policy returns the manager's (defaulted) policy.
 func (m *Manager) Policy() Policy { return m.policy }
 
-// Facility returns a managed facility by name (nil if unknown), for
+// Facility returns a managed CF node by name (nil if unknown), for
 // tests and failure injection.
-func (m *Manager) Facility(name string) *cf.Facility {
+func (m *Manager) Facility(name string) cf.Node {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.facs[name]
@@ -269,7 +303,7 @@ func (m *Manager) ReportFailure(name string) {
 // newly-failed one into ReportFailure. The sysplex's XCF-style status
 // monitoring calls this on its failure-detection cadence.
 func (m *Manager) ProbeOnce() {
-	for _, f := range []*cf.Facility{m.front.Primary(), m.front.Secondary()} {
+	for _, f := range []cf.Node{m.front.Primary(), m.front.Secondary()} {
 		if f != nil && f.Failed() {
 			m.ReportFailure(f.Name())
 		}
@@ -308,11 +342,16 @@ func (m *Manager) ensureDuplexed() {
 	}
 }
 
-// reduplexOnce tries one establishment into a fresh candidate.
+// reduplexOnce tries one establishment into a fresh candidate. With a
+// fixed Policy.Nodes fleet the candidates can run out; the error leaves
+// the pair simplex on the surviving node.
 func (m *Manager) reduplexOnce() error {
 	m.mu.Lock()
-	target := m.freshFacilityLocked()
+	target := m.freshNodeLocked()
 	m.mu.Unlock()
+	if target == nil {
+		return errors.New("cfrm: node fleet exhausted, no re-duplex candidate")
+	}
 	start := m.clock.Now()
 	if err := m.front.Reduplex(target); err != nil {
 		m.mu.Lock()

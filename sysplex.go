@@ -679,10 +679,12 @@ func (p *Sysplex) Name() string { return p.cfg.Name }
 // Farm exposes the shared DASD farm.
 func (p *Sysplex) Farm() *dasd.Farm { return p.farm }
 
-// Facility exposes the current *primary* coupling facility (the one
-// serving reads). Structure commands flow through the CFRM front — use
-// CFRM() for fleet state and duplexing metrics.
-func (p *Sysplex) Facility() *cf.Facility {
+// Facility exposes the current *primary* coupling facility as a CF
+// node (an in-process facility, or a cflink client when the policy
+// names a remote fleet — the one serving reads either way). Structure
+// commands flow through the CFRM front — use CFRM() for fleet state
+// and duplexing metrics.
+func (p *Sysplex) Facility() cf.Node {
 	return p.cfres.Primary()
 }
 
