@@ -25,9 +25,11 @@ test:
 # façade are the concurrency-heavy core (duplexed command mirroring,
 # in-line failover, multi-system log writers with threshold offload,
 # group messaging, WAL commit, two-phase commit); always run them under
-# the race detector.
+# the race detector. METRICS and RMF join them: the registry is walked
+# concurrently with updates, and the monitor samples every layer while
+# the load runs.
 race:
-	$(GO) test -race ./internal/cf/... ./internal/cfrm/... ./internal/cflink/... ./internal/logr/... ./internal/xcf/... ./internal/db/... ./internal/txmgr/... .
+	$(GO) test -race ./internal/cf/... ./internal/cfrm/... ./internal/cflink/... ./internal/logr/... ./internal/xcf/... ./internal/db/... ./internal/txmgr/... ./internal/metrics/... ./internal/rmf/... .
 
 check: build vet lint test race
 

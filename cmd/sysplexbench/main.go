@@ -7,7 +7,7 @@
 //	sysplexbench -exp fig3           # one experiment
 //	sysplexbench -exp fig3 -systems 16 -simtime 5s
 //
-// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill logr cfscale ctxpath transport
+// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill logr cfscale ctxpath transport rmf
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,13 +32,14 @@ import (
 	"sysplex/internal/dasd"
 	"sysplex/internal/logr"
 	"sysplex/internal/racf"
+	"sysplex/internal/rmf"
 	"sysplex/internal/scalemodel"
 	"sysplex/internal/timer"
 	"sysplex/internal/vclock"
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,cfscale,ctxpath,transport,all")
+	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,cfscale,ctxpath,transport,rmf,all")
 	systemsFlag = flag.Int("systems", 32, "max sysplex members for fig3")
 	simtimeFlag = flag.Duration("simtime", 5*time.Second, "DES measurement window")
 	seedFlag    = flag.Int64("seed", 1996, "DES seed")
@@ -79,8 +81,9 @@ func main() {
 		"cfscale":   cfScale,
 		"ctxpath":   ctxPath,
 		"transport": transport,
+		"rmf":       rmfBench,
 	}
-	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr", "cfscale", "ctxpath", "transport"}
+	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr", "cfscale", "ctxpath", "transport", "rmf"}
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		want = order
@@ -999,6 +1002,127 @@ func cfScale() error {
 	}
 	record("cf", "gomaxprocs", runtime.GOMAXPROCS(0))
 	record("cf", "window_ms", window.Milliseconds())
+	return nil
+}
+
+// rmfBench measures what the RMF collector costs the Fig. 2 duplexed
+// lock fast path (Fig2_DuplexedLockObtainParallel): the duplexlock
+// parallel workload — 4 goroutines hammering Obtain/Release over a
+// 4096-entry duplexed table — with the interval monitor off (A) versus
+// sampling every 10ms into the in-memory ring (B). 10ms is 10x hotter
+// than the monitor's default interval, so this is an upper bound on
+// steady-state overhead. Repetitions alternate A/B ordering so thermal
+// and scheduler drift hits both sides equally; medians are reported.
+func rmfBench() error {
+	const (
+		window   = 300 * time.Millisecond
+		gs       = 4
+		reps     = 5
+		interval = 10 * time.Millisecond
+	)
+
+	runOnce := func(withMonitor bool) (float64, error) {
+		res, err := cfrm.New(cfrm.Policy{}, vclock.Real())
+		if err != nil {
+			return 0, err
+		}
+		ls, err := res.Front().AllocateLockStructure("IRLM", 4096)
+		if err != nil {
+			return 0, err
+		}
+		if err := ls.Connect(context.Background(), "SYS1"); err != nil {
+			return 0, err
+		}
+		if withMonitor {
+			mon, err := rmf.New(rmf.Config{
+				Farm:     "BENCH",
+				Clock:    vclock.Real(),
+				Interval: interval,
+				CFRM:     res,
+			})
+			if err != nil {
+				return 0, err
+			}
+			mon.AddSystem("SYS1", rmf.SystemSource{})
+			mon.Start()
+			defer mon.Stop()
+		}
+		var total, stopFlag atomic.Int64
+		var opErr atomic.Value
+		var wg sync.WaitGroup
+		for k := 0; k < gs; k++ {
+			k := k
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n := int64(0)
+				for i := 0; stopFlag.Load() == 0; i++ {
+					e := (k*131 + i) % 4096
+					if _, err := ls.Obtain(context.Background(), e, "SYS1", cf.Exclusive); err != nil {
+						opErr.Store(err)
+						break
+					}
+					if err := ls.Release(context.Background(), e, "SYS1", cf.Exclusive); err != nil {
+						opErr.Store(err)
+						break
+					}
+					n++
+				}
+				total.Add(n)
+			}()
+		}
+		start := time.Now()
+		time.Sleep(window)
+		stopFlag.Store(1)
+		wg.Wait()
+		if e := opErr.Load(); e != nil {
+			return 0, e.(error)
+		}
+		return float64(total.Load()) / time.Since(start).Seconds(), nil
+	}
+
+	median := func(xs []float64) float64 {
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+
+	fmt.Printf("RMF collector overhead — duplexed lock Obtain/Release, %d goroutines, %v windows, %v sampling:\n",
+		gs, window, interval)
+	fmt.Printf("%5s %14s %14s\n", "REP", "BASE-OPS/S", "RMF-OPS/S")
+	var base, with []float64
+	for r := 0; r < reps; r++ {
+		// Alternate which side runs first within each pair.
+		sides := []bool{false, true}
+		if r%2 == 1 {
+			sides[0], sides[1] = sides[1], sides[0]
+		}
+		for _, withMon := range sides {
+			ops, err := runOnce(withMon)
+			if err != nil {
+				return fmt.Errorf("rmf rep %d (monitor=%v): %v", r, withMon, err)
+			}
+			if withMon {
+				with = append(with, ops)
+			} else {
+				base = append(base, ops)
+			}
+		}
+		fmt.Printf("%5d %14.0f %14.0f\n", r, base[r], with[r])
+	}
+	baseMed, withMed := median(base), median(with)
+	overhead := 0.0
+	if baseMed > 0 {
+		overhead = 100 * (baseMed - withMed) / baseMed
+	}
+	fmt.Printf("%5s %14.0f %14.0f   overhead %.2f%%\n", "MED", baseMed, withMed, overhead)
+	record("rmf", "base_ops_per_sec", baseMed)
+	record("rmf", "rmf_ops_per_sec", withMed)
+	record("rmf", "overhead_pct", overhead)
+	record("rmf", "goroutines", gs)
+	record("rmf", "window_ms", window.Milliseconds())
+	record("rmf", "interval_ms", interval.Milliseconds())
+	record("rmf", "reps", reps)
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sync/atomic"
 	"time"
@@ -16,11 +17,13 @@ import (
 	"sysplex"
 	"sysplex/internal/logr"
 	"sysplex/internal/racf"
+	"sysplex/internal/rmf"
 )
 
 var (
 	systemsFlag = flag.Int("systems", 3, "initial number of systems")
 	loadFlag    = flag.Int("clients", 4, "concurrent client loops")
+	httpFlag    = flag.String("http", "", "serve the RMF endpoint on this address (e.g. :8080) for the demo's duration")
 )
 
 func main() {
@@ -66,6 +69,12 @@ func run() error {
 		if err := wireAudit(plex, name); err != nil {
 			return err
 		}
+	}
+	if *httpFlag != "" {
+		srv := &http.Server{Addr: *httpFlag, Handler: plex.RMF().Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go srv.ListenAndServe()
+		defer srv.Close()
+		fmt.Printf("» RMF endpoint up: curl http://localhost%s/rmf/records?n=5\n", *httpFlag)
 	}
 
 	fmt.Println("» RACF: profiles + permits; every member's audit events merge into one log stream.")
@@ -190,14 +199,29 @@ func run() error {
 		<-done
 	}
 	total := ok.Load() + fail.Load()
-	lm := plex.LoggerMetrics()
-	p50 := time.Duration(lm.Histogram("logr.write.latency").Snapshot().P50 * float64(time.Second))
+	// One registry snapshot instead of scraping counters by name.
+	lg := plex.LoggerMetrics().Snapshot()
+	p50 := time.Duration(lg.Histograms["logr.write.latency"].P50 * float64(time.Second))
 	fmt.Printf("\n» LOGR: %d log writes (p50 %v), %d offloads (%d records to DASD), %d peer takeovers.\n",
-		lm.Counter("logr.write.count").Value(),
-		p50.Round(time.Microsecond),
-		lm.Counter("logr.offload.count").Value(),
-		lm.Counter("logr.offload.records").Value(),
-		lm.Counter("logr.takeover.count").Value())
+		lg.Counters["logr.write.count"], p50.Round(time.Microsecond),
+		lg.Counters["logr.offload.count"], lg.Counters["logr.offload.records"],
+		lg.Counters["logr.takeover.count"])
+
+	// The RMF record stream has been accumulating the whole demo:
+	// cumulative rollup straight off SYSPLEX.RMF.DATA.
+	if s, err := plex.System("SYS1"); err == nil {
+		if stream, err := s.LogStream(rmf.StreamName); err == nil {
+			if recs, _, err := rmf.ReadStream(context.Background(), stream); err == nil && len(recs) > 0 {
+				sum := rmf.Rollup(recs)
+				cont := "continuous"
+				if err := rmf.CheckContinuity(recs); err != nil {
+					cont = err.Error()
+				}
+				fmt.Printf("» RMF: %d interval records on %s (%s), %d CF ops, %d XI, hit rate %.2f, %d failovers measured.\n",
+					sum.Intervals, rmf.StreamName, cont, sum.CFOps, sum.XI, sum.HitRate, sum.Failovers)
+			}
+		}
+	}
 	fmt.Printf("\n» Done: %d transactions, %.2f%% availability across one system failure, one CF failure, and one growth event.\n",
 		total, 100*float64(ok.Load())/float64(total))
 	return nil
@@ -211,8 +235,39 @@ func printStats(plex *sysplex.Sysplex, label string) {
 			st.System, st.Region.Submitted, st.Region.LocalRuns, st.Region.RoutedIn, st.DB.Commits)
 	}
 	cst := plex.CFRM().Status()
-	m := plex.CFRM().Metrics()
-	fmt.Printf("  CFRM: %s/%s state=%s failovers=%d retried=%d reduplexes=%d mirrored-cmds=%d\n",
-		cst.Primary, cst.Secondary, cst.State, cst.Failovers, cst.Retried, cst.Reduplexes,
-		m.Histogram("cfrm.duplex.fanout").Snapshot().Count)
+	fmt.Printf("  CFRM: %s/%s state=%s failovers=%d retried=%d reduplexes=%d\n",
+		cst.Primary, cst.Secondary, cst.State, cst.Failovers, cst.Retried, cst.Reduplexes)
+	printRMF(plex)
+}
+
+// printRMF is the live measurement view: the latest SMF interval
+// record, straight from the monitor's ring.
+func printRMF(plex *sysplex.Sysplex) {
+	mon := plex.RMF()
+	if mon == nil {
+		return
+	}
+	recs := mon.Latest(1)
+	if len(recs) == 0 {
+		fmt.Println("  RMF: no interval records yet")
+		return
+	}
+	r := recs[0]
+	fmt.Printf("  RMF[%d] %vms: cf=%s ops=%d xi=%d lat(p50/p99)=%.0f/%.0fµs fanout-p99=%.0fµs logwrites=%d\n",
+		r.Seq, r.Interval().Milliseconds(), r.CF.Facility, r.CF.Ops, r.CF.XI,
+		r.CF.Latency.P50, r.CF.Latency.P99, r.CFRM.Fanout.P99, r.Logger.Writes)
+	for _, c := range r.Clones {
+		pi := 0.0
+		if len(c.Goals) > 0 {
+			pi = c.Goals[0].PI
+		}
+		fmt.Printf("    clone %s: locks=%d falserate=%.2f util=%.2f pi=%.2f\n",
+			c.System, c.Locks, c.FalseRate, c.Util, pi)
+	}
+	for _, p := range r.Partitions {
+		if p.Model == "lock" {
+			continue // table size is static; occupancy is the interesting part
+		}
+		fmt.Printf("    partition %-22s %-5s occ=%d\n", p.Name, p.Model, p.Occupancy)
+	}
 }

@@ -46,3 +46,43 @@ func (p *poller) osBounded() {
 	// lintwall:
 	_ = time.Now() // want `direct wall-clock use time.Now`
 }
+
+// An interval monitor (RMF-style collector) must tick on the injected
+// clock: a wall-clock ticker makes every interval record
+// non-deterministic under a fake clock.
+type intervalMonitor struct {
+	clock    vclock.Clock
+	interval time.Duration
+	start    time.Time
+}
+
+func (m *intervalMonitor) badStart(sample func()) {
+	tick := time.NewTicker(m.interval) // want `direct wall-clock use time.NewTicker`
+	m.start = time.Now()               // want `direct wall-clock use time.Now`
+	go func() {
+		for range tick.C {
+			_ = time.Since(m.start) // want `direct wall-clock use time.Since`
+			sample()
+		}
+	}()
+	time.AfterFunc(m.interval, sample) // want `direct wall-clock use time.AfterFunc`
+}
+
+func (m *intervalMonitor) goodStart(sample func()) {
+	tick := m.clock.NewTicker(m.interval)
+	m.start = m.clock.Now()
+	go func() {
+		for range tick.C() {
+			_ = m.clock.Since(m.start)
+			sample()
+		}
+	}()
+}
+
+// Serving the records over HTTP bounds the socket against the kernel,
+// not sysplex time — the annotated escapes waive those lines only.
+func (m *intervalMonitor) serveBounded(apply func(time.Time)) {
+	// lintwall: HTTP read-header deadline times the peer's socket, not sysplex time
+	apply(time.Now().Add(5 * time.Second))
+	apply(time.Now().Add(time.Second)) // want `direct wall-clock use time.Now`
+}

@@ -39,6 +39,7 @@ type CacheStructure struct {
 	name       string
 	maxEntries int // immutable
 
+	mConnect cmdMetrics
 	mRead    cmdMetrics
 	mWrite   cmdMetrics
 	mUnreg   cmdMetrics
@@ -131,6 +132,7 @@ func newCacheStructure(f *Facility, name string, maxEntries int) *CacheStructure
 	for i := range s.stripes {
 		s.stripes[i].m = make(map[string]*cacheEntry)
 	}
+	s.mConnect = f.cmdMetrics("cache.connect")
 	s.mRead = f.cmdMetrics("cache.read")
 	s.mWrite = f.cmdMetrics("cache.write")
 	s.mUnreg = f.cmdMetrics("cache.unregister")
@@ -212,9 +214,11 @@ func (s *CacheStructure) Name() string { return s.name }
 // here the caller passes it in and the CF keeps the reference it will
 // flip bits through.
 func (s *CacheStructure) Connect(ctx context.Context, conn string, vector *BitVector) error {
-	if _, err := s.facility.begin(ctx); err != nil {
+	start, err := s.facility.begin(ctx)
+	if err != nil {
 		return err
 	}
+	defer s.facility.charge(s.mConnect, start)
 	if vector == nil {
 		return fmt.Errorf("%w: nil vector", ErrBadArgument)
 	}

@@ -77,6 +77,7 @@ type ListStructure struct {
 	name       string
 	maxEntries int // immutable
 
+	mConnect cmdMetrics
 	mSetLock cmdMetrics
 	mRelLock cmdMetrics
 	mWrite   cmdMetrics
@@ -162,6 +163,7 @@ func newListStructure(f *Facility, name string, nLists, nLocks, maxEntries int) 
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*ListEntry)
 	}
+	s.mConnect = f.cmdMetrics("list.connect")
 	s.mSetLock = f.cmdMetrics("list.setlock")
 	s.mRelLock = f.cmdMetrics("list.releaselock")
 	s.mWrite = f.cmdMetrics("list.write")
@@ -245,9 +247,11 @@ func (s *ListStructure) Lists() int { return len(s.lists) }
 // Connect attaches a connector with its notification vector (may be
 // nil if the connector never monitors lists).
 func (s *ListStructure) Connect(ctx context.Context, conn string, vector *BitVector) error {
-	if _, err := s.facility.begin(ctx); err != nil {
+	start, err := s.facility.begin(ctx)
+	if err != nil {
 		return err
 	}
+	defer s.facility.charge(s.mConnect, start)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.conns[conn] = &listConn{vector: vector}

@@ -64,11 +64,13 @@ type LockStructure struct {
 	facility *Facility
 	name     string
 
-	mObtain cmdMetrics
-	mForce  cmdMetrics
-	mRel    cmdMetrics
-	mSetRec cmdMetrics
-	mDelRec cmdMetrics
+	mConnect cmdMetrics
+	mObtain  cmdMetrics
+	mForce   cmdMetrics
+	mRel     cmdMetrics
+	mSetRec  cmdMetrics
+	mDelRec  cmdMetrics
+	mRecords cmdMetrics
 
 	mu      sync.RWMutex // lintlock: level=10
 	entries []lockEntry  // slice header immutable; elements striped
@@ -129,11 +131,13 @@ func (f *Facility) AllocateLockStructure(name string, n int) (Lock, error) {
 }
 
 func (s *LockStructure) resolveMetrics(f *Facility) {
+	s.mConnect = f.cmdMetrics("lock.connect")
 	s.mObtain = f.cmdMetrics("lock.obtain")
 	s.mForce = f.cmdMetrics("lock.force")
 	s.mRel = f.cmdMetrics("lock.release")
 	s.mSetRec = f.cmdMetrics("lock.setrecord")
 	s.mDelRec = f.cmdMetrics("lock.delrecord")
+	s.mRecords = f.cmdMetrics("lock.records")
 }
 
 // LockStructure returns the named lock structure.
@@ -208,9 +212,11 @@ func (s *LockStructure) Entries() int { return len(s.entries) }
 
 // Connect attaches a connector (a system's lock manager instance).
 func (s *LockStructure) Connect(ctx context.Context, conn string) error {
-	if _, err := s.facility.begin(ctx); err != nil {
+	start, err := s.facility.begin(ctx)
+	if err != nil {
 		return err
 	}
+	defer s.facility.charge(s.mConnect, start)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.conns[conn] = true
@@ -472,9 +478,11 @@ func (s *LockStructure) DeleteRecord(ctx context.Context, conn, resource string)
 // failed connector's records to perform lock recovery), sorted by
 // resource.
 func (s *LockStructure) Records(ctx context.Context, conn string) ([]LockRecord, error) {
-	if _, err := s.facility.begin(ctx); err != nil {
+	start, err := s.facility.begin(ctx)
+	if err != nil {
 		return nil, err
 	}
+	defer s.facility.charge(s.mRecords, start)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	s.recMu.Lock()

@@ -367,6 +367,18 @@ func (r *Registry) CounterNames() []string {
 	return names
 }
 
+// GaugeNames returns the sorted names of all gauges.
+func (r *Registry) GaugeNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // HistogramNames returns the sorted names of all histograms.
 func (r *Registry) HistogramNames() []string {
 	r.mu.Lock()
@@ -377,4 +389,104 @@ func (r *Registry) HistogramNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Visitor receives metric handles from Registry.Walk. Nil fields skip
+// that metric family.
+type Visitor struct {
+	Counter   func(name string, c *Counter)
+	Gauge     func(name string, g *Gauge)
+	Histogram func(name string, h *Histogram)
+}
+
+// Walk visits every registered metric in sorted name order, counters
+// first, then gauges, then histograms. The registry mutex is NOT held
+// across callbacks: the name/handle pairs are snapshotted under the
+// lock and the callbacks run against the snapshot, so a callback may
+// freely create metrics or trigger hot-path updates without
+// deadlocking or serializing against concurrent Counter/Gauge/
+// Histogram lookups. Metrics registered after the snapshot is taken
+// are not visited.
+func (r *Registry) Walk(v Visitor) {
+	type named[T any] struct {
+		name string
+		h    T
+	}
+	var cs []named[*Counter]
+	var gs []named[*Gauge]
+	var hs []named[*Histogram]
+	r.mu.Lock()
+	if v.Counter != nil {
+		cs = make([]named[*Counter], 0, len(r.counters))
+		for n, c := range r.counters {
+			cs = append(cs, named[*Counter]{n, c})
+		}
+	}
+	if v.Gauge != nil {
+		gs = make([]named[*Gauge], 0, len(r.gauges))
+		for n, g := range r.gauges {
+			gs = append(gs, named[*Gauge]{n, g})
+		}
+	}
+	if v.Histogram != nil {
+		hs = make([]named[*Histogram], 0, len(r.histograms))
+		for n, h := range r.histograms {
+			hs = append(hs, named[*Histogram]{n, h})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	for _, c := range cs {
+		v.Counter(c.name, c.h)
+	}
+	for _, g := range gs {
+		v.Gauge(g.name, g.h)
+	}
+	for _, h := range hs {
+		v.Histogram(h.name, h.h)
+	}
+}
+
+// RegistrySnapshot is a point-in-time copy of every metric's value,
+// the unit of pull-based collection: interval reporters take one
+// snapshot per interval and difference consecutive snapshots.
+type RegistrySnapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]Snapshot
+}
+
+// Snapshot copies every metric's current value via Walk (loosely
+// consistent under concurrent updates, field-exact per metric).
+func (r *Registry) Snapshot() RegistrySnapshot {
+	s := RegistrySnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]Snapshot{},
+	}
+	r.Walk(Visitor{
+		Counter:   func(name string, c *Counter) { s.Counters[name] = c.Value() },
+		Gauge:     func(name string, g *Gauge) { s.Gauges[name] = g.Value() },
+		Histogram: func(name string, h *Histogram) { s.Histograms[name] = h.Snapshot() },
+	})
+	return s
+}
+
+// CounterDelta returns the per-counter increase since prev. A counter
+// absent from prev contributes its full value; a counter whose value
+// went backwards (the underlying source was replaced — e.g. a CF
+// failover swapped registries) contributes its current value, the
+// standard rate() reset rule.
+func (s RegistrySnapshot) CounterDelta(prev RegistrySnapshot) map[string]int64 {
+	out := make(map[string]int64, len(s.Counters))
+	for name, cur := range s.Counters {
+		d := cur - prev.Counters[name]
+		if d < 0 {
+			d = cur
+		}
+		out[name] = d
+	}
+	return out
 }

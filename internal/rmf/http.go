@@ -1,0 +1,48 @@
+package rmf
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the monitor's records as JSON:
+//
+//	GET /rmf/records?n=10  → {"farm": ..., "records": [...]}  (oldest first)
+//	GET /rmf/summary?n=10  → cumulative Rollup over the same range
+//
+// n defaults to the whole in-memory ring. Mount it on any mux; paths
+// are relative to the mount point when used with http.StripPrefix.
+func (m *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rmf/records", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, recordsReply{Farm: m.cfg.Farm, Records: m.Latest(queryN(req))})
+	})
+	mux.HandleFunc("/rmf/summary", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, Rollup(m.Latest(queryN(req))))
+	})
+	return mux
+}
+
+// recordsReply is the /rmf/records response envelope.
+type recordsReply struct {
+	Farm    string   `json:"farm"`
+	Records []Record `json:"records"`
+}
+
+func queryN(req *http.Request) int {
+	n, err := strconv.Atoi(req.URL.Query().Get("n"))
+	if err != nil || n < 0 {
+		return 0 // 0 = everything kept
+	}
+	return n
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,155 @@
+package rmf
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"sysplex/internal/logr"
+)
+
+// ReadStream browses the RMF log stream and decodes every interval
+// record, oldest first. Non-RMF records on the stream (there should be
+// none) and records from other versions are skipped with a count of
+// how many were dropped.
+func ReadStream(ctx context.Context, s *logr.Stream) ([]Record, int, error) {
+	cur, err := s.Browse(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []Record
+	skipped := 0
+	for {
+		rec, ok := cur.Next()
+		if !ok {
+			break
+		}
+		r, err := Unmarshal(rec.Data)
+		if err != nil {
+			skipped++
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, skipped, nil
+}
+
+// CheckContinuity verifies the record sequence is dense: consecutive
+// Seq values with no gaps and no duplicates. This is the property a CF
+// failover must not break — the interval ticker keeps cutting records
+// and the duplexed log stream keeps accepting them.
+func CheckContinuity(recs []Record) error {
+	for i := 1; i < len(recs); i++ {
+		d := recs[i].Seq - recs[i-1].Seq
+		switch {
+		case d == 0:
+			return fmt.Errorf("rmf: duplicate interval %d", recs[i].Seq)
+		case d != 1:
+			return fmt.Errorf("rmf: gap between intervals %d and %d", recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+	return nil
+}
+
+// CloneSummary is the cumulative per-system rollup.
+type CloneSummary struct {
+	System     string  `json:"sys"`
+	Locks      int64   `json:"locks"`
+	FalseCont  int64   `json:"falsecont"`
+	FalseRate  float64 `json:"falserate"`
+	WorstPI    float64 `json:"worstpi"`
+	WorstClass string  `json:"worstclass,omitempty"`
+}
+
+// PartitionSummary is the per-structure rollup: occupancy at the last
+// interval plus the peak across the range.
+type PartitionSummary struct {
+	Name  string `json:"name"`
+	Model string `json:"model"`
+	Last  int    `json:"last"`
+	Peak  int    `json:"peak"`
+}
+
+// Summary is the cumulative rollup over a record range.
+type Summary struct {
+	Farm      string `json:"farm"`
+	Intervals int    `json:"intervals"`
+	FirstSeq  int64  `json:"firstseq"`
+	LastSeq   int64  `json:"lastseq"`
+
+	CFOps       int64   `json:"cfops"`
+	XI          int64   `json:"xi"`
+	Transitions int64   `json:"trans"`
+	HitRate     float64 `json:"hitrate"`
+	Failovers   int64   `json:"failovers"`
+	LogWrites   int64   `json:"logwrites"`
+
+	Clones     []CloneSummary     `json:"clones"`
+	Partitions []PartitionSummary `json:"partitions"`
+}
+
+// Rollup accumulates a record range into a Summary: interval deltas
+// sum back into cumulative activity, per-system and per-structure.
+func Rollup(recs []Record) Summary {
+	var s Summary
+	if len(recs) == 0 {
+		return s
+	}
+	s.Farm = recs[0].Farm
+	s.Intervals = len(recs)
+	s.FirstSeq = recs[0].Seq
+	s.LastSeq = recs[len(recs)-1].Seq
+	clones := map[string]*CloneSummary{}
+	parts := map[string]*PartitionSummary{}
+	var hits, misses int64
+	for _, r := range recs {
+		s.CFOps += r.CF.Ops
+		s.XI += r.CF.XI
+		s.Transitions += r.CF.Transitions
+		hits += r.CF.Hits
+		misses += r.CF.Misses
+		s.Failovers += r.CFRM.Failovers
+		s.LogWrites += r.Logger.Writes
+		for _, c := range r.Clones {
+			cs := clones[c.System]
+			if cs == nil {
+				cs = &CloneSummary{System: c.System}
+				clones[c.System] = cs
+			}
+			cs.Locks += c.Locks
+			cs.FalseCont += c.FalseCont
+			for _, g := range c.Goals {
+				if g.PI > cs.WorstPI {
+					cs.WorstPI, cs.WorstClass = g.PI, g.Class
+				}
+			}
+		}
+		for _, p := range r.Partitions {
+			ps := parts[p.Name]
+			if ps == nil {
+				ps = &PartitionSummary{Name: p.Name, Model: p.Model}
+				parts[p.Name] = ps
+			}
+			ps.Last = p.Occupancy
+			if p.Occupancy > ps.Peak {
+				ps.Peak = p.Occupancy
+			}
+		}
+	}
+	if tot := hits + misses; tot > 0 {
+		s.HitRate = round2(float64(hits) / float64(tot))
+	}
+	for _, cs := range clones {
+		if cs.Locks > 0 {
+			cs.FalseRate = round2(float64(cs.FalseCont) / float64(cs.Locks))
+		}
+		s.Clones = append(s.Clones, *cs)
+	}
+	sort.Slice(s.Clones, func(i, j int) bool { return s.Clones[i].System < s.Clones[j].System })
+	for _, ps := range parts {
+		s.Partitions = append(s.Partitions, *ps)
+	}
+	sort.Slice(s.Partitions, func(i, j int) bool { return s.Partitions[i].Name < s.Partitions[j].Name })
+	return s
+}

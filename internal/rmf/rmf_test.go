@@ -1,0 +1,402 @@
+package rmf
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sysplex/internal/cf"
+	"sysplex/internal/cfrm"
+	"sysplex/internal/dasd"
+	"sysplex/internal/lockmgr"
+	"sysplex/internal/logr"
+	"sysplex/internal/metrics"
+	"sysplex/internal/timer"
+	"sysplex/internal/vclock"
+)
+
+// fixture is a 3-system measurement plane on a fake clock: a duplexed
+// CF fleet, three logr managers sharing the RMF stream, and a monitor
+// fed by closure-based system sources so lock/WLM inputs are exact.
+type fixture struct {
+	clock   *vclock.Fake
+	cfres   *cfrm.Manager
+	mgrs    map[string]*logr.Manager
+	streams map[string]*logr.Stream
+	lockSt  map[string]*lockmgr.Stats
+	mon     *Monitor
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	ctx := context.Background()
+	fx := &fixture{
+		clock:   vclock.NewFake(time.Unix(1000, 0)),
+		mgrs:    map[string]*logr.Manager{},
+		streams: map[string]*logr.Stream{},
+		lockSt:  map[string]*lockmgr.Stats{},
+	}
+	var err error
+	fx.cfres, err = cfrm.New(cfrm.Policy{}, fx.clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := fx.cfres.Front()
+	if _, err := front.AllocateLockStructure("IRLM.DBP1", 256); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := front.AllocateCacheStructure("GBP0", 64); err != nil {
+		t.Fatal(err)
+	}
+	farm := dasd.NewFarm(fx.clock)
+	if _, err := farm.AddVolume("VOL001", 8192, 4); err != nil {
+		t.Fatal(err)
+	}
+	tmr := timer.New(fx.clock)
+	logReg := metrics.NewRegistry()
+	for _, sys := range []string{"SYS1", "SYS2", "SYS3"} {
+		m, err := logr.New(logr.Config{
+			System: sys, Front: front, Farm: farm, Volume: "VOL001",
+			Timer: tmr, Clock: fx.clock, Metrics: logReg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := m.Connect(ctx, logr.StreamSpec{Name: StreamName, InterimEntries: 512, OffloadBlocks: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx.mgrs[sys], fx.streams[sys] = m, s
+		fx.lockSt[sys] = &lockmgr.Stats{}
+	}
+	// Rotate the writing member every interval: records still merge
+	// into one totally ordered stream.
+	seq := 0
+	order := []string{"SYS1", "SYS2", "SYS3"}
+	pick := func() *logr.Stream {
+		s := fx.streams[order[seq%len(order)]]
+		seq++
+		return s
+	}
+	fx.mon, err = New(Config{
+		Farm: "PLEX1", Clock: fx.clock, Interval: 100 * time.Millisecond,
+		CFRM: fx.cfres, Logger: logReg, Stream: pick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range order {
+		sys := sys
+		st := fx.lockSt[sys]
+		fx.mon.AddSystem(sys, SystemSource{
+			LockStats: func() lockmgr.Stats { return *st },
+			Util:      func() float64 { return 0.5 },
+			Goals: func() []ClassGoal {
+				return []ClassGoal{{Class: "ONLINE", PI: 0.8, Completions: 10}}
+			},
+		})
+	}
+	return fx
+}
+
+// TestIntervalContinuityAcrossFailover drives N intervals with a CF
+// failover in the middle and asserts the record stream stays dense
+// (no gaps, no duplicates), the failover counter lands in exactly the
+// interval it happened in, and every layer's section is populated.
+func TestIntervalContinuityAcrossFailover(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+	front := fx.cfres.Front()
+	lk, err := front.LockStructure("IRLM.DBP1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Connect(ctx, "SYS1"); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := front.CacheStructure("GBP0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two systems registered on the same block: writes cross-invalidate.
+	for _, sys := range []string{"SYS1", "SYS2"} {
+		if err := cs.Connect(ctx, sys, cf.NewBitVector(16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const N = 8
+	const failAt = 3 // fail the primary after record 3 is cut
+	for i := 0; i < N; i++ {
+		// Per-interval workload: CF lock commands, an XI-generating
+		// cache write, and known lock-manager deltas.
+		if _, err := lk.Obtain(ctx, i%16, "SYS1", cf.Share); err != nil {
+			t.Fatalf("interval %d obtain: %v", i, err)
+		}
+		if _, err := cs.ReadAndRegister(ctx, "SYS1", "PAGE.1", 1); err != nil {
+			t.Fatalf("interval %d read: %v", i, err)
+		}
+		if _, err := cs.ReadAndRegister(ctx, "SYS2", "PAGE.1", 1); err != nil {
+			t.Fatalf("interval %d read: %v", i, err)
+		}
+		if err := cs.WriteAndInvalidate(ctx, "SYS1", "PAGE.1", []byte("v"), true, true, 1); err != nil {
+			t.Fatalf("interval %d write: %v", i, err)
+		}
+		fx.lockSt["SYS1"].Locks += 5
+		fx.lockSt["SYS1"].FalseContentions++
+		fx.lockSt["SYS2"].Locks += 3
+
+		fx.clock.Advance(100 * time.Millisecond)
+		if _, err := fx.mon.SampleOnce(ctx); err != nil {
+			t.Fatalf("interval %d: %v", i, err)
+		}
+
+		if i == failAt {
+			// Unplanned primary loss, detected by the CF health monitor:
+			// the failover counter must land in the *next* interval.
+			pri := fx.cfres.Status().Primary
+			fx.cfres.Facility(pri).Fail()
+			fx.cfres.ProbeOnce()
+			if got := fx.cfres.Status().Primary; got == pri {
+				t.Fatalf("failover did not promote away from %s", pri)
+			}
+		}
+	}
+
+	// Every interval record must be on the stream, dense, readable from
+	// any member (SYS3 never wrote some of them — the stream is merged).
+	recs, skipped, err := ReadStream(ctx, fx.streams["SYS3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped %d records", skipped)
+	}
+	if len(recs) != N {
+		t.Fatalf("got %d records, want %d", len(recs), N)
+	}
+	if err := CheckContinuity(recs); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if r.Seq != int64(i) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if r.V != RecordVersion || r.Farm != "PLEX1" {
+			t.Fatalf("record %d header: %+v", i, r)
+		}
+		if d := r.Interval(); d != 100*time.Millisecond {
+			t.Fatalf("record %d interval = %v", i, d)
+		}
+		if r.CF.Ops <= 0 {
+			t.Fatalf("record %d: no CF ops", i)
+		}
+		if r.CF.XI <= 0 {
+			t.Fatalf("record %d: no XI activity: %+v", i, r.CF)
+		}
+		if r.CF.Latency.N <= 0 {
+			t.Fatalf("record %d: empty latency summary", i)
+		}
+		// Failover counter in exactly the interval it happened in.
+		wantFail := int64(0)
+		if i == failAt+1 {
+			wantFail = 1
+		}
+		if r.CFRM.Failovers != wantFail {
+			t.Fatalf("record %d: failovers = %d, want %d", i, r.CFRM.Failovers, wantFail)
+		}
+		// Clones: exact per-interval lock deltas from the closures.
+		if len(r.Clones) != 3 {
+			t.Fatalf("record %d: %d clones", i, len(r.Clones))
+		}
+		if c := r.Clones[0]; c.System != "SYS1" || c.Locks != 5 || c.FalseCont != 1 || c.FalseRate != 0.2 {
+			t.Fatalf("record %d: SYS1 clone %+v", i, c)
+		}
+		if c := r.Clones[1]; c.Locks != 3 || c.FalseCont != 0 {
+			t.Fatalf("record %d: SYS2 clone %+v", i, c)
+		}
+		if len(r.Clones[0].Goals) != 1 || r.Clones[0].Goals[0].PI != 0.8 {
+			t.Fatalf("record %d: goals %+v", i, r.Clones[0].Goals)
+		}
+		// Partitions: lock table, cache, and the RMF stream's own list
+		// structure, with model-appropriate occupancy.
+		byName := map[string]Partition{}
+		for _, p := range r.Partitions {
+			byName[p.Name] = p
+		}
+		if p := byName["IRLM.DBP1"]; p.Model != "lock" || p.Occupancy != 256 {
+			t.Fatalf("record %d: lock partition %+v", i, p)
+		}
+		if p := byName["GBP0"]; p.Model != "cache" || p.Occupancy < 1 {
+			t.Fatalf("record %d: cache partition %+v", i, p)
+		}
+		if p := byName["LOGR."+StreamName]; p.Model != "list" || p.Occupancy < i {
+			t.Fatalf("record %d: rmf stream partition %+v", i, p)
+		}
+		// Logger: the monitor's own write lands in the next interval's
+		// delta, so from interval 1 on writes are visible.
+		if i > 0 && r.Logger.Writes <= 0 {
+			t.Fatalf("record %d: no log writes", i)
+		}
+	}
+
+	// Cumulative rollup over the full run.
+	sum := Rollup(recs)
+	if sum.Intervals != N || sum.Failovers != 1 {
+		t.Fatalf("rollup %+v", sum)
+	}
+	if sum.Clones[0].Locks != 5*N || sum.Clones[0].FalseCont != N {
+		t.Fatalf("rollup SYS1 %+v", sum.Clones[0])
+	}
+	if sum.XI <= 0 || sum.CFOps <= 0 {
+		t.Fatalf("rollup CF totals %+v", sum)
+	}
+}
+
+// TestMonitorTicker drives Start/Stop on the fake clock: each Advance
+// over the interval cuts exactly one record.
+func TestMonitorTicker(t *testing.T) {
+	fx := newFixture(t)
+	fx.mon.Start()
+	defer fx.mon.Stop()
+	for i := 0; i < 5; i++ {
+		fx.clock.Advance(100 * time.Millisecond)
+		waitIntervals(t, fx.mon, int64(i+1))
+	}
+	recs := fx.mon.Latest(0)
+	if len(recs) != 5 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if err := CheckContinuity(recs); err != nil {
+		t.Fatal(err)
+	}
+	fx.mon.Stop()
+	n := fx.mon.Intervals()
+	fx.clock.Advance(time.Second)
+	if got := fx.mon.Intervals(); got != n {
+		t.Fatalf("ticker still running after Stop: %d -> %d", n, got)
+	}
+}
+
+// waitIntervals blocks (real time, bounded) until the monitor's ticker
+// goroutine has cut n records — the fake clock fires the ticker
+// channel synchronously, but the goroutine consumes it asynchronously.
+func waitIntervals(t *testing.T, m *Monitor, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second) // lintwall: real-time bound on an async test wait
+	for m.Intervals() < n {
+		if time.Now().After(deadline) { // lintwall: real-time bound on an async test wait
+			t.Fatalf("monitor stuck at %d intervals, want %d", m.Intervals(), n)
+		}
+		time.Sleep(100 * time.Microsecond) // lintwall: real-time poll of an async goroutine
+	}
+}
+
+// TestRecordTruncation: a record over the logr cap drops partitions
+// (then clones) and flags itself, instead of failing the write.
+func TestRecordTruncation(t *testing.T) {
+	r := Record{V: RecordVersion, Farm: "PLEX1"}
+	for i := 0; i < 500; i++ {
+		r.Partitions = append(r.Partitions, Partition{
+			Name:  strings.Repeat("S", 20) + string(rune('A'+i%26)),
+			Model: "list",
+		})
+	}
+	b, err := r.Marshal(logr.MaxRecord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) > logr.MaxRecord {
+		t.Fatalf("marshal %d bytes over cap", len(b))
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Truncated {
+		t.Fatal("truncated record not flagged")
+	}
+	if len(got.Partitions) == 0 || len(got.Partitions) >= 500 {
+		t.Fatalf("partitions = %d", len(got.Partitions))
+	}
+}
+
+func TestUnmarshalRejectsWrongVersion(t *testing.T) {
+	b, _ := json.Marshal(Record{V: RecordVersion + 1})
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCheckContinuity(t *testing.T) {
+	ok := []Record{{Seq: 3}, {Seq: 4}, {Seq: 5}}
+	if err := CheckContinuity(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckContinuity([]Record{{Seq: 1}, {Seq: 3}}); err == nil {
+		t.Fatal("gap not detected")
+	}
+	if err := CheckContinuity([]Record{{Seq: 1}, {Seq: 1}}); err == nil {
+		t.Fatal("duplicate not detected")
+	}
+}
+
+// TestHTTPEndpoint serves the monitor over HTTP and validates the JSON
+// against the record schema (strict decode).
+func TestHTTPEndpoint(t *testing.T) {
+	fx := newFixture(t)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		fx.clock.Advance(100 * time.Millisecond)
+		if _, err := fx.mon.SampleOnce(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(fx.mon.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/rmf/records?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.DisallowUnknownFields()
+	var reply struct {
+		Farm    string   `json:"farm"`
+		Records []Record `json:"records"`
+	}
+	if err := dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Farm != "PLEX1" || len(reply.Records) != 2 {
+		t.Fatalf("reply %+v", reply)
+	}
+	if reply.Records[0].Seq != 1 || reply.Records[1].Seq != 2 {
+		t.Fatalf("wrong tail: %d, %d", reply.Records[0].Seq, reply.Records[1].Seq)
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "/rmf/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var sum Summary
+	dec2 := json.NewDecoder(resp2.Body)
+	dec2.DisallowUnknownFields()
+	if err := dec2.Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Intervals != 3 || sum.Farm != "PLEX1" {
+		t.Fatalf("summary %+v", sum)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"sysplex/internal/logr"
 	"sysplex/internal/metrics"
 	"sysplex/internal/racf"
+	"sysplex/internal/rmf"
 	"sysplex/internal/timer"
 	"sysplex/internal/txmgr"
 	"sysplex/internal/vclock"
@@ -119,6 +120,14 @@ type Config struct {
 	// Background starts heartbeat/monitor/WLM-exchange/castout loops
 	// for each system (default true via DefaultConfig).
 	Background bool
+	// DisableRMF opts out of the RMF measurement subsystem. By default
+	// (when Background is true) an interval monitor samples every
+	// layer and writes SMF-style records to the SYSPLEX.RMF.DATA log
+	// stream; reach it via RMF().
+	DisableRMF bool
+	// RMFInterval is the measurement interval (default
+	// rmf.DefaultInterval).
+	RMFInterval time.Duration
 	// CF is the CFRM policy governing the coupling-facility fleet:
 	// candidate preference list, structure duplexing mode, injected
 	// command latency. The zero value runs structures duplexed across
@@ -208,6 +217,7 @@ type Sysplex struct {
 	jesQ   *jes.Queue
 	racfDB *cds.Store
 	logReg *metrics.Registry // shared by every member's logr.Manager
+	rmfMon *rmf.Monitor      // nil when RMF is disabled
 
 	mu       sync.Mutex
 	systems  map[string]*System
@@ -255,6 +265,20 @@ func New(ctx context.Context, cfg Config) (*Sysplex, error) {
 	}
 	if cfg.FailureDetectionInterval == 0 {
 		cfg.FailureDetectionInterval = 15 * cfg.HeartbeatInterval
+	}
+	rmfOn := cfg.Background && !cfg.DisableRMF
+	if rmfOn {
+		// Every member connects to the RMF stream so the monitor can
+		// write through any surviving system.
+		have := false
+		for _, spec := range cfg.LogStreams {
+			if spec.Name == rmf.StreamName {
+				have = true
+			}
+		}
+		if !have {
+			cfg.LogStreams = append(cfg.LogStreams, logr.StreamSpec{Name: rmf.StreamName})
+		}
 	}
 	clock := vclock.Real()
 	p := &Sysplex{
@@ -377,6 +401,14 @@ func New(ctx context.Context, cfg Config) (*Sysplex, error) {
 		if survivor != nil {
 			survivor.logger.TakeoverFailed(context.Background(), sys)
 		}
+		// A failed system stops contributing clone sections (RMF would
+		// stop receiving its SMF data).
+		p.mu.Lock()
+		mon := p.rmfMon
+		p.mu.Unlock()
+		if mon != nil {
+			mon.RemoveSystem(sys)
+		}
 	})
 	p.arm = arm.New(p.plex, nil, p.pickRestartTarget)
 	p.det = lockmgr.NewDetector(p.lockManagers)
@@ -412,7 +444,60 @@ func New(ctx context.Context, cfg Config) (*Sysplex, error) {
 			})
 		}
 	}
+
+	// RMF measurement subsystem: interval records onto SYSPLEX.RMF.DATA.
+	if rmfOn {
+		mon, err := rmf.New(rmf.Config{
+			Farm: cfg.Name, Clock: clock, Interval: cfg.RMFInterval,
+			CFRM: p.cfres, Logger: p.logReg, Stream: p.rmfStream,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		p.rmfMon = mon
+		systems := make([]*System, 0, len(p.systems))
+		for _, s := range p.systems {
+			systems = append(systems, s)
+		}
+		p.mu.Unlock()
+		for _, s := range systems {
+			mon.AddSystem(s.name, systemSource(s))
+		}
+		mon.Start()
+	}
 	return p, nil
+}
+
+// systemSource adapts a member system into the RMF monitor's inputs.
+func systemSource(s *System) rmf.SystemSource {
+	return rmf.SystemSource{
+		LockStats: s.locks.Stats,
+		Util:      s.wlm.Utilization,
+		Goals:     rmf.WLMGoals(s.wlm),
+	}
+}
+
+// rmfStream picks a connected RMF stream handle from an active member
+// (any member's handle works: the stream is sysplex-merged). Called by
+// the monitor once per interval, so it follows failures and removals.
+func (p *Sysplex) rmfStream() *logr.Stream {
+	p.mu.Lock()
+	systems := make([]*System, 0, len(p.systems))
+	for _, s := range p.systems {
+		systems = append(systems, s)
+	}
+	p.mu.Unlock()
+	sort.Slice(systems, func(i, j int) bool { return systems[i].name < systems[j].name })
+	for _, s := range systems {
+		if p.plex.State(s.name) != xcf.StateActive {
+			continue
+		}
+		if st, err := s.logger.Stream(rmf.StreamName); err == nil {
+			return st
+		}
+	}
+	return nil
 }
 
 // routeWeights supplies WLM weights to VTAM generic resources.
@@ -609,6 +694,12 @@ func (p *Sysplex) AddSystem(ctx context.Context, sc SystemConfig) (*System, erro
 		s.stopBg = append(s.stopBg, stopXCF)
 		p.startBackground(s)
 	}
+	p.mu.Lock()
+	mon := p.rmfMon
+	p.mu.Unlock()
+	if mon != nil {
+		mon.AddSystem(sc.Name, systemSource(s))
+	}
 	return s, nil
 }
 
@@ -733,6 +824,15 @@ func (p *Sysplex) Timer() *timer.Timer { return p.timer }
 // Clock exposes the sysplex clock, e.g. for building virtual-clock
 // deadlines with vclock.WithTimeout (DESIGN §10).
 func (p *Sysplex) Clock() vclock.Clock { return p.clock }
+
+// RMF exposes the measurement subsystem's monitor: interval records,
+// rollups, and the HTTP handler. Nil when Background is false or
+// Config.DisableRMF is set.
+func (p *Sysplex) RMF() *rmf.Monitor {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rmfMon
+}
 
 // LoggerMetrics exposes the sysplex-wide logr.* instrumentation
 // (every member's System Logger charges the same registry).
@@ -927,7 +1027,11 @@ func (p *Sysplex) RemoveSystem(ctx context.Context, name string) error {
 	s.xsys.Leave()
 	p.mu.Lock()
 	delete(p.systems, name)
+	mon := p.rmfMon
 	p.mu.Unlock()
+	if mon != nil {
+		mon.RemoveSystem(name)
+	}
 	return nil
 }
 
@@ -944,7 +1048,11 @@ func (p *Sysplex) Stop() {
 		systems = append(systems, s)
 	}
 	stopCF := p.stopCF
+	mon := p.rmfMon
 	p.mu.Unlock()
+	if mon != nil {
+		mon.Stop()
+	}
 	if stopCF != nil {
 		stopCF()
 	}
