@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check demo bench bench-json bench-cf bench-cf-smoke examples-smoke
+.PHONY: all build vet lint test race check demo bench bench-json bench-cf bench-cf-smoke bench-batch-smoke examples-smoke
 
 all: check
 
@@ -27,9 +27,11 @@ test:
 # group messaging, WAL commit, two-phase commit); always run them under
 # the race detector. METRICS and RMF join them: the registry is walked
 # concurrently with updates, and the monitor samples every layer while
-# the load runs.
+# the load runs. BUFFMAN and LOCKMGR join with the batched exploiters:
+# group page writes and commit-time bulk release batch CF commands
+# concurrently with the structures' own traffic.
 race:
-	$(GO) test -race ./internal/cf/... ./internal/cfrm/... ./internal/cflink/... ./internal/logr/... ./internal/xcf/... ./internal/db/... ./internal/txmgr/... ./internal/metrics/... ./internal/rmf/... .
+	$(GO) test -race ./internal/cf/... ./internal/cfrm/... ./internal/cflink/... ./internal/logr/... ./internal/xcf/... ./internal/db/... ./internal/txmgr/... ./internal/metrics/... ./internal/rmf/... ./internal/buffman/... ./internal/lockmgr/... .
 
 check: build vet lint test race
 
@@ -55,6 +57,12 @@ bench-cf:
 # without paying for a full measurement run.
 bench-cf-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig2_' -benchtime 100x -cpu 4 .
+
+# EXP-BATCH end to end over real unix-socket cflink servers: exercises
+# async dispatch, batch framing, and the bulk-release exploit path in
+# one short run so CI catches protocol or pipeline rot.
+bench-batch-smoke:
+	$(GO) run ./cmd/sysplexbench -exp batch
 
 # Build and run every examples/ program under a short timeout, so
 # façade API refactors cannot silently break them.

@@ -39,17 +39,22 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,cfscale,ctxpath,transport,rmf,all")
+	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,cfscale,ctxpath,transport,batch,rmf,all")
 	systemsFlag = flag.Int("systems", 32, "max sysplex members for fig3")
 	simtimeFlag = flag.Duration("simtime", 5*time.Second, "DES measurement window")
 	seedFlag    = flag.Int64("seed", 1996, "DES seed")
 	jsonFlag    = flag.String("json", "", "also write machine-readable results to this path")
+	procsFlag   = flag.String("procs", "", "GOMAXPROCS values to sweep, comma-separated (e.g. 1,4); empty = leave as-is")
 )
 
 // results accumulates machine-readable experiment output for -json.
 var (
 	resultsMu sync.Mutex
 	results   = map[string]map[string]any{}
+	// recPrefix is prepended to every recorded key; the -procs sweep
+	// sets it to "pN_" so each GOMAXPROCS point keeps its own entries
+	// in the merged JSON instead of clobbering the previous point's.
+	recPrefix string
 )
 
 // record stores one measured value for the -json output.
@@ -59,7 +64,7 @@ func record(exp, key string, value any) {
 	if results[exp] == nil {
 		results[exp] = map[string]any{}
 	}
-	results[exp][key] = value
+	results[exp][recPrefix+key] = value
 }
 
 func main() {
@@ -81,25 +86,55 @@ func main() {
 		"cfscale":   cfScale,
 		"ctxpath":   ctxPath,
 		"transport": transport,
+		"batch":     batchBench,
 		"rmf":       rmfBench,
 	}
-	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr", "cfscale", "ctxpath", "transport", "rmf"}
+	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr", "cfscale", "ctxpath", "transport", "batch", "rmf"}
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		want = order
 	}
-	for _, name := range want {
-		fn, ok := run[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			os.Exit(2)
+	var procs []int
+	if *procsFlag != "" {
+		for _, s := range strings.Split(*procsFlag, ",") {
+			var p int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &p); err != nil || p <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -procs value %q\n", s)
+				os.Exit(2)
+			}
+			procs = append(procs, p)
 		}
-		fmt.Printf("==== %s ====\n", strings.ToUpper(name))
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+	}
+	runAll := func() {
+		for _, name := range want {
+			fn, ok := run[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+			fmt.Printf("==== %s ====\n", strings.ToUpper(name))
+			if err := fn(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
 		}
-		fmt.Println()
+	}
+	switch {
+	case len(procs) == 0:
+		runAll()
+	case len(procs) == 1:
+		runtime.GOMAXPROCS(procs[0])
+		runAll()
+	default:
+		for _, p := range procs {
+			runtime.GOMAXPROCS(p)
+			resultsMu.Lock()
+			recPrefix = fmt.Sprintf("p%d_", p)
+			resultsMu.Unlock()
+			fmt.Printf("######## GOMAXPROCS=%d ########\n", p)
+			runAll()
+		}
 	}
 	if *jsonFlag != "" {
 		resultsMu.Lock()
@@ -1500,5 +1535,200 @@ func transport() error {
 	record("transport", "goroutines", goroutines)
 	record("transport", "window_ms", window.Milliseconds())
 	record("transport", "gomaxprocs", runtime.GOMAXPROCS(0))
+	return nil
+}
+
+// batchBench is EXP-BATCH: the payoff of op batching on a transport CF.
+// A duplexed lock structure runs over two cflink servers on unix-domain
+// sockets — every CF command is a framed round trip — and the workload
+// is commit-style bulk release: obtain a block of exclusive entries
+// (untimed), then release them all, timed, four ways:
+//
+//	sync    — one Release command per entry, the pre-batching path;
+//	batch1  — Batch envelopes carrying one release each, measuring the
+//	          envelope's own overhead against the sync fast path;
+//	batch8  — envelopes of 8;
+//	batch32 — envelopes of 32, the commit bulk-release shape;
+//	async32 — envelopes of 32 issued through the completion-vector
+//	          async interface with several in flight, overlapping
+//	          link round trips.
+//
+// Reported as released locks per second of release time. Batching N
+// releases into one envelope removes N-1 link crossings, so ops/sec
+// should scale with batch size until the CF's own work dominates.
+func batchBench() error {
+	const (
+		window  = 400 * time.Millisecond
+		entries = 4096
+		block   = 128 // locks obtained (and then released) per cycle
+	)
+	clk := vclock.Real()
+	ctx := context.Background()
+
+	sockDir, err := os.MkdirTemp("", "sysplexbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(sockDir)
+	var cleanups []func()
+	defer func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}()
+	var nodes []cf.Node
+	for _, name := range []string{"CF01", "CF02"} {
+		srv := cflink.NewServer(cf.New(name, clk))
+		l, err := net.Listen("unix", filepath.Join(sockDir, name+".sock"))
+		if err != nil {
+			return err
+		}
+		go srv.Serve(l)
+		cleanups = append(cleanups, func() { srv.Close() })
+		c, err := cflink.Dial("unix", l.Addr().String(), cflink.WithSystem("SYS1"))
+		if err != nil {
+			return err
+		}
+		cleanups = append(cleanups, func() { c.Close() })
+		nodes = append(nodes, c)
+	}
+	d := cf.NewDuplexed(clk, nil, nodes[0], nodes[1])
+	ls, err := d.AllocateLockStructure("IRLM", entries)
+	if err != nil {
+		return err
+	}
+	if err := ls.Connect(ctx, "SYS1"); err != nil {
+		return err
+	}
+
+	// obtain grabs the cycle's block of entries exclusively (untimed
+	// setup — the experiment times only the release side).
+	obtain := func(base int) error {
+		for i := 0; i < block; i++ {
+			if _, err := ls.Obtain(ctx, (base+i)%entries, "SYS1", cf.Exclusive); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	relCmds := func(base, off, n int) []cf.BatchCmd {
+		cmds := make([]cf.BatchCmd, n)
+		for i := 0; i < n; i++ {
+			cmds[i] = cf.BatchLockRelease((base+off+i)%entries, "SYS1", cf.Exclusive)
+		}
+		return cmds
+	}
+	checkErrs := func(errs []error, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+	async := d.NewAsync("bench", 16)
+	defer async.Close()
+
+	type mode struct {
+		name    string
+		release func(base int) error
+	}
+	modes := []mode{
+		{"sync", func(base int) error {
+			for i := 0; i < block; i++ {
+				if err := ls.Release(ctx, (base+i)%entries, "SYS1", cf.Exclusive); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"batch1", func(base int) error {
+			for i := 0; i < block; i++ {
+				if err := checkErrs(ls.Batch(ctx, relCmds(base, i, 1))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"batch8", func(base int) error {
+			for off := 0; off < block; off += 8 {
+				if err := checkErrs(ls.Batch(ctx, relCmds(base, off, 8))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"batch32", func(base int) error {
+			for off := 0; off < block; off += 32 {
+				if err := checkErrs(ls.Batch(ctx, relCmds(base, off, 32))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"async32", func(base int) error {
+			comps := make([]*cf.Completion, 0, block/32)
+			for off := 0; off < block; off += 32 {
+				c, err := async.Run(ctx, "IRLM", relCmds(base, off, 32)...)
+				if err != nil {
+					return err
+				}
+				comps = append(comps, c)
+			}
+			for _, c := range comps {
+				if err := c.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+
+	fmt.Printf("CF op batching — duplexed lock bulk release over unix-socket cflink, %v of timed release per mode (GOMAXPROCS=%d):\n",
+		window, runtime.GOMAXPROCS(0))
+	fmt.Printf("%8s %14s %10s\n", "MODE", "RELEASES/S", "vs SYNC")
+	opsBy := map[string]float64{}
+	base := 0
+	for _, m := range modes {
+		// Best of three windows: single short windows wobble by a few
+		// percent on loopback sockets, and the best run is the one
+		// with the least scheduler interference in both directions.
+		var ops float64
+		for rep := 0; rep < 3; rep++ {
+			var (
+				timed time.Duration
+				n     int64
+			)
+			for timed < window {
+				if err := obtain(base); err != nil {
+					return fmt.Errorf("batch %s: obtain: %v", m.name, err)
+				}
+				t0 := time.Now()
+				if err := m.release(base); err != nil {
+					return fmt.Errorf("batch %s: %v", m.name, err)
+				}
+				timed += time.Since(t0)
+				n += block
+				base = (base + block) % entries
+			}
+			if o := float64(n) / timed.Seconds(); o > ops {
+				ops = o
+			}
+		}
+		opsBy[m.name] = ops
+		record("batch", m.name+"_ops_per_sec", ops)
+		rel := 0.0
+		if opsBy["sync"] > 0 {
+			rel = ops / opsBy["sync"]
+		}
+		record("batch", m.name+"_vs_sync_x", rel)
+		fmt.Printf("%8s %14.0f %9.2fx\n", m.name, ops, rel)
+	}
+	record("batch", "block", block)
+	record("batch", "window_ms", window.Milliseconds())
+	record("batch", "gomaxprocs", runtime.GOMAXPROCS(0))
 	return nil
 }

@@ -12,6 +12,10 @@ import (
 // failover/rebuild path and turns a recoverable outage into silent
 // data loss. A deliberate drop must be spelled `_ = cmd(...)` so the
 // decision is visible in review.
+// CFErr also reports a blanked *cf.Completion: an async command's
+// handle is the only place its error ever surfaces, so assigning it to
+// `_` drops the eventual CF error as surely as ignoring a synchronous
+// one — the handle must be kept and Wait/Err'd.
 var CFErr = &Analyzer{
 	Name: "cferr",
 	Doc:  "forbid silently dropped errors from cf/cfrm command calls",
@@ -40,6 +44,36 @@ func runCFErr(pass *Pass) error {
 			"%s drops the error from %s.%s: a CF command error (e.g. ErrCFDown) must be handled or explicitly discarded with `_ =`",
 			how, fn.Pkg().Name(), fn.Name())
 	}
+	// checkAssign flags `_` in the position of a *cf.Completion result:
+	// the handle carries the async command's outcome, so blanking it is
+	// a dropped CF error even when the synchronous error IS checked.
+	checkAssign := func(s *ast.AssignStmt) {
+		if len(s.Rhs) != 1 {
+			return
+		}
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || !cfErrTargetPkg(fn.Pkg().Path()) {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results().Len() != len(s.Lhs) {
+			return
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if !isCompletionPtr(sig.Results().At(i).Type()) {
+				continue
+			}
+			if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"assignment discards the async completion handle from %s.%s: an unchecked completion drops the command's CF error; keep it and call Wait or Err",
+					fn.Pkg().Name(), fn.Name())
+			}
+		}
+	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch s := n.(type) {
@@ -51,11 +85,29 @@ func runCFErr(pass *Pass) error {
 				check(s.Call, "go statement")
 			case *ast.DeferStmt:
 				check(s.Call, "defer statement")
+			case *ast.AssignStmt:
+				checkAssign(s)
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// isCompletionPtr reports whether t is *cf.Completion (the async
+// dispatch handle from sysplex/internal/cf).
+func isCompletionPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Completion" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "sysplex/internal/cf"
 }
 
 // calleeFunc resolves a call's callee to its function or method object

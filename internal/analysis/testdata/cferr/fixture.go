@@ -15,6 +15,27 @@ func drops(l cf.Lock, ls cf.List) {
 	defer ls.ReleaseLock(context.Background(), 0, "SYS1")           // want `defer statement drops the error from cf.ReleaseLock`
 }
 
+func asyncDrops(d *cf.Duplexed, a *cf.AsyncCtx) {
+	_, _ = d.RunAsync(context.Background(), "IRLM")  // want `assignment discards the async completion handle from cf.RunAsync`
+	_, err := a.Run(context.Background(), "IRLM")    // want `assignment discards the async completion handle from cf.Run`
+	_ = err
+}
+
+func asyncHandled(d *cf.Duplexed, a *cf.AsyncCtx) error {
+	c, err := d.RunAsync(context.Background(), "IRLM")
+	if err != nil {
+		return err
+	}
+	if err := c.Wait(); err != nil {
+		return err
+	}
+	c2, err := a.Run(context.Background(), "IRLM")
+	if err != nil {
+		return err
+	}
+	return c2.Err()
+}
+
 func handled(l cf.Lock, ls cf.List) error {
 	if err := l.Connect(context.Background(), "SYS1"); err != nil {
 		return err

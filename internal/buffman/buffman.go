@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"sysplex/internal/cf"
@@ -218,6 +219,120 @@ func (p *Pool) WritePage(ctx context.Context, name string, data []byte) error {
 		p.mu.Unlock()
 	}
 	return err
+}
+
+// batchWriteBytes caps the payload of one group-write chunk so a batch
+// of pages stays comfortably under the cflink frame limit even with
+// per-command envelope overhead.
+const batchWriteBytes = 256 << 10
+
+// WritePages writes a group of pages through the group buffer pool as
+// CF batches: each chunk crosses the link once, and the CF performs the
+// registered-copy cross-invalidate fan-out for every page in the chunk
+// during that single traversal. Pages are written in sorted-name order;
+// a page whose write is rejected has its local frame dropped, exactly
+// as WritePage does, and the first such error is returned after the
+// whole group has been attempted.
+func (p *Pool) WritePages(ctx context.Context, pages map[string][]byte) error {
+	if len(pages) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(pages))
+	for name := range pages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Install the local frames first, mirroring WritePage's ordering:
+	// frame then CF write, with rollback on rejection.
+	idxs := make(map[string]int, len(names))
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	for _, name := range names {
+		data := pages[name]
+		idx, ok := p.byName[name]
+		if !ok {
+			var err error
+			idx, err = p.allocFrameLocked(ctx, name)
+			if err != nil {
+				p.mu.Unlock()
+				p.dropFrames(idxs)
+				return err
+			}
+			p.byName[name] = idx
+		}
+		p.frames[idx] = frame{name: name, data: append([]byte(nil), data...), lastUse: p.bumpTick(), used: true}
+		p.stats.Writes++
+		idxs[name] = idx
+	}
+	p.mu.Unlock()
+
+	cs := p.structure()
+	var firstErr error
+	for start := 0; start < len(names); start += 1 {
+		// Build the next chunk bounded by both op count and bytes.
+		var (
+			cmds  []cf.BatchCmd
+			bytes int
+			end   = start
+		)
+		for end < len(names) && len(cmds) < cf.MaxBatchOps {
+			data := pages[names[end]]
+			if len(cmds) > 0 && bytes+len(data) > batchWriteBytes {
+				break
+			}
+			cmds = append(cmds, cf.BatchCacheWrite(p.sys, names[end], data, true, true, idxs[names[end]]))
+			bytes += len(data)
+			end++
+		}
+		errs, err := cs.Batch(ctx, cmds)
+		if err != nil {
+			// Batch-level failure: none of the chunk's writes took
+			// effect; drop every frame the chunk covered.
+			chunk := make(map[string]int, end-start)
+			for _, name := range names[start:end] {
+				chunk[name] = idxs[name]
+			}
+			p.dropFrames(chunk)
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			for i, serr := range errs {
+				if serr == nil {
+					continue
+				}
+				name := names[start+i]
+				p.dropFrames(map[string]int{name: idxs[name]})
+				if firstErr == nil {
+					firstErr = serr
+				}
+			}
+		}
+		start = end - 1
+	}
+	return firstErr
+}
+
+// dropFrames discards the named local frames if they still map to the
+// given indices — the group buffer pool rejected their writes, so they
+// must not keep serving data the caller will treat as not committed.
+func (p *Pool) dropFrames(idxs map[string]int) {
+	if len(idxs) == 0 {
+		return
+	}
+	p.mu.Lock()
+	for name, idx := range idxs {
+		if i, ok := p.byName[name]; ok && i == idx {
+			delete(p.byName, name)
+			p.frames[i] = frame{}
+			p.vec.Clear(i)
+		}
+	}
+	p.mu.Unlock()
 }
 
 // CastoutOnce casts out up to max changed pages (all if max <= 0) from

@@ -73,6 +73,12 @@ type Lock interface {
 	Records(ctx context.Context, conn string) ([]LockRecord, error)
 	AdoptRetained(conn string, recs []LockRecord)
 	RetainedConnectors() []string
+	// Batch executes an envelope of lock-model subcommands in one
+	// pipeline traversal (one link crossing on a transport handle).
+	// The returned slice holds one outcome per subcommand; the error is
+	// batch-level (validation, cancellation, or facility failure — in
+	// which case no outcome slice exists). See DESIGN §13.
+	Batch(ctx context.Context, cmds []BatchCmd) ([]error, error)
 }
 
 // Cache is the command set of a cache-model structure (§3.3.2),
@@ -89,6 +95,9 @@ type Cache interface {
 	ChangedBlocks() []string
 	Registered(name string) []string
 	Version(name string) uint64
+	// Batch executes an envelope of cache-model subcommands; semantics
+	// as Lock.Batch.
+	Batch(ctx context.Context, cmds []BatchCmd) ([]error, error)
 }
 
 // List is the command set of a list-model structure (§3.3.3),
@@ -113,6 +122,9 @@ type List interface {
 	TotalEntries() int
 	Monitor(ctx context.Context, conn string, list int, vecIdx int) error
 	Unmonitor(conn string, list int)
+	// Batch executes an envelope of list-model subcommands; semantics
+	// as Lock.Batch.
+	Batch(ctx context.Context, cmds []BatchCmd) ([]error, error)
 }
 
 // Front is the facility-shaped command surface shared by a simplex
@@ -435,7 +447,12 @@ type AsyncResult struct {
 }
 
 // Async runs fn off the caller's "CPU", delivering completion on the
-// returned channel. This models asynchronous CF command execution.
+// returned channel.
+//
+// Deprecated: this spawns a goroutine per command — the opposite of
+// the paper's no-interrupt completion idiom. New code should use an
+// AsyncCtx (completion-vector dispatch, fixed worker pool) obtained
+// from Duplexed.NewAsync; see async.go and DESIGN §13.
 func Async(fn func() error) <-chan AsyncResult {
 	ch := make(chan AsyncResult, 1)
 	go func() { ch <- AsyncResult{Err: fn()} }()

@@ -84,6 +84,15 @@ type Duplexed struct {
 	hFanout  *metrics.Histogram // cfrm.duplex.fanout, resolved once
 	cRetried *metrics.Counter   // cfrm.cmd.retried, resolved once
 
+	// Batch occupancy instrumentation (ROADMAP measurement item):
+	// cfrm.batch.ops totals subcommands shipped in envelopes;
+	// cfrm.batch.occ.* is a fixed-bound ops-per-batch histogram.
+	cBatchOps *metrics.Counter
+	cBatchOcc [batchOccBuckets]*metrics.Counter
+	// batchConn caches the per-connector attribution counter pair
+	// (conn -> *[2]*metrics.Counter); see connBatchCounters.
+	batchConn sync.Map
+
 	// opCounters holds the per-kind cfrm.op.* counter handles, all
 	// resolved at construction and indexed by opKind, so the metrics
 	// stage never hashes a string or takes the registry mutex.
@@ -100,6 +109,7 @@ type Duplexed struct {
 	syncing   bool // Reduplex copy in progress
 	pairs     map[string]*pair
 	onEvent   func(DuplexEvent)
+	async     *AsyncCtx // RunAsync's shared dispatch context, lazily built
 }
 
 // pairStripes is the number of command-ordering stripes per pair.
@@ -164,6 +174,10 @@ func NewDuplexed(clock vclock.Clock, reg *metrics.Registry, primary, secondary N
 	d.cond = sync.NewCond(&d.mu)
 	for k := opKind(0); k < opKindCount; k++ {
 		d.opCounters[k] = reg.Counter("cfrm.op." + opKindNames[k])
+	}
+	d.cBatchOps = reg.Counter("cfrm.batch.ops")
+	for i := range d.cBatchOcc {
+		d.cBatchOcc[i] = reg.Counter("cfrm.batch.occ." + batchOccNames[i])
 	}
 	return d
 }

@@ -98,6 +98,9 @@ const (
 	opListSetAdjunct
 	opListMonitor
 	opListUnmonitor
+	// opBatch is the batch envelope itself; its subcommands also count
+	// under their own kinds (see runBatch).
+	opBatch
 	opKindCount
 )
 
@@ -130,6 +133,7 @@ var opKindNames = [opKindCount]string{
 	opListSetAdjunct:    "list.setadjunct",
 	opListMonitor:       "list.monitor",
 	opListUnmonitor:     "list.unmonitor",
+	opBatch:             "batch",
 }
 
 // Op is one CF command presented to a fault-injection hook: a uniform

@@ -1,0 +1,233 @@
+package cflink
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+
+	"sysplex/internal/cf"
+)
+
+func TestBatchOverWire(t *testing.T) {
+	srv, network, addr := startServer(t, "CF01")
+	c := dialT(t, network, addr, WithSystem("SYSA"))
+	ctx := context.Background()
+
+	ls, err := c.AllocateListStructure("WORKQ", 4, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Connect(ctx, "SYSA", nil); err != nil {
+		t.Fatal(err)
+	}
+	errs, err := ls.Batch(ctx, []cf.BatchCmd{
+		cf.BatchListWrite("SYSA", 0, "e1", "", []byte("x"), cf.FIFO, cf.Cond{}),
+		cf.BatchListWrite("SYSA", 1, "e2", "", []byte("y"), cf.FIFO, cf.Cond{}),
+		cf.BatchListDelete("SYSA", "missing", cf.Cond{}),
+	})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("writes failed: %v, %v", errs[0], errs[1])
+	}
+	// Sentinel identity must survive the wire in a status slot.
+	if !errors.Is(errs[2], cf.ErrEntryNotFound) {
+		t.Fatalf("errs[2] = %v, want ErrEntryNotFound", errs[2])
+	}
+	// The effects must be visible in the server's facility.
+	raw, err := srv.fac.ListStructure("WORKQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := raw.TotalEntries(); n != 2 {
+		t.Fatalf("server entries = %d, want 2", n)
+	}
+}
+
+// TestBatchOversizedFailsCleanSessionSurvives pins the pre-send size
+// check: an envelope whose frame would exceed MaxFrame must fail with
+// ErrFrameTooBig without poisoning the session — the next command on
+// the same client must still work.
+func TestBatchOversizedFailsCleanSessionSurvives(t *testing.T) {
+	_, network, addr := startServer(t, "CF01")
+	c := dialT(t, network, addr, WithSystem("SYSA"))
+	ctx := context.Background()
+
+	cs, err := c.AllocateCacheStructure("GBP0", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Connect(ctx, "SYSA", cf.NewBitVector(8)); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 64<<10)
+	cmds := make([]cf.BatchCmd, 0, 20)
+	for i := 0; i < 20; i++ { // ~1.25 MiB of payload > MaxFrame
+		cmds = append(cmds, cf.BatchCacheWrite("SYSA", "BLK"+string(rune('A'+i)), big, true, true, i%8))
+	}
+	if _, err := cs.Batch(ctx, cmds); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized batch = %v, want ErrFrameTooBig", err)
+	}
+	if c.Failed() {
+		t.Fatal("oversized request killed the session")
+	}
+	if err := cs.WriteAndInvalidate(ctx, "SYSA", "BLK0", []byte("ok"), true, false, 0); err != nil {
+		t.Fatalf("command after oversized batch: %v", err)
+	}
+}
+
+// rawCommandConn dials the server and performs the command handshake by
+// hand so tests can send hand-crafted frames.
+func rawCommandConn(t *testing.T, network, addr, system string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	var e encoder
+	e.b = append(e.b, magic[0], magic[1], magic[2], magic[3])
+	e.u8(connCommand)
+	e.string(system)
+	if err := writeFrame(conn, e.b); err != nil {
+		t.Fatalf("handshake write: %v", err)
+	}
+	hello, err := readFrame(conn, nil)
+	if err != nil {
+		t.Fatalf("handshake read: %v", err)
+	}
+	d := &decoder{b: hello}
+	if code := d.u8(); code != codeOK {
+		t.Fatalf("handshake code = %d", code)
+	}
+	return conn
+}
+
+// readReply reads one response frame and returns its request ID, status
+// code, and the remaining payload decoder.
+func readReply(t *testing.T, conn net.Conn) (uint64, uint8, *decoder) {
+	t.Helper()
+	payload, err := readFrame(conn, nil)
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	d := &decoder{b: payload}
+	reqID := d.uvarint()
+	code := d.u8()
+	if d.err != nil {
+		t.Fatalf("reply header: %v", d.err)
+	}
+	return reqID, code, d
+}
+
+// TestBatchTruncatedCountMalformed sends a batch frame whose subcommand
+// count promises more than the payload carries. The server must answer
+// with a clean error on the same request ID and keep serving.
+func TestBatchTruncatedCountMalformed(t *testing.T) {
+	srv, network, addr := startServer(t, "CF01")
+	if _, err := srv.fac.AllocateListStructure("WORKQ", 4, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	conn := rawCommandConn(t, network, addr, "SYSA")
+
+	var e encoder
+	e.uvarint(7) // request ID
+	e.u8(opBatch)
+	e.string("WORKQ")
+	e.uvarint(500) // promises 500 subcommands, carries none
+	if err := writeFrame(conn, e.b); err != nil {
+		t.Fatal(err)
+	}
+	reqID, code, _ := readReply(t, conn)
+	if reqID != 7 || code == codeOK {
+		t.Fatalf("reply = id %d code %d, want id 7 and an error code", reqID, code)
+	}
+
+	// The session must still be alive.
+	var e2 encoder
+	e2.uvarint(8)
+	e2.u8(opStructureNames)
+	if err := writeFrame(conn, e2.b); err != nil {
+		t.Fatal(err)
+	}
+	reqID, code, d := readReply(t, conn)
+	if reqID != 8 || code != codeOK {
+		t.Fatalf("follow-up reply = id %d code %d", reqID, code)
+	}
+	names := d.strings()
+	if len(names) != 1 || names[0] != "WORKQ" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+// TestDuplicateRequestIDsBothAnswered sends two concurrent requests
+// reusing one request ID. IDs are a client-side correlation convention,
+// not server state: the server must answer each frame it got, carrying
+// the ID it came with, and the session must survive.
+func TestDuplicateRequestIDsBothAnswered(t *testing.T) {
+	_, network, addr := startServer(t, "CF01")
+	conn := rawCommandConn(t, network, addr, "SYSA")
+
+	for i := 0; i < 2; i++ {
+		var e encoder
+		e.uvarint(42)
+		e.u8(opStructureNames)
+		if err := writeFrame(conn, e.b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		reqID, code, _ := readReply(t, conn)
+		if reqID != 42 || code != codeOK {
+			t.Fatalf("reply %d = id %d code %d, want id 42 codeOK", i, reqID, code)
+		}
+	}
+	var e encoder
+	e.uvarint(43)
+	e.u8(opFailed)
+	if err := writeFrame(conn, e.b); err != nil {
+		t.Fatal(err)
+	}
+	reqID, code, d := readReply(t, conn)
+	if reqID != 43 || code != codeOK || d.bool() {
+		t.Fatalf("post-duplicate request: id %d code %d", reqID, code)
+	}
+}
+
+// TestBatchCodecRoundTrip pins the wire form of every batch subcommand
+// shape: encode → decode must be identity.
+func TestBatchCodecRoundTrip(t *testing.T) {
+	cmds := []cf.BatchCmd{
+		cf.BatchLockRelease(17, "SYSA", cf.Exclusive),
+		cf.BatchLockForce(3, "SYSB", cf.Share),
+		cf.BatchLockSetRecord("SYSA", "ACCT/k1", cf.Exclusive),
+		cf.BatchLockDelRecord("SYSA", "ACCT/k1"),
+		cf.BatchCacheWrite("SYSA", "BLK7", []byte("page"), true, true, 5),
+		cf.BatchCacheUnregister("SYSA", "BLK7"),
+		cf.BatchCacheCastoutEnd("SYSA", "BLK7", 99),
+		cf.BatchListWrite("SYSA", 2, "id1", "k1", []byte("rec"), cf.Keyed, cf.Cond{Use: true, LockIndex: 1}),
+		cf.BatchListDelete("SYSA", "id1", cf.Cond{}),
+	}
+	var e encoder
+	e.batchCmds(cmds)
+	d := &decoder{b: e.b}
+	got := d.batchCmds()
+	if err := d.finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if len(got) != len(cmds) {
+		t.Fatalf("decoded %d cmds, want %d", len(got), len(cmds))
+	}
+	for i := range cmds {
+		w, g := cmds[i], got[i]
+		if g.Op != w.Op || g.Conn != w.Conn || g.Name != w.Name || g.Idx != w.Idx ||
+			g.Mode != w.Mode || !bytes.Equal(g.Data, w.Data) || g.Cache != w.Cache ||
+			g.Changed != w.Changed || g.VecIdx != w.VecIdx || g.Version != w.Version ||
+			g.Key != w.Key || g.Order != w.Order || g.Cond != w.Cond {
+			t.Fatalf("cmd %d: got %+v, want %+v", i, g, w)
+		}
+	}
+}

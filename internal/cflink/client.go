@@ -312,6 +312,16 @@ func (c *Client) roundTrip(ctx context.Context, op uint8, build func(e *encoder)
 	if build != nil {
 		build(&e)
 	}
+	if len(e.b) > MaxFrame {
+		// An oversized request never reaches the wire: fail the one
+		// command cleanly instead of killing the session (writeFrame
+		// would surface this as a transport death). Batches are the one
+		// caller that can hit it — they chunk and retry smaller.
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return nil, fmt.Errorf("%w: %d byte request", ErrFrameTooBig, len(e.b))
+	}
 	start := c.clock.Now()
 	c.wmu.Lock()
 	err := writeFrame(c.cmd, e.b)
@@ -530,6 +540,29 @@ func (r *remoteStruct) ReplicaDisconnect(conn string) {
 // lintctx: mirrors a context-free cf interface method; the round trip is bounded by the link lifetime, not a caller deadline.
 func (r *remoteStruct) ReplicaFailConnector(conn string) {
 	_ = r.c.call(context.Background(), opStructFailConn, r.structOp(func(e *encoder) { e.string(conn) }))
+}
+
+// Batch ships an envelope of subcommands as one framed request — one
+// link crossing, one request ID, per-subcommand status bytes back.
+// This is the transport's whole reason to batch: EXP-TRANSPORT prices
+// the crossing at 20–50× the structure work. Shared by all three
+// remote handles; the server types the envelope by the structure's
+// model and validates it at its trust boundary (batchApply), so the
+// client does not pre-validate — the duplexed pipeline already did,
+// and a malformed direct call fails server-side with the same error.
+func (r *remoteStruct) Batch(ctx context.Context, cmds []cf.BatchCmd) ([]error, error) {
+	d, err := r.c.roundTrip(ctx, opBatch, r.structOp(func(e *encoder) { e.batchCmds(cmds) }))
+	if err != nil {
+		return nil, err
+	}
+	errs := d.batchErrs()
+	if ferr := d.finish(); ferr != nil {
+		return nil, ferr
+	}
+	if len(errs) != len(cmds) {
+		return nil, fmt.Errorf("%w: %d statuses for %d subcommands", ErrMalformed, len(errs), len(cmds))
+	}
+	return errs, nil
 }
 
 // ReplicaCloneInto always fails with cf.ErrCloneUnsupported: cloning

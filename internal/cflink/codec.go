@@ -115,6 +115,12 @@ const (
 	opListTotalEntries uint8 = 73
 	opListMonitor      uint8 = 74
 	opListUnmonitor    uint8 = 75
+
+	// Batch envelope: one request ID covers N subcommands (all three
+	// structure models share the opcode; the target structure's model
+	// types the envelope). The response carries one status byte per
+	// subcommand — codeOK, or an error code plus detail string.
+	opBatch uint8 = 90
 )
 
 // Response status codes. 0 is success; the rest map to the cf command
@@ -466,4 +472,152 @@ func (e *encoder) cond(c cf.Cond) {
 
 func (d *decoder) cond() cf.Cond {
 	return cf.Cond{Use: d.bool(), LockIndex: d.int()}
+}
+
+// Batch subcommand encoding: a 1-byte op tag, then exactly the fields
+// that op's one-command encoding carries, in the same order — the
+// subcommand forms are the existing command forms minus the per-op
+// frame.
+
+func (e *encoder) batchCmd(c *cf.BatchCmd) {
+	e.u8(uint8(c.Op))
+	switch c.Op {
+	case cf.BatchOpLockRelease, cf.BatchOpLockForce:
+		e.int(c.Idx)
+		e.string(c.Conn)
+		e.int(int(c.Mode))
+	case cf.BatchOpLockSetRecord:
+		e.string(c.Conn)
+		e.string(c.Name)
+		e.int(int(c.Mode))
+	case cf.BatchOpLockDelRecord, cf.BatchOpCacheUnregister:
+		e.string(c.Conn)
+		e.string(c.Name)
+	case cf.BatchOpCacheWrite:
+		e.string(c.Conn)
+		e.string(c.Name)
+		e.bytes(c.Data)
+		e.bool(c.Cache)
+		e.bool(c.Changed)
+		e.int(c.VecIdx)
+	case cf.BatchOpCacheCastoutEnd:
+		e.string(c.Conn)
+		e.string(c.Name)
+		e.uvarint(c.Version)
+	case cf.BatchOpListWrite:
+		e.string(c.Conn)
+		e.int(c.Idx)
+		e.string(c.Name)
+		e.string(c.Key)
+		e.bytes(c.Data)
+		e.int(int(c.Order))
+		e.cond(c.Cond)
+	case cf.BatchOpListDelete:
+		e.string(c.Conn)
+		e.string(c.Name)
+		e.cond(c.Cond)
+	}
+	// An unknown op encodes as the bare tag; the decoder rejects it.
+	// The client validates envelopes before encoding, so this is only
+	// reachable from hand-built frames.
+}
+
+func (d *decoder) batchCmd() cf.BatchCmd {
+	c := cf.BatchCmd{Op: cf.BatchOp(d.u8())}
+	switch c.Op {
+	case cf.BatchOpLockRelease, cf.BatchOpLockForce:
+		c.Idx = d.int()
+		c.Conn = d.string()
+		c.Mode = cf.LockMode(d.int())
+	case cf.BatchOpLockSetRecord:
+		c.Conn = d.string()
+		c.Name = d.string()
+		c.Mode = cf.LockMode(d.int())
+	case cf.BatchOpLockDelRecord, cf.BatchOpCacheUnregister:
+		c.Conn = d.string()
+		c.Name = d.string()
+	case cf.BatchOpCacheWrite:
+		c.Conn = d.string()
+		c.Name = d.string()
+		c.Data = d.bytes()
+		c.Cache = d.bool()
+		c.Changed = d.bool()
+		c.VecIdx = d.int()
+	case cf.BatchOpCacheCastoutEnd:
+		c.Conn = d.string()
+		c.Name = d.string()
+		c.Version = d.uvarint()
+	case cf.BatchOpListWrite:
+		c.Conn = d.string()
+		c.Idx = d.int()
+		c.Name = d.string()
+		c.Key = d.string()
+		c.Data = d.bytes()
+		c.Order = cf.Order(d.int())
+		c.Cond = d.cond()
+	case cf.BatchOpListDelete:
+		c.Conn = d.string()
+		c.Name = d.string()
+		c.Cond = d.cond()
+	default:
+		d.fail()
+	}
+	return c
+}
+
+func (e *encoder) batchCmds(cmds []cf.BatchCmd) {
+	e.uvarint(uint64(len(cmds)))
+	for i := range cmds {
+		e.batchCmd(&cmds[i])
+	}
+}
+
+func (d *decoder) batchCmds() []cf.BatchCmd {
+	n := d.uvarint()
+	// Each subcommand costs ≥ 1 byte; additionally a well-formed
+	// envelope never exceeds MaxBatchOps — reject both before
+	// allocating.
+	if d.err != nil || n > uint64(len(d.b)-d.off) || n > cf.MaxBatchOps {
+		d.fail()
+		return nil
+	}
+	out := make([]cf.BatchCmd, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.batchCmd())
+	}
+	return out
+}
+
+// Batch status encoding: one status byte per subcommand; non-OK
+// statuses carry the rendered detail string.
+
+func (e *encoder) batchErrs(errs []error) {
+	e.uvarint(uint64(len(errs)))
+	for _, err := range errs {
+		if err == nil {
+			e.u8(codeOK)
+			continue
+		}
+		code, detail := encodeErr(err)
+		e.u8(code)
+		e.string(detail)
+	}
+}
+
+func (d *decoder) batchErrs() []error {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.b)-d.off) || n > cf.MaxBatchOps {
+		d.fail()
+		return nil
+	}
+	out := make([]error, 0, n)
+	for i := uint64(0); i < n; i++ {
+		code := d.u8()
+		if code == codeOK {
+			out = append(out, nil)
+			continue
+		}
+		out = append(out, decodeErr(code, d.string()))
+	}
+	return out
 }

@@ -31,6 +31,24 @@ func FuzzDecoder(f *testing.F) {
 	var counts encoder
 	counts.uvarint(1 << 50)
 	f.Add(counts.b)
+	// Batch envelope seeds: a well-formed two-subcommand batch, the
+	// same one truncated mid-subcommand, and a forged count that
+	// promises more subcommands than the payload carries (the classic
+	// allocation-bomb shape the decoder must refuse).
+	var bseed encoder
+	bseed.batchCmds([]cf.BatchCmd{
+		cf.BatchLockRelease(5, "SYSA", cf.Exclusive),
+		cf.BatchListWrite("SYSA", 1, "id", "key", []byte("rec"), cf.Keyed, cf.Cond{Use: true}),
+	})
+	f.Add(bseed.b)
+	f.Add(bseed.b[:len(bseed.b)/2])
+	var bcount encoder
+	bcount.uvarint(uint64(cf.MaxBatchOps) + 1)
+	bcount.u8(uint8(cf.BatchOpLockRelease))
+	f.Add(bcount.b)
+	var berrs encoder
+	berrs.batchErrs([]error{nil, cf.ErrEntryNotFound, cf.ErrCFDown})
+	f.Add(berrs.b)
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		// Request-header shape.
@@ -50,6 +68,17 @@ func FuzzDecoder(f *testing.F) {
 			func(d *decoder) { d.cond() },
 			func(d *decoder) { d.bytes() },
 			func(d *decoder) { d.varint(); d.uvarint(); d.bool() },
+			func(d *decoder) {
+				if cmds := d.batchCmds(); len(cmds) > cf.MaxBatchOps {
+					t.Fatalf("batchCmds decoded %d subcommands > MaxBatchOps", len(cmds))
+				}
+			},
+			func(d *decoder) { d.batchCmd() },
+			func(d *decoder) {
+				if errs := d.batchErrs(); len(errs) > cf.MaxBatchOps {
+					t.Fatalf("batchErrs decoded %d statuses > MaxBatchOps", len(errs))
+				}
+			},
 		} {
 			dd := &decoder{b: payload}
 			dec(dd)

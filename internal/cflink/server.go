@@ -569,6 +569,10 @@ func (ses *session) dispatch(reqID uint64, op uint8, d *decoder) {
 		opListLen, opListEntries, opListTotalEntries, opListMonitor, opListUnmonitor:
 		ses.dispatchList(ctx, reqID, op, d)
 
+	// ---- batch envelope ----
+	case opBatch:
+		ses.dispatchBatch(ctx, reqID, d)
+
 	default:
 		ses.replyErr(reqID, fmt.Errorf("cflink: unknown opcode %d", op))
 	}
@@ -994,4 +998,55 @@ func (ses *session) dispatchList(ctx context.Context, reqID uint64, op uint8, d 
 		lst.Unmonitor(conn, list)
 		ses.reply(reqID, nil)
 	}
+}
+
+// dispatchBatch runs one batch envelope against the named structure:
+// the whole envelope executes as one server-side command (the
+// structure's Batch gate applies it all-or-nothing with respect to
+// facility death), and the response carries one status byte per
+// subcommand. The envelope's model is taken from its first subcommand;
+// a mixed envelope fails the structure's own validation.
+func (ses *session) dispatchBatch(ctx context.Context, reqID uint64, d *decoder) {
+	name := d.string()
+	cmds := d.batchCmds()
+	if err := d.finish(); err != nil {
+		ses.replyErr(reqID, err)
+		return
+	}
+	if len(cmds) == 0 {
+		ses.replyErr(reqID, fmt.Errorf("%w: empty batch", cf.ErrBadArgument))
+		return
+	}
+	model, ok := cmds[0].Op.Model()
+	if !ok {
+		ses.replyErr(reqID, fmt.Errorf("%w: unknown batch op %d", cf.ErrBadArgument, int(cmds[0].Op)))
+		return
+	}
+	var (
+		errs []error
+		err  error
+	)
+	fac := ses.srv.fac
+	switch model {
+	case cf.LockModel:
+		var ls cf.Lock
+		if ls, err = fac.LockStructure(name); err == nil {
+			errs, err = ls.Batch(ctx, cmds)
+		}
+	case cf.CacheModel:
+		var cs cf.Cache
+		if cs, err = fac.CacheStructure(name); err == nil {
+			errs, err = cs.Batch(ctx, cmds)
+		}
+	default:
+		var lst cf.List
+		if lst, err = fac.ListStructure(name); err == nil {
+			errs, err = lst.Batch(ctx, cmds)
+		}
+	}
+	if err != nil {
+		ses.replyErr(reqID, err)
+		return
+	}
+	ses.reply(reqID, func(e *encoder) { e.batchErrs(errs) })
 }

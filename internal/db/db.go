@@ -594,9 +594,13 @@ func (t *Tx) release() {
 	// Detached: releasing locks must succeed even when the caller's
 	// context is already cancelled, or the locks would be stranded.
 	ctx := vclock.Detach(t.ctx)
+	resources := make([]string, 0, len(t.locks))
 	for res := range t.locks {
-		t.e.locks.Unlock(ctx, t.id, res)
+		resources = append(resources, res)
 	}
+	// One CF batch for the whole release set: on a transport CF a
+	// commit's unlocks cross the link once instead of once per lock.
+	t.e.locks.UnlockAll(ctx, t.id, resources)
 	t.locks = map[string]bool{}
 }
 
@@ -653,35 +657,45 @@ func (e *Engine) applyChanges(ctx context.Context, owner string, changes []chang
 		}
 		return keys[i].page < keys[j].page
 	})
+	// Latch every page in sorted order (the global latch order, so no
+	// deadlock with concurrent committers), build all the new images,
+	// then write the whole group through the buffer pool as CF batches:
+	// the commit's page writes and their XI fan-out cross the link a
+	// chunk at a time instead of once per page.
+	latches := make([]string, 0, len(keys))
+	unlatch := func() {
+		e.locks.UnlockAll(ctx, owner, latches)
+	}
+	pages := make(map[string][]byte, len(keys))
 	for _, k := range keys {
 		latch := e.pageResource(k.table, k.page)
 		if err := e.locks.Lock(ctx, owner, latch, lockmgr.Exclusive, e.timeout); err != nil {
+			unlatch()
 			return err
 		}
-		err := func() error {
-			img, err := e.fetchPage(ctx, k.table, k.page)
-			if err != nil {
-				return err
-			}
-			for _, c := range grouped[k] {
-				if c.del {
-					img.delete(c.key)
-				} else {
-					img.set(c.key, c.after)
-				}
-			}
-			raw, err := img.encode()
-			if err != nil {
-				return err
-			}
-			return e.pool.WritePage(ctx, pageName(k.table, k.page), raw)
-		}()
-		e.locks.Unlock(ctx, owner, latch)
+		latches = append(latches, latch)
+		img, err := e.fetchPage(ctx, k.table, k.page)
 		if err != nil {
+			unlatch()
 			return err
 		}
+		for _, c := range grouped[k] {
+			if c.del {
+				img.delete(c.key)
+			} else {
+				img.set(c.key, c.after)
+			}
+		}
+		raw, err := img.encode()
+		if err != nil {
+			unlatch()
+			return err
+		}
+		pages[pageName(k.table, k.page)] = raw
 	}
-	return nil
+	err := e.pool.WritePages(ctx, pages)
+	unlatch()
+	return err
 }
 
 // fetchPage reads a page through the buffer pool and decodes it.

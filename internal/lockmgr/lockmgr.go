@@ -342,6 +342,103 @@ func (m *Manager) Unlock(ctx context.Context, owner, resourceName string) error 
 	return nil
 }
 
+// UnlockAll releases owner's hold on every named resource using one CF
+// batch: the local grant tables are updated in a single pass, then all
+// the entry releases — plus a record delete per exclusive — travel to
+// the CF as one envelope (one link crossing on a transport CF) via
+// cf.Lock.Batch, and finally local and remote waiters are woken. This
+// is the commit-time bulk release: a transaction's release set touches
+// independent entries, so per-key ordering inside the batch is enough.
+// Resources owner does not hold are skipped, matching Unlock.
+func (m *Manager) UnlockAll(ctx context.Context, owner string, resourceNames []string) error {
+	if len(resourceNames) == 0 {
+		return nil
+	}
+	type release struct {
+		name string
+		mode cf.LockMode
+	}
+	type remoteWake struct {
+		sys, name string
+	}
+	var (
+		rels    []release
+		toWake  []*waiter
+		remotes []remoteWake
+	)
+	m.mu.Lock()
+	for _, resourceName := range resourceNames {
+		r := m.resources[resourceName]
+		if r == nil {
+			continue
+		}
+		mode, ok := r.holders[owner]
+		if !ok {
+			continue
+		}
+		delete(r.holders, owner)
+		toWake = append(toWake, r.waiters...)
+		for sysN := range r.remoteWaiters {
+			remotes = append(remotes, remoteWake{sysN, resourceName})
+		}
+		r.remoteWaiters = make(map[string]bool)
+		if len(r.holders) == 0 && len(r.waiters) == 0 {
+			delete(m.resources, resourceName)
+		}
+		rels = append(rels, release{resourceName, mode})
+	}
+	m.mu.Unlock()
+	if len(rels) == 0 {
+		return nil
+	}
+
+	ls := m.structure()
+	cmds := make([]cf.BatchCmd, 0, 2*len(rels))
+	for _, rl := range rels {
+		cmds = append(cmds, cf.BatchLockRelease(ls.HashResource(rl.name), m.sysName, rl.mode))
+		if rl.mode == cf.Exclusive {
+			// A stale record is harmless: recovery re-grants and
+			// overwrites — its per-sub error is discarded below, same
+			// as Unlock discards DeleteRecord's.
+			cmds = append(cmds, cf.BatchLockDelRecord(m.sysName, rl.name))
+		}
+	}
+	var firstErr error
+	for start := 0; start < len(cmds); start += cf.MaxBatchOps {
+		chunk := cmds[start:min(start+cf.MaxBatchOps, len(cmds))]
+		errs, err := ls.Batch(ctx, chunk)
+		if err != nil {
+			if firstErr == nil && !errors.Is(err, cf.ErrNotConnected) {
+				firstErr = err
+			}
+			continue
+		}
+		for i, serr := range errs {
+			if serr == nil || errors.Is(serr, cf.ErrNotConnected) {
+				continue
+			}
+			if chunk[i].Op == cf.BatchOpLockDelRecord {
+				continue
+			}
+			if firstErr == nil {
+				firstErr = serr
+			}
+		}
+	}
+	// Wake waiters even if the CF refused something: the local grants
+	// are gone and the waiters must re-drive.
+	for _, w := range toWake {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	for _, rw := range remotes {
+		m.send(rw.sys, wireMsg{Type: msgWakeup, Resource: rw.name})
+	}
+	return firstErr
+}
+
 // HeldMode reports owner's current mode on a resource (0 if none).
 func (m *Manager) HeldMode(owner, resourceName string) cf.LockMode {
 	m.mu.Lock()

@@ -580,17 +580,19 @@ func (s *Stream) offloadOnce(ctx context.Context, force bool) (int, error) {
 	for _, id := range c.Pending {
 		pending[id] = true
 	}
+	var reap []string
 	live := entries[:0]
 	for _, e := range entries {
 		if c.HighKey != "" && e.Key <= c.HighKey {
 			if pending[e.ID] {
-				if err := s.list.Delete(ctx, m.sys, e.ID, cf.Cond{}); err != nil && !errors.Is(err, cf.ErrEntryNotFound) {
-					return 0, err
-				}
+				reap = append(reap, e.ID)
 			}
 			continue
 		}
 		live = append(live, e)
+	}
+	if err := s.deleteInterim(ctx, reap); err != nil {
+		return 0, err
 	}
 	n := len(live) - s.lowMark()
 	if !force && len(live) < s.highMark() {
@@ -636,11 +638,9 @@ func (s *Stream) offloadOnce(ctx context.Context, force bool) (int, error) {
 		crashed = true
 		return 0, errors.New("logr: simulated crash before interim cleanup")
 	}
-	// Phase 3: cleanup.
-	for _, e := range toMove {
-		if err := s.list.Delete(ctx, m.sys, e.ID, cf.Cond{}); err != nil && !errors.Is(err, cf.ErrEntryNotFound) {
-			return 0, err
-		}
+	// Phase 3: cleanup — one CF batch instead of a delete per record.
+	if err := s.deleteInterim(ctx, cur.Pending); err != nil {
+		return 0, err
 	}
 	m.reg.Counter("logr.offload.count").Inc()
 	m.reg.Counter("logr.offload.records").Add(int64(n))
@@ -648,6 +648,37 @@ func (s *Stream) offloadOnce(ctx context.Context, force bool) (int, error) {
 	m.reg.Histogram("logr.offload.duration").Observe(m.clock.Since(start))
 	m.reg.Gauge("logr.interim.entries").Set(int64(s.list.Len(listInterim)))
 	return n, nil
+}
+
+// deleteInterim removes the identified interim entries as one CF batch
+// per chunk instead of a command per record — offload cleanup is the
+// heaviest delete traffic the stream generates, and batching it turns
+// N link crossings into one on a transport CF. Already-deleted entries
+// are fine: both the phase-0 reap and phase-3 cleanup are idempotent
+// retries of work a crashed predecessor may have half-finished.
+func (s *Stream) deleteInterim(ctx context.Context, ids []string) error {
+	m := s.mgr
+	for start := 0; start < len(ids); start += cf.MaxBatchOps {
+		end := start + cf.MaxBatchOps
+		if end > len(ids) {
+			end = len(ids)
+		}
+		chunk := ids[start:end]
+		cmds := make([]cf.BatchCmd, len(chunk))
+		for i, id := range chunk {
+			cmds[i] = cf.BatchListDelete(m.sys, id, cf.Cond{})
+		}
+		errs, err := s.list.Batch(ctx, cmds)
+		if err != nil {
+			return err
+		}
+		for _, serr := range errs {
+			if serr != nil && !errors.Is(serr, cf.ErrEntryNotFound) {
+				return serr
+			}
+		}
+	}
+	return nil
 }
 
 // recoverOffload is the peer-takeover path: finish whatever a failed

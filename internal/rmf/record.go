@@ -114,6 +114,19 @@ type CFRMSection struct {
 	Reduplexes int64 `json:"reduplexes"`
 	// Fanout summarizes cfrm.duplex.fanout (mirrored-command cost).
 	Fanout LatencySummary `json:"fanout"`
+	// Batches/BatchOps are interval deltas of batched-command
+	// envelopes and the subcommands they carried; MeanBatch is ops
+	// per envelope (the link-amortization factor).
+	Batches   int64   `json:"batches,omitempty"`
+	BatchOps  int64   `json:"batchops,omitempty"`
+	MeanBatch float64 `json:"meanbatch,omitempty"`
+	// BatchOcc is the interval ops-per-batch occupancy histogram
+	// (fixed buckets "1", "2_7", "8_31", "32_127", "128p" ->
+	// envelope count); empty buckets are omitted.
+	BatchOcc map[string]int64 `json:"batchocc,omitempty"`
+	// AsyncInFlight is the number of asynchronous commands in flight
+	// at interval end (a gauge, not a delta).
+	AsyncInFlight int64 `json:"asyncinflight,omitempty"`
 }
 
 // LoggerSection reports System Logger activity over the interval
@@ -137,6 +150,13 @@ type Clone struct {
 	// FalseRate is FalseCont / Locks for the interval (the paper's
 	// "false lock contention" tuning target, §3.3.1).
 	FalseRate float64 `json:"falserate"`
+	// Batches/BatchOps are interval deltas of the system's batched CF
+	// envelopes and the subcommands they carried (attributed by the
+	// batch's connector name); AsyncInFlight is its asynchronous
+	// commands still in flight at interval end (a gauge).
+	Batches       int64 `json:"batches,omitempty"`
+	BatchOps      int64 `json:"batchops,omitempty"`
+	AsyncInFlight int64 `json:"asyncinflight,omitempty"`
 	// Util is WLM's utilization estimate at interval end.
 	Util float64 `json:"util"`
 	// Goals is WLM goal attainment per service class.

@@ -207,6 +207,22 @@ func (m *Monitor) SampleOnce(ctx context.Context) (Record, error) {
 		Reduplexes: rmDelta["cfrm.reduplex.count"],
 		Fanout:     summarize(rmSnap.Histograms["cfrm.duplex.fanout"], m.prevRM.Histograms["cfrm.duplex.fanout"].Count),
 	}
+	// Batched/async dispatch: envelope deltas, ops-per-batch occupancy
+	// and the in-flight gauge (see DESIGN §13).
+	r.CFRM.Batches = rmDelta["cfrm.op.batch"]
+	r.CFRM.BatchOps = rmDelta["cfrm.batch.ops"]
+	if r.CFRM.Batches > 0 {
+		r.CFRM.MeanBatch = round2(float64(r.CFRM.BatchOps) / float64(r.CFRM.Batches))
+	}
+	for _, b := range []string{"1", "2_7", "8_31", "32_127", "128p"} {
+		if n := rmDelta["cfrm.batch.occ."+b]; n > 0 {
+			if r.CFRM.BatchOcc == nil {
+				r.CFRM.BatchOcc = make(map[string]int64)
+			}
+			r.CFRM.BatchOcc[b] = n
+		}
+	}
+	r.CFRM.AsyncInFlight = rmSnap.Gauges["cfrm.async.inflight"]
 	m.prevRM = rmSnap
 
 	// Logger section.
@@ -242,6 +258,12 @@ func (m *Monitor) SampleOnce(ctx context.Context) (Record, error) {
 			}
 			m.prevSys[n] = cur
 		}
+		// Batch traffic is attributed to the system whose connector
+		// name the envelope carried (exploiters pass their system
+		// name), so the per-clone counters live on the CFRM registry.
+		c.Batches = rmDelta["cfrm.batch.count."+n]
+		c.BatchOps = rmDelta["cfrm.batch.ops."+n]
+		c.AsyncInFlight = rmSnap.Gauges["cfrm.async.inflight."+n]
 		if src.Util != nil {
 			c.Util = round2(src.Util())
 		}
