@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check demo bench bench-json bench-cf bench-cf-smoke bench-batch-smoke examples-smoke
+.PHONY: all build vet lint lint-json test race check demo bench bench-json bench-cf bench-cf-smoke bench-batch-smoke examples-smoke
 
 all: check
 
@@ -11,12 +11,20 @@ vet:
 	$(GO) vet ./...
 
 # sysplexlint enforces the repo-specific concurrency and determinism
-# invariants (lock hierarchy, atomic-only fields, the simulated-clock
-# rule, the duplexed-front rule, dropped CF command errors,
-# context-first command signatures). See DESIGN.md "Enforced
-# invariants".
+# invariants (lock hierarchy with module-wide deadlock-cycle detection,
+# atomic-only fields, the simulated-clock rule, the duplexed-front
+# rule, dropped or never-waited CF command errors, context-first
+# command signatures, goroutine shutdown paths, wire-protocol table
+# exhaustiveness, and the suppression census). See DESIGN.md
+# "Interprocedural enforcement". The driver prints load+analyze wall
+# time on stderr.
 lint:
 	$(GO) run ./cmd/sysplexlint
+
+# Machine-readable lint: full diagnostics plus the suppression census
+# as JSON, for CI artifacts and dashboards.
+lint-json:
+	$(GO) run ./cmd/sysplexlint -json > lint-report.json
 
 test:
 	$(GO) test ./...

@@ -1,24 +1,36 @@
 // Command sysplexlint is the repo's static-analysis multichecker: it
-// type-checks every package of the module and runs the six analyzers
-// of internal/analysis, which enforce the CF concurrency and
-// determinism invariants (lock hierarchy, atomic-only fields, the
-// simulated-clock rule, the duplexed-front rule, dropped CF command
-// errors, and context-first command signatures). See DESIGN.md
-// "Enforced invariants".
+// type-checks every package of the module in dependency order and runs
+// the analyzers of internal/analysis, which enforce the CF concurrency,
+// determinism, and wire-protocol invariants (interprocedural lock
+// hierarchy with module-wide deadlock-cycle detection, atomic-only
+// fields, the simulated-clock rule, the duplexed-front rule, dropped CF
+// command errors and unwaited completions, context-first command
+// signatures, goroutine shutdown paths, wire-table exhaustiveness, and
+// the suppression census). See DESIGN.md "Enforced invariants" and
+// "Interprocedural enforcement".
+//
+// Packages are type-checked and analyzed in parallel dependency waves;
+// analyzer facts (per-function summaries) flow from each package to its
+// importers, which is what makes the cross-package checks sound.
 //
 // Usage:
 //
-//	sysplexlint [-only lockorder,cferr] [-list] [-v]
+//	sysplexlint [-only lockorder,cferr] [-jobs N] [-json] [-list] [-v]
 //
-// Exit status: 0 clean, 1 diagnostics reported, 2 load/usage failure.
+// -json writes a machine-readable report (diagnostics plus the
+// suppression census of every lint*: escape) to stdout instead of the
+// human format. Exit status: 0 clean, 1 diagnostics reported, 2
+// load/usage failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
 	"strings"
+	"time"
 
 	"sysplex/internal/analysis"
 )
@@ -26,7 +38,9 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
-	verbose := flag.Bool("v", false, "print each package as it is checked")
+	verbose := flag.Bool("v", false, "print wave/package progress while checking")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "max packages type-checked/analyzed concurrently")
 	flag.Parse()
 
 	all := analysis.Analyzers()
@@ -58,45 +72,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sysplexlint: %v\n", err)
 		os.Exit(2)
 	}
-	paths, err := loader.ModulePackages()
+
+	loadStart := time.Now()
+	waves, err := loader.LoadModule(*jobs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sysplexlint: %v\n", err)
 		os.Exit(2)
 	}
-
-	var diags []analysis.Diagnostic
-	for _, path := range paths {
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "sysplexlint: checking %s\n", path)
+	loadTime := time.Since(loadStart)
+	if *verbose {
+		for i, wave := range waves {
+			names := make([]string, len(wave))
+			for j, p := range wave {
+				names[j] = p.Path
+			}
+			fmt.Fprintf(os.Stderr, "sysplexlint: wave %d: %s\n", i, strings.Join(names, " "))
 		}
-		pkg, err := loader.Load(path)
-		if err != nil {
+	}
+
+	analyzeStart := time.Now()
+	runner := &analysis.Runner{Loader: loader, Analyzers: analyzers, Jobs: *jobs}
+	diags, err := runner.Analyze(waves)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sysplexlint: %v\n", err)
+		os.Exit(2)
+	}
+	analyzeTime := time.Since(analyzeStart)
+
+	if *jsonOut {
+		rep := analysis.BuildReport(loader, waves, analyzers, diags)
+		rep.LoadMillis = loadTime.Milliseconds()
+		rep.AnalyzeMillis = analyzeTime.Milliseconds()
+		rep.Jobs = *jobs
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintf(os.Stderr, "sysplexlint: %v\n", err)
 			os.Exit(2)
 		}
-		ds, err := analysis.RunPackage(pkg, loader.Fset, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sysplexlint: %v\n", err)
-			os.Exit(2)
+	} else {
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			fmt.Printf("%s:%d:%d: %s (%s)\n",
+				relTo(loader.ModuleRoot, pos.Filename), pos.Line, pos.Column, d.Message, d.Analyzer)
 		}
-		diags = append(diags, ds...)
 	}
 
-	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := loader.Fset.Position(diags[i].Pos), loader.Fset.Position(diags[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		return pi.Column < pj.Column
-	})
-	for _, d := range diags {
-		pos := loader.Fset.Position(d.Pos)
-		fmt.Printf("%s:%d:%d: %s (%s)\n",
-			relTo(loader.ModuleRoot, pos.Filename), pos.Line, pos.Column, d.Message, d.Analyzer)
+	npkgs := 0
+	for _, wave := range waves {
+		npkgs += len(wave)
 	}
+	fmt.Fprintf(os.Stderr, "sysplexlint: %d packages in %d waves, %d analyzers, %d jobs: load %v + analyze %v = %v\n",
+		npkgs, len(waves), len(analyzers), *jobs,
+		loadTime.Round(time.Millisecond), analyzeTime.Round(time.Millisecond),
+		(loadTime + analyzeTime).Round(time.Millisecond))
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "sysplexlint: %d issue(s)\n", len(diags))
 		os.Exit(1)

@@ -1,0 +1,33 @@
+package analysis
+
+// Census enforces that every lint escape explains itself: a
+// `// lintwall:` / `// lintctx:` / `// lintgo:` comment with nothing
+// after the colon suppresses a diagnostic (or, for lintwall and
+// lintgo, silently fails to) without telling a reviewer why. CI runs
+// the census as part of `make lint`, so an unexplained new suppression
+// fails the build; `sysplexlint -json` additionally emits the full
+// census so the lint surface is archived per run.
+var Census = &Analyzer{
+	Name: "census",
+	Doc:  "require a non-empty reason on every lint*: escape comment",
+	Run:  runCensus,
+}
+
+func runCensus(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, g := range file.Comments {
+			for _, c := range g.List {
+				m := suppressionRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				if len(m[2]) == 0 {
+					pass.Reportf(c.Pos(),
+						"unexplained %s escape: write `// %s: <reason>` so the suppression census records why this site is exempt",
+						m[1], m[1])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GoroLeak requires every goroutine spawned in internal/ packages to
+// have a provable shutdown path. The sysplex tree is long-lived server
+// code — recovery managers, session loops, RMF interval tickers — and
+// its historical leak shape is the interval goroutine that selects on a
+// ticker but never on a done channel, keeping the ticker and its
+// closure alive after Stop().
+//
+// A goroutine body (or any function it calls) is flagged when it
+// contains a loop that can never exit: a `for { ... }` with no
+// reachable return, break (targeting that loop), goto, or panic on any
+// path, or an empty `select {}`. Bounded shapes pass without
+// annotation: `for cond`, any `range` (collections are finite; a
+// channel range ends when the channel closes), and loops whose body
+// returns from a select arm (the standard `case <-done: return`
+// discipline).
+//
+// The check is interprocedural: a function whose body spins forever
+// exports a fact, so `go m.dispatch()` is checked even when dispatch
+// lives three packages away. A deliberate forever-goroutine is
+// annotated at the spawn site:
+//
+//	// lintgo: process-lifetime dispatcher, dies with the address space
+//	go s.dispatch()
+//
+// and the census requires the reason to be non-empty.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "require every goroutine spawned in internal/ to have a provable shutdown path",
+	Run:  runGoroLeak,
+}
+
+// goroSpins is the fact exported for a function whose body contains an
+// inescapable loop; spawning it (or calling it from a goroutine) leaks.
+type goroSpins struct {
+	// loopLine is the loop's line in the defining package, for the
+	// diagnostic at the remote spawn site.
+	loopLine int
+}
+
+var lintgoRE = regexp.MustCompile(`^//[ \t]*lintgo:`)
+
+func runGoroLeak(pass *Pass) error {
+	if !goroLeakScope(pass.Pkg.Path()) {
+		return nil
+	}
+	g := &goroPass{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		spins: make(map[*types.Func]token.Pos),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					g.decls[fn] = fd
+				}
+			}
+		}
+	}
+	// Export spin facts for every local function so downstream spawn
+	// sites can check named callees.
+	for fn := range g.decls {
+		if pos := g.spinOf(fn); pos.IsValid() {
+			pass.ExportFact(fn, goroSpins{loopLine: pass.Fset.Position(pos).Line})
+		}
+	}
+	for _, file := range pass.Files {
+		escapes := lintgoLines(file, pass.Fset)
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			line := pass.Fset.Position(gs.Pos()).Line
+			if escapes[line] || escapes[line-1] {
+				return true
+			}
+			g.checkSpawn(gs)
+			return true
+		})
+	}
+	return nil
+}
+
+// goroLeakScope limits the analyzer to long-lived server code: the
+// internal tree and lint fixtures. Commands and examples run to
+// completion and may spawn fire-and-forget work.
+func goroLeakScope(path string) bool {
+	return strings.HasPrefix(path, "sysplex/internal/") ||
+		strings.HasPrefix(path, "lintfixture/")
+}
+
+type goroPass struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	spins map[*types.Func]token.Pos
+}
+
+// spinOf reports where fn's body spins forever (NoPos: it doesn't, or
+// fn is unresolvable). Local functions are computed and memoized;
+// other packages' functions resolve through the fact store.
+func (g *goroPass) spinOf(fn *types.Func) token.Pos {
+	if fn.Pkg() != g.pass.Pkg {
+		if f := g.pass.ImportFact(fn); f != nil {
+			// Synthesize a position-free marker: the caller reports at
+			// the spawn site and quotes the recorded line.
+			return token.Pos(1) // valid sentinel; line comes from the fact
+		}
+		return token.NoPos
+	}
+	if pos, ok := g.spins[fn]; ok {
+		return pos
+	}
+	g.spins[fn] = token.NoPos // recursion guard
+	decl, ok := g.decls[fn]
+	if !ok {
+		return token.NoPos
+	}
+	pos := findSpin(decl.Body)
+	g.spins[fn] = pos
+	return pos
+}
+
+// checkSpawn verifies one `go` statement: a literal body is scanned
+// directly (including functions it calls); a named callee is checked
+// through its spin fact.
+func (g *goroPass) checkSpawn(gs *ast.GoStmt) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if pos := findSpin(lit.Body); pos.IsValid() {
+			g.report(gs, "goroutine body", g.pass.Fset.Position(pos).Line)
+			return
+		}
+		// The literal may delegate the spinning to a named helper.
+		g.checkCalls(gs, lit.Body)
+		return
+	}
+	callee := calleeFunc(g.pass, gs.Call)
+	if callee == nil {
+		return
+	}
+	g.checkCallee(gs, callee)
+}
+
+// checkCalls flags calls inside a goroutine literal whose callee spins.
+func (g *goroPass) checkCalls(gs *ast.GoStmt, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if callee := calleeFunc(g.pass, n); callee != nil {
+				g.checkCallee(gs, callee)
+			}
+		}
+		return true
+	})
+}
+
+func (g *goroPass) checkCallee(gs *ast.GoStmt, callee *types.Func) {
+	pos := g.spinOf(callee)
+	if !pos.IsValid() {
+		return
+	}
+	line := 0
+	if callee.Pkg() == g.pass.Pkg {
+		line = g.pass.Fset.Position(pos).Line
+	} else if f := g.pass.ImportFact(callee); f != nil {
+		line = f.(goroSpins).loopLine
+	}
+	g.report(gs, callee.Name(), line)
+}
+
+func (g *goroPass) report(gs *ast.GoStmt, what string, loopLine int) {
+	g.pass.Reportf(gs.Pos(),
+		"goroutine never exits: %s loops forever (line %d) with no return, break, or panic on any path; select on a done/ctx channel and return, or annotate the spawn `// lintgo: <reason>`",
+		what, loopLine)
+}
+
+// lintgoLines maps file lines bearing a `// lintgo:` escape.
+func lintgoLines(file *ast.File, fset *token.FileSet) map[int]bool {
+	lines := make(map[int]bool)
+	for _, g := range file.Comments {
+		for _, c := range g.List {
+			if lintgoRE.MatchString(c.Text) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// findSpin returns the position of the first inescapable loop in body:
+// a condition-free `for` with no reachable exit, or an empty select.
+// Nested function literals and spawned goroutines are separate stacks
+// and are scanned at their own spawn/call sites.
+func findSpin(body ast.Node) token.Pos {
+	labels := loopLabels(body)
+	found := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			if len(n.Body.List) == 0 {
+				found = n.Select
+				return false
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopExits(n, labels[n]) {
+				found = n.For
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopLabels maps labeled for-loops to their label names so a labeled
+// break deep inside nested statements is credited to the right loop.
+func loopLabels(body ast.Node) map[*ast.ForStmt]string {
+	labels := make(map[*ast.ForStmt]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			if fs, ok := ls.Stmt.(*ast.ForStmt); ok {
+				labels[fs] = ls.Label.Name
+			}
+		}
+		return true
+	})
+	return labels
+}
+
+// loopExits reports whether a condition-free for-loop has any exit: a
+// return, a break targeting it (unlabeled at its own nesting depth, or
+// labeled with its label), a goto (assumed to jump out), or a panic.
+func loopExits(fs *ast.ForStmt, label string) bool {
+	exits := false
+	var walk func(n ast.Node, depth int)
+	walkList := func(list []ast.Stmt, depth int) {
+		for _, s := range list {
+			walk(s, depth)
+		}
+	}
+	walk = func(n ast.Node, depth int) {
+		if exits || n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			// A nested stack's return does not exit this loop.
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.BREAK:
+				if (n.Label == nil && depth == 0) || (n.Label != nil && n.Label.Name == label) {
+					exits = true
+				}
+			case token.GOTO:
+				exits = true
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					exits = true
+				}
+			}
+		case *ast.BlockStmt:
+			walkList(n.List, depth)
+		case *ast.LabeledStmt:
+			walk(n.Stmt, depth)
+		case *ast.IfStmt:
+			walk(n.Body, depth)
+			walk(n.Else, depth)
+		case *ast.ForStmt:
+			walk(n.Body, depth+1)
+		case *ast.RangeStmt:
+			walk(n.Body, depth+1)
+		case *ast.SwitchStmt:
+			walk(n.Body, depth+1)
+		case *ast.TypeSwitchStmt:
+			walk(n.Body, depth+1)
+		case *ast.SelectStmt:
+			walk(n.Body, depth+1)
+		case *ast.CaseClause:
+			walkList(n.Body, depth)
+		case *ast.CommClause:
+			walkList(n.Body, depth)
+		}
+	}
+	walk(fs.Body, 0)
+	return exits
+}

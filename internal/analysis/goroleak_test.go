@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestGoroLeak(t *testing.T) {
+	RunFixture(t, GoroLeak, "goroleak")
+}

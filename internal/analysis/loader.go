@@ -7,10 +7,13 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -22,19 +25,35 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Deps are the module-internal import paths (set by LoadModule; the
+	// runner schedules analysis waves from them).
+	Deps []string
 }
 
 // Loader parses and type-checks packages of the enclosing module using
 // only the standard library: module-internal imports resolve against
-// the module tree, everything else through the source importer (the
-// standard library is type-checked from GOROOT sources, so no compiled
-// export data or network is needed).
+// the module tree, everything else through compiled export data when
+// the go tool can supply it (`go list -export`, one subprocess per
+// run — reading export data is an order of magnitude faster than
+// type-checking library sources) and otherwise through the source
+// importer, which needs no export data or network at all.
+//
+// Two entry points: Load/LoadDir type-check one package and its
+// dependencies recursively on the calling goroutine (the fixture
+// path); LoadModule type-checks the whole module in dependency waves,
+// checking independent packages concurrently (the sysplexlint path —
+// the type-check itself is the dominant lint cost, so the waves are
+// where `make lint` wall time goes down).
 type Loader struct {
 	Fset       *token.FileSet
 	ModuleRoot string
 	ModulePath string
 
-	std     types.ImporterFrom
+	std   types.ImporterFrom
+	gc    types.Importer // export-data importer; nil without go tool
+	stdMu sync.Mutex     // neither library importer is concurrency-safe
+
+	pkMu    sync.RWMutex // guards pkgs; loading is sequential-path-only
 	pkgs    map[string]*Package
 	loading map[string]bool
 }
@@ -56,9 +75,44 @@ func NewLoader(dir string) (*Loader, error) {
 		ModuleRoot: root,
 		ModulePath: modPath,
 		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		gc:         exportDataImporter(fset, root),
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
 	}, nil
+}
+
+// exportDataImporter builds a compiled-export-data importer for the
+// module's library dependencies, or nil when the go tool (or its build
+// cache) can't supply them — the loader then falls back to the source
+// importer. One `go list -export` subprocess maps every dependency
+// import path to its export file; with a warm build cache (anything
+// that ran `go build ./...` first) this costs well under a second and
+// saves several seconds of library source type-checking per lint run.
+func exportDataImporter(fset *token.FileSet, root string) types.Importer {
+	cmd := exec.Command("go", "list", "-export", "-deps",
+		"-f", "{{if .Export}}{{.ImportPath}}={{.Export}}{{end}}", "./...")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		return nil
+	}
+	exports := make(map[string]string)
+	for _, line := range strings.Split(string(out), "\n") {
+		if path, file, ok := strings.Cut(strings.TrimSpace(line), "="); ok {
+			exports[path] = file
+		}
+	}
+	if len(exports) == 0 {
+		return nil
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing
@@ -94,8 +148,31 @@ func modulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
 }
 
+func (l *Loader) cached(path string) *Package {
+	l.pkMu.RLock()
+	defer l.pkMu.RUnlock()
+	return l.pkgs[path]
+}
+
+func (l *Loader) store(p *Package) {
+	l.pkMu.Lock()
+	defer l.pkMu.Unlock()
+	l.pkgs[p.Path] = p
+}
+
+func (l *Loader) importStd(path string) (*types.Package, error) {
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
+	if l.gc != nil {
+		if tp, err := l.gc.Import(path); err == nil {
+			return tp, nil
+		}
+	}
+	return l.std.Import(path)
+}
+
 // Import implements types.Importer for the type-checker's resolution of
-// dependency packages.
+// dependency packages on the sequential (fixture) path.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	p, err := l.Load(path)
 	if err != nil {
@@ -107,16 +184,16 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 // Load returns the package at the given import path, type-checking it
 // (and its dependencies) on first use.
 func (l *Loader) Load(path string) (*Package, error) {
-	if p, ok := l.pkgs[path]; ok {
+	if p := l.cached(path); p != nil {
 		return p, nil
 	}
 	if path != l.ModulePath && !strings.HasPrefix(path, l.ModulePath+"/") {
-		tp, err := l.std.Import(path)
+		tp, err := l.importStd(path)
 		if err != nil {
 			return nil, err
 		}
 		p := &Package{Path: path, Pkg: tp}
-		l.pkgs[path] = p
+		l.store(p)
 		return p, nil
 	}
 	dir := filepath.Join(l.ModuleRoot, strings.TrimPrefix(path, l.ModulePath))
@@ -125,9 +202,11 @@ func (l *Loader) Load(path string) (*Package, error) {
 
 // LoadDir parses and type-checks the non-test Go files of dir as the
 // package with import path path. Fixture packages under testdata load
-// through this with a synthetic path.
+// through this with a synthetic path. Dependencies load recursively on
+// the calling goroutine; LoadDir itself is not for concurrent use
+// (LoadModule is).
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
-	if p, ok := l.pkgs[path]; ok {
+	if p := l.cached(path); p != nil {
 		return p, nil
 	}
 	if l.loading[path] {
@@ -136,6 +215,15 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	l.loading[path] = true
 	defer delete(l.loading, path)
 
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(dir, path, files, l)
+}
+
+// parseDir parses the non-test Go files of dir.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	names, err := GoFilesIn(dir)
 	if err != nil {
 		return nil, err
@@ -151,6 +239,12 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		}
 		files = append(files, f)
 	}
+	return files, nil
+}
+
+// check type-checks parsed files as one package, resolving imports
+// through imp, and caches the result.
+func (l *Loader) check(dir, path string, files []*ast.File, imp types.Importer) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -160,7 +254,7 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	}
 	var typeErrs []error
 	conf := types.Config{
-		Importer: l,
+		Importer: imp,
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
 	tpkg, err := conf.Check(path, l.Fset, files, info)
@@ -171,8 +265,163 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
 	p := &Package{Path: path, Dir: dir, Files: files, Pkg: tpkg, Info: info}
-	l.pkgs[path] = p
+	l.store(p)
 	return p, nil
+}
+
+// strictImporter resolves imports during a LoadModule wave: module
+// packages must already be cached (the wave schedule guarantees it),
+// everything else goes to the mutex-guarded source importer. It never
+// recurses into module loading, so concurrent checks stay safe.
+type strictImporter struct{ l *Loader }
+
+func (s strictImporter) Import(path string) (*types.Package, error) {
+	l := s.l
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		if p := l.cached(path); p != nil {
+			return p.Pkg, nil
+		}
+		return nil, fmt.Errorf("analysis: module dependency %q not loaded before its importer (wave scheduling bug)", path)
+	}
+	if p := l.cached(path); p != nil {
+		return p.Pkg, nil
+	}
+	tp, err := l.importStd(path)
+	if err != nil {
+		return nil, err
+	}
+	l.store(&Package{Path: path, Pkg: tp})
+	return tp, nil
+}
+
+// LoadModule parses and type-checks every package of the module,
+// returning them as dependency waves: every package's module-internal
+// imports live in an earlier wave, so wave N+1 may consume facts
+// exported while analyzing wave N, and packages within one wave are
+// independent and can be checked (and analyzed) concurrently. jobs
+// bounds the concurrency (<=0 means serial).
+func (l *Loader) LoadModule(jobs int) ([][]*Package, error) {
+	paths, err := l.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	if jobs <= 0 {
+		jobs = 1
+	}
+
+	// Parse every package up front (concurrently — token.FileSet is
+	// safe for concurrent use) and record module-internal imports.
+	type parsed struct {
+		dir   string
+		files []*ast.File
+		deps  []string
+		err   error
+	}
+	byPath := make(map[string]*parsed, len(paths))
+	inModule := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		byPath[p] = &parsed{}
+		inModule[p] = true
+	}
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for _, path := range paths {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pr := byPath[path]
+			pr.dir = filepath.Join(l.ModuleRoot, strings.TrimPrefix(path, l.ModulePath))
+			pr.files, pr.err = l.parseDir(pr.dir)
+			if pr.err != nil {
+				return
+			}
+			seen := map[string]bool{}
+			for _, f := range pr.files {
+				for _, imp := range f.Imports {
+					ip := strings.Trim(imp.Path.Value, `"`)
+					if inModule[ip] && !seen[ip] {
+						seen[ip] = true
+						pr.deps = append(pr.deps, ip)
+					}
+				}
+			}
+			sort.Strings(pr.deps)
+		}(path)
+	}
+	wg.Wait()
+	for _, path := range paths {
+		if err := byPath[path].err; err != nil {
+			return nil, err
+		}
+	}
+
+	// Kahn's algorithm over the module-internal import DAG, emitting
+	// whole waves.
+	indeg := make(map[string]int, len(paths))
+	dependents := make(map[string][]string)
+	for _, path := range paths {
+		indeg[path] = len(byPath[path].deps)
+		for _, d := range byPath[path].deps {
+			dependents[d] = append(dependents[d], path)
+		}
+	}
+	var ready []string
+	for _, path := range paths {
+		if indeg[path] == 0 {
+			ready = append(ready, path)
+		}
+	}
+	var waves [][]*Package
+	done := 0
+	for len(ready) > 0 {
+		sort.Strings(ready)
+		wave := make([]*Package, len(ready))
+		var werr error
+		var wmu sync.Mutex
+		var wwg sync.WaitGroup
+		for i, path := range ready {
+			wwg.Add(1)
+			go func(i int, path string) {
+				defer wwg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				pr := byPath[path]
+				p, err := l.check(pr.dir, path, pr.files, strictImporter{l})
+				wmu.Lock()
+				defer wmu.Unlock()
+				if err != nil {
+					if werr == nil {
+						werr = err
+					}
+					return
+				}
+				p.Deps = pr.deps
+				wave[i] = p
+			}(i, path)
+		}
+		wwg.Wait()
+		if werr != nil {
+			return nil, werr
+		}
+		waves = append(waves, wave)
+		done += len(ready)
+		var next []string
+		for _, path := range ready {
+			for _, dep := range dependents[path] {
+				indeg[dep]--
+				if indeg[dep] == 0 {
+					next = append(next, dep)
+				}
+			}
+		}
+		ready = next
+	}
+	if done != len(paths) {
+		return nil, fmt.Errorf("analysis: import cycle among module packages (%d of %d scheduled)", done, len(paths))
+	}
+	return waves, nil
 }
 
 // GoFilesIn lists the non-test Go files of dir, sorted.

@@ -1,12 +1,15 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
+	"sync"
 )
 
 // LockOrder enforces the CF lock hierarchy declared by in-source
@@ -16,26 +19,37 @@ import (
 //	// lintlock: level=30 ordered
 //	mu sync.Mutex
 //
-// Levels grow outer→inner: a function that directly holds a lock of
-// level N may only acquire locks of level > N. Acquiring at a level at
-// or below one already held is the outer-after-stripe / entry-after-
-// entry inversion this analyzer exists to catch. The `ordered` token
-// permits holding several instances of the *same* field at once (the
+// Levels grow outer→inner: a function that holds a lock of level N may
+// only acquire locks of level > N. Acquiring at a level at or below
+// one already held is the outer-after-stripe / entry-after-entry
+// inversion this analyzer exists to catch. The `ordered` token permits
+// holding several instances of the *same* field at once (the
 // all-stripe and two-list-header acquisitions, which the code keeps
 // deadlock-free by acquiring in ascending index order — a discipline
 // the annotation documents but cannot statically prove).
 //
-// The analysis is intra-procedural and path-approximate: Lock/RLock
-// and Unlock/RUnlock calls on annotated fields are replayed through
-// each function body's statement structure. Branches (if/switch/
-// select) fork the held set and merge afterwards, so a Lock in one arm
-// and an RLock in the other never appear held together; a branch that
-// returns contributes nothing to the merge. Deferred unlocks keep
-// their lock held to function end. Unannotated locks are ignored.
+// The analysis is interprocedural and summary-based. Within a
+// function, Lock/RLock and Unlock/RUnlock calls on annotated fields
+// are replayed through the body's statement structure: branches
+// (if/switch/select) fork the held set and merge afterwards, deferred
+// unlocks keep their lock held to function end, and unannotated locks
+// are ignored. Additionally, every function's *transitive acquire set*
+// — the annotated locks it (or anything it calls, across package
+// boundaries via exported facts) may acquire — is summarized, and each
+// call site checks the callee's summary against the locks held there.
+// A violation that no single function exhibits (f holds the outer
+// RWMutex and calls g; g, three packages away, takes a stripe below
+// it) is reported at the call site with the acquisition path.
+//
+// Every acquired-while-held pair also becomes an edge in the
+// module-wide lock-acquisition graph; after the last package, the
+// Finish hook reports any cycle in that graph as a potential deadlock,
+// naming the full loop (see DESIGN.md "Interprocedural enforcement").
 var LockOrder = &Analyzer{
-	Name: "lockorder",
-	Doc:  "check mutex acquisitions against the `// lintlock: level=N` hierarchy",
-	Run:  runLockOrder,
+	Name:   "lockorder",
+	Doc:    "check mutex acquisitions against the `// lintlock: level=N` hierarchy, across call boundaries",
+	Run:    runLockOrder,
+	Finish: finishLockOrder,
 }
 
 var lintlockRE = regexp.MustCompile(`lintlock:\s*level=(\d+)(\s+ordered)?`)
@@ -44,6 +58,8 @@ var lintlockRE = regexp.MustCompile(`lintlock:\s*level=(\d+)(\s+ordered)?`)
 type lockAnn struct {
 	level   int
 	ordered bool
+	// qname is the diagnostic name "pkg.Type.field".
+	qname string
 }
 
 // lockEvent is one Lock/Unlock call on an annotated field.
@@ -55,24 +71,120 @@ type lockEvent struct {
 	name    string // receiver expression text-ish, for diagnostics
 }
 
+// lockAcquire is one entry of a function's transitive acquire summary.
+type lockAcquire struct {
+	fld *types.Var
+	ann lockAnn
+	pos token.Pos
+	// via is the call path from the summarized function to the acquire
+	// ("" when the function locks the field itself).
+	via string
+}
+
+// lockSummary is the fact exported per function: every annotated lock
+// the function may acquire, directly or through calls (deduped by
+// field; defers included, spawned goroutines excluded — they acquire
+// on their own stack).
+type lockSummary struct {
+	acquires []lockAcquire
+}
+
+// lockGraph is the module-wide lock-acquisition graph, accumulated in
+// the run's fact store across (possibly concurrent) package passes.
+type lockGraph struct {
+	mu    sync.Mutex
+	edges map[lockEdge]lockEdgeInfo
+}
+
+type lockEdge struct{ from, to *types.Var }
+
+type lockEdgeInfo struct {
+	pos                token.Pos
+	fromName, toName   string
+	fromLevel, toLevel int
+	via                string
+}
+
+func newLockGraph() any { return &lockGraph{edges: make(map[lockEdge]lockEdgeInfo)} }
+
+func (g *lockGraph) addEdge(from, to lockEvent, via string, pos token.Pos) {
+	if from.fld == to.fld {
+		// Same-field pairs are the `ordered` multi-instance idiom (or a
+		// pairwise-reported re-entry); either way a self-edge would make
+		// every multi-hold a "cycle".
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := lockEdge{from.fld, to.fld}
+	if _, ok := g.edges[key]; ok {
+		return
+	}
+	g.edges[key] = lockEdgeInfo{
+		pos:       pos,
+		fromName:  from.ann.qname,
+		toName:    to.ann.qname,
+		fromLevel: from.ann.level,
+		toLevel:   to.ann.level,
+		via:       via,
+	}
+}
+
+// lockPass is the per-package lockorder state: local annotations, the
+// package's function bodies, and memoized summaries.
+type lockPass struct {
+	pass   *Pass
+	anns   map[*types.Var]lockAnn
+	decls  map[*types.Func]*ast.FuncDecl
+	sums   map[*types.Func]*lockSummary
+	inProg map[*types.Func]bool
+	graph  *lockGraph
+}
+
 func runLockOrder(pass *Pass) error {
-	anns := collectLockAnns(pass)
-	if len(anns) == 0 {
-		return nil
+	lp := &lockPass{
+		pass:   pass,
+		anns:   collectLockAnns(pass),
+		decls:  make(map[*types.Func]*ast.FuncDecl),
+		sums:   make(map[*types.Func]*lockSummary),
+		inProg: make(map[*types.Func]bool),
+		graph:  pass.ModuleState(newLockGraph).(*lockGraph),
+	}
+	// Export annotated fields so downstream packages can classify
+	// acquisitions of exported locks.
+	for fld, ann := range lp.anns {
+		pass.ExportFact(fld, ann)
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					lp.decls[fn] = fd
+				}
+			}
+		}
+	}
+	// Summarize every function (exporting non-empty summaries as facts
+	// for downstream packages), then replay bodies with held-set
+	// checking against those summaries.
+	for fn := range lp.decls {
+		if s := lp.summaryOf(fn); s != nil && len(s.acquires) > 0 {
+			pass.ExportFact(fn, s)
+		}
 	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					checkLockBody(pass, anns, fn.Body)
+					lp.checkBody(fn.Body)
 				}
 				return false
 			case *ast.FuncLit:
 				// Top-level function literals (package-level var
 				// initializers); literals inside FuncDecl bodies are
 				// covered by the enclosing body walk.
-				checkLockBody(pass, anns, fn.Body)
+				lp.checkBody(fn.Body)
 				return false
 			}
 			return true
@@ -81,63 +193,132 @@ func runLockOrder(pass *Pass) error {
 	return nil
 }
 
-// collectLockAnns maps annotated struct-field objects to their levels.
-func collectLockAnns(pass *Pass) map[*types.Var]lockAnn {
-	anns := make(map[*types.Var]lockAnn)
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok {
-				return true
-			}
-			for _, field := range st.Fields.List {
-				ann, ok := parseLintlock(field.Doc, field.Comment)
-				if !ok {
-					continue
-				}
-				for _, name := range field.Names {
-					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
-						anns[v] = ann
-					}
-				}
-			}
-			return true
-		})
+// annOf resolves a field's annotation: local declaration first, then
+// the fact exported by the field's own package.
+func (lp *lockPass) annOf(fld *types.Var) (lockAnn, bool) {
+	if ann, ok := lp.anns[fld]; ok {
+		return ann, true
 	}
-	return anns
-}
-
-func parseLintlock(groups ...*ast.CommentGroup) (lockAnn, bool) {
-	for _, g := range groups {
-		if g == nil {
-			continue
-		}
-		for _, c := range g.List {
-			m := lintlockRE.FindStringSubmatch(c.Text)
-			if m == nil {
-				continue
-			}
-			level, err := strconv.Atoi(m[1])
-			if err != nil {
-				continue
-			}
-			return lockAnn{level: level, ordered: m[2] != ""}, true
-		}
+	if f := lp.pass.ImportFact(fld); f != nil {
+		return f.(lockAnn), true
 	}
 	return lockAnn{}, false
 }
 
-// checkLockBody replays the body's lock events through its statement
-// structure and reports hierarchy violations.
-func checkLockBody(pass *Pass, anns map[*types.Var]lockAnn, body *ast.BlockStmt) {
-	c := &lockChecker{pass: pass, anns: anns}
+// summaryOf returns fn's transitive acquire summary: local functions
+// are computed (memoized, recursion-safe) from their bodies; functions
+// of other packages resolve through the fact store. nil means no
+// summary is available (interface methods, stdlib).
+func (lp *lockPass) summaryOf(fn *types.Func) *lockSummary {
+	if fn.Pkg() != lp.pass.Pkg {
+		if f := lp.pass.ImportFact(fn); f != nil {
+			return f.(*lockSummary)
+		}
+		return nil
+	}
+	if s, ok := lp.sums[fn]; ok {
+		return s
+	}
+	decl, ok := lp.decls[fn]
+	if !ok {
+		return nil
+	}
+	if lp.inProg[fn] {
+		return nil // recursion: the cycle's acquires are collected at its entry
+	}
+	lp.inProg[fn] = true
+	s := &lockSummary{}
+	lp.collectAcquires(decl.Body, s, "")
+	delete(lp.inProg, fn)
+	lp.sums[fn] = s
+	return s
+}
+
+// maxViaDepth bounds the reported acquisition path; deeper chains keep
+// the truncated prefix.
+const maxViaDepth = 5
+
+// collectAcquires walks a body gathering every annotated lock it may
+// acquire, following calls. Spawned goroutines are skipped (their
+// acquisitions happen on another stack); deferred calls are included
+// (they run before the function returns to its caller).
+func (lp *lockPass) collectAcquires(body ast.Node, s *lockSummary, via string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if ev, ok := lp.lockCall(n); ok && ev.acquire {
+				s.add(lockAcquire{fld: ev.fld, ann: ev.ann, pos: ev.pos, via: via})
+				return true
+			}
+			callee := calleeFunc(lp.pass, n)
+			if callee == nil || callee == interfaceMethod(lp.pass, n) {
+				return true
+			}
+			if cs := lp.summaryOf(callee); cs != nil {
+				for _, a := range cs.acquires {
+					if strings.Count(via, "→") >= maxViaDepth {
+						continue
+					}
+					s.add(lockAcquire{fld: a.fld, ann: a.ann, pos: n.Pos(), via: joinVia(via, joinVia(callee.Name(), a.via))})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// add appends an acquire, deduping by field (first path wins).
+func (s *lockSummary) add(a lockAcquire) {
+	for _, have := range s.acquires {
+		if have.fld == a.fld {
+			return
+		}
+	}
+	s.acquires = append(s.acquires, a)
+}
+
+func joinVia(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + " → " + b
+}
+
+// interfaceMethod returns the callee when the call goes through an
+// interface (no body to summarize — treated as acquire-free), nil
+// otherwise.
+func interfaceMethod(pass *Pass, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := pass.Info.Selections[sel]
+	if s == nil {
+		return nil
+	}
+	if _, ok := s.Recv().Underlying().(*types.Interface); ok {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// checkBody replays the body's lock and call events through its
+// statement structure and reports hierarchy violations.
+func (lp *lockPass) checkBody(body *ast.BlockStmt) {
+	c := &lockChecker{lp: lp}
 	c.block(body.List, nil)
 }
 
 // lockChecker threads the held-lock set through a function body.
 type lockChecker struct {
-	pass *Pass
-	anns map[*types.Var]lockAnn
+	lp *lockPass
 }
 
 // block replays a statement list; the second result reports whether the
@@ -251,29 +432,47 @@ func (c *lockChecker) clauses(list []ast.Stmt, held []lockEvent) ([]lockEvent, b
 	return out, false
 }
 
-// scan replays the lock calls inside an expression or leaf statement in
-// source order. Nested function literals are replayed as separate
-// bodies (they run on their own goroutine or at an unrelated time).
+// replayEvent is one source-ordered occurrence inside an expression:
+// either a direct lock event or a call whose summary is checked.
+type replayEvent struct {
+	pos    token.Pos
+	lock   *lockEvent
+	call   *types.Func
+	callAt token.Pos
+}
+
+// scan replays the lock and call events inside an expression or leaf
+// statement in source order. Nested function literals are replayed as
+// separate bodies (they run on their own goroutine or at an unrelated
+// time).
 func (c *lockChecker) scan(n ast.Node, held []lockEvent) []lockEvent {
 	if n == nil {
 		return held
 	}
-	var events []lockEvent
+	var events []replayEvent
 	ast.Inspect(n, func(n ast.Node) bool {
 		if lit, ok := n.(*ast.FuncLit); ok {
-			checkLockBody(c.pass, c.anns, lit.Body)
+			c.lp.checkBody(lit.Body)
 			return false
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
 			if ev, ok := c.lockCall(call); ok {
-				events = append(events, ev)
+				events = append(events, replayEvent{pos: ev.pos, lock: &ev})
+				return true
+			}
+			if callee := calleeFunc(c.lp.pass, call); callee != nil {
+				events = append(events, replayEvent{pos: call.Pos(), call: callee, callAt: call.Pos()})
 			}
 		}
 		return true
 	})
 	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
 	for _, ev := range events {
-		held = c.apply(ev, held)
+		if ev.lock != nil {
+			held = c.apply(*ev.lock, held)
+		} else {
+			c.applyCall(ev.call, ev.callAt, held)
+		}
 	}
 	return held
 }
@@ -283,7 +482,7 @@ func (c *lockChecker) scan(n ast.Node, held []lockEvent) []lockEvent {
 func (c *lockChecker) litsOnly(n ast.Node) {
 	ast.Inspect(n, func(n ast.Node) bool {
 		if lit, ok := n.(*ast.FuncLit); ok {
-			checkLockBody(c.pass, c.anns, lit.Body)
+			c.lp.checkBody(lit.Body)
 			return false
 		}
 		return true
@@ -293,6 +492,10 @@ func (c *lockChecker) litsOnly(n ast.Node) {
 // lockCall recognizes a Lock/RLock/Unlock/RUnlock call on an annotated
 // field.
 func (c *lockChecker) lockCall(call *ast.CallExpr) (lockEvent, bool) {
+	return c.lp.lockCall(call)
+}
+
+func (lp *lockPass) lockCall(call *ast.CallExpr) (lockEvent, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return lockEvent{}, false
@@ -306,15 +509,15 @@ func (c *lockChecker) lockCall(call *ast.CallExpr) (lockEvent, bool) {
 		return lockEvent{}, false
 	}
 	// The method must be sync.Mutex/RWMutex's.
-	msel := c.pass.Info.Selections[sel]
+	msel := lp.pass.Info.Selections[sel]
 	if msel == nil || msel.Obj().Pkg() == nil || msel.Obj().Pkg().Path() != "sync" {
 		return lockEvent{}, false
 	}
-	fld := lockField(c.pass, sel.X)
+	fld := lockField(lp.pass, sel.X)
 	if fld == nil {
 		return lockEvent{}, false
 	}
-	ann, ok := c.anns[fld]
+	ann, ok := lp.annOf(fld)
 	if !ok {
 		return lockEvent{}, false
 	}
@@ -323,63 +526,12 @@ func (c *lockChecker) lockCall(call *ast.CallExpr) (lockEvent, bool) {
 		acquire: acquire,
 		fld:     fld,
 		ann:     ann,
-		name:    lockName(c.pass, sel.X),
+		name:    lockName(lp.pass, sel.X),
 	}, true
 }
 
-// apply checks one event against the held set and updates it.
-func (c *lockChecker) apply(ev lockEvent, held []lockEvent) []lockEvent {
-	if !ev.acquire {
-		for i := len(held) - 1; i >= 0; i-- {
-			if held[i].fld == ev.fld {
-				return append(held[:i:i], held[i+1:]...)
-			}
-		}
-		return held
-	}
-	for _, h := range held {
-		switch {
-		case h.ann.level > ev.ann.level:
-			c.pass.Reportf(ev.pos,
-				"lock hierarchy inversion: acquires %s (lintlock level %d) while holding %s (level %d); levels must be acquired in increasing order",
-				ev.name, ev.ann.level, h.name, h.ann.level)
-		case h.ann.level == ev.ann.level && !(h.fld == ev.fld && ev.ann.ordered):
-			c.pass.Reportf(ev.pos,
-				"lock hierarchy violation: acquires %s (lintlock level %d) while holding %s at the same level; only a field marked `ordered` may be multiply held",
-				ev.name, ev.ann.level, h.name)
-		}
-	}
-	return append(held, ev)
-}
-
-// cloneHeld copies a held set so sibling branches replay independently.
-func cloneHeld(held []lockEvent) []lockEvent {
-	return append([]lockEvent(nil), held...)
-}
-
-// mergeHeld unions two branch outcomes, keeping one entry per field:
-// for hierarchy checks only the field's level matters, and collapsing
-// duplicates keeps a Lock-or-RLock split from double-reporting.
-func mergeHeld(a, b []lockEvent) []lockEvent {
-	out := cloneHeld(a)
-	for _, ev := range b {
-		dup := false
-		for _, h := range out {
-			if h.fld == ev.fld {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, ev)
-		}
-	}
-	return out
-}
-
-// lockField resolves the receiver expression of a Lock/Unlock call to
-// the struct-field object it names (nil when it is not a field
-// selection, e.g. a local mutex variable).
+// lockField resolves the receiver of a Lock call to the struct-field
+// variable it names (nil when the receiver is not a field selector).
 func lockField(pass *Pass, x ast.Expr) *types.Var {
 	sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
 	if !ok {
@@ -424,4 +576,288 @@ func exprTail(x ast.Expr) string {
 		return exprTail(e.X)
 	}
 	return "…"
+}
+
+// apply checks one direct event against the held set and updates it.
+func (c *lockChecker) apply(ev lockEvent, held []lockEvent) []lockEvent {
+	if !ev.acquire {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].fld == ev.fld {
+				return append(held[:i:i], held[i+1:]...)
+			}
+		}
+		return held
+	}
+	for _, h := range held {
+		c.lp.graph.addEdge(h, ev, "", ev.pos)
+		switch {
+		case h.ann.level > ev.ann.level:
+			c.lp.pass.Reportf(ev.pos,
+				"lock hierarchy inversion: acquires %s (lintlock level %d) while holding %s (level %d); levels must be acquired in increasing order",
+				ev.name, ev.ann.level, h.name, h.ann.level)
+		case h.ann.level == ev.ann.level && !(h.fld == ev.fld && ev.ann.ordered):
+			c.lp.pass.Reportf(ev.pos,
+				"lock hierarchy violation: acquires %s (lintlock level %d) while holding %s at the same level; only a field marked `ordered` may be multiply held",
+				ev.name, ev.ann.level, h.name)
+		}
+	}
+	return append(held, ev)
+}
+
+// applyCall checks a callee's transitive acquire summary against the
+// locks held at the call site. The held set is not mutated: summaries
+// answer "may acquire", not "returns holding" (a net-locking helper's
+// later acquisitions are the helper's own to order).
+func (c *lockChecker) applyCall(callee *types.Func, pos token.Pos, held []lockEvent) {
+	if len(held) == 0 {
+		return
+	}
+	sum := c.lp.summaryOf(callee)
+	if sum == nil {
+		return
+	}
+	for _, a := range sum.acquires {
+		ev := lockEvent{pos: pos, acquire: true, fld: a.fld, ann: a.ann, name: a.ann.qname}
+		for _, h := range held {
+			c.lp.graph.addEdge(h, ev, joinVia(callee.Name(), a.via), pos)
+			switch {
+			case h.ann.level > a.ann.level:
+				c.lp.pass.Reportf(pos,
+					"cross-function lock inversion: call to %s acquires %s (lintlock level %d%s) while holding %s (level %d); levels must be acquired in increasing order",
+					callee.Name(), a.ann.qname, a.ann.level, viaSuffix(a.via), h.name, h.ann.level)
+			case h.ann.level == a.ann.level && !(h.fld == a.fld && a.ann.ordered):
+				c.lp.pass.Reportf(pos,
+					"cross-function lock violation: call to %s acquires %s (lintlock level %d%s) while holding %s at the same level%s",
+					callee.Name(), a.ann.qname, a.ann.level, viaSuffix(a.via), h.name,
+					sameFieldHint(h.fld == a.fld))
+			}
+		}
+	}
+}
+
+func viaSuffix(via string) string {
+	if via == "" {
+		return ""
+	}
+	return ", via " + via
+}
+
+func sameFieldHint(same bool) string {
+	if same {
+		return "; re-locking a held non-`ordered` mutex self-deadlocks"
+	}
+	return "; only a field marked `ordered` may be multiply held"
+}
+
+// cloneHeld copies a held set so sibling branches replay independently.
+func cloneHeld(held []lockEvent) []lockEvent {
+	return append([]lockEvent(nil), held...)
+}
+
+// mergeHeld unions two branch outcomes, keeping one entry per field:
+// for hierarchy checks only the field's level matters, and collapsing
+// duplicates keeps a Lock-or-RLock split from double-reporting.
+func mergeHeld(a, b []lockEvent) []lockEvent {
+	out := cloneHeld(a)
+	for _, ev := range b {
+		dup := false
+		for _, h := range out {
+			if h.fld == ev.fld {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// collectLockAnns maps annotated struct-field objects to their levels.
+func collectLockAnns(pass *Pass) map[*types.Var]lockAnn {
+	anns := make(map[*types.Var]lockAnn)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					ann, ok := parseLintlock(field.Doc, field.Comment)
+					if !ok {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+							ann.qname = pass.Pkg.Name() + "." + ts.Name.Name + "." + name.Name
+							anns[v] = ann
+						}
+					}
+				}
+			}
+		}
+	}
+	// Anonymous struct types (rare; no TypeSpec walk above catches
+	// them) still get their annotations, with an elided type name.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				ann, ok := parseLintlock(field.Doc, field.Comment)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						if _, have := anns[v]; !have {
+							ann.qname = pass.Pkg.Name() + ".(struct)." + name.Name
+							anns[v] = ann
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return anns
+}
+
+func parseLintlock(groups ...*ast.CommentGroup) (lockAnn, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			m := lintlockRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			level, err := strconv.Atoi(m[1])
+			if err != nil {
+				continue
+			}
+			return lockAnn{level: level, ordered: m[2] != ""}, true
+		}
+	}
+	return lockAnn{}, false
+}
+
+// finishLockOrder reports cycles in the module-wide lock-acquisition
+// graph: a strongly connected component of two or more locks means the
+// module's functions, taken together, acquire those locks in
+// inconsistent order — a potential deadlock even though no single
+// function holds both ends. Each entangled lock set is reported once,
+// anchored at its first recorded edge.
+func finishLockOrder(mp *ModulePass) error {
+	g := mp.ModuleState(newLockGraph).(*lockGraph)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	// Deterministic adjacency, nodes named for reporting.
+	adj := make(map[*types.Var][]*types.Var)
+	names := make(map[*types.Var]string)
+	levels := make(map[*types.Var]int)
+	for e, info := range g.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		names[e.from], names[e.to] = info.fromName, info.toName
+		levels[e.from], levels[e.to] = info.fromLevel, info.toLevel
+	}
+	var nodes []*types.Var
+	for n := range names {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return names[nodes[i]] < names[nodes[j]] })
+	for _, outs := range adj {
+		sort.Slice(outs, func(i, j int) bool { return names[outs[i]] < names[outs[j]] })
+	}
+
+	// Tarjan's SCC algorithm, iterative state in maps; node order is
+	// name-sorted so component discovery is deterministic.
+	index := make(map[*types.Var]int)
+	low := make(map[*types.Var]int)
+	onStack := make(map[*types.Var]bool)
+	var stack []*types.Var
+	next := 0
+	var sccs [][]*types.Var
+	var strong func(n *types.Var)
+	strong = func(n *types.Var) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, m := range adj[n] {
+			if _, seen := index[m]; !seen {
+				strong(m)
+				if low[m] < low[n] {
+					low[n] = low[m]
+				}
+			} else if onStack[m] && index[m] < low[n] {
+				low[n] = index[m]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []*types.Var
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == n {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strong(n)
+		}
+	}
+
+	for _, scc := range sccs {
+		sort.Slice(scc, func(i, j int) bool { return names[scc[i]] < names[scc[j]] })
+		member := make(map[*types.Var]bool, len(scc))
+		for _, n := range scc {
+			member[n] = true
+		}
+		var parts []string
+		for _, n := range scc {
+			parts = append(parts, fmt.Sprintf("%s (level %d)", names[n], levels[n]))
+		}
+		// Anchor at the lexicographically-first edge inside the
+		// component.
+		var anchor lockEdgeInfo
+		var anchorKey string
+		for e, info := range g.edges {
+			if !member[e.from] || !member[e.to] {
+				continue
+			}
+			key := info.fromName + "\x00" + info.toName
+			if anchorKey == "" || key < anchorKey {
+				anchorKey = key
+				anchor = info
+			}
+		}
+		mp.Reportf(anchor.pos,
+			"lock-graph deadlock cycle among %s: the module acquires these locks in inconsistent order (one edge: %s → %s%s)",
+			strings.Join(parts, ", "), anchor.fromName, anchor.toName, viaSuffix(anchor.via))
+	}
+	return nil
 }

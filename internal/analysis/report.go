@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Machine-readable lint output (`sysplexlint -json`): diagnostics plus
+// the suppression census — every `lint*:` escape in the module with its
+// reason — so CI can archive the lint surface and refuse unexplained
+// new suppressions (a reasonless escape is itself a census diagnostic).
+
+// JSONReport is the top-level `sysplexlint -json` document.
+type JSONReport struct {
+	// ModulePath is the linted module ("sysplex").
+	ModulePath string `json:"module_path"`
+	// Packages is how many packages were type-checked and analyzed.
+	Packages int `json:"packages"`
+	// Analyzers names the analyzers that ran.
+	Analyzers []string `json:"analyzers"`
+	// Diagnostics are the findings, in (file, line, column) order.
+	Diagnostics []JSONDiagnostic `json:"diagnostics"`
+	// Suppressions is the census of every lint escape in the tree.
+	Suppressions []JSONSuppression `json:"suppressions"`
+	// LoadMillis and AnalyzeMillis split the run's wall time between
+	// type-checking and analysis (the driver fills them in).
+	LoadMillis    int64 `json:"load_millis"`
+	AnalyzeMillis int64 `json:"analyze_millis"`
+	// Jobs is the analysis parallelism the driver ran with.
+	Jobs int `json:"jobs"`
+}
+
+// JSONDiagnostic is one finding.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSONSuppression is one `lint*:` escape comment.
+type JSONSuppression struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Kind is the escape marker: lintwall, lintctx, lintgo.
+	Kind string `json:"kind"`
+	// Reason is the text after the marker; empty means the escape is
+	// unexplained (the census analyzer reports those as diagnostics).
+	Reason string `json:"reason"`
+}
+
+// suppressionRE matches an escape comment: the marker must open the
+// comment (a mid-sentence mention in prose is documentation, not an
+// escape). The reason is everything after the colon.
+var suppressionRE = regexp.MustCompile(`^//[ \t]*(lintwall|lintctx|lintgo):[ \t]*(.*)$`)
+
+// CollectSuppressions scans a package's comments for lint escapes.
+func CollectSuppressions(pkg *Package, fset *token.FileSet) []JSONSuppression {
+	var out []JSONSuppression
+	for _, file := range pkg.Files {
+		for _, g := range file.Comments {
+			for _, c := range g.List {
+				m := suppressionRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, JSONSuppression{
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Kind:   m[1],
+					Reason: strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// BuildReport assembles the JSON document from a finished run. File
+// paths are made relative to root when possible.
+func BuildReport(loader *Loader, waves [][]*Package, analyzers []*Analyzer, diags []Diagnostic) *JSONReport {
+	rep := &JSONReport{ModulePath: loader.ModulePath}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	rep.Diagnostics = []JSONDiagnostic{}
+	rep.Suppressions = []JSONSuppression{}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		rep.Diagnostics = append(rep.Diagnostics, JSONDiagnostic{
+			File:     relPath(loader.ModuleRoot, pos.Filename),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	for _, wave := range waves {
+		for _, pkg := range wave {
+			rep.Packages++
+			for _, s := range CollectSuppressions(pkg, loader.Fset) {
+				s.File = relPath(loader.ModuleRoot, s.File)
+				rep.Suppressions = append(rep.Suppressions, s)
+			}
+		}
+	}
+	sort.Slice(rep.Suppressions, func(i, j int) bool {
+		a, b := rep.Suppressions[i], rep.Suppressions[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return rep
+}
+
+// relPath strips root from path for compact, stable report entries.
+func relPath(root, path string) string {
+	if rest, ok := strings.CutPrefix(path, root+"/"); ok {
+		return rest
+	}
+	return path
+}

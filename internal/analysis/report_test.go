@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestJSONReportRoundTrip proves the -json document survives
+// encoding/json both ways, including the empty-but-present slices CI
+// tooling indexes into.
+func TestJSONReportRoundTrip(t *testing.T) {
+	rep := &JSONReport{
+		ModulePath: "sysplex",
+		Packages:   39,
+		Analyzers:  []string{"lockorder", "goroleak", "wireproto", "census"},
+		Diagnostics: []JSONDiagnostic{
+			{File: "internal/cf/lock.go", Line: 42, Column: 2, Analyzer: "lockorder",
+				Message: "lock hierarchy inversion: acquires st.mu (lintlock level 10) while holding e.mu (level 30)"},
+		},
+		Suppressions: []JSONSuppression{
+			{File: "internal/rmf/rmf.go", Line: 10, Kind: "lintwall", Reason: "interval stamps are wall-clock by design"},
+			{File: "internal/xcf/xcf.go", Line: 20, Kind: "lintgo", Reason: ""},
+		},
+		LoadMillis:    812,
+		AnalyzeMillis: 95,
+		Jobs:          4,
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back JSONReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(rep, &back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", &back, rep)
+	}
+}
+
+// TestJSONReportEmptySlices: a clean run must still serialize
+// diagnostics/suppressions as [] (not null), so `jq '.diagnostics |
+// length'` works unconditionally in CI.
+func TestJSONReportEmptySlices(t *testing.T) {
+	rep := &JSONReport{ModulePath: "sysplex", Diagnostics: []JSONDiagnostic{}, Suppressions: []JSONSuppression{}}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if _, ok := m["diagnostics"].([]any); !ok {
+		t.Fatalf("diagnostics did not serialize as an array: %s", data)
+	}
+	if _, ok := m["suppressions"].([]any); !ok {
+		t.Fatalf("suppressions did not serialize as an array: %s", data)
+	}
+}
+
+// TestSuppressionRE pins the census grammar: the marker must open the
+// comment, and the reason is everything after the colon.
+func TestSuppressionRE(t *testing.T) {
+	cases := []struct {
+		text   string
+		kind   string
+		reason string
+		match  bool
+	}{
+		{"// lintwall: interval stamps are wall-clock", "lintwall", "interval stamps are wall-clock", true},
+		{"//lintctx:", "lintctx", "", true},
+		{"// lintgo: process-lifetime dispatcher", "lintgo", "process-lifetime dispatcher", true},
+		{"// the lintwall: convention is documented here", "", "", false},
+		{"// lintwire: table opcodes", "", "", false},
+	}
+	for _, c := range cases {
+		m := suppressionRE.FindStringSubmatch(c.text)
+		if (m != nil) != c.match {
+			t.Errorf("%q: match = %v, want %v", c.text, m != nil, c.match)
+			continue
+		}
+		if m == nil {
+			continue
+		}
+		if m[1] != c.kind || m[2] != c.reason {
+			t.Errorf("%q: got (%q, %q), want (%q, %q)", c.text, m[1], m[2], c.kind, c.reason)
+		}
+	}
+}

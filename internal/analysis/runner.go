@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"sort"
+	"sync"
+)
+
+// Runner drives a module-wide, summary-based lint run: packages are
+// analyzed in the dependency waves produced by Loader.LoadModule, so an
+// analyzer's facts (per-function summaries) are always exported before
+// any importer of the package runs; packages within one wave are
+// analyzed concurrently. After the last wave, analyzers' Finish hooks
+// report module-level findings (lock-graph cycles).
+type Runner struct {
+	Loader    *Loader
+	Analyzers []*Analyzer
+	// Jobs bounds analysis concurrency within a wave (<=0: serial).
+	Jobs int
+	// Facts is the run's fact store, created by Analyze when nil.
+	Facts *Facts
+}
+
+// Analyze runs the analyzers over the loaded waves and returns every
+// diagnostic in deterministic (file, line, column) order.
+func (r *Runner) Analyze(waves [][]*Package) ([]Diagnostic, error) {
+	if r.Facts == nil {
+		r.Facts = NewFacts()
+	}
+	jobs := r.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	sem := make(chan struct{}, jobs)
+	var out []Diagnostic
+	var mu sync.Mutex
+	var firstErr error
+	for _, wave := range waves {
+		var wg sync.WaitGroup
+		for _, pkg := range wave {
+			wg.Add(1)
+			go func(pkg *Package) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				ds, err := runPackage(pkg, r.Loader.Fset, r.Analyzers, r.Facts)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				out = append(out, ds...)
+			}(pkg)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	fin, err := runFinish(r.Loader.Fset, r.Analyzers, r.Facts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fin...)
+	r.sortDiags(out)
+	return out, nil
+}
+
+// sortDiags orders diagnostics by position for stable output across
+// parallel runs.
+func (r *Runner) sortDiags(diags []Diagnostic) {
+	fset := r.Loader.Fset
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}

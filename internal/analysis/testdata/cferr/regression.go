@@ -1,0 +1,40 @@
+// Regression shapes from the repo's history. The buffman phantom
+// install (CHANGES.md): WritePage installed the local frame, then
+// issued the CF cross-invalidate write — and a dropped CF error left
+// the local copy claiming a commit the group never saw. The fix rolls
+// the frame back on CF-write failure; the analyzer's job is to make
+// the *shape* — local mutation plus discarded CF command error —
+// impossible to reintroduce silently.
+package fixture
+
+import (
+	"context"
+
+	"sysplex/internal/cf"
+)
+
+type frame struct {
+	data  []byte
+	valid bool
+}
+
+// phantomInstall is the historical bug shape: install locally, then
+// drop the CF write's error on the floor. The frame stays valid even
+// when the CF rejected the write.
+func (f *frame) phantomInstall(ctx context.Context, c cf.Cache, page []byte) {
+	f.data = append(f.data[:0], page...)
+	f.valid = true
+	c.WriteAndInvalidate(ctx, "DB2A", "PAGE.1", page, true, true, 0) // want `statement drops the error from cf.WriteAndInvalidate`
+}
+
+// installThenRollBack is the fixed shape: the CF error is handled and
+// the local install undone before anyone can read the phantom.
+func (f *frame) installThenRollBack(ctx context.Context, c cf.Cache, page []byte) error {
+	f.data = append(f.data[:0], page...)
+	f.valid = true
+	if err := c.WriteAndInvalidate(ctx, "DB2A", "PAGE.1", page, true, true, 0); err != nil {
+		f.valid = false
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Package fixture exercises the goroleak analyzer: every goroutine
+// needs a provable shutdown path — a reachable return/break out of its
+// loops — or an explicit `// lintgo:` annotation at the spawn site.
+package fixture
+
+import "time"
+
+func scrape() {}
+
+// leakedTicker is the historical RMF leak shape: the interval goroutine
+// selects on the ticker but never on a done channel, so it (and the
+// ticker) outlive Stop.
+func leakedTicker() {
+	t := time.NewTicker(time.Second)
+	go func() { // want `goroutine never exits`
+		for {
+			select {
+			case <-t.C:
+				scrape()
+			}
+		}
+	}()
+}
+
+// watcher has the standard shutdown discipline: a done arm that
+// returns.
+func watcher(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// pump spins forever; spawning it is only legal behind an annotation.
+func pump() {
+	for {
+		scrape()
+	}
+}
+
+// spawnPump spawns a named forever-function — caught through pump's
+// exported spin fact, not the literal's body.
+func spawnPump() {
+	go pump() // want `goroutine never exits`
+}
+
+// wrapped delegates the spinning to a helper inside the literal.
+func wrapped() {
+	go func() { // want `goroutine never exits`
+		pump()
+	}()
+}
+
+// deliberate documents a process-lifetime goroutine; the annotation
+// suppresses the diagnostic and the census records the reason.
+func deliberate() {
+	// lintgo: process-lifetime pump, dies with the address space
+	go pump()
+}
+
+// blockForever parks on an empty select — a leak with no loop at all.
+func blockForever() {
+	go func() { // want `goroutine never exits`
+		select {}
+	}()
+}
+
+// drain ends when the channel closes: range over a channel is a
+// shutdown path.
+func drain(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// bounded loops terminate on their condition.
+func bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			scrape()
+		}
+	}()
+}
+
+// breaker leaves its loop with an unlabeled break at loop depth.
+func breaker(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+			}
+			break
+		}
+	}()
+}
+
+// labeled exits a nested select through a labeled break.
+func labeled(stop chan struct{}) {
+	go func() {
+	outer:
+		for {
+			select {
+			case <-stop:
+				break outer
+			}
+		}
+	}()
+}

@@ -1,0 +1,57 @@
+// Regression shape from the repo's history. The cloneInto hang
+// (CHANGES.md): rebuild-from-broken copied stale serialized-lock
+// holders into the new structure image, and logr's writers spun on
+// ErrLockHeld forever — a goroutine whose only loop had no exit once
+// the lock could never be granted. The semantic bug needed a runtime
+// fix, but the analyzer pins the shape: a retry goroutine must have a
+// path out (a done select, a bounded attempt count, an error return),
+// not hope.
+package fixture
+
+func tryObtain() bool { return false }
+
+// wedgedWriter retries forever with no way out — the stale-holder
+// wedge as a static shape.
+func wedgedWriter() {
+	go func() { // want `goroutine never exits`
+		for {
+			if tryObtain() {
+				work()
+			}
+		}
+	}()
+}
+
+// boundedWriter gives up after a fixed number of attempts and reports;
+// a wedge becomes an error instead of a hung goroutine.
+func boundedWriter(fail chan struct{}) {
+	go func() {
+		for attempt := 0; attempt < 64; attempt++ {
+			if tryObtain() {
+				work()
+				return
+			}
+		}
+		fail <- struct{}{}
+	}()
+}
+
+// stoppableWriter retries until told to stop — the done-select
+// discipline the tree's real writers use.
+func stoppableWriter(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if tryObtain() {
+				work()
+				return
+			}
+		}
+	}()
+}
+
+func work() {}

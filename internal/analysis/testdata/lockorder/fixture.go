@@ -44,7 +44,10 @@ func (t *table) legal(k string, v int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.m[k] = v
-	t.monMu.Lock()
+	// The held-set edges recorded here close the mu/shard/monMu loop
+	// that `inversion` and `deferredHold` opened, so the module-wide
+	// graph check anchors its cycle report on this acquisition.
+	t.monMu.Lock() // want `lock-graph deadlock cycle`
 	t.monMu.Unlock()
 }
 

@@ -1,0 +1,74 @@
+// Interprocedural lockorder cases: violations no single function
+// body exhibits, caught through per-function acquire summaries.
+package fixture
+
+import "sync"
+
+type registry struct {
+	outer sync.RWMutex // lintlock: level=10
+	inner sync.Mutex   // lintlock: level=30
+}
+
+// refresh is blameless in isolation: it acquires only the outer lock.
+func (r *registry) refresh() {
+	r.outer.Lock()
+	r.outer.Unlock()
+}
+
+// crossCall holds the inner lock across a call to refresh; neither
+// body inverts the hierarchy on its own, the pair does. Together with
+// hierarchical's legal outer→inner edge this also closes a two-lock
+// cycle in the module graph.
+func (r *registry) crossCall() {
+	r.inner.Lock()
+	defer r.inner.Unlock()
+	r.refresh() // want `cross-function lock inversion` // want `lock-graph deadlock cycle among fixture.registry.inner`
+}
+
+// hierarchical is the legal shape: outer first, then the call that
+// takes inner.
+func (r *registry) hierarchical() {
+	r.outer.RLock()
+	defer r.outer.RUnlock()
+	r.lockInner()
+}
+
+func (r *registry) lockInner() {
+	r.inner.Lock()
+	r.inner.Unlock()
+}
+
+// ring closes a three-function lock cycle: each step is locally legal
+// (or a single pairwise inversion), but together the module acquires
+// a→b, b→c, and c→a — a deadlock if three goroutines run one step
+// each. The cycle diagnostic anchors on the graph's first edge (a→b).
+type ring struct {
+	a sync.Mutex // lintlock: level=110
+	b sync.Mutex // lintlock: level=120
+	c sync.Mutex // lintlock: level=130
+}
+
+func (r *ring) stepAB() {
+	r.a.Lock()
+	defer r.a.Unlock()
+	r.b.Lock() // want `lock-graph deadlock cycle among fixture.ring.a`
+	r.b.Unlock()
+}
+
+func (r *ring) stepBC() {
+	r.b.Lock()
+	defer r.b.Unlock()
+	r.c.Lock()
+	r.c.Unlock()
+}
+
+func (r *ring) stepCA() {
+	r.c.Lock()
+	defer r.c.Unlock()
+	r.lockA() // want `cross-function lock inversion`
+}
+
+func (r *ring) lockA() {
+	r.a.Lock()
+	r.a.Unlock()
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestWireProto(t *testing.T) {
+	RunFixture(t, WireProto, "wireproto")
+}

@@ -37,7 +37,13 @@ const MaxBatchOps = 1024
 
 // BatchOp identifies one subcommand kind inside a batch. Only mutating
 // commands without result payloads batch — reads want their data back,
-// which the one-command path already returns.
+// which the one-command path already returns. The lintwire annotation
+// makes sysplexlint require every switch over BatchOp — here, in the
+// codec, anywhere — to name every constant: a new subcommand that
+// reaches only two of the three parallel switches fails `make lint`
+// instead of silently falling through a default arm.
+//
+// lintwire: enum
 type BatchOp uint8
 
 const (
@@ -179,7 +185,12 @@ func (c *BatchCmd) order() (OpOrder, string) {
 		return OpKeyed, "b" + c.Name
 	case BatchOpListWrite:
 		return OpKeyed, "l" + strconv.Itoa(c.Idx)
-	default: // BatchOpListDelete: global, like DuplexedList.Delete
+	case BatchOpListDelete:
+		// Global, like DuplexedList.Delete.
+		return OpGlobal, ""
+	default:
+		// Unknown op: ValidateBatch rejects it before ordering matters;
+		// classing it global keeps the failure deterministic.
 		return OpGlobal, ""
 	}
 }

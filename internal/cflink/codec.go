@@ -53,12 +53,19 @@ var (
 var magic = [4]byte{'C', 'F', 'L', '1'}
 
 // Connection kinds declared in the session handshake.
+//
+// lintwire: table connkinds
 const (
 	connCommand uint8 = 0
 	connNotify  uint8 = 1
 )
 
 // Opcodes. Numeric values are the wire protocol — append, never renumber.
+// The lintwire annotation makes sysplexlint hold the table to the
+// produce/consume contract: every opcode must be collision-free, sent
+// by some client path, and named by some dispatch case.
+//
+// lintwire: table opcodes dispatch
 const (
 	// Node-level commands.
 	opStructureNames   uint8 = 1
@@ -124,7 +131,12 @@ const (
 )
 
 // Response status codes. 0 is success; the rest map to the cf command
-// sentinels so errors.Is works across the wire.
+// sentinels so errors.Is works across the wire. The constants work
+// positionally through codeSentinels, so sysplexlint checks the bytes
+// for collisions and the sentinel table for coverage rather than
+// requiring each name to appear in a switch.
+//
+// lintwire: table statuses
 const (
 	codeOK uint8 = iota
 	codeCFDown
@@ -145,7 +157,11 @@ const (
 	codeOther uint8 = 255
 )
 
-// codeSentinels maps status codes to cf sentinel errors (index = code).
+// codeSentinels maps status codes to cf sentinel errors (index = code);
+// sysplexlint fails the build if a status constant below the codeOther
+// catch-all has no entry here.
+//
+// lintwire: index-of statuses
 var codeSentinels = []error{
 	nil,
 	cf.ErrCFDown,
