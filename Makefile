@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race check demo bench bench-json bench-cf bench-cf-smoke bench-batch-smoke examples-smoke
+.PHONY: all build vet lint lint-json test race check demo bench bench-json bench-cf bench-cf-smoke bench-batch-smoke restart examples-smoke
 
 all: check
 
@@ -71,6 +71,15 @@ bench-cf-smoke:
 # one short run so CI catches protocol or pipeline rot.
 bench-batch-smoke:
 	$(GO) run ./cmd/sysplexbench -exp batch
+
+# EXP-RESTART: the kill-and-restart durability harness. Six rounds of
+# SIGKILL at randomized points of a commit workload over a file-backed
+# farm, each followed by a cold restart and an exactly-once audit of
+# every acknowledged unit, plus the memory-vs-file A/B. The harness
+# exits non-zero on any lost or duplicated unit. Built with -race: the
+# child workload and the restarted sysplex both run under the detector.
+restart:
+	timeout 300 $(GO) run -race ./cmd/sysplexbench -exp restart
 
 # Build and run every examples/ program under a short timeout, so
 # façade API refactors cannot silently break them.

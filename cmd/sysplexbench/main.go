@@ -7,7 +7,7 @@
 //	sysplexbench -exp fig3           # one experiment
 //	sysplexbench -exp fig3 -systems 16 -simtime 5s
 //
-// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill logr cfscale ctxpath transport rmf
+// Experiments: fig1 fig2 fig3 fig4 ds avail grow query false ext duplex cfkill logr cfscale ctxpath transport rmf restart
 package main
 
 import (
@@ -39,7 +39,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,cfscale,ctxpath,transport,batch,rmf,all")
+	expFlag     = flag.String("exp", "all", "experiment: fig1,fig2,fig3,fig4,ds,avail,grow,query,false,ext,duplex,cfkill,logr,cfscale,ctxpath,transport,batch,rmf,restart,all")
 	systemsFlag = flag.Int("systems", 32, "max sysplex members for fig3")
 	simtimeFlag = flag.Duration("simtime", 5*time.Second, "DES measurement window")
 	seedFlag    = flag.Int64("seed", 1996, "DES seed")
@@ -68,6 +68,12 @@ func record(exp, key string, value any) {
 }
 
 func main() {
+	// Child role of EXP-RESTART: this binary re-executed as the
+	// workload process the parent SIGKILLs.
+	if spec := os.Getenv(restartChildEnv); spec != "" {
+		restartChild(spec)
+		return
+	}
 	flag.Parse()
 	run := map[string]func() error{
 		"fig1":      fig1,
@@ -88,8 +94,9 @@ func main() {
 		"transport": transport,
 		"batch":     batchBench,
 		"rmf":       rmfBench,
+		"restart":   restartBench,
 	}
-	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr", "cfscale", "ctxpath", "transport", "batch", "rmf"}
+	order := []string{"fig1", "fig2", "fig3", "fig4", "ds", "avail", "grow", "query", "false", "ext", "duplex", "cfkill", "logr", "cfscale", "ctxpath", "transport", "batch", "rmf", "restart"}
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
 		want = order

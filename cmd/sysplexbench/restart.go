@@ -1,0 +1,407 @@
+package main
+
+// EXP-RESTART: the kill-and-restart harness. A child process (this
+// binary re-executed) boots a durable sysplex over a shared DataDir and
+// runs a commit workload, recording ground truth in an append-only,
+// fsynced marker file: "S <seq>" before a unit of work starts, "A
+// <seq>" once both its database commit and its log-stream write are
+// acknowledged. The parent SIGKILLs the child at a seeded random point
+// mid-workload, cold-boots the same directory in-process with
+// sysplex.Open, and audits: every acknowledged unit present exactly
+// once (database value intact, log record neither lost nor
+// duplicated), nothing recovered that was never submitted. Several
+// rounds run over the same directory, so each recovery also replays
+// the accumulated history of every earlier crash — which is what gives
+// the recovery-time-versus-log-size curve. A final A/B measures the
+// price of durability: the same workload on an in-memory farm versus
+// the file-backed farm with its group-commit fsyncs.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sysplex"
+	"sysplex/internal/logr"
+)
+
+// restartChildEnv carries the child role's parameters (JSON childSpec).
+const restartChildEnv = "SYSPLEXBENCH_RESTART_CHILD"
+
+type childSpec struct {
+	Dir   string `json:"dir"`
+	Truth string `json:"truth"`
+	Start int    `json:"start"`
+}
+
+// restartConfig is the configuration both roles must agree on: the
+// child boots it to generate load, the parent boots it to recover. The
+// parent turns Background on so the boot cuts the restart-recovery
+// RMF record; the child stays foreground-only for determinism.
+func restartConfig(dir string) sysplex.Config {
+	cfg := sysplex.DefaultConfig("RPLEX", 1)
+	cfg.DataDir = dir
+	cfg.Background = false
+	cfg.VolumeBlocks = 65536
+	cfg.LogStreams = []logr.StreamSpec{{
+		Name: "BENCH.RESTART", InterimEntries: 64,
+		HighOffloadPct: 90, LowOffloadPct: 30, OffloadBlocks: 32,
+	}}
+	return cfg
+}
+
+// restartChild is the killed role: workload units forever, each marked
+// S before and A after its commits are acknowledged, until SIGKILL.
+func restartChild(raw string) {
+	var spec childSpec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		fmt.Fprintf(os.Stderr, "restart child: bad spec: %v\n", err)
+		os.Exit(1)
+	}
+	ctx := context.Background()
+	plex, err := sysplex.Open(ctx, restartConfig(spec.Dir))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "restart child: open: %v\n", err)
+		os.Exit(1)
+	}
+	sys, err := plex.System("SYS1")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "restart child: %v\n", err)
+		os.Exit(1)
+	}
+	stream, err := sys.LogStream("BENCH.RESTART")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "restart child: %v\n", err)
+		os.Exit(1)
+	}
+	truth, err := os.OpenFile(spec.Truth, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "restart child: truth: %v\n", err)
+		os.Exit(1)
+	}
+	mark := func(tag string, seq int) {
+		if _, err := fmt.Fprintf(truth, "%s %d\n", tag, seq); err != nil {
+			fmt.Fprintf(os.Stderr, "restart child: truth write: %v\n", err)
+			os.Exit(1)
+		}
+		if err := truth.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "restart child: truth sync: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// Readiness marker: the parent arms its kill timer only once the
+	// child is actually generating load, so every crash lands
+	// mid-workload rather than mid-boot.
+	mark("R", spec.Start)
+	for seq := spec.Start; ; seq++ {
+		mark("S", seq)
+		tx := sys.Engine().Begin(ctx)
+		if err := tx.Put("ACCT", fmt.Sprintf("k-%06d", seq), []byte(restartValue(seq))); err != nil {
+			fmt.Fprintf(os.Stderr, "restart child: put %d: %v\n", seq, err)
+			os.Exit(1)
+		}
+		if err := tx.Commit(); err != nil {
+			fmt.Fprintf(os.Stderr, "restart child: commit %d: %v\n", seq, err)
+			os.Exit(1)
+		}
+		if _, err := stream.Write(ctx, []byte(fmt.Sprintf("audit-%06d", seq))); err != nil {
+			fmt.Fprintf(os.Stderr, "restart child: log %d: %v\n", seq, err)
+			os.Exit(1)
+		}
+		mark("A", seq)
+		// Periodic castout so recovery replays over a mix of casted-out
+		// and lost pages.
+		if seq%16 == 15 {
+			if _, err := sys.Engine().CastoutOnce(ctx, 8); err != nil {
+				fmt.Fprintf(os.Stderr, "restart child: castout: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// readTruth parses the marker file into submitted/acked seq sets.
+func readTruth(path string) (submitted, acked map[int]bool, err error) {
+	submitted, acked = map[int]bool{}, map[int]bool{}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return submitted, acked, nil
+		}
+		return nil, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var tag string
+		var seq int
+		if _, err := fmt.Sscanf(sc.Text(), "%s %d", &tag, &seq); err != nil {
+			continue // torn final line from the kill
+		}
+		switch tag {
+		case "S":
+			submitted[seq] = true
+		case "A":
+			acked[seq] = true
+		}
+	}
+	return submitted, acked, sc.Err()
+}
+
+func restartValue(seq int) string { return fmt.Sprintf("v-%06d", seq) }
+
+// restartBench is EXP-RESTART's parent role.
+func restartBench() error {
+	const rounds = 6
+	rng := rand.New(rand.NewSource(*seedFlag))
+	dir, err := os.MkdirTemp("", "sysplexbench-restart")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	dataDir := filepath.Join(dir, "dasd")
+	truthPath := filepath.Join(dir, "truth.log")
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("EXP-RESTART: %d SIGKILL crash points over one durable DataDir (seed %d)\n\n", rounds, *seedFlag)
+	fmt.Printf("  %-6s %9s %9s %9s %11s %8s %6s %5s\n",
+		"round", "kill(ms)", "acked", "logrecs", "redo(txs)", "rec(ms)", "lost", "dup")
+
+	ctx := context.Background()
+	totalLost, totalDup := 0, 0
+	for round := 0; round < rounds; round++ {
+		submittedBefore, ackedBefore, err := readTruth(truthPath)
+		if err != nil {
+			return err
+		}
+		start := 0
+		for s := range submittedBefore {
+			if s >= start {
+				start = s + 1
+			}
+		}
+		spec, _ := json.Marshal(childSpec{Dir: dataDir, Truth: truthPath, Start: start})
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(), restartChildEnv+"="+string(spec))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		// Arm the kill only after the child's readiness marker, so this
+		// round's crash point is mid-workload, then fire it at a seeded
+		// random offset.
+		if err := waitReady(truthPath, start, 30*time.Second); err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return err
+		}
+		killAfter := time.Duration(100+rng.Intn(500)) * time.Millisecond
+		time.Sleep(killAfter)
+		cmd.Process.Kill() // SIGKILL: no shutdown hooks, no final sync
+		cmd.Wait()
+
+		submitted, acked, err := readTruth(truthPath)
+		if err != nil {
+			return err
+		}
+		cfg := restartConfig(dataDir)
+		cfg.Background = true // boot cuts the restart RMF record
+		openStart := time.Now()
+		plex, err := sysplex.Open(ctx, cfg)
+		if err != nil {
+			return fmt.Errorf("round %d: cold restart: %w", round, err)
+		}
+		openElapsed := time.Since(openStart)
+		lost, dup, err := auditRestart(ctx, plex, submitted, acked)
+		if err != nil {
+			plex.Stop()
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		rep := plex.RestartReport()
+		if rep == nil {
+			plex.Stop()
+			return fmt.Errorf("round %d: Open left no RestartReport", round)
+		}
+		plex.Stop()
+		totalLost += lost
+		totalDup += dup
+
+		recMS := float64(rep.Duration.Microseconds()) / 1000
+		fmt.Printf("  %-6d %9d %9d %9d %11d %8.1f %6d %5d\n",
+			round, killAfter.Milliseconds(), len(acked), rep.LogRecords,
+			rep.DB.Transactions, recMS, lost, dup)
+		record("restart", fmt.Sprintf("round%d_kill_ms", round), killAfter.Milliseconds())
+		record("restart", fmt.Sprintf("round%d_acked", round), len(acked))
+		record("restart", fmt.Sprintf("round%d_acked_delta", round), len(acked)-len(ackedBefore))
+		record("restart", fmt.Sprintf("round%d_log_records", round), rep.LogRecords)
+		record("restart", fmt.Sprintf("round%d_redo_txs", round), rep.DB.Transactions)
+		record("restart", fmt.Sprintf("round%d_recovery_ms", round), recMS)
+		record("restart", fmt.Sprintf("round%d_open_ms", round), float64(openElapsed.Microseconds())/1000)
+		record("restart", fmt.Sprintf("round%d_lost", round), lost)
+		record("restart", fmt.Sprintf("round%d_dup", round), dup)
+	}
+	record("restart", "rounds", rounds)
+	record("restart", "lost_total", totalLost)
+	record("restart", "dup_total", totalDup)
+	fmt.Println()
+	if totalLost != 0 || totalDup != 0 {
+		return fmt.Errorf("EXP-RESTART FAILED: %d acknowledged updates lost, %d duplicated", totalLost, totalDup)
+	}
+	fmt.Println("  zero lost acknowledged updates, zero duplicate applies across every crash point")
+	fmt.Println()
+	return restartAB()
+}
+
+// waitReady polls the truth file for the child's "R <start>" marker.
+func waitReady(path string, start int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	want := fmt.Sprintf("R %d", start)
+	for {
+		if raw, err := os.ReadFile(path); err == nil &&
+			strings.Contains(string(raw), want+"\n") {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("restart child not ready after %v", timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// auditRestart verifies exactly-once recovery: every acknowledged unit
+// has its database value and exactly one log record; nothing appears
+// that was never submitted.
+func auditRestart(ctx context.Context, plex *sysplex.Sysplex, submitted, acked map[int]bool) (lost, dup int, err error) {
+	sys, err := plex.System("SYS1")
+	if err != nil {
+		return 0, 0, err
+	}
+	tx := sys.Engine().Begin(ctx)
+	defer tx.Commit()
+	for seq := range acked {
+		v, ok, err := tx.Get("ACCT", fmt.Sprintf("k-%06d", seq))
+		if err != nil {
+			return 0, 0, err
+		}
+		if !ok || string(v) != restartValue(seq) {
+			lost++
+		}
+	}
+	stream, err := sys.LogStream("BENCH.RESTART")
+	if err != nil {
+		return 0, 0, err
+	}
+	cur, err := stream.Browse(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	counts := map[int]int{}
+	for {
+		r, ok := cur.Next()
+		if !ok {
+			break
+		}
+		var seq int
+		if _, err := fmt.Sscanf(string(r.Data), "audit-%d", &seq); err != nil {
+			return 0, 0, fmt.Errorf("alien log record %q recovered", r.Data)
+		}
+		if !submitted[seq] {
+			return 0, 0, fmt.Errorf("log record %q recovered but never submitted", r.Data)
+		}
+		counts[seq]++
+	}
+	for _, n := range counts {
+		if n > 1 {
+			dup += n - 1
+		}
+	}
+	for seq := range acked {
+		if counts[seq] == 0 {
+			lost++
+		}
+	}
+	return lost, dup, nil
+}
+
+// restartAB is the durability price: the same commit workload on an
+// in-memory farm versus the file-backed farm (group-commit fsyncs on
+// every acknowledged write).
+func restartAB() error {
+	const units = 150
+	ctx := context.Background()
+	runOne := func(dataDir string) (time.Duration, int64, error) {
+		cfg := restartConfig(dataDir) // "" keeps the farm in memory
+		var plex *sysplex.Sysplex
+		var err error
+		if dataDir == "" {
+			plex, err = sysplex.New(ctx, cfg)
+		} else {
+			plex, err = sysplex.Open(ctx, cfg)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		defer plex.Stop()
+		sys, err := plex.System("SYS1")
+		if err != nil {
+			return 0, 0, err
+		}
+		stream, err := sys.LogStream("BENCH.RESTART")
+		if err != nil {
+			return 0, 0, err
+		}
+		begin := time.Now()
+		for i := 0; i < units; i++ {
+			tx := sys.Engine().Begin(ctx)
+			if err := tx.Put("ACCT", fmt.Sprintf("k-%06d", i), []byte(restartValue(i))); err != nil {
+				return 0, 0, err
+			}
+			if err := tx.Commit(); err != nil {
+				return 0, 0, err
+			}
+			if _, err := stream.Write(ctx, []byte(fmt.Sprintf("audit-%06d", i))); err != nil {
+				return 0, 0, err
+			}
+		}
+		elapsed := time.Since(begin)
+		fsyncs := plex.Farm().Metrics().Counter("dasd.fsync.count").Value()
+		return elapsed, fsyncs, nil
+	}
+
+	memElapsed, _, err := runOne("")
+	if err != nil {
+		return fmt.Errorf("A/B memory run: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "sysplexbench-restart-ab")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fileElapsed, fsyncs, err := runOne(dir)
+	if err != nil {
+		return fmt.Errorf("A/B file run: %w", err)
+	}
+	memRate := float64(units) / memElapsed.Seconds()
+	fileRate := float64(units) / fileElapsed.Seconds()
+	slowdown := fileElapsed.Seconds() / memElapsed.Seconds()
+	fmt.Printf("  durability A/B (%d commit+log units):\n", units)
+	fmt.Printf("    %-10s %10.0f units/sec\n", "memory", memRate)
+	fmt.Printf("    %-10s %10.0f units/sec   (%d group-commit fsyncs, %.1fx slower)\n",
+		"file", fileRate, fsyncs, slowdown)
+	record("restart", "ab_units", units)
+	record("restart", "ab_mem_units_per_sec", memRate)
+	record("restart", "ab_file_units_per_sec", fileRate)
+	record("restart", "ab_file_fsyncs", fsyncs)
+	record("restart", "ab_file_slowdown_x", slowdown)
+	return nil
+}

@@ -1,0 +1,233 @@
+// Restart: a whole-sysplex power failure and cold restart.
+//
+// The paper's availability story (§2.5) covers losing a *system* while
+// the sysplex survives. This demo is the harder case: losing the whole
+// complex — every system, and the coupling facility with all its
+// structures, at once. A child process (this binary re-executed) boots
+// a sysplex over a file-backed DASD farm and runs a commit workload,
+// recording each unit in a fsynced ground-truth file before and after
+// its commits are acknowledged. Mid-workload the parent kills it with
+// SIGKILL — no shutdown hooks, no final sync. Then sysplex.Open
+// cold-boots the same directory: couple data sets reload from their
+// checksummed images, System Logger streams rebuild interim storage
+// from staging, the database redoes committed transactions from the
+// merged WAL streams, and ARM re-drives stranded elements. The audit
+// shows every acknowledged unit recovered exactly once.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"sysplex"
+	"sysplex/internal/logr"
+)
+
+// roleEnv carries "dir truth" when this binary runs as the workload.
+const roleEnv = "RESTART_WORKER"
+
+func workerConfig(dir string) sysplex.Config {
+	cfg := sysplex.DefaultConfig("PLEX1", 2)
+	cfg.DataDir = dir
+	cfg.VolumeBlocks = 32768
+	cfg.LogStreams = []logr.StreamSpec{{Name: "APP.AUDIT", InterimEntries: 64}}
+	return cfg
+}
+
+func main() {
+	if spec := os.Getenv(roleEnv); spec != "" {
+		runWorker(spec)
+		return
+	}
+	runDemo()
+}
+
+// runWorker commits forever, marking ground truth around each unit,
+// until the parent's SIGKILL arrives.
+func runWorker(spec string) {
+	var dir, truthPath string
+	if n, err := fmt.Sscanf(spec, "%s %s", &dir, &truthPath); err != nil || n != 2 {
+		log.Fatalf("bad %s=%q", roleEnv, spec)
+	}
+	ctx := context.Background()
+	plex, err := sysplex.New(ctx, workerConfig(dir))
+	if err != nil {
+		log.Fatalf("worker: %v", err)
+	}
+	truth, err := os.OpenFile(truthPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		log.Fatalf("worker: %v", err)
+	}
+	mark := func(tag string, seq int) {
+		fmt.Fprintf(truth, "%s %d\n", tag, seq)
+		if err := truth.Sync(); err != nil {
+			log.Fatalf("worker: truth sync: %v", err)
+		}
+	}
+	s1, err := plex.System("SYS1")
+	if err != nil {
+		log.Fatalf("worker: %v", err)
+	}
+	s2, err := plex.System("SYS2")
+	if err != nil {
+		log.Fatalf("worker: %v", err)
+	}
+	audit, err := s1.LogStream("APP.AUDIT")
+	if err != nil {
+		log.Fatalf("worker: %v", err)
+	}
+	mark("R", 0)
+	for seq := 0; ; seq++ {
+		sys := s1
+		if seq%2 == 1 {
+			sys = s2 // both members share the data
+		}
+		mark("S", seq)
+		tx := sys.Engine().Begin(ctx)
+		if err := tx.Put("ACCT", fmt.Sprintf("k-%05d", seq), []byte(fmt.Sprintf("v-%05d", seq))); err != nil {
+			log.Fatalf("worker: put %d: %v", seq, err)
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatalf("worker: commit %d: %v", seq, err)
+		}
+		if _, err := audit.Write(ctx, []byte(fmt.Sprintf("audit-%05d", seq))); err != nil {
+			log.Fatalf("worker: audit %d: %v", seq, err)
+		}
+		mark("A", seq)
+	}
+}
+
+func runDemo() {
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tmp, err := os.MkdirTemp("", "restart-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	dir := filepath.Join(tmp, "dasd")
+	truthPath := filepath.Join(tmp, "truth.log")
+
+	fmt.Println("Durable sysplex: SIGKILL the whole complex, cold-restart from DASD")
+	fmt.Println()
+
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%s %s", roleEnv, dir, truthPath))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  worker sysplex running as pid %d (2 systems, file-backed DASD)\n", cmd.Process.Pid)
+
+	// Wait for the readiness marker, let it commit for a while, then
+	// pull the plug.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if raw, err := os.ReadFile(truthPath); err == nil && len(raw) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			log.Fatal("worker never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(400 * time.Millisecond)
+	cmd.Process.Kill() // SIGKILL: the whole complex is gone mid-write
+	cmd.Wait()
+
+	submitted, acked := readTruth(truthPath)
+	fmt.Printf("  ** SIGKILL after %d submitted / %d acknowledged units **\n\n", len(submitted), len(acked))
+
+	ctx := context.Background()
+	cfg := workerConfig(dir)
+	cfg.Systems = cfg.Systems[:1] // only SYS1 returns
+	start := time.Now()
+	plex, err := sysplex.Open(ctx, cfg)
+	if err != nil {
+		log.Fatalf("cold restart: %v", err)
+	}
+	defer plex.Stop()
+	rep := plex.RestartReport()
+	fmt.Printf("  cold restart on SYS1 alone in %v (wall %v)\n", rep.Duration.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("    log streams recovered: %d (%d staged records re-inserted)\n", rep.LogStreams, rep.LogRecords)
+	fmt.Printf("    database redo: %d committed transactions, %d page images\n", rep.DB.Transactions, rep.DB.RedoApplied)
+	fmt.Printf("    ARM re-drove %d stranded elements\n\n", len(rep.Restarts))
+
+	// The audit: acknowledged units exactly once, phantoms never.
+	sys, err := plex.System("SYS1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lost := 0
+	tx := sys.Engine().Begin(ctx)
+	for seq := range acked {
+		v, ok, err := tx.Get("ACCT", fmt.Sprintf("k-%05d", seq))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v-%05d", seq) {
+			lost++
+		}
+	}
+	tx.Commit()
+	audit, err := sys.LogStream("APP.AUDIT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := audit.Browse(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[string]int{}
+	dup := 0
+	for {
+		r, ok := cur.Next()
+		if !ok {
+			break
+		}
+		counts[string(r.Data)]++
+		if counts[string(r.Data)] > 1 {
+			dup++
+		}
+	}
+	for seq := range acked {
+		if counts[fmt.Sprintf("audit-%05d", seq)] == 0 {
+			lost++
+		}
+	}
+	fmt.Printf("  audit: acknowledged=%d  lost=%d  duplicated=%d\n", len(acked), lost, dup)
+	if lost != 0 || dup != 0 {
+		log.Fatal("FAILED: acknowledged work lost or duplicated across the power cut")
+	}
+	fmt.Println("\n  the complex died mid-write; every acknowledged unit survived exactly once")
+}
+
+func readTruth(path string) (submitted, acked map[int]bool) {
+	submitted, acked = map[int]bool{}, map[int]bool{}
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var tag string
+		var seq int
+		if _, err := fmt.Sscanf(sc.Text(), "%s %d", &tag, &seq); err != nil {
+			continue
+		}
+		switch tag {
+		case "S":
+			submitted[seq] = true
+		case "A":
+			acked[seq] = true
+		}
+	}
+	return
+}

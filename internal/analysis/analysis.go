@@ -47,6 +47,10 @@
 //   - wireproto: the cflink opcode and status-byte tables and
 //     `// lintwire: enum` types are collision-free and exhaustively
 //     handled on client, server, and codec.
+//   - durability: raw *os.File writes in the DASD tree reach
+//     (*os.File).Sync on some path, so no acknowledged bytes can sit
+//     forever in the page cache; a deliberate group-commit deferral is
+//     annotated `// lintsync: <reason>`.
 //   - census: every `lint*:` suppression carries a non-empty reason,
 //     so CI can refuse unexplained new escapes.
 package analysis
@@ -195,6 +199,7 @@ func Analyzers() []*Analyzer {
 		CtxFirst,
 		GoroLeak,
 		WireProto,
+		Durability,
 		Census,
 	}
 }

@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Durability enforces the file-backend contract: in the DASD tree,
+// every function that writes raw bytes to an *os.File must reach
+// (*os.File).Sync on some path, directly or through its callees. The
+// backend acknowledges writes into a user-space overlay and makes them
+// durable only at the group-commit fsync — a raw write that never
+// meets a Sync is exactly the bug that loses acknowledged data on a
+// power cut while passing every test that doesn't SIGKILL the process.
+//
+// The check is interprocedural through summaries: a function that
+// reaches Sync (itself or transitively) exports a fact, so a helper
+// in another package satisfies the requirement for its callers. The
+// one legitimate exception — a write deliberately deferred to a later
+// batch fsync, like the group-commit slot writer — is annotated where
+// the deferral is designed, on the write line, the line above, or the
+// function's doc comment:
+//
+//	// lintsync: group commit — the Sync leader fsyncs the batch
+//
+// and the census requires the reason to be non-empty.
+var Durability = &Analyzer{
+	Name: "durability",
+	Doc:  "require raw *os.File writes in the DASD tree to reach Sync on some path",
+	Run:  runDurability,
+}
+
+// durSyncs is the fact exported for a function that reaches
+// (*os.File).Sync, so cross-package callers can credit it.
+type durSyncs struct{}
+
+var lintsyncRE = regexp.MustCompile(`^//[ \t]*lintsync:`)
+
+// osFileWriteMethods are the *os.File mutators that put bytes on the
+// page cache without making them durable.
+var osFileWriteMethods = map[string]bool{
+	"Write":       true,
+	"WriteAt":     true,
+	"WriteString": true,
+	"Truncate":    true,
+}
+
+func runDurability(pass *Pass) error {
+	if !durabilityScope(pass.Pkg.Path()) {
+		return nil
+	}
+	d := &durPass{
+		pass:    pass,
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		reaches: make(map[*types.Func]int),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					d.decls[fn] = fd
+				}
+			}
+		}
+	}
+	// Export reach facts for every local function so callers in
+	// downstream packages can credit helpers that fsync for them.
+	for fn := range d.decls {
+		if d.reachesSync(fn) {
+			pass.ExportFact(fn, durSyncs{})
+		}
+	}
+	for _, file := range pass.Files {
+		escapes := lintsyncLines(file, pass.Fset)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if d.reachesSync(fn) || docHasLintsync(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				what := writeCallName(pass, call)
+				if what == "" {
+					return true
+				}
+				line := pass.Fset.Position(call.Pos()).Line
+				if escapes[line] || escapes[line-1] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"unsynced file write: %s in %s never reaches (*os.File).Sync on any path; acknowledged bytes sit in the page cache and vanish on power cut — fsync on this path, or annotate `// lintsync: <reason>` where a later batch Sync covers it",
+					what, fn.Name())
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// durabilityScope limits the analyzer to the durable storage tree and
+// lint fixtures. Elsewhere (truth logs in examples, report files in
+// benches) a lost write costs a rerun, not acknowledged data.
+func durabilityScope(path string) bool {
+	return strings.HasPrefix(path, "sysplex/internal/dasd") ||
+		strings.HasPrefix(path, "lintfixture/")
+}
+
+type durPass struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	// reaches memoizes reachesSync: 0 unknown, 1 in progress or no,
+	// 2 yes.
+	reaches map[*types.Func]int
+}
+
+// reachesSync reports whether fn reaches (*os.File).Sync — directly,
+// through a local callee (memoized), or through another package's
+// exported fact.
+func (d *durPass) reachesSync(fn *types.Func) bool {
+	if fn.Pkg() != d.pass.Pkg {
+		return d.pass.ImportFact(fn) != nil
+	}
+	switch d.reaches[fn] {
+	case 1:
+		return false
+	case 2:
+		return true
+	}
+	d.reaches[fn] = 1 // recursion guard
+	decl, ok := d.decls[fn]
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(d.pass, call)
+		if callee == nil {
+			return true
+		}
+		if osFileMethod(callee) == "Sync" || (callee != fn && d.reachesSync(callee)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		d.reaches[fn] = 2
+	}
+	return found
+}
+
+// writeCallName names a raw durable-bytes write call ("" otherwise):
+// an *os.File write/truncate method, or os.WriteFile.
+func writeCallName(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return ""
+	}
+	if m := osFileMethod(fn); osFileWriteMethods[m] {
+		return "(*os.File)." + m
+	}
+	if fn.Name() == "WriteFile" && fn.Pkg() != nil && fn.Pkg().Path() == "os" {
+		return "os.WriteFile"
+	}
+	return ""
+}
+
+// osFileMethod returns fn's name when it is a method on *os.File or
+// os.File, "" otherwise.
+func osFileMethod(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Name() != "File" || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return ""
+	}
+	return fn.Name()
+}
+
+// docHasLintsync reports a `// lintsync:` escape in the function's doc
+// comment — the placement for a function whose whole job is the
+// deferred write (the group-commit slot writer).
+func docHasLintsync(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if lintsyncRE.MatchString(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// lintsyncLines maps file lines bearing a `// lintsync:` escape.
+func lintsyncLines(file *ast.File, fset *token.FileSet) map[int]bool {
+	lines := make(map[int]bool)
+	for _, g := range file.Comments {
+		for _, c := range g.List {
+			if lintsyncRE.MatchString(c.Text) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

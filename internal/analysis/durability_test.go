@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestDurability(t *testing.T) {
+	RunFixture(t, Durability, "durability")
+}

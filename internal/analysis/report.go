@@ -45,7 +45,7 @@ type JSONDiagnostic struct {
 type JSONSuppression struct {
 	File string `json:"file"`
 	Line int    `json:"line"`
-	// Kind is the escape marker: lintwall, lintctx, lintgo.
+	// Kind is the escape marker: lintwall, lintctx, lintgo, lintsync.
 	Kind string `json:"kind"`
 	// Reason is the text after the marker; empty means the escape is
 	// unexplained (the census analyzer reports those as diagnostics).
@@ -55,7 +55,7 @@ type JSONSuppression struct {
 // suppressionRE matches an escape comment: the marker must open the
 // comment (a mid-sentence mention in prose is documentation, not an
 // escape). The reason is everything after the colon.
-var suppressionRE = regexp.MustCompile(`^//[ \t]*(lintwall|lintctx|lintgo):[ \t]*(.*)$`)
+var suppressionRE = regexp.MustCompile(`^//[ \t]*(lintwall|lintctx|lintgo|lintsync):[ \t]*(.*)$`)
 
 // CollectSuppressions scans a package's comments for lint escapes.
 func CollectSuppressions(pkg *Package, fset *token.FileSet) []JSONSuppression {

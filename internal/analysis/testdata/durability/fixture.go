@@ -1,0 +1,65 @@
+// Package fixture exercises the durability analyzer: a raw *os.File
+// write in the DASD tree must reach (*os.File).Sync on some path —
+// directly, through a callee, or behind an explicit `// lintsync:`
+// annotation where a later batch Sync covers it.
+package fixture
+
+import "os"
+
+// stageBlock acknowledges bytes that never meet an fsync: the classic
+// lost-on-power-cut write.
+func stageBlock(f *os.File, buf []byte) error {
+	_, err := f.WriteAt(buf, 0) // want `unsynced file write: \(\*os\.File\)\.WriteAt in stageBlock`
+	return err
+}
+
+// sizeVolume truncates without syncing the new length.
+func sizeVolume(f *os.File, n int64) error {
+	return f.Truncate(n) // want `unsynced file write: \(\*os\.File\)\.Truncate in sizeVolume`
+}
+
+// dumpMap takes the convenience helper; os.WriteFile never fsyncs.
+func dumpMap(path string, raw []byte) error {
+	return os.WriteFile(path, raw, 0o644) // want `unsynced file write: os\.WriteFile in dumpMap`
+}
+
+// saveCheckpoint is the correct shape: write, then fsync, in one
+// function.
+func saveCheckpoint(f *os.File, raw []byte) error {
+	if _, err := f.Write(raw); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// flushThrough reaches Sync through a helper, so its own write is
+// covered.
+func flushThrough(f *os.File, raw []byte) error {
+	if _, err := f.WriteAt(raw, 0); err != nil {
+		return err
+	}
+	return settle(f)
+}
+
+func settle(f *os.File) error {
+	return f.Sync()
+}
+
+// writeDeferred is the group-commit shape: the enclosing function's
+// doc comment declares that a batch leader fsyncs later.
+//
+// lintsync: group commit — the flush leader fsyncs the whole batch.
+func writeDeferred(f *os.File, buf []byte) error {
+	_, err := f.WriteAt(buf, 0)
+	return err
+}
+
+// writeAnnotatedInline escapes one site on the line above it.
+func writeAnnotatedInline(f *os.File, buf []byte) error {
+	// lintsync: staged slot — covered by the caller's fsync barrier.
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		return err
+	}
+	_, err := f.WriteString("tail") // want `unsynced file write: \(\*os\.File\)\.WriteString in writeAnnotatedInline`
+	return err
+}

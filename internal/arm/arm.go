@@ -371,6 +371,39 @@ func (m *Manager) updaterSys() string {
 	return "ARM"
 }
 
+// RecoverPending drives restart-pending work after LoadState on a cold
+// or partial restart: every recovered element whose recorded system is
+// not active in the re-formed sysplex is handled exactly like a system
+// failure — cross-system-eligible elements restart on an active system,
+// the rest are marked failed. (Only Running and Failed states are ever
+// persisted: the restart-complete record is written after the restarter
+// returns, so a crash mid-restart recovers as Running on a dead system
+// and is re-driven here.) Returns the restart events performed.
+func (m *Manager) RecoverPending() []RestartEvent {
+	active := map[string]bool{}
+	for _, s := range m.plex.ActiveSystems() {
+		active[s] = true
+	}
+	m.mu.Lock()
+	stale := map[string]bool{}
+	for _, e := range m.elements {
+		if e.State == StateRunning && !active[e.System] {
+			stale[e.System] = true
+		}
+	}
+	m.mu.Unlock()
+	names := make([]string, 0, len(stale))
+	for s := range stale {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	var events []RestartEvent
+	for _, sys := range names {
+		events = append(events, m.RestartForSystem(sys)...)
+	}
+	return events
+}
+
 // LoadState restores element state from the couple data set (ARM
 // address space restart).
 func (m *Manager) LoadState() error {

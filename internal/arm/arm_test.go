@@ -289,3 +289,84 @@ func TestGroupsRestartIndependently(t *testing.T) {
 	}
 	_ = fmt.Sprint()
 }
+
+// TestColdRestartRecoverPending is the durable path: element state
+// written to a file-backed ARM couple data set survives a power cut; a
+// reopened manager loads it and re-drives elements whose system did not
+// come back, while elements on returning systems are left alone.
+func TestColdRestartRecoverPending(t *testing.T) {
+	dir := t.TempDir()
+	openStore := func() (*cds.Store, *dasd.Farm) {
+		farm, err := dasd.OpenFarm(vclock.Real(), dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := farm.AddVolume("V", 256, 1); err != nil {
+			t.Fatal(err)
+		}
+		pri, err := farm.Dataset("ARM.CDS")
+		if err != nil {
+			if pri, err = farm.Allocate("V", "ARM.CDS", 128); err != nil {
+				t.Fatal(err)
+			}
+		}
+		store, err := cds.New("ARM", vclock.Real(), pri, nil, cds.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return store, farm
+	}
+
+	store, farm := openStore()
+	plex := xcf.NewSysplex("PLEX1", vclock.Real(), nil, nil, xcf.Options{})
+	plex.Join("SYS1")
+	plex.Join("SYS2")
+	m := New(plex, store, nil)
+	if err := m.Register("DB2A", "SYS1", ElementPolicy{CrossSystem: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("CICSB", "SYS2", ElementPolicy{CrossSystem: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("PINNED", "SYS2", ElementPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	dasd.PowerCutFarm(farm)
+
+	// Cold restart: only SYS1 re-forms the sysplex.
+	store2, farm2 := openStore()
+	defer farm2.Close()
+	plex2 := xcf.NewSysplex("PLEX1", vclock.Real(), nil, nil, xcf.Options{})
+	plex2.Join("SYS1")
+	var restarted []string
+	m2 := New(plex2, store2, nil)
+	m2.BindRestarter("SYS1", func(e Element) error {
+		restarted = append(restarted, e.Name)
+		return nil
+	})
+	if err := m2.LoadState(); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := m2.Element("DB2A"); err != nil || e.System != "SYS1" {
+		t.Fatalf("DB2A = %+v err=%v", e, err)
+	}
+	events := m2.RecoverPending()
+	if len(events) != 1 || events[0].Element != "CICSB" || events[0].To != "SYS1" {
+		t.Fatalf("events = %+v, want CICSB restarted onto SYS1", events)
+	}
+	if len(restarted) != 1 || restarted[0] != "CICSB" {
+		t.Fatalf("restarted = %v", restarted)
+	}
+	// The non-cross-system element on the dead system is marked failed.
+	if e, _ := m2.Element("PINNED"); e.State != StateFailed {
+		t.Fatalf("PINNED state = %v, want failed", e.State)
+	}
+	// DB2A's system came back: untouched.
+	if e, _ := m2.Element("DB2A"); e.State != StateRunning || e.System != "SYS1" {
+		t.Fatalf("DB2A = %+v", e)
+	}
+	// A second pass finds nothing left to do.
+	if again := m2.RecoverPending(); len(again) != 0 {
+		t.Fatalf("second pass events = %+v", again)
+	}
+}

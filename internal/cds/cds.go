@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"sync"
 	"time"
@@ -32,13 +33,21 @@ var (
 	ErrTimeout       = errors.New("cds: reserve timed out")
 	ErrNoCopies      = errors.New("cds: all copies failed")
 	ErrDirOverflow   = errors.New("cds: directory overflow")
+	ErrChecksum      = errors.New("cds: record checksum mismatch (torn write)")
 )
 
 const (
-	dirBlocks  = 4 // blocks reserved for the directory at the front
-	maxValue   = dasd.BlockSize - 8
-	dirSpace   = dirBlocks * dasd.BlockSize
+	dirBlocks = 4 // blocks reserved for the directory at the front
+	maxValue  = dasd.BlockSize - 8
+	dirSpace  = dirBlocks * dasd.BlockSize
+	// magicValue is the legacy (V1) directory magic: entries carry no
+	// checksums. Still decoded so pre-upgrade datasets read cleanly.
 	magicValue = 0xC0DB1996
+	// magicV2 marks the checksummed directory layout: every entry
+	// carries a CRC32 of its value and the directory itself is
+	// CRC-trailered, so a torn write to either is detected on read and
+	// falls back to the alternate copy.
+	magicV2 = 0xC0DB1997
 )
 
 // Options tune serialization behaviour.
@@ -117,8 +126,11 @@ type directory struct {
 type dirEntry struct {
 	block  uint32
 	length uint32
+	sum    uint32 // CRC32 of the value; 0 on legacy V1 entries = unchecked
 }
 
+// encode lays the directory out in the V2 checksummed format:
+// magic | count | {klen block length sum key}... | CRC32(everything before).
 func (d *directory) encode() ([]byte, error) {
 	keys := make([]string, 0, len(d.entries))
 	for k := range d.entries {
@@ -126,17 +138,21 @@ func (d *directory) encode() ([]byte, error) {
 	}
 	sort.Strings(keys)
 	buf := make([]byte, 8, 256)
-	binary.BigEndian.PutUint32(buf[0:4], magicValue)
+	binary.BigEndian.PutUint32(buf[0:4], magicV2)
 	binary.BigEndian.PutUint32(buf[4:8], uint32(len(keys)))
 	for _, k := range keys {
 		e := d.entries[k]
-		var rec [10]byte
+		var rec [14]byte
 		binary.BigEndian.PutUint16(rec[0:2], uint16(len(k)))
 		binary.BigEndian.PutUint32(rec[2:6], e.block)
 		binary.BigEndian.PutUint32(rec[6:10], e.length)
+		binary.BigEndian.PutUint32(rec[10:14], e.sum)
 		buf = append(buf, rec[:]...)
 		buf = append(buf, k...)
 	}
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(buf))
+	buf = append(buf, trailer[:]...)
 	if len(buf) > dirSpace {
 		return nil, ErrDirOverflow
 	}
@@ -148,25 +164,46 @@ func decodeDirectory(raw []byte) (*directory, error) {
 	if len(raw) < 8 {
 		return d, nil
 	}
-	if binary.BigEndian.Uint32(raw[0:4]) != magicValue {
+	magic := binary.BigEndian.Uint32(raw[0:4])
+	if magic != magicValue && magic != magicV2 {
 		return d, nil // unformatted: empty store
+	}
+	recSize := 10
+	if magic == magicV2 {
+		recSize = 14
 	}
 	n := binary.BigEndian.Uint32(raw[4:8])
 	off := 8
 	for i := uint32(0); i < n; i++ {
-		if off+10 > len(raw) {
+		if off+recSize > len(raw) {
 			return nil, errors.New("cds: truncated directory")
 		}
 		klen := int(binary.BigEndian.Uint16(raw[off : off+2]))
 		blk := binary.BigEndian.Uint32(raw[off+2 : off+6])
 		vlen := binary.BigEndian.Uint32(raw[off+6 : off+10])
-		off += 10
+		var sum uint32
+		if magic == magicV2 {
+			sum = binary.BigEndian.Uint32(raw[off+10 : off+14])
+		}
+		off += recSize
 		if off+klen > len(raw) {
 			return nil, errors.New("cds: truncated directory key")
 		}
+		if vlen > maxValue {
+			return nil, fmt.Errorf("cds: directory entry length %d exceeds block", vlen)
+		}
 		key := string(raw[off : off+klen])
 		off += klen
-		d.entries[key] = dirEntry{block: blk, length: vlen}
+		d.entries[key] = dirEntry{block: blk, length: vlen, sum: sum}
+	}
+	if magic == magicV2 {
+		if off+4 > len(raw) {
+			return nil, errors.New("cds: directory trailer missing")
+		}
+		want := binary.BigEndian.Uint32(raw[off : off+4])
+		if crc32.ChecksumIEEE(raw[:off]) != want {
+			return nil, fmt.Errorf("%w: directory", ErrChecksum)
+		}
 	}
 	return d, nil
 }
@@ -194,7 +231,7 @@ func (v *View) Get(key string) ([]byte, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
-	raw, err := v.store.readBlock(v.sys, int(e.block))
+	raw, err := v.store.readValue(v.sys, e)
 	if err != nil {
 		return nil, false, err
 	}
@@ -347,6 +384,35 @@ func (s *Store) readBlock(sys string, blk int) ([]byte, error) {
 	return pri.Read(sys, blk)
 }
 
+// readValue reads a record's block and verifies the directory's CRC of
+// it. A dasd-level failure or a checksum mismatch (a torn value write)
+// falls back to the alternate copy via hot switch, the same path a
+// broken device takes.
+func (s *Store) readValue(sys string, e dirEntry) ([]byte, error) {
+	pri, alt := s.copies()
+	raw, err := readVerified(pri, sys, e)
+	if err == nil {
+		return raw, nil
+	}
+	if alt == nil {
+		return nil, err
+	}
+	s.hotSwitch()
+	pri, _ = s.copies()
+	return readVerified(pri, sys, e)
+}
+
+func readVerified(ds *dasd.Dataset, sys string, e dirEntry) ([]byte, error) {
+	raw, err := ds.Read(sys, int(e.block))
+	if err != nil {
+		return nil, err
+	}
+	if e.sum != 0 && crc32.ChecksumIEEE(raw[:e.length]) != e.sum {
+		return nil, fmt.Errorf("%w: block %d of %s", ErrChecksum, e.block, ds.Name())
+	}
+	return raw, nil
+}
+
 // writeBlock writes to every active copy. A primary failure triggers a
 // hot switch; an alternate failure drops to simplex mode.
 func (s *Store) writeBlock(sys string, blk int, data []byte) error {
@@ -413,13 +479,39 @@ func (s *Store) SetAlternate(sys string, ds *dasd.Dataset) error {
 			return err
 		}
 	}
+	if err := ds.Sync(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	s.alt = ds
 	s.mu.Unlock()
 	return nil
 }
 
+// loadDirectory reads and decodes the directory extent. A decode
+// failure (torn directory write caught by the trailer CRC) falls back
+// to the alternate copy, mirroring readValue.
 func (s *Store) loadDirectory(sys string) (*directory, error) {
+	raw, err := s.readDirRaw(sys)
+	if err != nil {
+		return nil, err
+	}
+	dir, derr := decodeDirectory(raw)
+	if derr == nil {
+		return dir, nil
+	}
+	if !s.Duplexed() {
+		return nil, derr
+	}
+	s.hotSwitch()
+	raw, err = s.readDirRaw(sys)
+	if err != nil {
+		return nil, err
+	}
+	return decodeDirectory(raw)
+}
+
+func (s *Store) readDirRaw(sys string) ([]byte, error) {
 	var raw []byte
 	for blk := 0; blk < dirBlocks; blk++ {
 		b, err := s.readBlock(sys, blk)
@@ -428,7 +520,7 @@ func (s *Store) loadDirectory(sys string) (*directory, error) {
 		}
 		raw = append(raw, b...)
 	}
-	return decodeDirectory(raw)
+	return raw, nil
 }
 
 func (s *Store) storeDirectory(sys string, dir *directory) error {
@@ -447,20 +539,36 @@ func (s *Store) storeDirectory(sys string, dir *directory) error {
 }
 
 // commit applies staged changes: assigns blocks to new keys, writes
-// values, then writes the directory (directory-last gives crash
-// atomicity at the granularity of whole Update calls).
+// values, syncs, then writes the directory and syncs again.
+// Directory-last plus the sync barrier between values and directory
+// gives crash atomicity at the granularity of whole Update calls: a
+// crash anywhere leaves either the old directory over old values or
+// the new directory over durable new values (syncs are no-ops on an
+// in-memory farm, where the process is the failure domain anyway).
 func (s *Store) commit(sys string, dir *directory, changed map[string][]byte) error {
 	pri, _ := s.copies()
 	used := make(map[uint32]bool)
 	for _, e := range dir.entries {
 		used[e.block] = true
 	}
+	// Blocks freed by deletes in THIS commit are reused only as a last
+	// resort: if the commit crashes before the directory write, the
+	// still-durable old directory maps the deleted key at the reused
+	// block, and the new bytes under it read back as a checksum error
+	// instead of the key's old value. Preferring never-used blocks
+	// keeps that window shut whenever space allows.
+	var freed []uint32
 	alloc := func() (uint32, error) {
 		for blk := uint32(dirBlocks); blk < uint32(pri.Blocks()); blk++ {
 			if !used[blk] {
 				used[blk] = true
 				return blk, nil
 			}
+		}
+		if len(freed) > 0 {
+			blk := freed[0]
+			freed = freed[1:]
+			return blk, nil
 		}
 		return 0, ErrFull
 	}
@@ -469,13 +577,19 @@ func (s *Store) commit(sys string, dir *directory, changed map[string][]byte) er
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	// Deletes first, so their last-resort blocks are visible to every
+	// set in this commit regardless of key order.
+	for _, key := range keys {
+		if changed[key] == nil {
+			if e, ok := dir.entries[key]; ok {
+				freed = append(freed, e.block)
+				delete(dir.entries, key)
+			}
+		}
+	}
 	for _, key := range keys {
 		val := changed[key]
 		if val == nil {
-			if e, ok := dir.entries[key]; ok {
-				delete(used, e.block)
-				delete(dir.entries, key)
-			}
 			continue
 		}
 		e, ok := dir.entries[key]
@@ -487,10 +601,44 @@ func (s *Store) commit(sys string, dir *directory, changed map[string][]byte) er
 			e = dirEntry{block: blk}
 		}
 		e.length = uint32(len(val))
+		e.sum = crc32.ChecksumIEEE(val)
 		if err := s.writeBlock(sys, int(e.block), val); err != nil {
 			return err
 		}
 		dir.entries[key] = e
 	}
-	return s.storeDirectory(sys, dir)
+	if err := s.syncCopies(); err != nil {
+		return err
+	}
+	if err := s.storeDirectory(sys, dir); err != nil {
+		return err
+	}
+	return s.syncCopies()
+}
+
+// syncCopies flushes both copies' volumes. A primary sync failure hot
+// switches (the device's state is unknown, like a broken device); an
+// alternate failure drops to simplex.
+func (s *Store) syncCopies() error {
+	pri, alt := s.copies()
+	priErr := pri.Sync()
+	var altErr error
+	if alt != nil {
+		altErr = alt.Sync()
+	}
+	switch {
+	case priErr == nil && altErr == nil:
+		return nil
+	case priErr != nil && alt != nil && altErr == nil:
+		s.hotSwitch()
+		return nil
+	case priErr == nil && altErr != nil:
+		s.dropAlternate()
+		return nil
+	default:
+		if alt == nil {
+			return priErr
+		}
+		return ErrNoCopies
+	}
 }

@@ -1,0 +1,181 @@
+package cds
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sysplex/internal/dasd"
+	"sysplex/internal/vclock"
+)
+
+// durableStore builds a duplexed store over two file-backed volumes
+// rooted at dir, mirroring the façade's CPLEX1/CPLEX2 layout.
+func durableStore(t *testing.T, dir string) (*Store, *dasd.Farm) {
+	t.Helper()
+	farm, err := dasd.OpenFarm(vclock.Real(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vs := range []string{"CPLEX1", "CPLEX2"} {
+		if _, err := farm.AddVolume(vs, 64, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pri, err := farm.Dataset("TEST.CDS01")
+	if err != nil {
+		if pri, err = farm.Allocate("CPLEX1", "TEST.CDS01", 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alt, err := farm.Dataset("TEST.CDS02")
+	if err != nil {
+		if alt, err = farm.Allocate("CPLEX2", "TEST.CDS02", 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := New("TEST.CDS", vclock.Real(), pri, alt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, farm
+}
+
+// TestReopenFromDisk writes records, tears the farm down, reopens the
+// same directory, and reads the records back through a fresh Store.
+func TestReopenFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	st, farm := durableStore(t, dir)
+	err := st.Update("SYS1", func(v *View) error {
+		if err := v.Set("xcf.status.SYS1", []byte("active")); err != nil {
+			return err
+		}
+		return v.Set("arm.element.DB2.A", []byte(`{"state":"ready"}`))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := farm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, farm2 := durableStore(t, dir)
+	defer farm2.Close()
+	val, ok, err := st2.Read("SYS2", "arm.element.DB2.A")
+	if err != nil || !ok {
+		t.Fatalf("record lost across restart: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(val, []byte(`{"state":"ready"}`)) {
+		t.Fatalf("value = %q", val)
+	}
+	keys, err := st2.Keys("SYS2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+// TestTornValueFallsBackToAlternate corrupts the primary copy of a
+// record on the live store and expects the read to detect the bad
+// checksum and return the alternate's copy.
+func TestTornValueFallsBackToAlternate(t *testing.T) {
+	st, farm := durableStore(t, t.TempDir())
+	defer farm.Close()
+	if err := st.Update("SYS1", func(v *View) error { return v.Set("key", []byte("good value")) }); err != nil {
+		t.Fatal(err)
+	}
+	// Find the record's block and corrupt it on the primary only,
+	// bypassing the store (a torn hardware write).
+	dir, err := st.loadDirectory("SYS1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := dir.entries["key"]
+	pri, _ := st.copies()
+	if err := pri.Write("SYS1", int(e.block), []byte("garbage!!!")); err != nil {
+		t.Fatal(err)
+	}
+	val, ok, err := st.Read("SYS1", "key")
+	if err != nil || !ok {
+		t.Fatalf("read after torn primary: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(val, []byte("good value")) {
+		t.Fatalf("val = %q, want the alternate's copy", val)
+	}
+	if st.Switches() == 0 {
+		t.Fatal("no hot switch recorded")
+	}
+}
+
+// TestTornValueSimplexDetected: with no alternate, a torn record must
+// surface ErrChecksum, never the corrupt bytes.
+func TestTornValueSimplexDetected(t *testing.T) {
+	farm := dasd.NewFarm(vclock.Real())
+	if _, err := farm.AddVolume("VOL001", 64, 1); err != nil {
+		t.Fatal(err)
+	}
+	pri, err := farm.Allocate("VOL001", "SIMPLEX.CDS", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New("SIMPLEX", vclock.Real(), pri, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Update("SYS1", func(v *View) error { return v.Set("key", []byte("value")) }); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := st.loadDirectory("SYS1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pri.Write("SYS1", int(dir.entries["key"].block), []byte("xxxxx")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = st.Read("SYS1", "key")
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+// FuzzDecodeDirectory mirrors the cflink codec fuzz for the on-disk
+// directory decoder: arbitrary bytes must yield a directory or an
+// error — never a panic, never an entry pointing past a block.
+func FuzzDecodeDirectory(f *testing.F) {
+	good, _ := (&directory{entries: map[string]dirEntry{
+		"xcf.status.SYS1": {block: 7, length: 12, sum: 0xDEADBEEF},
+		"policy.cfrm":     {block: 9, length: 100, sum: 1},
+	}}).encode()
+	f.Add(good)
+	f.Add(good[:len(good)-3]) // torn tail
+	f.Add(make([]byte, dirSpace))
+	f.Add([]byte{0xC0, 0xDB, 0x19, 0x97, 0xFF, 0xFF, 0xFF, 0xFF}) // forged count
+	f.Add([]byte{0xC0, 0xDB, 0x19, 0x96, 0, 0, 0, 1, 0, 2, 0, 0, 0, 1, 0, 0, 0, 3, 'h', 'i'})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		d, err := decodeDirectory(raw)
+		if err != nil {
+			return
+		}
+		for k, e := range d.entries {
+			if int(e.length) > maxValue {
+				t.Fatalf("entry %q length %d exceeds block", k, e.length)
+			}
+		}
+		// A decoded directory must re-encode and decode to the same
+		// entries (round-trip identity), unless it overflows.
+		enc, err := d.encode()
+		if err != nil {
+			return
+		}
+		d2, err := decodeDirectory(enc)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(d2.entries) != len(d.entries) {
+			t.Fatalf("round trip lost entries: %d != %d", len(d2.entries), len(d.entries))
+		}
+	})
+}

@@ -12,6 +12,9 @@ package dasd
 import (
 	"errors"
 	"fmt"
+	"os"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +44,7 @@ const BlockSize = 4096
 type Farm struct {
 	mu      sync.Mutex
 	clock   vclock.Clock
+	dir     string // data directory; "" = in-memory farm
 	volumes map[string]*Volume
 	catalog map[string]*Dataset // dataset name -> dataset
 	metrics *metrics.Registry
@@ -59,33 +63,112 @@ func NewFarm(clock vclock.Clock) *Farm {
 	}
 }
 
+// OpenFarm returns a durable Farm rooted at dir: every volume is
+// file-backed (one <volser>.vol + <volser>.map pair under dir), and any
+// volumes already present from a previous life are reattached with
+// their dataset catalogs rebuilt from the persisted extent maps. This
+// is the cold-restart entry point; sysplex.Open builds on it.
+func OpenFarm(clock vclock.Clock, dir string) (*Farm, error) {
+	if dir == "" {
+		return nil, errors.New("dasd: OpenFarm needs a data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dasd: creating data directory: %w", err)
+	}
+	f := NewFarm(clock)
+	f.dir = dir
+	volsers, err := scanVolsers(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dasd: scanning %s: %w", dir, err)
+	}
+	sort.Strings(volsers)
+	for _, vs := range volsers {
+		store, m, err := openFileStore(dir, vs)
+		if err != nil {
+			return nil, err
+		}
+		store.observeFsync = f.fsyncObserver()
+		if m.Paths <= 0 {
+			m.Paths = 1
+		}
+		v := f.attachVolume(vs, store, m.Paths)
+		v.nextExtent = m.NextExtent
+		for _, e := range m.Datasets {
+			f.catalog[e.Name] = &Dataset{vol: v, name: e.Name, first: e.First, blocks: e.Blocks}
+		}
+	}
+	return f, nil
+}
+
 // Metrics exposes the farm's instrumentation registry.
 func (f *Farm) Metrics() *metrics.Registry { return f.metrics }
 
+// Durable reports whether the farm's volumes are file-backed.
+func (f *Farm) Durable() bool { return f.dir != "" }
+
+// fsyncObserver wires a file store's group-commit fsyncs into the
+// farm registry.
+func (f *Farm) fsyncObserver() func(time.Duration) {
+	count := f.metrics.Counter("dasd.fsync.count")
+	lat := f.metrics.Histogram("dasd.fsync.latency")
+	return func(d time.Duration) {
+		count.Inc()
+		lat.Observe(d)
+	}
+}
+
+// attachVolume registers a volume over an existing store. Caller does
+// not hold f.mu.
+func (f *Farm) attachVolume(volser string, store Store, pathsPerSystem int) *Volume {
+	v := &Volume{
+		farm:   f,
+		volser: volser,
+		store:  store,
+		nPaths: pathsPerSystem,
+		paths:  make(map[string][]bool),
+		pathIO: make(map[string][]int64),
+		fenced: make(map[string]bool),
+	}
+	f.mu.Lock()
+	f.volumes[volser] = v
+	f.mu.Unlock()
+	return v
+}
+
 // AddVolume creates a volume with the given serial and capacity in
-// blocks. Each system referenced later gets pathsPerSystem channel paths.
+// blocks. Each system referenced later gets pathsPerSystem channel
+// paths. On a durable farm the volume is file-backed; if it already
+// exists from a previous life (reattached by OpenFarm) and its capacity
+// matches, the existing volume is returned so first-boot and restart
+// code paths are identical.
 func (f *Farm) AddVolume(volser string, blocks, pathsPerSystem int) (*Volume, error) {
 	if blocks <= 0 || pathsPerSystem <= 0 {
 		return nil, fmt.Errorf("dasd: volume %q needs positive blocks and paths", volser)
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	if _, ok := f.volumes[volser]; ok {
+	if v, ok := f.volumes[volser]; ok {
+		f.mu.Unlock()
+		if f.Durable() {
+			if v.Blocks() != blocks {
+				return nil, fmt.Errorf("dasd: volume %q exists with %d blocks, want %d", volser, v.Blocks(), blocks)
+			}
+			return v, nil
+		}
 		return nil, fmt.Errorf("dasd: volume %q already exists", volser)
 	}
-	v := &Volume{
-		farm:        f,
-		volser:      volser,
-		data:        make([][]byte, blocks),
-		nPaths:      pathsPerSystem,
-		paths:       make(map[string][]bool),
-		pathIO:      make(map[string][]int64),
-		fenced:      make(map[string]bool),
-		nextExtent:  0,
-		readLatency: 0,
+	f.mu.Unlock()
+	var store Store
+	if f.Durable() {
+		fs, err := createFileStore(f.dir, volser, blocks, pathsPerSystem)
+		if err != nil {
+			return nil, err
+		}
+		fs.observeFsync = f.fsyncObserver()
+		store = fs
+	} else {
+		store = newMemStore(blocks)
 	}
-	f.volumes[volser] = v
-	return v, nil
+	return f.attachVolume(volser, store, pathsPerSystem), nil
 }
 
 // Volume returns the named volume.
@@ -151,7 +234,7 @@ func (f *Farm) Allocate(volser, name string, nblocks int) (*Dataset, error) {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	v.mu.Lock()
-	if v.nextExtent+nblocks > len(v.data) {
+	if v.nextExtent+nblocks > v.store.Blocks() {
 		v.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q allocating %q", ErrNoSpace, volser, name)
 	}
@@ -160,7 +243,82 @@ func (f *Farm) Allocate(volser, name string, nblocks int) (*Dataset, error) {
 	v.mu.Unlock()
 	ds := &Dataset{vol: v, name: name, first: first, blocks: nblocks}
 	f.catalog[name] = ds
+	if f.Durable() {
+		if err := f.saveExtentsLocked(v); err != nil {
+			delete(f.catalog, name)
+			v.mu.Lock()
+			v.nextExtent = first
+			v.mu.Unlock()
+			return nil, fmt.Errorf("dasd: persisting extent map for %q: %w", volser, err)
+		}
+	}
 	return ds, nil
+}
+
+// saveExtentsLocked persists volume v's extent map (called with f.mu
+// held) so the catalog survives a cold restart.
+func (f *Farm) saveExtentsLocked(v *Volume) error {
+	m := ExtentMap{Blocks: v.store.Blocks(), Paths: v.nPaths}
+	for _, ds := range f.catalog {
+		if ds.vol == v {
+			m.Datasets = append(m.Datasets, Extent{Name: ds.name, First: ds.first, Blocks: ds.blocks})
+		}
+	}
+	sort.Slice(m.Datasets, func(i, j int) bool { return m.Datasets[i].First < m.Datasets[j].First })
+	v.mu.Lock()
+	m.NextExtent = v.nextExtent
+	v.mu.Unlock()
+	return v.store.SaveExtents(m)
+}
+
+// Datasets returns the cataloged dataset names with the given prefix,
+// sorted. Log-stream cold recovery scans its staging datasets this way.
+func (f *Farm) Datasets(prefix string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for name := range f.catalog {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sync flushes every volume's acknowledged writes to durable storage
+// (no-op on an in-memory farm). The façade calls it on clean shutdown.
+func (f *Farm) Sync() error {
+	f.mu.Lock()
+	vols := make([]*Volume, 0, len(f.volumes))
+	for _, v := range f.volumes {
+		vols = append(vols, v)
+	}
+	f.mu.Unlock()
+	var first error
+	for _, v := range vols {
+		if err := v.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close syncs and releases every volume's backend.
+func (f *Farm) Close() error {
+	f.mu.Lock()
+	vols := make([]*Volume, 0, len(f.volumes))
+	for _, v := range f.volumes {
+		vols = append(vols, v)
+	}
+	f.mu.Unlock()
+	var first error
+	for _, v := range vols {
+		if err := v.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Dataset looks up a cataloged dataset by name.
@@ -174,13 +332,15 @@ func (f *Farm) Dataset(name string) (*Dataset, error) {
 	return ds, nil
 }
 
-// Volume is one shared DASD volume.
+// Volume is one shared DASD volume. The block medium behind it is a
+// pluggable Store; everything sysplex-visible (paths, reserve, fencing,
+// latency) lives here.
 type Volume struct {
 	farm   *Farm
 	volser string
+	store  Store
 
 	mu         sync.Mutex
-	data       [][]byte
 	nextExtent int
 
 	nPaths int
@@ -199,11 +359,14 @@ type Volume struct {
 func (v *Volume) Volser() string { return v.volser }
 
 // Blocks returns the volume capacity in blocks.
-func (v *Volume) Blocks() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return len(v.data)
-}
+func (v *Volume) Blocks() int { return v.store.Blocks() }
+
+// Sync makes every acknowledged write on this volume durable. On the
+// file backend concurrent callers coalesce into one group-commit
+// fsync; on the in-memory backend it is a no-op. Sync deliberately
+// does not take v.mu, so writers on other blocks proceed while a
+// flush is in flight.
+func (v *Volume) Sync() error { return v.store.Sync() }
 
 // SetLatency configures simulated read/write latency applied per I/O.
 func (v *Volume) SetLatency(read, write time.Duration) {
@@ -251,6 +414,7 @@ func (v *Volume) Reserve(sys string) error {
 		return ErrFenced
 	}
 	if v.reserved != "" && v.reserved != sys {
+		v.farm.metrics.Counter("dasd.reserve.busy").Inc()
 		return fmt.Errorf("%w (holder %s)", ErrReserved, v.reserved)
 	}
 	v.reserved = sys
@@ -371,10 +535,11 @@ func (v *Volume) selectPath(sys string) (int, error) {
 }
 
 // Read reads block number blk on behalf of sys. The returned slice is a
-// copy. A never-written block reads as zeros.
+// copy. A never-written block reads as zeros. On the file backend a
+// block whose checksum fails verification returns ErrTornBlock.
 func (v *Volume) Read(sys string, blk int) ([]byte, error) {
 	v.mu.Lock()
-	if blk < 0 || blk >= len(v.data) {
+	if blk < 0 || blk >= v.store.Blocks() {
 		v.mu.Unlock()
 		return nil, fmt.Errorf("%w: %d on %s", ErrBadBlock, blk, v.volser)
 	}
@@ -383,11 +548,15 @@ func (v *Volume) Read(sys string, blk int) ([]byte, error) {
 		return nil, err
 	}
 	lat := v.readLatency
-	src := v.data[blk]
+	src, err := v.store.ReadBlock(blk)
+	v.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	out := make([]byte, BlockSize)
 	copy(out, src)
-	v.mu.Unlock()
 	v.farm.metrics.Counter("dasd.read").Inc()
+	v.farm.metrics.Counter("dasd.vol." + v.volser + ".read").Inc()
 	if lat > 0 {
 		v.farm.clock.Sleep(lat)
 	}
@@ -395,13 +564,15 @@ func (v *Volume) Read(sys string, blk int) ([]byte, error) {
 }
 
 // Write writes block number blk on behalf of sys. Data longer than
-// BlockSize is rejected; shorter data is zero-padded.
+// BlockSize is rejected; shorter data is zero-padded. On the file
+// backend the write is acknowledged in-memory and becomes durable at
+// the next Sync (group commit).
 func (v *Volume) Write(sys string, blk int, data []byte) error {
 	if len(data) > BlockSize {
 		return ErrShortRecord
 	}
 	v.mu.Lock()
-	if blk < 0 || blk >= len(v.data) {
+	if blk < 0 || blk >= v.store.Blocks() {
 		v.mu.Unlock()
 		return fmt.Errorf("%w: %d on %s", ErrBadBlock, blk, v.volser)
 	}
@@ -412,9 +583,13 @@ func (v *Volume) Write(sys string, blk int, data []byte) error {
 	lat := v.writeLatency
 	buf := make([]byte, BlockSize)
 	copy(buf, data)
-	v.data[blk] = buf
+	err := v.store.WriteBlock(blk, buf)
 	v.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	v.farm.metrics.Counter("dasd.write").Inc()
+	v.farm.metrics.Counter("dasd.vol." + v.volser + ".write").Inc()
 	if lat > 0 {
 		v.farm.clock.Sleep(lat)
 	}
@@ -454,3 +629,7 @@ func (d *Dataset) Write(sys string, blk int, data []byte) error {
 	}
 	return d.vol.Write(sys, d.first+blk, data)
 }
+
+// Sync makes the dataset's acknowledged writes durable (whole-volume
+// group commit; see Volume.Sync).
+func (d *Dataset) Sync() error { return d.vol.Sync() }

@@ -1,0 +1,400 @@
+package dasd
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// fileStore is the durable backend: one file per volume under the
+// farm's data directory, <volser>.vol for blocks and <volser>.map for
+// the extent map. Each block occupies a fixed slot of header+payload;
+// the 16-byte header carries a magic, the block number, the payload
+// length, and a CRC32 of the payload, so a torn write (the medium's
+// analogue of a partial channel program) is *detected* on read rather
+// than silently returned.
+//
+// Writes are acknowledged into an in-memory dirty overlay and reach the
+// file only on Sync. That is what makes the crash model honest: a
+// SIGKILLed process loses exactly the writes nobody Synced (the kernel
+// page cache would otherwise survive a process death and make every
+// crash test vacuous). Sync is a group commit — concurrent callers
+// coalesce behind one leader that flushes the whole overlay and issues
+// a single fsync — so log offload and WAL appends don't pay one fsync
+// per record.
+//
+// A failed flush is sticky: the store is broken from then on, like a
+// hard device failure, because the file's state is no longer known.
+
+// ErrTornBlock reports a block whose on-disk header or checksum failed
+// verification: a write was interrupted mid-slot.
+var ErrTornBlock = errors.New("dasd: torn block (checksum mismatch)")
+
+const (
+	headerMagic = 0xDA5D_B10C
+	headerSize  = 16
+	slotSize    = headerSize + BlockSize
+)
+
+// blockHeader is the decoded 16-byte on-disk slot header.
+type blockHeader struct {
+	blk    int
+	length int
+	sum    uint32
+}
+
+// encodeBlockHeader lays out magic | blk | length | crc32(payload).
+func encodeBlockHeader(hdr []byte, blk int, payload []byte) {
+	binary.BigEndian.PutUint32(hdr[0:4], headerMagic)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(blk))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
+}
+
+// decodeBlockHeader validates a slot header read from disk. A header of
+// all zero bytes is the "never written" state and is reported via the
+// second return; anything else that fails validation is torn.
+func decodeBlockHeader(hdr []byte) (blockHeader, bool, error) {
+	if len(hdr) < headerSize {
+		return blockHeader{}, false, fmt.Errorf("%w: short header (%d bytes)", ErrTornBlock, len(hdr))
+	}
+	allZero := true
+	for _, b := range hdr[:headerSize] {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return blockHeader{}, false, nil
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != headerMagic {
+		return blockHeader{}, false, fmt.Errorf("%w: bad magic %#x", ErrTornBlock, binary.BigEndian.Uint32(hdr[0:4]))
+	}
+	h := blockHeader{
+		blk:    int(binary.BigEndian.Uint32(hdr[4:8])),
+		length: int(binary.BigEndian.Uint32(hdr[8:12])),
+		sum:    binary.BigEndian.Uint32(hdr[12:16]),
+	}
+	if h.length < 0 || h.length > BlockSize {
+		return blockHeader{}, false, fmt.Errorf("%w: length %d out of range", ErrTornBlock, h.length)
+	}
+	return h, true, nil
+}
+
+type fileStore struct {
+	f       *os.File
+	path    string
+	mapPath string
+	blocks  int
+
+	// observeFsync, if set, is called with each leader fsync's latency
+	// (wired to the farm's dasd.fsync.* metrics).
+	observeFsync func(time.Duration)
+
+	mu        sync.Mutex
+	overlay   map[int][]byte // acknowledged, un-synced writes
+	flushing  map[int][]byte // snapshot being flushed by the leader
+	writeSeq  int64          // bumped per WriteBlock
+	syncedSeq int64          // highest writeSeq known durable
+	syncing   bool           // a leader flush is in progress
+	cond      *sync.Cond
+	syncErr   error // sticky: a failed flush breaks the store
+}
+
+// volPath/mapPath name the two per-volume files under dir.
+func volPath(dir, volser string) string { return filepath.Join(dir, volser+".vol") }
+func extPath(dir, volser string) string { return filepath.Join(dir, volser+".map") }
+
+// createFileStore makes a fresh volume file sized for blocks and
+// persists an initial extent map.
+func createFileStore(dir, volser string, blocks, paths int) (*fileStore, error) {
+	s, err := openVolumeFile(dir, volser, blocks)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.SaveExtents(ExtentMap{Blocks: blocks, Paths: paths}); err != nil {
+		s.f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// openFileStore reattaches an existing volume from its extent map.
+func openFileStore(dir, volser string) (*fileStore, ExtentMap, error) {
+	raw, err := os.ReadFile(extPath(dir, volser))
+	if err != nil {
+		return nil, ExtentMap{}, fmt.Errorf("dasd: reading extent map for %s: %w", volser, err)
+	}
+	var m ExtentMap
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, ExtentMap{}, fmt.Errorf("dasd: decoding extent map for %s: %w", volser, err)
+	}
+	if m.Blocks <= 0 {
+		return nil, ExtentMap{}, fmt.Errorf("dasd: extent map for %s has no capacity", volser)
+	}
+	s, err := openVolumeFile(dir, volser, m.Blocks)
+	if err != nil {
+		return nil, ExtentMap{}, err
+	}
+	return s, m, nil
+}
+
+func openVolumeFile(dir, volser string, blocks int) (*fileStore, error) {
+	path := volPath(dir, volser)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dasd: opening volume file: %w", err)
+	}
+	if err := f.Truncate(int64(blocks) * slotSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dasd: sizing volume file: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dasd: syncing volume file: %w", err)
+	}
+	s := &fileStore{
+		f:       f,
+		path:    path,
+		mapPath: extPath(dir, volser),
+		blocks:  blocks,
+		overlay: make(map[int][]byte),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+func (s *fileStore) Blocks() int { return s.blocks }
+
+// ReadBlock returns the latest acknowledged content: dirty overlay
+// first, then the leader's in-flight flush snapshot, then the file.
+func (s *fileStore) ReadBlock(blk int) ([]byte, error) {
+	s.mu.Lock()
+	if err := s.syncErr; err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	if b, ok := s.overlay[blk]; ok {
+		s.mu.Unlock()
+		return b, nil
+	}
+	if b, ok := s.flushing[blk]; ok {
+		s.mu.Unlock()
+		return b, nil
+	}
+	s.mu.Unlock()
+	return s.readSlot(blk)
+}
+
+// readSlot reads and verifies one on-disk slot.
+func (s *fileStore) readSlot(blk int) ([]byte, error) {
+	buf := make([]byte, slotSize)
+	if _, err := s.f.ReadAt(buf, int64(blk)*slotSize); err != nil {
+		return nil, fmt.Errorf("dasd: reading block %d: %w", blk, err)
+	}
+	h, written, err := decodeBlockHeader(buf[:headerSize])
+	if err != nil {
+		return nil, fmt.Errorf("block %d of %s: %w", blk, s.path, err)
+	}
+	if !written {
+		return nil, nil
+	}
+	payload := buf[headerSize : headerSize+h.length]
+	if h.blk != blk {
+		return nil, fmt.Errorf("block %d of %s: %w: header names block %d", blk, s.path, ErrTornBlock, h.blk)
+	}
+	if crc32.ChecksumIEEE(payload) != h.sum {
+		return nil, fmt.Errorf("block %d of %s: %w", blk, s.path, ErrTornBlock)
+	}
+	out := make([]byte, BlockSize)
+	copy(out, payload)
+	return out, nil
+}
+
+// WriteBlock acknowledges the write into the dirty overlay; it becomes
+// durable at the next Sync.
+func (s *fileStore) WriteBlock(blk int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.syncErr; err != nil {
+		return err
+	}
+	s.overlay[blk] = data
+	s.writeSeq++
+	return nil
+}
+
+// Sync is the group commit: the first caller in becomes leader, swaps
+// the overlay out, writes every dirty slot, and issues one fsync;
+// callers that arrive while a flush is in flight wait and are covered
+// by the leader's (or the next leader's) fsync.
+func (s *fileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := s.writeSeq
+	for s.syncedSeq < target {
+		if s.syncErr != nil {
+			return s.syncErr
+		}
+		if s.syncing {
+			s.cond.Wait()
+			continue
+		}
+		s.leaderFlushLocked()
+	}
+	return s.syncErr
+}
+
+// leaderFlushLocked runs one flush round as leader. Called with s.mu
+// held; releases it for the file I/O and reacquires before returning.
+func (s *fileStore) leaderFlushLocked() {
+	s.syncing = true
+	s.flushing = s.overlay
+	s.overlay = make(map[int][]byte)
+	seq := s.writeSeq
+	batch := s.flushing
+	s.mu.Unlock()
+
+	var err error
+	start := time.Now() // lintwall: measures real fsync latency of the host filesystem, not simulated time
+	for blk, data := range batch {
+		if werr := s.writeSlot(blk, data); werr != nil {
+			err = werr
+			break
+		}
+	}
+	if err == nil {
+		err = s.f.Sync()
+	}
+	if s.observeFsync != nil && err == nil {
+		s.observeFsync(time.Since(start)) // lintwall: real fsync latency, see above
+	}
+
+	s.mu.Lock()
+	s.flushing = nil
+	s.syncing = false
+	if err != nil {
+		s.syncErr = fmt.Errorf("dasd: flush of %s failed: %w", s.path, err)
+	} else {
+		s.syncedSeq = seq
+	}
+	s.cond.Broadcast()
+}
+
+// writeSlot writes one header+payload slot in place.
+//
+// lintsync: group commit — deliberately no per-slot fsync; the Sync
+// leader flushes a whole overlay batch and fsyncs once (leaderFlushLocked).
+func (s *fileStore) writeSlot(blk int, data []byte) error {
+	buf := make([]byte, slotSize)
+	encodeBlockHeader(buf[:headerSize], blk, data)
+	copy(buf[headerSize:], data)
+	if _, err := s.f.WriteAt(buf, int64(blk)*slotSize); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LoadExtents reads the persisted extent map.
+func (s *fileStore) LoadExtents() (ExtentMap, error) {
+	raw, err := os.ReadFile(s.mapPath)
+	if err != nil {
+		return ExtentMap{}, err
+	}
+	var m ExtentMap
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return ExtentMap{}, err
+	}
+	return m, nil
+}
+
+// SaveExtents persists the extent map atomically: write a temp file,
+// fsync it, rename over the old map. A crash leaves either the old or
+// the new map, never a torn one.
+func (s *fileStore) SaveExtents(m ExtentMap) error {
+	raw, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := s.mapPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.mapPath)
+}
+
+// Close flushes acknowledged writes and closes the file.
+func (s *fileStore) Close() error {
+	err := s.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// PowerCut is a test hook simulating an abrupt power loss: every
+// acknowledged-but-unsynced write is dropped on the floor, exactly what
+// a SIGKILL does to this backend. The store stays usable (the disk
+// survived; the dirty memory didn't). An in-flight flush is allowed to
+// settle first so the hook's effect is deterministic.
+func (s *fileStore) PowerCut() {
+	s.mu.Lock()
+	for s.syncing {
+		s.cond.Wait()
+	}
+	s.overlay = make(map[int][]byte)
+	s.writeSeq = s.syncedSeq
+	s.mu.Unlock()
+}
+
+// scanVolsers lists the volume serials that have extent maps in dir.
+func scanVolsers(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if vs, ok := strings.CutSuffix(name, ".map"); ok && !e.IsDir() {
+			out = append(out, vs)
+		}
+	}
+	return out, nil
+}
+
+// PowerCutFarm simulates a whole-farm power cut for tests and crash
+// harnesses: every file-backed volume drops its un-synced writes and
+// closes its file without a final sync. In-memory volumes lose
+// everything with the process anyway. The farm is unusable afterwards;
+// reopen the directory with OpenFarm to model the cold restart.
+func PowerCutFarm(f *Farm) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, v := range f.volumes {
+		if fs, ok := v.store.(*fileStore); ok {
+			fs.PowerCut()
+			fs.f.Close()
+		}
+	}
+}

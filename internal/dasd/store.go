@@ -1,0 +1,78 @@
+package dasd
+
+// Store is the pluggable block backend behind a Volume. The Volume owns
+// all sysplex-visible semantics — channel paths, hardware RESERVE,
+// fencing, injectable latency — and delegates only the block medium to
+// the Store: read/write a 4K block, make written blocks durable, and
+// persist the extent map that rebuilds the dataset catalog on restart.
+//
+// Two implementations exist: memStore (the default; process-lifetime
+// only, exactly the behaviour the farm always had) and fileStore (one
+// checksummed file per volume under the farm's data directory, with
+// fsync-batched group commit — see filestore.go).
+type Store interface {
+	// ReadBlock returns block blk's last *written* content (synced or
+	// not), exactly BlockSize bytes, or nil if the block was never
+	// written (the caller reads nil as zeros). A file backend returns a
+	// torn-block error when an on-disk block fails its checksum.
+	ReadBlock(blk int) ([]byte, error)
+	// WriteBlock stores block blk. Data is exactly BlockSize bytes (the
+	// Volume pads). The write is acknowledged in-memory; it is not
+	// durable until Sync returns nil.
+	WriteBlock(blk int, data []byte) error
+	// Sync makes every previously acknowledged write durable. A file
+	// backend batches concurrent callers into one fsync (group commit).
+	Sync() error
+	// Blocks returns the volume capacity in blocks.
+	Blocks() int
+	// LoadExtents returns the persisted extent map (dataset catalog
+	// fragment for this volume).
+	LoadExtents() (ExtentMap, error)
+	// SaveExtents durably persists the extent map.
+	SaveExtents(ExtentMap) error
+	// Close releases backend resources after a final Sync.
+	Close() error
+}
+
+// Extent is one cataloged dataset's location on a volume.
+type Extent struct {
+	Name   string `json:"name"`
+	First  int    `json:"first"`
+	Blocks int    `json:"blocks"`
+}
+
+// ExtentMap is the per-volume allocation state persisted by durable
+// backends: capacity, the allocation high-water mark, the default
+// channel-path count, and every dataset extent, enough to rebuild the
+// farm catalog on cold restart.
+type ExtentMap struct {
+	Blocks     int      `json:"blocks"`
+	Paths      int      `json:"paths"`
+	NextExtent int      `json:"next_extent"`
+	Datasets   []Extent `json:"datasets"`
+}
+
+// memStore is the in-memory backend: the farm's original [][]byte,
+// unchanged. Sync is a no-op (memory is as durable as this backend
+// gets) and the extent map lives in the struct.
+type memStore struct {
+	data    [][]byte
+	extents ExtentMap
+}
+
+func newMemStore(blocks int) *memStore {
+	return &memStore{data: make([][]byte, blocks)}
+}
+
+func (s *memStore) ReadBlock(blk int) ([]byte, error) { return s.data[blk], nil }
+
+func (s *memStore) WriteBlock(blk int, data []byte) error {
+	s.data[blk] = data
+	return nil
+}
+
+func (s *memStore) Sync() error                     { return nil }
+func (s *memStore) Blocks() int                     { return len(s.data) }
+func (s *memStore) LoadExtents() (ExtentMap, error) { return s.extents, nil }
+func (s *memStore) SaveExtents(m ExtentMap) error   { s.extents = m; return nil }
+func (s *memStore) Close() error                    { return nil }

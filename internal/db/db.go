@@ -882,6 +882,106 @@ func (e *Engine) RecoverPeer(ctx context.Context, failedSys string) (RecoveryRep
 	return rep, nil
 }
 
+// ColdReport summarizes a cold-start redo pass.
+type ColdReport struct {
+	Transactions int // committed transactions redone
+	RedoApplied  int // update records applied
+}
+
+// RecoverCold redoes every committed transaction found on the merged
+// log streams after a whole-sysplex cold start. Unlike RecoverPeer it
+// ignores END records: END means "applied through the group buffer
+// pool", and the GBP did not survive the crash — only casted-out pages
+// and the log streams did. Redo is pure after-image replay in global
+// log order, so it is idempotent over pages that did get cast out.
+// Every table named in the log must already be opened.
+func (e *Engine) RecoverCold(ctx context.Context) (ColdReport, error) {
+	var rep ColdReport
+	if e.logger == nil {
+		return rep, errors.New("db: cold recovery requires stream-backed logging")
+	}
+	e.mu.Lock()
+	streams := []*logr.Stream{e.sync}
+	for _, t := range e.tables {
+		streams = append(streams, t.stream)
+	}
+	e.mu.Unlock()
+	committed := map[string]bool{}
+	type keyedRec struct {
+		key string
+		rec LogRecord
+	}
+	var updates []keyedRec
+	for _, s := range streams {
+		cur, err := s.Browse(ctx)
+		if err != nil {
+			return rep, err
+		}
+		for {
+			srec, ok := cur.Next()
+			if !ok {
+				break
+			}
+			var r LogRecord
+			if err := json.Unmarshal(srec.Data, &r); err != nil {
+				return rep, fmt.Errorf("db: corrupt log record on stream %s: %v", s.Name(), err)
+			}
+			switch r.Kind {
+			case recCommit:
+				committed[r.Tx] = true
+			case recUpdate:
+				updates = append(updates, keyedRec{key: srec.Key, rec: r})
+			}
+		}
+	}
+	// Global log order: stream keys are sysplex timestamps, so sorting
+	// merges the per-table streams back into one history and the last
+	// committed write to a record wins.
+	sort.Slice(updates, func(i, j int) bool { return updates[i].key < updates[j].key })
+	owner := "COLDSTART." + e.sys
+	txs := map[string]bool{}
+	for _, u := range updates {
+		r := u.rec
+		if !committed[r.Tx] {
+			continue
+		}
+		meta, err := e.table(r.Table)
+		if err != nil {
+			return rep, fmt.Errorf("db: cold recovery needs table %q opened: %v", r.Table, err)
+		}
+		page := pageOf(r.Key, meta.pages)
+		latch := e.pageResource(r.Table, page)
+		if err := e.locks.Lock(ctx, owner, latch, lockmgr.Exclusive, e.timeout); err != nil {
+			return rep, err
+		}
+		err = func() error {
+			img, err := e.fetchPage(ctx, r.Table, page)
+			if err != nil {
+				return err
+			}
+			if r.Delete {
+				img.delete(r.Key)
+			} else {
+				img.set(r.Key, r.After)
+			}
+			raw, err := img.encode()
+			if err != nil {
+				return err
+			}
+			return e.pool.WritePage(ctx, pageName(r.Table, page), raw)
+		}()
+		e.locks.Unlock(ctx, owner, latch)
+		if err != nil {
+			return rep, err
+		}
+		rep.RedoApplied++
+		txs[r.Tx] = true
+	}
+	rep.Transactions = len(txs)
+	e.bump(func(s *Stats) { s.Recovered += int64(rep.RedoApplied) })
+	return rep, nil
+}
+
 // streamLogRecords reconstructs a failed system's log from the merged
 // log streams: COMMIT/END markers from the sync stream, update records
 // from every opened table's stream — each browsed in timestamp order

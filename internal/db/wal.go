@@ -91,7 +91,9 @@ func (w *wal) Append(recs ...*LogRecord) error {
 		}
 		w.nextBlk++
 	}
-	return nil
+	// The force: on a durable farm the records must be on stable storage
+	// before the caller externalizes any page change (no-op in memory).
+	return w.ds.Sync()
 }
 
 // compactLocked performs the checkpoint: live records (those of
@@ -132,7 +134,7 @@ func (w *wal) compactLocked() error {
 		}
 	}
 	w.nextBlk = len(live)
-	return nil
+	return w.ds.Sync()
 }
 
 // readLogRecords reads every record of a log dataset on behalf of

@@ -266,10 +266,32 @@ func (m *Manager) Connect(ctx context.Context, spec StreamSpec) (*Stream, error)
 		return nil, fmt.Errorf("logr: corrupt SPEC for %s: %v", spec.Name, err)
 	}
 	s := &Stream{mgr: m, spec: spec, list: ls}
+	if m.farm.Durable() {
+		if err := s.setupDurable(ctx); err != nil {
+			return nil, err
+		}
+	}
 	m.mu.Lock()
 	m.streams[spec.Name] = s
 	m.mu.Unlock()
 	return s, nil
+}
+
+// allocOrAttach resolves a dataset by name, allocating it on the
+// manager's volume on first use; lost allocation races fall back to
+// the catalog. On a reopened durable farm the catalog already has it.
+func (m *Manager) allocOrAttach(name string, blocks int) (*dasd.Dataset, error) {
+	if ds, err := m.farm.Dataset(name); err == nil {
+		return ds, nil
+	}
+	ds, err := m.farm.Allocate(m.volume, name, blocks)
+	if err != nil {
+		if ds2, err2 := m.farm.Dataset(name); err2 == nil {
+			return ds2, nil
+		}
+		return nil, err
+	}
+	return ds, nil
 }
 
 // Stream returns a connected stream by name.
@@ -335,6 +357,23 @@ type Stream struct {
 	mgr  *Manager
 	spec StreamSpec
 	list cf.List
+
+	// Durable-farm artifacts (nil on an in-memory farm). CF interim
+	// storage is volatile across a whole-sysplex crash, so on durable
+	// farms every acknowledged write is also appended to one of this
+	// system's two staging datasets (LOGR.<stream>.STG.<sys>.{0,1}) and
+	// group-commit synced before Write returns — the ack then really
+	// means durable. Compaction flips between the pair so a live record
+	// always has a synced copy in at least one of them. The offload
+	// frontier gets a durable shadow too (LOGR.<stream>.CTL, two
+	// ping-pong slots versioned by the Offloaded count), written between
+	// the DASD data sync and the CF commit point, so cold recovery knows
+	// exactly which records live on the offload chain versus in staging.
+	stg     [2]*dasd.Dataset
+	ctlDS   *dasd.Dataset
+	stgMu   sync.Mutex // staging cursor, active index, compaction
+	stgAct  int
+	stgNext int
 
 	dsMu sync.Mutex // serializes local offload-dataset handle lookups
 
@@ -416,10 +455,10 @@ func (s *Stream) Write(ctx context.Context, data []byte) (Record, error) {
 				return Record{}, cerr
 			}
 			if c.HighKey < key {
-				return s.finishWrite(dctx, start, key, stamp, data)
+				return s.finishWrite(dctx, start, key, stamp, data, env)
 			}
 			if gone := s.retractEntry(dctx, key); gone {
-				return s.finishWrite(dctx, start, key, stamp, data)
+				return s.finishWrite(dctx, start, key, stamp, data, env)
 			}
 			continue // retracted our own stranded entry: retry with a fresh stamp
 		case errors.Is(err, cf.ErrLockHeld):
@@ -437,9 +476,16 @@ func (s *Stream) Write(ctx context.Context, data []byte) (Record, error) {
 	}
 }
 
-// finishWrite charges metrics and runs the threshold check.
-func (s *Stream) finishWrite(ctx context.Context, start time.Time, key string, stamp time.Time, data []byte) (Record, error) {
+// finishWrite completes the record's durability (on a durable farm the
+// envelope is staged to DASD before the ack), charges metrics, and runs
+// the threshold check.
+func (s *Stream) finishWrite(ctx context.Context, start time.Time, key string, stamp time.Time, data, env []byte) (Record, error) {
 	m := s.mgr
+	if s.stg[0] != nil {
+		if err := s.appendStaging(env); err != nil {
+			return Record{}, err
+		}
+	}
 	m.reg.Counter("logr.write.count").Inc()
 	m.reg.Histogram("logr.write.latency").Observe(m.clock.Since(start))
 	occ := s.list.Len(listInterim)
@@ -503,6 +549,276 @@ func (s *Stream) writeCTL(ctx context.Context, c ctl) error {
 		return err
 	}
 	return s.list.Write(ctx, s.mgr.sys, listControl, "CTL", "CTL", raw, cf.FIFO, cf.Cond{})
+}
+
+// setupDurable attaches the stream's durable artifacts on a file-backed
+// farm — this system's staging pair and the shared durable CTL shadow —
+// then runs cold recovery in case the CF came up empty.
+func (s *Stream) setupDurable(ctx context.Context) error {
+	m := s.mgr
+	for i := 0; i < 2; i++ {
+		ds, err := m.allocOrAttach(fmt.Sprintf("LOGR.%s.STG.%s.%d", s.spec.Name, m.sys, i), s.spec.InterimEntries+16)
+		if err != nil {
+			return err
+		}
+		s.stg[i] = ds
+	}
+	ctlDS, err := m.allocOrAttach(fmt.Sprintf("LOGR.%s.CTL", s.spec.Name), 2)
+	if err != nil {
+		return err
+	}
+	s.ctlDS = ctlDS
+	s.scanStaging()
+	return s.recoverCold(ctx)
+}
+
+// scanStaging picks the active staging dataset — the one holding the
+// newest decodable record — and positions the append cursor past its
+// last occupied block. Torn blocks count as occupied (a power cut hit
+// them mid-flush) but contribute no key.
+func (s *Stream) scanStaging() {
+	m := s.mgr
+	s.stgMu.Lock()
+	defer s.stgMu.Unlock()
+	var maxKey [2]string
+	last := [2]int{-1, -1}
+	for i, ds := range s.stg {
+		for b := 0; b < ds.Blocks(); b++ {
+			raw, err := ds.Read(m.sys, b)
+			if err != nil {
+				last[i] = b
+				continue
+			}
+			if len(raw) == 0 || raw[0] == 0 {
+				continue
+			}
+			last[i] = b
+			if env, derr := decodeEnvelope(raw); derr == nil && env.K > maxKey[i] {
+				maxKey[i] = env.K
+			}
+		}
+	}
+	s.stgAct = 0
+	if maxKey[1] > maxKey[0] {
+		s.stgAct = 1
+	}
+	s.stgNext = last[s.stgAct] + 1
+}
+
+// appendStaging makes one acknowledged record durable: append its
+// envelope to the active staging dataset and group-commit. Runs after
+// the CF interim write succeeds and before the ack returns to the
+// caller.
+func (s *Stream) appendStaging(env []byte) error {
+	m := s.mgr
+	s.stgMu.Lock()
+	if s.stgNext >= s.stg[s.stgAct].Blocks() {
+		if err := s.compactStagingLocked(); err != nil {
+			s.stgMu.Unlock()
+			return err
+		}
+	}
+	ds, blk := s.stg[s.stgAct], s.stgNext
+	s.stgNext++
+	s.stgMu.Unlock()
+	if err := ds.Write(m.sys, blk, env); err != nil {
+		return err
+	}
+	m.reg.Counter("logr.staging.appends").Inc()
+	// Concurrent appenders coalesce in the file backend's group commit:
+	// one leader fsync covers the whole batch.
+	return ds.Sync()
+}
+
+// compactStagingLocked (stgMu held) flips staging to the other dataset
+// of the pair: survivors — records above the durable frontier, union of
+// both datasets, deduped by key — are rewritten into the inactive
+// dataset and synced BEFORE the old active is scrubbed, so at every
+// instant every live record has at least one durable copy. A crash
+// anywhere in between leaves extra stale copies, which recovery and the
+// next compaction dedupe away.
+func (s *Stream) compactStagingLocked() error {
+	m := s.mgr
+	c, err := s.readDurableCTL()
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool)
+	var keep []envelope
+	for _, ds := range s.stg {
+		for b := 0; b < ds.Blocks(); b++ {
+			raw, rerr := ds.Read(m.sys, b)
+			if rerr != nil {
+				continue
+			}
+			env, derr := decodeEnvelope(raw)
+			if derr != nil {
+				continue
+			}
+			if c.HighKey != "" && env.K <= c.HighKey {
+				continue // on the synced offload chain already
+			}
+			if seen[env.K] {
+				continue
+			}
+			seen[env.K] = true
+			keep = append(keep, env)
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i].K < keep[j].K })
+	dst := s.stg[1-s.stgAct]
+	if len(keep) >= dst.Blocks() {
+		return fmt.Errorf("logr: %s staging overflow: %d live staged records", s.spec.Name, len(keep))
+	}
+	for b := 0; b < dst.Blocks(); b++ {
+		var data []byte
+		if b < len(keep) {
+			if data, err = json.Marshal(keep[b]); err != nil {
+				return err
+			}
+		}
+		if err := dst.Write(m.sys, b, data); err != nil {
+			return err
+		}
+	}
+	if err := dst.Sync(); err != nil {
+		return err
+	}
+	src := s.stg[s.stgAct]
+	for b := 0; b < src.Blocks(); b++ {
+		if err := src.Write(m.sys, b, nil); err != nil {
+			return err
+		}
+	}
+	if err := src.Sync(); err != nil {
+		return err
+	}
+	s.stgAct = 1 - s.stgAct
+	s.stgNext = len(keep)
+	m.reg.Counter("logr.staging.compactions").Inc()
+	return nil
+}
+
+// readDurableCTL returns the newest decodable durable CTL slot. A torn
+// or empty slot is skipped — the other holds the last good frontier.
+func (s *Stream) readDurableCTL() (ctl, error) {
+	var best ctl
+	found := false
+	for b := 0; b < 2; b++ {
+		raw, err := s.ctlDS.Read(s.mgr.sys, b)
+		if err != nil {
+			continue
+		}
+		end := len(raw)
+		for end > 0 && raw[end-1] == 0 {
+			end--
+		}
+		if end == 0 {
+			continue
+		}
+		var c ctl
+		if json.Unmarshal(raw[:end], &c) != nil {
+			continue
+		}
+		if !found || c.Offloaded > best.Offloaded {
+			best, found = c, true
+		}
+	}
+	return best, nil
+}
+
+// writeDurableCTL persists the offload frontier before the CF commit
+// point, alternating between two slots versioned by the monotonic
+// Offloaded count, so a torn CTL write can never destroy the last good
+// frontier. Pending is dropped: it only names interim entry IDs, which
+// do not survive a cold start (interim is rebuilt from staging).
+func (s *Stream) writeDurableCTL(c ctl) error {
+	c.Pending = nil
+	raw, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	if err := s.ctlDS.Write(s.mgr.sys, int(c.Offloaded%2), raw); err != nil {
+		return err
+	}
+	return s.ctlDS.Sync()
+}
+
+// recoverCold rebuilds CF stream state after a whole-sysplex cold
+// start: if the CF has no CTL for this stream but durable artifacts
+// exist, seed the CF CTL from the durable shadow and re-insert every
+// staged record above the frontier into interim storage — including
+// records staged by peers that may never restart. Records at or below
+// the frontier already live on the synced offload chain. Runs under
+// the offload lock and is idempotent, so racing connectors converge.
+func (s *Stream) recoverCold(ctx context.Context) error {
+	m := s.mgr
+	s.passMu.Lock()
+	defer s.passMu.Unlock()
+	if err := s.list.SetLock(ctx, lockOffload, m.sys); err != nil {
+		return err
+	}
+	defer func() { _ = s.list.ReleaseLock(vclock.Detach(ctx), lockOffload, m.sys) }()
+	if _, err := s.list.Read(ctx, m.sys, "CTL", cf.Cond{}); err == nil {
+		return nil // CF state survived, or a peer already recovered
+	} else if !errors.Is(err, cf.ErrEntryNotFound) {
+		return err
+	}
+	c, err := s.readDurableCTL()
+	if err != nil {
+		return err
+	}
+	seeded := false
+	if c.HighKey != "" || c.NextDataset > 0 || c.NextBlock > 0 || c.Offloaded > 0 {
+		if err := s.writeCTL(ctx, c); err != nil {
+			return err
+		}
+		seeded = true
+	}
+	seen := make(map[string]bool)
+	for _, e := range s.list.Entries(listInterim) {
+		seen[e.Key] = true
+	}
+	var envs []envelope
+	for _, name := range m.farm.Datasets("LOGR." + s.spec.Name + ".STG.") {
+		ds, derr := m.farm.Dataset(name)
+		if derr != nil {
+			continue
+		}
+		for b := 0; b < ds.Blocks(); b++ {
+			raw, rerr := ds.Read(m.sys, b)
+			if rerr != nil {
+				continue // torn: mid-append at the power cut, never acknowledged
+			}
+			env, derr := decodeEnvelope(raw)
+			if derr != nil {
+				continue // empty block or partial flush
+			}
+			if c.HighKey != "" && env.K <= c.HighKey {
+				continue
+			}
+			if seen[env.K] {
+				continue
+			}
+			seen[env.K] = true
+			envs = append(envs, env)
+		}
+	}
+	sort.Slice(envs, func(i, j int) bool { return envs[i].K < envs[j].K })
+	for _, env := range envs {
+		raw, merr := json.Marshal(env)
+		if merr != nil {
+			return merr
+		}
+		if err := s.list.Write(ctx, m.sys, listInterim, env.K, env.K, raw, cf.Keyed, cf.Cond{}); err != nil {
+			return err
+		}
+	}
+	if seeded || len(envs) > 0 {
+		m.reg.Counter("logr.recover.streams").Inc()
+	}
+	m.reg.Counter("logr.recover.records").Add(int64(len(envs)))
+	return nil
 }
 
 // offloadDataset returns (allocating on first use) dataset n of the
@@ -605,6 +921,7 @@ func (s *Stream) offloadOnce(ctx context.Context, force bool) (int, error) {
 	// Phase 1: DASD writes at the uncommitted cursor.
 	cur := c
 	var bytes int64
+	var lastDS *dasd.Dataset
 	for _, e := range toMove {
 		if cur.NextBlock >= s.spec.OffloadBlocks {
 			cur.NextDataset++
@@ -617,8 +934,16 @@ func (s *Stream) offloadOnce(ctx context.Context, force bool) (int, error) {
 		if err := ds.Write(m.sys, cur.NextBlock, e.Data); err != nil {
 			return 0, err
 		}
+		lastDS = ds
 		cur.NextBlock++
 		bytes += int64(len(e.Data))
+	}
+	if s.ctlDS != nil && lastDS != nil {
+		// Durable farm: the offload chain must be on stable storage
+		// before any frontier — durable or CF — names its blocks.
+		if err := lastDS.Sync(); err != nil {
+			return 0, err
+		}
 	}
 	if s.testCrash != nil && s.testCrash("dasd-written") {
 		crashed = true
@@ -630,6 +955,21 @@ func (s *Stream) offloadOnce(ctx context.Context, force bool) (int, error) {
 	cur.Pending = make([]string, n)
 	for i, e := range toMove {
 		cur.Pending[i] = e.ID
+	}
+	if s.ctlDS != nil {
+		// The durable frontier shadow leads the CF commit: after a
+		// whole-sysplex crash anywhere past this write, recovery reads
+		// these records from the (already synced) offload chain instead
+		// of staging. If the crash lands before the CF CTL write below,
+		// a live peer simply redoes the pass — it re-writes the same
+		// records to the same blocks, so the shadow stays consistent.
+		if err := s.writeDurableCTL(cur); err != nil {
+			return 0, err
+		}
+		if s.testCrash != nil && s.testCrash("durable-ctl") {
+			crashed = true
+			return 0, errors.New("logr: simulated crash after durable CTL, before CF CTL")
+		}
 	}
 	if err := s.writeCTL(ctx, cur); err != nil {
 		return 0, err

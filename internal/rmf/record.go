@@ -46,6 +46,12 @@ type Record struct {
 	CF     CFSection     `json:"cf"`
 	CFRM   CFRMSection   `json:"cfrm"`
 	Logger LoggerSection `json:"logr"`
+	// DASD reports shared-disk activity; present only when the monitor
+	// was given the farm's registry.
+	DASD *DASDSection `json:"dasd,omitempty"`
+	// Restart is present on exactly one record per sysplex cold boot:
+	// the one cut by CutRestart when Open finishes recovery.
+	Restart *RestartSection `json:"restart,omitempty"`
 
 	// Clones are the per-system sections, sorted by system name.
 	Clones []Clone `json:"clones"`
@@ -136,6 +142,54 @@ type LoggerSection struct {
 	Offloads       int64 `json:"offloads"`
 	OffloadRecords int64 `json:"offrecs"`
 	OffloadBytes   int64 `json:"offbytes"`
+}
+
+// DASDSection reports the shared DASD farm over the interval. On a
+// durable farm the fsync figures measure the group-commit path — the
+// cost every acknowledged log write and couple-data-set update pays.
+type DASDSection struct {
+	// Reads/Writes are interval block-I/O deltas, farm-wide.
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	// ReserveBusy counts reserve attempts that found the device held by
+	// another system (the serialization cost §2 warns about).
+	ReserveBusy int64 `json:"resbusy,omitempty"`
+	// Fsyncs is the number of group commits; FsyncLatency summarizes
+	// dasd.fsync.latency. Both are zero on an in-memory farm.
+	Fsyncs       int64          `json:"fsyncs,omitempty"`
+	FsyncLatency LatencySummary `json:"fsynclat"`
+	// Volumes breaks I/O out per volume serial, sorted; volumes with no
+	// activity this interval are omitted.
+	Volumes []VolumeIO `json:"vols,omitempty"`
+}
+
+// VolumeIO is one volume's interval I/O counts.
+type VolumeIO struct {
+	Volser string `json:"vol"`
+	Reads  int64  `json:"reads,omitempty"`
+	Writes int64  `json:"writes,omitempty"`
+}
+
+// RestartSection reports one sysplex cold restart: how long the
+// recovery pass took and how much state each layer rebuilt. It is the
+// restart-recovery-time record the EXP-RESTART experiment reads.
+type RestartSection struct {
+	// RecoveryUS is the wall time from the first volume reattach to the
+	// end of the recovery pass, in microseconds on the sysplex clock.
+	RecoveryUS int64 `json:"recoveryus"`
+	// LogStreams/LogRecords count System Logger streams that needed
+	// cold recovery and the staged records re-inserted into interim
+	// storage.
+	LogStreams int64 `json:"logstreams"`
+	LogRecords int64 `json:"logrecords"`
+	// Transactions/RedoApplied are the database redo pass: committed
+	// transactions replayed from the merged WAL streams and the
+	// page-level after-images applied.
+	Transactions int `json:"txs"`
+	RedoApplied  int `json:"redo"`
+	// Restarts counts ARM elements re-driven because their recorded
+	// system did not return.
+	Restarts int `json:"restarts"`
 }
 
 // Clone is one member system's interval section (Gray: a clone —

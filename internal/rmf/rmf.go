@@ -73,6 +73,9 @@ type Config struct {
 	CFRM *cfrm.Manager
 	// Logger is the sysplex-wide System Logger registry (optional).
 	Logger *metrics.Registry
+	// DASD is the shared DASD farm's registry (optional): per-volume
+	// I/O, reserve collisions, and group-commit fsync latency.
+	DASD *metrics.Registry
 	// Stream picks the log stream records are written to. It is called
 	// once per interval so the monitor survives the writing member
 	// leaving — any connected member's stream handle works, records
@@ -87,16 +90,18 @@ type Config struct {
 type Monitor struct {
 	cfg Config
 
-	mu      sync.Mutex
-	sources map[string]SystemSource
-	seq     int64
-	start   time.Time // current interval start
-	prevCF  metrics.RegistrySnapshot
-	prevRM  metrics.RegistrySnapshot
-	prevLog metrics.RegistrySnapshot
-	prevSys map[string]lockmgr.Stats
-	ring    []Record
-	stop    func()
+	mu       sync.Mutex
+	sources  map[string]SystemSource
+	seq      int64
+	start    time.Time // current interval start
+	prevCF   metrics.RegistrySnapshot
+	prevRM   metrics.RegistrySnapshot
+	prevLog  metrics.RegistrySnapshot
+	prevDASD metrics.RegistrySnapshot
+	prevSys  map[string]lockmgr.Stats
+	restart  *RestartSection // attached to the next record cut
+	ring     []Record
+	stop     func()
 }
 
 // New builds a Monitor. The first interval starts now.
@@ -125,6 +130,9 @@ func New(cfg Config) (*Monitor, error) {
 	m.prevRM = cfg.CFRM.Metrics().Snapshot()
 	if cfg.Logger != nil {
 		m.prevLog = cfg.Logger.Snapshot()
+	}
+	if cfg.DASD != nil {
+		m.prevDASD = cfg.DASD.Snapshot()
 	}
 	return m, nil
 }
@@ -238,6 +246,60 @@ func (m *Monitor) SampleOnce(ctx context.Context) (Record, error) {
 		m.prevLog = lgSnap
 	}
 
+	// DASD section: farm-wide and per-volume I/O deltas plus the
+	// group-commit fsync cost.
+	if m.cfg.DASD != nil {
+		dSnap := m.cfg.DASD.Snapshot()
+		dDelta := dSnap.CounterDelta(m.prevDASD)
+		sec := &DASDSection{
+			Reads:       dDelta["dasd.read"],
+			Writes:      dDelta["dasd.write"],
+			ReserveBusy: dDelta["dasd.reserve.busy"],
+			Fsyncs:      dDelta["dasd.fsync.count"],
+			FsyncLatency: summarize(dSnap.Histograms["dasd.fsync.latency"],
+				m.prevDASD.Histograms["dasd.fsync.latency"].Count),
+		}
+		vols := map[string]*VolumeIO{}
+		for name, d := range dDelta {
+			if d <= 0 || !strings.HasPrefix(name, "dasd.vol.") {
+				continue
+			}
+			rest := name[len("dasd.vol."):]
+			var volser, op string
+			if strings.HasSuffix(rest, ".read") {
+				volser, op = rest[:len(rest)-len(".read")], "read"
+			} else if strings.HasSuffix(rest, ".write") {
+				volser, op = rest[:len(rest)-len(".write")], "write"
+			} else {
+				continue
+			}
+			v := vols[volser]
+			if v == nil {
+				v = &VolumeIO{Volser: volser}
+				vols[volser] = v
+			}
+			if op == "read" {
+				v.Reads = d
+			} else {
+				v.Writes = d
+			}
+		}
+		volNames := make([]string, 0, len(vols))
+		for n := range vols {
+			volNames = append(volNames, n)
+		}
+		sort.Strings(volNames)
+		for _, n := range volNames {
+			sec.Volumes = append(sec.Volumes, *vols[n])
+		}
+		r.DASD = sec
+		m.prevDASD = dSnap
+	}
+
+	// A pending restart section rides on the next record cut.
+	r.Restart = m.restart
+	m.restart = nil
+
 	// Clones: per-system lock deltas and WLM goal attainment.
 	names := make([]string, 0, len(m.sources))
 	for n := range m.sources {
@@ -312,6 +374,17 @@ func (m *Monitor) SampleOnce(ctx context.Context) (Record, error) {
 		return r, fmt.Errorf("rmf: interval %d stream write: %w", r.Seq, err)
 	}
 	return r, nil
+}
+
+// CutRestart cuts the restart-recovery-time record: an immediate
+// interval record carrying the RestartSection. The façade calls it once
+// per cold boot, right after Open's recovery pass, so the restart cost
+// lands on the same SMF stream as every other measurement.
+func (m *Monitor) CutRestart(ctx context.Context, sec RestartSection) (Record, error) {
+	m.mu.Lock()
+	m.restart = &sec
+	m.mu.Unlock()
+	return m.SampleOnce(ctx)
 }
 
 // Start launches the interval ticker on the configured clock. Stop

@@ -92,6 +92,13 @@ type SystemConfig struct {
 type Config struct {
 	Name    string
 	Systems []SystemConfig
+	// DataDir, when set, backs the shared DASD farm with files under
+	// this directory: volumes persist across process restarts, every
+	// acknowledged log write and couple-data-set update is fsynced
+	// (group commit), and sysplex.Open can cold-boot the sysplex from
+	// whatever the previous incarnation left behind. Empty keeps the
+	// farm in memory (the default, and the fast path).
+	DataDir string
 	// Tables are opened on every system.
 	Tables []TableConfig
 	// DatabaseName scopes structures and datasets (default "DBP1").
@@ -216,6 +223,7 @@ type Sysplex struct {
 	det    *lockmgr.Detector
 	jesQ   *jes.Queue
 	racfDB *cds.Store
+	armCDS *cds.Store
 	logReg *metrics.Registry // shared by every member's logr.Manager
 	rmfMon *rmf.Monitor      // nil when RMF is disabled
 
@@ -225,7 +233,27 @@ type Sysplex struct {
 	jobs     map[string]jes.Handler
 	stopped  bool
 	recovery []db.RecoveryReport
+	restart  *RestartReport
 	stopCF   func()
+}
+
+// RestartReport summarizes the recovery pass of one sysplex.Open cold
+// boot: what each layer rebuilt from DASD and how long the whole pass
+// took.
+type RestartReport struct {
+	// Duration is wall time from the first volume reattach to the end
+	// of the recovery pass.
+	Duration time.Duration
+	// LogStreams/LogRecords count System Logger streams that needed
+	// cold recovery and staged records re-inserted into interim
+	// storage.
+	LogStreams int64
+	LogRecords int64
+	// DB is the database redo pass over the merged WAL streams.
+	DB db.ColdReport
+	// Restarts are the ARM elements re-driven because their recorded
+	// system did not return.
+	Restarts []arm.RestartEvent
 }
 
 type programSpec struct {
@@ -235,7 +263,30 @@ type programSpec struct {
 
 // New builds and starts a sysplex. The context governs the CF commands
 // issued while building the initial member set; it is not retained.
+// With Config.DataDir set the DASD farm is file-backed from the start,
+// so a later sysplex.Open over the same directory can cold-boot from
+// whatever this incarnation leaves behind.
 func New(ctx context.Context, cfg Config) (*Sysplex, error) {
+	return build(ctx, cfg, false)
+}
+
+// Open cold-boots a sysplex from the durable state under
+// Config.DataDir: volumes reattach, couple data sets and the catalog
+// reload from their checksummed on-disk images, System Logger streams
+// rebuild their interim storage from the staging datasets, the
+// database redoes committed transactions from the merged WAL streams,
+// and ARM re-drives elements whose recorded system did not return. A
+// restart-recovery-time record is cut onto the RMF stream, and the
+// pass is summarized by RestartReport. On a directory with no prior
+// state Open is equivalent to New.
+func Open(ctx context.Context, cfg Config) (*Sysplex, error) {
+	if cfg.DataDir == "" {
+		return nil, errors.New("sysplex: Open requires Config.DataDir")
+	}
+	return build(ctx, cfg, true)
+}
+
+func build(ctx context.Context, cfg Config, reopen bool) (*Sysplex, error) {
 	if cfg.Name == "" {
 		return nil, errors.New("sysplex: name required")
 	}
@@ -281,10 +332,20 @@ func New(ctx context.Context, cfg Config) (*Sysplex, error) {
 		}
 	}
 	clock := vclock.Real()
+	bootStart := clock.Now()
+	var farm *dasd.Farm
+	if cfg.DataDir != "" {
+		var err error
+		if farm, err = dasd.OpenFarm(clock, cfg.DataDir); err != nil {
+			return nil, err
+		}
+	} else {
+		farm = dasd.NewFarm(clock)
+	}
 	p := &Sysplex{
 		cfg:      cfg,
 		clock:    clock,
-		farm:     dasd.NewFarm(clock),
+		farm:     farm,
 		timer:    timer.New(clock),
 		systems:  make(map[string]*System),
 		programs: make(map[string]programSpec),
@@ -309,11 +370,12 @@ func New(ctx context.Context, cfg Config) (*Sysplex, error) {
 		return nil, err
 	}
 	// Duplexed sysplex couple data set across the dedicated volumes.
-	pri, err := p.farm.Allocate("CPLEX1", "SYS1.XCF.CDS01", 256)
+	// allocOrAttach finds the persisted datasets on a reopened farm.
+	pri, err := p.allocOrAttach("CPLEX1", "SYS1.XCF.CDS01", 256)
 	if err != nil {
 		return nil, err
 	}
-	alt, err := p.farm.Allocate("CPLEX2", "SYS1.XCF.CDS02", 256)
+	alt, err := p.allocOrAttach("CPLEX2", "SYS1.XCF.CDS02", 256)
 	if err != nil {
 		return nil, err
 	}
@@ -363,7 +425,7 @@ func New(ctx context.Context, cfg Config) (*Sysplex, error) {
 	if _, err := p.farm.AddVolume("RACF01", 512, 4); err != nil {
 		return nil, err
 	}
-	racfDS, err := p.farm.Allocate("RACF01", "SYS1.RACF.DB", 256)
+	racfDS, err := p.allocOrAttach("RACF01", "SYS1.RACF.DB", 256)
 	if err != nil {
 		return nil, err
 	}
@@ -410,7 +472,33 @@ func New(ctx context.Context, cfg Config) (*Sysplex, error) {
 			mon.RemoveSystem(sys)
 		}
 	})
-	p.arm = arm.New(p.plex, nil, p.pickRestartTarget)
+	// ARM couple data set, duplexed like the sysplex CDS: element state
+	// survives a whole-sysplex outage so Open can re-drive restarts for
+	// work that was running on systems that never came back. It gets
+	// its own volume pair — the XCF couple data set's heartbeat traffic
+	// holds hardware reserves on CPLEX1/CPLEX2, and ARM updates must
+	// not collide with them.
+	if _, err := p.farm.AddVolume("ARMCD1", 512, 4); err != nil {
+		return nil, err
+	}
+	if _, err := p.farm.AddVolume("ARMCD2", 512, 4); err != nil {
+		return nil, err
+	}
+	armPri, err := p.allocOrAttach("ARMCD1", "SYS1.ARM.CDS01", 128)
+	if err != nil {
+		return nil, err
+	}
+	armAlt, err := p.allocOrAttach("ARMCD2", "SYS1.ARM.CDS02", 128)
+	if err != nil {
+		return nil, err
+	}
+	p.armCDS, err = cds.New("ARMCDS", clock, armPri, armAlt, cds.Options{
+		StaleHolder: func(sys string) bool { return p.plex != nil && p.plex.IsFailed(sys) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.arm = arm.New(p.plex, p.armCDS, p.pickRestartTarget)
 	p.det = lockmgr.NewDetector(p.lockManagers)
 
 	for _, sc := range cfg.Systems {
@@ -449,7 +537,8 @@ func New(ctx context.Context, cfg Config) (*Sysplex, error) {
 	if rmfOn {
 		mon, err := rmf.New(rmf.Config{
 			Farm: cfg.Name, Clock: clock, Interval: cfg.RMFInterval,
-			CFRM: p.cfres, Logger: p.logReg, Stream: p.rmfStream,
+			CFRM: p.cfres, Logger: p.logReg, DASD: p.farm.Metrics(),
+			Stream: p.rmfStream,
 		})
 		if err != nil {
 			return nil, err
@@ -466,7 +555,87 @@ func New(ctx context.Context, cfg Config) (*Sysplex, error) {
 		}
 		mon.Start()
 	}
+
+	// Cold-boot recovery pass. Stream-level recovery already ran inside
+	// each member's logr.Connect; what is left is the database redo over
+	// the recovered streams and ARM re-drive for systems that did not
+	// return, then the restart-recovery-time RMF record.
+	if reopen {
+		if err := p.recoverCold(ctx, bootStart); err != nil {
+			p.Stop()
+			return nil, err
+		}
+	}
 	return p, nil
+}
+
+// recoverCold runs Open's recovery pass (see Open). bootStart is when
+// the farm reattached, so the report covers the whole boot.
+func (p *Sysplex) recoverCold(ctx context.Context, bootStart time.Time) error {
+	rep := &RestartReport{
+		LogStreams: p.logReg.Counter("logr.recover.streams").Value(),
+		LogRecords: p.logReg.Counter("logr.recover.records").Value(),
+	}
+	// Database redo runs through one engine: pages externalize in the
+	// shared group buffer pool, so every member sees the result.
+	names := make([]string, 0, len(p.systems))
+	p.mu.Lock()
+	for n := range p.systems {
+		names = append(names, n)
+	}
+	p.mu.Unlock()
+	sort.Strings(names)
+	if len(names) > 0 {
+		s, err := p.System(names[0])
+		if err != nil {
+			return err
+		}
+		if rep.DB, err = s.engine.RecoverCold(ctx); err != nil {
+			return fmt.Errorf("sysplex: cold recovery: %w", err)
+		}
+	}
+	// ARM: merge persisted element state (elements re-registered by
+	// AddSystem keep their fresh records; only elements of absent
+	// systems load from the CDS) and re-drive the stale ones.
+	if err := p.arm.LoadState(); err != nil {
+		return fmt.Errorf("sysplex: cold recovery: ARM state: %w", err)
+	}
+	rep.Restarts = p.arm.RecoverPending()
+	rep.Duration = p.clock.Now().Sub(bootStart)
+	p.mu.Lock()
+	p.restart = rep
+	mon := p.rmfMon
+	p.mu.Unlock()
+	if mon != nil {
+		if _, err := mon.CutRestart(ctx, rmf.RestartSection{
+			RecoveryUS:   rep.Duration.Microseconds(),
+			LogStreams:   rep.LogStreams,
+			LogRecords:   rep.LogRecords,
+			Transactions: rep.DB.Transactions,
+			RedoApplied:  rep.DB.RedoApplied,
+			Restarts:     len(rep.Restarts),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestartReport returns the summary of Open's recovery pass (nil when
+// the sysplex was built by New).
+func (p *Sysplex) RestartReport() *RestartReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.restart
+}
+
+// allocOrAttach finds a cataloged dataset on a reopened durable farm,
+// allocating it on first boot (or on an in-memory farm).
+func (p *Sysplex) allocOrAttach(volser, name string, nblocks int) (*dasd.Dataset, error) {
+	if ds, err := p.farm.Dataset(name); err == nil {
+		return ds, nil
+	}
+	return p.farm.Allocate(volser, name, nblocks)
 }
 
 // systemSource adapts a member system into the RMF monitor's inputs.
@@ -1062,6 +1231,9 @@ func (p *Sysplex) Stop() {
 		}
 		s.locks.Shutdown()
 	}
+	// Clean shutdown of the DASD farm: flush acknowledged writes and
+	// release the volume backends (no-op for an in-memory farm).
+	p.farm.Close()
 }
 
 // SystemStats is a per-system activity snapshot.

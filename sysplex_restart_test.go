@@ -1,0 +1,215 @@
+package sysplex
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sysplex/internal/arm"
+	"sysplex/internal/dasd"
+	"sysplex/internal/logr"
+)
+
+// TestSysplexColdRestart is the end-to-end durability story: a sysplex
+// built over a file-backed farm commits transactions and log records,
+// the whole complex loses power (every un-synced write is dropped, the
+// CF image is discarded), and sysplex.Open rebuilds the surviving
+// member set from DASD alone — committed data intact, uncommitted work
+// gone, stranded ARM elements re-driven, and the restart cost cut onto
+// the RMF stream.
+func TestSysplexColdRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cfg := DefaultConfig("PLEX1", 2)
+	cfg.DataDir = dir
+	cfg.VolumeBlocks = 16384
+	cfg.LogStreams = []logr.StreamSpec{{Name: "APP.AUDIT"}}
+
+	plex, err := New(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := plex.System("SYS1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := plex.System("SYS2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Committed transactions from both members.
+	want := map[string]string{}
+	for i := 0; i < 6; i++ {
+		e := s1.Engine()
+		if i%2 == 1 {
+			e = s2.Engine()
+		}
+		key, val := fmt.Sprintf("acct-%d", i), fmt.Sprintf("bal-%d", i*100)
+		tx := e.Begin(ctx)
+		if err := tx.Put("ACCT", key, []byte(val)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = val
+	}
+	// An aborted transaction must not resurface.
+	ghost := s2.Engine().Begin(ctx)
+	if err := ghost.Put("ACCT", "ghost", []byte("boo")); err != nil {
+		t.Fatal(err)
+	}
+	ghost.Abort()
+
+	// Application log records on a dedicated stream.
+	audit, err := s1.LogStream("APP.AUDIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := audit.Write(ctx, []byte(fmt.Sprintf("audit-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Power cut: un-synced writes drop, file handles close mid-state.
+	// Stop afterwards only reaps goroutines — nothing it does can reach
+	// the disk image any more.
+	dasd.PowerCutFarm(plex.Farm())
+	plex.Stop()
+
+	// Only SYS1 returns. SYS2's ARM elements are stranded on a system
+	// that is gone.
+	cfg2 := cfg
+	cfg2.Systems = cfg.Systems[:1]
+	plex2, err := Open(ctx, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plex2.Stop()
+
+	rep := plex2.RestartReport()
+	if rep == nil {
+		t.Fatal("Open left no RestartReport")
+	}
+	if rep.DB.Transactions == 0 || rep.DB.RedoApplied == 0 {
+		t.Fatalf("recovery replayed nothing: %+v", rep.DB)
+	}
+	if rep.LogRecords == 0 || rep.LogStreams == 0 {
+		t.Fatalf("no log-stream recovery recorded: %+v", rep)
+	}
+	if rep.Duration <= 0 {
+		t.Fatalf("non-positive recovery duration %v", rep.Duration)
+	}
+
+	r1, err := plex2.System("SYS1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := r1.Engine().Begin(ctx)
+	for key, val := range want {
+		v, ok, err := tx.Get("ACCT", key)
+		if err != nil || !ok || string(v) != val {
+			t.Fatalf("%s = %q ok=%v err=%v, want %q", key, v, ok, err, val)
+		}
+	}
+	if _, ok, _ := tx.Get("ACCT", "ghost"); ok {
+		t.Fatal("aborted transaction resurfaced after cold restart")
+	}
+	tx.Commit()
+
+	// The audit stream recovered every acknowledged record, in order.
+	audit2, err := r1.LogStream("APP.AUDIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := audit2.Browse(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for {
+		r, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if got[string(r.Data)] {
+			t.Fatalf("duplicate audit record %q", r.Data)
+		}
+		got[string(r.Data)] = true
+	}
+	for i := 0; i < 5; i++ {
+		if !got[fmt.Sprintf("audit-%d", i)] {
+			t.Fatalf("audit-%d lost across restart (recovered %v)", i, got)
+		}
+	}
+
+	// SYS2's cross-system elements were re-driven onto a survivor.
+	for _, name := range []string{"DB2.SYS2", "CICS.SYS2"} {
+		e, err := plex2.ARM().Element(name)
+		if err != nil {
+			t.Fatalf("stranded element %s not recovered from the ARM CDS: %v", name, err)
+		}
+		if e.State != arm.StateRunning || e.System != "SYS1" {
+			t.Fatalf("%s = %v on %s, want running on SYS1", name, e.State, e.System)
+		}
+	}
+
+	// The restart-recovery-time record landed on the RMF stream.
+	if mon := plex2.RMF(); mon != nil {
+		found := false
+		for _, r := range mon.Latest(0) {
+			if r.Restart != nil {
+				found = true
+				if r.Restart.RecoveryUS <= 0 || r.Restart.Transactions != rep.DB.Transactions {
+					t.Fatalf("restart record %+v disagrees with report %+v", r.Restart, rep)
+				}
+			}
+		}
+		if !found {
+			t.Fatal("no RMF record carries the restart section")
+		}
+	}
+}
+
+// TestOpenFreshDirectory: Open over an empty DataDir is a first boot —
+// no recovery work, but a usable, durable sysplex.
+func TestOpenFreshDirectory(t *testing.T) {
+	ctx := context.Background()
+	cfg := DefaultConfig("PLEX1", 1)
+	cfg.DataDir = t.TempDir()
+	cfg.VolumeBlocks = 16384
+	cfg.Background = false
+
+	plex, err := Open(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plex.Stop()
+	rep := plex.RestartReport()
+	if rep == nil {
+		t.Fatal("Open left no RestartReport")
+	}
+	if rep.DB.Transactions != 0 || len(rep.Restarts) != 0 {
+		t.Fatalf("fresh boot recovered state: %+v", rep)
+	}
+	s, err := plex.System("SYS1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Engine().Begin(ctx)
+	if err := tx.Put("ACCT", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenRequiresDataDir: Open without a directory is a usage error.
+func TestOpenRequiresDataDir(t *testing.T) {
+	if _, err := Open(context.Background(), DefaultConfig("PLEX1", 1)); err == nil {
+		t.Fatal("Open without DataDir succeeded")
+	}
+}
